@@ -1,0 +1,105 @@
+// Ablation: network-fault detection thresholds (requirements A5/A6, P4/P5).
+//
+// The detector must be fast on real failures yet silent on sporadic loss.
+// This bench sweeps the active problem-counter threshold and the passive
+// reception-imbalance threshold and reports, for each setting:
+//   * detection_ms      — time from network failure to the first fault
+//                         report anywhere in the cluster;
+//   * false_alarms      — fault reports raised in a fault-FREE run with 1%
+//                         sporadic loss over 5 simulated seconds.
+#include <benchmark/benchmark.h>
+
+#include "harness/calibration.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+ClusterConfig base_config(api::ReplicationStyle style) {
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = style;
+  cfg.net_params = paper_net_params();
+  cfg.host_costs = paper_host_costs();
+  apply_paper_srp_costs(cfg.srp);
+  cfg.record_payloads = false;
+  return cfg;
+}
+
+double measure_detection_ms(ClusterConfig cfg) {
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  SaturationDriver driver(cluster, {.message_size = 512, .queue_target = 128});
+  driver.start();
+  cluster.run_for(Duration{300'000});
+
+  const TimePoint failed_at = cluster.simulator().now();
+  cluster.network(1).fail();
+  cluster.run_for(Duration{20'000'000});
+  if (cluster.faults().empty()) return -1.0;  // never detected
+  return std::chrono::duration<double, std::milli>(cluster.faults().front().report.when -
+                                                   failed_at)
+      .count();
+}
+
+std::uint64_t count_false_alarms(ClusterConfig cfg) {
+  cfg.net_params.loss_rate = 0.01;
+  cfg.seed = 77;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  SaturationDriver driver(cluster, {.message_size = 512, .queue_target = 128});
+  driver.start();
+  cluster.run_for(Duration{5'000'000});
+  return cluster.faults().size();
+}
+
+void BM_ActiveProblemThreshold(benchmark::State& state) {
+  double detection = 0;
+  std::uint64_t false_alarms = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg = base_config(api::ReplicationStyle::kActive);
+    cfg.active.problem_threshold = static_cast<std::uint32_t>(state.range(0));
+    detection = measure_detection_ms(cfg);
+    false_alarms = count_false_alarms(cfg);
+  }
+  state.counters["detection_ms"] = detection;
+  state.counters["false_alarms"] = static_cast<double>(false_alarms);
+}
+BENCHMARK(BM_ActiveProblemThreshold)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)  // default
+    ->Arg(25)
+    ->Arg(100)
+    ->ArgNames({"threshold"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_PassiveImbalanceThreshold(benchmark::State& state) {
+  double detection = 0;
+  std::uint64_t false_alarms = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg = base_config(api::ReplicationStyle::kPassive);
+    cfg.passive.imbalance_threshold = static_cast<std::uint32_t>(state.range(0));
+    detection = measure_detection_ms(cfg);
+    false_alarms = count_false_alarms(cfg);
+  }
+  state.counters["detection_ms"] = detection;
+  state.counters["false_alarms"] = static_cast<double>(false_alarms);
+}
+BENCHMARK(BM_PassiveImbalanceThreshold)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)  // default
+    ->Arg(100)
+    ->Arg(400)
+    ->ArgNames({"threshold"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Ablation: flow control (paper §2's "strict sending schedule").
+//
+//  * Window sweep: the global per-rotation window trades throughput against
+//    token-rotation latency. Too small starves the wire; too large inflates
+//    delivery latency (and in real deployments, burst loss risk).
+//  * Fair-share rule (TOCS flow control, opt-in): under a skewed load, the
+//    fair rule caps the heavy sender at its proportional share, improving
+//    the light senders' worst-case latency at equal throughput.
+#include <benchmark/benchmark.h>
+
+#include "harness/calibration.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_WindowSizeSweep(benchmark::State& state) {
+  const auto window = static_cast<std::uint32_t>(state.range(0));
+  double msgs = 0, p50_latency_us = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.network_count = 1;
+    cfg.style = api::ReplicationStyle::kNone;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    cfg.srp.window_size = window;
+    cfg.srp.max_messages_per_visit = std::max<std::uint32_t>(1, window / 2);
+    cfg.record_payloads = false;
+    SimCluster cluster(cfg);
+
+    std::vector<double> latencies;
+    cluster.set_app_deliver_handler(0, [&](const srp::DeliveredMessage& m) {
+      ByteReader r(m.payload);
+      if (auto ts = r.u64(); ts.is_ok()) {
+        latencies.push_back(static_cast<double>(
+            cluster.simulator().now().time_since_epoch().count() - ts.value()));
+      }
+    });
+    cluster.start_all();
+
+    // Saturation with timestamped 1 KB messages.
+    std::function<void(std::size_t)> refill = [&](std::size_t n) {
+      while (cluster.node(n).ring().send_queue_depth() < 128) {
+        ByteWriter w;
+        w.u64(static_cast<std::uint64_t>(
+            cluster.simulator().now().time_since_epoch().count()));
+        w.raw(Bytes(1016, std::byte{0x33}));
+        if (!cluster.node(n).send(w.view()).is_ok()) break;
+      }
+      cluster.simulator().schedule(Duration{1'000}, [&refill, n] { refill(n); });
+    };
+    for (std::size_t n = 0; n < 4; ++n) refill(n);
+
+    cluster.run_for(Duration{200'000});
+    cluster.clear_recordings();
+    latencies.clear();
+    cluster.run_for(Duration{1'000'000});
+
+    msgs = static_cast<double>(cluster.delivered_count(0));
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      p50_latency_us = latencies[latencies.size() / 2];
+    }
+  }
+  state.counters["msgs_per_sec"] = msgs;
+  state.counters["p50_latency_us"] = p50_latency_us;
+}
+BENCHMARK(BM_WindowSizeSweep)
+    ->Arg(16)
+    ->Arg(40)
+    ->Arg(80)  // default
+    ->Arg(160)
+    ->Arg(320)
+    ->ArgNames({"window"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_FairShareUnderSkew(benchmark::State& state) {
+  const bool fair = state.range(0) != 0;
+  double total_msgs = 0, light_worst_ms = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.network_count = 2;
+    cfg.style = api::ReplicationStyle::kActive;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    cfg.srp.fair_backlog_sharing = fair;
+    cfg.record_payloads = false;
+    SimCluster cluster(cfg);
+
+    Duration worst{0};
+    cluster.set_app_deliver_handler(0, [&](const srp::DeliveredMessage& m) {
+      if (m.payload.size() != 16) return;  // only the light probes
+      ByteReader r(m.payload);
+      if (auto ts = r.u64(); ts.is_ok()) {
+        worst = std::max(
+            worst, Duration{cluster.simulator().now().time_since_epoch().count() -
+                            static_cast<Duration::rep>(ts.value())});
+      }
+    });
+    cluster.start_all();
+
+    // Heavy sender: node 0 only.
+    std::function<void()> refill_heavy = [&] {
+      while (cluster.node(0).ring().send_queue_depth() < 512) {
+        if (!cluster.node(0).send(Bytes(900, std::byte{0x77})).is_ok()) break;
+      }
+      cluster.simulator().schedule(Duration{1'000}, refill_heavy);
+    };
+    refill_heavy();
+    std::function<void(std::size_t)> probe = [&](std::size_t n) {
+      ByteWriter w;
+      w.u64(static_cast<std::uint64_t>(
+          cluster.simulator().now().time_since_epoch().count()));
+      w.raw(Bytes(8, std::byte{0x11}));
+      (void)cluster.node(n).send(w.view());
+      cluster.simulator().schedule(Duration{10'000}, [&probe, n] { probe(n); });
+    };
+    for (std::size_t n = 1; n <= 3; ++n) probe(n);
+
+    cluster.run_for(Duration{200'000});
+    cluster.clear_recordings();
+    worst = Duration{0};
+    cluster.run_for(Duration{1'000'000});
+    total_msgs = static_cast<double>(cluster.delivered_count(0));
+    light_worst_ms = std::chrono::duration<double, std::milli>(worst).count();
+  }
+  state.counters["total_msgs_per_sec"] = total_msgs;
+  state.counters["light_worst_ms"] = light_worst_ms;
+  state.SetLabel(fair ? "fair-share" : "simple-window");
+}
+BENCHMARK(BM_FairShareUnderSkew)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"fair"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Ablation: the RRP token timers.
+//
+// §6 of the paper chose a 10 ms token-buffer timeout for passive
+// replication: "To provide fast recovery from message loss, the timer's
+// timeout must be small." This bench sweeps that timeout (and active
+// replication's copy-collection timeout) under lossy networks and reports
+// throughput and worst-case delivery stall — making the paper's timing
+// choice inspectable.
+#include <benchmark/benchmark.h>
+
+#include "harness/calibration.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+struct StallStats {
+  double msgs_per_sec = 0;
+  double max_stall_ms = 0;  // worst inter-delivery gap at node 0
+};
+
+StallStats run_lossy(api::ReplicationStyle style, Duration timeout, double loss) {
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = style;
+  cfg.net_params = paper_net_params();
+  cfg.net_params.loss_rate = loss;
+  cfg.host_costs = paper_host_costs();
+  apply_paper_srp_costs(cfg.srp);
+  cfg.record_payloads = false;
+  if (style == api::ReplicationStyle::kPassive) {
+    cfg.passive.token_buffer_timeout = timeout;
+  } else {
+    cfg.active.token_timeout = timeout;
+  }
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  SaturationDriver driver(cluster, {.message_size = 1024, .queue_target = 256});
+  driver.start();
+  cluster.run_for(Duration{200'000});
+  cluster.clear_recordings();
+
+  // Sample delivery gaps over one simulated second.
+  const Duration measured{1'000'000};
+  TimePoint last = cluster.simulator().now();
+  Duration max_gap{0};
+  std::uint64_t count = 0;
+  // Re-register a lightweight handler via the recorded deliveries: we use
+  // the recording timestamps instead.
+  cluster.run_for(measured);
+  StallStats out;
+  out.msgs_per_sec = static_cast<double>(cluster.delivered_count(0));
+  for (const auto& d : cluster.deliveries(0)) {
+    (void)count;
+    max_gap = std::max(max_gap, d.when - last);
+    last = d.when;
+  }
+  out.max_stall_ms = std::chrono::duration<double, std::milli>(max_gap).count();
+  return out;
+}
+
+void BM_PassiveTokenBufferTimeout(benchmark::State& state) {
+  const Duration timeout{state.range(0)};
+  StallStats s;
+  for (auto _ : state) {
+    s = run_lossy(api::ReplicationStyle::kPassive, timeout, 0.01);
+  }
+  state.counters["msgs_per_sec"] = s.msgs_per_sec;
+  state.counters["max_stall_ms"] = s.max_stall_ms;
+}
+BENCHMARK(BM_PassiveTokenBufferTimeout)
+    ->Arg(1'000)    // 1 ms
+    ->Arg(5'000)
+    ->Arg(10'000)   // the paper's choice
+    ->Arg(20'000)
+    ->Arg(50'000)
+    ->ArgNames({"timeout_us"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ActiveTokenTimeout(benchmark::State& state) {
+  const Duration timeout{state.range(0)};
+  StallStats s;
+  for (auto _ : state) {
+    s = run_lossy(api::ReplicationStyle::kActive, timeout, 0.01);
+  }
+  state.counters["msgs_per_sec"] = s.msgs_per_sec;
+  state.counters["max_stall_ms"] = s.max_stall_ms;
+}
+BENCHMARK(BM_ActiveTokenTimeout)
+    ->Arg(500)
+    ->Arg(2'000)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"timeout_us"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Active-passive replication sweep (paper §7).
+//
+// The paper implemented active-passive replication but could not evaluate it
+// ("it requires a minimum of three networks and we had only two networks
+// available to us", §8). The simulated substrate has no such constraint:
+// this bench completes the paper's evaluation matrix with N=3 networks,
+// comparing K=2 active-passive against the pure styles, plus a K sweep on
+// N=4 networks. Expected shape: active-passive interpolates — bandwidth
+// cost and loss-masking between passive (K=1-like) and active (K=N).
+#include <benchmark/benchmark.h>
+
+#include "figure_common.h"
+
+namespace totem::harness {
+namespace {
+
+FigurePoint run_ap_point(std::size_t nodes, std::size_t networks, std::uint32_t k,
+                         std::size_t message_size) {
+  ClusterConfig cfg;
+  cfg.node_count = nodes;
+  cfg.network_count = networks;
+  cfg.style = api::ReplicationStyle::kActivePassive;
+  cfg.active_passive.k = k;
+  cfg.net_params = paper_net_params();
+  cfg.host_costs = paper_host_costs();
+  apply_paper_srp_costs(cfg.srp);
+  cfg.record_payloads = false;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  SaturationDriver driver(cluster, {.message_size = message_size, .queue_target = 256});
+  driver.start();
+  cluster.run_for(Duration{200'000});
+  cluster.clear_recordings();
+  const Duration measured{1'000'000};
+  cluster.run_for(measured);
+  const double seconds = std::chrono::duration<double>(measured).count();
+  FigurePoint p;
+  p.msgs_per_sec = static_cast<double>(cluster.delivered_count(0)) / seconds;
+  p.kbytes_per_sec = static_cast<double>(cluster.delivered_bytes(0)) / 1024.0 / seconds;
+  return p;
+}
+
+void BM_ThreeNetworkComparison(benchmark::State& state) {
+  // none / active / passive / active-passive(K=2), all with 3 networks
+  // (style 3 == active-passive handled separately for the K parameter).
+  const auto style = static_cast<api::ReplicationStyle>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  FigurePoint p;
+  for (auto _ : state) {
+    if (style == api::ReplicationStyle::kActivePassive) {
+      p = run_ap_point(4, 3, 2, size);
+    } else {
+      p = run_figure_point(4, style, size, 3);
+    }
+  }
+  state.counters["msgs_per_sec"] = p.msgs_per_sec;
+  state.counters["kbytes_per_sec"] = p.kbytes_per_sec;
+  state.SetLabel(to_string(style));
+}
+BENCHMARK(BM_ThreeNetworkComparison)
+    ->ArgsProduct({{static_cast<int>(api::ReplicationStyle::kNone),
+                    static_cast<int>(api::ReplicationStyle::kActive),
+                    static_cast<int>(api::ReplicationStyle::kPassive),
+                    static_cast<int>(api::ReplicationStyle::kActivePassive)},
+                   {200, 1000, 4000}})
+    ->ArgNames({"style", "msg_len"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_KSweepFourNetworks(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  FigurePoint p;
+  for (auto _ : state) {
+    p = run_ap_point(4, 4, k, 1000);
+  }
+  state.counters["msgs_per_sec"] = p.msgs_per_sec;
+  state.counters["kbytes_per_sec"] = p.kbytes_per_sec;
+}
+BENCHMARK(BM_KSweepFourNetworks)
+    ->Arg(2)
+    ->Arg(3)
+    ->ArgNames({"k"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Failover transparency (paper §1/§3): "The partial or total failure of a
+// network remains transparent to the application processes. The distributed
+// system remains operational while an administrator reacts."
+//
+// This bench kills one network under load and quantifies the transparency:
+//   * throughput_before / throughput_after  (msgs/s at node 0)
+//   * max_stall_ms  — worst application-visible delivery gap across the
+//                     failure instant
+//   * detection_ms  — time until the first administrator alarm
+// Compare with reconfigure_ms for a NODE crash (which legitimately requires
+// a membership change) to see what the redundant networks buy.
+#include <benchmark/benchmark.h>
+
+#include "harness/calibration.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_NetworkFailover(benchmark::State& state) {
+  const auto style = static_cast<api::ReplicationStyle>(state.range(0));
+  double before = 0, after = 0, max_stall = 0, detection = -1;
+
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.network_count = style == api::ReplicationStyle::kActivePassive ? 3 : 2;
+    cfg.style = style;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    cfg.record_payloads = false;
+    SimCluster cluster(cfg);
+    cluster.start_all();
+    SaturationDriver driver(cluster, {.message_size = 1024, .queue_target = 256});
+    driver.start();
+    cluster.run_for(Duration{300'000});
+
+    cluster.clear_recordings();
+    cluster.run_for(Duration{1'000'000});
+    before = static_cast<double>(cluster.delivered_count(0));
+
+    cluster.clear_recordings();
+    const TimePoint failed_at = cluster.simulator().now();
+    cluster.network(0).fail();
+    cluster.run_for(Duration{1'000'000});
+    after = static_cast<double>(cluster.delivered_count(0));
+
+    TimePoint last = failed_at;
+    Duration gap{0};
+    for (const auto& d : cluster.deliveries(0)) {
+      gap = std::max(gap, d.when - last);
+      last = d.when;
+    }
+    max_stall = std::chrono::duration<double, std::milli>(gap).count();
+    if (!cluster.faults().empty()) {
+      detection = std::chrono::duration<double, std::milli>(
+                      cluster.faults().front().report.when - failed_at)
+                      .count();
+    }
+  }
+  state.counters["msgs_before"] = before;
+  state.counters["msgs_after"] = after;
+  state.counters["max_stall_ms"] = max_stall;
+  state.counters["detection_ms"] = detection;
+  state.SetLabel(to_string(style));
+}
+BENCHMARK(BM_NetworkFailover)
+    ->Arg(static_cast<int>(api::ReplicationStyle::kActive))
+    ->Arg(static_cast<int>(api::ReplicationStyle::kPassive))
+    ->Arg(static_cast<int>(api::ReplicationStyle::kActivePassive))
+    ->ArgNames({"style"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_NodeCrashReconfiguration(benchmark::State& state) {
+  // Contrast case: a NODE crash does force a membership change; measure how
+  // long the ring is stalled.
+  double reconfigure_ms = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.network_count = 2;
+    cfg.style = api::ReplicationStyle::kActive;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    cfg.srp.token_loss_timeout = Duration{100'000};
+    cfg.srp.consensus_timeout = Duration{100'000};
+    cfg.record_payloads = false;
+    SimCluster cluster(cfg);
+    cluster.start_all();
+    SaturationDriver driver(cluster, {.message_size = 1024, .queue_target = 256});
+    driver.start();
+    cluster.run_for(Duration{300'000});
+
+    cluster.clear_recordings();
+    const TimePoint crashed_at = cluster.simulator().now();
+    cluster.crash(3);
+    cluster.run_for(Duration{5'000'000});
+    // Stall = gap until the first post-crash delivery at node 0.
+    TimePoint first_after = crashed_at + Duration{5'000'000};
+    for (const auto& d : cluster.deliveries(0)) {
+      if (d.when > crashed_at) {
+        first_after = d.when;
+        break;
+      }
+    }
+    reconfigure_ms =
+        std::chrono::duration<double, std::milli>(first_after - crashed_at).count();
+  }
+  state.counters["reconfigure_ms"] = reconfigure_ms;
+}
+BENCHMARK(BM_NodeCrashReconfiguration)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

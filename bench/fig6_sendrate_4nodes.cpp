@@ -1,0 +1,18 @@
+// Figure 6: Transmission rate of the Totem RRP in msgs/sec for FOUR nodes,
+// as a function of message length, for {no, active, passive} replication.
+//
+// Expected shape (paper §8): passive > none > active across the sweep;
+// packing peaks at 700- and 1400-byte messages; msgs/sec falls roughly
+// inversely with message length once the wire binds.
+#include "figure_common.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_Fig6_SendRate_4Nodes(benchmark::State& state) { figure_bench(state, 4); }
+BENCHMARK(BM_Fig6_SendRate_4Nodes)->Apply(register_figure_args);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+// Figure 7: Transmission rate of the Totem RRP in msgs/sec for SIX nodes.
+// Same sweep as Figure 6 with a larger ring (the paper's second testbed).
+#include "figure_common.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_Fig7_SendRate_6Nodes(benchmark::State& state) { figure_bench(state, 6); }
+BENCHMARK(BM_Fig7_SendRate_6Nodes)->Apply(register_figure_args);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

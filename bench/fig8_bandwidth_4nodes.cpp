@@ -1,0 +1,17 @@
+// Figure 8: Utilized bandwidth of the Totem RRP in Kbytes/sec for FOUR
+// nodes. Same runs as Figure 6 viewed in bandwidth terms: passive exceeds
+// the capacity of a single 100 Mbit/s Ethernet but stays well below 2x
+// (protocol processing becomes the bottleneck); active trails the
+// unreplicated system because every packet costs two network-stack calls.
+#include "figure_common.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_Fig8_Bandwidth_4Nodes(benchmark::State& state) { figure_bench(state, 4); }
+BENCHMARK(BM_Fig8_Bandwidth_4Nodes)->Apply(register_figure_args);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

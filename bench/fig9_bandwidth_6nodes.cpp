@@ -1,0 +1,13 @@
+// Figure 9: Utilized bandwidth of the Totem RRP in Kbytes/sec for SIX nodes.
+#include "figure_common.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_Fig9_Bandwidth_6Nodes(benchmark::State& state) { figure_bench(state, 6); }
+BENCHMARK(BM_Fig9_Bandwidth_6Nodes)->Apply(register_figure_args);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Shared sweep machinery for regenerating the paper's Figures 6-9.
+//
+// Each figure plots total system send rate (msgs/s — Figs. 6/7) or utilized
+// bandwidth (KB/s — Figs. 8/9) against message length for three
+// configurations: no replication, active replication, passive replication,
+// on 4 nodes (Figs. 6/8) or 6 nodes (Figs. 7/9), with 2 networks.
+//
+// As in the paper (§8), every node sends as many messages as the flow
+// control mechanism permits, and the x-axis sweeps message length on a log
+// scale from 100 bytes to 10 Kbytes. The benches report both counters, so
+// the msgs/s figures and the KB/s figures come from the same runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "harness/calibration.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+
+struct FigurePoint {
+  double msgs_per_sec = 0;
+  double kbytes_per_sec = 0;
+  double net0_utilization = 0;
+  double cpu0_utilization = 0;
+};
+
+/// Run one saturated configuration and measure application-visible
+/// throughput over one simulated second (after 200 ms of warm-up).
+inline FigurePoint run_figure_point(std::size_t nodes, api::ReplicationStyle style,
+                                    std::size_t message_size,
+                                    std::size_t network_count = 2) {
+  ClusterConfig cfg;
+  cfg.node_count = nodes;
+  cfg.network_count = style == api::ReplicationStyle::kNone ? 1 : network_count;
+  cfg.style = style;
+  cfg.net_params = paper_net_params();
+  cfg.host_costs = paper_host_costs();
+  apply_paper_srp_costs(cfg.srp);
+  cfg.record_payloads = false;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+
+  SaturationDriver driver(cluster, {.message_size = message_size, .queue_target = 256});
+  driver.start();
+  cluster.run_for(Duration{200'000});
+  cluster.clear_recordings();
+
+  const auto wire_before = cluster.network(0).stats().wire_busy;
+  const auto cpu_before = cluster.host(0).cpu().total_busy();
+  const Duration measured{1'000'000};
+  cluster.run_for(measured);
+  const double seconds = std::chrono::duration<double>(measured).count();
+
+  FigurePoint p;
+  p.msgs_per_sec = static_cast<double>(cluster.delivered_count(0)) / seconds;
+  p.kbytes_per_sec =
+      static_cast<double>(cluster.delivered_bytes(0)) / 1024.0 / seconds;
+  p.net0_utilization =
+      std::chrono::duration<double>(cluster.network(0).stats().wire_busy - wire_before)
+          .count() /
+      seconds;
+  p.cpu0_utilization =
+      std::chrono::duration<double>(cluster.host(0).cpu().total_busy() - cpu_before)
+          .count() /
+      seconds;
+  return p;
+}
+
+/// The paper's x-axis: log-spaced message lengths from 100 B to 10 KB,
+/// including the frame-packing peaks at 700 and 1400 bytes.
+inline const std::vector<std::int64_t>& figure_message_sizes() {
+  static const std::vector<std::int64_t> sizes = {100,  200,  400,  700,  1000,
+                                                  1400, 2000, 4000, 7000, 10000};
+  return sizes;
+}
+
+inline void figure_bench(benchmark::State& state, std::size_t nodes) {
+  const auto style = static_cast<api::ReplicationStyle>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  FigurePoint p;
+  for (auto _ : state) {
+    p = run_figure_point(nodes, style, size);
+  }
+  state.counters["msgs_per_sec"] = p.msgs_per_sec;
+  state.counters["kbytes_per_sec"] = p.kbytes_per_sec;
+  state.counters["net0_util"] = p.net0_utilization;
+  state.counters["cpu0_util"] = p.cpu0_utilization;
+  state.SetLabel(to_string(style));
+}
+
+inline void register_figure_args(benchmark::internal::Benchmark* b) {
+  for (auto style : {api::ReplicationStyle::kNone, api::ReplicationStyle::kActive,
+                     api::ReplicationStyle::kPassive}) {
+    for (auto size : figure_message_sizes()) {
+      b->Args({static_cast<std::int64_t>(style), size});
+    }
+  }
+  b->ArgNames({"style", "msg_len"});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+}
+
+}  // namespace totem::harness

@@ -1,0 +1,62 @@
+// Scalability extension: the paper measured 4 and 6 nodes; the simulated
+// substrate lets us sweep ring size. Expected behaviour: total throughput is
+// nearly flat in ring size (the ring is a shared medium; more nodes only add
+// token hops), while per-node share and token rotation time scale ~1/n and
+// ~n respectively.
+#include <benchmark/benchmark.h>
+
+#include "figure_common.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_RingSizeSweep(benchmark::State& state) {
+  const auto style = static_cast<api::ReplicationStyle>(state.range(0));
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  FigurePoint p;
+  double rotations_per_sec = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = nodes;
+    cfg.network_count = style == api::ReplicationStyle::kNone ? 1 : 2;
+    cfg.style = style;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    cfg.record_payloads = false;
+    SimCluster cluster(cfg);
+    cluster.start_all();
+    SaturationDriver driver(cluster, {.message_size = 1024, .queue_target = 256});
+    driver.start();
+    cluster.run_for(Duration{200'000});
+    cluster.clear_recordings();
+    const auto tokens_before = cluster.node(0).ring().stats().tokens_processed;
+    const Duration measured{1'000'000};
+    cluster.run_for(measured);
+    const double seconds = std::chrono::duration<double>(measured).count();
+    p.msgs_per_sec = static_cast<double>(cluster.delivered_count(0)) / seconds;
+    p.kbytes_per_sec = static_cast<double>(cluster.delivered_bytes(0)) / 1024.0 / seconds;
+    rotations_per_sec =
+        static_cast<double>(cluster.node(0).ring().stats().tokens_processed -
+                            tokens_before) /
+        seconds;
+  }
+  state.counters["msgs_per_sec"] = p.msgs_per_sec;
+  state.counters["rotations_per_sec"] = rotations_per_sec;
+  state.counters["msgs_per_rotation"] =
+      rotations_per_sec > 0 ? p.msgs_per_sec / rotations_per_sec : 0;
+  state.SetLabel(to_string(style));
+}
+BENCHMARK(BM_RingSizeSweep)
+    ->ArgsProduct({{static_cast<int>(api::ReplicationStyle::kNone),
+                    static_cast<int>(api::ReplicationStyle::kActive),
+                    static_cast<int>(api::ReplicationStyle::kPassive)},
+                   {2, 4, 6, 8, 12}})
+    ->ArgNames({"style", "nodes"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// ring_inspector: the observability story — flight recorder + stats.
+//
+// Runs a short scenario (healthy traffic, a network failure, a node crash
+// and reconfiguration) with the TraceRing flight recorder attached to one
+// node, then prints (a) that node's protocol event history around each
+// incident and (b) a full stats snapshot per node — what you would pull off
+// a wedged production system to diagnose it after the fact.
+// Run: ./build/examples/ring_inspector
+#include <cstdio>
+
+#include "api/stats.h"
+#include "common/trace.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+using namespace totem;
+
+int main() {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  cfg.record_payloads = false;
+
+  // Attach the flight recorder to node 1's SRP and RRP before the cluster
+  // builds its nodes: the harness copies cfg per node, so we wire it into
+  // the one node we care about afterwards via the config template instead —
+  // simplest here: record node-agnostic events by giving EVERY node the
+  // same ring (events interleave, which is itself informative).
+  TraceRing blackbox(65536);
+  cfg.srp.trace = &blackbox;
+  cfg.active.trace = &blackbox;
+
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+
+  harness::PeriodicDriver driver(cluster, {.message_size = 256, .rate_per_node = 500});
+  driver.start();
+  cluster.run_for(Duration{300'000});
+
+  std::printf("=== incident 1: network 0 switch dies at t=300ms ===\n");
+  blackbox.clear();
+  cluster.network(0).fail();
+  cluster.run_for(Duration{400'000});
+  int shown = 0;
+  int timer_expiries = 0;
+  for (const auto& r : blackbox.snapshot()) {
+    switch (r.kind) {
+      case TraceKind::kTokenTimerExpired:
+        ++timer_expiries;
+        if (timer_expiries <= 3) {
+          std::printf("  %s\n", to_string(r).c_str());
+          ++shown;
+        }
+        break;
+      case TraceKind::kNetworkFault:
+      case TraceKind::kRetransmitRequested:
+      case TraceKind::kRetransmissionSent:
+      case TraceKind::kTokenRetained:
+      case TraceKind::kTokenLoss:
+        std::printf("  %s\n", to_string(r).c_str());
+        ++shown;
+        break;
+      default:
+        break;
+    }
+    if (shown > 24) break;
+  }
+  std::printf("  (%d RRP token-timer expiries in total while copies were missing)\n",
+              timer_expiries);
+
+  std::printf("\n=== incident 2: node 3 crashes at t=700ms ===\n");
+  cluster.network(0).recover();
+  for (std::size_t i = 0; i < 4; ++i) cluster.node(i).replicator().reset_network(0);
+  blackbox.clear();
+  cluster.crash(3);
+  cluster.run_for(Duration{1'000'000});
+  shown = 0;
+  for (const auto& r : blackbox.snapshot()) {
+    switch (r.kind) {
+      case TraceKind::kTokenLoss:
+      case TraceKind::kStateChange:
+      case TraceKind::kMembershipInstalled:
+      case TraceKind::kNetworkFault:
+        std::printf("  %s\n", to_string(r).c_str());
+        ++shown;
+        break;
+      default:
+        break;
+    }
+    if (shown > 24) break;
+  }
+
+  driver.stop();
+  cluster.run_for(Duration{500'000});
+
+  std::printf("\n=== post-mortem stats snapshots ===\n");
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::printf("%s", api::to_string(api::snapshot(cluster.node(i), {})).c_str());
+  }
+  std::printf("\nblackbox: %zu events captured, %zu overwritten (capacity %zu)\n",
+              blackbox.total_emitted() - blackbox.dropped(), blackbox.dropped(),
+              blackbox.capacity());
+  return 0;
+}

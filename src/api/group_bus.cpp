@@ -1,0 +1,161 @@
+#include "api/group_bus.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace totem::api {
+namespace {
+
+constexpr std::size_t kMaxGroupName = 255;
+
+}  // namespace
+
+GroupBus::GroupBus(Node& node) : node_(node) {
+  node_.set_deliver_handler([this](const srp::DeliveredMessage& m) { on_deliver(m); });
+  node_.set_membership_handler(
+      [this](const srp::MembershipView& v) { on_ring_view(v); });
+}
+
+Bytes GroupBus::encode(Kind kind, const std::string& group, BytesView payload) {
+  ByteWriter w(4 + group.size() + payload.size());
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(static_cast<std::uint8_t>(group.size()));
+  w.raw(to_bytes(group));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Status GroupBus::join(const std::string& group, MessageHandler on_message,
+                      ViewHandler on_view) {
+  if (group.empty() || group.size() > kMaxGroupName) {
+    return Status{StatusCode::kInvalidArgument, "group name must be 1..255 bytes"};
+  }
+  if (local_.count(group) != 0) {
+    return Status{StatusCode::kFailedPrecondition, "already joined " + group};
+  }
+  local_[group] = LocalSub{std::move(on_message), std::move(on_view)};
+  // The join becomes visible (including to ourselves) when the announcement
+  // delivers — totally ordered against all group traffic.
+  return node_.send(encode(Kind::kJoin, group, {}));
+}
+
+Status GroupBus::leave(const std::string& group) {
+  if (local_.count(group) == 0) {
+    return Status{StatusCode::kFailedPrecondition, "not a member of " + group};
+  }
+  return node_.send(encode(Kind::kLeave, group, {}));
+}
+
+Status GroupBus::send(const std::string& group, BytesView payload) {
+  if (group.empty() || group.size() > kMaxGroupName) {
+    return Status{StatusCode::kInvalidArgument, "group name must be 1..255 bytes"};
+  }
+  const Status s = node_.send(encode(Kind::kData, group, payload));
+  if (s.is_ok()) ++stats_.messages_sent;
+  return s;
+}
+
+std::vector<NodeId> GroupBus::group_members(const std::string& group) const {
+  auto it = views_.find(group);
+  if (it == views_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void GroupBus::on_deliver(const srp::DeliveredMessage& m) {
+  ByteReader r(m.payload);
+  auto kind = r.u8();
+  auto name_len = r.u8();
+  if (!kind || !name_len) {
+    ++stats_.malformed_envelopes;
+    return;
+  }
+  auto name = r.raw(name_len.value());
+  if (!name) {
+    ++stats_.malformed_envelopes;
+    return;
+  }
+  const std::string group = totem::to_string(name.value());
+
+  switch (static_cast<Kind>(kind.value())) {
+    case Kind::kData: {
+      auto it = local_.find(group);
+      // Deliver only if we are a member of the group — and our own join has
+      // already delivered (closed-group semantics).
+      auto view_it = views_.find(group);
+      if (it == local_.end() || view_it == views_.end() ||
+          view_it->second.count(node_.id()) == 0) {
+        ++stats_.messages_filtered;
+        return;
+      }
+      ++stats_.messages_delivered;
+      if (it->second.on_message) {
+        const BytesView payload = m.payload.subspan(2 + name_len.value());
+        it->second.on_message(GroupMessage{group, m.origin, m.seq, payload});
+      }
+      return;
+    }
+    case Kind::kJoin:
+      apply_membership(group, m.origin, true);
+      return;
+    case Kind::kLeave:
+      apply_membership(group, m.origin, false);
+      // Our own leave finalizes when it delivers.
+      if (m.origin == node_.id()) local_.erase(group);
+      return;
+  }
+  ++stats_.malformed_envelopes;
+}
+
+void GroupBus::apply_membership(const std::string& group, NodeId node, bool joined) {
+  auto& members = views_[group];
+  const bool changed = joined ? members.insert(node).second : members.erase(node) > 0;
+  if (!changed) return;  // idempotent re-announcements after ring changes
+  if (members.empty()) views_.erase(group);
+  emit_view(group);
+}
+
+void GroupBus::emit_view(const std::string& group) {
+  ++stats_.view_changes;
+  auto it = local_.find(group);
+  if (it == local_.end() || !it->second.on_view) return;
+  GroupView view;
+  view.group = group;
+  view.members = group_members(group);
+  it->second.on_view(view);
+}
+
+void GroupBus::on_ring_view(const srp::MembershipView& view) {
+  ring_members_ = view.members;
+  // Drop group members that fell off the ring (totally ordered at every
+  // survivor: the ring view itself is the synchronization point).
+  for (auto it = views_.begin(); it != views_.end();) {
+    auto& [group, members] = *it;
+    bool changed = false;
+    for (auto m = members.begin(); m != members.end();) {
+      if (std::find(ring_members_.begin(), ring_members_.end(), *m) ==
+          ring_members_.end()) {
+        m = members.erase(m);
+        changed = true;
+      } else {
+        ++m;
+      }
+    }
+    const std::string group_name = group;
+    const bool now_empty = members.empty();
+    if (now_empty) {
+      it = views_.erase(it);
+    } else {
+      ++it;
+    }
+    if (changed) emit_view(group_name);
+  }
+  // Re-announce our memberships so nodes that merged into the ring learn
+  // them (idempotent; totally ordered). Our own state is re-inserted when
+  // the announcements deliver.
+  for (const auto& [group, _] : local_) {
+    (void)node_.send(encode(Kind::kJoin, group, {}));
+  }
+}
+
+}  // namespace totem::api

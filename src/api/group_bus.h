@@ -1,0 +1,104 @@
+// GroupBus: closed process groups multiplexed over one Totem ring — the
+// programming model Totem deployments actually expose to applications
+// (compare Corosync's CPG service, which runs on exactly the Totem SRP/RRP
+// stack this library implements).
+//
+// Every node joins named groups; a message is addressed to a group and
+// delivered — in ring total order — at every node that is a member of that
+// group. Join and leave announcements ride the same totally-ordered stream
+// as data, so every member observes the identical sequence of
+// (view change | message) events per group: the property that makes
+// replicated state machines per group trivially consistent.
+//
+// Ring membership changes compose with group membership: nodes that fall
+// off the ring are removed from every group (with a view change), and after
+// a new ring forms every node re-announces its memberships so a joining
+// node converges to the same views (a simplified CPG sync phase —
+// re-announcements are idempotent and totally ordered).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/node.h"
+
+namespace totem::api {
+
+struct GroupMessage {
+  std::string group;
+  NodeId origin = kInvalidNode;
+  SeqNum seq = 0;       // ring sequence number (total order witness)
+  BytesView payload;    // valid only during the callback
+};
+
+struct GroupView {
+  std::string group;
+  std::vector<NodeId> members;  // sorted
+};
+
+class GroupBus {
+ public:
+  using MessageHandler = std::function<void(const GroupMessage&)>;
+  using ViewHandler = std::function<void(const GroupView&)>;
+
+  /// Takes ownership of `node`'s deliver and membership handlers — do not
+  /// set them yourself after constructing a GroupBus. Call before start().
+  explicit GroupBus(Node& node);
+
+  GroupBus(const GroupBus&) = delete;
+  GroupBus& operator=(const GroupBus&) = delete;
+
+  /// Join `group`: `on_message` receives the group's totally-ordered
+  /// stream; `on_view` (optional) receives membership views. The join takes
+  /// effect when its announcement delivers (totally ordered with traffic).
+  Status join(const std::string& group, MessageHandler on_message,
+              ViewHandler on_view = {});
+
+  /// Leave `group` (announcement is totally ordered too).
+  Status leave(const std::string& group);
+
+  /// Send `payload` to every member of `group`. The sender need not be a
+  /// member (it will not receive the delivery unless it is).
+  Status send(const std::string& group, BytesView payload);
+
+  /// Current (locally known) membership of a group, sorted.
+  [[nodiscard]] std::vector<NodeId> group_members(const std::string& group) const;
+  [[nodiscard]] bool locally_joined(const std::string& group) const {
+    return local_.count(group) != 0;
+  }
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;   // to local handlers
+    std::uint64_t messages_filtered = 0;    // groups we are not in
+    std::uint64_t view_changes = 0;
+    std::uint64_t malformed_envelopes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Kind : std::uint8_t { kData = 1, kJoin = 2, kLeave = 3 };
+
+  struct LocalSub {
+    MessageHandler on_message;
+    ViewHandler on_view;
+  };
+
+  [[nodiscard]] static Bytes encode(Kind kind, const std::string& group,
+                                    BytesView payload);
+  void on_deliver(const srp::DeliveredMessage& m);
+  void on_ring_view(const srp::MembershipView& view);
+  void apply_membership(const std::string& group, NodeId node, bool joined);
+  void emit_view(const std::string& group);
+
+  Node& node_;
+  std::map<std::string, LocalSub> local_;          // groups this node joined
+  std::map<std::string, std::set<NodeId>> views_;  // group -> member nodes
+  std::vector<NodeId> ring_members_;
+  Stats stats_;
+};
+
+}  // namespace totem::api

@@ -1,0 +1,40 @@
+#include "api/node.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "api/validate.h"
+#include "rrp/active_passive_replicator.h"
+#include "rrp/active_replicator.h"
+#include "rrp/null_replicator.h"
+#include "rrp/passive_replicator.h"
+
+namespace totem::api {
+
+Node::Node(TimerService& timers, std::vector<net::Transport*> transports, NodeConfig config,
+           net::CpuCharger* cpu)
+    : style_(config.style) {
+  if (const Status s = validate(config, transports.size()); !s.is_ok()) {
+    throw std::invalid_argument("invalid NodeConfig: " + s.message());
+  }
+  switch (config.style) {
+    case ReplicationStyle::kNone:
+      replicator_ = std::make_unique<rrp::NullReplicator>(*transports.front());
+      break;
+    case ReplicationStyle::kActive:
+      replicator_ = std::make_unique<rrp::ActiveReplicator>(timers, transports,
+                                                            config.active);
+      break;
+    case ReplicationStyle::kPassive:
+      replicator_ = std::make_unique<rrp::PassiveReplicator>(timers, transports,
+                                                             config.passive);
+      break;
+    case ReplicationStyle::kActivePassive:
+      replicator_ = std::make_unique<rrp::ActivePassiveReplicator>(
+          timers, transports, config.active_passive);
+      break;
+  }
+  ring_ = std::make_unique<srp::SingleRing>(timers, *replicator_, config.srp, cpu);
+}
+
+}  // namespace totem::api

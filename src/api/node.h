@@ -1,0 +1,104 @@
+// totem::api::Node — the public facade of the library.
+//
+// One Node per process. Construction wires together the chosen replication
+// style (paper §4), the Totem SRP, and one Transport per redundant network.
+// The application interacts with exactly four things:
+//   * send()                — totally-ordered reliable broadcast
+//   * the deliver handler   — messages arrive in the same order everywhere
+//   * the membership handler— ring membership views (node joins/crashes)
+//   * the fault handler     — network fault alarms (paper §3): the system
+//                             keeps running; an administrator reacts.
+//
+// Quickstart (see examples/quickstart.cpp for the runnable version):
+//
+//   totem::net::Reactor reactor;
+//   auto t0 = UdpTransport::create(reactor, {...network 0...});
+//   auto t1 = UdpTransport::create(reactor, {...network 1...});
+//   totem::api::NodeConfig cfg;
+//   cfg.srp.node_id = my_id;
+//   cfg.srp.initial_members = {0, 1, 2};
+//   cfg.style = totem::api::ReplicationStyle::kActive;
+//   totem::api::Node node(reactor, {t0->get(), t1->get()}, cfg);
+//   node.set_deliver_handler([](const srp::DeliveredMessage& m) { ... });
+//   node.start();
+//   reactor.run();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer_service.h"
+#include "net/transport.h"
+#include "rrp/config.h"
+#include "rrp/replicator.h"
+#include "srp/config.h"
+#include "srp/single_ring.h"
+
+namespace totem::api {
+
+enum class ReplicationStyle {
+  kNone,           // single network (the paper's baseline)
+  kActive,         // §5: every packet on every network
+  kPassive,        // §6: packets round-robin over the networks
+  kActivePassive,  // §7: K of N networks per packet
+};
+
+[[nodiscard]] constexpr const char* to_string(ReplicationStyle s) {
+  switch (s) {
+    case ReplicationStyle::kNone: return "none";
+    case ReplicationStyle::kActive: return "active";
+    case ReplicationStyle::kPassive: return "passive";
+    case ReplicationStyle::kActivePassive: return "active-passive";
+  }
+  return "?";
+}
+
+struct NodeConfig {
+  srp::Config srp;
+  ReplicationStyle style = ReplicationStyle::kActive;
+  rrp::ActiveConfig active;
+  rrp::PassiveConfig passive;
+  rrp::ActivePassiveConfig active_passive;
+};
+
+class Node {
+ public:
+  /// `transports` — one per redundant network, all for the same node id.
+  /// `cpu` — optional simulated-CPU charger (tests/benches only).
+  Node(TimerService& timers, std::vector<net::Transport*> transports, NodeConfig config,
+       net::CpuCharger* cpu = nullptr);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  void set_deliver_handler(srp::SingleRing::DeliverHandler h) {
+    ring_->set_deliver_handler(std::move(h));
+  }
+  void set_membership_handler(srp::SingleRing::MembershipHandler h) {
+    ring_->set_membership_handler(std::move(h));
+  }
+  void set_fault_handler(rrp::Replicator::FaultHandler h) {
+    replicator_->set_fault_handler(std::move(h));
+  }
+
+  /// Begin protocol operation (call after the handlers are set).
+  void start() { ring_->start(); }
+
+  /// Queue `payload` for totally-ordered broadcast to the group.
+  Status send(BytesView payload) { return ring_->send(payload); }
+
+  [[nodiscard]] NodeId id() const { return ring_->node_id(); }
+  [[nodiscard]] srp::SingleRing& ring() { return *ring_; }
+  [[nodiscard]] const srp::SingleRing& ring() const { return *ring_; }
+  [[nodiscard]] rrp::Replicator& replicator() { return *replicator_; }
+  [[nodiscard]] const rrp::Replicator& replicator() const { return *replicator_; }
+  [[nodiscard]] ReplicationStyle style() const { return style_; }
+
+ private:
+  ReplicationStyle style_;
+  std::unique_ptr<rrp::Replicator> replicator_;
+  std::unique_ptr<srp::SingleRing> ring_;
+};
+
+}  // namespace totem::api

@@ -1,0 +1,62 @@
+#include "api/stats.h"
+
+#include <sstream>
+
+namespace totem::api {
+
+StatsSnapshot snapshot(const Node& node,
+                       const std::vector<const net::Transport*>& transports) {
+  StatsSnapshot snap;
+  snap.node = node.id();
+  snap.style = node.style();
+  snap.state = node.ring().state();
+  snap.ring = node.ring().ring();
+  snap.member_count = node.ring().members().size();
+  snap.my_aru = node.ring().my_aru();
+  snap.safe_up_to = node.ring().safe_up_to();
+  snap.send_queue_depth = node.ring().send_queue_depth();
+  snap.srp = node.ring().stats();
+  snap.rrp = node.replicator().stats();
+  for (const net::Transport* t : transports) {
+    NetworkSnapshot ns;
+    ns.network = t->network_id();
+    ns.faulty = node.replicator().network_faulty(t->network_id());
+    ns.transport = t->stats();
+    snap.networks.push_back(ns);
+  }
+  return snap;
+}
+
+std::string to_string(const StatsSnapshot& snap) {
+  std::ostringstream out;
+  out << "node " << snap.node << " [" << to_string(snap.style) << "] state="
+      << srp::to_string(snap.state) << " ring=" << totem::to_string(snap.ring)
+      << " members=" << snap.member_count << "\n";
+  out << "  seq: aru=" << snap.my_aru << " safe=" << snap.safe_up_to
+      << " send_queue=" << snap.send_queue_depth << "\n";
+  out << "  srp: sent=" << snap.srp.messages_sent
+      << " broadcast=" << snap.srp.messages_broadcast
+      << " delivered=" << snap.srp.messages_delivered
+      << " dups=" << snap.srp.duplicates_dropped
+      << " retrans=" << snap.srp.retransmissions_sent
+      << " rtr_req=" << snap.srp.retransmit_requests
+      << " tokens=" << snap.srp.tokens_processed
+      << " token_loss=" << snap.srp.token_loss_events
+      << " stale=" << snap.srp.stale_packets
+      << " malformed=" << snap.srp.malformed_packets
+      << " views=" << snap.srp.membership_changes << "\n";
+  out << "  rrp: fanout=" << snap.rrp.packets_fanned_out
+      << " tokens_up=" << snap.rrp.tokens_delivered_up
+      << " dup_tokens=" << snap.rrp.duplicate_tokens_absorbed
+      << " timer_expiries=" << snap.rrp.token_timer_expiries
+      << " faults=" << snap.rrp.faults_reported << "\n";
+  for (const auto& n : snap.networks) {
+    out << "  net" << static_cast<int>(n.network) << (n.faulty ? " FAULTY" : "        ")
+        << " tx=" << n.transport.packets_sent << "/" << n.transport.bytes_sent << "B"
+        << " rx=" << n.transport.packets_received << "/" << n.transport.bytes_received
+        << "B\n";
+  }
+  return out.str();
+}
+
+}  // namespace totem::api

@@ -1,0 +1,40 @@
+// Introspection: a coherent snapshot of every layer's counters plus a
+// human-readable dump — what an operator's monitoring agent would scrape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/node.h"
+
+namespace totem::api {
+
+struct NetworkSnapshot {
+  NetworkId network = 0;
+  bool faulty = false;
+  net::Transport::Stats transport;
+};
+
+struct StatsSnapshot {
+  NodeId node = kInvalidNode;
+  ReplicationStyle style = ReplicationStyle::kNone;
+  srp::SingleRing::State state = srp::SingleRing::State::kOperational;
+  RingId ring;
+  std::size_t member_count = 0;
+  SeqNum my_aru = 0;
+  SeqNum safe_up_to = 0;
+  std::size_t send_queue_depth = 0;
+  srp::SingleRing::Stats srp;
+  rrp::Replicator::Stats rrp;
+  std::vector<NetworkSnapshot> networks;
+};
+
+/// Capture a snapshot of `node` and its transports (pass the same transport
+/// list the node was constructed with).
+[[nodiscard]] StatsSnapshot snapshot(const Node& node,
+                                     const std::vector<const net::Transport*>& transports);
+
+/// Multi-line human-readable rendering of a snapshot.
+[[nodiscard]] std::string to_string(const StatsSnapshot& snap);
+
+}  // namespace totem::api

@@ -1,0 +1,94 @@
+#include "api/validate.h"
+
+#include <algorithm>
+
+namespace totem::api {
+namespace {
+
+Status invalid(std::string message) {
+  return Status{StatusCode::kInvalidArgument, std::move(message)};
+}
+
+}  // namespace
+
+Status validate(const NodeConfig& config, std::size_t transport_count) {
+  if (transport_count == 0) {
+    return invalid("at least one transport (network) is required");
+  }
+  if (config.srp.node_id == kInvalidNode) {
+    return invalid("node_id must be set");
+  }
+  if (config.srp.initial_members.empty() && config.srp.assume_initial_ring) {
+    return invalid("assume_initial_ring requires initial_members");
+  }
+
+  switch (config.style) {
+    case ReplicationStyle::kNone:
+      // Extra transports would silently go unused — almost certainly a
+      // configuration mistake.
+      if (transport_count != 1) {
+        return invalid("no-replication style uses exactly one transport");
+      }
+      break;
+    case ReplicationStyle::kActive:
+    case ReplicationStyle::kPassive:
+      if (transport_count < 2) {
+        return invalid("network replication requires at least two networks");
+      }
+      break;
+    case ReplicationStyle::kActivePassive:
+      // Paper §7: 1 < K < N, hence N >= 3.
+      if (transport_count < 3) {
+        return invalid("active-passive replication requires at least three networks (§7)");
+      }
+      if (config.active_passive.k <= 1 || config.active_passive.k >= transport_count) {
+        return invalid("active-passive requires 1 < K < N");
+      }
+      break;
+  }
+
+  // Timing sanity.
+  if (config.srp.token_loss_timeout <= Duration::zero()) {
+    return invalid("token_loss_timeout must be positive");
+  }
+  if (config.srp.token_retention_interval <= Duration::zero()) {
+    return invalid("token_retention_interval must be positive");
+  }
+  if (config.srp.token_retention_interval >= config.srp.token_loss_timeout) {
+    return invalid("token retention must fire well before the token-loss timeout");
+  }
+  if (config.style == ReplicationStyle::kPassive &&
+      config.passive.token_buffer_timeout >= config.srp.token_loss_timeout) {
+    return invalid("passive token buffer timeout must be below the token-loss timeout");
+  }
+  if (config.style == ReplicationStyle::kActive &&
+      config.active.token_timeout >= config.srp.token_loss_timeout) {
+    return invalid("active token timeout must be below the token-loss timeout");
+  }
+
+  // Flow control sanity.
+  if (config.srp.window_size == 0 || config.srp.max_messages_per_visit == 0) {
+    return invalid("flow-control window and per-visit cap must be positive");
+  }
+  if (config.srp.max_messages_per_visit > config.srp.window_size) {
+    return invalid("per-visit cap cannot exceed the rotation window");
+  }
+  if (config.srp.rtr_limit == 0) {
+    return invalid("rtr_limit must be positive or retransmission cannot work");
+  }
+  if (config.srp.send_queue_limit == 0) {
+    return invalid("send_queue_limit must be positive");
+  }
+
+  // Monitor sanity.
+  if (config.style == ReplicationStyle::kActive && config.active.problem_threshold == 0) {
+    return invalid("problem_threshold must be positive");
+  }
+  if (config.style == ReplicationStyle::kPassive &&
+      config.passive.imbalance_threshold == 0) {
+    return invalid("imbalance_threshold must be positive");
+  }
+  return Status::ok();
+}
+
+}  // namespace totem::api

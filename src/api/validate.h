@@ -1,0 +1,16 @@
+// Configuration validation: catch misconfigurations at construction time
+// with actionable messages instead of undefined protocol behaviour later.
+#pragma once
+
+#include <cstddef>
+
+#include "api/node.h"
+#include "common/status.h"
+
+namespace totem::api {
+
+/// Validate `config` for a node wired to `transport_count` networks.
+/// Returns the first problem found, or OK.
+[[nodiscard]] Status validate(const NodeConfig& config, std::size_t transport_count);
+
+}  // namespace totem::api

@@ -1,0 +1,131 @@
+// Bounds-checked little-endian byte codec used for all wire formats.
+//
+// Every packet that crosses a network is serialized with ByteWriter and
+// parsed with ByteReader. ByteReader never reads past the buffer: every
+// accessor returns a Result so malformed input from a faulty network is an
+// ordinary, countable event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace totem {
+
+using Bytes = std::vector<std::byte>;
+using BytesView = std::span<const std::byte>;
+
+inline Bytes to_bytes(std::string_view s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+inline std::string to_string(BytesView b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { append(&v, 1); }
+  void u16(std::uint16_t v) { write_le(v); }
+  void u32(std::uint32_t v) { write_le(v); }
+  void u64(std::uint64_t v) { write_le(v); }
+
+  void raw(BytesView data) { append(data.data(), data.size()); }
+
+  /// Length-prefixed (u32) byte string.
+  void blob(BytesView data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Overwrite a previously written u32 at `offset` (used for patching
+  /// counts after the fact, e.g. number of packed messages in a frame).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    std::uint8_t le[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                          static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+    std::memcpy(buf_.data() + offset, le, 4);
+  }
+
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] const Bytes& view() const { return buf_; }
+
+ private:
+  template <typename T>
+  void write_le(T v) {
+    std::uint8_t tmp[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    append(tmp, sizeof(T));
+  }
+
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8() { return read_le<std::uint8_t>(); }
+  [[nodiscard]] Result<std::uint16_t> u16() { return read_le<std::uint16_t>(); }
+  [[nodiscard]] Result<std::uint32_t> u32() { return read_le<std::uint32_t>(); }
+  [[nodiscard]] Result<std::uint64_t> u64() { return read_le<std::uint64_t>(); }
+
+  [[nodiscard]] Result<BytesView> raw(std::size_t n) {
+    if (remaining() < n) return underflow();
+    BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed (u32) byte string, validated against the remaining
+  /// buffer before the span is taken.
+  [[nodiscard]] Result<BytesView> blob() {
+    auto n = u32();
+    if (!n) return n.status();
+    if (remaining() < n.value()) return underflow();
+    return raw(n.value());
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  Result<T> read_le() {
+    if (remaining() < sizeof(T)) return underflow();
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] static Status underflow() {
+    return {StatusCode::kMalformedPacket, "buffer underflow"};
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace totem

@@ -1,0 +1,46 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace totem {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Crc32& Crc32::update(BytesView data) {
+  for (std::byte b : data) {
+    state_ = kTable[(state_ ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (state_ >> 8);
+  }
+  return *this;
+}
+
+Crc32& Crc32::update_zeros(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ = kTable[state_ & 0xFFu] ^ (state_ >> 8);
+  }
+  return *this;
+}
+
+}  // namespace totem

@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3 polynomial) used to checksum every Totem packet.
+//
+// The real protocol relies on the Ethernet frame CRC; our simulated
+// transports carry packets through process memory, so the packet checksum
+// stands in for the link-layer CRC and lets tests inject corruption.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace totem {
+
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+/// Streaming interface: feed data in pieces (used to checksum a packet with
+/// its embedded CRC field treated as zero, without copying the packet).
+class Crc32 {
+ public:
+  Crc32& update(BytesView data);
+  /// Feed `n` zero bytes.
+  Crc32& update_zeros(std::size_t n);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace totem

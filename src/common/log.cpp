@@ -1,0 +1,43 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace totem {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& msg) {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), msg.c_str());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::set_clock(ClockFn clock) { clock_ = std::move(clock); }
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  if (!enabled(level)) return;
+  if (clock_) {
+    const auto us = clock_().time_since_epoch().count();
+    sink_(level, "t=" + std::to_string(us) + "us " + msg);
+  } else {
+    sink_(level, msg);
+  }
+}
+
+}  // namespace totem

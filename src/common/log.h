@@ -1,0 +1,74 @@
+// Minimal leveled logger.
+//
+// Protocol modules log through this sink so tests can capture, silence or
+// assert on log output. The default sink writes to stderr. Logging is
+// intentionally synchronous and allocation-light; the simulator injects the
+// virtual timestamp via set_clock().
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/types.h"
+
+namespace totem {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+  using ClockFn = std::function<TimePoint()>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(Sink sink);
+  void set_clock(ClockFn clock);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  ClockFn clock_;
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::instance().log(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace totem
+
+#define TOTEM_LOG(level)                                  \
+  if (!::totem::Logger::instance().enabled(level)) {      \
+  } else                                                  \
+    ::totem::log_detail::LineBuilder(level)
+
+#define TLOG_TRACE TOTEM_LOG(::totem::LogLevel::kTrace)
+#define TLOG_DEBUG TOTEM_LOG(::totem::LogLevel::kDebug)
+#define TLOG_INFO TOTEM_LOG(::totem::LogLevel::kInfo)
+#define TLOG_WARN TOTEM_LOG(::totem::LogLevel::kWarn)
+#define TLOG_ERROR TOTEM_LOG(::totem::LogLevel::kError)

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// All stochastic behaviour in the simulator (packet loss, latency jitter,
+// fault injection schedules) draws from explicitly seeded Rng instances so
+// that every test and benchmark run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace totem {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    auto next_seed = [&seed] {
+      seed += 0x9E3779B97F4A7C15uLL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9uLL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBuLL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : s_) s = next_seed();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace totem

@@ -1,0 +1,62 @@
+// TimerService: the one clock/timer abstraction the protocol stack uses.
+//
+// The SRP and RRP state machines need "now" and cancellable one-shot timers
+// (token retention, token-loss detection, RRP token timers, monitor decay).
+// Two implementations exist:
+//   * sim::Simulator    — virtual time, deterministic (tests, benches)
+//   * net::Reactor      — real time over poll() (examples, live deployments)
+// Writing the protocol against this interface is what makes the simulated
+// evaluation and the real UDP deployment run the exact same protocol code.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/types.h"
+
+namespace totem {
+
+namespace detail {
+struct TimerState {
+  bool cancelled = false;
+  bool fired = false;
+};
+}  // namespace detail
+
+/// RAII-ish handle to a scheduled timer. Copyable (shared ownership of the
+/// cancellation flag); cancel() is idempotent and safe after firing.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  explicit TimerHandle(std::shared_ptr<detail::TimerState> state)
+      : state_(std::move(state)) {}
+
+  void cancel() {
+    if (state_) state_->cancelled = true;
+  }
+
+  /// True if the timer is scheduled and has neither fired nor been cancelled.
+  [[nodiscard]] bool active() const {
+    return state_ && !state_->cancelled && !state_->fired;
+  }
+
+ private:
+  std::shared_ptr<detail::TimerState> state_;
+};
+
+class TimerService {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~TimerService() = default;
+
+  /// Current time. Virtual in the simulator, monotonic wall time in the
+  /// reactor.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Run `cb` once after `delay`. The returned handle may be used to cancel.
+  virtual TimerHandle schedule(Duration delay, Callback cb) = 0;
+};
+
+}  // namespace totem

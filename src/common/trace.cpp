@@ -1,0 +1,84 @@
+#include "common/trace.h"
+
+#include <sstream>
+
+namespace totem {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTokenReceived: return "token-received";
+    case TraceKind::kTokenForwarded: return "token-forwarded";
+    case TraceKind::kTokenRetained: return "token-retained-resend";
+    case TraceKind::kTokenLoss: return "token-loss";
+    case TraceKind::kMessageBroadcast: return "message-broadcast";
+    case TraceKind::kMessageDelivered: return "message-delivered";
+    case TraceKind::kRetransmissionSent: return "retransmission-sent";
+    case TraceKind::kRetransmitRequested: return "retransmit-requested";
+    case TraceKind::kStateChange: return "state-change";
+    case TraceKind::kMembershipInstalled: return "membership-installed";
+    case TraceKind::kSafeAdvanced: return "safe-advanced";
+    case TraceKind::kTokenTimerExpired: return "rrp-token-timer-expired";
+    case TraceKind::kDuplicateTokenAbsorbed: return "rrp-duplicate-token";
+    case TraceKind::kNetworkFault: return "rrp-network-fault";
+  }
+  return "?";
+}
+
+std::string to_string(const TraceRecord& record) {
+  std::ostringstream out;
+  out << "t=" << record.at.time_since_epoch().count() << "us "
+      << to_string(record.kind);
+  switch (record.kind) {
+    case TraceKind::kTokenReceived:
+      out << " rotation=" << record.a << " seq=" << record.b;
+      break;
+    case TraceKind::kTokenForwarded:
+    case TraceKind::kTokenRetained:
+      out << " to=" << record.a << " seq=" << record.b;
+      break;
+    case TraceKind::kMessageBroadcast:
+      out << " first_seq=" << record.a << " count=" << record.b;
+      break;
+    case TraceKind::kMessageDelivered:
+      out << " origin=" << record.a << " seq=" << record.b;
+      break;
+    case TraceKind::kRetransmissionSent:
+      out << " count=" << record.a;
+      break;
+    case TraceKind::kRetransmitRequested:
+      out << " first_missing=" << record.a << " added=" << record.b;
+      break;
+    case TraceKind::kStateChange:
+      out << " state=" << record.a;
+      break;
+    case TraceKind::kMembershipInstalled:
+      out << " ring=" << record.a << ":" << record.b;
+      break;
+    case TraceKind::kSafeAdvanced:
+      out << " safe=" << record.a;
+      break;
+    case TraceKind::kNetworkFault:
+      out << " network=" << record.a << " reason=" << record.b;
+      break;
+    case TraceKind::kTokenTimerExpired:
+    case TraceKind::kDuplicateTokenAbsorbed:
+      out << " network=" << record.a;
+      break;
+    case TraceKind::kTokenLoss:
+      break;
+  }
+  return out.str();
+}
+
+std::string TraceRing::to_string() const {
+  std::ostringstream out;
+  for (const auto& r : snapshot()) {
+    out << totem::to_string(r) << "\n";
+  }
+  if (dropped() > 0) {
+    out << "(" << dropped() << " older events overwritten)\n";
+  }
+  return out.str();
+}
+
+}  // namespace totem

@@ -1,0 +1,85 @@
+// TraceRing: a fixed-capacity in-memory flight recorder for protocol events
+// (the "blackbox" every production group-communication system grows — when
+// a ring misbehaves in the field, the last few thousand protocol events
+// matter more than any log line).
+//
+// Recording is allocation-free after construction and cheap enough to leave
+// on: one array store per event. Attach a TraceRing via srp::Config::trace
+// and/or the rrp::*Config::trace pointers; snapshot() / to_string() render
+// the history oldest-first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace totem {
+
+enum class TraceKind : std::uint8_t {
+  kTokenReceived = 1,   // a = rotation, b = seq
+  kTokenForwarded,      // a = successor node, b = seq
+  kTokenRetained,       // a = successor node, b = seq (retention resend)
+  kTokenLoss,           // token-loss timeout fired
+  kMessageBroadcast,    // a = first seq, b = count
+  kMessageDelivered,    // a = origin, b = seq
+  kRetransmissionSent,  // a = count
+  kRetransmitRequested, // a = first missing seq, b = count added
+  kStateChange,         // a = new srp state
+  kMembershipInstalled, // a = ring representative, b = ring seq
+  kSafeAdvanced,        // a = safe seq
+  kTokenTimerExpired,   // RRP copy-collection / buffer timer (a = network... 0)
+  kDuplicateTokenAbsorbed,  // a = network
+  kNetworkFault,        // a = network, b = reason enum
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  TimePoint at{};
+  TraceKind kind{};
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096)
+      : records_(capacity > 0 ? capacity : 1) {}
+
+  void emit(TimePoint at, TraceKind kind, std::uint64_t a = 0, std::uint64_t b = 0) {
+    records_[next_ % records_.size()] = TraceRecord{at, kind, a, b};
+    ++next_;
+  }
+
+  /// Events currently held, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+    std::vector<TraceRecord> out;
+    const std::size_t n = std::min(next_, records_.size());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(records_[(next_ - n + i) % records_.size()]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t total_emitted() const { return next_; }
+  [[nodiscard]] std::size_t dropped() const {
+    return next_ > records_.size() ? next_ - records_.size() : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const { return records_.size(); }
+
+  void clear() { next_ = 0; }
+
+  /// Multi-line human-readable dump, oldest first.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t next_ = 0;
+};
+
+[[nodiscard]] std::string to_string(const TraceRecord& record);
+
+}  // namespace totem

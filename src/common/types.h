@@ -1,0 +1,59 @@
+// Fundamental identifier and time types shared by every Totem module.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace totem {
+
+/// Identifies a node (processor) in the system. The Totem papers identify
+/// nodes by IP address; we use a small integer that maps to an endpoint in
+/// the transport layer. Lower ids win representative elections, mirroring
+/// Totem's "lowest ring id" rule.
+using NodeId = std::uint32_t;
+
+/// Identifies one of the N redundant networks (0-based index).
+using NetworkId = std::uint8_t;
+
+/// Global message sequence number stamped by the token holder. 64-bit so it
+/// never wraps in practice (the original protocol handled 32-bit wraparound;
+/// we document the simplification in DESIGN.md).
+using SeqNum = std::uint64_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr SeqNum kInvalidSeq = std::numeric_limits<SeqNum>::max();
+
+/// Identifies a ring incarnation. A new ring id is generated each time the
+/// membership protocol forms a new ring: the representative's node id plus a
+/// monotonically increasing sequence (always advanced by at least 4 per the
+/// Totem SRP so that concurrently formed rings never collide).
+struct RingId {
+  NodeId representative = kInvalidNode;
+  std::uint64_t ring_seq = 0;
+
+  friend auto operator<=>(const RingId&, const RingId&) = default;
+};
+
+/// Virtual (simulated) or real time. All protocol code is written against
+/// this one representation so it runs unchanged on the simulator and on the
+/// real-time reactor.
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+inline std::string to_string(const RingId& rid) {
+  return std::to_string(rid.representative) + ":" + std::to_string(rid.ring_seq);
+}
+
+}  // namespace totem
+
+template <>
+struct std::hash<totem::RingId> {
+  std::size_t operator()(const totem::RingId& r) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(r.representative) << 32) ^
+                                      r.ring_seq);
+  }
+};

@@ -1,0 +1,58 @@
+// Calibration of the simulated substrate to the paper's testbed.
+//
+// The paper's evaluation (§8) ran on Pentium II 450 MHz / Pentium III
+// 900 MHz-1 GHz workstations with 3Com 100 Mbit/s NICs under Linux 2.2.
+// These constants set the simulated per-packet/per-message CPU costs so the
+// headline anchor holds: an UNREPLICATED 4-node ring delivers ≈9,000 1-KB
+// msgs/s — ~90% utilization of a 100 Mbit/s Ethernet (paper §2) — and the
+// qualitative ordering of Figures 6-9 follows from the model:
+//   * active replication doubles network-stack calls  => CPU-bound, slower;
+//   * passive replication doubles wire capacity but protocol processing
+//     becomes the bottleneck                           => faster, but < 2x.
+#pragma once
+
+#include "net/sim_network.h"
+#include "srp/config.h"
+#include "srp/wire.h"
+
+namespace totem::harness {
+
+/// Per-packet network stack traversal costs (sendto()/recvfrom() on the
+/// paper's hosts and kernel).
+[[nodiscard]] inline net::HostCostModel paper_host_costs() {
+  net::HostCostModel costs;
+  costs.send_packet_cost = Duration{20};
+  costs.recv_packet_cost = Duration{34};
+  costs.send_byte_cost_us = 0.007;
+  costs.recv_byte_cost_us = 0.008;
+  return costs;
+}
+
+/// Per-protocol-unit processing costs (ordering, dedup, delivery, token
+/// handling) charged by the SRP to the host CPU. The paper names exactly
+/// this processing — "detecting and retransmitting missing messages,
+/// imposing a total order on the messages, and updating liveness
+/// information" — as what caps passive replication below 2x (§8).
+inline void apply_paper_srp_costs(srp::Config& config) {
+  config.per_msg_send_cost = Duration{10};
+  config.per_msg_recv_cost = Duration{28};
+  config.per_token_cost = Duration{12};
+}
+
+/// Network parameters matching the paper's framing math: the 94 bytes of
+/// Ethernet+IP+UDP+Totem headers are split between our 22-byte packet
+/// header (already inside the packet bytes) and 72 bytes of modeled frame
+/// overhead; the frame payload limit is the paper's 1424-byte Totem body
+/// plus our header.
+[[nodiscard]] inline net::SimNetwork::Params paper_net_params() {
+  net::SimNetwork::Params params;
+  params.bandwidth_mbps = 100.0;
+  params.base_latency = Duration{6};
+  params.latency_jitter = Duration{3};
+  params.frame_overhead = 94 - static_cast<std::uint32_t>(srp::wire::kPacketHeaderSize);
+  params.max_frame_payload =
+      1424 + static_cast<std::uint32_t>(srp::wire::kPacketHeaderSize);
+  return params;
+}
+
+}  // namespace totem::harness

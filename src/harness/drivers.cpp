@@ -1,0 +1,52 @@
+#include "harness/drivers.h"
+
+#include <algorithm>
+
+namespace totem::harness {
+
+SaturationDriver::SaturationDriver(SimCluster& cluster, Params params)
+    : cluster_(cluster), params_(params) {
+  payload_.assign(params_.message_size, std::byte{0xAB});
+}
+
+void SaturationDriver::start() {
+  running_ = true;
+  for (std::size_t i = 0; i < cluster_.node_count(); ++i) {
+    refill(i);
+  }
+}
+
+void SaturationDriver::refill(std::size_t node_index) {
+  if (!running_) return;
+  auto& ring = cluster_.node(node_index).ring();
+  while (ring.send_queue_depth() < params_.queue_target) {
+    if (!cluster_.node(node_index).send(payload_).is_ok()) break;
+    ++offered_;
+  }
+  cluster_.simulator().schedule(params_.refill_interval,
+                                [this, node_index] { refill(node_index); });
+}
+
+PeriodicDriver::PeriodicDriver(SimCluster& cluster, Params params)
+    : cluster_(cluster), params_(params) {
+  payload_.assign(params_.message_size, std::byte{0xCD});
+  const double us = 1e6 / std::max(params_.rate_per_node, 1e-6);
+  interval_ = Duration{static_cast<Duration::rep>(std::max(us, 1.0))};
+}
+
+void PeriodicDriver::start() {
+  running_ = true;
+  for (std::size_t i = 0; i < cluster_.node_count(); ++i) {
+    tick(i);
+  }
+}
+
+void PeriodicDriver::tick(std::size_t node_index) {
+  if (!running_) return;
+  if (cluster_.node(node_index).send(payload_).is_ok()) {
+    ++offered_;
+  }
+  cluster_.simulator().schedule(interval_, [this, node_index] { tick(node_index); });
+}
+
+}  // namespace totem::harness

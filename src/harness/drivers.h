@@ -1,0 +1,64 @@
+// Workload drivers for the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+
+/// Saturation workload: keep every node's send queue topped up so the ring
+/// runs as fast as the flow-control mechanism permits — the workload of the
+/// paper's evaluation ("every node sent as many messages as the Totem flow
+/// control mechanism permitted", §8).
+class SaturationDriver {
+ public:
+  struct Params {
+    std::size_t message_size = 1024;
+    std::size_t queue_target = 256;  // entries to keep queued per node
+    Duration refill_interval{1'000};
+  };
+
+  SaturationDriver(SimCluster& cluster, Params params);
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t messages_offered() const { return offered_; }
+
+ private:
+  void refill(std::size_t node_index);
+
+  SimCluster& cluster_;
+  Params params_;
+  Bytes payload_;
+  bool running_ = false;
+  std::uint64_t offered_ = 0;
+};
+
+/// Fixed-rate workload: each node sends `rate_per_node` messages/sec.
+class PeriodicDriver {
+ public:
+  struct Params {
+    std::size_t message_size = 256;
+    double rate_per_node = 100.0;  // messages per second per node
+  };
+
+  PeriodicDriver(SimCluster& cluster, Params params);
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t messages_offered() const { return offered_; }
+
+ private:
+  void tick(std::size_t node_index);
+
+  SimCluster& cluster_;
+  Params params_;
+  Bytes payload_;
+  Duration interval_;
+  bool running_ = false;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace totem::harness

@@ -1,0 +1,103 @@
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+
+SimCluster::SimCluster(ClusterConfig config)
+    : config_(std::move(config)), sim_(config_.seed) {
+  app_deliver_.resize(config_.node_count);
+  deliveries_.resize(config_.node_count);
+  views_.resize(config_.node_count);
+  delivered_count_.assign(config_.node_count, 0);
+  delivered_bytes_.assign(config_.node_count, 0);
+
+  for (std::size_t n = 0; n < config_.network_count; ++n) {
+    networks_.push_back(std::make_unique<net::SimNetwork>(
+        sim_, static_cast<NetworkId>(n), config_.net_params));
+  }
+
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    members.push_back(static_cast<NodeId>(i));
+  }
+
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    hosts_.push_back(std::make_unique<net::SimHost>(sim_, static_cast<NodeId>(i),
+                                                    config_.host_costs));
+    std::vector<net::Transport*> transports;
+    const std::size_t nets =
+        config_.style == api::ReplicationStyle::kNone ? 1 : config_.network_count;
+    for (std::size_t n = 0; n < nets; ++n) {
+      transports.push_back(&networks_[n]->attach(*hosts_[i]));
+    }
+
+    api::NodeConfig nc;
+    nc.srp = config_.srp;
+    nc.srp.node_id = static_cast<NodeId>(i);
+    nc.srp.initial_members = members;
+    nc.style = config_.style;
+    nc.active = config_.active;
+    nc.passive = config_.passive;
+    nc.active_passive = config_.active_passive;
+
+    nodes_.push_back(std::make_unique<api::Node>(sim_, transports, nc, hosts_[i].get()));
+
+    const NodeId id = static_cast<NodeId>(i);
+    nodes_[i]->set_deliver_handler([this, id](const srp::DeliveredMessage& m) {
+      ++delivered_count_[id];
+      delivered_bytes_[id] += m.payload.size();
+      RecordedDelivery d;
+      d.origin = m.origin;
+      d.seq = m.seq;
+      d.payload_size = m.payload.size();
+      d.recovered = m.recovered;
+      d.when = sim_.now();
+      if (config_.record_payloads) {
+        d.payload.assign(m.payload.begin(), m.payload.end());
+      }
+      deliveries_[id].push_back(std::move(d));
+      if (app_deliver_[id]) app_deliver_[id](m);
+    });
+    nodes_[i]->set_membership_handler([this, id](const srp::MembershipView& v) {
+      views_[id].push_back(RecordedView{v, sim_.now()});
+    });
+    nodes_[i]->set_fault_handler([this, id](const rrp::NetworkFaultReport& r) {
+      faults_.push_back(RecordedFault{r, id});
+    });
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::start_all() {
+  for (auto& n : nodes_) n->start();
+}
+
+void SimCluster::crash(NodeId node) {
+  for (auto& net : networks_) {
+    net->set_send_fault(node, true);
+    net->set_recv_fault(node, true);
+  }
+}
+
+void SimCluster::reconnect(NodeId node) {
+  for (auto& net : networks_) {
+    net->set_send_fault(node, false);
+    net->set_recv_fault(node, false);
+  }
+}
+
+std::uint64_t SimCluster::total_delivered() const {
+  std::uint64_t total = 0;
+  for (auto c : delivered_count_) total += c;
+  return total;
+}
+
+void SimCluster::clear_recordings() {
+  for (auto& d : deliveries_) d.clear();
+  for (auto& v : views_) v.clear();
+  faults_.clear();
+  delivered_count_.assign(delivered_count_.size(), 0);
+  delivered_bytes_.assign(delivered_bytes_.size(), 0);
+}
+
+}  // namespace totem::harness

@@ -1,0 +1,131 @@
+// SimCluster: M nodes x N simulated networks, fully wired.
+//
+// The shared fixture for integration tests, property tests and every
+// benchmark: builds hosts, networks and api::Nodes inside one deterministic
+// simulator, records everything the application layer observes (deliveries,
+// membership views, network fault reports), and exposes the fault-injection
+// controls of the underlying networks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/node.h"
+#include "net/sim_network.h"
+#include "rrp/replicator.h"
+#include "sim/simulator.h"
+#include "srp/single_ring.h"
+
+namespace totem::harness {
+
+struct ClusterConfig {
+  std::size_t node_count = 4;
+  std::size_t network_count = 2;
+  api::ReplicationStyle style = api::ReplicationStyle::kActive;
+  std::uint64_t seed = 1;
+
+  net::SimNetwork::Params net_params;  // applied to every network
+  net::HostCostModel host_costs;
+
+  /// Template for every node's SRP config; node_id and initial_members are
+  /// filled in per node (ids 0..node_count-1).
+  srp::Config srp;
+  rrp::ActiveConfig active;
+  rrp::PassiveConfig passive;
+  rrp::ActivePassiveConfig active_passive;
+
+  /// Record every delivery's payload (disable for throughput benches to
+  /// keep memory flat; counters still accumulate).
+  bool record_payloads = true;
+};
+
+struct RecordedDelivery {
+  NodeId origin = kInvalidNode;
+  SeqNum seq = 0;
+  Bytes payload;  // empty when record_payloads is off
+  std::size_t payload_size = 0;
+  bool recovered = false;
+  TimePoint when{};
+};
+
+struct RecordedView {
+  srp::MembershipView view;
+  TimePoint when{};
+};
+
+struct RecordedFault {
+  rrp::NetworkFaultReport report;
+  NodeId at = kInvalidNode;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterConfig config);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Start every node (the representative injects the first token).
+  void start_all();
+  /// Start one node (for staggered-join scenarios).
+  void start(std::size_t i) { nodes_[i]->start(); }
+
+  /// Crash a node: it can no longer send or receive on any network. (Its
+  /// timers keep firing — it will eventually form a singleton ring — but it
+  /// is invisible to the survivors, exactly like a crashed process.)
+  void crash(NodeId node);
+  /// Undo crash(): reconnect the node's NICs (it will rejoin via Gather).
+  void reconnect(NodeId node);
+  void run_for(Duration d) { sim_.run_for(d); }
+  void run_until(TimePoint t) { sim_.run_until(t); }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::SimNetwork& network(std::size_t i) { return *networks_[i]; }
+  [[nodiscard]] net::SimHost& host(std::size_t i) { return *hosts_[i]; }
+  [[nodiscard]] api::Node& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t network_count() const { return networks_.size(); }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  // ---- recorded observations ----
+  [[nodiscard]] const std::vector<RecordedDelivery>& deliveries(NodeId at) const {
+    return deliveries_[at];
+  }
+  [[nodiscard]] const std::vector<RecordedView>& views(NodeId at) const {
+    return views_[at];
+  }
+  [[nodiscard]] const std::vector<RecordedFault>& faults() const { return faults_; }
+  [[nodiscard]] std::uint64_t delivered_count(NodeId at) const {
+    return delivered_count_[at];
+  }
+  [[nodiscard]] std::uint64_t delivered_bytes(NodeId at) const {
+    return delivered_bytes_[at];
+  }
+  /// Sum of per-node delivery counters.
+  [[nodiscard]] std::uint64_t total_delivered() const;
+
+  void clear_recordings();
+
+  /// Attach an application-level deliver handler WITHOUT disabling the
+  /// cluster's own recording (the recording handler chains into this).
+  void set_app_deliver_handler(NodeId at, srp::SingleRing::DeliverHandler h) {
+    app_deliver_[at] = std::move(h);
+  }
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<net::SimNetwork>> networks_;
+  std::vector<std::unique_ptr<net::SimHost>> hosts_;
+  std::vector<std::unique_ptr<api::Node>> nodes_;
+
+  std::vector<srp::SingleRing::DeliverHandler> app_deliver_;
+  std::vector<std::vector<RecordedDelivery>> deliveries_;
+  std::vector<std::vector<RecordedView>> views_;
+  std::vector<RecordedFault> faults_;
+  std::vector<std::uint64_t> delivered_count_;
+  std::vector<std::uint64_t> delivered_bytes_;
+};
+
+}  // namespace totem::harness

@@ -1,0 +1,80 @@
+#include "net/reactor.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace totem::net {
+
+Reactor::Reactor() = default;
+
+TimePoint Reactor::now() const {
+  return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
+}
+
+TimerHandle Reactor::schedule(Duration delay, Callback cb) {
+  auto state = std::make_shared<detail::TimerState>();
+  timers_.push(PendingTimer{now() + delay, next_seq_++, std::move(cb), state});
+  return TimerHandle{state};
+}
+
+void Reactor::register_fd(int fd, std::function<void()> on_readable) {
+  fds_[fd] = std::move(on_readable);
+}
+
+void Reactor::unregister_fd(int fd) { fds_.erase(fd); }
+
+Duration Reactor::until_next_timer(Duration cap) const {
+  if (timers_.empty()) return cap;
+  const Duration d = timers_.top().at - now();
+  return std::clamp(d, Duration{0}, cap);
+}
+
+void Reactor::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().at <= now()) {
+    PendingTimer t = timers_.top();
+    timers_.pop();
+    if (t.state->cancelled) continue;
+    t.state->fired = true;
+    t.fn();
+  }
+}
+
+void Reactor::poll_once(Duration max_wait) {
+  const Duration wait = until_next_timer(max_wait);
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, _] : fds_) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  const int timeout_ms =
+      static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(wait).count());
+  const int rc = ::poll(pfds.data(), pfds.size(), std::max(timeout_ms, 0));
+  if (rc > 0) {
+    for (const auto& p : pfds) {
+      if ((p.revents & POLLIN) == 0) continue;
+      // The handler may unregister fds; look it up fresh.
+      auto it = fds_.find(p.fd);
+      if (it != fds_.end()) it->second();
+    }
+  }
+  fire_due_timers();
+}
+
+void Reactor::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    poll_once(Duration{100'000});  // 100 ms cap keeps stop() responsive
+  }
+}
+
+void Reactor::run_for(Duration d) {
+  stopped_ = false;
+  const TimePoint deadline = now() + d;
+  while (!stopped_ && now() < deadline) {
+    poll_once(std::min(Duration{100'000}, deadline - now()));
+  }
+}
+
+}  // namespace totem::net

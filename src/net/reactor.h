@@ -1,0 +1,63 @@
+// Reactor: single-threaded poll()-based event loop with a timer heap.
+//
+// Real-time counterpart of sim::Simulator — implements the same TimerService
+// interface and additionally dispatches socket readability, so the protocol
+// stack runs unchanged over real UDP (see net::UdpTransport).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/timer_service.h"
+#include "common/types.h"
+
+namespace totem::net {
+
+class Reactor : public TimerService {
+ public:
+  Reactor();
+
+  [[nodiscard]] TimePoint now() const override;
+  TimerHandle schedule(Duration delay, Callback cb) override;
+
+  /// Invoke `on_readable` whenever `fd` becomes readable.
+  void register_fd(int fd, std::function<void()> on_readable);
+  void unregister_fd(int fd);
+
+  /// Run until stop() is called.
+  void run();
+  /// Run for (approximately) the given wall duration.
+  void run_for(Duration d);
+  /// One poll round: waits at most `max_wait` (clipped to the next timer
+  /// deadline), dispatches ready fds and due timers.
+  void poll_once(Duration max_wait);
+  void stop() { stopped_ = true; }
+
+ private:
+  void fire_due_timers();
+  [[nodiscard]] Duration until_next_timer(Duration cap) const;
+
+  struct PendingTimer {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<detail::TimerState> state;
+  };
+  struct Later {
+    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>, Later> timers_;
+  std::map<int, std::function<void()>> fds_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace totem::net

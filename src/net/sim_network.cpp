@@ -1,0 +1,207 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace totem::net {
+
+SimNetwork::SimNetwork(sim::Simulator& simulator, NetworkId id, Params params)
+    : sim_(simulator), id_(id), params_(params) {}
+
+SimNetwork::SimNetwork(sim::Simulator& simulator, NetworkId id)
+    : SimNetwork(simulator, id, Params{}) {}
+
+SimNetwork::~SimNetwork() = default;
+
+SimTransport& SimNetwork::attach(SimHost& host) {
+  assert(by_node_.find(host.id()) == by_node_.end() && "node already attached");
+  endpoints_.push_back(std::make_unique<SimTransport>(*this, host));
+  SimTransport& t = *endpoints_.back();
+  by_node_[host.id()] = &t;
+  return t;
+}
+
+void SimNetwork::set_send_fault(NodeId n, bool faulty) { send_fault_[n] = faulty; }
+void SimNetwork::set_recv_fault(NodeId n, bool faulty) { recv_fault_[n] = faulty; }
+
+void SimNetwork::set_link_loss(NodeId src, NodeId dst, std::optional<double> p) {
+  if (p) {
+    link_loss_[{src, dst}] = *p;
+  } else {
+    link_loss_.erase({src, dst});
+  }
+}
+
+void SimNetwork::set_partition(std::vector<std::vector<NodeId>> groups) {
+  group_of_.clear();
+  int g = 0;
+  for (const auto& group : groups) {
+    for (NodeId n : group) group_of_[n] = g;
+    ++g;
+  }
+}
+
+bool SimNetwork::same_partition(NodeId a, NodeId b) const {
+  if (group_of_.empty()) return true;
+  auto ia = group_of_.find(a);
+  auto ib = group_of_.find(b);
+  // Nodes not mentioned in any group are isolated.
+  if (ia == group_of_.end() || ib == group_of_.end()) return false;
+  return ia->second == ib->second;
+}
+
+std::uint64_t SimNetwork::wire_size(std::size_t payload) const {
+  const std::uint64_t frames =
+      std::max<std::uint64_t>(1, (payload + params_.max_frame_payload - 1) /
+                                     params_.max_frame_payload);
+  return payload + frames * params_.frame_overhead;
+}
+
+Duration SimNetwork::transmission_time(std::size_t payload) const {
+  const double bits = static_cast<double>(wire_size(payload)) * 8.0;
+  const double us = bits / params_.bandwidth_mbps;  // Mbit/s == bit/us
+  return Duration(static_cast<Duration::rep>(std::ceil(us)));
+}
+
+void SimNetwork::record_capture(NodeId src, std::optional<NodeId> dst, std::size_t size,
+                                CapturedPacket::Verdict verdict) {
+  if (!capture_enabled_) return;
+  if (capture_.size() >= capture_capacity_) {
+    capture_.pop_front();
+    ++capture_dropped_;
+  }
+  CapturedPacket c;
+  c.at = sim_.now();
+  c.src = src;
+  c.dst = dst.value_or(kInvalidNode);
+  c.size = static_cast<std::uint32_t>(size);
+  c.verdict = verdict;
+  capture_.push_back(c);
+}
+
+void SimNetwork::submit(SimTransport& from, BytesView packet, std::optional<NodeId> dest) {
+  const NodeId src = from.host_.id();
+  ++stats_.packets_sent;
+  ++from.stats_.packets_sent;
+  from.stats_.bytes_sent += packet.size();
+
+  // The sender's network-stack traversal costs CPU whether or not the
+  // packet makes it onto the wire: the sendto() call still executes. This
+  // per-call cost is the mechanism behind the paper's finding that active
+  // replication loses throughput by "doubling the number of calls to the
+  // network protocol stack" (§8).
+  const auto& costs = from.host_.costs();
+  const auto send_cost =
+      costs.send_packet_cost +
+      Duration(static_cast<Duration::rep>(packet.size() * costs.send_byte_cost_us));
+  const TimePoint cpu_done = from.host_.cpu().acquire(sim_.now(), send_cost);
+
+  if (failed_) {
+    ++stats_.dropped_fault;
+    record_capture(src, dest, packet.size(), CapturedPacket::Verdict::kDroppedFailed);
+    return;
+  }
+  if (auto it = send_fault_.find(src); it != send_fault_.end() && it->second) {
+    ++stats_.dropped_fault;
+    record_capture(src, dest, packet.size(), CapturedPacket::Verdict::kDroppedFailed);
+    return;
+  }
+
+  // One transmission serves all receivers (true Ethernet broadcast): the
+  // wire serializes whole frames at line rate.
+  const TimePoint wire_start = std::max(cpu_done, wire_busy_until_);
+  const Duration tx = transmission_time(packet.size());
+  wire_busy_until_ = wire_start + tx;
+  stats_.wire_bytes += wire_size(packet.size());
+  stats_.wire_busy += tx;
+  const TimePoint wire_done = wire_busy_until_;
+
+  record_capture(src, dest, packet.size(), CapturedPacket::Verdict::kSent);
+  auto data = std::make_shared<Bytes>(packet.begin(), packet.end());
+  if (dest) {
+    auto it = by_node_.find(*dest);
+    if (it == by_node_.end()) {
+      ++stats_.dropped_fault;
+      return;
+    }
+    deliver_copy(from, *it->second, data, wire_done);
+  } else {
+    for (auto& ep : endpoints_) {
+      if (ep->host_.id() == src) continue;
+      deliver_copy(from, *ep, data, wire_done);
+    }
+  }
+}
+
+void SimNetwork::deliver_copy(SimTransport& from, SimTransport& to,
+                              const std::shared_ptr<Bytes>& data, TimePoint wire_done) {
+  const NodeId src = from.host_.id();
+  const NodeId dst = to.host_.id();
+
+  if (auto it = recv_fault_.find(dst); it != recv_fault_.end() && it->second) {
+    ++stats_.dropped_fault;
+    return;
+  }
+  if (!same_partition(src, dst)) {
+    ++stats_.dropped_fault;
+    return;
+  }
+  double loss = params_.loss_rate;
+  if (auto it = link_loss_.find({src, dst}); it != link_loss_.end()) loss = it->second;
+  if (loss > 0.0 && sim_.rng().chance(loss)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+
+  Duration jitter{0};
+  if (params_.latency_jitter.count() > 0) {
+    jitter = Duration(static_cast<Duration::rep>(
+        sim_.rng().next_below(static_cast<std::uint64_t>(params_.latency_jitter.count()))));
+  }
+  TimePoint arrival = wire_done + params_.base_latency + jitter;
+
+  auto& last = last_arrival_[{src, dst}];
+  if (arrival <= last) arrival = last + Duration(1);
+  last = arrival;
+
+  SimTransport* dest = &to;
+  sim_.schedule_at(arrival, [this, dest, src, data] {
+    // Linux 2.2 default socket buffers were 64 KB: packets arriving while
+    // the receiver's stack is backed up beyond that are silently dropped.
+    if (dest->rx_pending_bytes_ + data->size() > params_.rx_buffer_bytes) {
+      ++stats_.dropped_overflow;
+      return;
+    }
+    dest->rx_pending_bytes_ += data->size();
+    const auto& costs = dest->host_.costs();
+    const auto recv_cost =
+        costs.recv_packet_cost +
+        Duration(static_cast<Duration::rep>(data->size() * costs.recv_byte_cost_us));
+    const TimePoint done = dest->host_.cpu().acquire(sim_.now(), recv_cost);
+    sim_.schedule_at(done, [this, dest, src, data] {
+      dest->rx_pending_bytes_ -= data->size();
+      ++dest->stats_.packets_received;
+      dest->stats_.bytes_received += data->size();
+      ++stats_.deliveries;
+      if (dest->rx_handler_) {
+        if (corruption_rate_ > 0.0 && !data->empty() &&
+            sim_.rng().chance(corruption_rate_)) {
+          // Flip one byte of this receiver's copy (other receivers of the
+          // same broadcast may still get it intact, as on a real LAN).
+          ++stats_.corrupted;
+          Bytes mangled = *data;
+          const std::size_t pos = sim_.rng().next_below(mangled.size());
+          mangled[pos] ^= std::byte{0x40};
+          dest->rx_handler_(ReceivedPacket{std::move(mangled), src, id_});
+        } else {
+          dest->rx_handler_(ReceivedPacket{*data, src, id_});
+        }
+      }
+    });
+  });
+}
+
+}  // namespace totem::net

@@ -1,0 +1,229 @@
+// Simulated Ethernet broadcast domain + simulated host network stack.
+//
+// This is the substitution for the paper's physical testbed (two 3Com
+// 100 Mbit/s Ethernets, Linux 2.2 UDP stack, PII-450/PIII-900 hosts) — see
+// DESIGN.md §1. The model captures exactly the effects the paper's
+// evaluation depends on:
+//
+//  * Ethernet framing: 94 bytes of header/trailer overhead per frame and a
+//    1424-byte maximum payload (paper §8) — the source of the throughput
+//    peaks at 700/1400-byte messages.
+//  * Wire serialization at a configurable bandwidth (default 100 Mbit/s).
+//    Totem's token scheduling means only one node transmits at a time, so a
+//    single busy-until horizon per network is a faithful model.
+//  * Per-packet CPU cost for each network-stack traversal, on a per-host
+//    serializing CPU shared by ALL of the host's NICs. Active replication
+//    doubles these traversals — the paper's stated cause of its slowdown.
+//  * Bounded receive buffering (Linux 2.2 default 64 KB socket buffers).
+//  * FIFO per (sender, network, receiver) in the fault-free case; packets on
+//    DIFFERENT networks may arrive in any relative order (paper §5, Fig. 1).
+//
+// Fault injection covers the paper's full fault model (§3): per-node send
+// faults, per-node receive faults, per-link loss, partitions within one
+// network, random loss, and total network failure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace totem::net {
+
+/// CPU cost of one network-stack traversal on a simulated host. Values are
+/// calibrated in src/harness/calibration.h so that the unreplicated 4-node ring
+/// delivers ~9,000 1-KB msgs/s (paper §2).
+struct HostCostModel {
+  Duration send_packet_cost{20};  // one sendto() per packet per network
+  Duration recv_packet_cost{25};  // one recvfrom() per packet copy
+  double send_byte_cost_us = 0.004;  // copy-out per byte
+  double recv_byte_cost_us = 0.004;  // copy-in per byte
+};
+
+/// One simulated host: a single CPU shared by the host's NICs and protocol
+/// stack. Implements CpuCharger so the SRP can charge per-message
+/// processing time (ordering, dedup, delivery bookkeeping).
+class SimHost : public CpuCharger {
+ public:
+  SimHost(sim::Simulator& simulator, NodeId id, HostCostModel costs = {})
+      : sim_(simulator), id_(id), costs_(costs) {}
+
+  void charge(Duration cost) override {
+    cpu_.acquire(sim_.now(), cost);
+  }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] sim::CpuModel& cpu() { return cpu_; }
+  [[nodiscard]] const HostCostModel& costs() const { return costs_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  NodeId id_;
+  HostCostModel costs_;
+  sim::CpuModel cpu_;
+};
+
+class SimTransport;
+
+class SimNetwork {
+ public:
+  struct Params {
+    double bandwidth_mbps = 100.0;
+    Duration base_latency{5};
+    Duration latency_jitter{2};      // uniform [0, jitter)
+    std::uint32_t frame_overhead = 94;    // Eth + IPv4 + UDP + Totem headers
+    std::uint32_t max_frame_payload = 1424;
+    std::size_t rx_buffer_bytes = 64 * 1024;  // Linux 2.2 socket default
+    double loss_rate = 0.0;
+  };
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t dropped_loss = 0;        // random / link loss
+    std::uint64_t dropped_fault = 0;       // send/recv fault, failure, partition
+    std::uint64_t dropped_overflow = 0;    // rx socket buffer overflow
+    std::uint64_t corrupted = 0;           // delivered with a flipped byte
+    std::uint64_t wire_bytes = 0;          // incl. frame overhead
+    Duration wire_busy{0};
+  };
+
+  /// One captured wire event (enable with start_capture). The pcap-style
+  /// companion to the protocol-level TraceRing: what actually crossed (or
+  /// failed to cross) this network.
+  struct CapturedPacket {
+    TimePoint at{};                  // submission time
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;       // kInvalidNode => broadcast
+    std::uint32_t size = 0;          // packet bytes (pre-framing)
+    enum class Verdict : std::uint8_t {
+      kSent = 0,          // put on the wire
+      kDroppedFailed,     // network failed / send fault / unknown dest
+    } verdict = Verdict::kSent;
+  };
+
+  SimNetwork(sim::Simulator& simulator, NetworkId id, Params params);
+  SimNetwork(sim::Simulator& simulator, NetworkId id);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Attach a host to this network; returns the host's NIC/socket endpoint.
+  /// The returned transport is owned by the network and lives as long as it.
+  SimTransport& attach(SimHost& host);
+
+  // ---- fault injection (paper §3 fault model) ----
+  /// Change propagation latency at runtime (e.g. to model one slow network
+  /// whose traffic the fast network systematically overtakes — the reorder
+  /// scenarios of Figs. 1 and 3).
+  void set_base_latency(Duration latency) { params_.base_latency = latency; }
+
+  void fail() { failed_ = true; }            // total network failure
+  void recover() { failed_ = false; }
+  [[nodiscard]] bool failed() const { return failed_; }
+  void set_loss_rate(double p) { params_.loss_rate = p; }
+  /// Probability that a delivered packet arrives with a flipped byte
+  /// (models a NIC/switch corrupting frames; the packet CRC catches it and
+  /// the SRP's retransmission machinery repairs the loss).
+  void set_corruption_rate(double p) { corruption_rate_ = p; }
+  /// Node `n` cannot send on this network (faulty TX path).
+  void set_send_fault(NodeId n, bool faulty);
+  /// Node `n` cannot receive on this network (faulty RX path).
+  void set_recv_fault(NodeId n, bool faulty);
+  /// Loss probability for the directed link src -> dst (overrides loss_rate
+  /// when set; pass std::nullopt to clear).
+  void set_link_loss(NodeId src, NodeId dst, std::optional<double> p);
+  /// Partition the network: only nodes in the same group communicate.
+  void set_partition(std::vector<std::vector<NodeId>> groups);
+  void clear_partition() { group_of_.clear(); }
+
+  [[nodiscard]] NetworkId id() const { return id_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Start recording every submitted packet (bounded ring of `capacity`).
+  void start_capture(std::size_t capacity = 4096) {
+    capture_enabled_ = true;
+    capture_capacity_ = capacity > 0 ? capacity : 1;
+    capture_.clear();
+    capture_dropped_ = 0;
+  }
+  void stop_capture() { capture_enabled_ = false; }
+  [[nodiscard]] const std::deque<CapturedPacket>& capture() const { return capture_; }
+  [[nodiscard]] std::size_t capture_overwritten() const { return capture_dropped_; }
+
+  /// Wire time to transmit a packet of `payload` bytes, including framing.
+  [[nodiscard]] Duration transmission_time(std::size_t payload) const;
+  /// Bytes on the wire for a packet of `payload` bytes, including framing.
+  [[nodiscard]] std::uint64_t wire_size(std::size_t payload) const;
+
+ private:
+  friend class SimTransport;
+
+  void submit(SimTransport& from, BytesView packet, std::optional<NodeId> dest);
+  void deliver_copy(SimTransport& from, SimTransport& to, const std::shared_ptr<Bytes>& data,
+                    TimePoint wire_done);
+  [[nodiscard]] bool same_partition(NodeId a, NodeId b) const;
+
+  sim::Simulator& sim_;
+  NetworkId id_;
+  Params params_;
+  Stats stats_;
+  double corruption_rate_ = 0.0;
+  bool failed_ = false;
+  TimePoint wire_busy_until_{};
+  std::vector<std::unique_ptr<SimTransport>> endpoints_;
+  std::map<NodeId, SimTransport*> by_node_;
+  std::map<NodeId, bool> send_fault_;
+  std::map<NodeId, bool> recv_fault_;
+  std::map<std::pair<NodeId, NodeId>, double> link_loss_;
+  std::map<NodeId, int> group_of_;  // empty => no partition
+  // Enforces FIFO per (src, dst) pair on one network (UDP-over-Ethernet
+  // preserves order to a single recipient in the fault-free case; paper §5).
+  std::map<std::pair<NodeId, NodeId>, TimePoint> last_arrival_;
+
+  // Wire capture (start_capture).
+  void record_capture(NodeId src, std::optional<NodeId> dst, std::size_t size,
+                      CapturedPacket::Verdict verdict);
+  bool capture_enabled_ = false;
+  std::size_t capture_capacity_ = 0;
+  std::size_t capture_dropped_ = 0;
+  std::deque<CapturedPacket> capture_;
+};
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(SimNetwork& network, SimHost& host)
+      : network_(network), host_(host) {}
+
+  void broadcast(BytesView packet) override { network_.submit(*this, packet, std::nullopt); }
+  void unicast(NodeId dest, BytesView packet) override {
+    network_.submit(*this, packet, dest);
+  }
+  void set_rx_handler(RxHandler handler) override { rx_handler_ = std::move(handler); }
+
+  [[nodiscard]] NetworkId network_id() const override { return network_.id(); }
+  [[nodiscard]] NodeId local_node() const override { return host_.id(); }
+  [[nodiscard]] const Stats& stats() const override { return stats_; }
+
+  [[nodiscard]] SimHost& host() { return host_; }
+
+ private:
+  friend class SimNetwork;
+
+  SimNetwork& network_;
+  SimHost& host_;
+  RxHandler rx_handler_;
+  Stats stats_;
+  std::size_t rx_pending_bytes_ = 0;  // models the 64 KB socket buffer
+};
+
+}  // namespace totem::net

@@ -1,0 +1,62 @@
+// Transport: one instance per redundant network.
+//
+// The Totem RRP layer (src/rrp/) holds N of these — one per redundant LAN —
+// and decides per replication style which subset carries each message/token.
+// Implementations:
+//   * net::SimTransport — simulated Ethernet broadcast domain (deterministic)
+//   * net::UdpTransport — real UDP sockets driven by net::Reactor
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace totem::net {
+
+struct ReceivedPacket {
+  Bytes data;
+  NodeId source = kInvalidNode;
+  NetworkId network = 0;
+};
+
+class Transport {
+ public:
+  using RxHandler = std::function<void(ReceivedPacket&&)>;
+
+  virtual ~Transport() = default;
+
+  /// Best-effort broadcast to every other node attached to this network.
+  /// The sender does NOT receive its own broadcast (the SRP retains its own
+  /// messages directly, as the real implementation does).
+  virtual void broadcast(BytesView packet) = 0;
+
+  /// Best-effort unicast (used for the token).
+  virtual void unicast(NodeId dest, BytesView packet) = 0;
+
+  virtual void set_rx_handler(RxHandler handler) = 0;
+
+  [[nodiscard]] virtual NetworkId network_id() const = 0;
+  [[nodiscard]] virtual NodeId local_node() const = 0;
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+  [[nodiscard]] virtual const Stats& stats() const = 0;
+};
+
+/// Hook through which protocol layers charge per-unit processing time to the
+/// local CPU. In the simulator this extends the host's busy time (the
+/// mechanism behind the paper's CPU-bound throughput ceilings, Section 8);
+/// in real deployments the charger is null because real cycles are spent.
+class CpuCharger {
+ public:
+  virtual ~CpuCharger() = default;
+  virtual void charge(Duration cost) = 0;
+};
+
+}  // namespace totem::net

@@ -1,0 +1,221 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/log.h"
+
+namespace totem::net {
+namespace {
+
+constexpr std::uint32_t kUdpMagic = 0x544F544Du;  // "TOTM"
+constexpr std::size_t kUdpHeader = 8;             // magic + sender id
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+sockaddr_in to_sockaddr(const UdpEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  ::inet_pton(AF_INET, ep.ip.c_str(), &addr.sin_addr);
+  return addr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<UdpTransport>> UdpTransport::create(Reactor& reactor, Config config) {
+  auto self_it = config.peers.find(config.local_node);
+  if (self_it == config.peers.end()) {
+    return Status{StatusCode::kInvalidArgument, "local node missing from peer map"};
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status{StatusCode::kUnavailable,
+                  std::string("socket(): ") + std::strerror(errno)};
+  }
+  // No SO_REUSEADDR: a second bind to the same port is a configuration
+  // error and must fail loudly.
+  // Match the paper's testbed: Linux 2.2 used 64 KB socket buffers.
+  const int buf = 64 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+
+  const sockaddr_in addr = to_sockaddr(self_it->second);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status{StatusCode::kUnavailable,
+                  "bind(" + self_it->second.ip + ":" + std::to_string(self_it->second.port) +
+                      "): " + std::strerror(err)};
+  }
+
+  int mcast_fd = -1;
+  if (!config.multicast_group.empty()) {
+    if (config.multicast_port == 0) {
+      ::close(fd);
+      return Status{StatusCode::kInvalidArgument, "multicast_port must be set"};
+    }
+    mcast_fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    if (mcast_fd < 0) {
+      ::close(fd);
+      return Status{StatusCode::kUnavailable,
+                    std::string("mcast socket(): ") + std::strerror(errno)};
+    }
+    // All members share the group port, so reuse is required here (the
+    // unicast socket deliberately does NOT set it).
+    const int one = 1;
+    ::setsockopt(mcast_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in maddr{};
+    maddr.sin_family = AF_INET;
+    maddr.sin_port = htons(config.multicast_port);
+    maddr.sin_addr.s_addr = htonl(INADDR_ANY);
+    if (::bind(mcast_fd, reinterpret_cast<const sockaddr*>(&maddr), sizeof(maddr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      ::close(mcast_fd);
+      return Status{StatusCode::kUnavailable,
+                    std::string("mcast bind(): ") + std::strerror(err)};
+    }
+    ip_mreq mreq{};
+    ::inet_pton(AF_INET, config.multicast_group.c_str(), &mreq.imr_multiaddr);
+    ::inet_pton(AF_INET, config.multicast_interface.c_str(), &mreq.imr_interface);
+    if (::setsockopt(mcast_fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof(mreq)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      ::close(mcast_fd);
+      return Status{StatusCode::kUnavailable,
+                    std::string("IP_ADD_MEMBERSHIP: ") + std::strerror(err)};
+    }
+    // Outgoing multicast leaves through the configured interface; loopback
+    // on so co-hosted processes (and our own filter test) receive it.
+    in_addr ifaddr{};
+    ::inet_pton(AF_INET, config.multicast_interface.c_str(), &ifaddr);
+    ::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr, sizeof(ifaddr));
+    const unsigned char loop = 1;
+    ::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
+  }
+
+  return std::unique_ptr<UdpTransport>(
+      new UdpTransport(reactor, std::move(config), fd, mcast_fd));
+}
+
+UdpTransport::UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd)
+    : reactor_(reactor),
+      config_(std::move(config)),
+      fd_(fd),
+      mcast_fd_(mcast_fd),
+      loss_rng_state_(0x9E3779B97F4A7C15uLL ^ (static_cast<std::uint64_t>(fd) << 32)) {
+  reactor_.register_fd(fd_, [this] { drain(fd_); });
+  if (mcast_fd_ >= 0) {
+    reactor_.register_fd(mcast_fd_, [this] { drain(mcast_fd_); });
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    reactor_.unregister_fd(fd_);
+    ::close(fd_);
+  }
+  if (mcast_fd_ >= 0) {
+    reactor_.unregister_fd(mcast_fd_);
+    ::close(mcast_fd_);
+  }
+}
+
+void UdpTransport::send_to(const UdpEndpoint& ep, BytesView packet) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.size();
+  if (send_fault_) return;
+  if (config_.send_loss_rate > 0.0) {
+    // xorshift64*: cheap deterministic-enough loss injection for tests.
+    loss_rng_state_ ^= loss_rng_state_ >> 12;
+    loss_rng_state_ ^= loss_rng_state_ << 25;
+    loss_rng_state_ ^= loss_rng_state_ >> 27;
+    const double u =
+        static_cast<double>((loss_rng_state_ * 0x2545F4914F6CDD1DuLL) >> 11) * 0x1.0p-53;
+    if (u < config_.send_loss_rate) return;
+  }
+
+  ByteWriter w(packet.size() + kUdpHeader);
+  w.u32(kUdpMagic);
+  w.u32(config_.local_node);
+  w.raw(packet);
+  const Bytes framed = std::move(w).take();
+
+  const sockaddr_in addr = to_sockaddr(ep);
+  const ssize_t rc = ::sendto(fd_, framed.data(), framed.size(), 0,
+                              reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+    TLOG_DEBUG << "udp sendto failed: " << std::strerror(errno);
+  }
+}
+
+void UdpTransport::broadcast(BytesView packet) {
+  if (mcast_fd_ >= 0) {
+    // One datagram to the group — the native broadcast Totem exploits (§2).
+    send_to(UdpEndpoint{config_.multicast_group, config_.multicast_port}, packet);
+    return;
+  }
+  for (const auto& [node, ep] : config_.peers) {
+    if (node == config_.local_node) continue;
+    send_to(ep, packet);
+  }
+}
+
+void UdpTransport::unicast(NodeId dest, BytesView packet) {
+  auto it = config_.peers.find(dest);
+  if (it == config_.peers.end()) {
+    TLOG_WARN << "udp unicast to unknown node " << dest;
+    return;
+  }
+  send_to(it->second, packet);
+}
+
+void UdpTransport::drain(int fd) {
+  // Drain the socket: the reactor signals readability once per poll round.
+  for (;;) {
+    Bytes buf(kMaxDatagram);
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        TLOG_DEBUG << "udp recv failed: " << std::strerror(errno);
+      }
+      return;
+    }
+    if (recv_fault_) continue;
+    buf.resize(static_cast<std::size_t>(n));
+    ByteReader r(buf);
+    auto magic = r.u32();
+    auto sender = r.u32();
+    if (!magic || !sender || magic.value() != kUdpMagic) {
+      continue;  // not ours; a faulty network may deliver garbage
+    }
+    if (sender.value() == config_.local_node) {
+      continue;  // multicast loopback copy of our own broadcast
+    }
+    ++stats_.packets_received;
+    stats_.bytes_received += buf.size();
+    if (rx_handler_) {
+      Bytes payload(buf.begin() + kUdpHeader, buf.end());
+      rx_handler_(ReceivedPacket{std::move(payload), sender.value(), config_.network});
+    }
+  }
+}
+
+std::map<NodeId, UdpEndpoint> loopback_peers(std::uint16_t base_port,
+                                             std::uint32_t node_count) {
+  std::map<NodeId, UdpEndpoint> peers;
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    peers[i] = UdpEndpoint{"127.0.0.1", static_cast<std::uint16_t>(base_port + i)};
+  }
+  return peers;
+}
+
+}  // namespace totem::net

@@ -1,0 +1,95 @@
+// UdpTransport: one real UDP socket per (node, redundant network).
+//
+// Mirrors the paper's deployment: Totem sends everything as UDP packets,
+// one socket per NIC. A "network" here is a set of UDP endpoints sharing a
+// base port — on a multi-homed machine these bind distinct interfaces; on a
+// single machine (the examples) they bind distinct loopback port ranges,
+// which preserves the property that matters to the RRP: the N channels fail
+// and reorder independently.
+//
+// Broadcast is emulated by unicasting to every peer (the examples run on
+// loopback where link-level broadcast is unavailable). A small transport
+// header carries the sender's node id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "net/reactor.h"
+#include "net/transport.h"
+
+namespace totem::net {
+
+struct UdpEndpoint {
+  std::string ip = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  struct Config {
+    NetworkId network = 0;
+    NodeId local_node = 0;
+    /// Endpoint of every node (including the local one) on this network.
+    std::map<NodeId, UdpEndpoint> peers;
+    /// Simulate send-side packet loss (testing aid; 0 = off).
+    double send_loss_rate = 0.0;
+
+    /// Optional true IP multicast for broadcast() — what Totem actually
+    /// uses on a real LAN ("the native Ethernet broadcast service", §2).
+    /// When `multicast_group` is set (e.g. "239.192.7.1"), every transport
+    /// on this network joins the group on `multicast_port`; broadcast()
+    /// then costs ONE datagram instead of N-1 unicasts. Loopback copies of
+    /// our own broadcasts are filtered by sender id. Tokens remain unicast
+    /// (paper §2: "tokens are not broadcast").
+    std::string multicast_group;
+    std::uint16_t multicast_port = 0;
+    std::string multicast_interface = "127.0.0.1";
+  };
+
+  /// Binds the local endpoint and registers with the reactor.
+  static Result<std::unique_ptr<UdpTransport>> create(Reactor& reactor, Config config);
+
+  ~UdpTransport() override;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  void broadcast(BytesView packet) override;
+  void unicast(NodeId dest, BytesView packet) override;
+  void set_rx_handler(RxHandler handler) override { rx_handler_ = std::move(handler); }
+
+  [[nodiscard]] NetworkId network_id() const override { return config_.network; }
+  [[nodiscard]] NodeId local_node() const override { return config_.local_node; }
+  [[nodiscard]] const Stats& stats() const override { return stats_; }
+  [[nodiscard]] bool multicast_enabled() const { return mcast_fd_ >= 0; }
+
+  /// Testing aid: drop all outgoing packets (models a failed NIC TX path).
+  void set_send_fault(bool faulty) { send_fault_ = faulty; }
+  /// Testing aid: drop all incoming packets (models a failed NIC RX path).
+  void set_recv_fault(bool faulty) { recv_fault_ = faulty; }
+
+ private:
+  UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd);
+
+  void drain(int fd);
+  void send_to(const UdpEndpoint& ep, BytesView packet);
+
+  Reactor& reactor_;
+  Config config_;
+  int fd_ = -1;
+  int mcast_fd_ = -1;
+  RxHandler rx_handler_;
+  Stats stats_;
+  bool send_fault_ = false;
+  bool recv_fault_ = false;
+  std::uint64_t loss_rng_state_;
+};
+
+/// Convenience: build the peer map for `node_count` nodes on loopback with
+/// ports base_port, base_port+1, ... (one block per network).
+[[nodiscard]] std::map<NodeId, UdpEndpoint> loopback_peers(std::uint16_t base_port,
+                                                           std::uint32_t node_count);
+
+}  // namespace totem::net

@@ -1,0 +1,183 @@
+#include "rrp/active_passive_replicator.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "common/trace.h"
+#include "srp/wire.h"
+
+namespace totem::rrp {
+
+ActivePassiveReplicator::ActivePassiveReplicator(TimerService& timers,
+                                                 std::vector<net::Transport*> transports,
+                                                 ActivePassiveConfig config)
+    : timers_(timers),
+      transports_(std::move(transports)),
+      config_(config),
+      faulty_(transports_.size(), false),
+      recv_last_token_(transports_.size(), false),
+      token_monitor_(transports_.size(), config.monitor.imbalance_threshold) {
+  assert(transports_.size() >= 3 && "active-passive needs at least 3 networks (paper §7)");
+  assert(config_.k > 1 && config_.k < transports_.size() && "require 1 < K < N");
+  for (net::Transport* t : transports_) {
+    t->set_rx_handler([this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
+  }
+  aging_timer_ = timers_.schedule(config_.monitor.aging_interval, [this] { on_aging(); });
+}
+
+std::vector<std::size_t> ActivePassiveReplicator::next_window(std::size_t& cursor) const {
+  std::vector<std::size_t> window;
+  std::size_t probe = cursor;
+  for (std::size_t attempts = 0;
+       attempts < transports_.size() && window.size() < config_.k; ++attempts) {
+    probe = (probe + 1) % transports_.size();
+    if (!faulty_[probe]) window.push_back(probe);
+  }
+  if (!window.empty()) cursor = window.back();
+  return window;
+}
+
+void ActivePassiveReplicator::broadcast_message(BytesView packet) {
+  ++stats_.messages_sent;
+  auto window = next_window(message_cursor_);
+  if (window.empty()) window.push_back(0);  // total failure: still try
+  for (std::size_t n : window) {
+    ++stats_.packets_fanned_out;
+    transports_[n]->broadcast(packet);
+  }
+}
+
+void ActivePassiveReplicator::send_token(NodeId next, BytesView packet) {
+  ++stats_.tokens_sent;
+  auto window = next_window(token_cursor_);
+  if (window.empty()) window.push_back(0);
+  for (std::size_t n : window) {
+    ++stats_.packets_fanned_out;
+    transports_[n]->unicast(next, packet);
+  }
+}
+
+std::uint32_t ActivePassiveReplicator::effective_k() const {
+  std::uint32_t healthy = 0;
+  for (bool f : faulty_) {
+    if (!f) ++healthy;
+  }
+  return std::min(config_.k, std::max<std::uint32_t>(healthy, 1));
+}
+
+void ActivePassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
+  auto info = srp::wire::peek(packet.data);
+  if (!info) return;
+
+  if (info.value().type == srp::wire::PacketType::kToken) {
+    // Stage 1: monitor. Stage 2: collect K copies.
+    record_monitored(token_monitor_, packet.network);
+    handle_token(packet, TokenInstance{info.value().ring, info.value().token_rotation,
+                                       info.value().token_seq});
+    return;
+  }
+
+  auto& monitor = message_monitors_
+                      .try_emplace(info.value().sender, transports_.size(),
+                                   config_.monitor.imbalance_threshold)
+                      .first->second;
+  record_monitored(monitor, packet.network);
+  deliver_message_up(packet.data, packet.network);
+}
+
+void ActivePassiveReplicator::handle_token(const net::ReceivedPacket& packet,
+                                           const TokenInstance& instance) {
+  const NetworkId net = packet.network;
+  if (!last_token_ || instance.newer_than(*last_token_)) {
+    last_token_ = instance;
+    last_token_bytes_ = packet.data;
+    last_token_net_ = net;
+    std::fill(recv_last_token_.begin(), recv_last_token_.end(), false);
+    if (net < recv_last_token_.size()) recv_last_token_[net] = true;
+    delivered_current_ = false;
+    token_timer_.cancel();
+    token_timer_ = timers_.schedule(config_.token_timeout, [this] { on_token_timer(); });
+  } else if (instance.same_as(*last_token_)) {
+    ++stats_.duplicate_tokens_absorbed;
+    if (net < recv_last_token_.size()) recv_last_token_[net] = true;
+  } else {
+    ++stats_.duplicate_tokens_absorbed;
+    return;
+  }
+  maybe_deliver(net);
+}
+
+void ActivePassiveReplicator::maybe_deliver(NetworkId from) {
+  std::uint32_t copies = 0;
+  for (bool r : recv_last_token_) {
+    if (r) ++copies;
+  }
+  if (copies < effective_k()) return;
+  token_timer_.cancel();
+  if (!delivered_current_) {
+    delivered_current_ = true;
+    deliver_token_up(last_token_bytes_, from);
+  }
+}
+
+void ActivePassiveReplicator::on_token_timer() {
+  ++stats_.token_timer_expiries;
+  if (config_.monitor.trace) {
+    config_.monitor.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired);
+  }
+  if (!delivered_current_ && last_token_) {
+    delivered_current_ = true;
+    deliver_token_up(last_token_bytes_, last_token_net_);
+  }
+}
+
+void ActivePassiveReplicator::record_monitored(ReceptionMonitor& monitor, NetworkId net) {
+  for (NetworkId lagging : monitor.record(net)) {
+    declare_faulty(lagging, monitor.lag(lagging));
+  }
+}
+
+void ActivePassiveReplicator::on_aging() {
+  token_monitor_.age();
+  for (auto& [_, m] : message_monitors_) m.age();
+  aging_timer_ =
+      timers_.schedule(config_.monitor.aging_interval, [this] { on_aging(); });
+}
+
+void ActivePassiveReplicator::declare_faulty(NetworkId n, std::uint64_t lag) {
+  if (n >= faulty_.size() || faulty_[n]) return;
+  faulty_[n] = true;
+  TLOG_WARN << "active-passive replicator: network " << static_cast<int>(n)
+            << " declared faulty (reception lag " << lag << ")";
+  if (config_.monitor.trace) {
+    config_.monitor.trace->emit(
+        timers_.now(), TraceKind::kNetworkFault, n,
+        static_cast<std::uint64_t>(NetworkFaultReport::Reason::kReceptionImbalance));
+  }
+  NetworkFaultReport report;
+  report.network = n;
+  report.reason = NetworkFaultReport::Reason::kReceptionImbalance;
+  report.evidence_count = static_cast<std::uint32_t>(lag);
+  report.when = timers_.now();
+  report.detail = "reception count fell behind the healthiest network";
+  report_fault(report);
+}
+
+void ActivePassiveReplicator::reset_network(NetworkId n) {
+  if (n >= faulty_.size()) return;
+  faulty_[n] = false;
+  token_monitor_.reset_network(n);
+  for (auto& [_, m] : message_monitors_) m.reset_network(n);
+}
+
+void ActivePassiveReplicator::mark_faulty(NetworkId n) {
+  if (n >= faulty_.size() || faulty_[n]) return;
+  faulty_[n] = true;
+  NetworkFaultReport report;
+  report.network = n;
+  report.reason = NetworkFaultReport::Reason::kAdministrative;
+  report.when = timers_.now();
+  report_fault(report);
+}
+
+}  // namespace totem::rrp

@@ -1,0 +1,88 @@
+// ActivePassiveReplicator — active-passive replication (paper §7).
+//
+// Requires N >= 3 networks. Each message and token is sent over K networks
+// (1 < K < N) chosen round-robin: if the last send ended at network m, the
+// next uses networks (m+1) mod N ... (m+K) mod N. The receive side is a
+// two-stage pipeline: stage 1 is the passive algorithm's reception-count
+// monitoring; stage 2 is the active algorithm's copy collection — a token
+// passes once K copies have arrived or a timeout fires. Duplicate messages
+// are suppressed higher up in the SRP, exactly as in active replication.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/timer_service.h"
+#include "rrp/config.h"
+#include "rrp/monitor.h"
+#include "rrp/replicator.h"
+
+namespace totem::rrp {
+
+class ActivePassiveReplicator final : public Replicator {
+ public:
+  ActivePassiveReplicator(TimerService& timers, std::vector<net::Transport*> transports,
+                          ActivePassiveConfig config);
+
+  void broadcast_message(BytesView packet) override;
+  void send_token(NodeId next, BytesView packet) override;
+  void on_packet(net::ReceivedPacket&& packet) override;
+
+  [[nodiscard]] std::size_t network_count() const override { return transports_.size(); }
+  [[nodiscard]] bool network_faulty(NetworkId n) const override {
+    return n < faulty_.size() && faulty_[n];
+  }
+  void reset_network(NetworkId n) override;
+  void mark_faulty(NetworkId n) override;
+
+  [[nodiscard]] std::uint32_t k() const { return config_.k; }
+
+ private:
+  struct TokenInstance {
+    RingId ring;
+    std::uint64_t rotation = 0;
+    SeqNum seq = 0;
+
+    [[nodiscard]] bool newer_than(const TokenInstance& o) const {
+      if (ring != o.ring) return true;
+      return std::pair{rotation, seq} > std::pair{o.rotation, o.seq};
+    }
+    [[nodiscard]] bool same_as(const TokenInstance& o) const {
+      return ring == o.ring && rotation == o.rotation && seq == o.seq;
+    }
+  };
+
+  /// The K non-faulty networks following `cursor`; advances the cursor.
+  [[nodiscard]] std::vector<std::size_t> next_window(std::size_t& cursor) const;
+  void handle_token(const net::ReceivedPacket& packet, const TokenInstance& instance);
+  void maybe_deliver(NetworkId from);
+  void on_token_timer();
+  void record_monitored(ReceptionMonitor& monitor, NetworkId net);
+  void on_aging();
+  void declare_faulty(NetworkId n, std::uint64_t lag);
+  [[nodiscard]] std::uint32_t effective_k() const;
+
+  TimerService& timers_;
+  std::vector<net::Transport*> transports_;
+  ActivePassiveConfig config_;
+
+  std::vector<bool> faulty_;
+  std::size_t message_cursor_ = 0;
+  std::size_t token_cursor_ = 0;
+
+  // Stage 2: active-style copy collection.
+  std::optional<TokenInstance> last_token_;
+  Bytes last_token_bytes_;
+  NetworkId last_token_net_ = 0;
+  std::vector<bool> recv_last_token_;
+  bool delivered_current_ = false;
+  TimerHandle token_timer_;
+
+  // Stage 1: passive-style monitors.
+  ReceptionMonitor token_monitor_;
+  std::map<NodeId, ReceptionMonitor> message_monitors_;
+  TimerHandle aging_timer_;
+};
+
+}  // namespace totem::rrp

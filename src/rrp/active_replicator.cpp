@@ -1,0 +1,169 @@
+#include "rrp/active_replicator.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "common/trace.h"
+#include "srp/wire.h"
+
+namespace totem::rrp {
+
+ActiveReplicator::ActiveReplicator(TimerService& timers,
+                                   std::vector<net::Transport*> transports,
+                                   ActiveConfig config)
+    : timers_(timers),
+      transports_(std::move(transports)),
+      config_(config),
+      faulty_(transports_.size(), false),
+      recv_last_token_(transports_.size(), false),
+      problem_counter_(transports_.size(), 0),
+      success_streak_(transports_.size(), 0) {
+  assert(!transports_.empty());
+  for (net::Transport* t : transports_) {
+    t->set_rx_handler([this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
+  }
+  decay_timer_ = timers_.schedule(config_.decay_interval, [this] { on_decay(); });
+}
+
+void ActiveReplicator::broadcast_message(BytesView packet) {
+  ++stats_.messages_sent;
+  for (std::size_t i = 0; i < transports_.size(); ++i) {
+    if (faulty_[i]) continue;
+    ++stats_.packets_fanned_out;
+    transports_[i]->broadcast(packet);
+  }
+}
+
+void ActiveReplicator::send_token(NodeId next, BytesView packet) {
+  ++stats_.tokens_sent;
+  for (std::size_t i = 0; i < transports_.size(); ++i) {
+    if (faulty_[i]) continue;
+    ++stats_.packets_fanned_out;
+    transports_[i]->unicast(next, packet);
+  }
+}
+
+void ActiveReplicator::on_packet(net::ReceivedPacket&& packet) {
+  auto info = srp::wire::peek(packet.data);
+  if (!info) return;
+  if (info.value().type != srp::wire::PacketType::kToken) {
+    // Messages go straight up; the SRP's sequence-number filter removes the
+    // duplicate copies from the other networks (requirement A1).
+    deliver_message_up(packet.data, packet.network);
+    return;
+  }
+  handle_token(packet, TokenInstance{info.value().ring, info.value().token_rotation,
+                                     info.value().token_seq});
+}
+
+void ActiveReplicator::handle_token(const net::ReceivedPacket& packet,
+                                    const TokenInstance& instance) {
+  const NetworkId net = packet.network;
+  // Traffic-proportional decay (requirement A6): successful copies earn the
+  // network credit against sporadic losses.
+  if (net < success_streak_.size() && config_.recovery_credit_period > 0 &&
+      ++success_streak_[net] >= config_.recovery_credit_period) {
+    success_streak_[net] = 0;
+    if (problem_counter_[net] > 0) --problem_counter_[net];
+  }
+  if (!last_token_ || instance.newer_than(*last_token_)) {
+    // First copy of a new token.
+    last_token_ = instance;
+    last_token_bytes_ = packet.data;
+    last_token_net_ = net;
+    std::fill(recv_last_token_.begin(), recv_last_token_.end(), false);
+    if (net < recv_last_token_.size()) recv_last_token_[net] = true;
+    delivered_current_ = false;
+    // Start the token timer. A new token can only arrive after the current
+    // one completed a rotation, so the running timer (if any) belongs to a
+    // completed wait; restarting is safe.
+    token_timer_.cancel();
+    token_timer_ = timers_.schedule(config_.token_timeout, [this] { on_token_timer(); });
+  } else if (instance.same_as(*last_token_)) {
+    ++stats_.duplicate_tokens_absorbed;
+    if (config_.trace) {
+      config_.trace->emit(timers_.now(), TraceKind::kDuplicateTokenAbsorbed, net);
+    }
+    if (net < recv_last_token_.size()) recv_last_token_[net] = true;
+  } else {
+    // A stale retransmission of an older token; nothing to track.
+    ++stats_.duplicate_tokens_absorbed;
+    return;
+  }
+  maybe_deliver(net);
+}
+
+void ActiveReplicator::maybe_deliver(NetworkId from) {
+  for (std::size_t i = 0; i < recv_last_token_.size(); ++i) {
+    if (!recv_last_token_[i] && !faulty_[i]) return;  // still waiting
+  }
+  token_timer_.cancel();
+  if (!delivered_current_) {
+    delivered_current_ = true;
+    deliver_token_up(last_token_bytes_, from);
+  }
+}
+
+void ActiveReplicator::on_token_timer() {
+  ++stats_.token_timer_expiries;
+  if (config_.trace) {
+    config_.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired);
+  }
+  for (std::size_t i = 0; i < recv_last_token_.size(); ++i) {
+    if (recv_last_token_[i] || faulty_[i]) continue;
+    ++problem_counter_[i];
+    if (problem_counter_[i] >= config_.problem_threshold) {
+      declare_faulty(static_cast<NetworkId>(i), problem_counter_[i]);
+    }
+  }
+  if (!delivered_current_ && last_token_) {
+    // Progress despite the missing copies (requirement A4).
+    delivered_current_ = true;
+    deliver_token_up(last_token_bytes_, last_token_net_);
+  }
+}
+
+void ActiveReplicator::on_decay() {
+  for (auto& c : problem_counter_) {
+    if (c > 0) --c;
+  }
+  decay_timer_ = timers_.schedule(config_.decay_interval, [this] { on_decay(); });
+}
+
+void ActiveReplicator::declare_faulty(NetworkId n, std::uint32_t evidence) {
+  if (faulty_[n]) return;
+  faulty_[n] = true;
+  TLOG_WARN << "active replicator: network " << static_cast<int>(n) << " declared faulty"
+            << " (problem counter " << evidence << ")";
+  if (config_.trace) {
+    config_.trace->emit(
+        timers_.now(), TraceKind::kNetworkFault, n,
+        static_cast<std::uint64_t>(NetworkFaultReport::Reason::kTokenTimeout));
+  }
+  NetworkFaultReport report;
+  report.network = n;
+  report.reason = NetworkFaultReport::Reason::kTokenTimeout;
+  report.evidence_count = evidence;
+  report.when = timers_.now();
+  report.detail = "token copies repeatedly missing";
+  report_fault(report);
+}
+
+void ActiveReplicator::reset_network(NetworkId n) {
+  if (n >= faulty_.size()) return;
+  faulty_[n] = false;
+  problem_counter_[n] = 0;
+  success_streak_[n] = 0;
+}
+
+void ActiveReplicator::mark_faulty(NetworkId n) {
+  if (n >= faulty_.size() || faulty_[n]) return;
+  faulty_[n] = true;
+  NetworkFaultReport report;
+  report.network = n;
+  report.reason = NetworkFaultReport::Reason::kAdministrative;
+  report.when = timers_.now();
+  report_fault(report);
+}
+
+}  // namespace totem::rrp

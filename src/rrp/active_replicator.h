@@ -1,0 +1,79 @@
+// ActiveReplicator — active network replication (paper §5, Fig. 2).
+//
+// Every message and token is sent over ALL non-faulty networks. Messages
+// are passed up immediately (the SRP's seq-number filter removes duplicates
+// — requirement A1). A token is passed up only once a copy has arrived on
+// every non-faulty network (requirements A2/A3), or when the token timer
+// expires (requirement A4). A per-network problem counter, incremented for
+// networks that failed to deliver the token before the timer fired and
+// decremented periodically, detects permanent network failure without being
+// fooled by sporadic loss (requirements A5/A6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/timer_service.h"
+#include "rrp/config.h"
+#include "rrp/replicator.h"
+
+namespace totem::rrp {
+
+class ActiveReplicator final : public Replicator {
+ public:
+  ActiveReplicator(TimerService& timers, std::vector<net::Transport*> transports,
+                   ActiveConfig config = {});
+
+  void broadcast_message(BytesView packet) override;
+  void send_token(NodeId next, BytesView packet) override;
+  void on_packet(net::ReceivedPacket&& packet) override;
+
+  [[nodiscard]] std::size_t network_count() const override { return transports_.size(); }
+  [[nodiscard]] bool network_faulty(NetworkId n) const override {
+    return n < faulty_.size() && faulty_[n];
+  }
+  void reset_network(NetworkId n) override;
+  void mark_faulty(NetworkId n) override;
+
+  [[nodiscard]] std::uint32_t problem_counter(NetworkId n) const {
+    return n < problem_counter_.size() ? problem_counter_[n] : 0;
+  }
+
+ private:
+  struct TokenInstance {
+    RingId ring;
+    std::uint64_t rotation = 0;
+    SeqNum seq = 0;
+
+    [[nodiscard]] bool newer_than(const TokenInstance& o) const {
+      if (ring != o.ring) return true;  // a different ring resets the order
+      return std::pair{rotation, seq} > std::pair{o.rotation, o.seq};
+    }
+    [[nodiscard]] bool same_as(const TokenInstance& o) const {
+      return ring == o.ring && rotation == o.rotation && seq == o.seq;
+    }
+  };
+
+  void handle_token(const net::ReceivedPacket& packet, const TokenInstance& instance);
+  void maybe_deliver(NetworkId from);
+  void on_token_timer();
+  void on_decay();
+  void declare_faulty(NetworkId n, std::uint32_t evidence);
+
+  TimerService& timers_;
+  std::vector<net::Transport*> transports_;
+  ActiveConfig config_;
+
+  std::vector<bool> faulty_;
+  std::vector<bool> recv_last_token_;
+  std::vector<std::uint32_t> problem_counter_;
+  std::vector<std::uint32_t> success_streak_;
+  std::optional<TokenInstance> last_token_;
+  Bytes last_token_bytes_;
+  NetworkId last_token_net_ = 0;
+  bool delivered_current_ = false;
+  TimerHandle token_timer_;
+  TimerHandle decay_timer_;
+};
+
+}  // namespace totem::rrp

@@ -1,0 +1,64 @@
+// Configuration for the RRP replication engines.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace totem {
+class TraceRing;
+}
+
+namespace totem::rrp {
+
+struct ActiveConfig {
+  /// How long to wait for the remaining copies of a token after the first
+  /// copy arrives before passing it to the SRP anyway (requirement A4).
+  Duration token_timeout{2'000};  // 2 ms
+
+  /// A network whose problem counter reaches this value is declared faulty
+  /// (requirement A5).
+  std::uint32_t problem_threshold = 10;
+
+  /// Problem counters are decremented at this period so sporadic token loss
+  /// never accumulates into a false fault report (requirement A6).
+  Duration decay_interval{200'000};  // 200 ms
+
+  /// Additionally, every this-many successful token copies on a network
+  /// decrement its problem counter by one. On a fast-rotating (idle) ring
+  /// the token rate vastly exceeds any wall-clock decay, so the credit must
+  /// scale with traffic: sporadic loss (~1%) then never accumulates, while
+  /// a dead or heavily degraded network earns no credit and still trips the
+  /// threshold quickly (requirements A5 + A6; see DESIGN.md §6).
+  std::uint32_t recovery_credit_period = 8;
+
+  /// Optional flight recorder (see common/trace.h). Not owned.
+  TraceRing* trace = nullptr;
+};
+
+struct PassiveConfig {
+  /// How long a token is buffered while messages it implies are still
+  /// outstanding (requirement P3). The paper used 10 ms (§6).
+  Duration token_buffer_timeout{10'000};
+
+  /// A network whose reception count falls this far behind the
+  /// best network is declared faulty (Fig. 5 threshold; requirement P4).
+  std::uint32_t imbalance_threshold = 50;
+
+  /// Lagging reception counts are bumped at this period so sporadic loss
+  /// never accumulates into a false fault report (requirement P5).
+  Duration aging_interval{100'000};  // 100 ms
+
+  /// Optional flight recorder (see common/trace.h). Not owned.
+  TraceRing* trace = nullptr;
+};
+
+struct ActivePassiveConfig {
+  /// Copies of each message/token to send (1 < K < N, paper §7).
+  std::uint32_t k = 2;
+  /// Wait-for-K-copies timeout on the receive side (stage 2).
+  Duration token_timeout{2'000};
+  PassiveConfig monitor;  // stage 1 uses the passive monitors
+};
+
+}  // namespace totem::rrp

@@ -1,0 +1,79 @@
+// Reception-count network monitor (paper Fig. 5).
+//
+// Passive (and active-passive) replication spreads traffic evenly over the
+// networks, so every network should receive the same number of packets from
+// any given source. A monitor counts receptions per network; when a
+// network's count falls more than `threshold` behind the best network, the
+// lagging network is declared faulty (requirement P4).
+//
+// To keep sporadic loss from accumulating into a false report over a long
+// run (requirement P5), lagging counts are periodically "aged" upward by one
+// — the paper's "slowly increasing recvCount for networks that lag behind".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace totem::rrp {
+
+class ReceptionMonitor {
+ public:
+  ReceptionMonitor(std::size_t network_count, std::uint32_t threshold)
+      : counts_(network_count, 0), reported_(network_count, false), threshold_(threshold) {}
+
+  /// Record a reception on network `x`. Returns the networks newly found to
+  /// be lagging beyond the threshold (each reported once until reset).
+  std::vector<NetworkId> record(NetworkId x) {
+    if (x < counts_.size()) ++counts_[x];
+    return check();
+  }
+
+  /// Anti-false-positive aging: every lagging network creeps one packet
+  /// closer to the leader.
+  void age() {
+    const std::uint64_t max = max_count();
+    for (auto& c : counts_) {
+      if (c < max) ++c;
+    }
+  }
+
+  /// A repaired network restarts level with the leader.
+  void reset_network(NetworkId x) {
+    if (x >= counts_.size()) return;
+    counts_[x] = max_count();
+    reported_[x] = false;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t lag(NetworkId x) const {
+    return x < counts_.size() ? max_count() - counts_[x] : 0;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t max_count() const {
+    std::uint64_t max = 0;
+    for (auto c : counts_) max = std::max(max, c);
+    return max;
+  }
+
+  std::vector<NetworkId> check() {
+    std::vector<NetworkId> newly_faulty;
+    const std::uint64_t max = max_count();
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (reported_[i]) continue;
+      if (max - counts_[i] > threshold_) {
+        reported_[i] = true;
+        newly_faulty.push_back(static_cast<NetworkId>(i));
+      }
+    }
+    return newly_faulty;
+  }
+
+  std::vector<std::uint64_t> counts_;
+  std::vector<bool> reported_;
+  std::uint32_t threshold_;
+};
+
+}  // namespace totem::rrp

@@ -1,0 +1,56 @@
+// NullReplicator: single-network pass-through.
+//
+// This is the "no replication" baseline of the paper's evaluation: the SRP
+// runs directly over one network. Having it implement the same Replicator
+// interface means the benchmark sweeps compare identical protocol code and
+// differ only in the replication layer.
+#pragma once
+
+#include <cassert>
+
+#include "rrp/replicator.h"
+#include "srp/wire.h"
+
+namespace totem::rrp {
+
+class NullReplicator final : public Replicator {
+ public:
+  explicit NullReplicator(net::Transport& transport) : transport_(transport) {
+    transport_.set_rx_handler(
+        [this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
+  }
+
+  void broadcast_message(BytesView packet) override {
+    ++stats_.messages_sent;
+    ++stats_.packets_fanned_out;
+    transport_.broadcast(packet);
+  }
+
+  void send_token(NodeId next, BytesView packet) override {
+    ++stats_.tokens_sent;
+    ++stats_.packets_fanned_out;
+    transport_.unicast(next, packet);
+  }
+
+  void on_packet(net::ReceivedPacket&& packet) override {
+    auto info = srp::wire::peek(packet.data);
+    if (!info) return;  // malformed; the SRP counts these when relevant
+    if (info.value().type == srp::wire::PacketType::kToken) {
+      deliver_token_up(packet.data, packet.network);
+    } else {
+      deliver_message_up(packet.data, packet.network);
+    }
+  }
+
+  [[nodiscard]] std::size_t network_count() const override { return 1; }
+  [[nodiscard]] bool network_faulty(NetworkId) const override { return false; }
+  void reset_network(NetworkId) override {}
+  void mark_faulty(NetworkId) override {
+    assert(false && "cannot mark the only network faulty");
+  }
+
+ private:
+  net::Transport& transport_;
+};
+
+}  // namespace totem::rrp

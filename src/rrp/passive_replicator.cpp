@@ -1,0 +1,166 @@
+#include "rrp/passive_replicator.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "common/trace.h"
+#include "srp/wire.h"
+
+namespace totem::rrp {
+
+PassiveReplicator::PassiveReplicator(TimerService& timers,
+                                     std::vector<net::Transport*> transports,
+                                     PassiveConfig config)
+    : timers_(timers),
+      transports_(std::move(transports)),
+      config_(config),
+      faulty_(transports_.size(), false),
+      token_monitor_(transports_.size(), config.imbalance_threshold) {
+  assert(!transports_.empty());
+  for (net::Transport* t : transports_) {
+    t->set_rx_handler([this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
+  }
+  aging_timer_ = timers_.schedule(config_.aging_interval, [this] { on_aging(); });
+}
+
+std::optional<std::size_t> PassiveReplicator::next_network(std::size_t& cursor) const {
+  for (std::size_t attempts = 0; attempts < transports_.size(); ++attempts) {
+    cursor = (cursor + 1) % transports_.size();
+    if (!faulty_[cursor]) return cursor;
+  }
+  return std::nullopt;  // every network is marked faulty
+}
+
+void PassiveReplicator::broadcast_message(BytesView packet) {
+  ++stats_.messages_sent;
+  auto net = next_network(message_cursor_);
+  if (!net) {
+    // All networks faulty: send on network 0 anyway — the system has failed,
+    // but silence would only make diagnosis harder.
+    net = 0;
+  }
+  ++stats_.packets_fanned_out;
+  transports_[*net]->broadcast(packet);
+}
+
+void PassiveReplicator::send_token(NodeId next, BytesView packet) {
+  ++stats_.tokens_sent;
+  auto net = next_network(token_cursor_);
+  if (!net) net = 0;
+  ++stats_.packets_fanned_out;
+  transports_[*net]->unicast(next, packet);
+}
+
+void PassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
+  auto info = srp::wire::peek(packet.data);
+  if (!info) return;
+
+  if (info.value().type == srp::wire::PacketType::kToken) {
+    record_monitored(token_monitor_, packet.network);
+    const SeqNum token_seq = info.value().token_seq;
+    if (!srp_missing_messages(token_seq)) {
+      // No outstanding messages: the token may pass (Fig. 4).
+      if (token_buffered_) {
+        // The newly arrived token supersedes the buffered one.
+        token_buffered_ = false;
+        buffer_timer_.cancel();
+        buffer_timer_running_ = false;
+      }
+      deliver_token_up(packet.data, packet.network);
+      return;
+    }
+    // Messages are outstanding — most likely still in flight on another
+    // network (Fig. 3). Buffer the token; a short timer guarantees progress
+    // if they were really lost (requirement P3).
+    buffered_token_ = std::move(packet.data);
+    buffered_token_seq_ = token_seq;
+    token_buffered_ = true;
+    if (!buffer_timer_running_) {  // Fig. 4: the timer is never restarted
+      buffer_timer_running_ = true;
+      buffer_timer_ =
+          timers_.schedule(config_.token_buffer_timeout, [this] { on_buffer_timer(); });
+    }
+    return;
+  }
+
+  // Message path: deliver first, then check whether this message was the
+  // one the buffered token was waiting for (Fig. 4, recvMsg).
+  auto& monitor =
+      message_monitors_
+          .try_emplace(info.value().sender, transports_.size(), config_.imbalance_threshold)
+          .first->second;
+  record_monitored(monitor, packet.network);
+  deliver_message_up(packet.data, packet.network);
+  if (token_buffered_ && !srp_missing_messages(buffered_token_seq_)) {
+    flush_buffered_token();
+  }
+}
+
+void PassiveReplicator::flush_buffered_token() {
+  buffer_timer_.cancel();
+  buffer_timer_running_ = false;
+  token_buffered_ = false;
+  deliver_token_up(buffered_token_, 0);
+}
+
+void PassiveReplicator::on_buffer_timer() {
+  buffer_timer_running_ = false;
+  ++stats_.token_timer_expiries;
+  if (config_.trace) {
+    config_.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired);
+  }
+  if (token_buffered_) {
+    token_buffered_ = false;
+    deliver_token_up(buffered_token_, 0);
+  }
+}
+
+void PassiveReplicator::record_monitored(ReceptionMonitor& monitor, NetworkId net) {
+  for (NetworkId lagging : monitor.record(net)) {
+    declare_faulty(lagging, monitor.lag(lagging));
+  }
+}
+
+void PassiveReplicator::on_aging() {
+  token_monitor_.age();
+  for (auto& [_, m] : message_monitors_) m.age();
+  aging_timer_ = timers_.schedule(config_.aging_interval, [this] { on_aging(); });
+}
+
+void PassiveReplicator::declare_faulty(NetworkId n, std::uint64_t lag) {
+  if (n >= faulty_.size() || faulty_[n]) return;
+  faulty_[n] = true;
+  TLOG_WARN << "passive replicator: network " << static_cast<int>(n)
+            << " declared faulty (reception lag " << lag << ")";
+  if (config_.trace) {
+    config_.trace->emit(
+        timers_.now(), TraceKind::kNetworkFault, n,
+        static_cast<std::uint64_t>(NetworkFaultReport::Reason::kReceptionImbalance));
+  }
+  NetworkFaultReport report;
+  report.network = n;
+  report.reason = NetworkFaultReport::Reason::kReceptionImbalance;
+  report.evidence_count = static_cast<std::uint32_t>(lag);
+  report.when = timers_.now();
+  report.detail = "reception count fell behind the healthiest network";
+  report_fault(report);
+}
+
+void PassiveReplicator::reset_network(NetworkId n) {
+  if (n >= faulty_.size()) return;
+  faulty_[n] = false;
+  token_monitor_.reset_network(n);
+  for (auto& [_, m] : message_monitors_) m.reset_network(n);
+}
+
+void PassiveReplicator::mark_faulty(NetworkId n) {
+  if (n >= faulty_.size() || faulty_[n]) return;
+  faulty_[n] = true;
+  NetworkFaultReport report;
+  report.network = n;
+  report.reason = NetworkFaultReport::Reason::kAdministrative;
+  report.when = timers_.now();
+  report_fault(report);
+}
+
+}  // namespace totem::rrp

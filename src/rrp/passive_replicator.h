@@ -1,0 +1,80 @@
+// PassiveReplicator — passive network replication (paper §6, Figs. 4-5).
+//
+// Each message and token is sent over exactly ONE network, assigned
+// round-robin (messages and tokens rotate independently). Aggregate
+// throughput approaches the sum of the networks' capacities. A token that
+// arrives while messages it implies are still in flight on another network
+// is buffered until they arrive or a short timer (10 ms in the paper)
+// expires — this prevents spurious retransmission requests for merely
+// delayed messages (requirement P1) while preserving progress (P3).
+//
+// Health monitoring uses M+1 reception-count modules (Fig. 5): one per
+// sending node for message traffic plus one for token traffic. Since
+// round-robin spreads traffic evenly, a network whose count lags the best
+// by more than a threshold is faulty (P4); lagging counts age upward so
+// sporadic loss never accumulates into a false alarm (P5).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/timer_service.h"
+#include "rrp/config.h"
+#include "rrp/monitor.h"
+#include "rrp/replicator.h"
+
+namespace totem::rrp {
+
+class PassiveReplicator final : public Replicator {
+ public:
+  PassiveReplicator(TimerService& timers, std::vector<net::Transport*> transports,
+                    PassiveConfig config = {});
+
+  void broadcast_message(BytesView packet) override;
+  void send_token(NodeId next, BytesView packet) override;
+  void on_packet(net::ReceivedPacket&& packet) override;
+
+  [[nodiscard]] std::size_t network_count() const override { return transports_.size(); }
+  [[nodiscard]] bool network_faulty(NetworkId n) const override {
+    return n < faulty_.size() && faulty_[n];
+  }
+  void reset_network(NetworkId n) override;
+  void mark_faulty(NetworkId n) override;
+
+  [[nodiscard]] const ReceptionMonitor& token_monitor() const { return token_monitor_; }
+  [[nodiscard]] const std::map<NodeId, ReceptionMonitor>& message_monitors() const {
+    return message_monitors_;
+  }
+
+ private:
+  /// Advance `cursor` round-robin to the next non-faulty network.
+  [[nodiscard]] std::optional<std::size_t> next_network(std::size_t& cursor) const;
+  void record_monitored(ReceptionMonitor& monitor, NetworkId net);
+  void flush_buffered_token();
+  void on_buffer_timer();
+  void on_aging();
+  void declare_faulty(NetworkId n, std::uint64_t lag);
+
+  TimerService& timers_;
+  std::vector<net::Transport*> transports_;
+  PassiveConfig config_;
+
+  std::vector<bool> faulty_;
+  std::size_t message_cursor_ = 0;
+  std::size_t token_cursor_ = 0;
+
+  // Token buffer (Fig. 4: lastToken + token timer).
+  Bytes buffered_token_;
+  SeqNum buffered_token_seq_ = 0;
+  bool token_buffered_ = false;
+  TimerHandle buffer_timer_;
+  bool buffer_timer_running_ = false;
+
+  // Fig. 5 monitors: one per sending node plus one for tokens.
+  ReceptionMonitor token_monitor_;
+  std::map<NodeId, ReceptionMonitor> message_monitors_;
+  TimerHandle aging_timer_;
+};
+
+}  // namespace totem::rrp

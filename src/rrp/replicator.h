@@ -1,0 +1,122 @@
+// Replicator: the Totem RRP abstraction — a layer between the Totem SRP and
+// the N redundant networks (paper §§4-7).
+//
+// The SRP sends and receives through this interface only; the concrete
+// replicator decides which network(s) carry each message and token, filters
+// and times out redundant token copies, and monitors network health.
+// Implementations:
+//   * NullReplicator          — single network, pass-through ("no replication")
+//   * ActiveReplicator        — paper §5, Fig. 2
+//   * PassiveReplicator       — paper §6, Figs. 4-5
+//   * ActivePassiveReplicator — paper §7
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "net/transport.h"
+
+namespace totem::rrp {
+
+/// Raised to the application when the local network monitor declares a
+/// network faulty (paper §3: "the Totem RRP issues a fault report to the
+/// user application process"). The system keeps running on the remaining
+/// networks; an administrator is expected to react to this alarm.
+struct NetworkFaultReport {
+  enum class Reason {
+    kTokenTimeout,        // active/active-passive: problem counter exceeded
+    kReceptionImbalance,  // passive: recvCount gap exceeded threshold
+    kAdministrative,      // marked faulty by the operator / test harness
+  };
+
+  NetworkId network = 0;
+  Reason reason = Reason::kAdministrative;
+  std::uint32_t evidence_count = 0;  // problem counter / count gap at detection
+  TimePoint when{};
+  std::string detail;
+};
+
+[[nodiscard]] constexpr const char* to_string(NetworkFaultReport::Reason r) {
+  switch (r) {
+    case NetworkFaultReport::Reason::kTokenTimeout: return "token-timeout";
+    case NetworkFaultReport::Reason::kReceptionImbalance: return "reception-imbalance";
+    case NetworkFaultReport::Reason::kAdministrative: return "administrative";
+  }
+  return "?";
+}
+
+class Replicator {
+ public:
+  using MessageHandler = std::function<void(BytesView packet, NetworkId from)>;
+  using TokenHandler = std::function<void(BytesView packet, NetworkId from)>;
+  using FaultHandler = std::function<void(const NetworkFaultReport&)>;
+  /// Passive replication holds the token back while the SRP has outstanding
+  /// messages (Fig. 4: anyMessagesMissing()). The replicator passes the seq
+  /// carried by the just-arrived token so the SRP can detect messages that
+  /// were sent before the token but are still in flight on another network
+  /// (requirement P1, Fig. 3).
+  using MissingQuery = std::function<bool(SeqNum token_seq)>;
+
+  virtual ~Replicator() = default;
+
+  // ---- downcalls: SRP -> networks ----
+  virtual void broadcast_message(BytesView packet) = 0;
+  virtual void send_token(NodeId next, BytesView packet) = 0;
+
+  // ---- upcall wiring (set by the SRP / application) ----
+  void set_message_handler(MessageHandler h) { message_handler_ = std::move(h); }
+  void set_token_handler(TokenHandler h) { token_handler_ = std::move(h); }
+  void set_fault_handler(FaultHandler h) { fault_handler_ = std::move(h); }
+  void set_missing_query(MissingQuery q) { missing_query_ = std::move(q); }
+
+  // ---- feed: transports -> replicator ----
+  virtual void on_packet(net::ReceivedPacket&& packet) = 0;
+
+  // ---- introspection / administration ----
+  [[nodiscard]] virtual std::size_t network_count() const = 0;
+  [[nodiscard]] virtual bool network_faulty(NetworkId n) const = 0;
+  /// Clear the faulty mark and health counters for a repaired network.
+  virtual void reset_network(NetworkId n) = 0;
+  /// Administratively mark a network faulty (stops sending on it).
+  virtual void mark_faulty(NetworkId n) = 0;
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;        // SRP sends (pre-fanout)
+    std::uint64_t tokens_sent = 0;          // SRP sends (pre-fanout)
+    std::uint64_t packets_fanned_out = 0;   // actual transport sends
+    std::uint64_t messages_delivered_up = 0;
+    std::uint64_t tokens_delivered_up = 0;
+    std::uint64_t duplicate_tokens_absorbed = 0;
+    std::uint64_t token_timer_expiries = 0;
+    std::uint64_t faults_reported = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ protected:
+  void deliver_message_up(BytesView packet, NetworkId from) {
+    ++stats_.messages_delivered_up;
+    if (message_handler_) message_handler_(packet, from);
+  }
+  void deliver_token_up(BytesView packet, NetworkId from) {
+    ++stats_.tokens_delivered_up;
+    if (token_handler_) token_handler_(packet, from);
+  }
+  void report_fault(const NetworkFaultReport& report) {
+    ++stats_.faults_reported;
+    if (fault_handler_) fault_handler_(report);
+  }
+  [[nodiscard]] bool srp_missing_messages(SeqNum token_seq) const {
+    return missing_query_ ? missing_query_(token_seq) : false;
+  }
+
+  MessageHandler message_handler_;
+  TokenHandler token_handler_;
+  FaultHandler fault_handler_;
+  MissingQuery missing_query_;
+  Stats stats_;
+};
+
+}  // namespace totem::rrp

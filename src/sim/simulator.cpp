@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace totem::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+TimerHandle Simulator::schedule(Duration delay, Callback cb) {
+  assert(delay >= Duration::zero() && "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+TimerHandle Simulator::schedule_at(TimePoint at, Callback cb) {
+  auto state = std::make_shared<detail::TimerState>();
+  queue_.push(Event{at, next_seq_++, std::move(cb), state});
+  return TimerHandle{state};
+}
+
+bool Simulator::step() {
+  // Consume exactly ONE queue entry. Skipped (cancelled) entries must still
+  // consume one step: run_until() peeks the head's timestamp before calling
+  // step(), so executing anything beyond the head here would let events past
+  // a run_until deadline slip through.
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  if (ev.state->cancelled) return true;
+  ev.state->fired = true;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  // Advance the clock to the deadline even if the queue drained early so
+  // consecutive run_for() calls compose predictably.
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    if (++n >= max_events) break;
+  }
+}
+
+}  // namespace totem::sim

@@ -1,0 +1,81 @@
+// Totem SRP configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace totem {
+class TraceRing;
+}
+
+namespace totem::srp {
+
+struct Config {
+  NodeId node_id = 0;
+
+  /// The expected initial membership (including node_id). With
+  /// assume_initial_ring the ring starts Operational on exactly this set —
+  /// the common configuration for benchmarks and for deployments with a
+  /// static roster. Without it, nodes boot into Gather and form the ring
+  /// through the membership protocol.
+  std::vector<NodeId> initial_members;
+  bool assume_initial_ring = true;
+
+  // ---- timing ----
+  /// No token for this long => the ring has failed; run membership.
+  Duration token_loss_timeout{200'000};  // 200 ms
+  /// Retained-token retransmission period (paper §2: a node periodically
+  /// resends the last token it forwarded until it sees progress).
+  Duration token_retention_interval{4'000};  // 4 ms
+  /// Rebroadcast period for join messages while in Gather.
+  Duration join_interval{30'000};  // 30 ms
+  /// Gather gives up on silent nodes after this long and moves them to the
+  /// fail set.
+  Duration consensus_timeout{300'000};  // 300 ms
+  /// Commit token lost => re-Gather.
+  Duration commit_timeout{300'000};  // 300 ms
+  /// Token hop delay a singleton ring uses to pass the token to itself.
+  Duration singleton_token_delay{500};  // 0.5 ms
+  /// The ring leader broadcasts a tiny ring announcement at this period so
+  /// healed partitions merge even with no application traffic. Zero
+  /// disables announcements (merges then require traffic).
+  Duration announce_interval{1'000'000};  // 1 s
+  /// Minimum spacing between merge attempts with the SAME foreign ring —
+  /// if a merge keeps failing (e.g. the other side can send but not
+  /// receive), we must not let its announcements churn our ring forever.
+  Duration merge_backoff{5'000'000};  // 5 s
+
+  // ---- flow control (paper §2: strict sending schedule) ----
+  /// Global window: maximum messages broadcast per token rotation.
+  std::uint32_t window_size = 80;
+  /// Per-node cap per token visit.
+  std::uint32_t max_messages_per_visit = 40;
+  /// Bound on the send queue (entries, i.e. fragments).
+  std::size_t send_queue_limit = 8192;
+  /// Maximum retransmission requests carried in the token.
+  std::uint32_t rtr_limit = 50;
+
+  /// Fair backlog sharing (the Totem SRP paper's fuller flow-control rule):
+  /// when enabled, a node's per-visit allowance is additionally capped at
+  /// its proportional share of the window, window_size * my_backlog /
+  /// total_backlog (as carried by the token). Heavily loaded nodes then
+  /// cannot crowd out light senders within a rotation. Off by default —
+  /// the paper's evaluation ran the simple window rule.
+  bool fair_backlog_sharing = false;
+
+  // ---- simulated CPU cost model (zero / ignored in real deployments) ----
+  /// Charged to the host CPU per message broadcast (packing, bookkeeping).
+  Duration per_msg_send_cost{0};
+  /// Charged per newly accepted message (ordering, dedup, delivery).
+  Duration per_msg_recv_cost{0};
+  /// Charged per token processed.
+  Duration per_token_cost{0};
+
+  /// Optional flight recorder: protocol events are appended here when set
+  /// (see common/trace.h). Not owned; must outlive the ring.
+  TraceRing* trace = nullptr;
+};
+
+}  // namespace totem::srp

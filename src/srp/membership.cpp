@@ -1,0 +1,508 @@
+// Totem SRP membership: the Gather / Commit / Recovery state machine.
+//
+// Gather:   nodes broadcast join messages carrying their proc/fail sets and
+//           merge what they hear until consensus (everyone alive agrees on
+//           both sets). Silent nodes are moved to the fail set after a
+//           timeout.
+// Commit:   the representative (lowest id) circulates a commit token around
+//           the proposed new ring twice: the first pass collects every
+//           member's old-ring position (ring id, aru, highest seq), the
+//           second pass distributes the collected picture.
+// Recovery: the new ring runs the regular token protocol, but instead of new
+//           application messages the members rebroadcast (encapsulated)
+//           old-ring messages that some member may be missing. Old-ring
+//           messages are delivered in old-ring order. When the recovery
+//           backlog drains and the new ring's aru catches up with its seq,
+//           the ring is installed and normal operation resumes.
+//
+// Deviations from the TOCS '95 protocol are documented in DESIGN.md §6.
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "srp/single_ring.h"
+
+namespace totem::srp {
+
+void SingleRing::start_gather(const char* reason) {
+  TLOG_INFO << "node " << config_.node_id << " gather (" << reason << ") from state "
+            << to_string(state_);
+  if (state_ == State::kRecovery) {
+    // Double failure: the recovery ring itself failed. Abandon the old-ring
+    // store (EVS would deliver the remainder in a transitional
+    // configuration; we count it as lost — DESIGN.md §6).
+    for (SeqNum s = old_delivered_up_to_ + 1; s <= old_high_target_; ++s) {
+      if (old_store_.count(s) != 0) ++stats_.old_ring_messages_lost;
+    }
+    old_store_.clear();
+    store_.clear();
+    my_retransmit_plan_.clear();
+    old_seq_on_new_ring_.clear();
+    my_aru_ = 0;
+    high_seq_seen_ = 0;
+    delivered_up_to_ = 0;
+    prev_rotation_aru_ = 0;
+    safe_up_to_ = 0;
+    // A per-node pseudo ring id so the aborted recovery ring can never be
+    // confused with a committed one (real rings advance ring_seq by 4).
+    ring_id_ = RingId{config_.node_id, highest_ring_seq_ + 1};
+    remember_ring(ring_id_);
+  }
+
+  state_ = State::kGather;
+  trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kGather));
+  gather_start_ = timers_.now();
+  consensus_rounds_ = 0;
+  cancel_operational_timers();
+  stop_commit_retention();
+  commit_timer_.cancel();
+  commit_forwards_ = 0;
+  joins_.clear();
+  proc_set_.clear();
+  proc_set_.insert(config_.node_id);
+  fail_set_.clear();
+  highest_ring_seq_ = std::max(highest_ring_seq_, ring_id_.ring_seq);
+
+  send_join();
+
+  // Grace period: give join messages two broadcast intervals to propagate
+  // before a lone node concludes it is alone.
+  timers_.schedule(config_.join_interval * 2 + Duration{1},
+                   [this] { check_consensus(); });
+  consensus_timer_.cancel();
+  consensus_timer_ =
+      timers_.schedule(config_.consensus_timeout, [this] { on_consensus_timeout(); });
+}
+
+void SingleRing::send_join() {
+  if (state_ != State::kGather) return;
+  wire::JoinMessage j;
+  j.sender = config_.node_id;
+  j.proc_set.assign(proc_set_.begin(), proc_set_.end());
+  j.fail_set.assign(fail_set_.begin(), fail_set_.end());
+  j.ring_seq = highest_ring_seq_;
+  replicator_.broadcast_message(wire::serialize_join(j));
+
+  join_timer_.cancel();
+  join_timer_ = timers_.schedule(config_.join_interval, [this] { send_join(); });
+}
+
+void SingleRing::on_join(const wire::JoinMessage& join) {
+  highest_ring_seq_ = std::max(highest_ring_seq_, join.ring_seq);
+  if (join.sender == config_.node_id) return;
+
+  if (state_ == State::kOperational) {
+    const bool is_member =
+        std::find(members_.begin(), members_.end(), join.sender) != members_.end();
+    if (is_member && join.ring_seq < ring_id_.ring_seq) {
+      // Stale duplicate from the gather that formed the current ring.
+      ++stats_.stale_packets;
+      return;
+    }
+    // Either an outsider wants in, or a member fell off the ring.
+    start_gather(is_member ? "member rejoin" : "foreign join");
+  } else if (state_ == State::kCommit || state_ == State::kRecovery) {
+    // While a ring is forming, members still in Gather keep rebroadcasting
+    // joins that describe the consensus we already committed — those carry
+    // no new information and must NOT abort the formation (otherwise two
+    // sides of a partition livelock, re-forming forever). Only a join from
+    // a node that has SEEN this formation (its ring_seq caught up with the
+    // forming ring's) signals that a member gave up and we must start over.
+    // highest_ring_seq_ was advanced to the forming ring's seq at commit.
+    if (join.ring_seq >= highest_ring_seq_) {
+      start_gather("join during formation");
+    } else {
+      return;
+    }
+  }
+
+  // state_ == kGather here (possibly just entered above): merge.
+  joins_[join.sender] = join;
+  bool changed = proc_set_.insert(join.sender).second;
+  for (NodeId n : join.proc_set) changed |= proc_set_.insert(n).second;
+  for (NodeId n : join.fail_set) {
+    if (n == config_.node_id) continue;  // we know we are alive
+    changed |= fail_set_.insert(n).second;
+  }
+  if (changed) {
+    consensus_rounds_ = 0;  // the picture changed; give convergence fresh time
+    send_join();
+  }
+  check_consensus();
+}
+
+void SingleRing::check_consensus() {
+  if (state_ != State::kGather) return;
+  if (timers_.now() < gather_start_ + config_.join_interval * 2) return;
+
+  std::vector<NodeId> alive;
+  for (NodeId n : proc_set_) {
+    if (fail_set_.count(n) == 0) alive.push_back(n);
+  }
+  if (alive.empty()) alive.push_back(config_.node_id);
+
+  for (NodeId n : alive) {
+    if (n == config_.node_id) continue;
+    auto it = joins_.find(n);
+    if (it == joins_.end()) return;  // no join from n yet
+    const auto& j = it->second;
+    if (std::set<NodeId>(j.proc_set.begin(), j.proc_set.end()) != proc_set_) return;
+    if (std::set<NodeId>(j.fail_set.begin(), j.fail_set.end()) != fail_set_) return;
+  }
+
+  // Consensus. The representative (lowest id) creates the commit token.
+  if (alive.front() != config_.node_id) {
+    // Wait for the representative's commit token; the consensus timer stays
+    // armed as a backstop in case it never arrives.
+    return;
+  }
+
+  wire::CommitToken c;
+  c.new_ring = RingId{config_.node_id, highest_ring_seq_ + 4};
+  c.sender = config_.node_id;
+  for (NodeId n : alive) {
+    wire::CommitMember m;
+    m.node = n;
+    c.members.push_back(m);
+  }
+  auto& mine = c.members.front();
+  assert(mine.node == config_.node_id);
+  mine.old_ring = ring_id_;
+  mine.my_aru = my_aru_;
+  mine.high_seq = high_seq_seen_;
+  mine.filled = true;
+
+  state_ = State::kCommit;
+  trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kCommit));
+  join_timer_.cancel();
+  consensus_timer_.cancel();
+  commit_forwards_ = 0;
+  highest_ring_seq_ = c.new_ring.ring_seq;
+
+  TLOG_INFO << "node " << config_.node_id << " representative: committing ring "
+            << to_string(c.new_ring) << " with " << c.members.size() << " members";
+
+  if (c.members.size() == 1) {
+    // Singleton: no network round needed.
+    enter_recovery(c);
+    begin_recovery_ring();
+    return;
+  }
+
+  c.hop = 1;
+  ++commit_forwards_;
+  std::vector<NodeId> order;
+  for (const auto& m : c.members) order.push_back(m.node);
+  {
+    const NodeId next = successor_in(order);
+    Bytes packet = wire::serialize_commit(c);
+    replicator_.send_token(next, packet);
+    retain_commit(next, std::move(packet));
+  }
+  commit_timer_.cancel();
+  commit_timer_ = timers_.schedule(config_.commit_timeout, [this] {
+    if (state_ == State::kCommit) start_gather("commit timeout");
+  });
+}
+
+void SingleRing::on_consensus_timeout() {
+  if (state_ != State::kGather) return;
+  ++consensus_rounds_;
+  // Move nodes that never said anything into the fail set and try again.
+  bool changed = false;
+  for (NodeId n : proc_set_) {
+    if (n == config_.node_id) continue;
+    if (joins_.count(n) == 0 && fail_set_.insert(n).second) changed = true;
+  }
+  if (consensus_rounds_ >= 2) {
+    // Second round without consensus: nodes whose join state never converged
+    // to ours (e.g. a node that can send but not receive) will never agree;
+    // exclude them so the remainder can form a ring.
+    for (NodeId n : proc_set_) {
+      if (n == config_.node_id || fail_set_.count(n) != 0) continue;
+      auto it = joins_.find(n);
+      if (it == joins_.end()) continue;
+      const auto& j = it->second;
+      const bool agrees =
+          std::set<NodeId>(j.proc_set.begin(), j.proc_set.end()) == proc_set_ &&
+          std::set<NodeId>(j.fail_set.begin(), j.fail_set.end()) == fail_set_;
+      if (!agrees && fail_set_.insert(n).second) changed = true;
+    }
+  }
+  if (changed) {
+    TLOG_INFO << "node " << config_.node_id
+              << " consensus timeout; failing non-converging nodes";
+    send_join();
+  }
+  check_consensus();
+  if (state_ == State::kGather) {
+    consensus_timer_ =
+        timers_.schedule(config_.consensus_timeout, [this] { on_consensus_timeout(); });
+  }
+}
+
+void SingleRing::on_commit_token(wire::CommitToken commit) {
+  if (state_ == State::kOperational) {
+    ++stats_.stale_packets;
+    return;
+  }
+  if (state_ == State::kRecovery) {
+    // Duplicate (e.g. one copy per network under active replication) of the
+    // commit token we already acted on.
+    return;
+  }
+
+  auto self = std::find_if(commit.members.begin(), commit.members.end(),
+                           [&](const wire::CommitMember& m) { return m.node == config_.node_id; });
+  if (self == commit.members.end()) {
+    // A ring is forming without us; keep gathering (our joins will
+    // eventually trigger a reconfiguration).
+    return;
+  }
+  const std::size_t n = commit.members.size();
+
+  if (commit.hop < n) {
+    // First pass: contribute our old-ring position.
+    if (state_ != State::kGather) return;  // duplicate first-pass copy
+    self->old_ring = ring_id_;
+    self->my_aru = my_aru_;
+    self->high_seq = high_seq_seen_;
+    self->filled = true;
+    state_ = State::kCommit;
+    trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kCommit));
+    join_timer_.cancel();
+    consensus_timer_.cancel();
+    commit_forwards_ = 0;
+    highest_ring_seq_ = std::max(highest_ring_seq_, commit.new_ring.ring_seq);
+
+    commit.sender = config_.node_id;
+    ++commit.hop;
+    ++commit_forwards_;
+    std::vector<NodeId> order;
+    for (const auto& m : commit.members) order.push_back(m.node);
+    {
+      const NodeId next = successor_in(order);
+      Bytes packet = wire::serialize_commit(commit);
+      replicator_.send_token(next, packet);
+      retain_commit(next, std::move(packet));
+    }
+    commit_timer_.cancel();
+    commit_timer_ = timers_.schedule(config_.commit_timeout, [this] {
+      if (state_ == State::kCommit) start_gather("commit timeout");
+    });
+    return;
+  }
+
+  // Second pass: the full membership picture.
+  if (state_ != State::kCommit) return;
+  const bool complete = std::all_of(commit.members.begin(), commit.members.end(),
+                                    [](const wire::CommitMember& m) { return m.filled; });
+  if (!complete) {
+    start_gather("incomplete commit token");
+    return;
+  }
+
+  const bool is_new_rep = commit.new_ring.representative == config_.node_id;
+  const wire::CommitToken snapshot = commit;
+  enter_recovery(snapshot);
+
+  if (commit_forwards_ < 2) {
+    commit.sender = config_.node_id;
+    ++commit.hop;
+    ++commit_forwards_;
+    std::vector<NodeId> order;
+    for (const auto& m : commit.members) order.push_back(m.node);
+    const NodeId next = successor_in(order);
+    Bytes packet = wire::serialize_commit(commit);
+    replicator_.send_token(next, packet);
+    retain_commit(next, std::move(packet));
+  }
+  if (is_new_rep) {
+    begin_recovery_ring();
+  }
+}
+
+void SingleRing::enter_recovery(const wire::CommitToken& commit) {
+  TLOG_INFO << "node " << config_.node_id << " entering recovery for ring "
+            << to_string(commit.new_ring);
+  state_ = State::kRecovery;
+  trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kRecovery));
+  commit_timer_.cancel();
+
+  old_ring_id_ = ring_id_;
+  ring_id_ = commit.new_ring;
+  remember_ring(ring_id_);
+  members_.clear();
+  for (const auto& m : commit.members) members_.push_back(m.node);
+  std::sort(members_.begin(), members_.end());
+
+  // Recovery targets for OUR old ring: the span (low, high] where low is the
+  // lowest aru and high the highest seq any co-member of that ring saw.
+  SeqNum low = my_aru_;
+  SeqNum high = high_seq_seen_;
+  for (const auto& m : commit.members) {
+    if (m.old_ring != old_ring_id_) continue;
+    low = std::min(low, m.my_aru);
+    high = std::max(high, m.high_seq);
+  }
+  old_high_target_ = high;
+  old_store_ = std::move(store_);
+  store_.clear();
+  old_delivered_up_to_ = delivered_up_to_;
+
+  my_retransmit_plan_.clear();
+  for (const auto& [s, e] : old_store_) {
+    if (s > low) my_retransmit_plan_.push_back(s);
+  }
+  old_seq_on_new_ring_.clear();
+
+  // Fresh counters for the new ring's seq space.
+  my_aru_ = 0;
+  high_seq_seen_ = 0;
+  delivered_up_to_ = 0;
+  prev_rotation_aru_ = 0;
+  safe_up_to_ = 0;
+  my_last_fcc_contribution_ = 0;
+  my_last_backlog_contribution_ = 0;
+  last_token_instance_.reset();
+  retention_active_ = false;
+
+  arm_token_loss_timer();  // recovery-ring failure => re-gather
+}
+
+void SingleRing::begin_recovery_ring() {
+  wire::Token t;
+  t.ring = ring_id_;
+  t.sender = config_.node_id;
+  Bytes b = wire::serialize_token(t);
+  timers_.schedule(Duration{0}, [this, b] { on_token_packet(b, 0); });
+}
+
+std::uint32_t SingleRing::broadcast_recovery_messages(wire::Token& token) {
+  while (!my_retransmit_plan_.empty() &&
+         old_seq_on_new_ring_.count(my_retransmit_plan_.front()) != 0) {
+    my_retransmit_plan_.pop_front();  // someone else already rebroadcast it
+  }
+  const std::uint32_t window_remaining =
+      config_.window_size > token.fcc ? config_.window_size - token.fcc : 0;
+  const std::uint32_t allowance =
+      std::min({config_.max_messages_per_visit, window_remaining,
+                static_cast<std::uint32_t>(my_retransmit_plan_.size())});
+  if (allowance == 0) return 0;
+
+  std::vector<wire::MessageEntry> batch;
+  batch.reserve(allowance);
+  std::uint32_t produced = 0;
+  while (produced < allowance && !my_retransmit_plan_.empty()) {
+    const SeqNum old_seq = my_retransmit_plan_.front();
+    my_retransmit_plan_.pop_front();
+    if (old_seq_on_new_ring_.count(old_seq) != 0) continue;
+    auto it = old_store_.find(old_seq);
+    if (it == old_store_.end()) continue;
+
+    wire::RecoveredMessage rec{old_ring_id_, it->second};
+    wire::MessageEntry e;
+    e.seq = ++token.seq;
+    e.origin = config_.node_id;
+    e.flags = wire::MessageEntry::kFlagRecovered;
+    e.payload = wire::serialize_recovered(rec);
+    old_seq_on_new_ring_.insert(old_seq);
+    batch.push_back(std::move(e));
+    ++produced;
+  }
+  if (batch.empty()) return 0;
+  for (const auto& e : batch) {
+    high_seq_seen_ = std::max(high_seq_seen_, e.seq);
+    store_.emplace(e.seq, e);
+  }
+  while (store_.count(my_aru_ + 1) != 0) ++my_aru_;
+  stats_.messages_broadcast += produced;
+  send_packed_regular(std::move(batch));
+  return produced;
+}
+
+void SingleRing::accept_recovered_entry(const wire::MessageEntry& entry) {
+  auto rec = wire::parse_recovered(entry.payload);
+  if (!rec) {
+    ++stats_.malformed_packets;
+    return;
+  }
+  const wire::RecoveredMessage& r = rec.value();
+  if (r.old_ring != old_ring_id_) {
+    // A message from another partition's old ring. We were not a member of
+    // that configuration, so we do not deliver it (its co-members do).
+    return;
+  }
+  old_seq_on_new_ring_.insert(r.original.seq);
+  if (r.original.seq <= old_delivered_up_to_ || old_store_.count(r.original.seq) != 0) {
+    return;  // already have it
+  }
+  ++stats_.old_ring_messages_recovered;
+  old_store_.emplace(r.original.seq, r.original);
+}
+
+void SingleRing::deliver_old_ring_contiguous() {
+  while (old_delivered_up_to_ < old_high_target_) {
+    auto it = old_store_.find(old_delivered_up_to_ + 1);
+    if (it == old_store_.end()) return;
+    ++old_delivered_up_to_;
+    deliver_entry(it->second);
+  }
+}
+
+void SingleRing::retain_commit(NodeId dest, Bytes packet) {
+  retained_commit_ = std::move(packet);
+  retained_commit_dest_ = dest;
+  commit_retention_active_ = true;
+  commit_retention_timer_.cancel();
+  commit_retention_timer_ = timers_.schedule(config_.token_retention_interval,
+                                             [this] { on_commit_retention_fire(); });
+}
+
+void SingleRing::on_commit_retention_fire() {
+  if (!commit_retention_active_) return;
+  // Keep nudging while the formation can still be stuck on a lost commit
+  // token: in Commit always; in Recovery until the first recovery-ring
+  // token proves our successor progressed.
+  if (state_ != State::kCommit &&
+      !(state_ == State::kRecovery && !last_token_instance_)) {
+    commit_retention_active_ = false;
+    return;
+  }
+  replicator_.send_token(retained_commit_dest_, retained_commit_);
+  commit_retention_timer_ = timers_.schedule(config_.token_retention_interval,
+                                             [this] { on_commit_retention_fire(); });
+}
+
+void SingleRing::stop_commit_retention() {
+  commit_retention_active_ = false;
+  commit_retention_timer_.cancel();
+}
+
+void SingleRing::install_ring() {
+  // Deliver whatever old-ring messages we managed to recover; count
+  // unrecoverable ones (originator crashed before anyone received them).
+  while (old_delivered_up_to_ < old_high_target_) {
+    ++old_delivered_up_to_;
+    auto it = old_store_.find(old_delivered_up_to_);
+    if (it == old_store_.end()) {
+      ++stats_.old_ring_messages_lost;
+      continue;
+    }
+    deliver_entry(it->second);
+  }
+  old_store_.clear();
+  old_seq_on_new_ring_.clear();
+  stop_commit_retention();
+
+  state_ = State::kOperational;
+  trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kOperational));
+  trace_event(TraceKind::kMembershipInstalled, ring_id_.representative, ring_id_.ring_seq);
+  ++stats_.membership_changes;
+  arm_announce_timer();
+  TLOG_INFO << "node " << config_.node_id << " installed ring " << to_string(ring_id_)
+            << " with " << members_.size() << " members";
+  deliver_membership_view();
+}
+
+}  // namespace totem::srp

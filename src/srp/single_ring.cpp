@@ -1,0 +1,587 @@
+#include "srp/single_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace totem::srp {
+
+SingleRing::SingleRing(TimerService& timers, rrp::Replicator& replicator, Config config,
+                       net::CpuCharger* cpu)
+    : timers_(timers), replicator_(replicator), config_(std::move(config)), cpu_(cpu) {
+  auto& m = config_.initial_members;
+  if (std::find(m.begin(), m.end(), config_.node_id) == m.end()) {
+    m.push_back(config_.node_id);
+  }
+  std::sort(m.begin(), m.end());
+  m.erase(std::unique(m.begin(), m.end()), m.end());
+}
+
+void SingleRing::start() {
+  replicator_.set_message_handler(
+      [this](BytesView p, NetworkId n) { on_message_packet(p, n); });
+  replicator_.set_token_handler(
+      [this](BytesView p, NetworkId n) { on_token_packet(p, n); });
+  replicator_.set_missing_query(
+      [this](SeqNum token_seq) { return any_messages_missing(token_seq); });
+
+  if (config_.assume_initial_ring) {
+    members_ = config_.initial_members;
+    ring_id_ = RingId{members_.front(), 4};
+    remember_ring(ring_id_);
+    highest_ring_seq_ = ring_id_.ring_seq;
+    state_ = State::kOperational;
+    timers_.schedule(Duration{0}, [this] { deliver_membership_view(); });
+    if (is_leader()) {
+      // The representative injects the first token.
+      wire::Token t;
+      t.ring = ring_id_;
+      t.sender = config_.node_id;
+      Bytes b = wire::serialize_token(t);
+      timers_.schedule(Duration{0}, [this, b] { on_token_packet(b, 0); });
+    }
+    arm_token_loss_timer();
+    arm_announce_timer();
+  } else {
+    start_gather("startup");
+  }
+}
+
+void SingleRing::arm_announce_timer() {
+  if (config_.announce_interval <= Duration::zero()) return;
+  announce_timer_.cancel();
+  announce_timer_ =
+      timers_.schedule(config_.announce_interval, [this] { on_announce_fire(); });
+}
+
+void SingleRing::on_announce_fire() {
+  if (state_ == State::kOperational && is_leader()) {
+    wire::Announce a;
+    a.sender = config_.node_id;
+    a.ring = ring_id_;
+    a.member_count = static_cast<std::uint32_t>(members_.size());
+    replicator_.broadcast_message(wire::serialize_announce(a));
+  }
+  arm_announce_timer();
+}
+
+Status SingleRing::send(BytesView payload) {
+  const std::size_t max_frag = wire::kMaxUnfragmentedPayload;
+  const std::size_t frags =
+      payload.empty() ? 1 : (payload.size() + max_frag - 1) / max_frag;
+  if (frags > 0xFFFF) {
+    return Status{StatusCode::kInvalidArgument, "message too large"};
+  }
+  if (send_queue_.size() + frags > config_.send_queue_limit) {
+    ++stats_.send_queue_rejects;
+    return Status{StatusCode::kResourceExhausted, "send queue full"};
+  }
+  if (frags == 1) {
+    wire::MessageEntry e;
+    e.payload.assign(payload.begin(), payload.end());
+    send_queue_.push_back(std::move(e));
+  } else {
+    for (std::size_t i = 0; i < frags; ++i) {
+      wire::MessageEntry e;
+      e.flags = wire::MessageEntry::kFlagFragment;
+      e.frag_index = static_cast<std::uint16_t>(i);
+      e.frag_count = static_cast<std::uint16_t>(frags);
+      const std::size_t begin = i * max_frag;
+      const std::size_t len = std::min(max_frag, payload.size() - begin);
+      auto chunk = payload.subspan(begin, len);
+      e.payload.assign(chunk.begin(), chunk.end());
+      send_queue_.push_back(std::move(e));
+    }
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  return Status::ok();
+}
+
+bool SingleRing::any_messages_missing(SeqNum token_seq) const {
+  return my_aru_ < std::max(high_seq_seen_, token_seq);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+void SingleRing::on_message_packet(BytesView packet, NetworkId from) {
+  auto info = wire::peek(packet);
+  if (!info) {
+    ++stats_.malformed_packets;
+    return;
+  }
+  switch (info.value().type) {
+    case wire::PacketType::kRegular:
+    case wire::PacketType::kRetransmit: {
+      auto parsed = wire::parse_messages(packet);
+      if (!parsed) {
+        ++stats_.malformed_packets;
+        return;
+      }
+      if (parsed.value().header.ring != ring_id_) {
+        if (state_ == State::kOperational &&
+            !is_recent_ring(parsed.value().header.ring) &&
+            should_attempt_merge(parsed.value().header.ring)) {
+          // Regular traffic from a ring we were never part of: a foreign
+          // ring is reachable (a partition healed). Run the membership
+          // protocol so the rings merge.
+          start_gather("foreign ring traffic");
+        }
+        ++stats_.stale_packets;
+        return;
+      }
+      for (auto& e : parsed.value().entries) {
+        accept_entry(std::move(e));
+      }
+      try_deliver();
+      if (state_ == State::kRecovery) deliver_old_ring_contiguous();
+      break;
+    }
+    case wire::PacketType::kJoin: {
+      auto join = wire::parse_join(packet);
+      if (!join) {
+        ++stats_.malformed_packets;
+        return;
+      }
+      on_join(join.value());
+      break;
+    }
+    case wire::PacketType::kCommitToken: {
+      auto commit = wire::parse_commit(packet);
+      if (!commit) {
+        ++stats_.malformed_packets;
+        return;
+      }
+      on_commit_token(std::move(commit).take());
+      break;
+    }
+    case wire::PacketType::kAnnounce: {
+      auto announce = wire::parse_announce(packet);
+      if (!announce) {
+        ++stats_.malformed_packets;
+        return;
+      }
+      on_announce(announce.value());
+      break;
+    }
+    case wire::PacketType::kToken:
+      // Defensive: a replicator should route tokens to on_token_packet.
+      on_token_packet(packet, from);
+      break;
+  }
+}
+
+void SingleRing::on_announce(const wire::Announce& announce) {
+  if (announce.sender == config_.node_id) return;
+  if (state_ != State::kOperational) return;  // gather will hear its joins
+  if (announce.ring == ring_id_ || is_recent_ring(announce.ring)) return;
+  if (!should_attempt_merge(announce.ring)) return;
+  // A ring we were never part of is reachable: merge (paper-faithful
+  // membership trigger, extended to idle rings).
+  start_gather("foreign ring announcement");
+}
+
+bool SingleRing::should_attempt_merge(const RingId& foreign_ring) {
+  const TimePoint now = timers_.now();
+  for (auto& [ring, last] : merge_attempts_) {
+    if (ring == foreign_ring) {
+      if (now - last < config_.merge_backoff) return false;
+      last = now;
+      return true;
+    }
+  }
+  merge_attempts_.emplace_back(foreign_ring, now);
+  if (merge_attempts_.size() > 16) {
+    merge_attempts_.erase(merge_attempts_.begin());
+  }
+  return true;
+}
+
+void SingleRing::on_token_packet(BytesView packet, NetworkId from) {
+  auto info = wire::peek(packet);
+  if (!info) {
+    ++stats_.malformed_packets;
+    return;
+  }
+  if (info.value().type == wire::PacketType::kCommitToken) {
+    on_message_packet(packet, from);
+    return;
+  }
+  auto token = wire::parse_token(packet);
+  if (!token) {
+    ++stats_.malformed_packets;
+    return;
+  }
+  wire::Token t = std::move(token).take();
+  if (t.ring != ring_id_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  if (state_ == State::kGather || state_ == State::kCommit) {
+    ++stats_.stale_packets;
+    return;
+  }
+  if (last_token_instance_ && t.instance_id() <= *last_token_instance_) {
+    // Paper §2: a token with an already-seen (rotation, seq) is a
+    // retransmitted copy and is ignored.
+    ++stats_.duplicate_tokens;
+    return;
+  }
+  handle_regular_token(std::move(t));
+}
+
+void SingleRing::accept_entry(wire::MessageEntry&& entry) {
+  if (entry.seq == 0) {
+    ++stats_.malformed_packets;
+    return;
+  }
+  high_seq_seen_ = std::max(high_seq_seen_, entry.seq);
+  if (retention_active_ && entry.seq > retained_token_seq_) {
+    // Paper §2: a message with a higher seq than the retained token proves
+    // the successor received the token; stop resending it.
+    retention_active_ = false;
+  }
+  if (entry.seq <= delivered_up_to_ || store_.count(entry.seq) != 0) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  charge(config_.per_msg_recv_cost);
+  if (state_ == State::kRecovery && entry.is_recovered()) {
+    accept_recovered_entry(entry);
+  }
+  store_.emplace(entry.seq, std::move(entry));
+  while (store_.count(my_aru_ + 1) != 0) ++my_aru_;
+}
+
+void SingleRing::try_deliver() {
+  while (delivered_up_to_ < my_aru_) {
+    auto it = store_.find(delivered_up_to_ + 1);
+    assert(it != store_.end() && "contiguous message missing from store");
+    ++delivered_up_to_;
+    if (state_ == State::kRecovery) {
+      // On a recovering ring the only traffic is encapsulated old-ring
+      // messages; they are delivered in OLD ring order by
+      // deliver_old_ring_contiguous(), not here.
+      continue;
+    }
+    deliver_entry(it->second);
+  }
+}
+
+void SingleRing::deliver_entry(const wire::MessageEntry& entry) {
+  const bool recovered = entry.is_recovered();
+  if (!entry.is_fragment()) {
+    ++stats_.messages_delivered;
+    stats_.bytes_delivered += entry.payload.size();
+    trace_event(TraceKind::kMessageDelivered, entry.origin, entry.seq);
+    if (deliver_) {
+      deliver_(DeliveredMessage{entry.origin, entry.seq, entry.payload, recovered});
+    }
+    return;
+  }
+  auto& buf = frag_buffer_[entry.origin];
+  auto& expect = frag_expect_[entry.origin];
+  if (entry.frag_index != expect) {
+    // Fragment stream out of sync (possible only across a lossy membership
+    // change). Resynchronize on the next fragment-0.
+    buf.clear();
+    expect = 0;
+    if (entry.frag_index != 0) return;
+  }
+  buf.insert(buf.end(), entry.payload.begin(), entry.payload.end());
+  ++expect;
+  if (entry.frag_index + 1 == entry.frag_count) {
+    ++stats_.messages_delivered;
+    stats_.bytes_delivered += buf.size();
+    trace_event(TraceKind::kMessageDelivered, entry.origin, entry.seq);
+    if (deliver_) {
+      deliver_(DeliveredMessage{entry.origin, entry.seq, buf, recovered});
+    }
+    buf.clear();
+    expect = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token processing
+
+void SingleRing::handle_regular_token(wire::Token token) {
+  ++stats_.tokens_processed;
+  trace_event(TraceKind::kTokenReceived, token.rotation, token.seq);
+  charge(config_.per_token_cost);
+  last_token_instance_ = token.instance_id();
+  token_loss_timer_.cancel();
+  retention_active_ = false;
+
+  const std::uint32_t retransmitted = service_retransmissions(token);
+  const std::uint32_t sent = state_ == State::kRecovery
+                                 ? broadcast_recovery_messages(token)
+                                 : broadcast_new_messages(token);
+  update_aru(token);
+  add_retransmit_requests(token);
+  update_flow_control(token, retransmitted + sent);
+  try_deliver();
+  if (state_ == State::kRecovery) {
+    deliver_old_ring_contiguous();
+    // Recovery is complete when nobody has anything left to rebroadcast
+    // (backlog) and every member has received every recovery broadcast
+    // (aru caught up with seq).
+    if (token.backlog == 0 && token.aru == token.seq && my_retransmit_plan_.empty()) {
+      install_ring();
+    }
+  }
+  discard_safe_messages(token);
+  if (is_leader()) ++token.rotation;
+  forward_token(std::move(token));
+}
+
+std::uint32_t SingleRing::service_retransmissions(wire::Token& token) {
+  if (token.rtr.empty()) return 0;
+  std::vector<wire::MessageEntry> out;
+  std::vector<SeqNum> remaining;
+  for (SeqNum s : token.rtr) {
+    auto it = store_.find(s);
+    if (it != store_.end()) {
+      out.push_back(it->second);
+    } else if (s > delivered_up_to_) {
+      remaining.push_back(s);
+    }
+    // Requests at or below our delivery point refer to messages already
+    // received by everyone that mattered; drop them defensively.
+  }
+  token.rtr = std::move(remaining);
+  if (out.empty()) return 0;
+  stats_.retransmissions_sent += out.size();
+  const auto n = static_cast<std::uint32_t>(out.size());
+  trace_event(TraceKind::kRetransmissionSent, n);
+  send_packed_retransmit(std::move(out));
+  return n;
+}
+
+std::uint32_t SingleRing::broadcast_new_messages(wire::Token& token) {
+  const std::uint32_t window_remaining =
+      config_.window_size > token.fcc ? config_.window_size - token.fcc : 0;
+  std::uint32_t allowance =
+      std::min({config_.max_messages_per_visit, window_remaining,
+                static_cast<std::uint32_t>(send_queue_.size())});
+  if (config_.fair_backlog_sharing && allowance > 0) {
+    // Proportional share of the window. token.backlog still contains our
+    // previous-rotation contribution (it is corrected in
+    // update_flow_control), so this is the ring-wide demand as of the last
+    // rotation — the same approximation the token's fcc uses.
+    const std::uint64_t mine = send_queue_.size();
+    const std::uint64_t total = std::max<std::uint64_t>(token.backlog, mine);
+    const auto fair = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(config_.window_size) * mine / total));
+    allowance = std::min(allowance, fair);
+  }
+  if (allowance == 0) return 0;
+
+  std::vector<wire::MessageEntry> batch;
+  batch.reserve(allowance);
+  for (std::uint32_t i = 0; i < allowance; ++i) {
+    wire::MessageEntry e = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    e.seq = ++token.seq;
+    e.origin = config_.node_id;
+    batch.push_back(std::move(e));
+  }
+  for (const auto& e : batch) {
+    high_seq_seen_ = std::max(high_seq_seen_, e.seq);
+    store_.emplace(e.seq, e);
+  }
+  while (store_.count(my_aru_ + 1) != 0) ++my_aru_;
+  stats_.messages_broadcast += allowance;
+  trace_event(TraceKind::kMessageBroadcast, batch.front().seq, allowance);
+  send_packed_regular(std::move(batch));
+  return allowance;
+}
+
+void SingleRing::update_aru(wire::Token& token) {
+  if (token.aru > my_aru_) {
+    token.aru = my_aru_;
+    token.aru_id = config_.node_id;
+  } else if (token.aru_id == config_.node_id || token.aru_id == kInvalidNode) {
+    token.aru = my_aru_;
+    token.aru_id = my_aru_ < token.seq ? config_.node_id : kInvalidNode;
+  }
+}
+
+void SingleRing::add_retransmit_requests(wire::Token& token) {
+  high_seq_seen_ = std::max(high_seq_seen_, token.seq);
+  if (my_aru_ >= token.seq) return;
+  std::uint32_t added = 0;
+  for (SeqNum s = my_aru_ + 1;
+       s <= token.seq && token.rtr.size() < config_.rtr_limit; ++s) {
+    if (store_.count(s) != 0) continue;
+    if (std::find(token.rtr.begin(), token.rtr.end(), s) != token.rtr.end()) continue;
+    token.rtr.push_back(s);
+    ++stats_.retransmit_requests;
+    ++added;
+  }
+  if (added > 0) {
+    trace_event(TraceKind::kRetransmitRequested, my_aru_ + 1, added);
+  }
+}
+
+void SingleRing::update_flow_control(wire::Token& token, std::uint32_t sent_this_visit) {
+  const std::int64_t fcc = static_cast<std::int64_t>(token.fcc) + sent_this_visit -
+                           my_last_fcc_contribution_;
+  token.fcc = static_cast<std::uint32_t>(std::max<std::int64_t>(fcc, 0));
+  my_last_fcc_contribution_ = sent_this_visit;
+
+  const std::uint32_t backlog_now = static_cast<std::uint32_t>(
+      state_ == State::kRecovery ? my_retransmit_plan_.size() : send_queue_.size());
+  const std::int64_t backlog = static_cast<std::int64_t>(token.backlog) + backlog_now -
+                               my_last_backlog_contribution_;
+  token.backlog = static_cast<std::uint32_t>(std::max<std::int64_t>(backlog, 0));
+  my_last_backlog_contribution_ = backlog_now;
+}
+
+void SingleRing::discard_safe_messages(const wire::Token& token) {
+  if (state_ != State::kRecovery) {
+    // A message at or below the aru of two consecutive rotations has been
+    // received by every node: it is SAFE (Totem SRP's strong guarantee) and
+    // its store copy can be freed (paper §2).
+    const SeqNum safe = std::min(prev_rotation_aru_, token.aru);
+    if (safe > safe_up_to_) {
+      safe_up_to_ = safe;
+      trace_event(TraceKind::kSafeAdvanced, safe_up_to_);
+      if (safe_handler_) safe_handler_(safe_up_to_);
+    }
+    store_.erase(store_.begin(), store_.upper_bound(std::min(safe, delivered_up_to_)));
+  }
+  prev_rotation_aru_ = token.aru;
+}
+
+void SingleRing::forward_token(wire::Token token) {
+  token.sender = config_.node_id;
+  Bytes bytes = wire::serialize_token(token);
+  retained_token_ = bytes;
+  retained_token_seq_ = token.seq;
+
+  const NodeId next = successor();
+  if (next == config_.node_id) {
+    // Singleton ring: loop the token back off-network.
+    retention_active_ = false;
+    timers_.schedule(config_.singleton_token_delay,
+                     [this, bytes] { on_token_packet(bytes, 0); });
+  } else {
+    retention_active_ = true;
+    replicator_.send_token(next, bytes);
+    arm_retention_timer();
+  }
+  trace_event(TraceKind::kTokenForwarded, next, token.seq);
+  arm_token_loss_timer();
+}
+
+void SingleRing::send_packed_regular(std::vector<wire::MessageEntry> entries) {
+  charge(Duration{config_.per_msg_send_cost.count() *
+                  static_cast<Duration::rep>(entries.size())});
+  const wire::PacketHeader header{wire::PacketType::kRegular, config_.node_id, ring_id_};
+  std::vector<wire::MessageEntry> pack;
+  std::size_t body = wire::kRegularBodyFixed;
+  for (auto& e : entries) {
+    const std::size_t esize = wire::kRegularEntryOverhead + e.payload.size();
+    if (!pack.empty() && body + esize > wire::kMaxBody) {
+      replicator_.broadcast_message(wire::serialize_regular(header, pack));
+      pack.clear();
+      body = wire::kRegularBodyFixed;
+    }
+    body += esize;
+    pack.push_back(std::move(e));
+  }
+  if (!pack.empty()) {
+    replicator_.broadcast_message(wire::serialize_regular(header, pack));
+  }
+}
+
+void SingleRing::send_packed_retransmit(std::vector<wire::MessageEntry> entries) {
+  charge(Duration{config_.per_msg_send_cost.count() *
+                  static_cast<Duration::rep>(entries.size())});
+  const wire::PacketHeader header{wire::PacketType::kRetransmit, config_.node_id, ring_id_};
+  std::vector<wire::MessageEntry> pack;
+  std::size_t body = wire::kRetransBodyFixed;
+  for (auto& e : entries) {
+    const std::size_t esize = wire::kRetransEntryOverhead + e.payload.size();
+    if (!pack.empty() && body + esize > wire::kMaxBody) {
+      replicator_.broadcast_message(wire::serialize_retransmit(header, pack));
+      pack.clear();
+      body = wire::kRetransBodyFixed;
+    }
+    body += esize;
+    pack.push_back(std::move(e));
+  }
+  if (!pack.empty()) {
+    replicator_.broadcast_message(wire::serialize_retransmit(header, pack));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+
+void SingleRing::arm_token_loss_timer() {
+  token_loss_timer_.cancel();
+  token_loss_timer_ = timers_.schedule(config_.token_loss_timeout, [this] {
+    ++stats_.token_loss_events;
+    trace_event(TraceKind::kTokenLoss);
+    start_gather("token loss");
+  });
+}
+
+void SingleRing::arm_retention_timer() {
+  retention_timer_.cancel();
+  retention_timer_ =
+      timers_.schedule(config_.token_retention_interval, [this] { on_retention_fire(); });
+}
+
+void SingleRing::on_retention_fire() {
+  if (!retention_active_) return;
+  if (state_ == State::kGather || state_ == State::kCommit) return;
+  ++stats_.token_retention_resends;
+  trace_event(TraceKind::kTokenRetained, successor(), retained_token_seq_);
+  replicator_.send_token(successor(), retained_token_);
+  arm_retention_timer();
+}
+
+void SingleRing::cancel_operational_timers() {
+  token_loss_timer_.cancel();
+  retention_timer_.cancel();
+  retention_active_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Misc
+
+void SingleRing::remember_ring(const RingId& ring) {
+  if (is_recent_ring(ring)) return;
+  recent_rings_.push_back(ring);
+  if (recent_rings_.size() > 8) {
+    recent_rings_.erase(recent_rings_.begin());
+  }
+}
+
+bool SingleRing::is_recent_ring(const RingId& ring) const {
+  return std::find(recent_rings_.begin(), recent_rings_.end(), ring) !=
+         recent_rings_.end();
+}
+
+NodeId SingleRing::successor_in(const std::vector<NodeId>& ring_order) const {
+  auto it = std::find(ring_order.begin(), ring_order.end(), config_.node_id);
+  if (it == ring_order.end() || ring_order.size() == 1) return config_.node_id;
+  ++it;
+  return it == ring_order.end() ? ring_order.front() : *it;
+}
+
+NodeId SingleRing::successor() const { return successor_in(members_); }
+
+void SingleRing::deliver_membership_view() {
+  ++view_number_;
+  if (membership_) {
+    membership_(MembershipView{ring_id_, members_, view_number_});
+  }
+}
+
+}  // namespace totem::srp

@@ -1,0 +1,278 @@
+// Totem Single Ring Protocol (Amir, Moser, Melliar-Smith, Agarwal,
+// Ciarfella — ACM TOCS 1995; summarized in §2 of the RRP paper).
+//
+// A logical token-passing ring over a broadcast LAN. The token carries the
+// global message sequence number, the all-received-up-to (aru) watermark,
+// retransmission requests and flow-control state. A node may broadcast only
+// while holding the token, which gives reliable totally-ordered delivery and
+// lets the ring drive an Ethernet far beyond its usual saturation point.
+//
+// This implementation talks to the network exclusively through
+// rrp::Replicator, so the identical protocol code runs unreplicated
+// (NullReplicator) or over N redundant networks (active/passive/
+// active-passive replicators) — which is precisely the layering the RRP
+// paper describes.
+//
+// Membership: the Gather / Commit / Recovery state machine of the Totem SRP
+// re-forms the ring after token loss, node crash, join, or partition heal,
+// and recovers old-ring messages so that delivery remains totally ordered
+// across configuration changes. (Simplifications vs the TOCS paper are
+// listed in DESIGN.md §6.)
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/timer_service.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "net/transport.h"
+#include "rrp/replicator.h"
+#include "srp/config.h"
+#include "srp/wire.h"
+
+namespace totem::srp {
+
+/// A message handed to the application in agreed (total) order.
+struct DeliveredMessage {
+  NodeId origin = kInvalidNode;
+  SeqNum seq = 0;          // global sequence number on the delivering ring
+  BytesView payload;       // valid only for the duration of the callback
+  bool recovered = false;  // delivered during/after ring recovery
+};
+
+struct MembershipView {
+  RingId ring;
+  std::vector<NodeId> members;  // sorted
+  std::uint64_t view_number = 0;
+};
+
+class SingleRing {
+ public:
+  enum class State { kOperational, kGather, kCommit, kRecovery };
+
+  using DeliverHandler = std::function<void(const DeliveredMessage&)>;
+  using MembershipHandler = std::function<void(const MembershipView&)>;
+  /// Safe-delivery watermark (Totem SRP's stronger guarantee): invoked when
+  /// it becomes known that EVERY ring member has received all messages up
+  /// to `safe_seq` of the current ring. A message at or below the watermark
+  /// survives any single-node crash. Seq numbers restart per ring; pair the
+  /// watermark with the membership view.
+  using SafeHandler = std::function<void(SeqNum safe_seq)>;
+
+  SingleRing(TimerService& timers, rrp::Replicator& replicator, Config config,
+             net::CpuCharger* cpu = nullptr);
+
+  SingleRing(const SingleRing&) = delete;
+  SingleRing& operator=(const SingleRing&) = delete;
+
+  void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
+  void set_membership_handler(MembershipHandler h) { membership_ = std::move(h); }
+  void set_safe_watermark_handler(SafeHandler h) { safe_handler_ = std::move(h); }
+
+  /// Wire the upcalls and begin protocol operation. Call after handlers are
+  /// set. With assume_initial_ring the representative injects the first
+  /// token; otherwise every node starts in Gather.
+  void start();
+
+  /// Queue a message for totally-ordered broadcast. Messages larger than
+  /// wire::kMaxUnfragmentedPayload are fragmented transparently and
+  /// reassembled before delivery. Fails when the send queue is full
+  /// (backpressure) — the paper's flow control in action.
+  Status send(BytesView payload);
+
+  // ---- introspection ----
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] NodeId node_id() const { return config_.node_id; }
+  [[nodiscard]] const RingId& ring() const { return ring_id_; }
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] SeqNum my_aru() const { return my_aru_; }
+  [[nodiscard]] std::size_t send_queue_depth() const { return send_queue_.size(); }
+  /// Messages currently retained for retransmission (tests/introspection).
+  [[nodiscard]] std::size_t store_size() const { return store_.size(); }
+  [[nodiscard]] SeqNum delivered_up_to() const { return delivered_up_to_; }
+  /// Highest seq known to be held by every ring member (0 until the token
+  /// has demonstrated it over two rotations).
+  [[nodiscard]] SeqNum safe_up_to() const { return safe_up_to_; }
+
+  /// True while this node knows of messages it has not yet received — used
+  /// by the passive replicator to hold the token back (paper Fig. 4,
+  /// anyMessagesMissing()). `token_seq` is the seq carried by the token
+  /// that prompted the question (0 if unknown).
+  [[nodiscard]] bool any_messages_missing(SeqNum token_seq) const;
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;        // accepted from the application
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t messages_broadcast = 0;   // entries put on the wire (new)
+    std::uint64_t messages_delivered = 0;   // application-visible messages
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t retransmissions_sent = 0;
+    std::uint64_t retransmit_requests = 0;  // rtr entries we added
+    std::uint64_t tokens_processed = 0;
+    std::uint64_t duplicate_tokens = 0;
+    std::uint64_t token_retention_resends = 0;
+    std::uint64_t token_loss_events = 0;
+    std::uint64_t stale_packets = 0;        // wrong/old ring
+    std::uint64_t malformed_packets = 0;
+    std::uint64_t send_queue_rejects = 0;
+    std::uint64_t membership_changes = 0;
+    std::uint64_t old_ring_messages_recovered = 0;
+    std::uint64_t old_ring_messages_lost = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  // ---- wiring from the replicator ----
+  void on_message_packet(BytesView packet, NetworkId from);
+  void on_token_packet(BytesView packet, NetworkId from);
+
+  // ---- operational protocol ----
+  void handle_regular_token(wire::Token token);
+  void accept_entry(wire::MessageEntry&& entry);
+  void try_deliver();
+  void deliver_entry(const wire::MessageEntry& entry);
+  std::uint32_t service_retransmissions(wire::Token& token);
+  std::uint32_t broadcast_new_messages(wire::Token& token);
+  std::uint32_t broadcast_recovery_messages(wire::Token& token);
+  void update_aru(wire::Token& token);
+  void add_retransmit_requests(wire::Token& token);
+  void update_flow_control(wire::Token& token, std::uint32_t sent_this_visit);
+  void discard_safe_messages(const wire::Token& token);
+  void forward_token(wire::Token token);
+  void send_packed_regular(std::vector<wire::MessageEntry> entries);
+  void send_packed_retransmit(std::vector<wire::MessageEntry> entries);
+
+  // ---- timers ----
+  void arm_token_loss_timer();
+  void arm_retention_timer();
+  void on_retention_fire();
+  void cancel_operational_timers();
+
+  // ---- membership (membership.cpp) ----
+  void start_gather(const char* reason);
+  void send_join();
+  void on_join(const wire::JoinMessage& join);
+  void check_consensus();
+  void on_consensus_timeout();
+  void on_commit_token(wire::CommitToken commit);
+  void enter_recovery(const wire::CommitToken& commit);
+  void begin_recovery_ring();
+  void accept_recovered_entry(const wire::MessageEntry& entry);
+  void deliver_old_ring_contiguous();
+  void install_ring();
+
+  void remember_ring(const RingId& ring);
+  [[nodiscard]] bool is_recent_ring(const RingId& ring) const;
+  [[nodiscard]] NodeId successor() const;
+  [[nodiscard]] NodeId successor_in(const std::vector<NodeId>& ring_order) const;
+  [[nodiscard]] bool is_leader() const {
+    return !members_.empty() && members_.front() == config_.node_id;
+  }
+  void charge(Duration cost) {
+    if (cpu_ && cost.count() > 0) cpu_->charge(cost);
+  }
+  void trace_event(TraceKind kind, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (config_.trace) config_.trace->emit(timers_.now(), kind, a, b);
+  }
+  void deliver_membership_view();
+
+  TimerService& timers_;
+  rrp::Replicator& replicator_;
+  Config config_;
+  net::CpuCharger* cpu_;
+
+  DeliverHandler deliver_;
+  MembershipHandler membership_;
+  SafeHandler safe_handler_;
+  Stats stats_;
+
+  State state_ = State::kOperational;
+  RingId ring_id_;
+  std::vector<NodeId> members_;  // sorted
+  std::uint64_t view_number_ = 0;
+
+  // Send path.
+  std::deque<wire::MessageEntry> send_queue_;  // seq unassigned until broadcast
+
+  // Receive path (current ring).
+  std::map<SeqNum, wire::MessageEntry> store_;  // received & own messages
+  SeqNum my_aru_ = 0;                           // highest contiguous seq held
+  SeqNum high_seq_seen_ = 0;                    // highest seq seen (msgs+token)
+  SeqNum delivered_up_to_ = 0;
+  std::map<NodeId, Bytes> frag_buffer_;          // per-origin reassembly
+  std::map<NodeId, std::uint16_t> frag_expect_;  // next expected frag index
+
+  // Token state.
+  std::optional<std::pair<std::uint64_t, SeqNum>> last_token_instance_;
+  SeqNum prev_rotation_aru_ = 0;
+  SeqNum safe_up_to_ = 0;
+  std::uint32_t my_last_fcc_contribution_ = 0;
+  std::uint32_t my_last_backlog_contribution_ = 0;
+  Bytes retained_token_;
+  SeqNum retained_token_seq_ = 0;
+  bool retention_active_ = false;
+  TimerHandle retention_timer_;
+  TimerHandle token_loss_timer_;
+  TimerHandle announce_timer_;
+  void arm_announce_timer();
+  void on_announce_fire();
+  void on_announce(const wire::Announce& announce);
+
+  // Gather state.
+  std::set<NodeId> proc_set_;
+  std::set<NodeId> fail_set_;
+  std::map<NodeId, wire::JoinMessage> joins_;
+  std::uint64_t highest_ring_seq_ = 0;
+  TimePoint gather_start_{};
+  int consensus_rounds_ = 0;
+  TimerHandle join_timer_;
+  TimerHandle consensus_timer_;
+  /// Ring ids this node has recently been part of. Regular traffic tagged
+  /// with a ring NOT in this list while we are Operational means a foreign
+  /// ring exists (a healed partition): run the membership protocol to merge.
+  std::vector<RingId> recent_rings_;
+  /// Last merge attempt per foreign ring (bounded), enforcing merge_backoff.
+  std::vector<std::pair<RingId, TimePoint>> merge_attempts_;
+  [[nodiscard]] bool should_attempt_merge(const RingId& foreign_ring);
+
+  // Commit state. Like regular tokens, a forwarded commit token is retained
+  // and periodically resent until the formation visibly progresses — a lost
+  // commit token then costs a retention interval, not a full re-Gather.
+  TimerHandle commit_timer_;
+  std::uint32_t commit_forwards_ = 0;
+  Bytes retained_commit_;
+  NodeId retained_commit_dest_ = kInvalidNode;
+  bool commit_retention_active_ = false;
+  TimerHandle commit_retention_timer_;
+  void retain_commit(NodeId dest, Bytes packet);
+  void on_commit_retention_fire();
+  void stop_commit_retention();
+
+  // Recovery state.
+  RingId old_ring_id_;
+  std::map<SeqNum, wire::MessageEntry> old_store_;  // old-ring messages
+  SeqNum old_delivered_up_to_ = 0;
+  SeqNum old_high_target_ = 0;  // deliver old messages up to here if possible
+  std::deque<SeqNum> my_retransmit_plan_;  // old seqs I will rebroadcast
+  std::set<SeqNum> old_seq_on_new_ring_;   // old seqs already rebroadcast
+};
+
+[[nodiscard]] constexpr const char* to_string(SingleRing::State s) {
+  switch (s) {
+    case SingleRing::State::kOperational: return "operational";
+    case SingleRing::State::kGather: return "gather";
+    case SingleRing::State::kCommit: return "commit";
+    case SingleRing::State::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+}  // namespace totem::srp

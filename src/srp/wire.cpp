@@ -1,0 +1,395 @@
+#include "srp/wire.h"
+
+#include <cassert>
+
+#include "common/crc32.h"
+
+namespace totem::srp::wire {
+namespace {
+
+void write_header(ByteWriter& w, PacketType type, NodeId sender, const RingId& ring) {
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(sender);
+  w.u32(ring.representative);
+  w.u64(ring.ring_seq);
+  w.u32(0);  // CRC placeholder, patched by finalize()
+}
+
+/// Checksum of the whole packet with the CRC field treated as zero.
+std::uint32_t packet_crc(BytesView packet) {
+  Crc32 crc;
+  crc.update(packet.subspan(0, kCrcOffset));
+  crc.update_zeros(4);
+  crc.update(packet.subspan(kCrcOffset + 4));
+  return crc.value();
+}
+
+/// Stamp the packet checksum; every serialize_* function returns through
+/// here.
+Bytes finalize(ByteWriter&& w) {
+  Bytes out = std::move(w).take();
+  assert(out.size() >= kPacketHeaderSize);
+  const std::uint32_t crc = packet_crc(out);
+  out[kCrcOffset] = std::byte(crc & 0xFF);
+  out[kCrcOffset + 1] = std::byte((crc >> 8) & 0xFF);
+  out[kCrcOffset + 2] = std::byte((crc >> 16) & 0xFF);
+  out[kCrcOffset + 3] = std::byte((crc >> 24) & 0xFF);
+  return out;
+}
+
+Result<PacketHeader> read_header(ByteReader& r, BytesView whole_packet) {
+  auto magic = r.u32();
+  if (!magic) return magic.status();
+  if (magic.value() != kMagic) {
+    return Status{StatusCode::kMalformedPacket, "bad magic"};
+  }
+  auto version = r.u8();
+  if (!version) return version.status();
+  if (version.value() != kVersion) {
+    return Status{StatusCode::kMalformedPacket, "unsupported version"};
+  }
+  auto type = r.u8();
+  auto sender = r.u32();
+  auto rep = r.u32();
+  auto ring_seq = r.u64();
+  auto crc = r.u32();
+  if (!type || !sender || !rep || !ring_seq || !crc) {
+    return Status{StatusCode::kMalformedPacket, "truncated header"};
+  }
+  if (type.value() < static_cast<std::uint8_t>(PacketType::kRegular) ||
+      type.value() > static_cast<std::uint8_t>(PacketType::kAnnounce)) {
+    return Status{StatusCode::kMalformedPacket, "unknown packet type"};
+  }
+  if (crc.value() != packet_crc(whole_packet)) {
+    return Status{StatusCode::kMalformedPacket, "checksum mismatch"};
+  }
+  return PacketHeader{static_cast<PacketType>(type.value()), sender.value(),
+                      RingId{rep.value(), ring_seq.value()}};
+}
+
+}  // namespace
+
+Bytes serialize_regular(const PacketHeader& header, const std::vector<MessageEntry>& entries) {
+  assert(!entries.empty());
+  ByteWriter w(kPacketHeaderSize + kMaxBody);
+  write_header(w, PacketType::kRegular, header.sender, header.ring);
+  w.u64(entries.front().seq);
+  w.u16(static_cast<std::uint16_t>(entries.size()));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const MessageEntry& e = entries[i];
+    assert(e.seq == entries.front().seq + i && "regular entries must be consecutive");
+    assert(e.origin == header.sender && "regular entries must originate at sender");
+    w.u8(e.flags);
+    w.u16(e.frag_index);
+    w.u16(e.frag_count);
+    w.u16(static_cast<std::uint16_t>(e.payload.size()));
+    w.raw(e.payload);
+  }
+  return finalize(std::move(w));
+}
+
+Bytes serialize_retransmit(const PacketHeader& header, const std::vector<MessageEntry>& entries) {
+  assert(!entries.empty());
+  ByteWriter w(kPacketHeaderSize + kMaxBody);
+  write_header(w, PacketType::kRetransmit, header.sender, header.ring);
+  w.u16(static_cast<std::uint16_t>(entries.size()));
+  for (const MessageEntry& e : entries) {
+    w.u64(e.seq);
+    w.u32(e.origin);
+    w.u8(e.flags);
+    w.u16(e.frag_index);
+    w.u16(e.frag_count);
+    w.u16(static_cast<std::uint16_t>(e.payload.size()));
+    w.raw(e.payload);
+  }
+  return finalize(std::move(w));
+}
+
+Result<RegularPacket> parse_messages(BytesView packet) {
+  ByteReader r(packet);
+  auto header = read_header(r, packet);
+  if (!header) return header.status();
+  RegularPacket out;
+  out.header = header.value();
+
+  const bool retransmit = out.header.type == PacketType::kRetransmit;
+  if (out.header.type != PacketType::kRegular && !retransmit) {
+    return Status{StatusCode::kMalformedPacket, "not a message packet"};
+  }
+
+  SeqNum first_seq = 0;
+  if (!retransmit) {
+    auto fs = r.u64();
+    if (!fs) return fs.status();
+    first_seq = fs.value();
+  }
+  auto count = r.u16();
+  if (!count) return count.status();
+  if (count.value() == 0) {
+    return Status{StatusCode::kMalformedPacket, "empty message packet"};
+  }
+  out.entries.reserve(count.value());
+  for (std::uint16_t i = 0; i < count.value(); ++i) {
+    MessageEntry e;
+    if (retransmit) {
+      auto seq = r.u64();
+      auto origin = r.u32();
+      if (!seq || !origin) return Status{StatusCode::kMalformedPacket, "truncated entry"};
+      e.seq = seq.value();
+      e.origin = origin.value();
+    } else {
+      e.seq = first_seq + i;
+      e.origin = out.header.sender;
+    }
+    auto flags = r.u8();
+    auto fi = r.u16();
+    auto fc = r.u16();
+    auto len = r.u16();
+    if (!flags || !fi || !fc || !len) {
+      return Status{StatusCode::kMalformedPacket, "truncated entry"};
+    }
+    e.flags = flags.value();
+    e.frag_index = fi.value();
+    e.frag_count = fc.value();
+    if (e.frag_count == 0 || e.frag_index >= e.frag_count) {
+      return Status{StatusCode::kMalformedPacket, "bad fragment indices"};
+    }
+    auto payload = r.raw(len.value());
+    if (!payload) return payload.status();
+    e.payload.assign(payload.value().begin(), payload.value().end());
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+Bytes serialize_token(const Token& token) {
+  ByteWriter w(kPacketHeaderSize + 64 + token.rtr.size() * 8);
+  write_header(w, PacketType::kToken, token.sender, token.ring);
+  w.u64(token.seq);
+  w.u64(token.aru);
+  w.u32(token.aru_id);
+  w.u64(token.rotation);
+  w.u32(token.fcc);
+  w.u32(token.backlog);
+  w.u16(static_cast<std::uint16_t>(token.rtr.size()));
+  for (SeqNum s : token.rtr) w.u64(s);
+  return finalize(std::move(w));
+}
+
+Result<Token> parse_token(BytesView packet) {
+  ByteReader r(packet);
+  auto header = read_header(r, packet);
+  if (!header) return header.status();
+  if (header.value().type != PacketType::kToken) {
+    return Status{StatusCode::kMalformedPacket, "not a token"};
+  }
+  Token t;
+  t.ring = header.value().ring;
+  t.sender = header.value().sender;
+  auto seq = r.u64();
+  auto aru = r.u64();
+  auto aru_id = r.u32();
+  auto rotation = r.u64();
+  auto fcc = r.u32();
+  auto backlog = r.u32();
+  auto rtr_count = r.u16();
+  if (!seq || !aru || !aru_id || !rotation || !fcc || !backlog || !rtr_count) {
+    return Status{StatusCode::kMalformedPacket, "truncated token"};
+  }
+  t.seq = seq.value();
+  t.aru = aru.value();
+  t.aru_id = aru_id.value();
+  t.rotation = rotation.value();
+  t.fcc = fcc.value();
+  t.backlog = backlog.value();
+  t.rtr.reserve(rtr_count.value());
+  for (std::uint16_t i = 0; i < rtr_count.value(); ++i) {
+    auto s = r.u64();
+    if (!s) return s.status();
+    t.rtr.push_back(s.value());
+  }
+  return t;
+}
+
+Bytes serialize_join(const JoinMessage& join) {
+  ByteWriter w(kPacketHeaderSize + 16 + (join.proc_set.size() + join.fail_set.size()) * 4);
+  // Join messages are not bound to a ring; carry a null ring id.
+  write_header(w, PacketType::kJoin, join.sender, RingId{});
+  w.u64(join.ring_seq);
+  w.u16(static_cast<std::uint16_t>(join.proc_set.size()));
+  for (NodeId n : join.proc_set) w.u32(n);
+  w.u16(static_cast<std::uint16_t>(join.fail_set.size()));
+  for (NodeId n : join.fail_set) w.u32(n);
+  return finalize(std::move(w));
+}
+
+Result<JoinMessage> parse_join(BytesView packet) {
+  ByteReader r(packet);
+  auto header = read_header(r, packet);
+  if (!header) return header.status();
+  if (header.value().type != PacketType::kJoin) {
+    return Status{StatusCode::kMalformedPacket, "not a join message"};
+  }
+  JoinMessage j;
+  j.sender = header.value().sender;
+  auto ring_seq = r.u64();
+  if (!ring_seq) return ring_seq.status();
+  j.ring_seq = ring_seq.value();
+  auto np = r.u16();
+  if (!np) return np.status();
+  for (std::uint16_t i = 0; i < np.value(); ++i) {
+    auto n = r.u32();
+    if (!n) return n.status();
+    j.proc_set.push_back(n.value());
+  }
+  auto nf = r.u16();
+  if (!nf) return nf.status();
+  for (std::uint16_t i = 0; i < nf.value(); ++i) {
+    auto n = r.u32();
+    if (!n) return n.status();
+    j.fail_set.push_back(n.value());
+  }
+  return j;
+}
+
+Bytes serialize_commit(const CommitToken& commit) {
+  ByteWriter w(kPacketHeaderSize + 8 + commit.members.size() * 33);
+  write_header(w, PacketType::kCommitToken, commit.sender, commit.new_ring);
+  w.u32(commit.hop);
+  w.u16(static_cast<std::uint16_t>(commit.members.size()));
+  for (const CommitMember& m : commit.members) {
+    w.u32(m.node);
+    w.u32(m.old_ring.representative);
+    w.u64(m.old_ring.ring_seq);
+    w.u64(m.my_aru);
+    w.u64(m.high_seq);
+    w.u8(m.filled ? 1 : 0);
+  }
+  return finalize(std::move(w));
+}
+
+Result<CommitToken> parse_commit(BytesView packet) {
+  ByteReader r(packet);
+  auto header = read_header(r, packet);
+  if (!header) return header.status();
+  if (header.value().type != PacketType::kCommitToken) {
+    return Status{StatusCode::kMalformedPacket, "not a commit token"};
+  }
+  CommitToken c;
+  c.new_ring = header.value().ring;
+  c.sender = header.value().sender;
+  auto hop = r.u32();
+  auto count = r.u16();
+  if (!hop || !count) return Status{StatusCode::kMalformedPacket, "truncated commit token"};
+  c.hop = hop.value();
+  for (std::uint16_t i = 0; i < count.value(); ++i) {
+    CommitMember m;
+    auto node = r.u32();
+    auto rep = r.u32();
+    auto rseq = r.u64();
+    auto aru = r.u64();
+    auto high = r.u64();
+    auto filled = r.u8();
+    if (!node || !rep || !rseq || !aru || !high || !filled) {
+      return Status{StatusCode::kMalformedPacket, "truncated commit member"};
+    }
+    m.node = node.value();
+    m.old_ring = RingId{rep.value(), rseq.value()};
+    m.my_aru = aru.value();
+    m.high_seq = high.value();
+    m.filled = filled.value() != 0;
+    c.members.push_back(m);
+  }
+  return c;
+}
+
+Bytes serialize_announce(const Announce& announce) {
+  ByteWriter w(kPacketHeaderSize + 4);
+  write_header(w, PacketType::kAnnounce, announce.sender, announce.ring);
+  w.u32(announce.member_count);
+  return finalize(std::move(w));
+}
+
+Result<Announce> parse_announce(BytesView packet) {
+  ByteReader r(packet);
+  auto header = read_header(r, packet);
+  if (!header) return header.status();
+  if (header.value().type != PacketType::kAnnounce) {
+    return Status{StatusCode::kMalformedPacket, "not an announcement"};
+  }
+  Announce a;
+  a.sender = header.value().sender;
+  a.ring = header.value().ring;
+  auto count = r.u32();
+  if (!count) return count.status();
+  a.member_count = count.value();
+  return a;
+}
+
+Bytes serialize_recovered(const RecoveredMessage& rec) {
+  ByteWriter w(32 + rec.original.payload.size());
+  w.u32(rec.old_ring.representative);
+  w.u64(rec.old_ring.ring_seq);
+  w.u64(rec.original.seq);
+  w.u32(rec.original.origin);
+  w.u8(rec.original.flags);
+  w.u16(rec.original.frag_index);
+  w.u16(rec.original.frag_count);
+  w.u16(static_cast<std::uint16_t>(rec.original.payload.size()));
+  w.raw(rec.original.payload);
+  // Not a packet: this is the inner payload of a recovery MessageEntry, so
+  // it has no header/CRC of its own (the carrying packet is checksummed).
+  return std::move(w).take();
+}
+
+Result<RecoveredMessage> parse_recovered(BytesView payload) {
+  ByteReader r(payload);
+  RecoveredMessage rec;
+  auto rep = r.u32();
+  auto rseq = r.u64();
+  auto seq = r.u64();
+  auto origin = r.u32();
+  auto flags = r.u8();
+  auto fi = r.u16();
+  auto fc = r.u16();
+  auto len = r.u16();
+  if (!rep || !rseq || !seq || !origin || !flags || !fi || !fc || !len) {
+    return Status{StatusCode::kMalformedPacket, "truncated recovered message"};
+  }
+  rec.old_ring = RingId{rep.value(), rseq.value()};
+  rec.original.seq = seq.value();
+  rec.original.origin = origin.value();
+  rec.original.flags = flags.value() & ~MessageEntry::kFlagRecovered;
+  rec.original.frag_index = fi.value();
+  rec.original.frag_count = fc.value();
+  auto body = r.raw(len.value());
+  if (!body) return body.status();
+  rec.original.payload.assign(body.value().begin(), body.value().end());
+  return rec;
+}
+
+Result<PacketInfo> peek(BytesView packet) {
+  ByteReader r(packet);
+  auto header = read_header(r, packet);
+  if (!header) return header.status();
+  PacketInfo info;
+  info.type = header.value().type;
+  info.sender = header.value().sender;
+  info.ring = header.value().ring;
+  if (info.type == PacketType::kToken) {
+    auto seq = r.u64();
+    auto aru = r.u64();
+    auto aru_id = r.u32();
+    auto rotation = r.u64();
+    if (!seq || !aru || !aru_id || !rotation) {
+      return Status{StatusCode::kMalformedPacket, "truncated token"};
+    }
+    info.token_seq = seq.value();
+    info.token_rotation = rotation.value();
+  }
+  return info;
+}
+
+}  // namespace totem::srp::wire

@@ -1,0 +1,201 @@
+// Totem SRP wire format.
+//
+// Framing math mirrors the paper (§8): an Ethernet frame is 1518 bytes, of
+// which 94 are Ethernet + IPv4 + UDP + Totem headers, leaving 1424 bytes of
+// Totem payload. Our fixed packet header is 26 bytes (counted inside the
+// paper's 94), and the remaining body must fit in kMaxBody = 1424 bytes.
+// A regular packet body carries first_seq(8) + count(2) + per-message
+// {flags(1), frag_index(2), frag_count(2), len(2)} + payload — so exactly
+// two 700-byte messages fill a frame (8+2+2*(7+700) = 1424), reproducing
+// the throughput peaks at 700/1400-byte messages in Figures 6-9.
+//
+// All parse functions are bounds-checked and return Result: a malformed
+// packet from a faulty network is an expected, countable event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace totem::srp::wire {
+
+constexpr std::uint32_t kMagic = 0x54535250u;  // "TSRP"
+constexpr std::uint8_t kVersion = 1;
+
+/// Fixed header present on every packet: magic(4) version(1) type(1)
+/// sender(4) ring.representative(4) ring.ring_seq(8) crc32(4). The CRC
+/// covers the whole packet (with the CRC field itself zeroed) — standing in
+/// for the Ethernet frame check sequence the paper's deployment relied on;
+/// a corrupted packet parses as malformed and is dropped, and the SRP's
+/// retransmission machinery repairs the loss.
+constexpr std::size_t kPacketHeaderSize = 26;
+constexpr std::size_t kCrcOffset = 22;
+
+/// Maximum packet body (after the fixed header): the paper's 1424-byte
+/// Totem payload.
+constexpr std::size_t kMaxBody = 1424;
+
+/// Per-message overhead inside a regular packet body.
+constexpr std::size_t kRegularEntryOverhead = 7;   // flags + frag_index + frag_count + len
+constexpr std::size_t kRegularBodyFixed = 10;      // first_seq + count
+/// Largest payload that can travel unfragmented.
+constexpr std::size_t kMaxUnfragmentedPayload =
+    kMaxBody - kRegularBodyFixed - kRegularEntryOverhead;  // 1407 bytes
+
+/// Per-message overhead inside a retransmission packet body (explicit seq
+/// and origin since retransmitted messages are neither consecutive nor
+/// necessarily the sender's own).
+constexpr std::size_t kRetransEntryOverhead = 19;  // seq + origin + flags + frags + len
+constexpr std::size_t kRetransBodyFixed = 2;       // count
+
+enum class PacketType : std::uint8_t {
+  kRegular = 1,      // packed new messages, consecutive seqs, origin == sender
+  kRetransmit = 2,   // packed retransmitted messages, explicit seq/origin
+  kToken = 3,        // the regular (operational / recovery) token
+  kJoin = 4,         // membership: join message (broadcast)
+  kCommitToken = 5,  // membership: commit token (unicast around new ring)
+  kAnnounce = 6,     // periodic ring announcement (merge discovery on idle rings)
+};
+
+struct PacketHeader {
+  PacketType type = PacketType::kRegular;
+  NodeId sender = kInvalidNode;
+  RingId ring;
+};
+
+// ---------------------------------------------------------------------------
+// Messages
+
+struct MessageEntry {
+  static constexpr std::uint8_t kFlagFragment = 0x01;   // part of a fragmented message
+  static constexpr std::uint8_t kFlagRecovered = 0x02;  // encapsulated old-ring message
+
+  SeqNum seq = 0;
+  NodeId origin = kInvalidNode;
+  std::uint8_t flags = 0;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 1;
+  Bytes payload;
+
+  [[nodiscard]] bool is_fragment() const { return (flags & kFlagFragment) != 0; }
+  [[nodiscard]] bool is_recovered() const { return (flags & kFlagRecovered) != 0; }
+};
+
+struct RegularPacket {
+  PacketHeader header;
+  std::vector<MessageEntry> entries;
+};
+
+/// Serialize consecutive-seq messages from `sender` (entries[i].seq must be
+/// first_seq + i and origin == sender).
+[[nodiscard]] Bytes serialize_regular(const PacketHeader& header,
+                                      const std::vector<MessageEntry>& entries);
+
+/// Serialize arbitrary (seq, origin) messages as a retransmission packet.
+[[nodiscard]] Bytes serialize_retransmit(const PacketHeader& header,
+                                         const std::vector<MessageEntry>& entries);
+
+[[nodiscard]] Result<RegularPacket> parse_messages(BytesView packet);
+
+// ---------------------------------------------------------------------------
+// Regular token (paper §2)
+
+struct Token {
+  RingId ring;
+  NodeId sender = kInvalidNode;     // node that forwarded this token
+  SeqNum seq = 0;                   // seq of the last message broadcast on the ring
+  SeqNum aru = 0;                   // all-received-up-to
+  NodeId aru_id = kInvalidNode;     // node that last lowered aru
+  std::uint64_t rotation = 0;       // incremented by the ring leader per rotation
+  std::uint32_t fcc = 0;            // messages broadcast during the last rotation
+  std::uint32_t backlog = 0;        // sum of send-queue lengths on the ring
+  std::vector<SeqNum> rtr;          // retransmission requests
+
+  /// Tokens are totally ordered per receiving node by (rotation, seq): the
+  /// leader bumps rotation once per full rotation (paper §2 footnote), so a
+  /// node never sees the same (rotation, seq) twice except for duplicates.
+  [[nodiscard]] std::pair<std::uint64_t, SeqNum> instance_id() const {
+    return {rotation, seq};
+  }
+};
+
+[[nodiscard]] Bytes serialize_token(const Token& token);
+[[nodiscard]] Result<Token> parse_token(BytesView packet);
+
+// ---------------------------------------------------------------------------
+// Membership (paper §2; Totem SRP Gather/Commit/Recovery)
+
+struct JoinMessage {
+  NodeId sender = kInvalidNode;
+  std::vector<NodeId> proc_set;  // nodes the sender believes are alive
+  std::vector<NodeId> fail_set;  // nodes the sender believes have failed
+  std::uint64_t ring_seq = 0;    // highest ring seq the sender has seen
+};
+
+[[nodiscard]] Bytes serialize_join(const JoinMessage& join);
+[[nodiscard]] Result<JoinMessage> parse_join(BytesView packet);
+
+struct CommitMember {
+  NodeId node = kInvalidNode;
+  RingId old_ring;
+  SeqNum my_aru = 0;     // member's aru on its old ring
+  SeqNum high_seq = 0;   // highest seq the member has seen on its old ring
+  bool filled = false;   // member has written its info (first pass)
+};
+
+struct CommitToken {
+  RingId new_ring;
+  NodeId sender = kInvalidNode;
+  std::uint32_t hop = 0;  // total hops taken; hop >= members.size() => 2nd pass
+  std::vector<CommitMember> members;
+};
+
+[[nodiscard]] Bytes serialize_commit(const CommitToken& commit);
+[[nodiscard]] Result<CommitToken> parse_commit(BytesView packet);
+
+// ---------------------------------------------------------------------------
+// Ring announcement: the ring leader periodically broadcasts its ring id so
+// that a healed partition is discovered even when no application traffic
+// flows. A node hearing an announcement for a ring it was never part of
+// runs the membership protocol to merge.
+
+struct Announce {
+  NodeId sender = kInvalidNode;
+  RingId ring;
+  std::uint32_t member_count = 0;
+};
+
+[[nodiscard]] Bytes serialize_announce(const Announce& announce);
+[[nodiscard]] Result<Announce> parse_announce(BytesView packet);
+
+// ---------------------------------------------------------------------------
+// Recovery encapsulation: an old-ring message re-broadcast on the new ring
+// travels as a MessageEntry payload with kFlagRecovered set.
+
+struct RecoveredMessage {
+  RingId old_ring;
+  MessageEntry original;  // original seq/origin/flags/fragments/payload
+};
+
+[[nodiscard]] Bytes serialize_recovered(const RecoveredMessage& rec);
+[[nodiscard]] Result<RecoveredMessage> parse_recovered(BytesView payload);
+
+// ---------------------------------------------------------------------------
+// Peek: cheap header inspection used by the RRP layer to route packets
+// (message path vs token path) and by the network monitors.
+
+struct PacketInfo {
+  PacketType type = PacketType::kRegular;
+  NodeId sender = kInvalidNode;
+  RingId ring;
+  // Valid for kToken only:
+  SeqNum token_seq = 0;
+  std::uint64_t token_rotation = 0;
+};
+
+[[nodiscard]] Result<PacketInfo> peek(BytesView packet);
+
+}  // namespace totem::srp::wire

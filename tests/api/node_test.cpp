@@ -1,0 +1,80 @@
+#include "api/node.h"
+
+#include <gtest/gtest.h>
+
+#include "rrp/active_passive_replicator.h"
+#include "rrp/active_replicator.h"
+#include "rrp/null_replicator.h"
+#include "rrp/passive_replicator.h"
+#include "sim/simulator.h"
+#include "testing/fake_transport.h"
+
+namespace totem::api {
+namespace {
+
+using testing::FakeTransport;
+
+struct ApiFixture : ::testing::Test {
+  sim::Simulator sim;
+  FakeTransport t0{0, 1};
+  FakeTransport t1{1, 1};
+  FakeTransport t2{2, 1};
+
+  NodeConfig config(ReplicationStyle style) {
+    NodeConfig cfg;
+    cfg.srp.node_id = 1;
+    cfg.srp.initial_members = {1, 2};
+    cfg.style = style;
+    return cfg;
+  }
+};
+
+TEST_F(ApiFixture, NoTransportsThrows) {
+  EXPECT_THROW(Node(sim, {}, config(ReplicationStyle::kNone)), std::invalid_argument);
+}
+
+TEST_F(ApiFixture, StyleSelectsReplicator) {
+  Node none(sim, {&t0}, config(ReplicationStyle::kNone));
+  EXPECT_NE(dynamic_cast<rrp::NullReplicator*>(&none.replicator()), nullptr);
+
+  Node active(sim, {&t0, &t1}, config(ReplicationStyle::kActive));
+  EXPECT_NE(dynamic_cast<rrp::ActiveReplicator*>(&active.replicator()), nullptr);
+
+  Node passive(sim, {&t0, &t1}, config(ReplicationStyle::kPassive));
+  EXPECT_NE(dynamic_cast<rrp::PassiveReplicator*>(&passive.replicator()), nullptr);
+
+  Node ap(sim, {&t0, &t1, &t2}, config(ReplicationStyle::kActivePassive));
+  EXPECT_NE(dynamic_cast<rrp::ActivePassiveReplicator*>(&ap.replicator()), nullptr);
+}
+
+TEST_F(ApiFixture, SendBeforeStartQueues) {
+  Node node(sim, {&t0, &t1}, config(ReplicationStyle::kActive));
+  EXPECT_TRUE(node.send(to_bytes("early")).is_ok());
+  EXPECT_EQ(node.ring().send_queue_depth(), 1u);
+}
+
+TEST_F(ApiFixture, StartInjectsTokenForLeader) {
+  Node node(sim, {&t0, &t1}, config(ReplicationStyle::kActive));
+  node.start();
+  sim.run_for(Duration{10});
+  // Node 1 is the leader of {1,2}: the first token goes out on both networks.
+  EXPECT_EQ(t0.sent.size(), 1u);
+  EXPECT_EQ(t1.sent.size(), 1u);
+  EXPECT_EQ(t0.sent[0].unicast_dest, 2u);
+}
+
+TEST_F(ApiFixture, IdAndStyleExposed) {
+  Node node(sim, {&t0, &t1}, config(ReplicationStyle::kPassive));
+  EXPECT_EQ(node.id(), 1u);
+  EXPECT_EQ(node.style(), ReplicationStyle::kPassive);
+  EXPECT_STREQ(to_string(node.style()), "passive");
+}
+
+TEST(ApiEnum, StyleNames) {
+  EXPECT_STREQ(to_string(ReplicationStyle::kNone), "none");
+  EXPECT_STREQ(to_string(ReplicationStyle::kActive), "active");
+  EXPECT_STREQ(to_string(ReplicationStyle::kActivePassive), "active-passive");
+}
+
+}  // namespace
+}  // namespace totem::api

@@ -1,0 +1,70 @@
+#include "api/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::api {
+namespace {
+
+TEST(Stats, SnapshotReflectsLiveCluster) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.network_count = 2;
+  cfg.style = ReplicationStyle::kActive;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.node(0).send(Bytes(64, std::byte{1})).is_ok());
+  }
+  cluster.run_for(Duration{500'000});
+
+  const StatsSnapshot snap = snapshot(cluster.node(1), {});
+  EXPECT_EQ(snap.node, 1u);
+  EXPECT_EQ(snap.style, ReplicationStyle::kActive);
+  EXPECT_EQ(snap.state, srp::SingleRing::State::kOperational);
+  EXPECT_EQ(snap.member_count, 3u);
+  EXPECT_EQ(snap.my_aru, 10u);
+  EXPECT_EQ(snap.srp.messages_delivered, 10u);
+  EXPECT_GT(snap.srp.tokens_processed, 0u);
+  EXPECT_GT(snap.rrp.packets_fanned_out, 0u);
+  EXPECT_EQ(snap.safe_up_to, 10u) << "idle ring has rotated many times";
+}
+
+TEST(Stats, SnapshotIncludesPerNetworkState) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.network_count = 2;
+  cfg.style = ReplicationStyle::kActive;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{100'000});
+  cluster.node(0).replicator().mark_faulty(1);
+
+  // Transports are owned by the networks; fetch node 0's endpoints through
+  // fresh attachment bookkeeping is not exposed, so snapshot via the
+  // replicator's faulty flags only.
+  const StatsSnapshot snap = snapshot(cluster.node(0), {});
+  EXPECT_TRUE(cluster.node(0).replicator().network_faulty(1));
+  EXPECT_EQ(snap.rrp.faults_reported, 1u);
+}
+
+TEST(Stats, DumpIsHumanReadable) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = ReplicationStyle::kPassive;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("x")).is_ok());
+  cluster.run_for(Duration{300'000});
+
+  const std::string dump = to_string(snapshot(cluster.node(0), {}));
+  EXPECT_NE(dump.find("node 0 [passive]"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("state=operational"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("delivered=1"), std::string::npos) << dump;
+}
+
+}  // namespace
+}  // namespace totem::api

@@ -1,0 +1,106 @@
+#include "api/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace totem::api {
+namespace {
+
+NodeConfig good(ReplicationStyle style = ReplicationStyle::kActive) {
+  NodeConfig cfg;
+  cfg.srp.node_id = 1;
+  cfg.srp.initial_members = {1, 2, 3};
+  cfg.style = style;
+  return cfg;
+}
+
+TEST(Validate, DefaultsAreValid) {
+  EXPECT_TRUE(validate(good(ReplicationStyle::kNone), 1).is_ok());
+  EXPECT_TRUE(validate(good(ReplicationStyle::kActive), 2).is_ok());
+  EXPECT_TRUE(validate(good(ReplicationStyle::kPassive), 2).is_ok());
+  EXPECT_TRUE(validate(good(ReplicationStyle::kActivePassive), 3).is_ok());
+}
+
+TEST(Validate, ZeroTransportsRejected) {
+  EXPECT_FALSE(validate(good(), 0).is_ok());
+}
+
+TEST(Validate, NoneStyleWantsExactlyOneNetwork) {
+  EXPECT_FALSE(validate(good(ReplicationStyle::kNone), 2).is_ok());
+}
+
+TEST(Validate, ReplicationNeedsTwoNetworks) {
+  EXPECT_FALSE(validate(good(ReplicationStyle::kActive), 1).is_ok());
+  EXPECT_FALSE(validate(good(ReplicationStyle::kPassive), 1).is_ok());
+}
+
+TEST(Validate, ActivePassiveNeedsThreeNetworksAndValidK) {
+  EXPECT_FALSE(validate(good(ReplicationStyle::kActivePassive), 2).is_ok());
+  NodeConfig cfg = good(ReplicationStyle::kActivePassive);
+  cfg.active_passive.k = 1;  // K must exceed 1
+  EXPECT_FALSE(validate(cfg, 3).is_ok());
+  cfg.active_passive.k = 3;  // K must be < N
+  EXPECT_FALSE(validate(cfg, 3).is_ok());
+  cfg.active_passive.k = 3;
+  EXPECT_TRUE(validate(cfg, 4).is_ok());
+}
+
+TEST(Validate, MissingNodeIdRejected) {
+  NodeConfig cfg = good();
+  cfg.srp.node_id = kInvalidNode;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+}
+
+TEST(Validate, AssumedRingNeedsMembers) {
+  NodeConfig cfg = good();
+  cfg.srp.initial_members.clear();
+  cfg.srp.assume_initial_ring = true;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+  cfg.srp.assume_initial_ring = false;
+  EXPECT_TRUE(validate(cfg, 2).is_ok()) << "cold start without a roster is fine";
+}
+
+TEST(Validate, TimingOrderingEnforced) {
+  NodeConfig cfg = good();
+  cfg.srp.token_retention_interval = cfg.srp.token_loss_timeout;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+
+  cfg = good(ReplicationStyle::kPassive);
+  cfg.passive.token_buffer_timeout = cfg.srp.token_loss_timeout + Duration{1};
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+
+  cfg = good(ReplicationStyle::kActive);
+  cfg.active.token_timeout = cfg.srp.token_loss_timeout;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+}
+
+TEST(Validate, FlowControlSanity) {
+  NodeConfig cfg = good();
+  cfg.srp.window_size = 0;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+
+  cfg = good();
+  cfg.srp.max_messages_per_visit = cfg.srp.window_size + 1;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+
+  cfg = good();
+  cfg.srp.rtr_limit = 0;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+}
+
+TEST(Validate, MonitorThresholdsMustBePositive) {
+  NodeConfig cfg = good(ReplicationStyle::kActive);
+  cfg.active.problem_threshold = 0;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+
+  cfg = good(ReplicationStyle::kPassive);
+  cfg.passive.imbalance_threshold = 0;
+  EXPECT_FALSE(validate(cfg, 2).is_ok());
+}
+
+TEST(Validate, MessagesAreActionable) {
+  const Status s = validate(good(ReplicationStyle::kActivePassive), 2);
+  EXPECT_NE(s.message().find("three networks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace totem::api

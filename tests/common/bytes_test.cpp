@@ -1,0 +1,93 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace totem {
+namespace {
+
+TEST(ByteWriter, RoundTripsScalars) {
+  ByteWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789ABCDE);
+  w.u64(0x0123456789ABCDEFull);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8().value(), 0x12);
+  EXPECT_EQ(r.u16().value(), 0x3456);
+  EXPECT_EQ(r.u32().value(), 0x789ABCDEu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(buf[3]), 0x01);
+}
+
+TEST(ByteWriter, BlobRoundTrip) {
+  ByteWriter w;
+  w.blob(to_bytes("hello world"));
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  auto blob = r.blob();
+  ASSERT_TRUE(blob.is_ok());
+  EXPECT_EQ(to_string(blob.value()), "hello world");
+}
+
+TEST(ByteWriter, PatchU32) {
+  ByteWriter w;
+  w.u32(0);
+  w.u8(42);
+  w.patch_u32(0, 0xDEADBEEF);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u8().value(), 42);
+}
+
+TEST(ByteReader, UnderflowIsError) {
+  Bytes buf(3);
+  ByteReader r(buf);
+  EXPECT_TRUE(r.u16().is_ok());
+  auto v = r.u16();  // only 1 byte left
+  EXPECT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kMalformedPacket);
+}
+
+TEST(ByteReader, BlobLengthBeyondBufferIsError) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.blob().is_ok());
+}
+
+TEST(ByteReader, RawTracksPosition) {
+  Bytes buf(10, std::byte{7});
+  ByteReader r(buf);
+  ASSERT_TRUE(r.raw(4).is_ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+  ASSERT_TRUE(r.raw(6).is_ok());
+  EXPECT_FALSE(r.raw(1).is_ok());
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string s = "totem\0rrp";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(ByteReader, EmptyBufferIsImmediatelyExhausted) {
+  ByteReader r(BytesView{});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(r.u8().is_ok());
+}
+
+}  // namespace
+}  // namespace totem

@@ -1,0 +1,28 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace totem {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // CRC-32/IEEE of "123456789" is 0xCBF43926.
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  Bytes a = to_bytes("the totem redundant ring protocol");
+  Bytes b = a;
+  b[7] ^= std::byte{0x01};
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc32, Deterministic) {
+  const Bytes data = to_bytes("determinism matters in simulators");
+  EXPECT_EQ(crc32(data), crc32(data));
+}
+
+}  // namespace
+}  // namespace totem

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace totem {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s{StatusCode::kMalformedPacket, "truncated header"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kMalformedPacket);
+  EXPECT_EQ(s.to_string(), "MALFORMED_PACKET: truncated header");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status{StatusCode::kNotFound, "nope"};
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r = std::string("moveme");
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "moveme");
+}
+
+TEST(StatusCodeName, CoversAllCodes) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+}  // namespace
+}  // namespace totem

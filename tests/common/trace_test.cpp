@@ -1,0 +1,73 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace totem {
+namespace {
+
+TimePoint at(Duration::rep us) { return TimePoint{} + Duration{us}; }
+
+TEST(TraceRing, RecordsInOrder) {
+  TraceRing ring(16);
+  ring.emit(at(1), TraceKind::kTokenReceived, 1, 10);
+  ring.emit(at(2), TraceKind::kTokenForwarded, 2, 10);
+  auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].kind, TraceKind::kTokenReceived);
+  EXPECT_EQ(snap[1].kind, TraceKind::kTokenForwarded);
+  EXPECT_EQ(snap[0].a, 1u);
+  EXPECT_EQ(snap[0].b, 10u);
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.emit(at(static_cast<Duration::rep>(i)), TraceKind::kMessageDelivered, i, i);
+  }
+  EXPECT_EQ(ring.total_emitted(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().a, 6u) << "oldest surviving record";
+  EXPECT_EQ(snap.back().a, 9u);
+}
+
+TEST(TraceRing, ClearResets) {
+  TraceRing ring(4);
+  ring.emit(at(1), TraceKind::kTokenLoss);
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.total_emitted(), 0u);
+}
+
+TEST(TraceRing, ZeroCapacityClampsToOne) {
+  TraceRing ring(0);
+  ring.emit(at(1), TraceKind::kTokenLoss);
+  EXPECT_EQ(ring.snapshot().size(), 1u);
+}
+
+TEST(TraceRecord, RendersHumanReadably) {
+  TraceRecord r{at(1234), TraceKind::kTokenReceived, 3, 40};
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("t=1234us"), std::string::npos) << s;
+  EXPECT_NE(s.find("token-received"), std::string::npos) << s;
+  EXPECT_NE(s.find("rotation=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("seq=40"), std::string::npos) << s;
+}
+
+TEST(TraceRing, DumpMentionsOverwrites) {
+  TraceRing ring(2);
+  for (int i = 0; i < 5; ++i) ring.emit(at(i), TraceKind::kTokenLoss);
+  EXPECT_NE(ring.to_string().find("3 older events overwritten"), std::string::npos);
+}
+
+TEST(TraceKindNames, AllDistinct) {
+  std::set<std::string> names;
+  for (int k = 1; k <= static_cast<int>(TraceKind::kNetworkFault); ++k) {
+    names.insert(to_string(static_cast<TraceKind>(k)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(TraceKind::kNetworkFault));
+}
+
+}  // namespace
+}  // namespace totem

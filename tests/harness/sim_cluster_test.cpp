@@ -1,0 +1,162 @@
+// Tests for the test/bench harness itself: if SimCluster misbehaves, every
+// result built on it is suspect.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+TEST(SimCluster, RecordsDeliveriesWithTimestamps) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("a")).is_ok());
+  cluster.run_for(Duration{200'000});
+  ASSERT_EQ(cluster.deliveries(1).size(), 1u);
+  EXPECT_GT(cluster.deliveries(1)[0].when.time_since_epoch().count(), 0);
+  EXPECT_EQ(cluster.deliveries(1)[0].origin, 0u);
+  EXPECT_EQ(cluster.delivered_count(1), 1u);
+  EXPECT_EQ(cluster.delivered_bytes(1), 1u);
+}
+
+TEST(SimCluster, PayloadRecordingCanBeDisabled) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.record_payloads = false;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("abc")).is_ok());
+  cluster.run_for(Duration{200'000});
+  ASSERT_EQ(cluster.deliveries(1).size(), 1u);
+  EXPECT_TRUE(cluster.deliveries(1)[0].payload.empty());
+  EXPECT_EQ(cluster.deliveries(1)[0].payload_size, 3u);
+  EXPECT_EQ(cluster.delivered_bytes(1), 3u);
+}
+
+TEST(SimCluster, ClearRecordingsResetsCountersNotProtocol) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("a")).is_ok());
+  cluster.run_for(Duration{200'000});
+  cluster.clear_recordings();
+  EXPECT_EQ(cluster.total_delivered(), 0u);
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("b")).is_ok());
+  cluster.run_for(Duration{200'000});
+  EXPECT_EQ(cluster.delivered_count(1), 1u);
+  EXPECT_EQ(cluster.node(1).ring().stats().messages_delivered, 2u)
+      << "protocol counters keep running";
+}
+
+TEST(SimCluster, CrashIsolatesAndReconnectRestores) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.srp.token_loss_timeout = Duration{10'000'000};  // freeze membership
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.crash(1);
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("lost")).is_ok());
+  cluster.run_for(Duration{100'000});
+  EXPECT_TRUE(cluster.deliveries(1).empty());
+  cluster.reconnect(1);
+  cluster.run_for(Duration{500'000});
+  // The retained token & retransmissions eventually push it through.
+  EXPECT_EQ(cluster.deliveries(1).size(), 1u);
+}
+
+TEST(SimCluster, AppDeliverHandlerChainsWithRecording) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  SimCluster cluster(cfg);
+  int app_calls = 0;
+  cluster.set_app_deliver_handler(1, [&](const srp::DeliveredMessage&) { ++app_calls; });
+  cluster.start_all();
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("x")).is_ok());
+  cluster.run_for(Duration{200'000});
+  EXPECT_EQ(app_calls, 1);
+  EXPECT_EQ(cluster.delivered_count(1), 1u) << "recording still active";
+}
+
+TEST(SaturationDriver, KeepsQueuesTopped) {
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.record_payloads = false;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  SaturationDriver driver(cluster, {.message_size = 100, .queue_target = 32});
+  driver.start();
+  cluster.run_for(Duration{100'000});
+  EXPECT_GT(driver.messages_offered(), 100u);
+  EXPECT_GT(cluster.delivered_count(0), 0u);
+  driver.stop();
+  const auto offered = driver.messages_offered();
+  cluster.run_for(Duration{100'000});
+  EXPECT_EQ(driver.messages_offered(), offered) << "stop() halts refills";
+}
+
+TEST(PeriodicDriver, RespectsConfiguredRate) {
+  ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.record_payloads = false;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  PeriodicDriver driver(cluster, {.message_size = 50, .rate_per_node = 1'000});
+  driver.start();
+  cluster.run_for(Duration{1'000'000});
+  driver.stop();
+  // 2 nodes x 1000 msg/s x 1 s, within scheduling slack.
+  EXPECT_NEAR(static_cast<double>(driver.messages_offered()), 2000.0, 50.0);
+}
+
+TEST(SimCluster, SeedsChangeSchedulesDeterministically) {
+  auto run_once = [](std::uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.node_count = 3;
+    cfg.network_count = 2;
+    cfg.style = api::ReplicationStyle::kPassive;
+    cfg.seed = seed;
+    cfg.net_params.loss_rate = 0.05;
+    SimCluster cluster(cfg);
+    cluster.start_all();
+    for (int i = 0; i < 20; ++i) {
+      (void)cluster.node(0).send(Bytes(100, std::byte(i)));
+    }
+    cluster.run_for(Duration{2'000'000});
+    // Fingerprint the exact delivery schedule (not just aggregate counts,
+    // which can coincide across seeds).
+    std::uint64_t h = 1469598103934665603ull ^ cluster.network(0).stats().dropped_loss;
+    for (const auto& d : cluster.deliveries(1)) {
+      h = (h ^ static_cast<std::uint64_t>(d.when.time_since_epoch().count())) *
+          1099511628211ull;
+    }
+    return h;
+  };
+  EXPECT_EQ(run_once(7), run_once(7)) << "same seed, same universe";
+  // Different seeds give different universes. Aggregates of two specific
+  // seeds can coincide, so require divergence across a small set.
+  std::set<std::uint64_t> distinct{run_once(1), run_once(7), run_once(9)};
+  EXPECT_GT(distinct.size(), 1u) << "seeds must change the loss schedule";
+}
+
+}  // namespace
+}  // namespace totem::harness

@@ -1,0 +1,333 @@
+// Membership integration tests: the Totem SRP Gather/Commit/Recovery state
+// machine running end-to-end over simulated redundant networks. Node
+// crashes, cold-start formation, late joins, deaf nodes, and partition
+// healing — in contrast to network faults (fault_injection_test.cpp), these
+// DO produce membership changes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+ClusterConfig membership_config(api::ReplicationStyle style, std::size_t nodes) {
+  ClusterConfig cfg;
+  cfg.node_count = nodes;
+  cfg.network_count = 2;
+  cfg.style = style;
+  // Brisk membership timing so the tests converge in little simulated time.
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.join_interval = Duration{10'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  cfg.srp.commit_timeout = Duration{100'000};
+  return cfg;
+}
+
+std::vector<NodeId> last_view_members(const SimCluster& cluster, NodeId at) {
+  const auto& views = cluster.views(at);
+  if (views.empty()) return {};
+  return views.back().view.members;
+}
+
+class CrashTest : public ::testing::TestWithParam<api::ReplicationStyle> {};
+
+TEST_P(CrashTest, SurvivorsFormNewRingAndContinue) {
+  SimCluster cluster(membership_config(GetParam(), 4));
+  cluster.start_all();
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(cluster.node(0).send(to_bytes("pre-" + std::to_string(k))).is_ok());
+  }
+  cluster.run_for(Duration{300'000});
+
+  cluster.crash(3);
+  cluster.run_for(Duration{1'500'000});  // detect + reconfigure
+
+  // Survivors share a 3-member view.
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(last_view_members(cluster, i), (std::vector<NodeId>{0, 1, 2}))
+        << "node " << i;
+  }
+
+  // Traffic continues on the new ring.
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(cluster.node(1).send(to_bytes("post-" + std::to_string(k))).is_ok());
+  }
+  cluster.run_for(Duration{1'000'000});
+  for (NodeId i = 0; i < 3; ++i) {
+    ASSERT_EQ(cluster.deliveries(i).size(), 20u) << "node " << i;
+    // Identical total order among survivors.
+    for (std::size_t k = 0; k < 20; ++k) {
+      EXPECT_EQ(cluster.deliveries(i)[k].payload, cluster.deliveries(0)[k].payload);
+    }
+  }
+  // A node crash is NOT a network fault: no network alarms.
+  for (const auto& f : cluster.faults()) {
+    EXPECT_NE(f.at, 0u);  // (tolerate none at all; assert below)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, CrashTest,
+                         ::testing::Values(api::ReplicationStyle::kActive,
+                                           api::ReplicationStyle::kPassive));
+
+TEST(Membership, ColdStartFormsRingViaGather) {
+  ClusterConfig cfg = membership_config(api::ReplicationStyle::kActive, 4);
+  cfg.srp.assume_initial_ring = false;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{1'000'000});
+
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(i).ring().state(), srp::SingleRing::State::kOperational)
+        << "node " << i;
+    EXPECT_EQ(last_view_members(cluster, i), (std::vector<NodeId>{0, 1, 2, 3}))
+        << "node " << i;
+  }
+  // Same ring id everywhere.
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(i).ring().ring(), cluster.node(0).ring().ring());
+  }
+  // The formed ring carries traffic.
+  ASSERT_TRUE(cluster.node(2).send(to_bytes("hello")).is_ok());
+  cluster.run_for(Duration{500'000});
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_EQ(cluster.deliveries(i).size(), 1u) << "node " << i;
+  }
+}
+
+TEST(Membership, SingletonColdStart) {
+  ClusterConfig cfg = membership_config(api::ReplicationStyle::kActive, 1);
+  cfg.srp.assume_initial_ring = false;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{1'000'000});
+  EXPECT_EQ(cluster.node(0).ring().state(), srp::SingleRing::State::kOperational);
+  EXPECT_EQ(last_view_members(cluster, 0), (std::vector<NodeId>{0}));
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("solo")).is_ok());
+  cluster.run_for(Duration{500'000});
+  ASSERT_EQ(cluster.deliveries(0).size(), 1u);
+}
+
+TEST(Membership, LateJoinerMergesIntoRunningRing) {
+  ClusterConfig cfg = membership_config(api::ReplicationStyle::kActive, 4);
+  cfg.srp.assume_initial_ring = false;
+  SimCluster cluster(cfg);
+  cluster.start(0);
+  cluster.start(1);
+  cluster.start(2);
+  cluster.run_for(Duration{1'000'000});
+  for (NodeId i = 0; i < 3; ++i) {
+    ASSERT_EQ(last_view_members(cluster, i), (std::vector<NodeId>{0, 1, 2}));
+  }
+
+  cluster.start(3);
+  cluster.run_for(Duration{1'500'000});
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(last_view_members(cluster, i), (std::vector<NodeId>{0, 1, 2, 3}))
+        << "node " << i;
+  }
+  ASSERT_TRUE(cluster.node(3).send(to_bytes("newcomer")).is_ok());
+  cluster.run_for(Duration{500'000});
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_FALSE(cluster.deliveries(i).empty()) << "node " << i;
+    EXPECT_EQ(totem::to_string(cluster.deliveries(i).back().payload), "newcomer");
+  }
+}
+
+TEST(Membership, CrashedNodeRejoinsAfterReconnect) {
+  SimCluster cluster(membership_config(api::ReplicationStyle::kActive, 3));
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+
+  cluster.crash(2);
+  cluster.run_for(Duration{1'500'000});
+  EXPECT_EQ(last_view_members(cluster, 0), (std::vector<NodeId>{0, 1}));
+
+  // While isolated, node 2 forms a singleton ring. After reconnection the
+  // rings merge when traffic from one reaches the other (merge detection is
+  // traffic-triggered, as in Totem).
+  cluster.reconnect(2);
+  cluster.run_for(Duration{500'000});
+  ASSERT_TRUE(cluster.node(2).send(to_bytes("back")).is_ok());
+  cluster.run_for(Duration{2'500'000});
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(last_view_members(cluster, i), (std::vector<NodeId>{0, 1, 2}))
+        << "node " << i;
+  }
+}
+
+TEST(Membership, DeafNodeIsExcludedNotDeadlocked) {
+  // A node that can send but not receive (both NICs' RX paths dead) keeps
+  // broadcasting joins that never converge. The second-stage consensus
+  // timeout must exclude it rather than stall the ring forever.
+  SimCluster cluster(membership_config(api::ReplicationStyle::kActive, 3));
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+
+  cluster.network(0).set_recv_fault(2, true);
+  cluster.network(1).set_recv_fault(2, true);
+  cluster.run_for(Duration{3'000'000});
+
+  EXPECT_EQ(last_view_members(cluster, 0), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(last_view_members(cluster, 1), (std::vector<NodeId>{0, 1}));
+  // The survivors' ring still carries traffic.
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("onward")).is_ok());
+  cluster.run_for(Duration{500'000});
+  EXPECT_FALSE(cluster.deliveries(1).empty());
+  EXPECT_EQ(totem::to_string(cluster.deliveries(1).back().payload), "onward");
+}
+
+TEST(Membership, FullPartitionSplitsThenMergesWithTraffic) {
+  // BOTH networks partition identically (e.g. the two switches share a
+  // failed trunk): this is a real partition, so two rings form. When the
+  // partition heals, traffic from the foreign ring triggers the membership
+  // protocol and the rings merge.
+  SimCluster cluster(membership_config(api::ReplicationStyle::kActive, 4));
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+
+  cluster.network(0).set_partition({{0, 1}, {2, 3}});
+  cluster.network(1).set_partition({{0, 1}, {2, 3}});
+  cluster.run_for(Duration{1'500'000});
+
+  EXPECT_EQ(last_view_members(cluster, 0), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(last_view_members(cluster, 2), (std::vector<NodeId>{2, 3}));
+
+  // Each side makes independent progress.
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("side-a")).is_ok());
+  ASSERT_TRUE(cluster.node(2).send(to_bytes("side-b")).is_ok());
+  cluster.run_for(Duration{500'000});
+  EXPECT_EQ(totem::to_string(cluster.deliveries(1).back().payload), "side-a");
+  EXPECT_EQ(totem::to_string(cluster.deliveries(3).back().payload), "side-b");
+
+  // Heal. Traffic on either side leaks across, is recognized as a foreign
+  // ring, and triggers the merge.
+  cluster.network(0).clear_partition();
+  cluster.network(1).clear_partition();
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("probe")).is_ok());
+  cluster.run_for(Duration{3'000'000});
+
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(last_view_members(cluster, i), (std::vector<NodeId>{0, 1, 2, 3}))
+        << "node " << i;
+  }
+  // The merged ring carries traffic to everyone.
+  ASSERT_TRUE(cluster.node(3).send(to_bytes("united")).is_ok());
+  cluster.run_for(Duration{500'000});
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_FALSE(cluster.deliveries(i).empty());
+    EXPECT_EQ(totem::to_string(cluster.deliveries(i).back().payload), "united")
+        << "node " << i;
+  }
+}
+
+TEST(Membership, IdlePartitionsMergeViaAnnouncements) {
+  // Both networks partition, two rings form, the partition heals — and
+  // NOBODY sends anything. The leaders' periodic ring announcements alone
+  // must trigger the merge.
+  ClusterConfig cfg = membership_config(api::ReplicationStyle::kActive, 4);
+  cfg.srp.announce_interval = Duration{200'000};
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+
+  cluster.network(0).set_partition({{0, 1}, {2, 3}});
+  cluster.network(1).set_partition({{0, 1}, {2, 3}});
+  cluster.run_for(Duration{1'500'000});
+  ASSERT_EQ(last_view_members(cluster, 0), (std::vector<NodeId>{0, 1}));
+  ASSERT_EQ(last_view_members(cluster, 2), (std::vector<NodeId>{2, 3}));
+
+  cluster.network(0).clear_partition();
+  cluster.network(1).clear_partition();
+  cluster.run_for(Duration{4'000'000});  // no traffic at all
+
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(last_view_members(cluster, i), (std::vector<NodeId>{0, 1, 2, 3}))
+        << "node " << i;
+  }
+}
+
+TEST(Membership, AnnouncementsDisabledMeansNoIdleMerge) {
+  // Companion: with announcements off and zero traffic, healed partitions
+  // stay split — proving the announcement is the merge trigger above.
+  ClusterConfig cfg = membership_config(api::ReplicationStyle::kActive, 4);
+  cfg.srp.announce_interval = Duration{0};
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+  cluster.network(0).set_partition({{0, 1}, {2, 3}});
+  cluster.network(1).set_partition({{0, 1}, {2, 3}});
+  cluster.run_for(Duration{1'500'000});
+  cluster.network(0).clear_partition();
+  cluster.network(1).clear_partition();
+  cluster.run_for(Duration{4'000'000});
+  EXPECT_EQ(last_view_members(cluster, 0), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(last_view_members(cluster, 2), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(Membership, MessagesRecoveredAcrossReconfiguration) {
+  // Old-ring messages still in flight at the moment of a crash must survive
+  // the reconfiguration: every survivor delivers the complete stream in the
+  // same order (extended virtual synchrony's agreed-delivery core).
+  ClusterConfig cfg = membership_config(api::ReplicationStyle::kPassive, 4);
+  cfg.seed = 11;
+  SimCluster cluster(cfg);
+  // Loss keeps some survivors behind others, so the recovery phase has real
+  // work: laggards' gaps must be filled from peers' stores.
+  cluster.network(0).set_loss_rate(0.10);
+  cluster.start_all();
+  for (NodeId i = 0; i < 4; ++i) {
+    for (int k = 0; k < 25; ++k) {
+      ASSERT_TRUE(cluster.node(i)
+                      .send(to_bytes("m-" + std::to_string(i) + "-" + std::to_string(k)))
+                      .is_ok());
+    }
+  }
+  // Crash node 3 while messages are still propagating.
+  cluster.run_for(Duration{30'000});
+  cluster.crash(3);
+  cluster.run_for(Duration{4'000'000});
+
+  // All survivors deliver identical streams (node 3's accepted messages
+  // included, recovered from whoever held them).
+  const auto& ref = cluster.deliveries(0);
+  ASSERT_GE(ref.size(), 75u) << "survivors' own messages must all deliver";
+  for (NodeId i = 1; i < 3; ++i) {
+    const auto& d = cluster.deliveries(i);
+    ASSERT_EQ(d.size(), ref.size()) << "node " << i;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_EQ(d[k].payload, ref[k].payload) << "node " << i << " pos " << k;
+    }
+  }
+  // Survivors' own 75 messages are a subset of what was delivered.
+  std::set<std::string> delivered_set;
+  for (const auto& m : ref) delivered_set.insert(totem::to_string(m.payload));
+  for (NodeId i = 0; i < 3; ++i) {
+    for (int k = 0; k < 25; ++k) {
+      EXPECT_TRUE(delivered_set.count("m-" + std::to_string(i) + "-" + std::to_string(k)))
+          << "lost message from surviving node " << i << " #" << k;
+    }
+  }
+}
+
+TEST(Membership, ViewNumbersAreMonotonic) {
+  SimCluster cluster(membership_config(api::ReplicationStyle::kActive, 3));
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+  cluster.crash(2);
+  cluster.run_for(Duration{2'000'000});
+  for (NodeId i = 0; i < 2; ++i) {
+    const auto& views = cluster.views(i);
+    ASSERT_GE(views.size(), 2u);
+    for (std::size_t k = 1; k < views.size(); ++k) {
+      EXPECT_GT(views[k].view.view_number, views[k - 1].view.view_number);
+      EXPECT_GE(views[k].view.ring.ring_seq, views[k - 1].view.ring.ring_seq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace totem::harness

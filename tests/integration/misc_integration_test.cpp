@@ -1,0 +1,212 @@
+// Assorted integration coverage: the cross-network reorder premise the
+// paper's Fig. 1 rests on, cluster-wide safe-watermark semantics, large
+// rings, single-network degenerate cases, and the UDP transport's loss
+// injection driving real retransmissions.
+#include <gtest/gtest.h>
+
+#include "api/node.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+#include "net/reactor.h"
+#include "net/udp_transport.h"
+
+namespace totem::harness {
+namespace {
+
+TEST(CrossNetworkReorder, LaterSendOnFastNetworkOvertakesEarlierSlowOne) {
+  sim::Simulator sim;
+  net::SimNetwork::Params slow_params;
+  slow_params.base_latency = Duration{500};
+  slow_params.latency_jitter = Duration{0};
+  net::SimNetwork fast(sim, 0);
+  net::SimNetwork slow(sim, 1, slow_params);
+  net::SimHost a(sim, 0), b(sim, 1);
+  auto& a_fast = fast.attach(a);
+  auto& a_slow = slow.attach(a);
+  auto& b_fast = fast.attach(b);
+  auto& b_slow = slow.attach(b);
+
+  std::vector<std::pair<NetworkId, std::string>> arrivals;
+  auto record = [&](net::ReceivedPacket&& p) {
+    arrivals.emplace_back(p.network, to_string(p.data));
+  };
+  b_fast.set_rx_handler(record);
+  b_slow.set_rx_handler(record);
+
+  a_slow.broadcast(to_bytes("first-slow"));   // sent first, slow path
+  a_fast.broadcast(to_bytes("second-fast"));  // sent second, fast path
+  sim.run_for(Duration{10'000});
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].second, "second-fast") << "fast copy must overtake";
+  EXPECT_EQ(arrivals[1].second, "first-slow");
+}
+
+TEST(SafeWatermark, ClusterWideSemantics) {
+  // The watermark at any node never exceeds what every node has delivered,
+  // and converges to the full stream on an idle ring.
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  SimCluster cluster(cfg);
+
+  std::vector<SeqNum> watermarks(4, 0);
+  for (NodeId i = 0; i < 4; ++i) {
+    cluster.node(i).ring().set_safe_watermark_handler(
+        [&watermarks, i](SeqNum s) { watermarks[i] = s; });
+  }
+  cluster.start_all();
+  for (int k = 0; k < 30; ++k) {
+    ASSERT_TRUE(cluster.node(k % 4).send(Bytes(100, std::byte(k))).is_ok());
+  }
+  cluster.run_for(Duration{50'000});
+  // Mid-flight: each node's watermark is at most its own aru.
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_LE(watermarks[i], cluster.node(i).ring().my_aru());
+  }
+  cluster.run_for(Duration{500'000});
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(watermarks[i], 30u) << "idle ring must make everything safe";
+    EXPECT_EQ(cluster.node(i).ring().safe_up_to(), 30u);
+  }
+}
+
+TEST(SafeWatermark, LossDelaysSafetyButNotDelivery) {
+  ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kPassive;
+  cfg.seed = 17;
+  SimCluster cluster(cfg);
+  cluster.network(0).set_loss_rate(0.2);
+  cluster.start_all();
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_TRUE(cluster.node(0).send(Bytes(64, std::byte(k))).is_ok());
+  }
+  cluster.run_for(Duration{3'000'000});
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.deliveries(i).size(), 20u);
+    EXPECT_EQ(cluster.node(i).ring().safe_up_to(), 20u)
+        << "retransmissions eventually make everything safe";
+  }
+}
+
+TEST(LargeRing, TenNodesThreeNetworksActivePassive) {
+  ClusterConfig cfg;
+  cfg.node_count = 10;
+  cfg.network_count = 3;
+  cfg.style = api::ReplicationStyle::kActivePassive;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  for (NodeId i = 0; i < 10; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_TRUE(
+          cluster.node(i).send(to_bytes(std::to_string(i) + ":" + std::to_string(k)))
+              .is_ok());
+    }
+  }
+  cluster.run_for(Duration{2'000'000});
+  const auto& ref = cluster.deliveries(0);
+  ASSERT_EQ(ref.size(), 50u);
+  for (NodeId i = 1; i < 10; ++i) {
+    const auto& d = cluster.deliveries(i);
+    ASSERT_EQ(d.size(), 50u) << "node " << i;
+    for (std::size_t k = 0; k < 50; ++k) {
+      ASSERT_EQ(d[k].payload, ref[k].payload);
+    }
+  }
+  EXPECT_TRUE(cluster.faults().empty());
+}
+
+TEST(LargeRing, TwelveNodeCrashAndReform) {
+  ClusterConfig cfg;
+  cfg.node_count = 12;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.consensus_timeout = Duration{150'000};
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+  cluster.crash(7);
+  cluster.run_for(Duration{3'000'000});
+  std::vector<NodeId> expected;
+  for (NodeId i = 0; i < 12; ++i) {
+    if (i != 7) expected.push_back(i);
+  }
+  for (NodeId i = 0; i < 12; ++i) {
+    if (i == 7) continue;
+    ASSERT_FALSE(cluster.views(i).empty());
+    EXPECT_EQ(cluster.views(i).back().view.members, expected) << "node " << i;
+  }
+}
+
+TEST(SingleNode, AssumedSingletonRingDeliversToSelf) {
+  ClusterConfig cfg;
+  cfg.node_count = 1;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(cluster.node(0).send(to_bytes("solo" + std::to_string(k))).is_ok());
+  }
+  cluster.run_for(Duration{200'000});
+  ASSERT_EQ(cluster.deliveries(0).size(), 5u);
+  EXPECT_EQ(cluster.node(0).ring().safe_up_to(), 5u);
+}
+
+TEST(UdpLossInjection, TransportLevelLossIsRepairedLive) {
+  // Real sockets with 20% send-side loss injected at node 0's network-0
+  // transport: the ring must still deliver everything (active replication
+  // masks; the SRP repairs any double losses).
+  net::Reactor reactor;
+  constexpr std::uint16_t kBase = 44100;
+  std::vector<std::unique_ptr<net::UdpTransport>> owned;
+  std::vector<std::unique_ptr<api::Node>> nodes;
+  std::vector<std::vector<std::string>> delivered(3);
+
+  for (NodeId id = 0; id < 3; ++id) {
+    std::vector<net::Transport*> ts;
+    for (NetworkId n = 0; n < 2; ++n) {
+      net::UdpTransport::Config tc;
+      tc.network = n;
+      tc.local_node = id;
+      tc.peers = net::loopback_peers(static_cast<std::uint16_t>(kBase + 100 * n), 3);
+      if (id == 0 && n == 0) tc.send_loss_rate = 0.2;
+      auto t = net::UdpTransport::create(reactor, tc);
+      ASSERT_TRUE(t.is_ok()) << t.status().to_string();
+      owned.push_back(std::move(t).take());
+      ts.push_back(owned.back().get());
+    }
+    api::NodeConfig cfg;
+    cfg.srp.node_id = id;
+    cfg.srp.initial_members = {0, 1, 2};
+    cfg.style = api::ReplicationStyle::kActive;
+    nodes.push_back(std::make_unique<api::Node>(reactor, ts, cfg));
+    nodes.back()->set_deliver_handler([&delivered, id](const srp::DeliveredMessage& m) {
+      delivered[id].push_back(to_string(m.payload));
+    });
+  }
+  for (auto& n : nodes) n->start();
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(nodes[0]->send(to_bytes("lossy" + std::to_string(k))).is_ok());
+  }
+  const TimePoint deadline = reactor.now() + Duration{5'000'000};
+  while (reactor.now() < deadline) {
+    bool done = true;
+    for (const auto& d : delivered) {
+      if (d.size() < 10) done = false;
+    }
+    if (done) break;
+    reactor.poll_once(Duration{10'000});
+  }
+  for (NodeId i = 0; i < 3; ++i) {
+    ASSERT_EQ(delivered[i].size(), 10u) << "node " << i;
+    EXPECT_EQ(delivered[i], delivered[0]);
+  }
+}
+
+}  // namespace
+}  // namespace totem::harness

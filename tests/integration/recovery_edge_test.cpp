@@ -1,0 +1,147 @@
+// Recovery edge cases: double failures during reconfiguration, fragmented
+// messages spanning a membership change, and recovery under loss.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+ClusterConfig fast_membership(std::size_t nodes) {
+  ClusterConfig cfg;
+  cfg.node_count = nodes;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.join_interval = Duration{10'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  cfg.srp.commit_timeout = Duration{100'000};
+  return cfg;
+}
+
+TEST(RecoveryEdge, DoubleCrashDuringRecoveryStillConverges) {
+  // Node 3 crashes; while the survivors reconfigure, node 2 crashes too.
+  // The recovery ring fails, the abort path runs, and {0,1} must still end
+  // up operational with identical delivered streams.
+  SimCluster cluster(fast_membership(4));
+  cluster.start_all();
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_TRUE(cluster.node(k % 2).send(to_bytes("x" + std::to_string(k))).is_ok());
+  }
+  cluster.run_for(Duration{150'000});
+  cluster.crash(3);
+  cluster.run_for(Duration{120'000});  // mid-reconfiguration
+  cluster.crash(2);
+  cluster.run_for(Duration{4'000'000});
+
+  for (NodeId i = 0; i < 2; ++i) {
+    EXPECT_EQ(cluster.node(i).ring().state(), srp::SingleRing::State::kOperational)
+        << "node " << i;
+    ASSERT_FALSE(cluster.views(i).empty());
+    EXPECT_EQ(cluster.views(i).back().view.members, (std::vector<NodeId>{0, 1}));
+  }
+  // Survivors agree on their common delivered stream.
+  const auto& a = cluster.deliveries(0);
+  const auto& b = cluster.deliveries(1);
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t k = 0; k < common; ++k) {
+    EXPECT_EQ(a[k].payload, b[k].payload) << "pos " << k;
+  }
+  // And fresh traffic still flows.
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("post-double-crash")).is_ok());
+  cluster.run_for(Duration{500'000});
+  EXPECT_EQ(totem::to_string(cluster.deliveries(1).back().payload), "post-double-crash");
+}
+
+TEST(RecoveryEdge, FragmentedMessageSurvivesMembershipChange) {
+  // A large (fragmented) message is in flight when a node crashes. Every
+  // survivor must deliver it exactly once, fully reassembled.
+  ClusterConfig cfg = fast_membership(4);
+  cfg.seed = 23;
+  SimCluster cluster(cfg);
+  cluster.network(0).set_loss_rate(0.05);
+  cluster.start_all();
+
+  Bytes big(20'000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = std::byte(i % 241);
+  ASSERT_TRUE(cluster.node(1).send(big).is_ok());
+  ASSERT_TRUE(cluster.node(2).send(to_bytes("small")).is_ok());
+  cluster.run_for(Duration{10'000});  // fragments partially propagated
+  cluster.crash(3);
+  cluster.run_for(Duration{4'000'000});
+
+  for (NodeId i = 0; i < 3; ++i) {
+    const auto& d = cluster.deliveries(i);
+    ASSERT_EQ(d.size(), 2u) << "node " << i;
+    std::multiset<std::size_t> sizes{d[0].payload.size(), d[1].payload.size()};
+    EXPECT_EQ(sizes, (std::multiset<std::size_t>{5, 20'000}));
+    for (const auto& m : d) {
+      if (m.payload.size() == big.size()) {
+        EXPECT_EQ(m.payload, big) << "reassembled bytes must be exact";
+      }
+    }
+  }
+}
+
+TEST(RecoveryEdge, LossyRecoveryStillCompletes) {
+  // Membership reconfiguration itself runs under 10% loss on both networks:
+  // joins, commit tokens and recovery broadcasts all need the retention and
+  // retransmission machinery.
+  ClusterConfig cfg = fast_membership(4);
+  cfg.seed = 31;
+  cfg.net_params.loss_rate = 0.10;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  for (int k = 0; k < 30; ++k) {
+    ASSERT_TRUE(cluster.node(k % 4).send(to_bytes("m" + std::to_string(k))).is_ok());
+  }
+  cluster.run_for(Duration{100'000});
+  cluster.crash(0);  // crash the LEADER for extra spice
+  cluster.run_for(Duration{8'000'000});
+
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(i).ring().state(), srp::SingleRing::State::kOperational)
+        << "node " << i;
+    ASSERT_FALSE(cluster.views(i).empty());
+    EXPECT_EQ(cluster.views(i).back().view.members, (std::vector<NodeId>{1, 2, 3}));
+  }
+  const auto& ref = cluster.deliveries(1);
+  for (NodeId i = 2; i < 4; ++i) {
+    const auto& d = cluster.deliveries(i);
+    ASSERT_EQ(d.size(), ref.size()) << "node " << i;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_EQ(d[k].payload, ref[k].payload);
+    }
+  }
+}
+
+TEST(RecoveryEdge, GroupOfThreePartitionsMergeInPairsThenFully) {
+  // Three-way partition (both networks): three singleton-ish rings; heal
+  // everything at once and let announcements stitch one ring back.
+  ClusterConfig cfg = fast_membership(6);
+  cfg.srp.announce_interval = Duration{200'000};
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+  const std::vector<std::vector<NodeId>> groups = {{0, 1}, {2, 3}, {4, 5}};
+  cluster.network(0).set_partition(groups);
+  cluster.network(1).set_partition(groups);
+  cluster.run_for(Duration{2'000'000});
+  EXPECT_EQ(cluster.views(0).back().view.members, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(cluster.views(2).back().view.members, (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(cluster.views(4).back().view.members, (std::vector<NodeId>{4, 5}));
+
+  cluster.network(0).clear_partition();
+  cluster.network(1).clear_partition();
+  cluster.run_for(Duration{8'000'000});
+  const std::vector<NodeId> everyone = {0, 1, 2, 3, 4, 5};
+  for (NodeId i = 0; i < 6; ++i) {
+    EXPECT_EQ(cluster.views(i).back().view.members, everyone) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace totem::harness

@@ -1,0 +1,122 @@
+// Live end-to-end test: a full Totem RRP ring over REAL UDP sockets on
+// loopback — three nodes, two redundant networks, one reactor. This is the
+// same deployment shape as the examples and proves the protocol code runs
+// identically over the real transport and the simulated one.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/node.h"
+#include "net/reactor.h"
+#include "net/udp_transport.h"
+
+namespace totem {
+namespace {
+
+constexpr std::uint32_t kNodes = 3;
+constexpr std::uint32_t kNetworks = 2;
+
+struct UdpRing {
+  net::Reactor reactor;
+  std::vector<std::unique_ptr<net::UdpTransport>> transports;
+  std::vector<std::unique_ptr<api::Node>> nodes;
+  std::vector<std::vector<std::string>> delivered{kNodes};
+  std::vector<rrp::NetworkFaultReport> faults;
+
+  bool build(std::uint16_t base_port, api::ReplicationStyle style) {
+    for (NodeId id = 0; id < kNodes; ++id) {
+      std::vector<net::Transport*> node_transports;
+      for (NetworkId n = 0; n < kNetworks; ++n) {
+        net::UdpTransport::Config tc;
+        tc.network = n;
+        tc.local_node = id;
+        tc.peers = net::loopback_peers(
+            static_cast<std::uint16_t>(base_port + 100 * n), kNodes);
+        auto t = net::UdpTransport::create(reactor, tc);
+        if (!t.is_ok()) {
+          ADD_FAILURE() << t.status().to_string();
+          return false;
+        }
+        transports.push_back(std::move(t).take());
+        node_transports.push_back(transports.back().get());
+      }
+      api::NodeConfig cfg;
+      cfg.srp.node_id = id;
+      cfg.srp.initial_members = {0, 1, 2};
+      cfg.style = style;
+      nodes.push_back(std::make_unique<api::Node>(reactor, node_transports, cfg));
+      nodes.back()->set_deliver_handler([this, id](const srp::DeliveredMessage& m) {
+        delivered[id].push_back(to_string(m.payload));
+      });
+      nodes.back()->set_fault_handler(
+          [this](const rrp::NetworkFaultReport& r) { faults.push_back(r); });
+    }
+    for (auto& n : nodes) n->start();
+    return true;
+  }
+
+  void run_until_delivered(std::size_t per_node, Duration cap) {
+    const TimePoint deadline = reactor.now() + cap;
+    while (reactor.now() < deadline) {
+      bool done = true;
+      for (const auto& d : delivered) {
+        if (d.size() < per_node) done = false;
+      }
+      if (done) return;
+      reactor.poll_once(Duration{10'000});
+    }
+  }
+};
+
+TEST(UdpRing, ActiveReplicationDeliversInTotalOrder) {
+  UdpRing ring;
+  ASSERT_TRUE(ring.build(42000, api::ReplicationStyle::kActive));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.nodes[0]->send(to_bytes("a" + std::to_string(i))).is_ok());
+    ASSERT_TRUE(ring.nodes[1]->send(to_bytes("b" + std::to_string(i))).is_ok());
+  }
+  ring.run_until_delivered(10, Duration{5'000'000});
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ASSERT_EQ(ring.delivered[i].size(), 10u) << "node " << i;
+    EXPECT_EQ(ring.delivered[i], ring.delivered[0]) << "node " << i;
+  }
+  EXPECT_TRUE(ring.faults.empty());
+}
+
+TEST(UdpRing, PassiveReplicationDeliversInTotalOrder) {
+  UdpRing ring;
+  ASSERT_TRUE(ring.build(42600, api::ReplicationStyle::kPassive));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.nodes[i % 3]->send(to_bytes("m" + std::to_string(i))).is_ok());
+  }
+  ring.run_until_delivered(8, Duration{5'000'000});
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ASSERT_EQ(ring.delivered[i].size(), 8u) << "node " << i;
+    EXPECT_EQ(ring.delivered[i], ring.delivered[0]);
+  }
+}
+
+TEST(UdpRing, ActiveSurvivesNicSendFaultLive) {
+  // Kill node 0's TX path on network 0 mid-run: with active replication the
+  // ring keeps delivering through network 1.
+  UdpRing ring;
+  ASSERT_TRUE(ring.build(43200, api::ReplicationStyle::kActive));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.nodes[0]->send(to_bytes("pre" + std::to_string(i))).is_ok());
+  }
+  ring.run_until_delivered(3, Duration{5'000'000});
+
+  // transports are laid out node-major: node 0's network-0 endpoint first.
+  ring.transports[0]->set_send_fault(true);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.nodes[0]->send(to_bytes("post" + std::to_string(i))).is_ok());
+  }
+  ring.run_until_delivered(6, Duration{5'000'000});
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ASSERT_EQ(ring.delivered[i].size(), 6u) << "node " << i;
+    EXPECT_EQ(ring.delivered[i], ring.delivered[0]);
+  }
+}
+
+}  // namespace
+}  // namespace totem

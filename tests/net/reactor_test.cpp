@@ -1,0 +1,88 @@
+#include "net/reactor.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+namespace totem::net {
+namespace {
+
+TEST(Reactor, TimerFires) {
+  Reactor reactor;
+  bool fired = false;
+  reactor.schedule(Duration{5'000}, [&] { fired = true; });
+  reactor.run_for(Duration{50'000});
+  EXPECT_TRUE(fired);
+}
+
+TEST(Reactor, TimersFireInOrder) {
+  Reactor reactor;
+  std::vector<int> order;
+  reactor.schedule(Duration{20'000}, [&] { order.push_back(2); });
+  reactor.schedule(Duration{5'000}, [&] { order.push_back(1); });
+  reactor.schedule(Duration{40'000}, [&] { order.push_back(3); });
+  reactor.run_for(Duration{100'000});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Reactor, CancelledTimerDoesNotFire) {
+  Reactor reactor;
+  bool fired = false;
+  TimerHandle h = reactor.schedule(Duration{5'000}, [&] { fired = true; });
+  h.cancel();
+  reactor.run_for(Duration{30'000});
+  EXPECT_FALSE(fired);
+}
+
+TEST(Reactor, FdReadableDispatches) {
+  Reactor reactor;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  int reads = 0;
+  reactor.register_fd(fds[0], [&] {
+    char buf[16];
+    ASSERT_GT(::read(fds[0], buf, sizeof(buf)), 0);
+    ++reads;
+    reactor.stop();
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  reactor.run_for(Duration{500'000});
+  EXPECT_EQ(reads, 1);
+  reactor.unregister_fd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Reactor, UnregisteredFdIgnored) {
+  Reactor reactor;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  int reads = 0;
+  reactor.register_fd(fds[0], [&] { ++reads; });
+  reactor.unregister_fd(fds[0]);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  reactor.run_for(Duration{20'000});
+  EXPECT_EQ(reads, 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Reactor, TimerScheduledFromTimerCallback) {
+  Reactor reactor;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 3) reactor.schedule(Duration{1'000}, chain);
+  };
+  reactor.schedule(Duration{1'000}, chain);
+  reactor.run_for(Duration{200'000});
+  EXPECT_EQ(depth, 3);
+}
+
+TEST(Reactor, NowIsMonotonic) {
+  Reactor reactor;
+  const TimePoint a = reactor.now();
+  reactor.run_for(Duration{2'000});
+  EXPECT_GE(reactor.now().time_since_epoch().count(), a.time_since_epoch().count());
+}
+
+}  // namespace
+}  // namespace totem::net

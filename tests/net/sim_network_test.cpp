@@ -1,0 +1,259 @@
+#include "net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+namespace totem::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim{1};
+  SimNetwork::Params params;
+
+  std::unique_ptr<SimNetwork> network;
+  std::vector<std::unique_ptr<SimHost>> hosts;
+  std::vector<SimTransport*> transports;
+  std::vector<std::vector<ReceivedPacket>> received;
+
+  void build(std::size_t n, SimNetwork::Params p = {}) {
+    params = p;
+    network = std::make_unique<SimNetwork>(sim, 0, params);
+    received.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<SimHost>(sim, static_cast<NodeId>(i)));
+      transports.push_back(&network->attach(*hosts[i]));
+      transports[i]->set_rx_handler([this, i](ReceivedPacket&& p) {
+        received[i].push_back(std::move(p));
+      });
+    }
+  }
+
+  static Bytes packet(std::size_t size, std::byte fill = std::byte{1}) {
+    return Bytes(size, fill);
+  }
+};
+
+TEST_F(NetFixture, BroadcastReachesAllOthersButNotSender) {
+  build(4);
+  transports[0]->broadcast(packet(100));
+  sim.run_for(Duration{10'000});
+  EXPECT_TRUE(received[0].empty());
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(received[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(received[i][0].source, 0u);
+    EXPECT_EQ(received[i][0].data.size(), 100u);
+    EXPECT_EQ(received[i][0].network, 0);
+  }
+}
+
+TEST_F(NetFixture, UnicastReachesOnlyDestination) {
+  build(4);
+  transports[1]->unicast(3, packet(64));
+  sim.run_for(Duration{10'000});
+  EXPECT_TRUE(received[0].empty());
+  EXPECT_TRUE(received[2].empty());
+  ASSERT_EQ(received[3].size(), 1u);
+  EXPECT_EQ(received[3][0].source, 1u);
+}
+
+TEST_F(NetFixture, FifoPerSenderReceiverPair) {
+  build(2);
+  for (int i = 0; i < 50; ++i) {
+    transports[0]->broadcast(packet(10, std::byte(i)));
+  }
+  sim.run_for(Duration{100'000});
+  ASSERT_EQ(received[1].size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(received[1][i].data[0], std::byte(i));
+  }
+}
+
+TEST_F(NetFixture, TotalFailureDropsEverything) {
+  build(2);
+  network->fail();
+  transports[0]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_EQ(network->stats().dropped_fault, 1u);
+
+  network->recover();
+  transports[0]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(NetFixture, SendFaultSilencesOneNode) {
+  build(3);
+  network->set_send_fault(0, true);
+  transports[0]->broadcast(packet(10));
+  transports[1]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  // Node 0's packet went nowhere; node 1's arrived everywhere else.
+  ASSERT_EQ(received[2].size(), 1u);
+  EXPECT_EQ(received[2][0].source, 1u);
+  EXPECT_EQ(received[0].size(), 1u);  // node 0 can still receive
+}
+
+TEST_F(NetFixture, RecvFaultDeafensOneNode) {
+  build(3);
+  network->set_recv_fault(2, true);
+  transports[0]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(received[1].size(), 1u);
+  EXPECT_TRUE(received[2].empty());
+}
+
+TEST_F(NetFixture, LinkLossIsDirectional) {
+  build(2);
+  network->set_link_loss(0, 1, 1.0);
+  transports[0]->broadcast(packet(10));
+  transports[1]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_EQ(received[0].size(), 1u);  // reverse direction unaffected
+  network->set_link_loss(0, 1, std::nullopt);
+  transports[0]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(NetFixture, PartitionSplitsTheNetwork) {
+  build(4);
+  network->set_partition({{0, 1}, {2, 3}});
+  transports[0]->broadcast(packet(10));
+  transports[2]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(received[3].size(), 1u);
+  EXPECT_EQ(received[1][0].source, 0u);
+  EXPECT_EQ(received[3][0].source, 2u);
+  // Nothing crossed the partition.
+  for (const auto& p : received[0]) EXPECT_NE(p.source, 2u);
+  for (const auto& p : received[1]) EXPECT_NE(p.source, 2u);
+
+  network->clear_partition();
+  transports[0]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(received[3].size(), 2u);
+}
+
+TEST_F(NetFixture, RandomLossDropsApproximatelyTheConfiguredFraction) {
+  SimNetwork::Params p;
+  p.loss_rate = 0.25;
+  build(2, p);
+  for (int i = 0; i < 2000; ++i) {
+    transports[0]->broadcast(packet(10));
+    sim.run_for(Duration{200});
+  }
+  sim.run_for(Duration{100'000});
+  const double delivered = static_cast<double>(received[1].size()) / 2000.0;
+  EXPECT_NEAR(delivered, 0.75, 0.05);
+}
+
+TEST_F(NetFixture, TransmissionTimeMatchesFraming) {
+  build(1);
+  // 100 Mbit/s = 12.5 bytes/us. A 1000-byte packet is one frame:
+  // (1000 + overhead) bytes * 8 bits / 100 Mbit/s.
+  const auto t = network->transmission_time(1000);
+  const double expected_us = (1000.0 + params.frame_overhead) * 8.0 / 100.0;
+  EXPECT_NEAR(static_cast<double>(t.count()), expected_us, 1.0);
+}
+
+TEST_F(NetFixture, LargePacketsPayOverheadPerFrame) {
+  build(1);
+  const auto one = network->wire_size(params.max_frame_payload);
+  const auto two = network->wire_size(params.max_frame_payload + 1);
+  EXPECT_EQ(one, params.max_frame_payload + params.frame_overhead);
+  EXPECT_EQ(two, params.max_frame_payload + 1 + 2 * params.frame_overhead);
+}
+
+TEST_F(NetFixture, WireSerializationDelaysBackToBackPackets) {
+  build(2);
+  // Two back-to-back 1400-byte packets: the second must finish one
+  // transmission time after the first.
+  transports[0]->broadcast(packet(1400));
+  transports[0]->broadcast(packet(1400));
+  sim.run_for(Duration{10'000});
+  ASSERT_EQ(received[1].size(), 2u);
+  EXPECT_GE(network->stats().wire_busy.count(), 2 * network->transmission_time(1400).count());
+}
+
+TEST_F(NetFixture, RxBufferOverflowDrops) {
+  // A receiver whose CPU is far slower than the wire overflows its 64 KB
+  // socket buffer, as the paper's Linux 2.2 hosts would.
+  SimNetwork::Params p;
+  p.rx_buffer_bytes = 8 * 1024;
+  network = std::make_unique<SimNetwork>(sim, 0, p);
+  HostCostModel slow;
+  slow.recv_packet_cost = Duration{5'000};  // 5 ms per packet
+  hosts.push_back(std::make_unique<SimHost>(sim, 0));
+  hosts.push_back(std::make_unique<SimHost>(sim, 1, slow));
+  transports.push_back(&network->attach(*hosts[0]));
+  transports.push_back(&network->attach(*hosts[1]));
+  received.resize(2);
+  transports[1]->set_rx_handler(
+      [this](ReceivedPacket&& pk) { received[1].push_back(std::move(pk)); });
+
+  for (int i = 0; i < 500; ++i) {
+    transports[0]->broadcast(packet(1400));
+  }
+  sim.run_for(Duration{10'000'000});
+  EXPECT_GT(network->stats().dropped_overflow, 0u);
+  EXPECT_LT(received[1].size(), 500u);
+}
+
+TEST_F(NetFixture, StatsAccumulate) {
+  build(3);
+  transports[0]->broadcast(packet(100));
+  transports[1]->unicast(0, packet(50));
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(network->stats().packets_sent, 2u);
+  EXPECT_EQ(network->stats().deliveries, 3u);  // 2 broadcast + 1 unicast
+  EXPECT_EQ(transports[0]->stats().packets_sent, 1u);
+  EXPECT_EQ(transports[0]->stats().packets_received, 1u);
+  EXPECT_EQ(transports[0]->stats().bytes_sent, 100u);
+}
+
+TEST_F(NetFixture, CaptureRecordsSubmittedPackets) {
+  build(3);
+  network->start_capture(16);
+  transports[0]->broadcast(packet(100));
+  transports[1]->unicast(2, packet(50));
+  sim.run_for(Duration{10'000});
+  const auto& cap = network->capture();
+  ASSERT_EQ(cap.size(), 2u);
+  EXPECT_EQ(cap[0].src, 0u);
+  EXPECT_EQ(cap[0].dst, kInvalidNode) << "broadcast marker";
+  EXPECT_EQ(cap[0].size, 100u);
+  EXPECT_EQ(cap[0].verdict, SimNetwork::CapturedPacket::Verdict::kSent);
+  EXPECT_EQ(cap[1].src, 1u);
+  EXPECT_EQ(cap[1].dst, 2u);
+}
+
+TEST_F(NetFixture, CaptureMarksFailedSends) {
+  build(2);
+  network->start_capture(16);
+  network->fail();
+  transports[0]->broadcast(packet(10));
+  network->recover();
+  network->set_send_fault(1, true);
+  transports[1]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  const auto& cap = network->capture();
+  ASSERT_EQ(cap.size(), 2u);
+  EXPECT_EQ(cap[0].verdict, SimNetwork::CapturedPacket::Verdict::kDroppedFailed);
+  EXPECT_EQ(cap[1].verdict, SimNetwork::CapturedPacket::Verdict::kDroppedFailed);
+}
+
+TEST_F(NetFixture, CaptureRingIsBounded) {
+  build(2);
+  network->start_capture(4);
+  for (int i = 0; i < 10; ++i) transports[0]->broadcast(packet(10));
+  EXPECT_EQ(network->capture().size(), 4u);
+  EXPECT_EQ(network->capture_overwritten(), 6u);
+  network->stop_capture();
+  transports[0]->broadcast(packet(10));
+  EXPECT_EQ(network->capture().size(), 4u) << "stopped capture records nothing";
+}
+
+}  // namespace
+}  // namespace totem::net

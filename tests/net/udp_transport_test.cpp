@@ -1,0 +1,274 @@
+// UdpTransport over real loopback sockets, single-threaded through one
+// reactor (multiple transports in one process, exactly as the examples run).
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/node.h"
+#include "net/reactor.h"
+
+namespace totem::net {
+namespace {
+
+// Distinct port blocks per test to avoid cross-test interference.
+constexpr std::uint16_t kPortA = 41200;
+constexpr std::uint16_t kPortB = 41300;
+constexpr std::uint16_t kPortC = 41400;
+constexpr std::uint16_t kPortD = 41500;
+
+std::unique_ptr<UdpTransport> make_transport(Reactor& reactor, std::uint16_t base,
+                                             NodeId node, std::uint32_t count,
+                                             NetworkId net = 0) {
+  UdpTransport::Config cfg;
+  cfg.network = net;
+  cfg.local_node = node;
+  cfg.peers = loopback_peers(base, count);
+  auto r = UdpTransport::create(reactor, cfg);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return r.is_ok() ? std::move(r).take() : nullptr;
+}
+
+TEST(UdpTransport, UnicastDelivers) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortA, 0, 2);
+  auto t1 = make_transport(reactor, kPortA, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+
+  std::vector<ReceivedPacket> got;
+  t1->set_rx_handler([&](ReceivedPacket&& p) {
+    got.push_back(std::move(p));
+    reactor.stop();
+  });
+  t0->unicast(1, to_bytes("ping"));
+  reactor.run_for(Duration{500'000});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(to_string(got[0].data), "ping");
+  EXPECT_EQ(got[0].source, 0u);
+  EXPECT_EQ(got[0].network, 0);
+}
+
+TEST(UdpTransport, BroadcastReachesAllPeersNotSelf) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortB, 0, 3);
+  auto t1 = make_transport(reactor, kPortB, 1, 3);
+  auto t2 = make_transport(reactor, kPortB, 2, 3);
+  ASSERT_TRUE(t0 && t1 && t2);
+
+  int self = 0, others = 0;
+  t0->set_rx_handler([&](ReceivedPacket&&) { ++self; });
+  auto counter = [&](ReceivedPacket&& p) {
+    EXPECT_EQ(p.source, 0u);
+    ++others;
+  };
+  t1->set_rx_handler(counter);
+  t2->set_rx_handler(counter);
+  t0->broadcast(to_bytes("hello"));
+  reactor.run_for(Duration{200'000});
+  EXPECT_EQ(others, 2);
+  EXPECT_EQ(self, 0);
+}
+
+TEST(UdpTransport, GarbageDatagramsIgnored) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortC, 0, 2);
+  auto t1 = make_transport(reactor, kPortC, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+
+  int got = 0;
+  t1->set_rx_handler([&](ReceivedPacket&&) { ++got; });
+
+  // Raw socket injection without the transport header.
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(kPortC + 1);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const char junk[] = "notatotempacket";
+  ::sendto(fd, junk, sizeof(junk), 0, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  ::close(fd);
+
+  reactor.run_for(Duration{100'000});
+  EXPECT_EQ(got, 0);
+}
+
+TEST(UdpTransport, SendAndRecvFaultInjection) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortD, 0, 2);
+  auto t1 = make_transport(reactor, kPortD, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+  int got = 0;
+  t1->set_rx_handler([&](ReceivedPacket&&) { ++got; });
+
+  t0->set_send_fault(true);
+  t0->unicast(1, to_bytes("lost"));
+  reactor.run_for(Duration{100'000});
+  EXPECT_EQ(got, 0);
+
+  t0->set_send_fault(false);
+  t1->set_recv_fault(true);
+  t0->unicast(1, to_bytes("deaf"));
+  reactor.run_for(Duration{100'000});
+  EXPECT_EQ(got, 0);
+
+  t1->set_recv_fault(false);
+  t0->unicast(1, to_bytes("ok"));
+  reactor.run_for(Duration{200'000});
+  EXPECT_EQ(got, 1);
+}
+
+TEST(UdpTransport, BindConflictReportsError) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortA, 0, 2);
+  ASSERT_TRUE(t0);
+  UdpTransport::Config cfg;
+  cfg.network = 0;
+  cfg.local_node = 0;
+  cfg.peers = loopback_peers(kPortA, 2);  // same port as t0
+  auto dup = UdpTransport::create(reactor, cfg);
+  EXPECT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(UdpTransport, MissingLocalNodeRejected) {
+  Reactor reactor;
+  UdpTransport::Config cfg;
+  cfg.local_node = 9;  // not in the peer map
+  cfg.peers = loopback_peers(kPortB, 2);
+  auto r = UdpTransport::create(reactor, cfg);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UdpTransport, StatsCountTraffic) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortC, 0, 2, 1);
+  auto t1 = make_transport(reactor, kPortC, 1, 2, 1);
+  ASSERT_TRUE(t0 && t1);
+  t1->set_rx_handler([&](ReceivedPacket&& p) { EXPECT_EQ(p.network, 1); });
+  t0->unicast(1, to_bytes("abc"));
+  reactor.run_for(Duration{200'000});
+  EXPECT_EQ(t0->stats().packets_sent, 1u);
+  EXPECT_EQ(t0->stats().bytes_sent, 3u);
+  EXPECT_EQ(t1->stats().packets_received, 1u);
+}
+
+std::unique_ptr<UdpTransport> make_mcast_transport(Reactor& reactor, std::uint16_t base,
+                                                   NodeId node, std::uint32_t count,
+                                                   std::uint16_t mcast_port) {
+  UdpTransport::Config cfg;
+  cfg.network = 0;
+  cfg.local_node = node;
+  cfg.peers = loopback_peers(base, count);
+  cfg.multicast_group = "239.192.77.1";
+  cfg.multicast_port = mcast_port;
+  auto r = UdpTransport::create(reactor, cfg);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return r.is_ok() ? std::move(r).take() : nullptr;
+}
+
+TEST(UdpMulticast, BroadcastIsOneDatagramReachingAllOthers) {
+  Reactor reactor;
+  auto t0 = make_mcast_transport(reactor, 41600, 0, 3, 41699);
+  auto t1 = make_mcast_transport(reactor, 41600, 1, 3, 41699);
+  auto t2 = make_mcast_transport(reactor, 41600, 2, 3, 41699);
+  ASSERT_TRUE(t0 && t1 && t2);
+  ASSERT_TRUE(t0->multicast_enabled());
+
+  int self = 0, others = 0;
+  t0->set_rx_handler([&](ReceivedPacket&&) { ++self; });
+  auto counter = [&](ReceivedPacket&& p) {
+    EXPECT_EQ(p.source, 0u);
+    ++others;
+  };
+  t1->set_rx_handler(counter);
+  t2->set_rx_handler(counter);
+  t0->broadcast(to_bytes("via-multicast"));
+  reactor.run_for(Duration{300'000});
+  EXPECT_EQ(others, 2);
+  EXPECT_EQ(self, 0) << "loopback copy of own broadcast must be filtered";
+  EXPECT_EQ(t0->stats().packets_sent, 1u) << "ONE datagram, not N-1";
+}
+
+TEST(UdpMulticast, UnicastTokensStillUsePeerPorts) {
+  Reactor reactor;
+  auto t0 = make_mcast_transport(reactor, 41700, 0, 2, 41799);
+  auto t1 = make_mcast_transport(reactor, 41700, 1, 2, 41799);
+  ASSERT_TRUE(t0 && t1);
+  int got = 0;
+  t1->set_rx_handler([&](ReceivedPacket&& p) {
+    EXPECT_EQ(to_string(p.data), "token");
+    ++got;
+    reactor.stop();
+  });
+  t0->unicast(1, to_bytes("token"));
+  reactor.run_for(Duration{300'000});
+  EXPECT_EQ(got, 1);
+}
+
+TEST(UdpMulticast, MissingPortRejected) {
+  Reactor reactor;
+  UdpTransport::Config cfg;
+  cfg.local_node = 0;
+  cfg.peers = loopback_peers(41800, 2);
+  cfg.multicast_group = "239.192.77.2";
+  cfg.multicast_port = 0;
+  auto r = UdpTransport::create(reactor, cfg);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UdpMulticast, FullRingOverMulticast) {
+  // An actual 3-node Totem ring where broadcasts ride IP multicast — the
+  // paper's native deployment shape.
+  Reactor reactor;
+  std::vector<std::unique_ptr<UdpTransport>> owned;
+  std::vector<std::unique_ptr<api::Node>> nodes;
+  std::vector<std::vector<std::string>> delivered(3);
+  for (NodeId id = 0; id < 3; ++id) {
+    std::vector<Transport*> ts;
+    for (NetworkId n = 0; n < 2; ++n) {
+      UdpTransport::Config tc;
+      tc.network = n;
+      tc.local_node = id;
+      tc.peers = loopback_peers(static_cast<std::uint16_t>(41900 + 100 * n), 3);
+      tc.multicast_group = n == 0 ? "239.192.78.1" : "239.192.78.2";
+      tc.multicast_port = static_cast<std::uint16_t>(42150 + n);
+      auto t = UdpTransport::create(reactor, tc);
+      ASSERT_TRUE(t.is_ok()) << t.status().to_string();
+      owned.push_back(std::move(t).take());
+      ts.push_back(owned.back().get());
+    }
+    api::NodeConfig cfg;
+    cfg.srp.node_id = id;
+    cfg.srp.initial_members = {0, 1, 2};
+    cfg.style = api::ReplicationStyle::kActive;
+    nodes.push_back(std::make_unique<api::Node>(reactor, ts, cfg));
+    nodes.back()->set_deliver_handler([&delivered, id](const srp::DeliveredMessage& m) {
+      delivered[id].push_back(to_string(m.payload));
+    });
+  }
+  for (auto& n : nodes) n->start();
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(nodes[k % 3]->send(to_bytes("mc" + std::to_string(k))).is_ok());
+  }
+  const TimePoint deadline = reactor.now() + Duration{5'000'000};
+  while (reactor.now() < deadline) {
+    bool done = true;
+    for (const auto& d : delivered) {
+      if (d.size() < 6) done = false;
+    }
+    if (done) break;
+    reactor.poll_once(Duration{10'000});
+  }
+  for (NodeId i = 0; i < 3; ++i) {
+    ASSERT_EQ(delivered[i].size(), 6u) << "node " << i;
+    EXPECT_EQ(delivered[i], delivered[0]);
+  }
+}
+
+}  // namespace
+}  // namespace totem::net

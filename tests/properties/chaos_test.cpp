@@ -1,0 +1,182 @@
+// Chaos soak: a randomized schedule of network failures, repairs, loss
+// bursts, corruption, partitions, node crashes and rejoins — while traffic
+// flows. The system may reconfigure as it sees fit; what must NEVER break:
+//
+//   C1 Pairwise order consistency — messages delivered by two nodes are
+//      delivered in the same relative order (the heart of total order,
+//      valid across membership changes).
+//   C2 No duplicates at any node.
+//   C3 Convergence — once everything heals and traffic resumes, all nodes
+//      re-form one ring and deliver new traffic everywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+struct ChaosParam {
+  api::ReplicationStyle style;
+  std::uint64_t seed;
+};
+
+class ChaosTest : public ::testing::TestWithParam<ChaosParam> {};
+
+std::vector<std::string> payload_stream(const SimCluster& cluster, NodeId at) {
+  std::vector<std::string> out;
+  for (const auto& d : cluster.deliveries(at)) {
+    out.push_back(totem::to_string(d.payload));
+  }
+  return out;
+}
+
+/// C1: the common elements of two streams appear in the same order.
+void expect_order_consistent(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b, NodeId ia, NodeId ib) {
+  const std::set<std::string> in_a(a.begin(), a.end());
+  const std::set<std::string> in_b(b.begin(), b.end());
+  std::vector<std::string> common_in_a, common_in_b;
+  for (const auto& m : a) {
+    if (in_b.count(m)) common_in_a.push_back(m);
+  }
+  for (const auto& m : b) {
+    if (in_a.count(m)) common_in_b.push_back(m);
+  }
+  ASSERT_EQ(common_in_a.size(), common_in_b.size());
+  for (std::size_t k = 0; k < common_in_a.size(); ++k) {
+    ASSERT_EQ(common_in_a[k], common_in_b[k])
+        << "C1 violated between nodes " << ia << " and " << ib << " at common pos " << k;
+  }
+}
+
+TEST_P(ChaosTest, SafetySurvivesRandomizedFaultStorm) {
+  const auto [style, seed] = GetParam();
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = style == api::ReplicationStyle::kActivePassive ? 3 : 2;
+  cfg.style = style;
+  cfg.seed = seed;
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.join_interval = Duration{10'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  cfg.srp.commit_timeout = Duration{100'000};
+  SimCluster cluster(cfg);
+  cluster.start_all();
+
+  // Steady trickle of uniquely-tagged messages from every node.
+  Rng rng(seed * 31 + 5);
+  int counter = 0;
+  std::function<void(std::size_t)> trickle = [&](std::size_t n) {
+    (void)cluster.node(n).send(
+        to_bytes("s" + std::to_string(seed) + "-" + std::to_string(counter++)));
+    cluster.simulator().schedule(Duration{3'000 + rng.next_below(4'000)},
+                                 [&trickle, n] { trickle(n); });
+  };
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) trickle(n);
+
+  // The storm: eight random fault actions, 300 ms apart, each undone before
+  // the next strikes somewhere else.
+  std::optional<NodeId> crashed;
+  for (int action = 0; action < 8; ++action) {
+    cluster.run_for(Duration{150'000});
+    const auto kind = rng.next_below(5);
+    const auto net = static_cast<NetworkId>(rng.next_below(cluster.network_count()));
+    switch (kind) {
+      case 0:
+        cluster.network(net).fail();
+        cluster.run_for(Duration{300'000});
+        cluster.network(net).recover();
+        for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+          cluster.node(i).replicator().reset_network(net);
+        }
+        break;
+      case 1:
+        cluster.network(net).set_loss_rate(0.2);
+        cluster.run_for(Duration{300'000});
+        cluster.network(net).set_loss_rate(0.0);
+        break;
+      case 2:
+        cluster.network(net).set_corruption_rate(0.1);
+        cluster.run_for(Duration{300'000});
+        cluster.network(net).set_corruption_rate(0.0);
+        break;
+      case 3:
+        cluster.network(net).set_partition({{0, 1}, {2, 3}});
+        cluster.run_for(Duration{300'000});
+        cluster.network(net).clear_partition();
+        break;
+      case 4:
+        if (!crashed) {
+          const NodeId victim = static_cast<NodeId>(1 + rng.next_below(3));
+          cluster.crash(victim);
+          crashed = victim;
+          cluster.run_for(Duration{400'000});
+          cluster.reconnect(victim);
+          crashed.reset();
+        }
+        break;
+    }
+    cluster.run_for(Duration{150'000});
+  }
+
+  // Heal completely and let the system converge.
+  for (std::size_t n = 0; n < cluster.network_count(); ++n) {
+    cluster.network(n).recover();
+    cluster.network(n).clear_partition();
+    cluster.network(n).set_loss_rate(0.0);
+    cluster.network(n).set_corruption_rate(0.0);
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      cluster.node(i).replicator().reset_network(static_cast<NetworkId>(n));
+      cluster.reconnect(static_cast<NodeId>(i));
+    }
+  }
+  cluster.run_for(Duration{4'000'000});
+
+  // C3: one ring of everyone, carrying fresh traffic everywhere.
+  std::vector<NodeId> everyone;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    everyone.push_back(static_cast<NodeId>(i));
+  }
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    ASSERT_EQ(cluster.node(i).ring().state(), srp::SingleRing::State::kOperational)
+        << "node " << i;
+    ASSERT_EQ(cluster.node(i).ring().members(), everyone) << "node " << i;
+  }
+  const std::string probe = "probe-" + std::to_string(seed);
+  ASSERT_TRUE(cluster.node(0).send(to_bytes(probe)).is_ok());
+  cluster.run_for(Duration{1'000'000});
+
+  // C1 + C2 + probe delivery.
+  std::vector<std::vector<std::string>> streams;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    streams.push_back(payload_stream(cluster, static_cast<NodeId>(i)));
+    std::set<std::string> unique(streams.back().begin(), streams.back().end());
+    EXPECT_EQ(unique.size(), streams.back().size()) << "C2: duplicates at node " << i;
+    EXPECT_NE(std::find(streams.back().begin(), streams.back().end(), probe),
+              streams.back().end())
+        << "C3: probe missing at node " << i;
+  }
+  for (std::size_t a = 0; a < streams.size(); ++a) {
+    for (std::size_t b = a + 1; b < streams.size(); ++b) {
+      expect_order_consistent(streams[a], streams[b], static_cast<NodeId>(a),
+                              static_cast<NodeId>(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, ChaosTest,
+    ::testing::Values(ChaosParam{api::ReplicationStyle::kActive, 1},
+                      ChaosParam{api::ReplicationStyle::kActive, 2},
+                      ChaosParam{api::ReplicationStyle::kActive, 3},
+                      ChaosParam{api::ReplicationStyle::kPassive, 4},
+                      ChaosParam{api::ReplicationStyle::kPassive, 5},
+                      ChaosParam{api::ReplicationStyle::kActivePassive, 6}));
+
+}  // namespace
+}  // namespace totem::harness

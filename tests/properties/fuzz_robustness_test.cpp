@@ -1,0 +1,183 @@
+// Fuzz-style robustness: the protocol stack must survive arbitrary bytes
+// from the network — random garbage, truncations, bit-flips of valid
+// packets, and type-confused headers — without crashing, and count them as
+// malformed rather than acting on them. (Every parse is bounds-checked and
+// CRC-verified; these tests hammer that property.)
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "srp/single_ring.h"
+#include "testing/fake_replicator.h"
+#include "testing/fake_transport.h"
+
+#include "rrp/active_passive_replicator.h"
+#include "rrp/active_replicator.h"
+#include "rrp/passive_replicator.h"
+
+namespace totem {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.next_below(max_len + 1));
+  for (auto& b : out) b = std::byte(rng.next_u64() & 0xFF);
+  return out;
+}
+
+/// A pool of valid packets to mutate.
+std::vector<Bytes> valid_packets() {
+  std::vector<Bytes> out;
+  srp::wire::Token t;
+  t.ring = RingId{1, 4};
+  t.sender = 2;
+  t.seq = 10;
+  t.rtr = {5, 7};
+  out.push_back(srp::wire::serialize_token(t));
+
+  srp::wire::PacketHeader h{srp::wire::PacketType::kRegular, 2, RingId{1, 4}};
+  std::vector<srp::wire::MessageEntry> entries(2);
+  entries[0].seq = 1;
+  entries[0].origin = 2;
+  entries[0].payload = Bytes(40, std::byte{1});
+  entries[1].seq = 2;
+  entries[1].origin = 2;
+  entries[1].payload = Bytes(80, std::byte{2});
+  out.push_back(srp::wire::serialize_regular(h, entries));
+
+  srp::wire::JoinMessage j;
+  j.sender = 3;
+  j.proc_set = {1, 2, 3};
+  out.push_back(srp::wire::serialize_join(j));
+
+  srp::wire::CommitToken c;
+  c.new_ring = RingId{1, 8};
+  c.members.resize(2);
+  c.members[0].node = 1;
+  c.members[1].node = 2;
+  out.push_back(srp::wire::serialize_commit(c));
+  return out;
+}
+
+Bytes mutate(Rng& rng, const Bytes& original) {
+  Bytes out = original;
+  switch (rng.next_below(3)) {
+    case 0: {  // bit flip(s)
+      const int flips = 1 + static_cast<int>(rng.next_below(4));
+      for (int i = 0; i < flips && !out.empty(); ++i) {
+        out[rng.next_below(out.size())] ^= std::byte(1u << rng.next_below(8));
+      }
+      break;
+    }
+    case 1:  // truncate (strictly shorter)
+      out.resize(rng.next_below(out.size()));
+      break;
+    case 2: {  // splice: keep a prefix, append random bytes
+      const std::size_t cut = rng.next_below(out.size());
+      out.resize(cut);
+      Bytes tail = random_bytes(rng, 64);
+      out.insert(out.end(), tail.begin(), tail.end());
+      break;
+    }
+  }
+  if (out == original && !out.empty()) {
+    out[0] ^= std::byte{0x01};  // a mutation must mutate
+  }
+  return out;
+}
+
+TEST(FuzzRobustness, WireParsersNeverCrashOnGarbage) {
+  Rng rng(2002);
+  for (int i = 0; i < 20'000; ++i) {
+    const Bytes junk = random_bytes(rng, 2000);
+    (void)srp::wire::peek(junk);
+    (void)srp::wire::parse_token(junk);
+    (void)srp::wire::parse_messages(junk);
+    (void)srp::wire::parse_join(junk);
+    (void)srp::wire::parse_commit(junk);
+    (void)srp::wire::parse_recovered(junk);
+  }
+  SUCCEED();
+}
+
+TEST(FuzzRobustness, WireParsersRejectAllMutationsOfValidPackets) {
+  Rng rng(2003);
+  const auto pool = valid_packets();
+  int accepted = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const Bytes mutated = mutate(rng, pool[rng.next_below(pool.size())]);
+    auto info = srp::wire::peek(mutated);
+    if (info.is_ok()) ++accepted;  // CRC collision: astronomically unlikely
+  }
+  EXPECT_EQ(accepted, 0) << "a mutated packet slipped past the checksum";
+}
+
+TEST(FuzzRobustness, SingleRingSurvivesHostileStream) {
+  sim::Simulator sim;
+  testing::FakeReplicator rep;
+  srp::Config cfg;
+  cfg.node_id = 1;
+  cfg.initial_members = {1, 2, 3};
+  cfg.token_loss_timeout = Duration{10'000'000};
+  srp::SingleRing ring(sim, rep, cfg);
+  int delivered = 0;
+  ring.set_deliver_handler([&](const srp::DeliveredMessage&) { ++delivered; });
+  ring.start();
+  sim.run_for(Duration{1});
+
+  Rng rng(2004);
+  const auto pool = valid_packets();
+  for (int i = 0; i < 10'000; ++i) {
+    Bytes packet;
+    if (rng.chance(0.5)) {
+      packet = random_bytes(rng, 1600);
+    } else {
+      packet = mutate(rng, pool[rng.next_below(pool.size())]);
+    }
+    if (rng.chance(0.5)) {
+      rep.inject_message(packet);
+    } else {
+      rep.inject_token(packet);
+    }
+  }
+  // Nothing hostile was delivered or acted upon.
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ring.state(), srp::SingleRing::State::kOperational);
+  EXPECT_GT(ring.stats().malformed_packets, 0u);
+  // The ring still works afterwards.
+  ASSERT_TRUE(ring.send(to_bytes("still alive")).is_ok());
+  Bytes tok = rep.tokens.back().data;
+  rep.inject_token(tok);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(FuzzRobustness, ReplicatorsSurviveHostileStream) {
+  sim::Simulator sim;
+  Rng rng(2005);
+  const auto pool = valid_packets();
+
+  testing::FakeTransport a0{0, 7}, a1{1, 7}, a2{2, 7};
+  rrp::ActiveReplicator active(sim, {&a0, &a1});
+  rrp::PassiveReplicator passive(sim, {&a0, &a1});  // rebinds rx handlers; fine
+  rrp::ActivePassiveReplicator ap(sim, {&a0, &a1, &a2}, rrp::ActivePassiveConfig{});
+
+  int up = 0;
+  auto sink_msg = [&](BytesView, NetworkId) { ++up; };
+  auto sink_tok = [&](BytesView, NetworkId) { ++up; };
+  for (rrp::Replicator* r :
+       std::initializer_list<rrp::Replicator*>{&active, &passive, &ap}) {
+    r->set_message_handler(sink_msg);
+    r->set_token_handler(sink_tok);
+    for (int i = 0; i < 5'000; ++i) {
+      Bytes packet = rng.chance(0.5) ? random_bytes(rng, 1600)
+                                     : mutate(rng, pool[rng.next_below(pool.size())]);
+      r->on_packet(net::ReceivedPacket{std::move(packet),
+                                       static_cast<NodeId>(rng.next_below(4)),
+                                       static_cast<NetworkId>(rng.next_below(3))});
+    }
+    sim.run_for(Duration{50'000});
+  }
+  EXPECT_EQ(up, 0) << "mutated packets must never be delivered upward";
+}
+
+}  // namespace
+}  // namespace totem

@@ -1,0 +1,221 @@
+// Property-based tests: the protocol's safety invariants under randomized
+// workloads, loss patterns and replication styles. Each parameterization is
+// a different deterministic universe (seeded simulator); the invariants must
+// hold in all of them.
+//
+//   I1 Agreement   — every pair of nodes delivers identical streams.
+//   I2 Validity    — every message sent by a ring member is delivered.
+//   I3 Integrity   — no message is delivered twice at one node.
+//   I4 Order       — delivered seqs are strictly increasing per ring.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+struct Universe {
+  api::ReplicationStyle style;
+  std::uint64_t seed;
+  double loss;
+  std::size_t nodes;
+};
+
+class InvariantTest : public ::testing::TestWithParam<Universe> {};
+
+void check_agreement(const SimCluster& cluster, std::size_t node_count) {
+  const auto& ref = cluster.deliveries(0);
+  for (std::size_t i = 1; i < node_count; ++i) {
+    const auto& d = cluster.deliveries(i);
+    ASSERT_EQ(d.size(), ref.size()) << "I1: node " << i << " diverges in count";
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      ASSERT_EQ(d[k].payload, ref[k].payload) << "I1: node " << i << " pos " << k;
+      ASSERT_EQ(d[k].origin, ref[k].origin) << "I1: node " << i << " pos " << k;
+    }
+  }
+}
+
+TEST_P(InvariantTest, SafetyInvariantsHoldUnderRandomLoss) {
+  const Universe u = GetParam();
+  ClusterConfig cfg;
+  cfg.node_count = u.nodes;
+  cfg.network_count = u.style == api::ReplicationStyle::kActivePassive ? 3 : 2;
+  cfg.style = u.style;
+  cfg.seed = u.seed;
+  cfg.net_params.loss_rate = u.loss;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+
+  // Mixed workload: skewed senders, sizes spanning packing and
+  // fragmentation regimes, bursts scheduled at random times.
+  Rng rng(u.seed * 7919 + 13);
+  std::multiset<std::string> offered;
+  int counter = 0;
+  for (int burst = 0; burst < 20; ++burst) {
+    const auto at = Duration{static_cast<Duration::rep>(rng.next_below(400'000))};
+    const std::size_t sender = rng.next_below(u.nodes);
+    const int n = 1 + static_cast<int>(rng.next_below(8));
+    std::vector<std::string> payloads;
+    for (int k = 0; k < n; ++k) {
+      const std::size_t size = 4 + rng.next_below(3000);
+      std::string payload = "u" + std::to_string(u.seed) + "-" +
+                            std::to_string(counter++) + "-";
+      payload.resize(size, 'x');
+      payloads.push_back(payload);
+      offered.insert(payload);
+    }
+    cluster.simulator().schedule(at, [&cluster, sender, payloads] {
+      for (const auto& p : payloads) {
+        ASSERT_TRUE(cluster.node(sender).send(to_bytes(p)).is_ok());
+      }
+    });
+  }
+  cluster.run_for(Duration{6'000'000});
+
+  // I2: everything offered was delivered (somewhere between 20 and 160
+  // messages). I3: exactly once.
+  const auto& ref = cluster.deliveries(0);
+  std::multiset<std::string> delivered;
+  for (const auto& d : ref) delivered.insert(totem::to_string(d.payload));
+  EXPECT_EQ(delivered, offered) << "I2/I3 violated";
+
+  check_agreement(cluster, u.nodes);
+
+  // I4: strictly increasing seqs at every node.
+  for (std::size_t i = 0; i < u.nodes; ++i) {
+    const auto& d = cluster.deliveries(i);
+    for (std::size_t k = 1; k < d.size(); ++k) {
+      ASSERT_GT(d[k].seq, d[k - 1].seq) << "I4: node " << i << " pos " << k;
+    }
+  }
+
+  // No reconfiguration and no false alarms in a loss-only universe.
+  for (std::size_t i = 0; i < u.nodes; ++i) {
+    EXPECT_EQ(cluster.views(i).size(), 1u) << "node " << i;
+  }
+  EXPECT_TRUE(cluster.faults().empty());
+}
+
+std::vector<Universe> universes() {
+  std::vector<Universe> out;
+  const api::ReplicationStyle styles[] = {
+      api::ReplicationStyle::kNone, api::ReplicationStyle::kActive,
+      api::ReplicationStyle::kPassive, api::ReplicationStyle::kActivePassive};
+  std::uint64_t seed = 100;
+  for (auto style : styles) {
+    for (double loss : {0.0, 0.005, 0.02}) {
+      out.push_back(Universe{style, seed++, loss, 4});
+    }
+  }
+  // A couple of larger rings.
+  out.push_back(Universe{api::ReplicationStyle::kActive, 900, 0.01, 6});
+  out.push_back(Universe{api::ReplicationStyle::kPassive, 901, 0.01, 6});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, InvariantTest, ::testing::ValuesIn(universes()));
+
+// ---------------------------------------------------------------------------
+// Crash universes: agreement must hold among survivors, and the crashed
+// node's pre-crash deliveries must be a prefix of the survivors' stream.
+
+class CrashUniverseTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashUniverseTest, PrefixAgreementAcrossCrash) {
+  const std::uint64_t seed = GetParam();
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.seed = seed;
+  cfg.net_params.loss_rate = 0.01;
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  SimCluster cluster(cfg);
+  cluster.start_all();
+
+  Rng rng(seed);
+  for (int k = 0; k < 60; ++k) {
+    const std::size_t sender = rng.next_below(3);  // survivors only
+    ASSERT_TRUE(
+        cluster.node(sender).send(to_bytes("c" + std::to_string(k))).is_ok());
+  }
+  const auto crash_at = Duration{20'000 + rng.next_below(50'000)};
+  cluster.run_for(crash_at);
+  cluster.crash(3);
+  const TimePoint crash_time = cluster.simulator().now();
+  cluster.run_for(Duration{5'000'000});
+
+  // Survivors agree exactly.
+  const auto& ref = cluster.deliveries(0);
+  ASSERT_EQ(ref.size(), 60u);
+  for (NodeId i = 1; i < 3; ++i) {
+    const auto& d = cluster.deliveries(i);
+    ASSERT_EQ(d.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      ASSERT_EQ(d[k].payload, ref[k].payload) << "survivor " << i << " pos " << k;
+    }
+  }
+  // Crashed node: pre-crash deliveries are a prefix of the agreed stream.
+  const auto& dead = cluster.deliveries(3);
+  std::size_t pre = 0;
+  for (const auto& m : dead) {
+    if (m.when > crash_time) break;
+    ++pre;
+  }
+  ASSERT_LE(pre, ref.size());
+  for (std::size_t k = 0; k < pre; ++k) {
+    ASSERT_EQ(dead[k].payload, ref[k].payload) << "crashed node prefix pos " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashUniverseTest,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u));
+
+// ---------------------------------------------------------------------------
+// Rolling network failures with repair: at least one network healthy at all
+// times => zero application-visible disruption, ever.
+
+TEST(RollingFailures, AlternatingNetworkOutagesAreInvisible) {
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  SimCluster cluster(cfg);
+  cluster.start_all();
+
+  PeriodicDriver driver(cluster, {.message_size = 300, .rate_per_node = 500});
+  driver.start();
+
+  for (int round = 0; round < 3; ++round) {
+    const NetworkId victim = static_cast<NetworkId>(round % 2);
+    cluster.run_for(Duration{500'000});
+    cluster.network(victim).fail();
+    cluster.run_for(Duration{1'500'000});
+    cluster.network(victim).recover();
+    for (std::size_t i = 0; i < 4; ++i) {
+      cluster.node(i).replicator().reset_network(victim);
+    }
+  }
+  driver.stop();
+  cluster.run_for(Duration{2'000'000});
+
+  // Complete agreement, no membership change.
+  const auto& ref = cluster.deliveries(0);
+  EXPECT_EQ(ref.size(), driver.messages_offered());
+  for (std::size_t i = 1; i < 4; ++i) {
+    const auto& d = cluster.deliveries(i);
+    ASSERT_EQ(d.size(), ref.size()) << "node " << i;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      ASSERT_EQ(d[k].payload, ref[k].payload);
+    }
+    EXPECT_EQ(cluster.views(i).size(), 1u) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace totem::harness

@@ -1,0 +1,166 @@
+// Unit tests for ActivePassiveReplicator (paper §7): K-of-N sending and the
+// two-stage receive pipeline.
+#include "rrp/active_passive_replicator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "srp/wire.h"
+#include "testing/fake_transport.h"
+
+namespace totem::rrp {
+namespace {
+
+using testing::FakeTransport;
+
+Bytes make_token(std::uint64_t rotation, SeqNum seq) {
+  srp::wire::Token t;
+  t.ring = RingId{0, 4};
+  t.sender = 1;
+  t.rotation = rotation;
+  t.seq = seq;
+  return srp::wire::serialize_token(t);
+}
+
+Bytes make_message(SeqNum seq, NodeId sender = 1) {
+  srp::wire::PacketHeader h{srp::wire::PacketType::kRegular, sender, RingId{0, 4}};
+  std::vector<srp::wire::MessageEntry> entries(1);
+  entries[0].seq = seq;
+  entries[0].origin = sender;
+  entries[0].payload = Bytes(8, std::byte{3});
+  return srp::wire::serialize_regular(h, entries);
+}
+
+struct ApFixture : ::testing::Test {
+  sim::Simulator sim;
+  FakeTransport t0{0, 7};
+  FakeTransport t1{1, 7};
+  FakeTransport t2{2, 7};
+  FakeTransport t3{3, 7};
+  std::unique_ptr<ActivePassiveReplicator> rep;
+
+  std::vector<Bytes> tokens_up;
+  std::vector<Bytes> messages_up;
+  std::vector<NetworkFaultReport> faults;
+
+  void build(std::size_t networks = 3, std::uint32_t k = 2,
+             ActivePassiveConfig base = {}) {
+    base.k = k;
+    std::vector<net::Transport*> ts = {&t0, &t1, &t2, &t3};
+    ts.resize(networks);
+    rep = std::make_unique<ActivePassiveReplicator>(sim, ts, base);
+    rep->set_token_handler(
+        [this](BytesView p, NetworkId) { tokens_up.emplace_back(p.begin(), p.end()); });
+    rep->set_message_handler(
+        [this](BytesView p, NetworkId) { messages_up.emplace_back(p.begin(), p.end()); });
+    rep->set_fault_handler([this](const NetworkFaultReport& r) { faults.push_back(r); });
+  }
+
+  [[nodiscard]] std::size_t total_sent() const {
+    return t0.sent.size() + t1.sent.size() + t2.sent.size() + t3.sent.size();
+  }
+};
+
+TEST_F(ApFixture, SendsExactlyKCopies) {
+  build(3, 2);
+  rep->broadcast_message(make_message(1));
+  EXPECT_EQ(total_sent(), 2u);
+  rep->broadcast_message(make_message(2));
+  EXPECT_EQ(total_sent(), 4u);
+}
+
+TEST_F(ApFixture, WindowRotatesAcrossAllNetworks) {
+  build(3, 2);
+  for (int i = 0; i < 3; ++i) rep->broadcast_message(make_message(i + 1));
+  // 3 messages x K=2 = 6 sends spread evenly over 3 networks.
+  EXPECT_EQ(t0.sent.size(), 2u);
+  EXPECT_EQ(t1.sent.size(), 2u);
+  EXPECT_EQ(t2.sent.size(), 2u);
+}
+
+TEST_F(ApFixture, KOfFourNetworks) {
+  build(4, 3);
+  for (int i = 0; i < 4; ++i) rep->broadcast_message(make_message(i + 1));
+  EXPECT_EQ(total_sent(), 12u);
+  EXPECT_EQ(t0.sent.size(), 3u);
+  EXPECT_EQ(t1.sent.size(), 3u);
+  EXPECT_EQ(t2.sent.size(), 3u);
+  EXPECT_EQ(t3.sent.size(), 3u);
+}
+
+TEST_F(ApFixture, FaultyNetworkSkippedKeepingKCopies) {
+  build(3, 2);
+  rep->mark_faulty(1);
+  for (int i = 0; i < 2; ++i) rep->broadcast_message(make_message(i + 1));
+  EXPECT_EQ(t1.sent.size(), 0u);
+  EXPECT_EQ(t0.sent.size() + t2.sent.size(), 4u);  // still K copies each
+}
+
+TEST_F(ApFixture, TokenDeliveredAfterKCopies) {
+  build(3, 2);
+  const Bytes tok = make_token(1, 10);
+  t0.inject(tok, 1);
+  EXPECT_TRUE(tokens_up.empty());
+  t2.inject(tok, 1);
+  ASSERT_EQ(tokens_up.size(), 1u);
+  // The third (unsent) copy never arrives and nothing further happens.
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ApFixture, TimeoutDeliversSingleCopy) {
+  ActivePassiveConfig base;
+  base.token_timeout = Duration{2'000};
+  build(3, 2, base);
+  t1.inject(make_token(1, 10), 1);
+  EXPECT_TRUE(tokens_up.empty());
+  sim.run_for(Duration{2'500});
+  EXPECT_EQ(tokens_up.size(), 1u);
+  EXPECT_EQ(rep->stats().token_timer_expiries, 1u);
+}
+
+TEST_F(ApFixture, MessagesPassThroughImmediately) {
+  build(3, 2);
+  t0.inject(make_message(1), 1);
+  t1.inject(make_message(1), 1);  // second copy also passes (SRP dedupes)
+  EXPECT_EQ(messages_up.size(), 2u);
+}
+
+TEST_F(ApFixture, Stage1MonitorDetectsDeadNetwork) {
+  ActivePassiveConfig base;
+  base.monitor.imbalance_threshold = 10;
+  base.monitor.aging_interval = Duration{10'000'000};
+  build(3, 2, base);
+  // Messages from node 1 arrive on networks 0 and 2 but never on 1.
+  SeqNum s = 1;
+  for (int i = 0; i < 12; ++i) {
+    t0.inject(make_message(s, 1), 1);
+    t2.inject(make_message(s, 1), 1);
+    ++s;
+  }
+  ASSERT_FALSE(faults.empty());
+  EXPECT_EQ(faults[0].network, 1);
+  EXPECT_TRUE(rep->network_faulty(1));
+}
+
+TEST_F(ApFixture, EffectiveKDropsWithFaultyNetworks) {
+  build(3, 2);
+  rep->mark_faulty(0);
+  rep->mark_faulty(1);
+  // Only one healthy network left: a single copy must suffice.
+  t2.inject(make_token(1, 10), 1);
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ApFixture, DuplicateTokenCopiesAbsorbed) {
+  build(3, 2);
+  const Bytes tok = make_token(1, 10);
+  t0.inject(tok, 1);
+  t0.inject(tok, 1);  // same network twice does not count as two copies
+  EXPECT_TRUE(tokens_up.empty()) << "one network's duplicate must not satisfy K=2";
+  t1.inject(tok, 1);
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+}  // namespace
+}  // namespace totem::rrp

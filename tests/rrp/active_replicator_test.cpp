@@ -1,0 +1,251 @@
+// Unit tests for ActiveReplicator against the requirements of paper §5
+// (A1-A6) and the Fig. 2 algorithm.
+#include "rrp/active_replicator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "srp/wire.h"
+#include "testing/fake_transport.h"
+
+namespace totem::rrp {
+namespace {
+
+using testing::FakeTransport;
+
+Bytes make_token(std::uint64_t rotation, SeqNum seq, RingId ring = RingId{0, 4}) {
+  srp::wire::Token t;
+  t.ring = ring;
+  t.sender = 1;
+  t.rotation = rotation;
+  t.seq = seq;
+  return srp::wire::serialize_token(t);
+}
+
+Bytes make_message(SeqNum seq, RingId ring = RingId{0, 4}) {
+  srp::wire::PacketHeader h{srp::wire::PacketType::kRegular, 1, ring};
+  std::vector<srp::wire::MessageEntry> entries(1);
+  entries[0].seq = seq;
+  entries[0].origin = 1;
+  entries[0].payload = Bytes(16, std::byte{9});
+  return srp::wire::serialize_regular(h, entries);
+}
+
+struct ActiveFixture : ::testing::Test {
+  sim::Simulator sim;
+  FakeTransport t0{0, 7};
+  FakeTransport t1{1, 7};
+  FakeTransport t2{2, 7};
+  std::unique_ptr<ActiveReplicator> rep;
+
+  std::vector<Bytes> tokens_up;
+  std::vector<Bytes> messages_up;
+  std::vector<NetworkFaultReport> faults;
+
+  void build(std::size_t networks = 2, ActiveConfig cfg = {}) {
+    std::vector<net::Transport*> ts = {&t0, &t1, &t2};
+    ts.resize(networks);
+    rep = std::make_unique<ActiveReplicator>(sim, ts, cfg);
+    rep->set_token_handler(
+        [this](BytesView p, NetworkId) { tokens_up.emplace_back(p.begin(), p.end()); });
+    rep->set_message_handler(
+        [this](BytesView p, NetworkId) { messages_up.emplace_back(p.begin(), p.end()); });
+    rep->set_fault_handler(
+        [this](const NetworkFaultReport& r) { faults.push_back(r); });
+  }
+};
+
+TEST_F(ActiveFixture, BroadcastFansOutToAllNetworks) {
+  build(3);
+  const Bytes msg = make_message(1);
+  rep->broadcast_message(msg);
+  EXPECT_EQ(t0.sent.size(), 1u);
+  EXPECT_EQ(t1.sent.size(), 1u);
+  EXPECT_EQ(t2.sent.size(), 1u);
+  EXPECT_EQ(t0.sent[0].data, msg);
+  EXPECT_FALSE(t0.sent[0].unicast_dest.has_value());
+}
+
+TEST_F(ActiveFixture, TokenFansOutAsUnicast) {
+  build(2);
+  rep->send_token(9, make_token(0, 0));
+  ASSERT_EQ(t0.sent.size(), 1u);
+  ASSERT_EQ(t1.sent.size(), 1u);
+  EXPECT_EQ(t0.sent[0].unicast_dest, 9u);
+  EXPECT_EQ(t1.sent[0].unicast_dest, 9u);
+}
+
+TEST_F(ActiveFixture, FaultyNetworkExcludedFromFanout) {
+  build(3);
+  rep->mark_faulty(1);
+  rep->broadcast_message(make_message(1));
+  rep->send_token(9, make_token(0, 0));
+  EXPECT_EQ(t0.sent.size(), 2u);
+  EXPECT_EQ(t1.sent.size(), 0u);
+  EXPECT_EQ(t2.sent.size(), 2u);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].reason, NetworkFaultReport::Reason::kAdministrative);
+}
+
+TEST_F(ActiveFixture, MessagesPassThroughImmediately) {
+  // Requirement A1: deliver on first reception; the SRP dedupes.
+  build(2);
+  const Bytes msg = make_message(1);
+  t0.inject(msg, 1);
+  EXPECT_EQ(messages_up.size(), 1u);
+  t1.inject(msg, 1);  // duplicate copy also goes up (SRP filters)
+  EXPECT_EQ(messages_up.size(), 2u);
+}
+
+TEST_F(ActiveFixture, TokenHeldUntilAllCopiesArrive) {
+  // Requirements A2/A3: the token passes only when every non-faulty network
+  // has delivered its copy.
+  build(2);
+  const Bytes tok = make_token(1, 10);
+  t0.inject(tok, 1);
+  EXPECT_TRUE(tokens_up.empty());
+  t1.inject(tok, 1);
+  ASSERT_EQ(tokens_up.size(), 1u);
+  EXPECT_EQ(tokens_up[0], tok);
+}
+
+TEST_F(ActiveFixture, ThreeNetworksNeedAllThreeCopies) {
+  build(3);
+  const Bytes tok = make_token(1, 10);
+  t0.inject(tok, 1);
+  t2.inject(tok, 1);
+  EXPECT_TRUE(tokens_up.empty());
+  t1.inject(tok, 1);
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ActiveFixture, DuplicateCopiesDeliverOnlyOnce) {
+  build(2);
+  const Bytes tok = make_token(1, 10);
+  t0.inject(tok, 1);
+  t1.inject(tok, 1);
+  t0.inject(tok, 1);  // retained-token retransmission
+  t1.inject(tok, 1);
+  EXPECT_EQ(tokens_up.size(), 1u);
+  EXPECT_GE(rep->stats().duplicate_tokens_absorbed, 2u);
+}
+
+TEST_F(ActiveFixture, TimerDeliversDespiteMissingCopy) {
+  // Requirement A4: progress when a copy is lost.
+  ActiveConfig cfg;
+  cfg.token_timeout = Duration{2'000};
+  build(2, cfg);
+  t0.inject(make_token(1, 10), 1);
+  EXPECT_TRUE(tokens_up.empty());
+  sim.run_for(Duration{2'500});
+  ASSERT_EQ(tokens_up.size(), 1u);
+  EXPECT_EQ(rep->problem_counter(1), 1u);
+  EXPECT_EQ(rep->problem_counter(0), 0u);
+}
+
+TEST_F(ActiveFixture, LateCopyAfterTimerDoesNotRedeliver) {
+  build(2);
+  const Bytes tok = make_token(1, 10);
+  t0.inject(tok, 1);
+  sim.run_for(Duration{3'000});  // timer fires, token delivered
+  ASSERT_EQ(tokens_up.size(), 1u);
+  t1.inject(tok, 1);  // the missing copy finally arrives
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ActiveFixture, RepeatedTimeoutsDeclareNetworkFaulty) {
+  // Requirement A5: permanent failure is eventually detected.
+  ActiveConfig cfg;
+  cfg.token_timeout = Duration{1'000};
+  cfg.problem_threshold = 4;
+  cfg.decay_interval = Duration{10'000'000};  // effectively off
+  build(2, cfg);
+  for (std::uint64_t r = 1; r <= 4; ++r) {
+    t0.inject(make_token(r, 10 * r), 1);  // network 1 never delivers
+    sim.run_for(Duration{1'500});
+  }
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].network, 1);
+  EXPECT_EQ(faults[0].reason, NetworkFaultReport::Reason::kTokenTimeout);
+  EXPECT_TRUE(rep->network_faulty(1));
+  EXPECT_FALSE(rep->network_faulty(0));
+
+  // After the fault, tokens pass without waiting for network 1 and without
+  // the timer delay.
+  tokens_up.clear();
+  t0.inject(make_token(9, 100), 1);
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ActiveFixture, DecayPreventsFalsePositiveFromSporadicLoss) {
+  // Requirement A6: sporadic token loss must not accumulate into a fault.
+  ActiveConfig cfg;
+  cfg.token_timeout = Duration{1'000};
+  cfg.problem_threshold = 4;
+  cfg.decay_interval = Duration{20'000};
+  build(2, cfg);
+  // One lost copy every 50 ms: decay (every 20 ms) outpaces the increments.
+  for (std::uint64_t r = 1; r <= 20; ++r) {
+    t0.inject(make_token(r, 10 * r), 1);
+    sim.run_for(Duration{1'500});  // timer fires, counter++
+    const Bytes tok2 = make_token(r * 100 + 1, 10 * r + 5);
+    t0.inject(tok2, 1);  // healthy rounds in between
+    t1.inject(tok2, 1);
+    sim.run_for(Duration{48'500});
+  }
+  EXPECT_TRUE(faults.empty());
+  EXPECT_FALSE(rep->network_faulty(1));
+}
+
+TEST_F(ActiveFixture, StaleOlderTokenIgnored) {
+  build(2);
+  const Bytes newer = make_token(5, 50);
+  t0.inject(newer, 1);
+  t1.inject(newer, 1);
+  ASSERT_EQ(tokens_up.size(), 1u);
+  // An old retransmission straggles in; it must not restart collection.
+  t0.inject(make_token(4, 40), 1);
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ActiveFixture, NewRingResetsTokenOrdering) {
+  build(2);
+  const Bytes old_ring_tok = make_token(9, 90, RingId{0, 4});
+  t0.inject(old_ring_tok, 1);
+  t1.inject(old_ring_tok, 1);
+  ASSERT_EQ(tokens_up.size(), 1u);
+  // A new ring's token restarts at rotation 0, seq 0 and must be accepted.
+  const Bytes new_ring_tok = make_token(0, 0, RingId{0, 8});
+  t0.inject(new_ring_tok, 1);
+  t1.inject(new_ring_tok, 1);
+  EXPECT_EQ(tokens_up.size(), 2u);
+}
+
+TEST_F(ActiveFixture, ResetNetworkRejoinsFanout) {
+  build(2);
+  rep->mark_faulty(0);
+  rep->broadcast_message(make_message(1));
+  EXPECT_EQ(t0.sent.size(), 0u);
+  rep->reset_network(0);
+  EXPECT_FALSE(rep->network_faulty(0));
+  rep->broadcast_message(make_message(2));
+  EXPECT_EQ(t0.sent.size(), 1u);
+  // And tokens wait for it again.
+  const Bytes tok = make_token(1, 10);
+  t1.inject(tok, 1);
+  EXPECT_TRUE(tokens_up.empty());
+  t0.inject(tok, 1);
+  EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ActiveFixture, MalformedPacketsIgnored) {
+  build(2);
+  Bytes garbage(40, std::byte{0xEE});
+  t0.inject(garbage, 1);
+  EXPECT_TRUE(tokens_up.empty());
+  EXPECT_TRUE(messages_up.empty());
+}
+
+}  // namespace
+}  // namespace totem::rrp

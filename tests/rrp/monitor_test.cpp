@@ -1,0 +1,93 @@
+#include "rrp/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace totem::rrp {
+namespace {
+
+TEST(ReceptionMonitor, BalancedCountsNeverReport) {
+  ReceptionMonitor m(2, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(m.record(0).empty());
+    EXPECT_TRUE(m.record(1).empty());
+  }
+}
+
+TEST(ReceptionMonitor, LaggingNetworkReportedOncePastThreshold) {
+  ReceptionMonitor m(2, 5);
+  std::vector<NetworkId> reported;
+  for (int i = 0; i < 10; ++i) {
+    auto r = m.record(0);
+    reported.insert(reported.end(), r.begin(), r.end());
+  }
+  ASSERT_EQ(reported.size(), 1u);
+  EXPECT_EQ(reported[0], 1);
+  // Not reported again.
+  EXPECT_TRUE(m.record(0).empty());
+}
+
+TEST(ReceptionMonitor, ThresholdIsStrict) {
+  ReceptionMonitor m(2, 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(m.record(0).empty()) << "lag == threshold must not report";
+  }
+  EXPECT_FALSE(m.record(0).empty());
+}
+
+TEST(ReceptionMonitor, AgingClosesTheGap) {
+  ReceptionMonitor m(2, 5);
+  for (int i = 0; i < 4; ++i) m.record(0);
+  EXPECT_EQ(m.lag(1), 4u);
+  m.age();
+  m.age();
+  EXPECT_EQ(m.lag(1), 2u);
+  // Now even 3 more receptions on net 0 stay under the threshold.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(m.record(0).empty());
+  }
+}
+
+TEST(ReceptionMonitor, AgingNeverOvershoots) {
+  ReceptionMonitor m(2, 5);
+  m.record(0);
+  for (int i = 0; i < 10; ++i) m.age();
+  EXPECT_EQ(m.lag(1), 0u);
+  EXPECT_EQ(m.counts()[1], m.counts()[0]);
+}
+
+TEST(ReceptionMonitor, ResetNetworkCatchesUpAndRearms) {
+  ReceptionMonitor m(2, 3);
+  for (int i = 0; i < 10; ++i) m.record(0);
+  EXPECT_EQ(m.lag(1), 10u);
+  m.reset_network(1);
+  EXPECT_EQ(m.lag(1), 0u);
+  // It can be reported again after a fresh divergence.
+  std::vector<NetworkId> reported;
+  for (int i = 0; i < 10; ++i) {
+    auto r = m.record(0);
+    reported.insert(reported.end(), r.begin(), r.end());
+  }
+  EXPECT_EQ(reported.size(), 1u);
+}
+
+TEST(ReceptionMonitor, ThreeNetworksReportIndividually) {
+  ReceptionMonitor m(3, 2);
+  auto r1 = m.record(0);
+  auto r2 = m.record(0);
+  auto r3 = m.record(0);  // lag(1) = lag(2) = 3 > 2
+  EXPECT_TRUE(r1.empty());
+  EXPECT_TRUE(r2.empty());
+  ASSERT_EQ(r3.size(), 2u);
+  EXPECT_EQ(r3[0], 1);
+  EXPECT_EQ(r3[1], 2);
+}
+
+TEST(ReceptionMonitor, OutOfRangeNetworkIgnored) {
+  ReceptionMonitor m(2, 5);
+  EXPECT_TRUE(m.record(9).empty());
+  EXPECT_EQ(m.lag(9), 0u);
+  m.reset_network(9);  // no crash
+}
+
+}  // namespace
+}  // namespace totem::rrp

@@ -1,0 +1,279 @@
+// Unit tests for PassiveReplicator against the requirements of paper §6
+// (P1-P5) and the Fig. 4/5 algorithms.
+#include "rrp/passive_replicator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "srp/wire.h"
+#include "testing/fake_transport.h"
+
+namespace totem::rrp {
+namespace {
+
+using testing::FakeTransport;
+
+Bytes make_token(std::uint64_t rotation, SeqNum seq) {
+  srp::wire::Token t;
+  t.ring = RingId{0, 4};
+  t.sender = 1;
+  t.rotation = rotation;
+  t.seq = seq;
+  return srp::wire::serialize_token(t);
+}
+
+Bytes make_message(SeqNum seq, NodeId sender = 1) {
+  srp::wire::PacketHeader h{srp::wire::PacketType::kRegular, sender, RingId{0, 4}};
+  std::vector<srp::wire::MessageEntry> entries(1);
+  entries[0].seq = seq;
+  entries[0].origin = sender;
+  entries[0].payload = Bytes(16, std::byte{9});
+  return srp::wire::serialize_regular(h, entries);
+}
+
+struct PassiveFixture : ::testing::Test {
+  sim::Simulator sim;
+  FakeTransport t0{0, 7};
+  FakeTransport t1{1, 7};
+  FakeTransport t2{2, 7};
+  std::unique_ptr<PassiveReplicator> rep;
+
+  std::vector<Bytes> tokens_up;
+  std::vector<Bytes> messages_up;
+  std::vector<NetworkFaultReport> faults;
+  SeqNum srp_aru = 1'000'000;  // default: nothing missing
+  SeqNum srp_high = 0;
+
+  void build(std::size_t networks = 2, PassiveConfig cfg = {}) {
+    std::vector<net::Transport*> ts = {&t0, &t1, &t2};
+    ts.resize(networks);
+    rep = std::make_unique<PassiveReplicator>(sim, ts, cfg);
+    rep->set_token_handler(
+        [this](BytesView p, NetworkId) { tokens_up.emplace_back(p.begin(), p.end()); });
+    rep->set_message_handler(
+        [this](BytesView p, NetworkId) { messages_up.emplace_back(p.begin(), p.end()); });
+    rep->set_fault_handler([this](const NetworkFaultReport& r) { faults.push_back(r); });
+    // Mirrors SingleRing::any_messages_missing().
+    rep->set_missing_query([this](SeqNum token_seq) {
+      return srp_aru < std::max(srp_high, token_seq);
+    });
+  }
+};
+
+TEST_F(PassiveFixture, MessagesRoundRobinOverNetworks) {
+  build(2);
+  for (int i = 0; i < 4; ++i) rep->broadcast_message(make_message(i + 1));
+  EXPECT_EQ(t0.sent.size(), 2u);
+  EXPECT_EQ(t1.sent.size(), 2u);
+}
+
+TEST_F(PassiveFixture, TokensRoundRobinIndependently) {
+  build(2);
+  rep->broadcast_message(make_message(1));  // uses one network
+  rep->send_token(9, make_token(0, 1));
+  rep->send_token(9, make_token(1, 1));
+  // Tokens alternate regardless of message cursor position.
+  std::size_t t0_tokens = 0, t1_tokens = 0;
+  for (const auto& s : t0.sent) {
+    if (s.unicast_dest) ++t0_tokens;
+  }
+  for (const auto& s : t1.sent) {
+    if (s.unicast_dest) ++t1_tokens;
+  }
+  EXPECT_EQ(t0_tokens, 1u);
+  EXPECT_EQ(t1_tokens, 1u);
+}
+
+TEST_F(PassiveFixture, FaultyNetworkSkippedInRotation) {
+  build(3);
+  rep->mark_faulty(1);
+  for (int i = 0; i < 4; ++i) rep->broadcast_message(make_message(i + 1));
+  EXPECT_EQ(t0.sent.size(), 2u);
+  EXPECT_EQ(t1.sent.size(), 0u);
+  EXPECT_EQ(t2.sent.size(), 2u);
+}
+
+TEST_F(PassiveFixture, AllNetworksFaultyStillAttemptsNetworkZero) {
+  build(2);
+  rep->mark_faulty(0);
+  rep->mark_faulty(1);
+  rep->broadcast_message(make_message(1));
+  EXPECT_EQ(t0.sent.size(), 1u);  // last-ditch attempt
+}
+
+TEST_F(PassiveFixture, TokenPassesWhenNothingMissing) {
+  build(2);
+  const Bytes tok = make_token(1, 10);
+  t0.inject(tok, 1);
+  ASSERT_EQ(tokens_up.size(), 1u);
+  EXPECT_EQ(tokens_up[0], tok);
+}
+
+TEST_F(PassiveFixture, TokenBufferedWhileMessagesOutstanding) {
+  // Requirement P1 (Fig. 3 scenario 1): the token overtook a message that is
+  // still in flight on the other network — it must NOT reach the SRP yet.
+  build(2);
+  srp_aru = 9;  // we have messages up to 9; token says seq 10
+  t1.inject(make_token(1, 10), 1);
+  EXPECT_TRUE(tokens_up.empty());
+
+  // The delayed message arrives; the SRP is whole again; the token flushes.
+  srp_aru = 10;
+  t0.inject(make_message(10), 1);
+  EXPECT_EQ(messages_up.size(), 1u);
+  ASSERT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(PassiveFixture, BufferTimerForcesProgressWhenMessageReallyLost) {
+  // Requirement P3: if the message was genuinely lost, the token must still
+  // pass (the SRP will then request a retransmission — the paper's stated
+  // cost of passive replication).
+  PassiveConfig cfg;
+  cfg.token_buffer_timeout = Duration{10'000};  // the paper's 10 ms
+  build(2, cfg);
+  srp_aru = 9;
+  t1.inject(make_token(1, 10), 1);
+  EXPECT_TRUE(tokens_up.empty());
+  sim.run_for(Duration{9'000});
+  EXPECT_TRUE(tokens_up.empty());
+  sim.run_for(Duration{2'000});
+  ASSERT_EQ(tokens_up.size(), 1u);
+  EXPECT_EQ(rep->stats().token_timer_expiries, 1u);
+}
+
+TEST_F(PassiveFixture, NewerTokenSupersedesBufferedOne) {
+  build(2);
+  srp_aru = 9;
+  t1.inject(make_token(1, 10), 1);
+  EXPECT_TRUE(tokens_up.empty());
+  // Next rotation's token arrives with everything resolved up to 10 but we
+  // are still missing; the buffer keeps the newest token.
+  const Bytes tok2 = make_token(2, 12);
+  t0.inject(tok2, 1);
+  srp_aru = 12;
+  srp_high = 12;
+  t1.inject(make_message(12, 2), 2);
+  ASSERT_EQ(tokens_up.size(), 1u);
+  EXPECT_EQ(tokens_up[0], tok2);
+}
+
+TEST_F(PassiveFixture, UnrelatedMessageDoesNotFlushWhileStillMissing) {
+  build(2);
+  srp_aru = 5;
+  srp_high = 8;
+  t1.inject(make_token(1, 10), 1);
+  t0.inject(make_message(7), 1);  // does not complete the gap
+  EXPECT_TRUE(tokens_up.empty());
+}
+
+TEST_F(PassiveFixture, ImbalanceMonitorDeclaresLaggingNetworkFaulty) {
+  // Requirement P4 via the Fig. 5 per-sender message monitor.
+  PassiveConfig cfg;
+  cfg.imbalance_threshold = 10;
+  cfg.aging_interval = Duration{10'000'000};  // off
+  build(2, cfg);
+  // Node 1's messages only ever arrive on network 0 (its path to us on
+  // network 1 is dead).
+  for (SeqNum s = 1; s <= 12; ++s) {
+    t0.inject(make_message(s, 1), 1);
+  }
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].network, 1);
+  EXPECT_EQ(faults[0].reason, NetworkFaultReport::Reason::kReceptionImbalance);
+  EXPECT_TRUE(rep->network_faulty(1));
+}
+
+TEST_F(PassiveFixture, TokenMonitorAlsoDetectsFaults) {
+  PassiveConfig cfg;
+  cfg.imbalance_threshold = 5;
+  cfg.aging_interval = Duration{10'000'000};
+  build(2, cfg);
+  for (std::uint64_t r = 1; r <= 7; ++r) {
+    t0.inject(make_token(r, 0), 1);
+  }
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].network, 1);
+}
+
+TEST_F(PassiveFixture, BalancedTrafficRaisesNoFaults) {
+  PassiveConfig cfg;
+  cfg.imbalance_threshold = 10;
+  build(2, cfg);
+  for (SeqNum s = 1; s <= 100; ++s) {
+    (s % 2 == 0 ? t0 : t1).inject(make_message(s, 1), 1);
+  }
+  EXPECT_TRUE(faults.empty());
+}
+
+TEST_F(PassiveFixture, AgingForgivesSporadicLoss) {
+  // Requirement P5: a 1-in-20 loss rate on network 1 must never accumulate
+  // into a fault, because aging bumps the lagging count between batches.
+  PassiveConfig cfg;
+  cfg.imbalance_threshold = 10;
+  cfg.aging_interval = Duration{1'000};
+  build(2, cfg);
+  SeqNum s = 1;
+  for (int round = 0; round < 100; ++round) {
+    // 20 messages alternate networks; network 1 drops one.
+    for (int i = 0; i < 10; ++i) t0.inject(make_message(s++, 1), 1);
+    for (int i = 0; i < 9; ++i) t1.inject(make_message(s++, 1), 1);
+    sim.run_for(Duration{2'000});  // a couple of aging ticks
+  }
+  EXPECT_TRUE(faults.empty());
+  EXPECT_FALSE(rep->network_faulty(1));
+}
+
+TEST_F(PassiveFixture, WithoutAgingTheSameLossWouldTrip) {
+  // Companion to AgingForgivesSporadicLoss: proves aging is load-bearing.
+  PassiveConfig cfg;
+  cfg.imbalance_threshold = 10;
+  cfg.aging_interval = Duration{10'000'000};  // off
+  build(2, cfg);
+  SeqNum s = 1;
+  for (int round = 0; round < 100 && faults.empty(); ++round) {
+    for (int i = 0; i < 10; ++i) t0.inject(make_message(s++, 1), 1);
+    for (int i = 0; i < 9; ++i) t1.inject(make_message(s++, 1), 1);
+    sim.run_for(Duration{2'000});
+  }
+  EXPECT_FALSE(faults.empty());
+}
+
+TEST_F(PassiveFixture, PerSenderMonitorsAreIndependent) {
+  PassiveConfig cfg;
+  cfg.imbalance_threshold = 10;
+  cfg.aging_interval = Duration{10'000'000};
+  build(2, cfg);
+  // Eleven nodes each send one message on network 0 only: no single
+  // sender's monitor crosses the threshold.
+  for (NodeId sender = 1; sender <= 11; ++sender) {
+    t0.inject(make_message(1, sender), sender);
+  }
+  EXPECT_TRUE(faults.empty());
+}
+
+TEST_F(PassiveFixture, ResetNetworkClearsFaultAndMonitors) {
+  PassiveConfig cfg;
+  cfg.imbalance_threshold = 5;
+  cfg.aging_interval = Duration{10'000'000};
+  build(2, cfg);
+  for (SeqNum s = 1; s <= 7; ++s) t0.inject(make_message(s, 1), 1);
+  ASSERT_TRUE(rep->network_faulty(1));
+  rep->reset_network(1);
+  EXPECT_FALSE(rep->network_faulty(1));
+  // Balanced traffic after repair: no immediate re-trip.
+  for (SeqNum s = 8; s <= 20; ++s) {
+    (s % 2 == 0 ? t0 : t1).inject(make_message(s, 1), 1);
+  }
+  EXPECT_FALSE(rep->network_faulty(1));
+}
+
+TEST_F(PassiveFixture, BandwidthConsumptionEqualsUnreplicated) {
+  // Paper §4: passive replication's bandwidth consumption equals that of an
+  // unreplicated system — exactly one copy per message.
+  build(3);
+  for (int i = 0; i < 30; ++i) rep->broadcast_message(make_message(i + 1));
+  EXPECT_EQ(t0.sent.size() + t1.sent.size() + t2.sent.size(), 30u);
+}
+
+}  // namespace
+}  // namespace totem::rrp

@@ -1,0 +1,105 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace totem::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration{30}, [&] { order.push_back(3); });
+  sim.schedule(Duration{10}, [&] { order.push_back(1); });
+  sim.schedule(Duration{20}, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoAmongSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(Duration{5}, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.schedule(Duration{123}, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen.time_since_epoch().count(), 123);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration{100}, [&] { ++fired; });
+  sim.schedule(Duration{300}, [&] { ++fired; });
+  sim.run_until(TimePoint{} + Duration{200});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().time_since_epoch().count(), 200);
+  sim.run_for(Duration{200});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelledTimerDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  TimerHandle h = sim.schedule(Duration{10}, [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, HandleInactiveAfterFiring) {
+  Simulator sim;
+  TimerHandle h = sim.schedule(Duration{10}, [] {});
+  sim.run_all();
+  EXPECT_FALSE(h.active());
+  h.cancel();  // safe no-op after firing
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(Duration{1}, recurse);
+  };
+  sim.schedule(Duration{1}, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now().time_since_epoch().count(), 5);
+}
+
+TEST(Simulator, EventCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(Duration{i}, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(CpuModel, SerializesWork) {
+  CpuModel cpu;
+  const TimePoint t0{};
+  // Two 10us jobs arriving at the same instant complete back to back.
+  EXPECT_EQ(cpu.acquire(t0, Duration{10}), t0 + Duration{10});
+  EXPECT_EQ(cpu.acquire(t0, Duration{10}), t0 + Duration{20});
+  EXPECT_EQ(cpu.total_busy(), Duration{20});
+}
+
+TEST(CpuModel, IdleGapsAreNotCharged) {
+  CpuModel cpu;
+  const TimePoint t0{};
+  cpu.acquire(t0, Duration{5});
+  // Work arriving after the CPU went idle starts immediately.
+  EXPECT_EQ(cpu.acquire(t0 + Duration{100}, Duration{5}), t0 + Duration{105});
+  EXPECT_EQ(cpu.total_busy(), Duration{10});
+}
+
+}  // namespace
+}  // namespace totem::sim

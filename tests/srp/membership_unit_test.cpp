@@ -1,0 +1,353 @@
+// Wire-level unit tests for the membership state machine: a single
+// SingleRing instance driven through Gather / Commit / Recovery by hand-
+// crafted join messages and commit tokens via the fake replicator. The
+// multi-node end-to-end behaviour is covered by integration/membership_test;
+// these tests pin down the exact packets the state machine emits and
+// accepts.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "srp/single_ring.h"
+#include "testing/fake_replicator.h"
+
+namespace totem::srp {
+namespace {
+
+using testing::FakeReplicator;
+
+struct MembershipFixture : ::testing::Test {
+  sim::Simulator sim;
+  FakeReplicator rep;
+  std::unique_ptr<SingleRing> ring;
+  std::vector<MembershipView> views;
+  std::vector<std::pair<NodeId, Bytes>> delivered;
+
+  Config config(NodeId id) {
+    Config cfg;
+    cfg.node_id = id;
+    cfg.initial_members = {1, 2, 3};
+    cfg.token_loss_timeout = Duration{100'000};
+    // A wide gather window (grace = 2 * join_interval) so tests can inject
+    // joins before the lone node concludes it is a singleton.
+    cfg.join_interval = Duration{50'000};
+    cfg.consensus_timeout = Duration{100'000};
+    cfg.commit_timeout = Duration{100'000};
+    return cfg;
+  }
+
+  void build(Config cfg) {
+    ring = std::make_unique<SingleRing>(sim, rep, cfg);
+    ring->set_membership_handler([this](const MembershipView& v) { views.push_back(v); });
+    ring->set_deliver_handler([this](const DeliveredMessage& m) {
+      delivered.emplace_back(m.origin, Bytes(m.payload.begin(), m.payload.end()));
+    });
+    ring->start();
+    sim.run_for(Duration{1});
+  }
+
+  /// All join messages broadcast so far, parsed.
+  std::vector<wire::JoinMessage> sent_joins() {
+    std::vector<wire::JoinMessage> out;
+    for (const auto& b : rep.broadcasts) {
+      auto info = wire::peek(b);
+      if (info.is_ok() && info.value().type == wire::PacketType::kJoin) {
+        out.push_back(wire::parse_join(b).value());
+      }
+    }
+    return out;
+  }
+
+  /// All commit tokens unicast so far, parsed.
+  std::vector<std::pair<NodeId, wire::CommitToken>> sent_commits() {
+    std::vector<std::pair<NodeId, wire::CommitToken>> out;
+    for (const auto& t : rep.tokens) {
+      auto info = wire::peek(t.data);
+      if (info.is_ok() && info.value().type == wire::PacketType::kCommitToken) {
+        out.emplace_back(t.dest, wire::parse_commit(t.data).value());
+      }
+    }
+    return out;
+  }
+
+  void inject_join(NodeId sender, std::vector<NodeId> proc, std::vector<NodeId> fail = {},
+                   std::uint64_t ring_seq = 4) {
+    wire::JoinMessage j;
+    j.sender = sender;
+    j.proc_set = std::move(proc);
+    j.fail_set = std::move(fail);
+    j.ring_seq = ring_seq;
+    rep.inject_message(wire::serialize_join(j));
+  }
+};
+
+TEST_F(MembershipFixture, TokenLossBroadcastsJoinWithSelfOnly) {
+  build(config(2));  // non-leader: never gets the token
+  sim.run_for(Duration{150'000});
+  ASSERT_EQ(ring->state(), SingleRing::State::kGather);
+  auto joins = sent_joins();
+  ASSERT_FALSE(joins.empty());
+  EXPECT_EQ(joins[0].sender, 2u);
+  EXPECT_EQ(joins[0].proc_set, (std::vector<NodeId>{2}));
+  EXPECT_TRUE(joins[0].fail_set.empty());
+  EXPECT_EQ(joins[0].ring_seq, 4u) << "remembers the ring it fell off";
+}
+
+TEST_F(MembershipFixture, JoinsRebroadcastPeriodically) {
+  build(config(2));
+  sim.run_for(Duration{180'000});
+  EXPECT_GE(sent_joins().size(), 2u);
+}
+
+TEST_F(MembershipFixture, MergesProcSetsAndRebroadcasts) {
+  build(config(2));
+  sim.run_for(Duration{150'000});
+  const std::size_t before = sent_joins().size();
+  inject_join(3, {3, 5});
+  auto joins = sent_joins();
+  ASSERT_GT(joins.size(), before) << "changed proc set must trigger rebroadcast";
+  EXPECT_EQ(joins.back().proc_set, (std::vector<NodeId>{2, 3, 5}));
+}
+
+TEST_F(MembershipFixture, RepresentativeEmitsCommitTokenOnConsensus) {
+  build(config(2));
+  sim.run_for(Duration{150'000});  // gather with proc={2}
+  // Node 3 agrees on proc={2,3}; node 2 (us) is the representative.
+  inject_join(3, {2, 3});
+  sim.run_for(Duration{60'000});  // grace period passes; consensus evaluates
+  auto commits = sent_commits();
+  ASSERT_GE(commits.size(), 1u);
+  // Any further copies are retention resends of the SAME commit token.
+  for (std::size_t i = 1; i < commits.size(); ++i) {
+    EXPECT_EQ(commits[i].first, commits[0].first);
+    EXPECT_EQ(commits[i].second.hop, commits[0].second.hop);
+  }
+  EXPECT_EQ(commits[0].first, 3u) << "commit goes to the next member";
+  const wire::CommitToken& c = commits[0].second;
+  EXPECT_EQ(c.new_ring.representative, 2u);
+  EXPECT_GT(c.new_ring.ring_seq, 4u);
+  EXPECT_EQ(c.new_ring.ring_seq % 4, 0u) << "committed rings advance by 4";
+  ASSERT_EQ(c.members.size(), 2u);
+  EXPECT_EQ(c.members[0].node, 2u);
+  EXPECT_TRUE(c.members[0].filled);
+  EXPECT_EQ(c.members[1].node, 3u);
+  EXPECT_FALSE(c.members[1].filled);
+  EXPECT_EQ(c.hop, 1u);
+  EXPECT_EQ(ring->state(), SingleRing::State::kCommit);
+}
+
+TEST_F(MembershipFixture, NonRepresentativeFillsAndForwardsCommit) {
+  build(config(3));  // node 3: never the representative of {2,3}
+  sim.run_for(Duration{150'000});
+  inject_join(2, {2, 3});
+  sim.run_for(Duration{60'000});
+
+  // Representative 2's first-pass commit token arrives.
+  wire::CommitToken c;
+  c.new_ring = RingId{2, 8};
+  c.sender = 2;
+  c.hop = 1;
+  c.members.resize(2);
+  c.members[0].node = 2;
+  c.members[0].old_ring = RingId{1, 4};
+  c.members[0].my_aru = 7;
+  c.members[0].high_seq = 9;
+  c.members[0].filled = true;
+  c.members[1].node = 3;
+  rep.inject_message(wire::serialize_commit(c));
+
+  EXPECT_EQ(ring->state(), SingleRing::State::kCommit);
+  auto commits = sent_commits();
+  ASSERT_GE(commits.size(), 1u);
+  EXPECT_EQ(commits[0].first, 2u) << "ring of two: forwards back to the rep";
+  EXPECT_EQ(commits[0].second.hop, 2u);
+  EXPECT_TRUE(commits[0].second.members[1].filled) << "our slot now carries our state";
+  EXPECT_EQ(commits[0].second.members[1].old_ring, (RingId{1, 4}));
+}
+
+TEST_F(MembershipFixture, SecondPassEntersRecoveryAndInstalls) {
+  build(config(3));
+  sim.run_for(Duration{150'000});
+  inject_join(2, {2, 3});
+  sim.run_for(Duration{60'000});
+
+  // First pass.
+  wire::CommitToken c;
+  c.new_ring = RingId{2, 8};
+  c.sender = 2;
+  c.hop = 1;
+  c.members.resize(2);
+  c.members[0].node = 2;
+  c.members[0].old_ring = RingId{1, 4};
+  c.members[0].filled = true;
+  c.members[1].node = 3;
+  rep.inject_message(wire::serialize_commit(c));
+  ASSERT_EQ(ring->state(), SingleRing::State::kCommit);
+
+  // Second pass: everyone's info is in.
+  auto first_forward = sent_commits().back().second;
+  first_forward.hop = 2;  // completed the first pass
+  rep.inject_message(wire::serialize_commit(first_forward));
+  EXPECT_EQ(ring->state(), SingleRing::State::kRecovery);
+  EXPECT_EQ(ring->ring(), (RingId{2, 8}));
+  EXPECT_EQ(ring->members(), (std::vector<NodeId>{2, 3}));
+
+  // An empty recovery (no old messages anywhere): the first recovery token
+  // completes it immediately.
+  wire::Token t;
+  t.ring = RingId{2, 8};
+  t.sender = 2;
+  rep.inject_token(wire::serialize_token(t));
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+  ASSERT_GE(views.size(), 2u);
+  EXPECT_EQ(views.back().ring, (RingId{2, 8}));
+  EXPECT_EQ(views.back().members, (std::vector<NodeId>{2, 3}));
+}
+
+TEST_F(MembershipFixture, RecoveryRebroadcastsOldRingMessages) {
+  // Node 3 holds old-ring messages 1..3; the commit reveals node 2's aru is
+  // only 1 — messages 2..3 must be rebroadcast encapsulated.
+  build(config(3));
+  // Receive three messages on the assumed ring {1,2,3}.
+  wire::PacketHeader h{wire::PacketType::kRegular, 1, RingId{1, 4}};
+  std::vector<wire::MessageEntry> entries(3);
+  for (int i = 0; i < 3; ++i) {
+    entries[i].seq = 1 + i;
+    entries[i].origin = 1;
+    entries[i].payload = to_bytes("old-" + std::to_string(i + 1));
+  }
+  rep.inject_message(wire::serialize_regular(h, entries));
+  ASSERT_EQ(delivered.size(), 3u);
+
+  sim.run_for(Duration{150'000});  // token loss (node 1 died) -> gather
+  inject_join(2, {2, 3});
+  sim.run_for(Duration{60'000});
+
+  wire::CommitToken c;
+  c.new_ring = RingId{2, 8};
+  c.sender = 2;
+  c.hop = 1;
+  c.members.resize(2);
+  c.members[0].node = 2;
+  c.members[0].old_ring = RingId{1, 4};
+  c.members[0].my_aru = 1;  // node 2 is missing 2..3
+  c.members[0].high_seq = 3;
+  c.members[0].filled = true;
+  c.members[1].node = 3;
+  rep.inject_message(wire::serialize_commit(c));
+  auto fwd = sent_commits().back().second;
+  fwd.hop = 2;
+  rep.inject_message(wire::serialize_commit(fwd));
+  ASSERT_EQ(ring->state(), SingleRing::State::kRecovery);
+
+  // Recovery token arrives: we must rebroadcast old 2..3 as recovered
+  // entries on the new ring.
+  wire::Token t;
+  t.ring = RingId{2, 8};
+  t.sender = 2;
+  rep.inject_token(wire::serialize_token(t));
+
+  std::vector<wire::RecoveredMessage> recovered;
+  for (const auto& b : rep.broadcasts) {
+    auto info = wire::peek(b);
+    if (!info.is_ok() || info.value().ring != (RingId{2, 8})) continue;
+    auto parsed = wire::parse_messages(b);
+    if (!parsed.is_ok()) continue;
+    for (const auto& e : parsed.value().entries) {
+      if (e.is_recovered()) {
+        recovered.push_back(wire::parse_recovered(e.payload).value());
+      }
+    }
+  }
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].old_ring, (RingId{1, 4}));
+  EXPECT_EQ(recovered[0].original.seq, 2u);
+  EXPECT_EQ(recovered[1].original.seq, 3u);
+  EXPECT_EQ(totem::to_string(recovered[0].original.payload), "old-2");
+  // And we never re-deliver messages we had already delivered.
+  EXPECT_EQ(delivered.size(), 3u);
+}
+
+TEST_F(MembershipFixture, CommitTimeoutRestartsGather) {
+  build(config(2));
+  sim.run_for(Duration{150'000});
+  inject_join(3, {2, 3});
+  sim.run_for(Duration{60'000});
+  ASSERT_EQ(ring->state(), SingleRing::State::kCommit);
+  // The commit token we sent to node 3 vanishes; after commit_timeout we
+  // must re-gather rather than hang.
+  sim.run_for(Duration{150'000});
+  EXPECT_EQ(ring->state(), SingleRing::State::kGather);
+}
+
+TEST_F(MembershipFixture, CommitTokenExcludingUsIsIgnored) {
+  build(config(2));
+  sim.run_for(Duration{150'000});
+  ASSERT_EQ(ring->state(), SingleRing::State::kGather);
+  wire::CommitToken c;
+  c.new_ring = RingId{3, 8};
+  c.sender = 3;
+  c.hop = 1;
+  c.members.resize(1);
+  c.members[0].node = 3;  // we are not in it
+  rep.inject_message(wire::serialize_commit(c));
+  EXPECT_EQ(ring->state(), SingleRing::State::kGather);
+  EXPECT_TRUE(sent_commits().empty());
+}
+
+TEST_F(MembershipFixture, OperationalJoinFromStrangerTriggersGather) {
+  build(config(1));  // leader, operational
+  ASSERT_EQ(ring->state(), SingleRing::State::kOperational);
+  inject_join(9, {9}, {}, 0);
+  EXPECT_EQ(ring->state(), SingleRing::State::kGather);
+  // The stranger is in our merged proc set.
+  EXPECT_EQ(sent_joins().back().proc_set, (std::vector<NodeId>{1, 9}));
+}
+
+TEST_F(MembershipFixture, StaleJoinFromMemberIgnoredWhileOperational) {
+  build(config(1));
+  // A member's join tagged with a ring_seq BELOW ours is a leftover from the
+  // formation of the current ring.
+  inject_join(2, {1, 2, 3}, {}, 3);
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+}
+
+TEST_F(MembershipFixture, ConsensusTimeoutFailsSilentNodes) {
+  build(config(2));
+  sim.run_for(Duration{150'000});
+  inject_join(3, {2, 3, 4});  // 4 exists per node 3, but 4 never speaks
+  sim.run_for(Duration{120'000});  // past the first consensus timeout
+  // 4 lands in the fail set; node 3 (which did speak) does not.
+  auto joins = sent_joins();
+  EXPECT_EQ(joins.back().fail_set, (std::vector<NodeId>{4}));
+}
+
+TEST_F(MembershipFixture, ForeignRingTrafficTriggersMerge) {
+  build(config(1));
+  ASSERT_EQ(ring->state(), SingleRing::State::kOperational);
+  // Regular traffic from a ring we were never part of (a healed partition).
+  wire::PacketHeader h{wire::PacketType::kRegular, 7, RingId{7, 12}};
+  std::vector<wire::MessageEntry> entries(1);
+  entries[0].seq = 1;
+  entries[0].origin = 7;
+  entries[0].payload = to_bytes("foreign");
+  rep.inject_message(wire::serialize_regular(h, entries));
+  EXPECT_EQ(ring->state(), SingleRing::State::kGather);
+  EXPECT_TRUE(delivered.empty()) << "foreign-ring payloads are never delivered";
+}
+
+TEST_F(MembershipFixture, OwnOldRingTrafficDoesNotTriggerMerge) {
+  build(config(1));
+  // Traffic tagged with our CURRENT ring id but... use the recent-ring path:
+  // packets from the ring we assumed at start must never be "foreign".
+  wire::PacketHeader h{wire::PacketType::kRegular, 2, RingId{1, 4}};
+  std::vector<wire::MessageEntry> entries(1);
+  entries[0].seq = 1;
+  entries[0].origin = 2;
+  entries[0].payload = to_bytes("ours");
+  rep.inject_message(wire::serialize_regular(h, entries));
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+}  // namespace
+}  // namespace totem::srp

@@ -1,0 +1,446 @@
+// Unit tests for the Totem SRP operational protocol (paper §2), driven
+// through a fake replicator: token processing, packing, flow control,
+// retransmission, retention, ordering, fragmentation.
+#include "srp/single_ring.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "testing/fake_replicator.h"
+
+namespace totem::srp {
+namespace {
+
+using testing::FakeReplicator;
+
+struct RingFixture : ::testing::Test {
+  sim::Simulator sim;
+  FakeReplicator rep;
+  std::unique_ptr<SingleRing> ring;
+  std::vector<std::pair<NodeId, Bytes>> delivered;
+
+  Config base_config() {
+    Config cfg;
+    cfg.node_id = 1;
+    cfg.initial_members = {1, 2, 3};
+    cfg.token_loss_timeout = Duration{10'000'000};  // keep membership out of
+    cfg.token_retention_interval = Duration{4'000};  // unit tests by default
+    return cfg;
+  }
+
+  void build(Config cfg) {
+    ring = std::make_unique<SingleRing>(sim, rep, cfg);
+    ring->set_deliver_handler([this](const DeliveredMessage& m) {
+      delivered.emplace_back(m.origin, Bytes(m.payload.begin(), m.payload.end()));
+    });
+    ring->start();
+    sim.run_for(Duration{1});  // initial membership view + leader token
+  }
+
+  void build() { build(base_config()); }
+
+  /// Feed the last forwarded token back into the ring, as if the other
+  /// members processed it without changes.
+  void cycle_token() {
+    ASSERT_FALSE(rep.tokens.empty());
+    Bytes tok = rep.tokens.back().data;
+    rep.inject_token(tok);
+  }
+
+  Bytes regular_from(NodeId sender, SeqNum first_seq, std::vector<std::size_t> sizes,
+                     RingId ring_id = RingId{1, 4}) {
+    wire::PacketHeader h{wire::PacketType::kRegular, sender, ring_id};
+    std::vector<wire::MessageEntry> entries;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      wire::MessageEntry e;
+      e.seq = first_seq + i;
+      e.origin = sender;
+      e.payload = Bytes(sizes[i], std::byte(static_cast<unsigned char>(first_seq + i)));
+      entries.push_back(std::move(e));
+    }
+    return wire::serialize_regular(h, entries);
+  }
+};
+
+TEST_F(RingFixture, LeaderInjectsAndForwardsInitialToken) {
+  build();
+  ASSERT_EQ(rep.tokens.size(), 1u);
+  EXPECT_EQ(rep.tokens[0].dest, 2u);  // successor of 1 in {1,2,3}
+  const wire::Token t = rep.last_token();
+  EXPECT_EQ(t.ring, (RingId{1, 4}));
+  EXPECT_EQ(t.seq, 0u);
+  EXPECT_EQ(t.rotation, 1u);  // the leader bumps the rotation counter
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+}
+
+TEST_F(RingFixture, QueuedMessagesBroadcastOnTokenVisit) {
+  Config cfg = base_config();
+  build(cfg);
+  ASSERT_TRUE(ring->send(to_bytes("alpha")).is_ok());
+  ASSERT_TRUE(ring->send(to_bytes("beta")).is_ok());
+  cycle_token();
+  ASSERT_EQ(rep.broadcasts.size(), 1u);
+  auto parsed = wire::parse_messages(rep.broadcasts[0]);
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().entries.size(), 2u);
+  EXPECT_EQ(parsed.value().entries[0].seq, 1u);
+  EXPECT_EQ(parsed.value().entries[1].seq, 2u);
+  EXPECT_EQ(totem::to_string(parsed.value().entries[0].payload), "alpha");
+  const wire::Token t = rep.last_token();
+  EXPECT_EQ(t.seq, 2u);
+  EXPECT_EQ(t.fcc, 2u);
+  EXPECT_EQ(t.aru, 2u);  // we have our own messages
+  // Own messages are delivered locally in order.
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(totem::to_string(delivered[0].second), "alpha");
+}
+
+TEST_F(RingFixture, PackingRespectsTheFrameLimit) {
+  build();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring->send(Bytes(400, std::byte{7})).is_ok());
+  }
+  cycle_token();
+  // 3 x (400+7) + 10 = 1231 fits; the 4th overflows into a second packet.
+  ASSERT_EQ(rep.broadcasts.size(), 2u);
+  auto p1 = wire::parse_messages(rep.broadcasts[0]);
+  auto p2 = wire::parse_messages(rep.broadcasts[1]);
+  ASSERT_TRUE(p1.is_ok());
+  ASSERT_TRUE(p2.is_ok());
+  EXPECT_EQ(p1.value().entries.size(), 3u);
+  EXPECT_EQ(p2.value().entries.size(), 1u);
+  for (const auto& b : rep.broadcasts) {
+    EXPECT_LE(b.size(), wire::kPacketHeaderSize + wire::kMaxBody);
+  }
+}
+
+TEST_F(RingFixture, TwoSevenHundredByteMessagesShareOneFrame) {
+  build();
+  ASSERT_TRUE(ring->send(Bytes(700, std::byte{1})).is_ok());
+  ASSERT_TRUE(ring->send(Bytes(700, std::byte{2})).is_ok());
+  cycle_token();
+  ASSERT_EQ(rep.broadcasts.size(), 1u);
+  EXPECT_EQ(rep.broadcasts[0].size(), wire::kPacketHeaderSize + wire::kMaxBody);
+}
+
+TEST_F(RingFixture, FlowControlCapsPerVisitAndPerRotation) {
+  Config cfg = base_config();
+  cfg.window_size = 80;
+  cfg.max_messages_per_visit = 40;
+  build(cfg);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring->send(Bytes(10, std::byte{1})).is_ok());
+  }
+  cycle_token();
+  wire::Token t = rep.last_token();
+  EXPECT_EQ(t.seq, 40u);  // per-visit cap
+  EXPECT_EQ(t.fcc, 40u);
+  EXPECT_EQ(t.backlog, 60u);
+  cycle_token();
+  t = rep.last_token();
+  EXPECT_EQ(t.seq, 80u);  // window minus our own previous contribution
+  EXPECT_EQ(t.fcc, 40u);
+  EXPECT_EQ(t.backlog, 20u);
+}
+
+TEST_F(RingFixture, WindowFullStopsSending) {
+  Config cfg = base_config();
+  cfg.window_size = 80;
+  cfg.max_messages_per_visit = 40;
+  build(cfg);
+  ASSERT_TRUE(ring->send(Bytes(10, std::byte{1})).is_ok());
+  // Craft a token claiming the window is already consumed by others.
+  wire::Token t = rep.last_token();
+  t.rotation += 1;
+  t.fcc = 80;
+  rep.inject_token(wire::serialize_token(t));
+  EXPECT_TRUE(rep.broadcasts.empty());
+  EXPECT_EQ(ring->send_queue_depth(), 1u);
+}
+
+TEST_F(RingFixture, DuplicateMessagesDropped) {
+  build();
+  const Bytes pkt = regular_from(2, 1, {32});
+  rep.inject_message(pkt);
+  rep.inject_message(pkt);
+  EXPECT_EQ(delivered.size(), 1u);
+  EXPECT_GE(ring->stats().duplicates_dropped, 1u);
+}
+
+TEST_F(RingFixture, OutOfOrderMessagesHeldUntilGapFills) {
+  build();
+  rep.inject_message(regular_from(2, 2, {16}));
+  EXPECT_TRUE(delivered.empty());  // seq 1 missing
+  EXPECT_TRUE(ring->any_messages_missing(0));
+  rep.inject_message(regular_from(3, 1, {16}));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].first, 3u);  // seq 1 first
+  EXPECT_EQ(delivered[1].first, 2u);
+  EXPECT_FALSE(ring->any_messages_missing(0));
+}
+
+TEST_F(RingFixture, GapTriggersRetransmitRequestInToken) {
+  build();
+  // A token arrives claiming 5 messages exist; we have none.
+  wire::Token t = rep.last_token();
+  t.rotation += 1;
+  t.seq = 5;
+  t.aru = 5;
+  t.aru_id = kInvalidNode;
+  rep.inject_token(wire::serialize_token(t));
+  const wire::Token fwd = rep.last_token();
+  EXPECT_EQ(fwd.rtr, (std::vector<SeqNum>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(fwd.aru, 0u) << "aru must drop to our aru";
+  EXPECT_EQ(fwd.aru_id, 1u);
+  EXPECT_GE(ring->stats().retransmit_requests, 5u);
+}
+
+TEST_F(RingFixture, ServicesRetransmissionRequestsFromStore) {
+  build();
+  rep.inject_message(regular_from(2, 1, {16, 16, 16}));
+  ASSERT_EQ(delivered.size(), 3u);
+  // Another node requests seq 2.
+  wire::Token t = rep.last_token();
+  t.rotation += 1;
+  t.seq = 3;
+  t.aru = 1;
+  t.aru_id = 3;
+  t.rtr = {2};
+  rep.inject_token(wire::serialize_token(t));
+  ASSERT_EQ(rep.broadcasts.size(), 1u);
+  auto parsed = wire::parse_messages(rep.broadcasts[0]);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().header.type, wire::PacketType::kRetransmit);
+  ASSERT_EQ(parsed.value().entries.size(), 1u);
+  EXPECT_EQ(parsed.value().entries[0].seq, 2u);
+  EXPECT_EQ(parsed.value().entries[0].origin, 2u);
+  EXPECT_TRUE(rep.last_token().rtr.empty()) << "request satisfied, removed";
+  EXPECT_EQ(ring->stats().retransmissions_sent, 1u);
+}
+
+TEST_F(RingFixture, UnsatisfiableRequestStaysInToken) {
+  build();
+  wire::Token t = rep.last_token();
+  t.rotation += 1;
+  t.seq = 9;
+  t.aru = 0;
+  t.aru_id = 2;
+  t.rtr = {7};
+  rep.inject_token(wire::serialize_token(t));
+  const auto& fwd_rtr = rep.last_token().rtr;
+  EXPECT_NE(std::find(fwd_rtr.begin(), fwd_rtr.end(), 7u), fwd_rtr.end());
+}
+
+TEST_F(RingFixture, TokenRetentionResendsUntilProgressSeen) {
+  Config cfg = base_config();
+  cfg.token_retention_interval = Duration{4'000};
+  build(cfg);
+  ASSERT_EQ(rep.tokens.size(), 1u);
+  sim.run_for(Duration{9'000});  // two retention periods, no progress
+  EXPECT_GE(rep.tokens.size(), 3u);
+  EXPECT_EQ(rep.tokens[0].data, rep.tokens[1].data) << "identical retained copy";
+  EXPECT_GE(ring->stats().token_retention_resends, 2u);
+
+  // A message with seq greater than the retained token's proves the
+  // successor got the token (paper §2): retention stops.
+  rep.inject_message(regular_from(2, 1, {8}));
+  const std::size_t count = rep.tokens.size();
+  sim.run_for(Duration{20'000});
+  EXPECT_EQ(rep.tokens.size(), count);
+}
+
+TEST_F(RingFixture, DuplicateTokenIgnored) {
+  build();
+  wire::Token t = rep.last_token();
+  t.rotation += 1;
+  const Bytes tok = wire::serialize_token(t);
+  rep.inject_token(tok);
+  const std::size_t forwards = rep.tokens.size();
+  rep.inject_token(tok);  // retransmitted copy
+  EXPECT_EQ(rep.tokens.size(), forwards);
+  EXPECT_GE(ring->stats().duplicate_tokens, 1u);
+}
+
+TEST_F(RingFixture, LargeMessageFragmentsAndReassembles) {
+  build();
+  Bytes big(3000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = std::byte(i % 256);
+  ASSERT_TRUE(ring->send(big).is_ok());
+  EXPECT_EQ(ring->send_queue_depth(), 3u);  // ceil(3000 / 1407)
+  cycle_token();
+  // All three fragments broadcast; locally reassembled on delivery.
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].second, big);
+  EXPECT_EQ(ring->stats().messages_broadcast, 3u);
+  EXPECT_EQ(ring->stats().messages_delivered, 1u);
+}
+
+TEST_F(RingFixture, InterleavedFragmentStreamsReassembleCorrectly) {
+  build();
+  // Node 2 sends fragments of X interleaved (by seq) with node 3's message.
+  wire::PacketHeader h2{wire::PacketType::kRetransmit, 2, RingId{1, 4}};
+  std::vector<wire::MessageEntry> entries(3);
+  entries[0].seq = 1;
+  entries[0].origin = 2;
+  entries[0].flags = wire::MessageEntry::kFlagFragment;
+  entries[0].frag_index = 0;
+  entries[0].frag_count = 2;
+  entries[0].payload = to_bytes("part1-");
+  entries[1].seq = 2;
+  entries[1].origin = 3;
+  entries[1].payload = to_bytes("middle");
+  entries[2].seq = 3;
+  entries[2].origin = 2;
+  entries[2].flags = wire::MessageEntry::kFlagFragment;
+  entries[2].frag_index = 1;
+  entries[2].frag_count = 2;
+  entries[2].payload = to_bytes("part2");
+  rep.inject_message(wire::serialize_retransmit(h2, entries));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(totem::to_string(delivered[0].second), "middle");     // seq 2 completes first
+  EXPECT_EQ(totem::to_string(delivered[1].second), "part1-part2");  // frag completes at seq 3
+  EXPECT_EQ(delivered[1].first, 2u);
+}
+
+TEST_F(RingFixture, SendQueueBackpressure) {
+  Config cfg = base_config();
+  cfg.send_queue_limit = 4;
+  build(cfg);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring->send(Bytes(8, std::byte{1})).is_ok());
+  }
+  const Status s = ring->send(Bytes(8, std::byte{1}));
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ring->stats().send_queue_rejects, 1u);
+}
+
+TEST_F(RingFixture, OversizedMessageRejected) {
+  build();
+  // frag_count is u16: payloads above 65535 fragments are refused.
+  const std::size_t too_big = (std::size_t{0xFFFF} + 1) * wire::kMaxUnfragmentedPayload + 1;
+  Bytes big(too_big, std::byte{0});
+  EXPECT_EQ(ring->send(big).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RingFixture, StoreDiscardsMessagesSafeAfterTwoRotations) {
+  build();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring->send(Bytes(8, std::byte{1})).is_ok());
+  cycle_token();
+  EXPECT_EQ(ring->store_size(), 3u);
+  cycle_token();  // aru=3 seen on two consecutive rotations
+  EXPECT_EQ(ring->store_size(), 0u);
+}
+
+TEST_F(RingFixture, StoreKeepsMessagesWhileSomeNodeLags) {
+  build();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring->send(Bytes(8, std::byte{1})).is_ok());
+  cycle_token();
+  // Another node lowered the aru to 1: only seq 1 may ever be discarded.
+  wire::Token t = rep.last_token();
+  t.rotation += 1;
+  t.aru = 1;
+  t.aru_id = 3;
+  rep.inject_token(wire::serialize_token(t));
+  EXPECT_GE(ring->store_size(), 2u);
+}
+
+TEST_F(RingFixture, StaleRingPacketsIgnored) {
+  build();
+  rep.inject_message(regular_from(2, 1, {16}, RingId{9, 44}));
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(ring->stats().stale_packets, 1u);
+  wire::Token t;
+  t.ring = RingId{9, 44};
+  t.rotation = 1;
+  rep.inject_token(wire::serialize_token(t));
+  EXPECT_EQ(ring->stats().stale_packets, 2u);
+}
+
+TEST_F(RingFixture, MalformedPacketsCounted) {
+  build();
+  Bytes garbage(30, std::byte{0x11});
+  rep.inject_message(garbage);
+  rep.inject_token(garbage);
+  EXPECT_EQ(ring->stats().malformed_packets, 2u);
+}
+
+TEST_F(RingFixture, AruOwnershipRaisesAfterRecovery) {
+  build();
+  // We are missing 1..2 of 2: token comes with aru=2, we lower it.
+  wire::Token t = rep.last_token();
+  t.rotation += 1;
+  t.seq = 2;
+  t.aru = 2;
+  t.aru_id = kInvalidNode;
+  rep.inject_token(wire::serialize_token(t));
+  EXPECT_EQ(rep.last_token().aru, 0u);
+  // Retransmission arrives; next rotation we raise our own aru entry.
+  rep.inject_message(regular_from(2, 1, {8, 8}));
+  wire::Token t2 = rep.last_token();
+  t2.rotation += 1;
+  rep.inject_token(wire::serialize_token(t2));
+  EXPECT_EQ(rep.last_token().aru, 2u);
+}
+
+TEST_F(RingFixture, AnyMessagesMissingUsesTokenSeqHorizon) {
+  build();
+  EXPECT_FALSE(ring->any_messages_missing(0));
+  // The token claims messages exist that we have never seen (passive
+  // replication's Fig. 3 scenario).
+  EXPECT_TRUE(ring->any_messages_missing(3));
+  rep.inject_message(regular_from(2, 1, {8, 8, 8}));
+  EXPECT_FALSE(ring->any_messages_missing(3));
+}
+
+TEST_F(RingFixture, MembershipViewDeliveredAtStart) {
+  bool seen = false;
+  Config cfg = base_config();
+  ring = std::make_unique<SingleRing>(sim, rep, cfg);
+  ring->set_membership_handler([&](const MembershipView& v) {
+    seen = true;
+    EXPECT_EQ(v.members, (std::vector<NodeId>{1, 2, 3}));
+    EXPECT_EQ(v.ring, (RingId{1, 4}));
+  });
+  ring->start();
+  sim.run_for(Duration{1});
+  EXPECT_TRUE(seen);
+}
+
+TEST_F(RingFixture, NonLeaderWaitsForToken) {
+  Config cfg = base_config();
+  cfg.node_id = 2;
+  ring = std::make_unique<SingleRing>(sim, rep, cfg);
+  ring->start();
+  sim.run_for(Duration{1'000});
+  EXPECT_TRUE(rep.tokens.empty());
+  // Token from the leader arrives; we forward to node 3.
+  wire::Token t;
+  t.ring = RingId{1, 4};
+  t.sender = 1;
+  t.rotation = 1;
+  rep.inject_token(wire::serialize_token(t));
+  ASSERT_EQ(rep.tokens.size(), 1u);
+  EXPECT_EQ(rep.tokens[0].dest, 3u);
+  EXPECT_EQ(rep.last_token().rotation, 1u) << "only the leader bumps rotation";
+}
+
+TEST_F(RingFixture, TokenLossStartsGather) {
+  Config cfg = base_config();
+  cfg.node_id = 2;  // non-leader: nobody will send us the token
+  cfg.token_loss_timeout = Duration{50'000};
+  ring = std::make_unique<SingleRing>(sim, rep, cfg);
+  ring->start();
+  sim.run_for(Duration{60'000});
+  EXPECT_EQ(ring->state(), SingleRing::State::kGather);
+  EXPECT_EQ(ring->stats().token_loss_events, 1u);
+  // A join message went out.
+  bool saw_join = false;
+  for (const auto& b : rep.broadcasts) {
+    auto info = wire::peek(b);
+    if (info.is_ok() && info.value().type == wire::PacketType::kJoin) saw_join = true;
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+}  // namespace
+}  // namespace totem::srp

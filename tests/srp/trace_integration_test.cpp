@@ -1,0 +1,124 @@
+// The flight recorder attached to a live ring: events appear in causal
+// order and tally with the stats counters.
+#include <gtest/gtest.h>
+
+#include "common/trace.h"
+#include "sim/simulator.h"
+#include "srp/single_ring.h"
+#include "testing/fake_replicator.h"
+
+namespace totem::srp {
+namespace {
+
+using testing::FakeReplicator;
+
+struct TraceFixture : ::testing::Test {
+  sim::Simulator sim;
+  FakeReplicator rep;
+  TraceRing trace{1024};
+  std::unique_ptr<SingleRing> ring;
+
+  void build() {
+    Config cfg;
+    cfg.node_id = 1;
+    cfg.initial_members = {1, 2, 3};
+    cfg.token_loss_timeout = Duration{10'000'000};
+    cfg.trace = &trace;
+    ring = std::make_unique<SingleRing>(sim, rep, cfg);
+    ring->set_deliver_handler([](const DeliveredMessage&) {});
+    ring->start();
+    sim.run_for(Duration{1});
+  }
+
+  std::size_t count(TraceKind kind) {
+    std::size_t n = 0;
+    for (const auto& r : trace.snapshot()) {
+      if (r.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  void cycle_token() {
+    Bytes tok = rep.tokens.back().data;
+    rep.inject_token(tok);
+  }
+};
+
+TEST_F(TraceFixture, TokenEventsPaired) {
+  build();
+  cycle_token();
+  cycle_token();
+  EXPECT_EQ(count(TraceKind::kTokenReceived), 3u);  // initial + 2 cycles
+  EXPECT_EQ(count(TraceKind::kTokenReceived), count(TraceKind::kTokenForwarded));
+  // Received always precedes its forward.
+  TraceKind prev = TraceKind::kTokenForwarded;
+  for (const auto& r : trace.snapshot()) {
+    if (r.kind == TraceKind::kTokenReceived) {
+      EXPECT_EQ(prev, TraceKind::kTokenForwarded);
+      prev = TraceKind::kTokenReceived;
+    } else if (r.kind == TraceKind::kTokenForwarded) {
+      prev = TraceKind::kTokenForwarded;
+    }
+  }
+}
+
+TEST_F(TraceFixture, BroadcastAndDeliveryEventsMatchStats) {
+  build();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring->send(Bytes(16, std::byte{1})).is_ok());
+  cycle_token();
+  EXPECT_EQ(count(TraceKind::kMessageBroadcast), 1u);  // one batch
+  EXPECT_EQ(count(TraceKind::kMessageDelivered), ring->stats().messages_delivered);
+}
+
+TEST_F(TraceFixture, SafeWatermarkEventEmitted) {
+  build();
+  ASSERT_TRUE(ring->send(Bytes(8, std::byte{1})).is_ok());
+  cycle_token();
+  cycle_token();
+  ASSERT_EQ(count(TraceKind::kSafeAdvanced), 1u);
+  for (const auto& r : trace.snapshot()) {
+    if (r.kind == TraceKind::kSafeAdvanced) {
+      EXPECT_EQ(r.a, 1u);
+    }
+  }
+}
+
+TEST_F(TraceFixture, RetransmissionPathTraced) {
+  build();
+  wire::Token t = wire::parse_token(rep.tokens.back().data).value();
+  t.rotation += 1;
+  t.seq = 4;
+  t.aru = 4;
+  t.aru_id = kInvalidNode;
+  rep.inject_token(wire::serialize_token(t));
+  EXPECT_EQ(count(TraceKind::kRetransmitRequested), 1u);
+}
+
+TEST_F(TraceFixture, GatherTransitionTraced) {
+  Config cfg;
+  cfg.node_id = 2;  // non-leader: will lose the token
+  cfg.initial_members = {1, 2, 3};
+  cfg.token_loss_timeout = Duration{50'000};
+  cfg.trace = &trace;
+  ring = std::make_unique<SingleRing>(sim, rep, cfg);
+  ring->start();
+  sim.run_for(Duration{60'000});
+  EXPECT_EQ(count(TraceKind::kTokenLoss), 1u);
+  EXPECT_GE(count(TraceKind::kStateChange), 1u);
+}
+
+TEST_F(TraceFixture, NoTraceRingMeansNoCrash) {
+  Config cfg;
+  cfg.node_id = 1;
+  cfg.initial_members = {1, 2};
+  cfg.trace = nullptr;
+  ring = std::make_unique<SingleRing>(sim, rep, cfg);
+  ring->start();
+  sim.run_for(Duration{1});
+  ASSERT_TRUE(ring->send(Bytes(8, std::byte{1})).is_ok());
+  cycle_token();
+  EXPECT_EQ(ring->stats().messages_delivered, 1u);
+}
+
+}  // namespace
+}  // namespace totem::srp

@@ -1,0 +1,272 @@
+#include "srp/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace totem::srp::wire {
+namespace {
+
+Bytes payload_of(std::size_t n, std::byte fill = std::byte{0x5A}) {
+  return Bytes(n, fill);
+}
+
+TEST(WireRegular, RoundTrip) {
+  PacketHeader h{PacketType::kRegular, 3, RingId{1, 8}};
+  std::vector<MessageEntry> entries;
+  for (int i = 0; i < 3; ++i) {
+    MessageEntry e;
+    e.seq = 100 + i;
+    e.origin = 3;
+    e.payload = payload_of(50 + i);
+    entries.push_back(e);
+  }
+  const Bytes pkt = serialize_regular(h, entries);
+  auto parsed = parse_messages(pkt);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().header.type, PacketType::kRegular);
+  EXPECT_EQ(parsed.value().header.sender, 3u);
+  EXPECT_EQ(parsed.value().header.ring, (RingId{1, 8}));
+  ASSERT_EQ(parsed.value().entries.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.value().entries[i].seq, 100u + i);
+    EXPECT_EQ(parsed.value().entries[i].origin, 3u);
+    EXPECT_EQ(parsed.value().entries[i].payload.size(), 50u + i);
+  }
+}
+
+TEST(WireRegular, PaperFramingTwo700ByteMessagesFillExactly1424Bytes) {
+  // The paper's packing peak: two 700-byte messages exactly fill the
+  // 1424-byte Totem payload (§8).
+  PacketHeader h{PacketType::kRegular, 0, RingId{0, 4}};
+  std::vector<MessageEntry> entries(2);
+  entries[0].seq = 1;
+  entries[0].origin = 0;
+  entries[0].payload = payload_of(700);
+  entries[1].seq = 2;
+  entries[1].origin = 0;
+  entries[1].payload = payload_of(700);
+  const Bytes pkt = serialize_regular(h, entries);
+  EXPECT_EQ(pkt.size() - kPacketHeaderSize, 1424u);
+  EXPECT_EQ(kRegularBodyFixed + 2 * (kRegularEntryOverhead + 700), 1424u);
+}
+
+TEST(WireRegular, MaxUnfragmentedPayloadFits) {
+  PacketHeader h{PacketType::kRegular, 0, RingId{0, 4}};
+  std::vector<MessageEntry> entries(1);
+  entries[0].seq = 1;
+  entries[0].origin = 0;
+  entries[0].payload = payload_of(kMaxUnfragmentedPayload);
+  const Bytes pkt = serialize_regular(h, entries);
+  EXPECT_EQ(pkt.size(), kPacketHeaderSize + kMaxBody);
+}
+
+TEST(WireRetransmit, RoundTripNonConsecutive) {
+  PacketHeader h{PacketType::kRetransmit, 2, RingId{0, 4}};
+  std::vector<MessageEntry> entries(2);
+  entries[0].seq = 10;
+  entries[0].origin = 1;
+  entries[0].payload = payload_of(20);
+  entries[1].seq = 55;
+  entries[1].origin = 4;
+  entries[1].flags = MessageEntry::kFlagFragment;
+  entries[1].frag_index = 2;
+  entries[1].frag_count = 5;
+  entries[1].payload = payload_of(33);
+  const Bytes pkt = serialize_retransmit(h, entries);
+  auto parsed = parse_messages(pkt);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().header.type, PacketType::kRetransmit);
+  EXPECT_EQ(parsed.value().entries[0].seq, 10u);
+  EXPECT_EQ(parsed.value().entries[0].origin, 1u);
+  EXPECT_EQ(parsed.value().entries[1].seq, 55u);
+  EXPECT_EQ(parsed.value().entries[1].origin, 4u);
+  EXPECT_TRUE(parsed.value().entries[1].is_fragment());
+  EXPECT_EQ(parsed.value().entries[1].frag_index, 2);
+  EXPECT_EQ(parsed.value().entries[1].frag_count, 5);
+}
+
+TEST(WireToken, RoundTrip) {
+  Token t;
+  t.ring = RingId{2, 12};
+  t.sender = 5;
+  t.seq = 1000;
+  t.aru = 990;
+  t.aru_id = 3;
+  t.rotation = 77;
+  t.fcc = 40;
+  t.backlog = 12;
+  t.rtr = {991, 995, 999};
+  const Bytes pkt = serialize_token(t);
+  auto parsed = parse_token(pkt);
+  ASSERT_TRUE(parsed.is_ok());
+  const Token& p = parsed.value();
+  EXPECT_EQ(p.ring, t.ring);
+  EXPECT_EQ(p.sender, 5u);
+  EXPECT_EQ(p.seq, 1000u);
+  EXPECT_EQ(p.aru, 990u);
+  EXPECT_EQ(p.aru_id, 3u);
+  EXPECT_EQ(p.rotation, 77u);
+  EXPECT_EQ(p.fcc, 40u);
+  EXPECT_EQ(p.backlog, 12u);
+  EXPECT_EQ(p.rtr, t.rtr);
+}
+
+TEST(WireToken, InstanceIdOrdering) {
+  Token a;
+  a.rotation = 1;
+  a.seq = 10;
+  Token b;
+  b.rotation = 1;
+  b.seq = 11;
+  Token c;
+  c.rotation = 2;
+  c.seq = 10;
+  EXPECT_LT(a.instance_id(), b.instance_id());
+  EXPECT_LT(b.instance_id(), c.instance_id());
+}
+
+TEST(WireJoin, RoundTrip) {
+  JoinMessage j;
+  j.sender = 7;
+  j.proc_set = {1, 2, 7};
+  j.fail_set = {4};
+  j.ring_seq = 20;
+  const Bytes pkt = serialize_join(j);
+  auto parsed = parse_join(pkt);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().sender, 7u);
+  EXPECT_EQ(parsed.value().proc_set, j.proc_set);
+  EXPECT_EQ(parsed.value().fail_set, j.fail_set);
+  EXPECT_EQ(parsed.value().ring_seq, 20u);
+}
+
+TEST(WireCommit, RoundTrip) {
+  CommitToken c;
+  c.new_ring = RingId{1, 24};
+  c.sender = 1;
+  c.hop = 3;
+  CommitMember m;
+  m.node = 2;
+  m.old_ring = RingId{1, 20};
+  m.my_aru = 500;
+  m.high_seq = 510;
+  m.filled = true;
+  CommitMember other;
+  other.node = 3;
+  c.members = {m, other};
+  const Bytes pkt = serialize_commit(c);
+  auto parsed = parse_commit(pkt);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().new_ring, c.new_ring);
+  EXPECT_EQ(parsed.value().hop, 3u);
+  ASSERT_EQ(parsed.value().members.size(), 2u);
+  EXPECT_EQ(parsed.value().members[0].node, 2u);
+  EXPECT_EQ(parsed.value().members[0].my_aru, 500u);
+  EXPECT_TRUE(parsed.value().members[0].filled);
+  EXPECT_FALSE(parsed.value().members[1].filled);
+}
+
+TEST(WireRecovered, RoundTrip) {
+  RecoveredMessage rec;
+  rec.old_ring = RingId{3, 16};
+  rec.original.seq = 42;
+  rec.original.origin = 9;
+  rec.original.flags = MessageEntry::kFlagFragment;
+  rec.original.frag_index = 1;
+  rec.original.frag_count = 3;
+  rec.original.payload = payload_of(100);
+  const Bytes b = serialize_recovered(rec);
+  auto parsed = parse_recovered(b);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().old_ring, rec.old_ring);
+  EXPECT_EQ(parsed.value().original.seq, 42u);
+  EXPECT_EQ(parsed.value().original.origin, 9u);
+  EXPECT_TRUE(parsed.value().original.is_fragment());
+  EXPECT_EQ(parsed.value().original.payload.size(), 100u);
+}
+
+TEST(WirePeek, IdentifiesTokens) {
+  Token t;
+  t.ring = RingId{2, 12};
+  t.sender = 5;
+  t.seq = 1000;
+  t.rotation = 9;
+  auto info = peek(serialize_token(t));
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().type, PacketType::kToken);
+  EXPECT_EQ(info.value().sender, 5u);
+  EXPECT_EQ(info.value().token_seq, 1000u);
+  EXPECT_EQ(info.value().token_rotation, 9u);
+}
+
+TEST(WirePeek, IdentifiesMessages) {
+  PacketHeader h{PacketType::kRegular, 3, RingId{1, 8}};
+  std::vector<MessageEntry> entries(1);
+  entries[0].seq = 5;
+  entries[0].origin = 3;
+  entries[0].payload = payload_of(10);
+  auto info = peek(serialize_regular(h, entries));
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().type, PacketType::kRegular);
+  EXPECT_EQ(info.value().sender, 3u);
+}
+
+TEST(WireParse, RejectsGarbage) {
+  Bytes garbage(64, std::byte{0xFF});
+  EXPECT_FALSE(peek(garbage).is_ok());
+  EXPECT_FALSE(parse_token(garbage).is_ok());
+  EXPECT_FALSE(parse_messages(garbage).is_ok());
+}
+
+TEST(WireParse, RejectsTruncated) {
+  Token t;
+  t.ring = RingId{2, 12};
+  t.rtr = {1, 2, 3};
+  Bytes pkt = serialize_token(t);
+  for (std::size_t cut : {pkt.size() - 1, pkt.size() / 2, kPacketHeaderSize - 1}) {
+    BytesView view(pkt.data(), cut);
+    EXPECT_FALSE(parse_token(view).is_ok()) << "cut at " << cut;
+  }
+}
+
+TEST(WireParse, RejectsWrongType) {
+  Token t;
+  t.ring = RingId{2, 12};
+  const Bytes pkt = serialize_token(t);
+  EXPECT_FALSE(parse_messages(pkt).is_ok());
+  EXPECT_FALSE(parse_join(pkt).is_ok());
+  EXPECT_FALSE(parse_commit(pkt).is_ok());
+}
+
+TEST(WireParse, RejectsEmptyMessagePacket) {
+  // Hand-craft a regular packet claiming zero entries.
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(PacketType::kRegular));
+  w.u32(1);
+  w.u32(0);
+  w.u64(4);
+  w.u64(1);  // first_seq
+  w.u16(0);  // count = 0
+  EXPECT_FALSE(parse_messages(w.view()).is_ok());
+}
+
+TEST(WireParse, RejectsBadFragmentIndices) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(PacketType::kRegular));
+  w.u32(1);
+  w.u32(0);
+  w.u64(4);
+  w.u64(1);
+  w.u16(1);
+  w.u8(MessageEntry::kFlagFragment);
+  w.u16(5);  // frag_index >= frag_count
+  w.u16(3);
+  w.u16(0);
+  EXPECT_FALSE(parse_messages(w.view()).is_ok());
+}
+
+}  // namespace
+}  // namespace totem::srp::wire

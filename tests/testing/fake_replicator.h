@@ -1,0 +1,66 @@
+// Test double for rrp::Replicator: records the SRP's sends and lets tests
+// inject packets directly into the SRP's handlers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rrp/replicator.h"
+#include "srp/wire.h"
+
+namespace totem::testing {
+
+class FakeReplicator final : public rrp::Replicator {
+ public:
+  struct SentToken {
+    NodeId dest;
+    Bytes data;
+  };
+
+  void broadcast_message(BytesView packet) override {
+    ++stats_.messages_sent;
+    broadcasts.emplace_back(packet.begin(), packet.end());
+  }
+
+  void send_token(NodeId next, BytesView packet) override {
+    ++stats_.tokens_sent;
+    tokens.push_back(SentToken{next, Bytes(packet.begin(), packet.end())});
+  }
+
+  void on_packet(net::ReceivedPacket&& packet) override {
+    auto info = srp::wire::peek(packet.data);
+    if (!info) return;
+    if (info.value().type == srp::wire::PacketType::kToken) {
+      deliver_token_up(packet.data, packet.network);
+    } else {
+      deliver_message_up(packet.data, packet.network);
+    }
+  }
+
+  [[nodiscard]] std::size_t network_count() const override { return 1; }
+  [[nodiscard]] bool network_faulty(NetworkId) const override { return false; }
+  void reset_network(NetworkId) override {}
+  void mark_faulty(NetworkId) override {}
+
+  // ---- test helpers ----
+  void inject_message(BytesView packet, NetworkId net = 0) {
+    deliver_message_up(packet, net);
+  }
+  void inject_token(BytesView packet, NetworkId net = 0) {
+    deliver_token_up(packet, net);
+  }
+  [[nodiscard]] bool query_missing(SeqNum token_seq) const {
+    return srp_missing_messages(token_seq);
+  }
+
+  /// Parse the most recently forwarded token.
+  [[nodiscard]] srp::wire::Token last_token() const {
+    auto t = srp::wire::parse_token(tokens.back().data);
+    return t.is_ok() ? t.value() : srp::wire::Token{};
+  }
+
+  std::vector<Bytes> broadcasts;
+  std::vector<SentToken> tokens;
+};
+
+}  // namespace totem::testing

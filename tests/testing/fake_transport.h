@@ -1,0 +1,57 @@
+// Test double for net::Transport: records sends, allows packet injection.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace totem::testing {
+
+class FakeTransport final : public net::Transport {
+ public:
+  struct Sent {
+    Bytes data;
+    std::optional<NodeId> unicast_dest;  // nullopt => broadcast
+  };
+
+  FakeTransport(NetworkId network, NodeId local) : network_(network), local_(local) {}
+
+  void broadcast(BytesView packet) override {
+    sent.push_back(Sent{Bytes(packet.begin(), packet.end()), std::nullopt});
+    ++stats_.packets_sent;
+    stats_.bytes_sent += packet.size();
+  }
+
+  void unicast(NodeId dest, BytesView packet) override {
+    sent.push_back(Sent{Bytes(packet.begin(), packet.end()), dest});
+    ++stats_.packets_sent;
+    stats_.bytes_sent += packet.size();
+  }
+
+  void set_rx_handler(RxHandler handler) override { rx_ = std::move(handler); }
+
+  [[nodiscard]] NetworkId network_id() const override { return network_; }
+  [[nodiscard]] NodeId local_node() const override { return local_; }
+  [[nodiscard]] const Stats& stats() const override { return stats_; }
+
+  /// Deliver a packet to the attached replicator as if it arrived on this
+  /// network from `source`.
+  void inject(BytesView packet, NodeId source) {
+    ++stats_.packets_received;
+    stats_.bytes_received += packet.size();
+    if (rx_) {
+      rx_(net::ReceivedPacket{Bytes(packet.begin(), packet.end()), source, network_});
+    }
+  }
+
+  std::vector<Sent> sent;
+
+ private:
+  NetworkId network_;
+  NodeId local_;
+  RxHandler rx_;
+  Stats stats_;
+};
+
+}  // namespace totem::testing
