@@ -17,6 +17,7 @@ StatsSnapshot snapshot(const Node& node,
   snap.send_queue_depth = node.ring().send_queue_depth();
   snap.srp = node.ring().stats();
   snap.rrp = node.replicator().stats();
+  snap.buffer_pool = node.ring().buffer_pool().stats();
   for (const net::Transport* t : transports) {
     NetworkSnapshot ns;
     ns.network = t->network_id();
@@ -50,6 +51,10 @@ std::string to_string(const StatsSnapshot& snap) {
       << " dup_tokens=" << snap.rrp.duplicate_tokens_absorbed
       << " timer_expiries=" << snap.rrp.token_timer_expiries
       << " faults=" << snap.rrp.faults_reported << "\n";
+  out << "  pool: alloc=" << snap.buffer_pool.allocations
+      << " reuse=" << snap.buffer_pool.reuses
+      << " outstanding=" << snap.buffer_pool.outstanding
+      << " high_water=" << snap.buffer_pool.high_water << "\n";
   for (const auto& n : snap.networks) {
     out << "  net" << static_cast<int>(n.network) << (n.faulty ? " FAULTY" : "        ")
         << " tx=" << n.transport.packets_sent << "/" << n.transport.bytes_sent << "B"

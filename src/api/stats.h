@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/node.h"
+#include "common/packet_buffer.h"
 
 namespace totem::api {
 
@@ -26,6 +27,7 @@ struct StatsSnapshot {
   std::size_t send_queue_depth = 0;
   srp::SingleRing::Stats srp;
   rrp::Replicator::Stats rrp;
+  BufferPool::Stats buffer_pool;  // the ring's packet-encode pool
   std::vector<NetworkSnapshot> networks;
 };
 

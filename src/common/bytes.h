@@ -34,6 +34,9 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Write into caller-owned storage (e.g. a pooled packet buffer) instead
+  /// of the writer's own vector; `external` is appended to in place.
+  explicit ByteWriter(Bytes& external) : out_(&external) {}
 
   void u8(std::uint8_t v) { append(&v, 1); }
   void u16(std::uint16_t v) { write_le(v); }
@@ -48,18 +51,19 @@ class ByteWriter {
     raw(data);
   }
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return out_->size(); }
 
   /// Overwrite a previously written u32 at `offset` (used for patching
   /// counts after the fact, e.g. number of packed messages in a frame).
   void patch_u32(std::size_t offset, std::uint32_t v) {
     std::uint8_t le[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
                           static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
-    std::memcpy(buf_.data() + offset, le, 4);
+    std::memcpy(out_->data() + offset, le, 4);
   }
 
+  /// Only valid for writers using their own storage.
   [[nodiscard]] Bytes take() && { return std::move(buf_); }
-  [[nodiscard]] const Bytes& view() const { return buf_; }
+  [[nodiscard]] const Bytes& view() const { return *out_; }
 
  private:
   template <typename T>
@@ -73,10 +77,11 @@ class ByteWriter {
 
   void append(const void* p, std::size_t n) {
     const auto* b = static_cast<const std::byte*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    out_->insert(out_->end(), b, b + n);
   }
 
   Bytes buf_;
+  Bytes* out_ = &buf_;
 };
 
 class ByteReader {

@@ -1,0 +1,107 @@
+#include "common/packet_buffer.h"
+
+#include <mutex>
+#include <vector>
+
+namespace totem {
+
+namespace detail {
+
+struct PoolCore {
+  std::mutex mu;
+  std::vector<BufferSlab*> free_list;
+  BufferPool::Stats stats;
+  std::size_t default_reserve = BufferPool::kDefaultReserve;
+  bool closed = false;
+};
+
+void return_slab(BufferSlab* slab) {
+  // Keep the core alive across the erase of our own shared_ptr member.
+  const std::shared_ptr<PoolCore> core = slab->core;
+  std::lock_guard<std::mutex> lock(core->mu);
+  --core->stats.outstanding;
+  ++core->stats.returns;
+  if (core->closed) {
+    delete slab;
+    return;
+  }
+  core->free_list.push_back(slab);
+}
+
+}  // namespace detail
+
+BufferPool::BufferPool(std::size_t default_reserve)
+    : core_(std::make_shared<detail::PoolCore>()) {
+  core_->default_reserve = default_reserve;
+}
+
+BufferPool::~BufferPool() {
+  std::vector<detail::BufferSlab*> drop;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->closed = true;
+    drop.swap(core_->free_list);
+  }
+  for (detail::BufferSlab* slab : drop) delete slab;
+}
+
+detail::BufferSlab* BufferPool::take_slab(std::size_t reserve) {
+  detail::BufferSlab* slab = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (!core_->free_list.empty()) {
+      slab = core_->free_list.back();
+      core_->free_list.pop_back();
+      ++core_->stats.reuses;
+    } else {
+      ++core_->stats.allocations;
+    }
+    ++core_->stats.outstanding;
+    if (core_->stats.outstanding > core_->stats.high_water) {
+      core_->stats.high_water = core_->stats.outstanding;
+    }
+  }
+  if (!slab) {
+    slab = new detail::BufferSlab(core_);
+    slab->storage.reserve(reserve > core_->default_reserve ? reserve
+                                                           : core_->default_reserve);
+  } else {
+    slab->refs.store(1, std::memory_order_relaxed);
+    if (reserve > slab->storage.capacity()) slab->storage.reserve(reserve);
+  }
+  return slab;
+}
+
+PacketBuffer BufferPool::acquire(std::size_t reserve) {
+  detail::BufferSlab* slab = take_slab(reserve);
+  slab->storage.clear();
+  return PacketBuffer(slab);
+}
+
+PacketBuffer BufferPool::acquire_uninitialized(std::size_t size) {
+  detail::BufferSlab* slab = take_slab(size);
+  // Reused storage keeps its previous (stale) bytes: the caller overwrites
+  // them, so only grow — no clear+resize zero-fill on the hot receive path.
+  if (slab->storage.size() < size) slab->storage.resize(size);
+  PacketBuffer buffer(slab);
+  buffer.truncate(size);
+  return buffer;
+}
+
+PacketBuffer BufferPool::copy_of(BytesView data) {
+  PacketBuffer buffer = acquire(data.size());
+  buffer.mutable_bytes().assign(data.begin(), data.end());
+  return buffer;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->stats;
+}
+
+BufferPool& BufferPool::scratch() {
+  static BufferPool* pool = new BufferPool();  // never destroyed: buffers may
+  return *pool;                                // outlive static teardown order
+}
+
+}  // namespace totem

@@ -1,0 +1,209 @@
+// Reference-counted packet buffers backed by a freelist pool.
+//
+// The send path encodes each message/token ONCE into a PacketBuffer; the
+// replicator then fans the SAME buffer out to N transports, each of which
+// holds a refcount instead of a deep copy (the paper's active-replication
+// slowdown is per-packet CPU cost — extra copies are exactly what we must
+// not add per network). The receive path likewise hands pooled buffers up,
+// so a replicator that retains a token (PassiveReplicator's buffer,
+// ActiveReplicator's last token) pins bytes, not copies.
+//
+// Thread/lifetime model: PacketBuffer handles may be created, copied and
+// destroyed on any thread (atomic refcount); the freelist is mutex-guarded
+// so a buffer freed from a reactor callback while another thread acquires
+// is safe. Buffers still in flight keep the freelist core alive via
+// shared_ptr, so a pool may be destroyed before its last buffer returns.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+
+namespace totem {
+
+class BufferPool;
+class PacketBuffer;
+
+namespace detail {
+
+struct PoolCore;
+
+struct BufferSlab {
+  explicit BufferSlab(std::shared_ptr<PoolCore> c) : core(std::move(c)) {}
+
+  std::shared_ptr<PoolCore> core;  // keeps the freelist alive past the pool
+  std::atomic<std::uint32_t> refs{1};
+  Bytes storage;
+};
+
+/// Return a slab whose refcount hit zero to its pool's freelist (or delete
+/// it if the pool is gone). Defined in packet_buffer.cpp.
+void return_slab(BufferSlab* slab);
+
+}  // namespace detail
+
+/// A refcounted view of pooled bytes. Copying a PacketBuffer bumps a
+/// refcount; the underlying storage returns to its pool when the last
+/// handle drops. The viewed range can be narrowed in place (drop_front /
+/// truncate) without touching the bytes — used by transports to strip
+/// framing headers without a copy.
+class PacketBuffer {
+ public:
+  PacketBuffer() = default;
+
+  PacketBuffer(const PacketBuffer& other)
+      : slab_(other.slab_), offset_(other.offset_), length_(other.length_) {
+    if (slab_) slab_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PacketBuffer(PacketBuffer&& other) noexcept
+      : slab_(other.slab_), offset_(other.offset_), length_(other.length_) {
+    other.slab_ = nullptr;
+    other.offset_ = 0;
+    other.length_ = kWholeSlab;
+  }
+
+  PacketBuffer& operator=(const PacketBuffer& other) {
+    PacketBuffer tmp(other);
+    swap(tmp);
+    return *this;
+  }
+
+  PacketBuffer& operator=(PacketBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      slab_ = other.slab_;
+      offset_ = other.offset_;
+      length_ = other.length_;
+      other.slab_ = nullptr;
+      other.offset_ = 0;
+      other.length_ = kWholeSlab;
+    }
+    return *this;
+  }
+
+  ~PacketBuffer() { reset(); }
+
+  /// Release this handle; the storage returns to the pool when it was the
+  /// last one.
+  void reset() {
+    if (slab_ && slab_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      detail::return_slab(slab_);
+    }
+    slab_ = nullptr;
+    offset_ = 0;
+    length_ = kWholeSlab;
+  }
+
+  void swap(PacketBuffer& other) noexcept {
+    std::swap(slab_, other.slab_);
+    std::swap(offset_, other.offset_);
+    std::swap(length_, other.length_);
+  }
+
+  [[nodiscard]] BytesView view() const {
+    if (!slab_) return {};
+    const BytesView whole(slab_->storage);
+    const std::size_t off = offset_ < whole.size() ? offset_ : whole.size();
+    const std::size_t len = length_ < whole.size() - off ? length_ : whole.size() - off;
+    return whole.subspan(off, len);
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): the whole point — every
+  // BytesView consumer (parsers, handlers, tests) accepts a PacketBuffer.
+  operator BytesView() const { return view(); }
+
+  [[nodiscard]] const std::byte* data() const { return view().data(); }
+  [[nodiscard]] std::size_t size() const { return view().size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::byte operator[](std::size_t i) const { return view()[i]; }
+  [[nodiscard]] explicit operator bool() const { return slab_ != nullptr; }
+
+  /// Narrow the view past the first `n` bytes (strip a framing header).
+  void drop_front(std::size_t n) {
+    const std::size_t cur = size();
+    offset_ += n < cur ? n : cur;
+    length_ = cur - (n < cur ? n : cur);
+  }
+
+  /// Narrow the view to at most `n` bytes.
+  void truncate(std::size_t n) {
+    if (n < size()) length_ = n;
+    else length_ = size();
+  }
+
+  /// Direct access to the backing storage for filling a freshly acquired
+  /// buffer. Only valid while this handle is the sole owner — a shared
+  /// buffer is immutable by contract.
+  [[nodiscard]] Bytes& mutable_bytes() {
+    assert(slab_ && slab_->refs.load(std::memory_order_relaxed) == 1 &&
+           "mutable access requires unique ownership");
+    return slab_->storage;
+  }
+
+  /// Current refcount (introspection/tests only; racy by nature).
+  [[nodiscard]] std::uint32_t ref_count() const {
+    return slab_ ? slab_->refs.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class BufferPool;
+  explicit PacketBuffer(detail::BufferSlab* slab) : slab_(slab) {}
+
+  static constexpr std::size_t kWholeSlab = static_cast<std::size_t>(-1);
+
+  detail::BufferSlab* slab_ = nullptr;
+  std::size_t offset_ = 0;
+  std::size_t length_ = kWholeSlab;  // clamped to storage size in view()
+};
+
+/// Freelist of packet-sized slabs. acquire() hands out a cleared buffer,
+/// reusing returned storage (and its heap capacity) when available.
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t allocations = 0;  // slabs newly heap-allocated
+    std::uint64_t reuses = 0;       // acquisitions served from the freelist
+    std::uint64_t returns = 0;      // buffers whose last ref came back
+    std::uint64_t outstanding = 0;  // live buffers right now
+    std::uint64_t high_water = 0;   // max simultaneous live buffers
+  };
+
+  /// Default capacity reserved in a fresh slab: one full Totem packet
+  /// (26-byte header + 1424-byte body) with slack.
+  static constexpr std::size_t kDefaultReserve = 2048;
+
+  explicit BufferPool(std::size_t default_reserve = kDefaultReserve);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty buffer with at least `reserve` bytes of capacity.
+  [[nodiscard]] PacketBuffer acquire(std::size_t reserve = 0);
+
+  /// A buffer viewing exactly `size` bytes of unspecified content (the
+  /// caller overwrites them, e.g. recv() into it). Skips the zero-fill a
+  /// plain resize of cleared storage would cost.
+  [[nodiscard]] PacketBuffer acquire_uninitialized(std::size_t size);
+
+  /// A pooled copy of `data` — the bridge from non-pooled call sites.
+  [[nodiscard]] PacketBuffer copy_of(BytesView data);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Process-wide fallback pool used by the legacy BytesView convenience
+  /// entry points on Transport/Replicator.
+  static BufferPool& scratch();
+
+ private:
+  [[nodiscard]] detail::BufferSlab* take_slab(std::size_t reserve);
+
+  std::shared_ptr<detail::PoolCore> core_;
+};
+
+}  // namespace totem

@@ -82,7 +82,7 @@ void SimNetwork::record_capture(NodeId src, std::optional<NodeId> dst, std::size
   capture_.push_back(c);
 }
 
-void SimNetwork::submit(SimTransport& from, BytesView packet, std::optional<NodeId> dest) {
+void SimNetwork::submit(SimTransport& from, PacketBuffer packet, std::optional<NodeId> dest) {
   const NodeId src = from.host_.id();
   ++stats_.packets_sent;
   ++from.stats_.packets_sent;
@@ -120,24 +120,25 @@ void SimNetwork::submit(SimTransport& from, BytesView packet, std::optional<Node
   const TimePoint wire_done = wire_busy_until_;
 
   record_capture(src, dest, packet.size(), CapturedPacket::Verdict::kSent);
-  auto data = std::make_shared<Bytes>(packet.begin(), packet.end());
+  // Every receiver shares the sender's pooled buffer by refcount — the wire
+  // does not copy payloads, and neither do we.
   if (dest) {
     auto it = by_node_.find(*dest);
     if (it == by_node_.end()) {
       ++stats_.dropped_fault;
       return;
     }
-    deliver_copy(from, *it->second, data, wire_done);
+    deliver_shared(from, *it->second, packet, wire_done);
   } else {
     for (auto& ep : endpoints_) {
       if (ep->host_.id() == src) continue;
-      deliver_copy(from, *ep, data, wire_done);
+      deliver_shared(from, *ep, packet, wire_done);
     }
   }
 }
 
-void SimNetwork::deliver_copy(SimTransport& from, SimTransport& to,
-                              const std::shared_ptr<Bytes>& data, TimePoint wire_done) {
+void SimNetwork::deliver_shared(SimTransport& from, SimTransport& to,
+                                const PacketBuffer& data, TimePoint wire_done) {
   const NodeId src = from.host_.id();
   const NodeId dst = to.host_.id();
 
@@ -171,33 +172,35 @@ void SimNetwork::deliver_copy(SimTransport& from, SimTransport& to,
   sim_.schedule_at(arrival, [this, dest, src, data] {
     // Linux 2.2 default socket buffers were 64 KB: packets arriving while
     // the receiver's stack is backed up beyond that are silently dropped.
-    if (dest->rx_pending_bytes_ + data->size() > params_.rx_buffer_bytes) {
+    if (dest->rx_pending_bytes_ + data.size() > params_.rx_buffer_bytes) {
       ++stats_.dropped_overflow;
       return;
     }
-    dest->rx_pending_bytes_ += data->size();
+    dest->rx_pending_bytes_ += data.size();
     const auto& costs = dest->host_.costs();
     const auto recv_cost =
         costs.recv_packet_cost +
-        Duration(static_cast<Duration::rep>(data->size() * costs.recv_byte_cost_us));
+        Duration(static_cast<Duration::rep>(data.size() * costs.recv_byte_cost_us));
     const TimePoint done = dest->host_.cpu().acquire(sim_.now(), recv_cost);
     sim_.schedule_at(done, [this, dest, src, data] {
-      dest->rx_pending_bytes_ -= data->size();
+      dest->rx_pending_bytes_ -= data.size();
       ++dest->stats_.packets_received;
-      dest->stats_.bytes_received += data->size();
+      dest->stats_.bytes_received += data.size();
       ++stats_.deliveries;
       if (dest->rx_handler_) {
-        if (corruption_rate_ > 0.0 && !data->empty() &&
+        if (corruption_rate_ > 0.0 && !data.empty() &&
             sim_.rng().chance(corruption_rate_)) {
-          // Flip one byte of this receiver's copy (other receivers of the
-          // same broadcast may still get it intact, as on a real LAN).
+          // Flip one byte of a pooled copy for THIS receiver only (other
+          // receivers of the same broadcast may still get it intact, as on
+          // a real LAN) — the shared buffer itself must stay pristine.
           ++stats_.corrupted;
-          Bytes mangled = *data;
-          const std::size_t pos = sim_.rng().next_below(mangled.size());
-          mangled[pos] ^= std::byte{0x40};
+          PacketBuffer mangled = corruption_pool_.copy_of(data);
+          Bytes& bytes = mangled.mutable_bytes();
+          const std::size_t pos = sim_.rng().next_below(bytes.size());
+          bytes[pos] ^= std::byte{0x40};
           dest->rx_handler_(ReceivedPacket{std::move(mangled), src, id_});
         } else {
-          dest->rx_handler_(ReceivedPacket{*data, src, id_});
+          dest->rx_handler_(ReceivedPacket{data, src, id_});
         }
       }
     });

@@ -42,8 +42,14 @@ namespace totem::net {
 struct HostCostModel {
   Duration send_packet_cost{20};  // one sendto() per packet per network
   Duration recv_packet_cost{25};  // one recvfrom() per packet copy
-  double send_byte_cost_us = 0.004;  // copy-out per byte
-  double recv_byte_cost_us = 0.004;  // copy-in per byte
+  double send_byte_cost_us = 0.004;  // kernel copy-out per byte
+  double recv_byte_cost_us = 0.004;  // kernel copy-in per byte
+  /// User-space payload copy per byte. Charged only when a send actually
+  /// materializes a copy (the legacy BytesView entry points); the pooled
+  /// zero-copy path shares one buffer across networks and never pays it.
+  /// Default 0 keeps non-calibrated tests cost-identical to the pre-pool
+  /// implementation.
+  double copy_byte_cost_us = 0.0;
 };
 
 /// One simulated host: a single CPU shared by the host's NICs and protocol
@@ -168,15 +174,16 @@ class SimNetwork {
  private:
   friend class SimTransport;
 
-  void submit(SimTransport& from, BytesView packet, std::optional<NodeId> dest);
-  void deliver_copy(SimTransport& from, SimTransport& to, const std::shared_ptr<Bytes>& data,
-                    TimePoint wire_done);
+  void submit(SimTransport& from, PacketBuffer packet, std::optional<NodeId> dest);
+  void deliver_shared(SimTransport& from, SimTransport& to, const PacketBuffer& data,
+                      TimePoint wire_done);
   [[nodiscard]] bool same_partition(NodeId a, NodeId b) const;
 
   sim::Simulator& sim_;
   NetworkId id_;
   Params params_;
   Stats stats_;
+  BufferPool corruption_pool_;  // per-receiver mangled copies only
   double corruption_rate_ = 0.0;
   bool failed_ = false;
   TimePoint wire_busy_until_{};
@@ -204,9 +211,14 @@ class SimTransport final : public Transport {
   SimTransport(SimNetwork& network, SimHost& host)
       : network_(network), host_(host) {}
 
-  void broadcast(BytesView packet) override { network_.submit(*this, packet, std::nullopt); }
-  void unicast(NodeId dest, BytesView packet) override {
-    network_.submit(*this, packet, dest);
+  using Transport::broadcast;
+  using Transport::unicast;
+
+  void broadcast(PacketBuffer packet) override {
+    network_.submit(*this, std::move(packet), std::nullopt);
+  }
+  void unicast(NodeId dest, PacketBuffer packet) override {
+    network_.submit(*this, std::move(packet), dest);
   }
   void set_rx_handler(RxHandler handler) override { rx_handler_ = std::move(handler); }
 
@@ -215,6 +227,17 @@ class SimTransport final : public Transport {
   [[nodiscard]] const Stats& stats() const override { return stats_; }
 
   [[nodiscard]] SimHost& host() { return host_; }
+
+ protected:
+  /// The legacy copying entry points cost real user-space cycles on a real
+  /// host; charge them to the simulated CPU (copy_byte_cost_us).
+  void on_payload_copy(std::size_t bytes) override {
+    const auto& costs = host_.costs();
+    if (costs.copy_byte_cost_us > 0.0) {
+      host_.charge(Duration(
+          static_cast<Duration::rep>(static_cast<double>(bytes) * costs.copy_byte_cost_us)));
+    }
+  }
 
  private:
   friend class SimNetwork;

@@ -11,12 +11,13 @@
 #include <functional>
 
 #include "common/bytes.h"
+#include "common/packet_buffer.h"
 #include "common/types.h"
 
 namespace totem::net {
 
 struct ReceivedPacket {
-  Bytes data;
+  PacketBuffer data;  // refcounted: receivers of one broadcast share bytes
   NodeId source = kInvalidNode;
   NetworkId network = 0;
 };
@@ -29,11 +30,20 @@ class Transport {
 
   /// Best-effort broadcast to every other node attached to this network.
   /// The sender does NOT receive its own broadcast (the SRP retains its own
-  /// messages directly, as the real implementation does).
-  virtual void broadcast(BytesView packet) = 0;
+  /// messages directly, as the real implementation does). The buffer is
+  /// SHARED, not copied: when a replicator fans one packet out to N
+  /// networks, all N transports hold refcounts on the same pooled bytes.
+  virtual void broadcast(PacketBuffer packet) = 0;
 
   /// Best-effort unicast (used for the token).
-  virtual void unicast(NodeId dest, BytesView packet) = 0;
+  virtual void unicast(NodeId dest, PacketBuffer packet) = 0;
+
+  /// Convenience entry points for non-pooled callers (tests, tools): copy
+  /// `packet` into a pooled buffer first. This materializes the extra copy
+  /// the zero-copy path exists to avoid, and charges on_payload_copy().
+  /// Derived classes re-expose these with `using Transport::broadcast;`.
+  void broadcast(BytesView packet) { broadcast(copy_to_pool(packet)); }
+  void unicast(NodeId dest, BytesView packet) { unicast(dest, copy_to_pool(packet)); }
 
   virtual void set_rx_handler(RxHandler handler) = 0;
 
@@ -47,6 +57,17 @@ class Transport {
     std::uint64_t bytes_received = 0;
   };
   [[nodiscard]] virtual const Stats& stats() const = 0;
+
+ protected:
+  /// Hook for cost models: invoked when the legacy BytesView entry points
+  /// materialize a user-space payload copy (the simulator charges CPU time
+  /// for it; real transports spend real cycles and need no hook).
+  virtual void on_payload_copy(std::size_t /*bytes*/) {}
+
+  [[nodiscard]] PacketBuffer copy_to_pool(BytesView packet) {
+    on_payload_copy(packet.size());
+    return BufferPool::scratch().copy_of(packet);
+  }
 };
 
 /// Hook through which protocol layers charge per-unit processing time to the

@@ -129,9 +129,17 @@ UdpTransport::~UdpTransport() {
   }
 }
 
-void UdpTransport::send_to(const UdpEndpoint& ep, BytesView packet) {
+void UdpTransport::build_frame(BytesView packet) {
+  tx_frame_.clear();
+  ByteWriter w(tx_frame_);
+  w.u32(kUdpMagic);
+  w.u32(config_.local_node);
+  w.raw(packet);
+}
+
+void UdpTransport::send_frame(const UdpEndpoint& ep) {
   ++stats_.packets_sent;
-  stats_.bytes_sent += packet.size();
+  stats_.bytes_sent += tx_frame_.size() - kUdpHeader;
   if (send_fault_) return;
   if (config_.send_loss_rate > 0.0) {
     // xorshift64*: cheap deterministic-enough loss injection for tests.
@@ -143,46 +151,46 @@ void UdpTransport::send_to(const UdpEndpoint& ep, BytesView packet) {
     if (u < config_.send_loss_rate) return;
   }
 
-  ByteWriter w(packet.size() + kUdpHeader);
-  w.u32(kUdpMagic);
-  w.u32(config_.local_node);
-  w.raw(packet);
-  const Bytes framed = std::move(w).take();
-
   const sockaddr_in addr = to_sockaddr(ep);
-  const ssize_t rc = ::sendto(fd_, framed.data(), framed.size(), 0,
+  const ssize_t rc = ::sendto(fd_, tx_frame_.data(), tx_frame_.size(), 0,
                               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
     TLOG_DEBUG << "udp sendto failed: " << std::strerror(errno);
   }
 }
 
-void UdpTransport::broadcast(BytesView packet) {
+void UdpTransport::broadcast(PacketBuffer packet) {
+  build_frame(packet);
   if (mcast_fd_ >= 0) {
     // One datagram to the group — the native broadcast Totem exploits (§2).
-    send_to(UdpEndpoint{config_.multicast_group, config_.multicast_port}, packet);
+    send_frame(UdpEndpoint{config_.multicast_group, config_.multicast_port});
     return;
   }
   for (const auto& [node, ep] : config_.peers) {
     if (node == config_.local_node) continue;
-    send_to(ep, packet);
+    send_frame(ep);
   }
 }
 
-void UdpTransport::unicast(NodeId dest, BytesView packet) {
+void UdpTransport::unicast(NodeId dest, PacketBuffer packet) {
   auto it = config_.peers.find(dest);
   if (it == config_.peers.end()) {
     TLOG_WARN << "udp unicast to unknown node " << dest;
     return;
   }
-  send_to(it->second, packet);
+  build_frame(packet);
+  send_frame(it->second);
 }
 
 void UdpTransport::drain(int fd) {
   // Drain the socket: the reactor signals readability once per poll round.
+  // Each datagram lands in a pooled buffer: the pool recycles the max-size
+  // slab (no 64 KB zero-fill per recv) and the framing header is stripped
+  // by narrowing the view, not by copying the payload out.
   for (;;) {
-    Bytes buf(kMaxDatagram);
-    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    PacketBuffer buf = rx_pool_.acquire_uninitialized(kMaxDatagram);
+    Bytes& storage = buf.mutable_bytes();
+    const ssize_t n = ::recv(fd, storage.data(), kMaxDatagram, 0);
     if (n < 0) {
       if (errno != EAGAIN && errno != EWOULDBLOCK) {
         TLOG_DEBUG << "udp recv failed: " << std::strerror(errno);
@@ -190,7 +198,7 @@ void UdpTransport::drain(int fd) {
       return;
     }
     if (recv_fault_) continue;
-    buf.resize(static_cast<std::size_t>(n));
+    buf.truncate(static_cast<std::size_t>(n));
     ByteReader r(buf);
     auto magic = r.u32();
     auto sender = r.u32();
@@ -203,8 +211,8 @@ void UdpTransport::drain(int fd) {
     ++stats_.packets_received;
     stats_.bytes_received += buf.size();
     if (rx_handler_) {
-      Bytes payload(buf.begin() + kUdpHeader, buf.end());
-      rx_handler_(ReceivedPacket{std::move(payload), sender.value(), config_.network});
+      buf.drop_front(kUdpHeader);
+      rx_handler_(ReceivedPacket{std::move(buf), sender.value(), config_.network});
     }
   }
 }

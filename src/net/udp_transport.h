@@ -56,8 +56,11 @@ class UdpTransport final : public Transport {
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  void broadcast(BytesView packet) override;
-  void unicast(NodeId dest, BytesView packet) override;
+  using Transport::broadcast;
+  using Transport::unicast;
+
+  void broadcast(PacketBuffer packet) override;
+  void unicast(NodeId dest, PacketBuffer packet) override;
   void set_rx_handler(RxHandler handler) override { rx_handler_ = std::move(handler); }
 
   [[nodiscard]] NetworkId network_id() const override { return config_.network; }
@@ -74,7 +77,11 @@ class UdpTransport final : public Transport {
   UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd);
 
   void drain(int fd);
-  void send_to(const UdpEndpoint& ep, BytesView packet);
+  /// Materialize the framed datagram (transport header + payload) into
+  /// tx_frame_ ONCE per broadcast/unicast; send_frame() then reuses it for
+  /// every destination instead of re-framing per sendto().
+  void build_frame(BytesView packet);
+  void send_frame(const UdpEndpoint& ep);
 
   Reactor& reactor_;
   Config config_;
@@ -85,6 +92,8 @@ class UdpTransport final : public Transport {
   bool send_fault_ = false;
   bool recv_fault_ = false;
   std::uint64_t loss_rng_state_;
+  Bytes tx_frame_;       // reused across sends; capacity stabilizes quickly
+  BufferPool rx_pool_;   // received datagrams, handed up by refcount
 };
 
 /// Convenience: build the peer map for `node_count` nodes on loopback with

@@ -37,7 +37,7 @@ std::vector<std::size_t> ActivePassiveReplicator::next_window(std::size_t& curso
   return window;
 }
 
-void ActivePassiveReplicator::broadcast_message(BytesView packet) {
+void ActivePassiveReplicator::broadcast_message(PacketBuffer packet) {
   ++stats_.messages_sent;
   auto window = next_window(message_cursor_);
   if (window.empty()) window.push_back(0);  // total failure: still try
@@ -47,7 +47,7 @@ void ActivePassiveReplicator::broadcast_message(BytesView packet) {
   }
 }
 
-void ActivePassiveReplicator::send_token(NodeId next, BytesView packet) {
+void ActivePassiveReplicator::send_token(NodeId next, PacketBuffer packet) {
   ++stats_.tokens_sent;
   auto window = next_window(token_cursor_);
   if (window.empty()) window.push_back(0);

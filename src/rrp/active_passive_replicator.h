@@ -25,8 +25,11 @@ class ActivePassiveReplicator final : public Replicator {
   ActivePassiveReplicator(TimerService& timers, std::vector<net::Transport*> transports,
                           ActivePassiveConfig config);
 
-  void broadcast_message(BytesView packet) override;
-  void send_token(NodeId next, BytesView packet) override;
+  using Replicator::broadcast_message;
+  using Replicator::send_token;
+
+  void broadcast_message(PacketBuffer packet) override;
+  void send_token(NodeId next, PacketBuffer packet) override;
   void on_packet(net::ReceivedPacket&& packet) override;
 
   [[nodiscard]] std::size_t network_count() const override { return transports_.size(); }
@@ -73,7 +76,7 @@ class ActivePassiveReplicator final : public Replicator {
 
   // Stage 2: active-style copy collection.
   std::optional<TokenInstance> last_token_;
-  Bytes last_token_bytes_;
+  PacketBuffer last_token_bytes_;  // refcount on the received buffer, not a copy
   NetworkId last_token_net_ = 0;
   std::vector<bool> recv_last_token_;
   bool delivered_current_ = false;

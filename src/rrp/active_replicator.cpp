@@ -25,7 +25,7 @@ ActiveReplicator::ActiveReplicator(TimerService& timers,
   decay_timer_ = timers_.schedule(config_.decay_interval, [this] { on_decay(); });
 }
 
-void ActiveReplicator::broadcast_message(BytesView packet) {
+void ActiveReplicator::broadcast_message(PacketBuffer packet) {
   ++stats_.messages_sent;
   for (std::size_t i = 0; i < transports_.size(); ++i) {
     if (faulty_[i]) continue;
@@ -34,7 +34,7 @@ void ActiveReplicator::broadcast_message(BytesView packet) {
   }
 }
 
-void ActiveReplicator::send_token(NodeId next, BytesView packet) {
+void ActiveReplicator::send_token(NodeId next, PacketBuffer packet) {
   ++stats_.tokens_sent;
   for (std::size_t i = 0; i < transports_.size(); ++i) {
     if (faulty_[i]) continue;
@@ -56,9 +56,7 @@ void ActiveReplicator::on_packet(net::ReceivedPacket&& packet) {
                                      info.value().token_seq});
 }
 
-void ActiveReplicator::handle_token(const net::ReceivedPacket& packet,
-                                    const TokenInstance& instance) {
-  const NetworkId net = packet.network;
+void ActiveReplicator::credit_success(NetworkId net) {
   // Traffic-proportional decay (requirement A6): successful copies earn the
   // network credit against sporadic losses.
   if (net < success_streak_.size() && config_.recovery_credit_period > 0 &&
@@ -66,7 +64,13 @@ void ActiveReplicator::handle_token(const net::ReceivedPacket& packet,
     success_streak_[net] = 0;
     if (problem_counter_[net] > 0) --problem_counter_[net];
   }
+}
+
+void ActiveReplicator::handle_token(const net::ReceivedPacket& packet,
+                                    const TokenInstance& instance) {
+  const NetworkId net = packet.network;
   if (!last_token_ || instance.newer_than(*last_token_)) {
+    credit_success(net);
     // First copy of a new token.
     last_token_ = instance;
     last_token_bytes_ = packet.data;
@@ -80,13 +84,17 @@ void ActiveReplicator::handle_token(const net::ReceivedPacket& packet,
     token_timer_.cancel();
     token_timer_ = timers_.schedule(config_.token_timeout, [this] { on_token_timer(); });
   } else if (instance.same_as(*last_token_)) {
+    credit_success(net);
     ++stats_.duplicate_tokens_absorbed;
     if (config_.trace) {
       config_.trace->emit(timers_.now(), TraceKind::kDuplicateTokenAbsorbed, net);
     }
     if (net < recv_last_token_.size()) recv_last_token_[net] = true;
   } else {
-    // A stale retransmission of an older token; nothing to track.
+    // A stale retransmission of an older token; nothing to track — and no
+    // recovery credit: only copies of the CURRENT token demonstrate the
+    // network is keeping up (a dead network replaying old tokens must not
+    // decay its problem counter).
     ++stats_.duplicate_tokens_absorbed;
     return;
   }

@@ -24,8 +24,11 @@ class ActiveReplicator final : public Replicator {
   ActiveReplicator(TimerService& timers, std::vector<net::Transport*> transports,
                    ActiveConfig config = {});
 
-  void broadcast_message(BytesView packet) override;
-  void send_token(NodeId next, BytesView packet) override;
+  using Replicator::broadcast_message;
+  using Replicator::send_token;
+
+  void broadcast_message(PacketBuffer packet) override;
+  void send_token(NodeId next, PacketBuffer packet) override;
   void on_packet(net::ReceivedPacket&& packet) override;
 
   [[nodiscard]] std::size_t network_count() const override { return transports_.size(); }
@@ -55,6 +58,7 @@ class ActiveReplicator final : public Replicator {
   };
 
   void handle_token(const net::ReceivedPacket& packet, const TokenInstance& instance);
+  void credit_success(NetworkId net);
   void maybe_deliver(NetworkId from);
   void on_token_timer();
   void on_decay();
@@ -69,7 +73,7 @@ class ActiveReplicator final : public Replicator {
   std::vector<std::uint32_t> problem_counter_;
   std::vector<std::uint32_t> success_streak_;
   std::optional<TokenInstance> last_token_;
-  Bytes last_token_bytes_;
+  PacketBuffer last_token_bytes_;  // refcount on the received buffer, not a copy
   NetworkId last_token_net_ = 0;
   bool delivered_current_ = false;
   TimerHandle token_timer_;

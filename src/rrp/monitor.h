@@ -31,11 +31,16 @@ class ReceptionMonitor {
   }
 
   /// Anti-false-positive aging: every lagging network creeps one packet
-  /// closer to the leader.
+  /// closer to the leader. Networks already reported faulty are NOT aged —
+  /// forgiveness is for sporadic loss on live networks; a dead network's
+  /// count creeping back toward the leader would make lag() under-report
+  /// the evidence in later fault reports. reset_network() is the one road
+  /// back for a repaired network.
   void age() {
     const std::uint64_t max = max_count();
-    for (auto& c : counts_) {
-      if (c < max) ++c;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (reported_[i]) continue;
+      if (counts_[i] < max) ++counts_[i];
     }
   }
 

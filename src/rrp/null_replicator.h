@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cassert>
+#include <utility>
 
 #include "rrp/replicator.h"
 #include "srp/wire.h"
@@ -20,16 +21,19 @@ class NullReplicator final : public Replicator {
         [this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
   }
 
-  void broadcast_message(BytesView packet) override {
+  using Replicator::broadcast_message;
+  using Replicator::send_token;
+
+  void broadcast_message(PacketBuffer packet) override {
     ++stats_.messages_sent;
     ++stats_.packets_fanned_out;
-    transport_.broadcast(packet);
+    transport_.broadcast(std::move(packet));
   }
 
-  void send_token(NodeId next, BytesView packet) override {
+  void send_token(NodeId next, PacketBuffer packet) override {
     ++stats_.tokens_sent;
     ++stats_.packets_fanned_out;
-    transport_.unicast(next, packet);
+    transport_.unicast(next, std::move(packet));
   }
 
   void on_packet(net::ReceivedPacket&& packet) override {

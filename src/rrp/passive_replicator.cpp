@@ -31,7 +31,7 @@ std::optional<std::size_t> PassiveReplicator::next_network(std::size_t& cursor) 
   return std::nullopt;  // every network is marked faulty
 }
 
-void PassiveReplicator::broadcast_message(BytesView packet) {
+void PassiveReplicator::broadcast_message(PacketBuffer packet) {
   ++stats_.messages_sent;
   auto net = next_network(message_cursor_);
   if (!net) {
@@ -40,15 +40,15 @@ void PassiveReplicator::broadcast_message(BytesView packet) {
     net = 0;
   }
   ++stats_.packets_fanned_out;
-  transports_[*net]->broadcast(packet);
+  transports_[*net]->broadcast(std::move(packet));
 }
 
-void PassiveReplicator::send_token(NodeId next, BytesView packet) {
+void PassiveReplicator::send_token(NodeId next, PacketBuffer packet) {
   ++stats_.tokens_sent;
   auto net = next_network(token_cursor_);
   if (!net) net = 0;
   ++stats_.packets_fanned_out;
-  transports_[*net]->unicast(next, packet);
+  transports_[*net]->unicast(next, std::move(packet));
 }
 
 void PassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
@@ -63,6 +63,7 @@ void PassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
       if (token_buffered_) {
         // The newly arrived token supersedes the buffered one.
         token_buffered_ = false;
+        buffered_token_.reset();  // return the pinned pooled bytes promptly
         buffer_timer_.cancel();
         buffer_timer_running_ = false;
       }
@@ -70,9 +71,10 @@ void PassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
       return;
     }
     // Messages are outstanding — most likely still in flight on another
-    // network (Fig. 3). Buffer the token; a short timer guarantees progress
-    // if they were really lost (requirement P3).
+    // network (Fig. 3). Buffer the token (a refcount on the pooled bytes);
+    // a short timer guarantees progress if they were really lost (P3).
     buffered_token_ = std::move(packet.data);
+    buffered_token_net_ = packet.network;
     buffered_token_seq_ = token_seq;
     token_buffered_ = true;
     if (!buffer_timer_running_) {  // Fig. 4: the timer is never restarted
@@ -100,7 +102,7 @@ void PassiveReplicator::flush_buffered_token() {
   buffer_timer_.cancel();
   buffer_timer_running_ = false;
   token_buffered_ = false;
-  deliver_token_up(buffered_token_, 0);
+  deliver_token_up(buffered_token_, buffered_token_net_);
 }
 
 void PassiveReplicator::on_buffer_timer() {
@@ -111,7 +113,7 @@ void PassiveReplicator::on_buffer_timer() {
   }
   if (token_buffered_) {
     token_buffered_ = false;
-    deliver_token_up(buffered_token_, 0);
+    deliver_token_up(buffered_token_, buffered_token_net_);
   }
 }
 

@@ -31,8 +31,11 @@ class PassiveReplicator final : public Replicator {
   PassiveReplicator(TimerService& timers, std::vector<net::Transport*> transports,
                     PassiveConfig config = {});
 
-  void broadcast_message(BytesView packet) override;
-  void send_token(NodeId next, BytesView packet) override;
+  using Replicator::broadcast_message;
+  using Replicator::send_token;
+
+  void broadcast_message(PacketBuffer packet) override;
+  void send_token(NodeId next, PacketBuffer packet) override;
   void on_packet(net::ReceivedPacket&& packet) override;
 
   [[nodiscard]] std::size_t network_count() const override { return transports_.size(); }
@@ -64,8 +67,12 @@ class PassiveReplicator final : public Replicator {
   std::size_t message_cursor_ = 0;
   std::size_t token_cursor_ = 0;
 
-  // Token buffer (Fig. 4: lastToken + token timer).
-  Bytes buffered_token_;
+  // Token buffer (Fig. 4: lastToken + token timer). The buffer pins the
+  // received pooled bytes by refcount; the arrival network rides along so a
+  // delayed delivery is attributed to the network the token actually came
+  // in on, not hardcoded to network 0.
+  PacketBuffer buffered_token_;
+  NetworkId buffered_token_net_ = 0;
   SeqNum buffered_token_seq_ = 0;
   bool token_buffered_ = false;
   TimerHandle buffer_timer_;

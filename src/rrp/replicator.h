@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/packet_buffer.h"
 #include "common/types.h"
 #include "net/transport.h"
 
@@ -63,8 +64,20 @@ class Replicator {
   virtual ~Replicator() = default;
 
   // ---- downcalls: SRP -> networks ----
-  virtual void broadcast_message(BytesView packet) = 0;
-  virtual void send_token(NodeId next, BytesView packet) = 0;
+  // The SRP encodes each packet ONCE into a pooled buffer; the replicator
+  // fans the same buffer out to its transports by refcount. How many
+  // networks carry it is invisible to the encode cost.
+  virtual void broadcast_message(PacketBuffer packet) = 0;
+  virtual void send_token(NodeId next, PacketBuffer packet) = 0;
+
+  /// Convenience for non-pooled callers (tests): copy into a pooled buffer
+  /// first. Derived classes re-expose with `using Replicator::...;`.
+  void broadcast_message(BytesView packet) {
+    broadcast_message(BufferPool::scratch().copy_of(packet));
+  }
+  void send_token(NodeId next, BytesView packet) {
+    send_token(next, BufferPool::scratch().copy_of(packet));
+  }
 
   // ---- upcall wiring (set by the SRP / application) ----
   void set_message_handler(MessageHandler h) { message_handler_ = std::move(h); }

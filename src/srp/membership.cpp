@@ -81,7 +81,7 @@ void SingleRing::send_join() {
   j.proc_set.assign(proc_set_.begin(), proc_set_.end());
   j.fail_set.assign(fail_set_.begin(), fail_set_.end());
   j.ring_seq = highest_ring_seq_;
-  replicator_.broadcast_message(wire::serialize_join(j));
+  replicator_.broadcast_message(wire::serialize_join(pool_, j));
 
   join_timer_.cancel();
   join_timer_ = timers_.schedule(config_.join_interval, [this] { send_join(); });
@@ -195,7 +195,7 @@ void SingleRing::check_consensus() {
   for (const auto& m : c.members) order.push_back(m.node);
   {
     const NodeId next = successor_in(order);
-    Bytes packet = wire::serialize_commit(c);
+    PacketBuffer packet = wire::serialize_commit(pool_, c);
     replicator_.send_token(next, packet);
     retain_commit(next, std::move(packet));
   }
@@ -282,7 +282,7 @@ void SingleRing::on_commit_token(wire::CommitToken commit) {
     for (const auto& m : commit.members) order.push_back(m.node);
     {
       const NodeId next = successor_in(order);
-      Bytes packet = wire::serialize_commit(commit);
+      PacketBuffer packet = wire::serialize_commit(pool_, commit);
       replicator_.send_token(next, packet);
       retain_commit(next, std::move(packet));
     }
@@ -313,7 +313,7 @@ void SingleRing::on_commit_token(wire::CommitToken commit) {
     std::vector<NodeId> order;
     for (const auto& m : commit.members) order.push_back(m.node);
     const NodeId next = successor_in(order);
-    Bytes packet = wire::serialize_commit(commit);
+    PacketBuffer packet = wire::serialize_commit(pool_, commit);
     replicator_.send_token(next, packet);
     retain_commit(next, std::move(packet));
   }
@@ -374,7 +374,7 @@ void SingleRing::begin_recovery_ring() {
   wire::Token t;
   t.ring = ring_id_;
   t.sender = config_.node_id;
-  Bytes b = wire::serialize_token(t);
+  PacketBuffer b = wire::serialize_token(pool_, t);
   timers_.schedule(Duration{0}, [this, b] { on_token_packet(b, 0); });
 }
 
@@ -450,7 +450,7 @@ void SingleRing::deliver_old_ring_contiguous() {
   }
 }
 
-void SingleRing::retain_commit(NodeId dest, Bytes packet) {
+void SingleRing::retain_commit(NodeId dest, PacketBuffer packet) {
   retained_commit_ = std::move(packet);
   retained_commit_dest_ = dest;
   commit_retention_active_ = true;

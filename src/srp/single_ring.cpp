@@ -38,7 +38,7 @@ void SingleRing::start() {
       wire::Token t;
       t.ring = ring_id_;
       t.sender = config_.node_id;
-      Bytes b = wire::serialize_token(t);
+      PacketBuffer b = wire::serialize_token(pool_, t);
       timers_.schedule(Duration{0}, [this, b] { on_token_packet(b, 0); });
     }
     arm_token_loss_timer();
@@ -61,7 +61,7 @@ void SingleRing::on_announce_fire() {
     a.sender = config_.node_id;
     a.ring = ring_id_;
     a.member_count = static_cast<std::uint32_t>(members_.size());
-    replicator_.broadcast_message(wire::serialize_announce(a));
+    replicator_.broadcast_message(wire::serialize_announce(pool_, a));
   }
   arm_announce_timer();
 }
@@ -458,7 +458,7 @@ void SingleRing::discard_safe_messages(const wire::Token& token) {
 
 void SingleRing::forward_token(wire::Token token) {
   token.sender = config_.node_id;
-  Bytes bytes = wire::serialize_token(token);
+  PacketBuffer bytes = wire::serialize_token(pool_, token);
   retained_token_ = bytes;
   retained_token_seq_ = token.seq;
 
@@ -486,7 +486,7 @@ void SingleRing::send_packed_regular(std::vector<wire::MessageEntry> entries) {
   for (auto& e : entries) {
     const std::size_t esize = wire::kRegularEntryOverhead + e.payload.size();
     if (!pack.empty() && body + esize > wire::kMaxBody) {
-      replicator_.broadcast_message(wire::serialize_regular(header, pack));
+      replicator_.broadcast_message(wire::serialize_regular(pool_, header, pack));
       pack.clear();
       body = wire::kRegularBodyFixed;
     }
@@ -494,7 +494,7 @@ void SingleRing::send_packed_regular(std::vector<wire::MessageEntry> entries) {
     pack.push_back(std::move(e));
   }
   if (!pack.empty()) {
-    replicator_.broadcast_message(wire::serialize_regular(header, pack));
+    replicator_.broadcast_message(wire::serialize_regular(pool_, header, pack));
   }
 }
 
@@ -507,7 +507,7 @@ void SingleRing::send_packed_retransmit(std::vector<wire::MessageEntry> entries)
   for (auto& e : entries) {
     const std::size_t esize = wire::kRetransEntryOverhead + e.payload.size();
     if (!pack.empty() && body + esize > wire::kMaxBody) {
-      replicator_.broadcast_message(wire::serialize_retransmit(header, pack));
+      replicator_.broadcast_message(wire::serialize_retransmit(pool_, header, pack));
       pack.clear();
       body = wire::kRetransBodyFixed;
     }
@@ -515,7 +515,7 @@ void SingleRing::send_packed_retransmit(std::vector<wire::MessageEntry> entries)
     pack.push_back(std::move(e));
   }
   if (!pack.empty()) {
-    replicator_.broadcast_message(wire::serialize_retransmit(header, pack));
+    replicator_.broadcast_message(wire::serialize_retransmit(pool_, header, pack));
   }
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/packet_buffer.h"
 #include "common/status.h"
 #include "common/timer_service.h"
 #include "common/trace.h"
@@ -129,6 +130,11 @@ class SingleRing {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Pool backing every packet this ring encodes. Exposed so operators can
+  /// read allocation/reuse counters (api::StatsSnapshot).
+  [[nodiscard]] BufferPool& buffer_pool() { return pool_; }
+  [[nodiscard]] const BufferPool& buffer_pool() const { return pool_; }
+
  private:
   // ---- wiring from the replicator ----
   void on_message_packet(BytesView packet, NetworkId from);
@@ -193,6 +199,7 @@ class SingleRing {
   MembershipHandler membership_;
   SafeHandler safe_handler_;
   Stats stats_;
+  BufferPool pool_;  // every outgoing packet is encoded into a pooled buffer
 
   State state_ = State::kOperational;
   RingId ring_id_;
@@ -216,7 +223,7 @@ class SingleRing {
   SeqNum safe_up_to_ = 0;
   std::uint32_t my_last_fcc_contribution_ = 0;
   std::uint32_t my_last_backlog_contribution_ = 0;
-  Bytes retained_token_;
+  PacketBuffer retained_token_;
   SeqNum retained_token_seq_ = 0;
   bool retention_active_ = false;
   TimerHandle retention_timer_;
@@ -248,11 +255,11 @@ class SingleRing {
   // commit token then costs a retention interval, not a full re-Gather.
   TimerHandle commit_timer_;
   std::uint32_t commit_forwards_ = 0;
-  Bytes retained_commit_;
+  PacketBuffer retained_commit_;
   NodeId retained_commit_dest_ = kInvalidNode;
   bool commit_retention_active_ = false;
   TimerHandle commit_retention_timer_;
-  void retain_commit(NodeId dest, Bytes packet);
+  void retain_commit(NodeId dest, PacketBuffer packet);
   void on_commit_retention_fire();
   void stop_commit_retention();
 

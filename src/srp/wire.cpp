@@ -27,16 +27,33 @@ std::uint32_t packet_crc(BytesView packet) {
 }
 
 /// Stamp the packet checksum; every serialize_* function returns through
-/// here.
-Bytes finalize(ByteWriter&& w) {
-  Bytes out = std::move(w).take();
+/// here (or finalize(ByteWriter&&) for own-storage writers).
+void finalize_in_place(Bytes& out) {
   assert(out.size() >= kPacketHeaderSize);
   const std::uint32_t crc = packet_crc(out);
   out[kCrcOffset] = std::byte(crc & 0xFF);
   out[kCrcOffset + 1] = std::byte((crc >> 8) & 0xFF);
   out[kCrcOffset + 2] = std::byte((crc >> 16) & 0xFF);
   out[kCrcOffset + 3] = std::byte((crc >> 24) & 0xFF);
+}
+
+Bytes finalize(ByteWriter&& w) {
+  Bytes out = std::move(w).take();
+  finalize_in_place(out);
   return out;
+}
+
+/// Encode a packet straight into a pooled buffer: acquire, fill via the
+/// shared write core, stamp the CRC in place. This is the ONE payload
+/// encode on the send path — the replicator fans the returned buffer out
+/// by refcount, never by copy.
+template <typename Fill>
+PacketBuffer serialize_pooled(BufferPool& pool, std::size_t reserve, Fill&& fill) {
+  PacketBuffer buffer = pool.acquire(reserve);
+  ByteWriter w(buffer.mutable_bytes());
+  fill(w);
+  finalize_in_place(buffer.mutable_bytes());
+  return buffer;
 }
 
 Result<PacketHeader> read_header(ByteReader& r, BytesView whole_packet) {
@@ -69,11 +86,9 @@ Result<PacketHeader> read_header(ByteReader& r, BytesView whole_packet) {
                       RingId{rep.value(), ring_seq.value()}};
 }
 
-}  // namespace
-
-Bytes serialize_regular(const PacketHeader& header, const std::vector<MessageEntry>& entries) {
+void write_regular(ByteWriter& w, const PacketHeader& header,
+                   const std::vector<MessageEntry>& entries) {
   assert(!entries.empty());
-  ByteWriter w(kPacketHeaderSize + kMaxBody);
   write_header(w, PacketType::kRegular, header.sender, header.ring);
   w.u64(entries.front().seq);
   w.u16(static_cast<std::uint16_t>(entries.size()));
@@ -87,12 +102,11 @@ Bytes serialize_regular(const PacketHeader& header, const std::vector<MessageEnt
     w.u16(static_cast<std::uint16_t>(e.payload.size()));
     w.raw(e.payload);
   }
-  return finalize(std::move(w));
 }
 
-Bytes serialize_retransmit(const PacketHeader& header, const std::vector<MessageEntry>& entries) {
+void write_retransmit(ByteWriter& w, const PacketHeader& header,
+                      const std::vector<MessageEntry>& entries) {
   assert(!entries.empty());
-  ByteWriter w(kPacketHeaderSize + kMaxBody);
   write_header(w, PacketType::kRetransmit, header.sender, header.ring);
   w.u16(static_cast<std::uint16_t>(entries.size()));
   for (const MessageEntry& e : entries) {
@@ -104,7 +118,32 @@ Bytes serialize_retransmit(const PacketHeader& header, const std::vector<Message
     w.u16(static_cast<std::uint16_t>(e.payload.size()));
     w.raw(e.payload);
   }
+}
+
+}  // namespace
+
+Bytes serialize_regular(const PacketHeader& header, const std::vector<MessageEntry>& entries) {
+  ByteWriter w(kPacketHeaderSize + kMaxBody);
+  write_regular(w, header, entries);
   return finalize(std::move(w));
+}
+
+PacketBuffer serialize_regular(BufferPool& pool, const PacketHeader& header,
+                               const std::vector<MessageEntry>& entries) {
+  return serialize_pooled(pool, kPacketHeaderSize + kMaxBody,
+                          [&](ByteWriter& w) { write_regular(w, header, entries); });
+}
+
+Bytes serialize_retransmit(const PacketHeader& header, const std::vector<MessageEntry>& entries) {
+  ByteWriter w(kPacketHeaderSize + kMaxBody);
+  write_retransmit(w, header, entries);
+  return finalize(std::move(w));
+}
+
+PacketBuffer serialize_retransmit(BufferPool& pool, const PacketHeader& header,
+                                  const std::vector<MessageEntry>& entries) {
+  return serialize_pooled(pool, kPacketHeaderSize + kMaxBody,
+                          [&](ByteWriter& w) { write_retransmit(w, header, entries); });
 }
 
 Result<RegularPacket> parse_messages(BytesView packet) {
@@ -164,8 +203,8 @@ Result<RegularPacket> parse_messages(BytesView packet) {
   return out;
 }
 
-Bytes serialize_token(const Token& token) {
-  ByteWriter w(kPacketHeaderSize + 64 + token.rtr.size() * 8);
+namespace {
+void write_token(ByteWriter& w, const Token& token) {
   write_header(w, PacketType::kToken, token.sender, token.ring);
   w.u64(token.seq);
   w.u64(token.aru);
@@ -175,7 +214,18 @@ Bytes serialize_token(const Token& token) {
   w.u32(token.backlog);
   w.u16(static_cast<std::uint16_t>(token.rtr.size()));
   for (SeqNum s : token.rtr) w.u64(s);
+}
+}  // namespace
+
+Bytes serialize_token(const Token& token) {
+  ByteWriter w(kPacketHeaderSize + 64 + token.rtr.size() * 8);
+  write_token(w, token);
   return finalize(std::move(w));
+}
+
+PacketBuffer serialize_token(BufferPool& pool, const Token& token) {
+  return serialize_pooled(pool, kPacketHeaderSize + 64 + token.rtr.size() * 8,
+                          [&](ByteWriter& w) { write_token(w, token); });
 }
 
 Result<Token> parse_token(BytesView packet) {
@@ -213,8 +263,8 @@ Result<Token> parse_token(BytesView packet) {
   return t;
 }
 
-Bytes serialize_join(const JoinMessage& join) {
-  ByteWriter w(kPacketHeaderSize + 16 + (join.proc_set.size() + join.fail_set.size()) * 4);
+namespace {
+void write_join(ByteWriter& w, const JoinMessage& join) {
   // Join messages are not bound to a ring; carry a null ring id.
   write_header(w, PacketType::kJoin, join.sender, RingId{});
   w.u64(join.ring_seq);
@@ -222,7 +272,19 @@ Bytes serialize_join(const JoinMessage& join) {
   for (NodeId n : join.proc_set) w.u32(n);
   w.u16(static_cast<std::uint16_t>(join.fail_set.size()));
   for (NodeId n : join.fail_set) w.u32(n);
+}
+}  // namespace
+
+Bytes serialize_join(const JoinMessage& join) {
+  ByteWriter w(kPacketHeaderSize + 16 + (join.proc_set.size() + join.fail_set.size()) * 4);
+  write_join(w, join);
   return finalize(std::move(w));
+}
+
+PacketBuffer serialize_join(BufferPool& pool, const JoinMessage& join) {
+  return serialize_pooled(
+      pool, kPacketHeaderSize + 16 + (join.proc_set.size() + join.fail_set.size()) * 4,
+      [&](ByteWriter& w) { write_join(w, join); });
 }
 
 Result<JoinMessage> parse_join(BytesView packet) {
@@ -254,8 +316,8 @@ Result<JoinMessage> parse_join(BytesView packet) {
   return j;
 }
 
-Bytes serialize_commit(const CommitToken& commit) {
-  ByteWriter w(kPacketHeaderSize + 8 + commit.members.size() * 33);
+namespace {
+void write_commit(ByteWriter& w, const CommitToken& commit) {
   write_header(w, PacketType::kCommitToken, commit.sender, commit.new_ring);
   w.u32(commit.hop);
   w.u16(static_cast<std::uint16_t>(commit.members.size()));
@@ -267,7 +329,18 @@ Bytes serialize_commit(const CommitToken& commit) {
     w.u64(m.high_seq);
     w.u8(m.filled ? 1 : 0);
   }
+}
+}  // namespace
+
+Bytes serialize_commit(const CommitToken& commit) {
+  ByteWriter w(kPacketHeaderSize + 8 + commit.members.size() * 33);
+  write_commit(w, commit);
   return finalize(std::move(w));
+}
+
+PacketBuffer serialize_commit(BufferPool& pool, const CommitToken& commit) {
+  return serialize_pooled(pool, kPacketHeaderSize + 8 + commit.members.size() * 33,
+                          [&](ByteWriter& w) { write_commit(w, commit); });
 }
 
 Result<CommitToken> parse_commit(BytesView packet) {
@@ -305,11 +378,22 @@ Result<CommitToken> parse_commit(BytesView packet) {
   return c;
 }
 
-Bytes serialize_announce(const Announce& announce) {
-  ByteWriter w(kPacketHeaderSize + 4);
+namespace {
+void write_announce(ByteWriter& w, const Announce& announce) {
   write_header(w, PacketType::kAnnounce, announce.sender, announce.ring);
   w.u32(announce.member_count);
+}
+}  // namespace
+
+Bytes serialize_announce(const Announce& announce) {
+  ByteWriter w(kPacketHeaderSize + 4);
+  write_announce(w, announce);
   return finalize(std::move(w));
+}
+
+PacketBuffer serialize_announce(BufferPool& pool, const Announce& announce) {
+  return serialize_pooled(pool, kPacketHeaderSize + 4,
+                          [&](ByteWriter& w) { write_announce(w, announce); });
 }
 
 Result<Announce> parse_announce(BytesView packet) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/packet_buffer.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -93,10 +94,14 @@ struct RegularPacket {
 /// first_seq + i and origin == sender).
 [[nodiscard]] Bytes serialize_regular(const PacketHeader& header,
                                       const std::vector<MessageEntry>& entries);
+[[nodiscard]] PacketBuffer serialize_regular(BufferPool& pool, const PacketHeader& header,
+                                             const std::vector<MessageEntry>& entries);
 
 /// Serialize arbitrary (seq, origin) messages as a retransmission packet.
 [[nodiscard]] Bytes serialize_retransmit(const PacketHeader& header,
                                          const std::vector<MessageEntry>& entries);
+[[nodiscard]] PacketBuffer serialize_retransmit(BufferPool& pool, const PacketHeader& header,
+                                                const std::vector<MessageEntry>& entries);
 
 [[nodiscard]] Result<RegularPacket> parse_messages(BytesView packet);
 
@@ -123,6 +128,7 @@ struct Token {
 };
 
 [[nodiscard]] Bytes serialize_token(const Token& token);
+[[nodiscard]] PacketBuffer serialize_token(BufferPool& pool, const Token& token);
 [[nodiscard]] Result<Token> parse_token(BytesView packet);
 
 // ---------------------------------------------------------------------------
@@ -136,6 +142,7 @@ struct JoinMessage {
 };
 
 [[nodiscard]] Bytes serialize_join(const JoinMessage& join);
+[[nodiscard]] PacketBuffer serialize_join(BufferPool& pool, const JoinMessage& join);
 [[nodiscard]] Result<JoinMessage> parse_join(BytesView packet);
 
 struct CommitMember {
@@ -154,6 +161,7 @@ struct CommitToken {
 };
 
 [[nodiscard]] Bytes serialize_commit(const CommitToken& commit);
+[[nodiscard]] PacketBuffer serialize_commit(BufferPool& pool, const CommitToken& commit);
 [[nodiscard]] Result<CommitToken> parse_commit(BytesView packet);
 
 // ---------------------------------------------------------------------------
@@ -169,6 +177,7 @@ struct Announce {
 };
 
 [[nodiscard]] Bytes serialize_announce(const Announce& announce);
+[[nodiscard]] PacketBuffer serialize_announce(BufferPool& pool, const Announce& announce);
 [[nodiscard]] Result<Announce> parse_announce(BytesView packet);
 
 // ---------------------------------------------------------------------------

@@ -64,6 +64,26 @@ TEST(Stats, DumpIsHumanReadable) {
   EXPECT_NE(dump.find("node 0 [passive]"), std::string::npos) << dump;
   EXPECT_NE(dump.find("state=operational"), std::string::npos) << dump;
   EXPECT_NE(dump.find("delivered=1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("pool:"), std::string::npos) << dump;
+}
+
+TEST(Stats, SnapshotExposesBufferPoolCounters) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.network_count = 2;
+  cfg.style = ReplicationStyle::kActive;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.node(0).send(Bytes(64, std::byte{1})).is_ok());
+  }
+  cluster.run_for(Duration{500'000});
+
+  const StatsSnapshot snap = snapshot(cluster.node(0), {});
+  EXPECT_GT(snap.buffer_pool.allocations, 0u) << "packets were encoded into the pool";
+  EXPECT_GT(snap.buffer_pool.reuses, snap.buffer_pool.allocations)
+      << "a steady ring must recycle slabs, not keep allocating";
+  EXPECT_GE(snap.buffer_pool.high_water, snap.buffer_pool.outstanding);
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+// Unit tests for the pooled packet-buffer machinery: refcount lifetime,
+// slab reuse, view narrowing, pool-before-buffer destruction, and
+// concurrent acquire/release safety.
+#include "common/packet_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace totem {
+namespace {
+
+PacketBuffer filled(BufferPool& pool, std::size_t n, std::byte value) {
+  PacketBuffer b = pool.acquire();
+  b.mutable_bytes().assign(n, value);
+  return b;
+}
+
+TEST(PacketBuffer, DefaultHandleIsEmpty) {
+  PacketBuffer b;
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  b.reset();  // resetting an empty handle is a no-op
+}
+
+TEST(PacketBuffer, CopySharesTheSlab) {
+  BufferPool pool;
+  PacketBuffer a = filled(pool, 4, std::byte{7});
+  EXPECT_EQ(a.ref_count(), 1u);
+
+  PacketBuffer b = a;
+  EXPECT_EQ(a.ref_count(), 2u);
+  EXPECT_EQ(a.data(), b.data()) << "copies must alias, not duplicate";
+
+  a.reset();
+  EXPECT_EQ(b.ref_count(), 1u);
+  EXPECT_EQ(b[0], std::byte{7}) << "surviving handle keeps the bytes alive";
+
+  b.reset();
+  EXPECT_EQ(pool.stats().returns, 1u) << "slab returned once, by the last handle";
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(PacketBuffer, MoveTransfersWithoutTouchingTheRefcount) {
+  BufferPool pool;
+  PacketBuffer a = filled(pool, 4, std::byte{7});
+  PacketBuffer b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_EQ(b.ref_count(), 1u);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+}
+
+TEST(PacketBuffer, ViewNarrowingIsCopyFree) {
+  BufferPool pool;
+  PacketBuffer b = pool.acquire();
+  for (int i = 0; i < 8; ++i) b.mutable_bytes().push_back(std::byte(i));
+  const std::byte* base = b.data();
+
+  b.drop_front(2);
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b.data(), base + 2);
+  EXPECT_EQ(b[0], std::byte{2});
+
+  b.truncate(3);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data(), base + 2) << "truncate keeps the front";
+}
+
+TEST(BufferPool, SlabsAreReused) {
+  BufferPool pool;
+  filled(pool, 64, std::byte{1}).reset();
+  PacketBuffer again = pool.acquire();
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_TRUE(again.empty()) << "acquire() hands back a cleared buffer";
+}
+
+TEST(BufferPool, StatsTrackOutstandingAndHighWater) {
+  BufferPool pool;
+  std::vector<PacketBuffer> held;
+  for (int i = 0; i < 3; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.stats().outstanding, 3u);
+  EXPECT_EQ(pool.stats().high_water, 3u);
+  held.clear();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.stats().high_water, 3u) << "high-water never decreases";
+}
+
+TEST(BufferPool, CopyOfCapturesTheBytes) {
+  BufferPool pool;
+  const Bytes src = {std::byte{1}, std::byte{2}, std::byte{3}};
+  PacketBuffer b = pool.copy_of(src);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], std::byte{3});
+}
+
+TEST(BufferPool, AcquireUninitializedBoundsTheView) {
+  BufferPool pool;
+  PacketBuffer b = pool.acquire_uninitialized(128);
+  EXPECT_EQ(b.size(), 128u);
+}
+
+TEST(BufferPool, BuffersOutliveTheirPool) {
+  auto pool = std::make_unique<BufferPool>();
+  PacketBuffer survivor = filled(*pool, 16, std::byte{42});
+  pool.reset();  // pool torn down while a buffer is still in flight
+  EXPECT_EQ(survivor.size(), 16u);
+  EXPECT_EQ(survivor[15], std::byte{42});
+  survivor.reset();  // frees the orphaned slab instead of a dead freelist
+}
+
+TEST(BufferPool, ConcurrentAcquireCopyReleaseIsSafe) {
+  BufferPool pool;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        PacketBuffer a = pool.acquire();
+        a.mutable_bytes().assign(32, std::byte(t));
+        PacketBuffer b = a;  // cross-handle refcount traffic
+        a.reset();
+        ASSERT_EQ(b[0], std::byte(t));
+        b.reset();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.outstanding, 0u);
+  EXPECT_EQ(stats.allocations + stats.reuses,
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace totem

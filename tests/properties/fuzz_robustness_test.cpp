@@ -170,7 +170,7 @@ TEST(FuzzRobustness, ReplicatorsSurviveHostileStream) {
     for (int i = 0; i < 5'000; ++i) {
       Bytes packet = rng.chance(0.5) ? random_bytes(rng, 1600)
                                      : mutate(rng, pool[rng.next_below(pool.size())]);
-      r->on_packet(net::ReceivedPacket{std::move(packet),
+      r->on_packet(net::ReceivedPacket{BufferPool::scratch().copy_of(packet),
                                        static_cast<NodeId>(rng.next_below(4)),
                                        static_cast<NetworkId>(rng.next_below(3))});
     }

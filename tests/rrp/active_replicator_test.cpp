@@ -239,6 +239,35 @@ TEST_F(ActiveFixture, ResetNetworkRejoinsFanout) {
   EXPECT_EQ(tokens_up.size(), 1u);
 }
 
+TEST_F(ActiveFixture, StaleTokensEarnNoRecoveryCredit) {
+  // Requirement A6's traffic-proportional decay must only reward copies of
+  // the CURRENT token: a dead network replaying an old token proves
+  // nothing about its health and must not decay its problem counter.
+  ActiveConfig cfg;
+  cfg.token_timeout = Duration{1'000};
+  cfg.recovery_credit_period = 1;  // every credited copy decrements by one
+  build(2, cfg);
+
+  // Network 1 misses a token: the timer charges it one problem point.
+  t0.inject(make_token(1, 10), 1);
+  sim.run_for(Duration{1'500});
+  ASSERT_EQ(rep->problem_counter(1), 1u);
+
+  // A newer token arrives on network 0; the old (1, 10) token is now stale.
+  t0.inject(make_token(2, 20), 1);
+
+  // Network 1 replays the stale token. With credit granted before
+  // classification this would erase the problem point.
+  t1.inject(make_token(1, 10), 1);
+  t1.inject(make_token(1, 10), 1);
+  EXPECT_EQ(rep->problem_counter(1), 1u)
+      << "stale retransmissions must not earn recovery credit";
+
+  // A copy of the CURRENT token does earn the credit.
+  t1.inject(make_token(2, 20), 1);
+  EXPECT_EQ(rep->problem_counter(1), 0u);
+}
+
 TEST_F(ActiveFixture, MalformedPacketsIgnored) {
   build(2);
   Bytes garbage(40, std::byte{0xEE});

@@ -82,6 +82,25 @@ TEST(ReceptionMonitor, ThreeNetworksReportIndividually) {
   EXPECT_EQ(r3[1], 2);
 }
 
+TEST(ReceptionMonitor, ReportedNetworksStopAging) {
+  // Aging forgives sporadic loss on live networks; a network already
+  // reported faulty must NOT creep back toward the leader, or lag() would
+  // under-report the evidence in later fault reports.
+  ReceptionMonitor m(2, 2);
+  auto reported = m.record(0);
+  for (int i = 0; i < 4 && reported.empty(); ++i) reported = m.record(0);
+  ASSERT_EQ(reported.size(), 1u) << "network 1 should be reported faulty";
+  const std::uint64_t evidence = m.lag(1);
+  ASSERT_GT(evidence, 0u);
+
+  for (int i = 0; i < 10; ++i) m.age();
+  EXPECT_EQ(m.lag(1), evidence) << "a reported network's count must not age";
+
+  // reset_network() remains the one road back: level with the leader again.
+  m.reset_network(1);
+  EXPECT_EQ(m.lag(1), 0u);
+}
+
 TEST(ReceptionMonitor, OutOfRangeNetworkIgnored) {
   ReceptionMonitor m(2, 5);
   EXPECT_TRUE(m.record(9).empty());

@@ -267,6 +267,40 @@ TEST_F(PassiveFixture, ResetNetworkClearsFaultAndMonitors) {
   EXPECT_FALSE(rep->network_faulty(1));
 }
 
+TEST_F(PassiveFixture, FlushedBufferedTokenReportsItsArrivalNetwork) {
+  // A buffered token must be delivered tagged with the network it actually
+  // arrived on — not a hardcoded network 0 — or traces and reception stats
+  // misattribute every late token to network 0.
+  build(2);
+  std::vector<NetworkId> token_nets;
+  rep->set_token_handler(
+      [&](BytesView, NetworkId n) { token_nets.push_back(n); });
+
+  srp_aru = 9;  // token seq 10 implies a message we do not have yet
+  t1.inject(make_token(1, 10), 1);
+  EXPECT_TRUE(token_nets.empty()) << "token must be buffered first";
+
+  srp_aru = 10;
+  t0.inject(make_message(10), 1);  // the message arrives on network 0
+  ASSERT_EQ(token_nets.size(), 1u);
+  EXPECT_EQ(token_nets[0], 1) << "flush must report the token's network";
+}
+
+TEST_F(PassiveFixture, TimedOutBufferedTokenReportsItsArrivalNetwork) {
+  PassiveConfig cfg;
+  cfg.token_buffer_timeout = Duration{10'000};
+  build(2, cfg);
+  std::vector<NetworkId> token_nets;
+  rep->set_token_handler(
+      [&](BytesView, NetworkId n) { token_nets.push_back(n); });
+
+  srp_aru = 9;
+  t1.inject(make_token(1, 10), 1);
+  sim.run_for(Duration{11'000});  // message never arrives; timer fires
+  ASSERT_EQ(token_nets.size(), 1u);
+  EXPECT_EQ(token_nets[0], 1) << "timer path must report the token's network";
+}
+
 TEST_F(PassiveFixture, BandwidthConsumptionEqualsUnreplicated) {
   // Paper §4: passive replication's bandwidth consumption equals that of an
   // unreplicated system — exactly one copy per message.

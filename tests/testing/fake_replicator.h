@@ -17,14 +17,19 @@ class FakeReplicator final : public rrp::Replicator {
     Bytes data;
   };
 
-  void broadcast_message(BytesView packet) override {
+  using rrp::Replicator::broadcast_message;
+  using rrp::Replicator::send_token;
+
+  void broadcast_message(PacketBuffer packet) override {
     ++stats_.messages_sent;
-    broadcasts.emplace_back(packet.begin(), packet.end());
+    const BytesView view = packet.view();
+    broadcasts.emplace_back(view.begin(), view.end());
   }
 
-  void send_token(NodeId next, BytesView packet) override {
+  void send_token(NodeId next, PacketBuffer packet) override {
     ++stats_.tokens_sent;
-    tokens.push_back(SentToken{next, Bytes(packet.begin(), packet.end())});
+    const BytesView view = packet.view();
+    tokens.push_back(SentToken{next, Bytes(view.begin(), view.end())});
   }
 
   void on_packet(net::ReceivedPacket&& packet) override {

@@ -17,14 +17,19 @@ class FakeTransport final : public net::Transport {
 
   FakeTransport(NetworkId network, NodeId local) : network_(network), local_(local) {}
 
-  void broadcast(BytesView packet) override {
-    sent.push_back(Sent{Bytes(packet.begin(), packet.end()), std::nullopt});
+  using net::Transport::broadcast;
+  using net::Transport::unicast;
+
+  void broadcast(PacketBuffer packet) override {
+    const BytesView view = packet.view();
+    sent.push_back(Sent{Bytes(view.begin(), view.end()), std::nullopt});
     ++stats_.packets_sent;
     stats_.bytes_sent += packet.size();
   }
 
-  void unicast(NodeId dest, BytesView packet) override {
-    sent.push_back(Sent{Bytes(packet.begin(), packet.end()), dest});
+  void unicast(NodeId dest, PacketBuffer packet) override {
+    const BytesView view = packet.view();
+    sent.push_back(Sent{Bytes(view.begin(), view.end()), dest});
     ++stats_.packets_sent;
     stats_.bytes_sent += packet.size();
   }
@@ -41,7 +46,7 @@ class FakeTransport final : public net::Transport {
     ++stats_.packets_received;
     stats_.bytes_received += packet.size();
     if (rx_) {
-      rx_(net::ReceivedPacket{Bytes(packet.begin(), packet.end()), source, network_});
+      rx_(net::ReceivedPacket{BufferPool::scratch().copy_of(packet), source, network_});
     }
   }
 
