@@ -1,0 +1,473 @@
+#include "harness/fault_campaign.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace totem::harness {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashNode: return "crash-node";
+    case FaultKind::kRestartNode: return "restart-node";
+    case FaultKind::kPauseNode: return "pause-node";
+    case FaultKind::kResumeNode: return "resume-node";
+    case FaultKind::kKillNetwork: return "kill-network";
+    case FaultKind::kRecoverNetwork: return "recover-network";
+    case FaultKind::kLossBurst: return "loss-burst";
+    case FaultKind::kEndLossBurst: return "end-loss-burst";
+    case FaultKind::kCorruptionBurst: return "corruption-burst";
+    case FaultKind::kEndCorruptionBurst: return "end-corruption-burst";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHealPartition: return "heal-partition";
+    case FaultKind::kDropTokens: return "drop-tokens";
+    case FaultKind::kKillNetworkAtState: return "kill-network-at-state";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultEvent& ev) {
+  std::ostringstream os;
+  os << "t=" << ev.at.time_since_epoch().count() << "us " << to_string(ev.kind);
+  switch (ev.kind) {
+    case FaultKind::kCrashNode:
+    case FaultKind::kRestartNode:
+    case FaultKind::kPauseNode:
+    case FaultKind::kResumeNode:
+      os << " node=" << ev.node;
+      break;
+    case FaultKind::kKillNetwork:
+    case FaultKind::kRecoverNetwork:
+    case FaultKind::kHealPartition:
+      os << " net=" << static_cast<int>(ev.network);
+      break;
+    case FaultKind::kLossBurst:
+    case FaultKind::kCorruptionBurst:
+      os << " net=" << static_cast<int>(ev.network) << " rate=" << ev.rate;
+      break;
+    case FaultKind::kEndLossBurst:
+    case FaultKind::kEndCorruptionBurst:
+      os << " net=" << static_cast<int>(ev.network);
+      break;
+    case FaultKind::kPartition: {
+      os << " net=" << static_cast<int>(ev.network) << " groups=";
+      for (std::size_t g = 0; g < ev.groups.size(); ++g) {
+        os << (g ? "|{" : "{");
+        for (std::size_t k = 0; k < ev.groups[g].size(); ++k) {
+          os << (k ? "," : "") << ev.groups[g][k];
+        }
+        os << "}";
+      }
+      break;
+    }
+    case FaultKind::kDropTokens:
+      os << " net=" << static_cast<int>(ev.network) << " count=" << ev.count;
+      break;
+    case FaultKind::kKillNetworkAtState:
+      os << " net=" << static_cast<int>(ev.network) << " node=" << ev.node
+         << " state=" << srp::to_string(ev.state);
+      break;
+  }
+  return os.str();
+}
+
+bool parse_style(const std::string& s, api::ReplicationStyle& out) {
+  if (s == "active") {
+    out = api::ReplicationStyle::kActive;
+  } else if (s == "passive") {
+    out = api::ReplicationStyle::kPassive;
+  } else if (s == "active-passive") {
+    out = api::ReplicationStyle::kActivePassive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<FaultEvent> generate_schedule(const CampaignOptions& o) {
+  // Decoupled from the cluster seed so the schedule and the sim's own
+  // randomness (jitter, loss) draw from independent streams.
+  Rng rng(o.seed * 0x9E3779B97F4A7C15uLL + 0xC4A7);
+  std::vector<FaultEvent> out;
+
+  const auto slot_start = [&](std::size_t slot) {
+    return TimePoint{} + o.settle +
+           o.event_spacing * static_cast<Duration::rep>(slot);
+  };
+  const auto jitter = [&] {
+    const auto quarter = static_cast<std::uint64_t>(o.event_spacing.count() / 4);
+    return Duration{static_cast<Duration::rep>(quarter ? rng.next_below(quarter) : 0)};
+  };
+
+  // Occupancy bookkeeping: a fault started at slot s with duration d "owns"
+  // slots [s, s+d). `*_until` stores the last owned slot (as signed so -1
+  // means free).
+  long crash_until = -1, pause_until = -1;
+  NodeId crash_victim = kInvalidNode, pause_victim = kInvalidNode;
+  std::vector<long> net_dead_until(o.networks, -1);
+  std::vector<long> net_lossy_until(o.networks, -1);
+  std::vector<long> net_part_until(o.networks, -1);
+  bool used_state_kill = false;
+
+  const auto dead_nets_at = [&](long slot) {
+    std::size_t n = 0;
+    for (long u : net_dead_until) {
+      if (u >= slot) ++n;
+    }
+    return n;
+  };
+  const auto pick_free_net = [&](const std::vector<long>& until, long slot) -> int {
+    std::vector<NetworkId> free;
+    for (std::size_t n = 0; n < until.size(); ++n) {
+      if (until[n] < slot) free.push_back(static_cast<NetworkId>(n));
+    }
+    if (free.empty()) return -1;
+    return free[rng.next_below(free.size())];
+  };
+
+  constexpr int kKindCount = 8;
+  for (std::size_t slot = 0; slot < o.events; ++slot) {
+    const long s = static_cast<long>(slot);
+    const long d = 1 + static_cast<long>(rng.next_below(2));  // 1-2 slots
+    const int first = static_cast<int>(rng.next_below(kKindCount));
+    for (int attempt = 0; attempt < kKindCount; ++attempt) {
+      const int kind = (first + attempt) % kKindCount;
+      FaultEvent begin;
+      begin.at = slot_start(slot) + jitter();
+      FaultEvent end;
+      end.at = slot_start(slot + static_cast<std::size_t>(d)) + jitter();
+      bool placed = false;
+      switch (kind) {
+        case 0: {  // crash + restart
+          if (crash_until >= s) break;
+          NodeId victim;
+          do {
+            victim = static_cast<NodeId>(rng.next_below(o.nodes));
+          } while (pause_until >= s && victim == pause_victim);
+          crash_until = s + d - 1;
+          crash_victim = victim;
+          begin.kind = FaultKind::kCrashNode;
+          begin.node = victim;
+          end.kind = FaultKind::kRestartNode;
+          end.node = victim;
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 1: {  // pause (mute) + resume
+          if (pause_until >= s) break;
+          NodeId victim;
+          do {
+            victim = static_cast<NodeId>(rng.next_below(o.nodes));
+          } while (crash_until >= s && victim == crash_victim);
+          pause_until = s + d - 1;
+          pause_victim = victim;
+          begin.kind = FaultKind::kPauseNode;
+          begin.node = victim;
+          end.kind = FaultKind::kResumeNode;
+          end.node = victim;
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 2: {  // kill + recover one network
+          if (dead_nets_at(s) + 1 > o.networks - 1) break;
+          const int net = pick_free_net(net_dead_until, s);
+          if (net < 0) break;
+          net_dead_until[net] = s + d - 1;
+          begin.kind = FaultKind::kKillNetwork;
+          begin.network = static_cast<NetworkId>(net);
+          end.kind = FaultKind::kRecoverNetwork;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 3: {  // loss burst
+          const int net = pick_free_net(net_lossy_until, s);
+          if (net < 0) break;
+          net_lossy_until[net] = s + d - 1;
+          begin.kind = FaultKind::kLossBurst;
+          begin.network = static_cast<NetworkId>(net);
+          begin.rate = 0.15 + 0.2 * rng.next_double();
+          end.kind = FaultKind::kEndLossBurst;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 4: {  // corruption burst (CRC turns it into loss)
+          const int net = pick_free_net(net_lossy_until, s);
+          if (net < 0) break;
+          net_lossy_until[net] = s + d - 1;
+          begin.kind = FaultKind::kCorruptionBurst;
+          begin.network = static_cast<NetworkId>(net);
+          begin.rate = 0.05 + 0.1 * rng.next_double();
+          end.kind = FaultKind::kEndCorruptionBurst;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 5: {  // partition one network into two groups
+          const int net = pick_free_net(net_part_until, s);
+          if (net < 0) break;
+          net_part_until[net] = s + d - 1;
+          // A non-degenerate bitmask splits the nodes into two groups.
+          const std::uint64_t mask =
+              1 + rng.next_below((1uLL << o.nodes) - 2);
+          std::vector<NodeId> a, b;
+          for (std::size_t i = 0; i < o.nodes; ++i) {
+            ((mask >> i) & 1 ? a : b).push_back(static_cast<NodeId>(i));
+          }
+          begin.kind = FaultKind::kPartition;
+          begin.network = static_cast<NetworkId>(net);
+          begin.groups = {a, b};
+          end.kind = FaultKind::kHealPartition;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 6: {  // deterministic token loss
+          begin.kind = FaultKind::kDropTokens;
+          begin.network = static_cast<NetworkId>(rng.next_below(o.networks));
+          begin.count = 2 + static_cast<std::uint32_t>(rng.next_below(4));
+          out.push_back(begin);
+          placed = true;
+          break;
+        }
+        case 7: {  // kill a network at a chosen protocol state
+          if (used_state_kill || dead_nets_at(s) + 1 > o.networks - 1) break;
+          const int net = pick_free_net(net_dead_until, s);
+          if (net < 0) break;
+          used_state_kill = true;
+          // No paired recover: the global heal revives it. Conservatively
+          // treat the network as dead until the end of the schedule.
+          net_dead_until[net] = static_cast<long>(o.events);
+          begin.kind = FaultKind::kKillNetworkAtState;
+          begin.network = static_cast<NetworkId>(net);
+          begin.node = static_cast<NodeId>(rng.next_below(o.nodes));
+          static constexpr srp::SingleRing::State kTriggers[] = {
+              srp::SingleRing::State::kGather, srp::SingleRing::State::kCommit,
+              srp::SingleRing::State::kRecovery};
+          begin.state = kTriggers[rng.next_below(3)];
+          out.push_back(begin);
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+std::string CampaignResult::describe() const {
+  std::ostringstream os;
+  os << "campaign seed=" << options.seed << " style=" << api::to_string(options.style)
+     << " nodes=" << options.nodes << " networks=" << options.networks
+     << " events=" << options.events << "\nschedule:\n";
+  for (const auto& ev : schedule) os << "  " << to_string(ev) << "\n";
+  os << "verdict: " << report.to_string();
+  if (!report.ok()) {
+    if (!observations.empty()) os << "observations:\n" << observations;
+    os << "replay: totem_chaos --seed=" << options.seed
+       << " --style=" << api::to_string(options.style)
+       << " --networks=" << options.networks << " --events=" << options.events << "\n";
+  }
+  return os.str();
+}
+
+CampaignResult run_campaign(CampaignOptions o) {
+  if (o.style == api::ReplicationStyle::kActivePassive && o.networks < 3) {
+    o.networks = 3;  // the style's hard precondition (paper §7)
+  }
+  CampaignResult result;
+  result.options = o;
+  result.schedule = generate_schedule(o);
+
+  ClusterConfig cfg;
+  cfg.node_count = o.nodes;
+  cfg.network_count = o.networks;
+  cfg.style = o.style;
+  cfg.seed = o.seed;
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.join_interval = Duration{10'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  cfg.srp.commit_timeout = Duration{100'000};
+  cfg.srp.announce_interval = Duration{200'000};  // fast post-heal merges
+  cfg.srp.merge_backoff = Duration{1'000'000};
+  SimCluster cluster(cfg);
+  auto& sim = cluster.simulator();
+
+  const TimePoint heal_time =
+      TimePoint{} + o.settle +
+      o.event_spacing * static_cast<Duration::rep>(o.events + 2);
+
+  InvariantContext ctx;
+  ctx.heal_time = heal_time;
+  ctx.reformation_budget = o.reformation_budget;
+  ctx.fault_report_grace = o.fault_report_grace;
+
+  // Injury windows for V5, derived from the schedule (the state-triggered
+  // kill appends its window at fire time).
+  const auto& sched = result.schedule;
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    const auto& ev = sched[i];
+    const auto close = [&](FaultKind end_kind) {
+      for (std::size_t j = i + 1; j < sched.size(); ++j) {
+        if (sched[j].kind == end_kind && sched[j].network == ev.network) {
+          return sched[j].at;
+        }
+      }
+      return heal_time;
+    };
+    switch (ev.kind) {
+      case FaultKind::kKillNetwork:
+        ctx.injured.push_back({ev.network, ev.at, close(FaultKind::kRecoverNetwork)});
+        break;
+      case FaultKind::kLossBurst:
+        ctx.injured.push_back({ev.network, ev.at, close(FaultKind::kEndLossBurst)});
+        break;
+      case FaultKind::kCorruptionBurst:
+        ctx.injured.push_back(
+            {ev.network, ev.at, close(FaultKind::kEndCorruptionBurst)});
+        break;
+      case FaultKind::kPartition:
+        ctx.injured.push_back({ev.network, ev.at, close(FaultKind::kHealPartition)});
+        break;
+      case FaultKind::kDropTokens:
+        ctx.injured.push_back({ev.network, ev.at, ev.at});
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& ev : sched) {
+    sim.schedule_at(ev.at, [&, ev] {
+      switch (ev.kind) {
+        case FaultKind::kCrashNode:
+          cluster.crash(ev.node);
+          break;
+        case FaultKind::kRestartNode:
+          cluster.reconnect(ev.node);
+          break;
+        case FaultKind::kPauseNode:  // mute: TX fault everywhere, RX intact
+          for (std::size_t n = 0; n < cluster.network_count(); ++n) {
+            cluster.network(n).set_send_fault(ev.node, true);
+          }
+          break;
+        case FaultKind::kResumeNode:
+          for (std::size_t n = 0; n < cluster.network_count(); ++n) {
+            cluster.network(n).set_send_fault(ev.node, false);
+          }
+          break;
+        case FaultKind::kKillNetwork:
+          cluster.network(ev.network).fail();
+          break;
+        case FaultKind::kRecoverNetwork:
+          cluster.network(ev.network).recover();
+          // The administrator repairs promptly (paper §3: fault reports are
+          // an alarm for a human; the campaign plays that human).
+          for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+            cluster.node(i).replicator().reset_network(ev.network);
+          }
+          break;
+        case FaultKind::kLossBurst:
+          cluster.network(ev.network).set_loss_rate(ev.rate);
+          break;
+        case FaultKind::kEndLossBurst:
+          cluster.network(ev.network).set_loss_rate(0.0);
+          break;
+        case FaultKind::kCorruptionBurst:
+          cluster.network(ev.network).set_corruption_rate(ev.rate);
+          break;
+        case FaultKind::kEndCorruptionBurst:
+          cluster.network(ev.network).set_corruption_rate(0.0);
+          break;
+        case FaultKind::kPartition:
+          cluster.network(ev.network).set_partition(ev.groups);
+          break;
+        case FaultKind::kHealPartition:
+          cluster.network(ev.network).clear_partition();
+          break;
+        case FaultKind::kDropTokens:
+          cluster.network(ev.network).drop_next_unicasts(ev.count);
+          break;
+        case FaultKind::kKillNetworkAtState:
+          cluster.set_app_state_observer(
+              ev.node, [&, ev](srp::SingleRing::State s, const RingId&) {
+                if (s != ev.state || sim.now() >= heal_time) return;
+                if (cluster.network(ev.network).failed()) return;  // one-shot
+                cluster.network(ev.network).fail();
+                ctx.injured.push_back({ev.network, sim.now(), heal_time});
+              });
+          break;
+      }
+    });
+  }
+
+  // Global heal: every fault is undone, pending sabotage cleared, the
+  // replicators' faulty marks reset. V6 starts its clock here.
+  sim.schedule_at(heal_time, [&] {
+    for (std::size_t n = 0; n < cluster.network_count(); ++n) {
+      auto& net = cluster.network(n);
+      net.recover();
+      net.clear_partition();
+      net.set_loss_rate(0.0);
+      net.set_corruption_rate(0.0);
+      net.clear_pending_unicast_drops();
+    }
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      cluster.reconnect(static_cast<NodeId>(i));
+      cluster.set_app_state_observer(static_cast<NodeId>(i), nullptr);
+      for (std::size_t n = 0; n < cluster.network_count(); ++n) {
+        cluster.node(i).replicator().reset_network(static_cast<NetworkId>(n));
+      }
+    }
+  });
+
+  cluster.start_all();
+
+  // Uniquely-tagged background traffic from every node until the heal.
+  Rng traffic_rng(o.seed * 31 + 5);
+  std::uint64_t counter = 0;
+  std::function<void(std::size_t)> trickle = [&](std::size_t n) {
+    if (sim.now() >= heal_time) return;
+    (void)cluster.node(n).send(
+        to_bytes("c" + std::to_string(o.seed) + "-" + std::to_string(counter++)));
+    sim.schedule(Duration{4'000 + traffic_rng.next_below(4'000)},
+                 [&trickle, n] { trickle(n); });
+  };
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) trickle(n);
+
+  sim.run_until(heal_time + o.convergence);
+
+  // Post-heal probes: exactly-once delivery everywhere (V7).
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    const std::string probe = "p" + std::to_string(o.seed) + "-" + std::to_string(n);
+    ctx.probes.push_back(probe);
+    (void)cluster.node(n).send(to_bytes(probe));
+  }
+  sim.run_for(o.drain);
+
+  result.report = check_invariants(cluster, ctx);
+  if (!result.report.ok()) result.observations = dump_observations(cluster);
+  return result;
+}
+
+}  // namespace totem::harness

@@ -1,0 +1,110 @@
+// Deterministic fault-injection campaigns.
+//
+// A campaign is: one SimCluster + a SCHEDULE of typed fault events applied
+// at fixed sim times + background traffic + a global heal + the ring-wide
+// invariant checker (invariant_checker.h) over everything the nodes
+// observed. Schedules are generated from a seed, so a failing campaign is
+// replayed byte-for-byte from its seed alone:
+//
+//   totem_chaos --seed=S [--style=active|passive|active-passive]
+//               [--networks=N] [--events=E]
+//
+// The fault vocabulary (DESIGN.md §10):
+//   * crash/restart      — node loses TX+RX on every network, later rejoins
+//   * pause/resume       — node goes MUTE (TX fault everywhere, still hears)
+//   * kill/recover       — one network fails totally
+//   * loss burst         — one network drops a fraction of its packets
+//   * corruption burst   — one network flips bytes (CRC turns it into loss)
+//   * partition/heal     — one network splits into two groups
+//   * token drop         — one network eats the next few unicasts (tokens)
+//   * kill-at-state      — one network dies the moment a chosen node enters
+//                          a chosen protocol state (Gather/Commit/Recovery)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/node.h"
+#include "common/types.h"
+#include "harness/invariant_checker.h"
+#include "srp/single_ring.h"
+
+namespace totem::harness {
+
+enum class FaultKind : std::uint8_t {
+  kCrashNode,
+  kRestartNode,
+  kPauseNode,
+  kResumeNode,
+  kKillNetwork,
+  kRecoverNetwork,
+  kLossBurst,
+  kEndLossBurst,
+  kCorruptionBurst,
+  kEndCorruptionBurst,
+  kPartition,
+  kHealPartition,
+  kDropTokens,
+  kKillNetworkAtState,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  TimePoint at{};
+  FaultKind kind = FaultKind::kCrashNode;
+  NodeId node = kInvalidNode;     // crash/pause/kill-at-state target
+  NetworkId network = 0;          // network kinds
+  double rate = 0.0;              // loss / corruption bursts
+  std::uint32_t count = 0;        // token drops
+  srp::SingleRing::State state = srp::SingleRing::State::kGather;  // trigger
+  std::vector<std::vector<NodeId>> groups;  // partition
+};
+
+[[nodiscard]] std::string to_string(const FaultEvent& ev);
+
+struct CampaignOptions {
+  api::ReplicationStyle style = api::ReplicationStyle::kActive;
+  std::size_t nodes = 4;
+  /// Active-passive requires >= 3 networks; run_campaign raises this.
+  std::size_t networks = 2;
+  std::uint64_t seed = 1;
+  /// Number of injected faults (begin/end pairs count once).
+  std::size_t events = 6;
+
+  Duration settle{300'000};          // fault-free warmup
+  Duration event_spacing{300'000};   // schedule slot width
+  Duration convergence{4'000'000};   // heal -> probe
+  Duration drain{1'000'000};         // probe -> verdict
+  Duration reformation_budget{6'000'000};
+  Duration fault_report_grace{2'000'000};
+};
+
+/// Deterministically expand (seed, options) into a sorted fault schedule.
+/// Liveliness constraints keep the run recoverable: at most one crashed and
+/// one paused node at a time (distinct victims), at most networks-1 dead
+/// networks, every fault healed before the campaign's global heal.
+[[nodiscard]] std::vector<FaultEvent> generate_schedule(const CampaignOptions& options);
+
+struct CampaignResult {
+  CampaignOptions options;
+  std::vector<FaultEvent> schedule;
+  InvariantReport report;
+  /// dump_observations() snapshot, captured only when a check failed.
+  std::string observations;
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  /// Everything a human needs to act on a failure: options, the full event
+  /// schedule, every violation, and the exact replay command.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Build the cluster, run the schedule, heal, converge, probe, and check
+/// every invariant. Same options => byte-for-byte identical run.
+[[nodiscard]] CampaignResult run_campaign(CampaignOptions options);
+
+/// "active" / "passive" / "active-passive" -> style (for --style=...).
+[[nodiscard]] bool parse_style(const std::string& s, api::ReplicationStyle& out);
+
+}  // namespace totem::harness

@@ -1,0 +1,335 @@
+#include "harness/invariant_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace totem::harness {
+namespace {
+
+std::string time_str(TimePoint t) {
+  return std::to_string(t.time_since_epoch().count()) + "us";
+}
+
+/// Payloads embedded in violation messages must survive printf-style
+/// printing even when a bug leaks binary data to the application: escape
+/// non-printables and cap the length.
+std::string printable(const std::string& payload) {
+  constexpr std::size_t kMax = 48;
+  std::string out;
+  for (std::size_t i = 0; i < payload.size() && i < kMax; ++i) {
+    const unsigned char c = static_cast<unsigned char>(payload[i]);
+    if (c >= 0x20 && c < 0x7F) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      constexpr char kHex[] = "0123456789abcdef";
+      out += {'\\', 'x', kHex[c >> 4], kHex[c & 0xF]};
+    }
+  }
+  if (payload.size() > kMax) {
+    out += "...(" + std::to_string(payload.size()) + " bytes)";
+  }
+  return out;
+}
+
+/// V1 (cross-ring half): the common elements of two full payload streams
+/// appear in the same relative order.
+void check_stream_order(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b, NodeId ia, NodeId ib,
+                        std::vector<std::string>& out) {
+  const std::set<std::string> in_a(a.begin(), a.end());
+  const std::set<std::string> in_b(b.begin(), b.end());
+  std::vector<const std::string*> common_a, common_b;
+  for (const auto& m : a) {
+    if (in_b.count(m)) common_a.push_back(&m);
+  }
+  for (const auto& m : b) {
+    if (in_a.count(m)) common_b.push_back(&m);
+  }
+  if (common_a.size() != common_b.size()) {
+    // Only possible when one side delivered a common payload twice; V2
+    // reports the duplicate itself, but flag the order check too.
+    out.push_back("V1: nodes " + std::to_string(ia) + "/" + std::to_string(ib) +
+                  " disagree on common-message count (" +
+                  std::to_string(common_a.size()) + " vs " +
+                  std::to_string(common_b.size()) + ")");
+    return;
+  }
+  for (std::size_t k = 0; k < common_a.size(); ++k) {
+    if (*common_a[k] != *common_b[k]) {
+      out.push_back("V1: order divergence between nodes " + std::to_string(ia) +
+                    " and " + std::to_string(ib) + " at common position " +
+                    std::to_string(k) + ": \"" + printable(*common_a[k]) +
+                    "\" vs \"" + printable(*common_b[k]) + "\"");
+      return;  // one divergence per pair is enough noise
+    }
+  }
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  if (violations.empty()) return "all invariants hold";
+  std::ostringstream os;
+  os << violations.size() << " invariant violation(s):\n";
+  for (const auto& v : violations) os << "  - " << v << "\n";
+  return os.str();
+}
+
+std::string dump_observations(SimCluster& cluster) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const auto& ring = cluster.node(i).ring();
+    os << "node " << i << ": state=" << srp::to_string(ring.state())
+       << " ring=" << totem::to_string(ring.ring()) << " aru=" << ring.my_aru()
+       << " safe=" << ring.safe_up_to() << "\n";
+    std::map<RingId, std::tuple<SeqNum, SeqNum, std::size_t, std::size_t>> per_ring;
+    for (const auto& d : cluster.deliveries(id)) {
+      auto it = per_ring.find(d.ring);
+      if (it == per_ring.end()) {
+        per_ring.emplace(d.ring, std::tuple{d.seq, d.seq, std::size_t{1},
+                                            static_cast<std::size_t>(d.recovered)});
+      } else {
+        auto& [lo, hi, n, rec] = it->second;
+        lo = std::min(lo, d.seq);
+        hi = std::max(hi, d.seq);
+        ++n;
+        rec += d.recovered ? 1 : 0;
+      }
+    }
+    for (const auto& [rid, t] : per_ring) {
+      const auto& [lo, hi, n, rec] = t;
+      os << "  delivered ring " << totem::to_string(rid) << ": seq " << lo << ".." << hi
+         << " (" << n << " msgs, " << rec << " recovered)\n";
+    }
+    std::map<RingId, SeqNum> safe_max;
+    for (const auto& s : cluster.safe_advances(id)) {
+      auto& m = safe_max[s.ring];
+      m = std::max(m, s.safe_seq);
+    }
+    for (const auto& [rid, s] : safe_max) {
+      os << "  safe ring " << totem::to_string(rid) << ": up to " << s << "\n";
+    }
+    for (const auto& v : cluster.views(id)) {
+      os << "  view " << totem::to_string(v.view.ring) << " at "
+         << v.when.time_since_epoch().count() << "us members={";
+      for (std::size_t k = 0; k < v.view.members.size(); ++k) {
+        os << (k ? "," : "") << v.view.members[k];
+      }
+      os << "}\n";
+    }
+  }
+  return os.str();
+}
+
+InvariantReport check_invariants(SimCluster& cluster, const InvariantContext& ctx) {
+  InvariantReport report;
+  auto& out = report.violations;
+  const std::size_t nodes = cluster.node_count();
+
+  // ---- V1: per-ring content + order agreement ----
+  // Canonical content per (ring, seq), built from every node's stream.
+  std::map<std::pair<RingId, SeqNum>, std::pair<NodeId, std::string>> canon;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    std::map<RingId, SeqNum> last_seq;  // per-ring monotonicity
+    for (const auto& d : cluster.deliveries(id)) {
+      const std::string payload = totem::to_string(d.payload);
+      if (auto it = last_seq.find(d.ring); it != last_seq.end() && d.seq <= it->second) {
+        out.push_back("V1: node " + std::to_string(id) + " delivered ring " +
+                      totem::to_string(d.ring) + " seq " + std::to_string(d.seq) +
+                      " after seq " + std::to_string(it->second));
+      }
+      last_seq[d.ring] = d.seq;
+      const std::string tag =
+          std::to_string(d.origin) + "|" + payload;  // origin+payload identity
+      auto [it, inserted] = canon.try_emplace({d.ring, d.seq}, id, tag);
+      if (!inserted && it->second.second != tag) {
+        out.push_back("V1: ring " + totem::to_string(d.ring) + " seq " +
+                      std::to_string(d.seq) + " is \"" + printable(it->second.second) +
+                      "\" at node " + std::to_string(it->second.first) +
+                      " but \"" + printable(tag) + "\" at node " + std::to_string(id));
+      }
+    }
+  }
+  std::vector<std::vector<std::string>> streams(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (const auto& d : cluster.deliveries(static_cast<NodeId>(i))) {
+      streams[i].push_back(totem::to_string(d.payload));
+    }
+  }
+  for (std::size_t a = 0; a < nodes; ++a) {
+    for (std::size_t b = a + 1; b < nodes; ++b) {
+      check_stream_order(streams[a], streams[b], static_cast<NodeId>(a),
+                         static_cast<NodeId>(b), out);
+    }
+  }
+
+  // ---- V2: no duplicate delivery at any node ----
+  for (std::size_t i = 0; i < nodes; ++i) {
+    std::set<std::string> seen;
+    for (const auto& p : streams[i]) {
+      if (!seen.insert(p).second) {
+        out.push_back("V2: node " + std::to_string(i) + " delivered \"" +
+                      printable(p) + "\" more than once");
+      }
+    }
+  }
+
+  // ---- V4 first (V3 needs the canonical member sets) ----
+  std::map<RingId, std::pair<NodeId, std::vector<NodeId>>> ring_members;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    std::uint64_t last_ring_seq = 0;
+    bool first = true;
+    for (const auto& rv : cluster.views(id)) {
+      const auto& v = rv.view;
+      if (!first && v.ring.ring_seq <= last_ring_seq) {
+        out.push_back("V4: node " + std::to_string(id) + " installed ring " +
+                      totem::to_string(v.ring) + " after ring seq " +
+                      std::to_string(last_ring_seq));
+      }
+      first = false;
+      last_ring_seq = v.ring.ring_seq;
+      if (std::find(v.members.begin(), v.members.end(), id) == v.members.end()) {
+        out.push_back("V4: node " + std::to_string(id) +
+                      " reported a view of ring " + totem::to_string(v.ring) +
+                      " it is not a member of");
+      }
+      auto [it, inserted] = ring_members.try_emplace(v.ring, id, v.members);
+      if (!inserted && it->second.second != v.members) {
+        out.push_back("V4: ring " + totem::to_string(v.ring) +
+                      " has different member sets at nodes " +
+                      std::to_string(it->second.first) + " and " +
+                      std::to_string(id));
+      }
+    }
+  }
+
+  // ---- V3: safe watermark monotonic + coverage ----
+  // Union of delivered seqs per ring, and per (node, ring) delivered seqs.
+  std::map<RingId, std::set<SeqNum>> ring_seqs;
+  std::vector<std::map<RingId, std::set<SeqNum>>> node_ring_seqs(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (const auto& d : cluster.deliveries(static_cast<NodeId>(i))) {
+      ring_seqs[d.ring].insert(d.seq);
+      node_ring_seqs[i][d.ring].insert(d.seq);
+    }
+  }
+  std::map<RingId, SeqNum> max_safe;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    std::map<RingId, SeqNum> last;
+    for (const auto& s : cluster.safe_advances(id)) {
+      if (auto it = last.find(s.ring); it != last.end() && s.safe_seq < it->second) {
+        out.push_back("V3: node " + std::to_string(id) +
+                      " safe watermark regressed on ring " +
+                      totem::to_string(s.ring) + ": " + std::to_string(it->second) +
+                      " -> " + std::to_string(s.safe_seq));
+      }
+      last[s.ring] = s.safe_seq;
+      auto& m = max_safe[s.ring];
+      m = std::max(m, s.safe_seq);
+    }
+    // The announcing node cannot claim a line above what it has delivered
+    // itself plus what it currently holds: safe_up_to <= my_aru always.
+    const auto& ring = cluster.node(i).ring();
+    if (ring.safe_up_to() > ring.my_aru()) {
+      out.push_back("V3: node " + std::to_string(id) + " ended with safe_up_to " +
+                    std::to_string(ring.safe_up_to()) + " above its aru " +
+                    std::to_string(ring.my_aru()));
+    }
+  }
+  // Coverage: safe(R, s) means every member of R received 1..s, and agreed
+  // delivery hands contiguously received messages straight up — so every
+  // member must have delivered every ring-R seq <= s that ANY node
+  // delivered. (The union sidesteps seqs occupied by recovery rebroadcasts
+  // and fragment continuations, which never surface as ring-R deliveries.)
+  for (const auto& [ring, s] : max_safe) {
+    auto mem = ring_members.find(ring);
+    if (mem == ring_members.end()) continue;  // watermark on a never-viewed ring
+    const auto& union_seqs = ring_seqs[ring];
+    for (NodeId m : mem->second.second) {
+      if (m >= nodes) continue;
+      const auto& mine = node_ring_seqs[m][ring];
+      for (SeqNum q : union_seqs) {
+        if (q > s) break;
+        if (!mine.count(q)) {
+          out.push_back("V3: ring " + totem::to_string(ring) + " safe line " +
+                        std::to_string(s) + " but member " + std::to_string(m) +
+                        " never delivered seq " + std::to_string(q));
+        }
+      }
+    }
+  }
+
+  // ---- V5: fault-report soundness ----
+  for (const auto& f : cluster.faults()) {
+    if (f.report.reason == rrp::NetworkFaultReport::Reason::kAdministrative) continue;
+    bool justified = false;
+    for (const auto& w : ctx.injured) {
+      if (w.network == f.report.network && f.report.when >= w.from &&
+          f.report.when <= w.until + ctx.fault_report_grace) {
+        justified = true;
+        break;
+      }
+    }
+    if (!justified) {
+      out.push_back("V5: node " + std::to_string(f.at) + " blamed network " +
+                    std::to_string(f.report.network) + " (" +
+                    rrp::to_string(f.report.reason) + ") at " +
+                    time_str(f.report.when) +
+                    " outside every injected-fault window");
+    }
+  }
+
+  // ---- V6: bounded re-formation after heal ----
+  std::vector<NodeId> everyone;
+  for (std::size_t i = 0; i < nodes; ++i) everyone.push_back(static_cast<NodeId>(i));
+  std::optional<RingId> final_ring;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto& ring = cluster.node(i).ring();
+    if (ring.state() != srp::SingleRing::State::kOperational) {
+      out.push_back("V6: node " + std::to_string(i) + " ended in state " +
+                    srp::to_string(ring.state()) + ", not operational");
+      continue;
+    }
+    if (ring.members() != everyone) {
+      out.push_back("V6: node " + std::to_string(i) +
+                    " ended on a ring of only " +
+                    std::to_string(ring.members().size()) + " member(s)");
+      continue;
+    }
+    if (!final_ring) final_ring = ring.ring();
+    if (*final_ring != ring.ring()) {
+      out.push_back("V6: nodes ended on different rings (" +
+                    totem::to_string(*final_ring) + " vs " +
+                    totem::to_string(ring.ring()) + ")");
+    }
+    const auto& vs = cluster.views(static_cast<NodeId>(i));
+    if (!vs.empty() && vs.back().when > ctx.heal_time + ctx.reformation_budget) {
+      out.push_back("V6: node " + std::to_string(i) + " installed its final ring at " +
+                    time_str(vs.back().when) + ", past the re-formation budget (heal " +
+                    time_str(ctx.heal_time) + " + " +
+                    std::to_string(ctx.reformation_budget.count()) + "us)");
+    }
+  }
+
+  // ---- V7: probes delivered exactly once everywhere ----
+  for (const auto& probe : ctx.probes) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const auto n = std::count(streams[i].begin(), streams[i].end(), probe);
+      if (n != 1) {
+        out.push_back("V7: probe \"" + probe + "\" delivered " + std::to_string(n) +
+                      " time(s) at node " + std::to_string(i));
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace totem::harness

@@ -1,0 +1,79 @@
+// Ring-wide invariant checker: cross-validates every node's recorded
+// observations after a fault-injection campaign (see fault_campaign.h).
+//
+// The checks encode what the Totem SRP + RRP stack guarantees REGARDLESS of
+// the fault schedule (DESIGN.md §10):
+//
+//   V1 Agreed total order — within one ring, every node delivers that
+//      ring's messages in strictly increasing seq order, and any two nodes
+//      that deliver the same (ring, seq) deliver the identical message.
+//      Across rings, the common elements of two nodes' full payload
+//      streams appear in the same relative order.
+//   V2 No duplicate delivery — no payload reaches the application twice at
+//      any node (campaign payloads are globally unique).
+//   V3 Safe-line soundness — each node's safe watermark is monotonic per
+//      ring, and a watermark s announced on ring R means every member of R
+//      delivered every ring-R message with seq <= s that anyone delivered.
+//   V4 Membership-view consistency — two nodes installing the same ring id
+//      agree on its member set; a node only reports views it belongs to;
+//      each node's installed ring seqs strictly increase.
+//   V5 Fault-report soundness — a non-administrative network fault report
+//      must fall inside (or within a grace period after) a window in which
+//      that network was actually injected-faulty. Node crashes are not
+//      network injuries and must not trigger blame.
+//   V6 Bounded re-formation — after the schedule fully heals, every node
+//      ends Operational on one common full-membership ring, installed
+//      within `reformation_budget` of the heal.
+//   V7 Probe delivery — post-heal probe messages arrive exactly once at
+//      every node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+
+/// A window during which a specific network was deliberately degraded
+/// (killed, lossy, partitioned, or dropping tokens).
+struct InjuryWindow {
+  NetworkId network = 0;
+  TimePoint from{};
+  TimePoint until{};
+};
+
+struct InvariantContext {
+  std::vector<InjuryWindow> injured;
+  /// When the campaign removed the last fault (networks recovered,
+  /// partitions cleared, loss zeroed, nodes reconnected).
+  TimePoint heal_time{};
+  /// V6: the survivors must re-form one full ring within this much sim
+  /// time of heal_time.
+  Duration reformation_budget{6'000'000};
+  /// V5: evidence gathered during an injury may surface as a report this
+  /// long after the window closes (problem counters drain slowly).
+  Duration fault_report_grace{2'000'000};
+  /// V7: payloads sent after convergence; must be delivered exactly once
+  /// at every node.
+  std::vector<std::string> probes;
+};
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run every check against the cluster's recordings. The cluster must have
+/// been built with record_payloads on.
+[[nodiscard]] InvariantReport check_invariants(SimCluster& cluster,
+                                               const InvariantContext& ctx);
+
+/// Human-readable summary of everything the nodes observed (per-ring
+/// delivery ranges, safe watermarks, views, final states). Printed by the
+/// totem_chaos replay mode under a failing seed.
+[[nodiscard]] std::string dump_observations(SimCluster& cluster);
+
+}  // namespace totem::harness

@@ -5,8 +5,11 @@ namespace totem::harness {
 SimCluster::SimCluster(ClusterConfig config)
     : config_(std::move(config)), sim_(config_.seed) {
   app_deliver_.resize(config_.node_count);
+  app_state_.resize(config_.node_count);
   deliveries_.resize(config_.node_count);
   views_.resize(config_.node_count);
+  safe_advances_.resize(config_.node_count);
+  states_.resize(config_.node_count);
   delivered_count_.assign(config_.node_count, 0);
   delivered_bytes_.assign(config_.node_count, 0);
 
@@ -50,6 +53,7 @@ SimCluster::SimCluster(ClusterConfig config)
       d.seq = m.seq;
       d.payload_size = m.payload.size();
       d.recovered = m.recovered;
+      d.ring = m.ring;
       d.when = sim_.now();
       if (config_.record_payloads) {
         d.payload.assign(m.payload.begin(), m.payload.end());
@@ -63,6 +67,15 @@ SimCluster::SimCluster(ClusterConfig config)
     nodes_[i]->set_fault_handler([this, id](const rrp::NetworkFaultReport& r) {
       faults_.push_back(RecordedFault{r, id});
     });
+    nodes_[i]->ring().set_safe_watermark_handler([this, id](SeqNum safe_seq) {
+      safe_advances_[id].push_back(
+          RecordedSafe{nodes_[id]->ring().ring(), safe_seq, sim_.now()});
+    });
+    nodes_[i]->ring().set_state_observer(
+        [this, id](srp::SingleRing::State s, const RingId& ring) {
+          states_[id].push_back(RecordedState{s, ring, sim_.now()});
+          if (app_state_[id]) app_state_[id](s, ring);
+        });
   }
 }
 
@@ -95,6 +108,8 @@ std::uint64_t SimCluster::total_delivered() const {
 void SimCluster::clear_recordings() {
   for (auto& d : deliveries_) d.clear();
   for (auto& v : views_) v.clear();
+  for (auto& s : safe_advances_) s.clear();
+  for (auto& s : states_) s.clear();
   faults_.clear();
   delivered_count_.assign(delivered_count_.size(), 0);
   delivered_bytes_.assign(delivered_bytes_.size(), 0);

@@ -45,6 +45,7 @@ struct RecordedDelivery {
   Bytes payload;  // empty when record_payloads is off
   std::size_t payload_size = 0;
   bool recovered = false;
+  RingId ring;  // ring whose seq space assigned `seq`
   TimePoint when{};
 };
 
@@ -56,6 +57,21 @@ struct RecordedView {
 struct RecordedFault {
   rrp::NetworkFaultReport report;
   NodeId at = kInvalidNode;
+};
+
+/// One safe-delivery watermark advance, tagged with the ring it was
+/// announced on (the watermark restarts per ring).
+struct RecordedSafe {
+  RingId ring;
+  SeqNum safe_seq = 0;
+  TimePoint when{};
+};
+
+/// One protocol-state transition (Operational/Gather/Commit/Recovery).
+struct RecordedState {
+  srp::SingleRing::State state = srp::SingleRing::State::kOperational;
+  RingId ring;
+  TimePoint when{};
 };
 
 class SimCluster {
@@ -96,6 +112,12 @@ class SimCluster {
     return views_[at];
   }
   [[nodiscard]] const std::vector<RecordedFault>& faults() const { return faults_; }
+  [[nodiscard]] const std::vector<RecordedSafe>& safe_advances(NodeId at) const {
+    return safe_advances_[at];
+  }
+  [[nodiscard]] const std::vector<RecordedState>& states(NodeId at) const {
+    return states_[at];
+  }
   [[nodiscard]] std::uint64_t delivered_count(NodeId at) const {
     return delivered_count_[at];
   }
@@ -113,6 +135,13 @@ class SimCluster {
     app_deliver_[at] = std::move(h);
   }
 
+  /// Attach a protocol-state observer WITHOUT disabling the cluster's own
+  /// recording (the recording observer chains into this). Used by the fault
+  /// campaign engine to trigger faults at a chosen protocol state.
+  void set_app_state_observer(NodeId at, srp::SingleRing::StateObserver h) {
+    app_state_[at] = std::move(h);
+  }
+
  private:
   ClusterConfig config_;
   sim::Simulator sim_;
@@ -121,8 +150,11 @@ class SimCluster {
   std::vector<std::unique_ptr<api::Node>> nodes_;
 
   std::vector<srp::SingleRing::DeliverHandler> app_deliver_;
+  std::vector<srp::SingleRing::StateObserver> app_state_;
   std::vector<std::vector<RecordedDelivery>> deliveries_;
   std::vector<std::vector<RecordedView>> views_;
+  std::vector<std::vector<RecordedSafe>> safe_advances_;
+  std::vector<std::vector<RecordedState>> states_;
   std::vector<RecordedFault> faults_;
   std::vector<std::uint64_t> delivered_count_;
   std::vector<std::uint64_t> delivered_bytes_;

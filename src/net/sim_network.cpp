@@ -109,6 +109,14 @@ void SimNetwork::submit(SimTransport& from, PacketBuffer packet, std::optional<N
     record_capture(src, dest, packet.size(), CapturedPacket::Verdict::kDroppedFailed);
     return;
   }
+  if (dest && drop_unicasts_ > 0) {
+    // Injected token loss: the frame never reaches the wire (a switch ate
+    // it), so it costs no transmission time and no receiver CPU.
+    --drop_unicasts_;
+    ++stats_.dropped_injected;
+    record_capture(src, dest, packet.size(), CapturedPacket::Verdict::kDroppedFailed);
+    return;
+  }
 
   // One transmission serves all receivers (true Ethernet broadcast): the
   // wire serializes whole frames at line rate.

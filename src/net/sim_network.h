@@ -96,6 +96,7 @@ class SimNetwork {
     std::uint64_t dropped_loss = 0;        // random / link loss
     std::uint64_t dropped_fault = 0;       // send/recv fault, failure, partition
     std::uint64_t dropped_overflow = 0;    // rx socket buffer overflow
+    std::uint64_t dropped_injected = 0;    // drop_next_unicasts sabotage
     std::uint64_t corrupted = 0;           // delivered with a flipped byte
     std::uint64_t wire_bytes = 0;          // incl. frame overhead
     Duration wire_busy{0};
@@ -150,6 +151,13 @@ class SimNetwork {
   /// Partition the network: only nodes in the same group communicate.
   void set_partition(std::vector<std::vector<NodeId>> groups);
   void clear_partition() { group_of_.clear(); }
+  /// Swallow the next `n` unicast submissions on this network, whoever
+  /// sends them. Tokens (and commit tokens) are the ring's only unicast
+  /// traffic, so this injects deterministic token loss on one network
+  /// without inspecting protocol headers.
+  void drop_next_unicasts(std::uint32_t n) { drop_unicasts_ += n; }
+  void clear_pending_unicast_drops() { drop_unicasts_ = 0; }
+  [[nodiscard]] std::uint32_t pending_unicast_drops() const { return drop_unicasts_; }
 
   [[nodiscard]] NetworkId id() const { return id_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -185,6 +193,7 @@ class SimNetwork {
   Stats stats_;
   BufferPool corruption_pool_;  // per-receiver mangled copies only
   double corruption_rate_ = 0.0;
+  std::uint32_t drop_unicasts_ = 0;
   bool failed_ = false;
   TimePoint wire_busy_until_{};
   std::vector<std::unique_ptr<SimTransport>> endpoints_;

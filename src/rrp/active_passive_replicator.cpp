@@ -88,6 +88,28 @@ void ActivePassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
 void ActivePassiveReplicator::handle_token(const net::ReceivedPacket& packet,
                                            const TokenInstance& instance) {
   const NetworkId net = packet.network;
+  if (last_token_ && instance.ring != last_token_->ring) {
+    if (instance.ring.ring_seq <= last_token_->ring.ring_seq) {
+      // A straggler from a ring this node moved past (e.g. a retention
+      // resend of the dead ring's token). It must neither restart the
+      // collection nor go up to the SRP.
+      ++stats_.duplicate_tokens_absorbed;
+      return;
+    }
+    // First token of a freshly formed ring: rotation/seq restart at 0, and
+    // waiting for K copies would stall the just-installed ring behind
+    // token_timeout. Deliver at once — the SRP ignores duplicate instances,
+    // so the remaining copies are harmless.
+    last_token_ = instance;
+    last_token_bytes_ = packet.data;
+    last_token_net_ = net;
+    std::fill(recv_last_token_.begin(), recv_last_token_.end(), false);
+    if (net < recv_last_token_.size()) recv_last_token_[net] = true;
+    delivered_current_ = true;
+    token_timer_.cancel();
+    deliver_token_up(last_token_bytes_, net);
+    return;
+  }
   if (!last_token_ || instance.newer_than(*last_token_)) {
     last_token_ = instance;
     last_token_bytes_ = packet.data;

@@ -69,6 +69,31 @@ void ActiveReplicator::credit_success(NetworkId net) {
 void ActiveReplicator::handle_token(const net::ReceivedPacket& packet,
                                     const TokenInstance& instance) {
   const NetworkId net = packet.network;
+  if (last_token_ && instance.ring != last_token_->ring) {
+    if (instance.ring.ring_seq <= last_token_->ring.ring_seq) {
+      // A straggler from a ring this node moved past. It must not restart
+      // the collection, must not reach the SRP, and earns no recovery
+      // credit: only copies of the current ring's traffic demonstrate a
+      // network is keeping up.
+      ++stats_.duplicate_tokens_absorbed;
+      return;
+    }
+    // First token of a freshly formed ring: rotation/seq restart at 0, and
+    // waiting for every network's copy would stall the just-installed ring
+    // behind token_timeout — and charge healthy networks a problem count
+    // for a delay the membership change caused. Deliver at once; the SRP
+    // ignores duplicate instances.
+    credit_success(net);
+    last_token_ = instance;
+    last_token_bytes_ = packet.data;
+    last_token_net_ = net;
+    std::fill(recv_last_token_.begin(), recv_last_token_.end(), false);
+    if (net < recv_last_token_.size()) recv_last_token_[net] = true;
+    delivered_current_ = true;
+    token_timer_.cancel();
+    deliver_token_up(last_token_bytes_, net);
+    return;
+  }
   if (!last_token_ || instance.newer_than(*last_token_)) {
     credit_success(net);
     // First copy of a new token.

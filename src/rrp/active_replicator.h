@@ -48,8 +48,11 @@ class ActiveReplicator final : public Replicator {
     std::uint64_t rotation = 0;
     SeqNum seq = 0;
 
+    /// Ordering WITHIN one ring; which ring is current is arbitrated in
+    /// handle_token by ring_seq (a freshly installed ring restarts
+    /// rotation/seq at 0, so the pair comparison is meaningless across
+    /// rings).
     [[nodiscard]] bool newer_than(const TokenInstance& o) const {
-      if (ring != o.ring) return true;  // a different ring resets the order
       return std::pair{rotation, seq} > std::pair{o.rotation, o.seq};
     }
     [[nodiscard]] bool same_as(const TokenInstance& o) const {

@@ -38,6 +38,10 @@ void SingleRing::start_gather(const char* reason) {
     store_.clear();
     my_retransmit_plan_.clear();
     old_seq_on_new_ring_.clear();
+    // Partial fragments belong to the seq space just abandoned; a later
+    // same-origin fragment on the new ring must not be concatenated onto
+    // them.
+    frag_.clear();
     my_aru_ = 0;
     high_seq_seen_ = 0;
     delivered_up_to_ = 0;
@@ -51,6 +55,7 @@ void SingleRing::start_gather(const char* reason) {
 
   state_ = State::kGather;
   trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kGather));
+  notify_state();
   gather_start_ = timers_.now();
   consensus_rounds_ = 0;
   cancel_operational_timers();
@@ -174,6 +179,7 @@ void SingleRing::check_consensus() {
 
   state_ = State::kCommit;
   trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kCommit));
+  notify_state();
   join_timer_.cancel();
   consensus_timer_.cancel();
   commit_forwards_ = 0;
@@ -270,6 +276,7 @@ void SingleRing::on_commit_token(wire::CommitToken commit) {
     self->filled = true;
     state_ = State::kCommit;
     trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kCommit));
+    notify_state();
     join_timer_.cancel();
     consensus_timer_.cancel();
     commit_forwards_ = 0;
@@ -332,6 +339,7 @@ void SingleRing::enter_recovery(const wire::CommitToken& commit) {
   old_ring_id_ = ring_id_;
   ring_id_ = commit.new_ring;
   remember_ring(ring_id_);
+  notify_state();
   members_.clear();
   for (const auto& m : commit.members) members_.push_back(m.node);
   std::sort(members_.begin(), members_.end());
@@ -352,9 +360,14 @@ void SingleRing::enter_recovery(const wire::CommitToken& commit) {
 
   my_retransmit_plan_.clear();
   for (const auto& [s, e] : old_store_) {
-    if (s > low) my_retransmit_plan_.push_back(s);
+    // Entries that are themselves recovery rebroadcasts are history: every
+    // node that presents this ring as its old ring installed it, and
+    // install_ring() resolved their content then. Re-encapsulating them
+    // would double-wrap them and deliver raw bytes downstream.
+    if (s > low && !e.is_recovered()) my_retransmit_plan_.push_back(s);
   }
   old_seq_on_new_ring_.clear();
+  recovery_token_visits_ = 0;
 
   // Fresh counters for the new ring's seq space.
   my_aru_ = 0;
@@ -446,7 +459,10 @@ void SingleRing::deliver_old_ring_contiguous() {
     auto it = old_store_.find(old_delivered_up_to_ + 1);
     if (it == old_store_.end()) return;
     ++old_delivered_up_to_;
-    deliver_entry(it->second);
+    // An old-ring entry that is itself a recovery rebroadcast was resolved
+    // when the old ring installed; only its seq slot matters here.
+    if (it->second.is_recovered()) continue;
+    deliver_entry(it->second, /*recovered=*/true, old_ring_id_);
   }
 }
 
@@ -487,9 +503,18 @@ void SingleRing::install_ring() {
     auto it = old_store_.find(old_delivered_up_to_);
     if (it == old_store_.end()) {
       ++stats_.old_ring_messages_lost;
+      // The lost seq may have carried a fragment: any partial reassembly is
+      // now incompletable, and a later same-origin fragment must resync on
+      // its fragment 0 rather than extend a stale buffer. At install every
+      // surviving member holds the identical old-ring coverage (the plans
+      // drained and the recovery aru caught its seq), so all of them skip —
+      // and reset — at the same positions.
+      frag_.clear();
       continue;
     }
-    deliver_entry(it->second);
+    // Resolved at the old ring's own install; see deliver_old_ring_contiguous.
+    if (it->second.is_recovered()) continue;
+    deliver_entry(it->second, /*recovered=*/true, old_ring_id_);
   }
   old_store_.clear();
   old_seq_on_new_ring_.clear();
@@ -497,6 +522,7 @@ void SingleRing::install_ring() {
 
   state_ = State::kOperational;
   trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kOperational));
+  notify_state();
   trace_event(TraceKind::kMembershipInstalled, ring_id_.representative, ring_id_.ring_seq);
   ++stats_.membership_changes;
   arm_announce_timer();

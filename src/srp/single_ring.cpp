@@ -32,6 +32,7 @@ void SingleRing::start() {
     remember_ring(ring_id_);
     highest_ring_seq_ = ring_id_.ring_seq;
     state_ = State::kOperational;
+    notify_state();
     timers_.schedule(Duration{0}, [this] { deliver_membership_view(); });
     if (is_leader()) {
       // The representative injects the first token.
@@ -259,48 +260,70 @@ void SingleRing::try_deliver() {
   while (delivered_up_to_ < my_aru_) {
     auto it = store_.find(delivered_up_to_ + 1);
     assert(it != store_.end() && "contiguous message missing from store");
-    ++delivered_up_to_;
     if (state_ == State::kRecovery) {
-      // On a recovering ring the only traffic is encapsulated old-ring
-      // messages; they are delivered in OLD ring order by
-      // deliver_old_ring_contiguous(), not here.
+      // Encapsulated old-ring messages are delivered in OLD ring order by
+      // deliver_old_ring_contiguous(), not here. Anything else is fresh
+      // application traffic from members that already installed this ring
+      // (token.install doc in wire.h); hold it until our own install so it
+      // is delivered, in order, once we are operational.
+      if (!it->second.is_recovered()) break;
+      ++delivered_up_to_;
       continue;
     }
-    deliver_entry(it->second);
+    ++delivered_up_to_;
+    if (it->second.is_recovered()) {
+      // A recovery rebroadcast arriving after our install (we installed on
+      // the token's mark while still missing it; see update_aru's single
+      // aru_id owner). Its content was resolved — delivered or counted
+      // lost — when install_ring() force-resolved the old ring, so the
+      // entry only fills its seq slot; the raw encapsulation bytes must
+      // never reach the application.
+      continue;
+    }
+    deliver_entry(it->second, false, ring_id_);
   }
 }
 
-void SingleRing::deliver_entry(const wire::MessageEntry& entry) {
-  const bool recovered = entry.is_recovered();
+void SingleRing::deliver_entry(const wire::MessageEntry& entry, bool recovered,
+                               const RingId& ring) {
   if (!entry.is_fragment()) {
     ++stats_.messages_delivered;
     stats_.bytes_delivered += entry.payload.size();
     trace_event(TraceKind::kMessageDelivered, entry.origin, entry.seq);
     if (deliver_) {
-      deliver_(DeliveredMessage{entry.origin, entry.seq, entry.payload, recovered});
+      deliver_(DeliveredMessage{entry.origin, entry.seq, entry.payload, recovered, ring});
     }
     return;
   }
-  auto& buf = frag_buffer_[entry.origin];
-  auto& expect = frag_expect_[entry.origin];
-  if (entry.frag_index != expect) {
+  auto& st = frag_[entry.origin];
+  if (entry.frag_index != st.expect) {
     // Fragment stream out of sync (possible only across a lossy membership
     // change). Resynchronize on the next fragment-0.
-    buf.clear();
-    expect = 0;
-    if (entry.frag_index != 0) return;
+    st = FragReassembly{};
+    if (entry.frag_index != 0) {
+      frag_.erase(entry.origin);
+      return;
+    }
   }
-  buf.insert(buf.end(), entry.payload.begin(), entry.payload.end());
-  ++expect;
+  if (entry.frag_index == 0) {
+    // The whole message is identified by its first fragment: that seq (and
+    // the ring whose seq space assigned it) is the message's position in
+    // the total order.
+    st.first_seq = entry.seq;
+    st.first_ring = ring;
+  }
+  st.buf.insert(st.buf.end(), entry.payload.begin(), entry.payload.end());
+  st.recovered = st.recovered || recovered;
+  ++st.expect;
   if (entry.frag_index + 1 == entry.frag_count) {
     ++stats_.messages_delivered;
-    stats_.bytes_delivered += buf.size();
-    trace_event(TraceKind::kMessageDelivered, entry.origin, entry.seq);
+    stats_.bytes_delivered += st.buf.size();
+    trace_event(TraceKind::kMessageDelivered, entry.origin, st.first_seq);
     if (deliver_) {
-      deliver_(DeliveredMessage{entry.origin, entry.seq, buf, recovered});
+      deliver_(DeliveredMessage{entry.origin, st.first_seq, st.buf, st.recovered,
+                                st.first_ring});
     }
-    buf.clear();
-    expect = 0;
+    frag_.erase(entry.origin);
   }
 }
 
@@ -325,11 +348,27 @@ void SingleRing::handle_regular_token(wire::Token token) {
   try_deliver();
   if (state_ == State::kRecovery) {
     deliver_old_ring_contiguous();
+    ++recovery_token_visits_;
     // Recovery is complete when nobody has anything left to rebroadcast
     // (backlog) and every member has received every recovery broadcast
-    // (aru caught up with seq).
-    if (token.backlog == 0 && token.aru == token.seq && my_retransmit_plan_.empty()) {
+    // (aru caught up with seq). Two rules make the decision sound:
+    //  * A node may ORIGINATE it only from its second visit on: the token's
+    //    backlog/aru aggregates cover every member only after a full
+    //    rotation, and a first-visit reading (backlog == 0, aru == seq == 0)
+    //    can be vacuous because nobody else has reported yet.
+    //  * The decision is ring-wide: the first member to observe the
+    //    condition marks the token, and every later member installs on the
+    //    mark — re-evaluating the condition at later hops would race
+    //    against the new application traffic that installed members are
+    //    already broadcasting (token.install doc in wire.h).
+    if (token.install ||
+        (recovery_token_visits_ >= 2 && token.backlog == 0 &&
+         token.aru == token.seq && my_retransmit_plan_.empty())) {
+      token.install = true;
       install_ring();
+      // Deliver any fresh new-ring traffic try_deliver() held back while we
+      // were still recovering.
+      try_deliver();
     }
   }
   discard_safe_messages(token);

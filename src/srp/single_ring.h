@@ -43,9 +43,10 @@ namespace totem::srp {
 /// A message handed to the application in agreed (total) order.
 struct DeliveredMessage {
   NodeId origin = kInvalidNode;
-  SeqNum seq = 0;          // global sequence number on the delivering ring
+  SeqNum seq = 0;          // global sequence number on `ring`'s seq space
   BytesView payload;       // valid only for the duration of the callback
-  bool recovered = false;  // delivered during/after ring recovery
+  bool recovered = false;  // delivered through the ring-recovery path
+  RingId ring;             // ring whose seq space assigned `seq`
 };
 
 struct MembershipView {
@@ -66,6 +67,10 @@ class SingleRing {
   /// survives any single-node crash. Seq numbers restart per ring; pair the
   /// watermark with the membership view.
   using SafeHandler = std::function<void(SeqNum safe_seq)>;
+  /// Protocol-state transitions (Operational/Gather/Commit/Recovery) with
+  /// the ring id current at the moment of the transition. Used by the fault
+  /// campaign harness to trigger faults at a chosen protocol state.
+  using StateObserver = std::function<void(State state, const RingId& ring)>;
 
   SingleRing(TimerService& timers, rrp::Replicator& replicator, Config config,
              net::CpuCharger* cpu = nullptr);
@@ -76,6 +81,7 @@ class SingleRing {
   void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
   void set_membership_handler(MembershipHandler h) { membership_ = std::move(h); }
   void set_safe_watermark_handler(SafeHandler h) { safe_handler_ = std::move(h); }
+  void set_state_observer(StateObserver h) { state_observer_ = std::move(h); }
 
   /// Wire the upcalls and begin protocol operation. Call after handlers are
   /// set. With assume_initial_ring the representative injects the first
@@ -101,6 +107,10 @@ class SingleRing {
   /// Highest seq known to be held by every ring member (0 until the token
   /// has demonstrated it over two rotations).
   [[nodiscard]] SeqNum safe_up_to() const { return safe_up_to_; }
+  /// True while a partially reassembled fragmented message is buffered for
+  /// any origin. Fragment state must not survive into a ring whose seq
+  /// space lost the remaining fragments.
+  [[nodiscard]] bool has_partial_fragments() const { return !frag_.empty(); }
 
   /// True while this node knows of messages it has not yet received — used
   /// by the passive replicator to hold the token back (paper Fig. 4,
@@ -144,7 +154,7 @@ class SingleRing {
   void handle_regular_token(wire::Token token);
   void accept_entry(wire::MessageEntry&& entry);
   void try_deliver();
-  void deliver_entry(const wire::MessageEntry& entry);
+  void deliver_entry(const wire::MessageEntry& entry, bool recovered, const RingId& ring);
   std::uint32_t service_retransmissions(wire::Token& token);
   std::uint32_t broadcast_new_messages(wire::Token& token);
   std::uint32_t broadcast_recovery_messages(wire::Token& token);
@@ -198,6 +208,10 @@ class SingleRing {
   DeliverHandler deliver_;
   MembershipHandler membership_;
   SafeHandler safe_handler_;
+  StateObserver state_observer_;
+  void notify_state() {
+    if (state_observer_) state_observer_(state_, ring_id_);
+  }
   Stats stats_;
   BufferPool pool_;  // every outgoing packet is encoded into a pooled buffer
 
@@ -214,8 +228,18 @@ class SingleRing {
   SeqNum my_aru_ = 0;                           // highest contiguous seq held
   SeqNum high_seq_seen_ = 0;                    // highest seq seen (msgs+token)
   SeqNum delivered_up_to_ = 0;
-  std::map<NodeId, Bytes> frag_buffer_;          // per-origin reassembly
-  std::map<NodeId, std::uint16_t> frag_expect_;  // next expected frag index
+  /// Per-origin fragment reassembly. The whole message is identified by its
+  /// FIRST fragment (seq and assigning ring) and counts as recovered if any
+  /// fragment arrived through the recovery path. Entries exist only while a
+  /// message is partially assembled.
+  struct FragReassembly {
+    Bytes buf;
+    std::uint16_t expect = 0;  // next expected fragment index
+    SeqNum first_seq = 0;
+    RingId first_ring;
+    bool recovered = false;
+  };
+  std::map<NodeId, FragReassembly> frag_;
 
   // Token state.
   std::optional<std::pair<std::uint64_t, SeqNum>> last_token_instance_;
@@ -270,6 +294,11 @@ class SingleRing {
   SeqNum old_high_target_ = 0;  // deliver old messages up to here if possible
   std::deque<SeqNum> my_retransmit_plan_;  // old seqs I will rebroadcast
   std::set<SeqNum> old_seq_on_new_ring_;   // old seqs already rebroadcast
+  /// Recovery-token visits at this node. The install condition reads the
+  /// token's ring-wide backlog/aru aggregates, which only cover every member
+  /// after a full rotation: a node may originate the install decision no
+  /// earlier than its second visit (single_ring.cpp, handle_regular_token).
+  std::uint32_t recovery_token_visits_ = 0;
 };
 
 [[nodiscard]] constexpr const char* to_string(SingleRing::State s) {

@@ -212,6 +212,7 @@ void write_token(ByteWriter& w, const Token& token) {
   w.u64(token.rotation);
   w.u32(token.fcc);
   w.u32(token.backlog);
+  w.u8(token.install ? 1 : 0);
   w.u16(static_cast<std::uint16_t>(token.rtr.size()));
   for (SeqNum s : token.rtr) w.u64(s);
 }
@@ -244,8 +245,10 @@ Result<Token> parse_token(BytesView packet) {
   auto rotation = r.u64();
   auto fcc = r.u32();
   auto backlog = r.u32();
+  auto install = r.u8();
   auto rtr_count = r.u16();
-  if (!seq || !aru || !aru_id || !rotation || !fcc || !backlog || !rtr_count) {
+  if (!seq || !aru || !aru_id || !rotation || !fcc || !backlog || !install ||
+      !rtr_count) {
     return Status{StatusCode::kMalformedPacket, "truncated token"};
   }
   t.seq = seq.value();
@@ -254,6 +257,7 @@ Result<Token> parse_token(BytesView packet) {
   t.rotation = rotation.value();
   t.fcc = fcc.value();
   t.backlog = backlog.value();
+  t.install = install.value() != 0;
   t.rtr.reserve(rtr_count.value());
   for (std::uint16_t i = 0; i < rtr_count.value(); ++i) {
     auto s = r.u64();

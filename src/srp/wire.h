@@ -117,6 +117,14 @@ struct Token {
   std::uint64_t rotation = 0;       // incremented by the ring leader per rotation
   std::uint32_t fcc = 0;            // messages broadcast during the last rotation
   std::uint32_t backlog = 0;        // sum of send-queue lengths on the ring
+  /// Set by the first member that observes the recovery-install condition.
+  /// Every later member still in Recovery installs on sight: once one member
+  /// has seen backlog == 0 and aru == seq, every member holds every recovery
+  /// message and every retransmit plan is empty, but the installer's own new
+  /// traffic can keep aru < seq at later hops forever. Without this flag a
+  /// member late in the rotation can be stranded in Recovery on a ring that
+  /// the earlier members already operate (and declare messages safe on).
+  bool install = false;
   std::vector<SeqNum> rtr;          // retransmission requests
 
   /// Tokens are totally ordered per receiving node by (rotation, seq): the

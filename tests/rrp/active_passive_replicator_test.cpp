@@ -13,9 +13,9 @@ namespace {
 
 using testing::FakeTransport;
 
-Bytes make_token(std::uint64_t rotation, SeqNum seq) {
+Bytes make_token(std::uint64_t rotation, SeqNum seq, RingId ring = RingId{0, 4}) {
   srp::wire::Token t;
-  t.ring = RingId{0, 4};
+  t.ring = ring;
   t.sender = 1;
   t.rotation = rotation;
   t.seq = seq;
@@ -150,6 +150,41 @@ TEST_F(ApFixture, EffectiveKDropsWithFaultyNetworks) {
   // Only one healthy network left: a single copy must suffice.
   t2.inject(make_token(1, 10), 1);
   EXPECT_EQ(tokens_up.size(), 1u);
+}
+
+TEST_F(ApFixture, FreshRingFirstTokenDeliveredImmediately) {
+  ActivePassiveConfig base;
+  base.token_timeout = Duration{2'000};
+  build(3, 2, base);
+  const Bytes old_tok = make_token(5, 9);  // ring {0,4}
+  t0.inject(old_tok, 1);
+  t1.inject(old_tok, 1);
+  ASSERT_EQ(tokens_up.size(), 1u);
+
+  // A membership change installs ring {0,8}; its first token restarts at
+  // (rotation 0, seq 0). Waiting for K copies would stall the freshly
+  // formed ring behind token_timeout — it must pass at once.
+  const Bytes fresh = make_token(0, 0, RingId{0, 8});
+  t2.inject(fresh, 1);
+  EXPECT_EQ(tokens_up.size(), 2u)
+      << "the first token of a freshly installed ring must not be absorbed";
+
+  // A straggler resend of the dead ring's token must not reset the
+  // collection, and further copies of the fresh token are duplicates.
+  t0.inject(old_tok, 1);
+  t1.inject(fresh, 1);
+  EXPECT_EQ(tokens_up.size(), 2u);
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(tokens_up.size(), 2u);
+  EXPECT_EQ(rep->stats().token_timer_expiries, 0u)
+      << "the ring change must not leave a token timer pending";
+
+  // Normal K-copy collection resumes for the new ring's next token.
+  const Bytes next = make_token(0, 1, RingId{0, 8});
+  t0.inject(next, 1);
+  EXPECT_EQ(tokens_up.size(), 2u);
+  t1.inject(next, 1);
+  EXPECT_EQ(tokens_up.size(), 3u);
 }
 
 TEST_F(ApFixture, DuplicateTokenCopiesAbsorbed) {

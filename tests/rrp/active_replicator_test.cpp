@@ -153,6 +153,39 @@ TEST_F(ActiveFixture, LateCopyAfterTimerDoesNotRedeliver) {
   EXPECT_EQ(tokens_up.size(), 1u);
 }
 
+TEST_F(ActiveFixture, FreshRingFirstTokenDeliveredImmediately) {
+  ActiveConfig cfg;
+  cfg.token_timeout = Duration{2'000};
+  build(2, cfg);
+  const Bytes old_tok = make_token(5, 9);  // ring {0,4}
+  t0.inject(old_tok, 1);
+  t1.inject(old_tok, 1);
+  ASSERT_EQ(tokens_up.size(), 1u);
+
+  // A membership change installs ring {0,8}; its first token restarts at
+  // (rotation 0, seq 0) and must pass immediately rather than wait for a
+  // copy on every network.
+  const Bytes fresh = make_token(0, 0, RingId{0, 8});
+  t0.inject(fresh, 1);
+  EXPECT_EQ(tokens_up.size(), 2u)
+      << "the first token of a freshly installed ring must not be held back";
+
+  // A straggler resend of the dead ring's token and a late fresh copy are
+  // both absorbed without restarting the collection.
+  t1.inject(old_tok, 1);
+  t1.inject(fresh, 1);
+  EXPECT_EQ(tokens_up.size(), 2u);
+
+  // No timer may be pending and no healthy network may take blame for the
+  // ring change.
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(tokens_up.size(), 2u);
+  EXPECT_EQ(rep->stats().token_timer_expiries, 0u);
+  EXPECT_EQ(rep->problem_counter(0), 0u);
+  EXPECT_EQ(rep->problem_counter(1), 0u)
+      << "a healthy network must not be blamed across a ring change";
+}
+
 TEST_F(ActiveFixture, RepeatedTimeoutsDeclareNetworkFaulty) {
   // Requirement A5: permanent failure is eventually detected.
   ActiveConfig cfg;

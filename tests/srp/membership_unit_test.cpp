@@ -191,11 +191,18 @@ TEST_F(MembershipFixture, SecondPassEntersRecoveryAndInstalls) {
   EXPECT_EQ(ring->ring(), (RingId{2, 8}));
   EXPECT_EQ(ring->members(), (std::vector<NodeId>{2, 3}));
 
-  // An empty recovery (no old messages anywhere): the first recovery token
-  // completes it immediately.
+  // An empty recovery (no old messages anywhere). The first token's
+  // backlog/aru aggregates are vacuous — nobody else has reported yet — so
+  // the node must NOT install off it (premature-install regression).
   wire::Token t;
   t.ring = RingId{2, 8};
   t.sender = 2;
+  rep.inject_token(wire::serialize_token(t));
+  EXPECT_EQ(ring->state(), SingleRing::State::kRecovery);
+
+  // The token returns after a full rotation: now backlog == 0 and
+  // aru == seq reflect every member, and the ring installs.
+  t.rotation = 1;
   rep.inject_token(wire::serialize_token(t));
   EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
   ASSERT_GE(views.size(), 2u);

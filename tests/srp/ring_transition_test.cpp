@@ -1,0 +1,368 @@
+// Ring-transition regression tests: what happens to partially reassembled
+// fragments, the `recovered` delivery flag and the double-failure
+// bookkeeping when the ring is torn down mid-message. A single SingleRing
+// instance is driven through Gather / Commit / Recovery with hand-crafted
+// packets, mirroring membership_unit_test.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "srp/single_ring.h"
+#include "testing/fake_replicator.h"
+
+namespace totem::srp {
+namespace {
+
+using testing::FakeReplicator;
+
+struct RingTransitionFixture : ::testing::Test {
+  struct Rec {
+    NodeId origin;
+    SeqNum seq;
+    std::string payload;
+    bool recovered;
+  };
+
+  sim::Simulator sim;
+  FakeReplicator rep;
+  std::unique_ptr<SingleRing> ring;
+  std::vector<MembershipView> views;
+  std::vector<Rec> delivered;
+
+  Config config(NodeId id) {
+    Config cfg;
+    cfg.node_id = id;
+    cfg.initial_members = {1, 2, 3};
+    cfg.token_loss_timeout = Duration{100'000};
+    cfg.join_interval = Duration{50'000};
+    // Wider than the gather grace window so a test that must wait out the
+    // grace period cannot race the singleton-ring consensus fallback.
+    cfg.consensus_timeout = Duration{300'000};
+    cfg.commit_timeout = Duration{300'000};
+    return cfg;
+  }
+
+  void build(Config cfg) {
+    ring = std::make_unique<SingleRing>(sim, rep, cfg);
+    ring->set_membership_handler([this](const MembershipView& v) { views.push_back(v); });
+    ring->set_deliver_handler([this](const DeliveredMessage& m) {
+      delivered.push_back(Rec{m.origin, m.seq, totem::to_string(m.payload), m.recovered});
+    });
+    ring->start();
+    sim.run_for(Duration{1});
+  }
+
+  void inject_join(NodeId sender, std::vector<NodeId> proc, std::vector<NodeId> fail = {},
+                   std::uint64_t ring_seq = 4) {
+    wire::JoinMessage j;
+    j.sender = sender;
+    j.proc_set = std::move(proc);
+    j.fail_set = std::move(fail);
+    j.ring_seq = ring_seq;
+    rep.inject_message(wire::serialize_join(j));
+  }
+
+  void inject_entry(const RingId& ring_id, NodeId sender, wire::MessageEntry entry) {
+    wire::PacketHeader h{wire::PacketType::kRegular, sender, ring_id};
+    std::vector<wire::MessageEntry> entries;
+    entries.push_back(std::move(entry));
+    rep.inject_message(wire::serialize_regular(h, entries));
+  }
+
+  static wire::MessageEntry fragment(SeqNum seq, NodeId origin, std::uint16_t index,
+                                     std::uint16_t count, const std::string& payload) {
+    wire::MessageEntry e;
+    e.seq = seq;
+    e.origin = origin;
+    e.flags = wire::MessageEntry::kFlagFragment;
+    e.frag_index = index;
+    e.frag_count = count;
+    e.payload = to_bytes(payload);
+    return e;
+  }
+
+  static wire::MessageEntry plain(SeqNum seq, NodeId origin, const std::string& payload) {
+    wire::MessageEntry e;
+    e.seq = seq;
+    e.origin = origin;
+    e.payload = to_bytes(payload);
+    return e;
+  }
+
+  /// Wrap an old-ring entry the way a recovering peer rebroadcasts it.
+  static wire::MessageEntry encapsulated(SeqNum new_seq, NodeId rebroadcaster,
+                                         const RingId& old_ring,
+                                         const wire::MessageEntry& original) {
+    wire::MessageEntry e;
+    e.seq = new_seq;
+    e.origin = rebroadcaster;
+    e.flags = wire::MessageEntry::kFlagRecovered;
+    e.payload = wire::serialize_recovered(wire::RecoveredMessage{old_ring, original});
+    return e;
+  }
+
+  std::vector<std::pair<NodeId, wire::CommitToken>> sent_commits() {
+    std::vector<std::pair<NodeId, wire::CommitToken>> out;
+    for (const auto& t : rep.tokens) {
+      auto info = wire::peek(t.data);
+      if (info.is_ok() && info.value().type == wire::PacketType::kCommitToken) {
+        out.emplace_back(t.dest, wire::parse_commit(t.data).value());
+      }
+    }
+    return out;
+  }
+
+  /// Drive node 3 from the assumed ring {1,4} into Recovery with peer 2
+  /// (node 1 has crashed). `peer_aru`/`peer_high` describe node 2's
+  /// old-ring position carried by the commit token.
+  void enter_recovery_with_peer(SeqNum peer_aru, SeqNum peer_high,
+                                const RingId& new_ring = RingId{2, 8}) {
+    sim.run_for(Duration{150'000});  // token loss -> gather
+    ASSERT_EQ(ring->state(), SingleRing::State::kGather);
+    inject_join(2, {2, 3});
+    sim.run_for(Duration{60'000});  // grace period passes; consensus on {2,3}
+
+    wire::CommitToken c;
+    c.new_ring = new_ring;
+    c.sender = 2;
+    c.hop = 1;
+    c.members.resize(2);
+    c.members[0].node = 2;
+    c.members[0].old_ring = RingId{1, 4};
+    c.members[0].my_aru = peer_aru;
+    c.members[0].high_seq = peer_high;
+    c.members[0].filled = true;
+    c.members[1].node = 3;
+    rep.inject_message(wire::serialize_commit(c));
+    ASSERT_EQ(ring->state(), SingleRing::State::kCommit);
+
+    auto fwd = sent_commits().back().second;
+    fwd.hop = 2;
+    rep.inject_message(wire::serialize_commit(fwd));
+    ASSERT_EQ(ring->state(), SingleRing::State::kRecovery);
+  }
+
+  void inject_token(const RingId& ring_id, NodeId sender, std::uint64_t rotation,
+                    SeqNum seq, SeqNum aru, bool install = false) {
+    wire::Token t;
+    t.ring = ring_id;
+    t.sender = sender;
+    t.rotation = rotation;
+    t.seq = seq;
+    t.aru = aru;
+    t.install = install;
+    rep.inject_token(wire::serialize_token(t));
+  }
+
+  /// Last token this node forwarded, parsed back from the wire.
+  wire::Token last_forwarded_token() {
+    for (auto it = rep.tokens.rbegin(); it != rep.tokens.rend(); ++it) {
+      auto info = wire::peek(it->data);
+      if (info.is_ok() && info.value().type == wire::PacketType::kToken) {
+        return wire::parse_token(it->data).value();
+      }
+    }
+    ADD_FAILURE() << "no forwarded token";
+    return {};
+  }
+};
+
+// A fragment buffered on the old ring must not be concatenated with a
+// same-origin fragment that survives into the new ring's delivery when the
+// intervening fragments were lost with the old ring.
+TEST_F(RingTransitionFixture, StaleFragmentStateCannotCorruptRecoveredDelivery) {
+  build(config(3));
+  // Origin 1 fragments two messages M = AAAA|BBBB (seq 1,2) and
+  // M' = CCCC|DDDD (seq 3,4). We receive only M's first and M''s last
+  // fragment before the ring dies.
+  inject_entry(RingId{1, 4}, 1, fragment(1, 1, 0, 2, "AAAA"));
+  inject_entry(RingId{1, 4}, 1, fragment(4, 1, 1, 2, "DDDD"));
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_TRUE(ring->has_partial_fragments());
+
+  enter_recovery_with_peer(/*peer_aru=*/1, /*peer_high=*/4);
+  // The recovery token arrives; we rebroadcast old seq 4. Install needs the
+  // token back after a full rotation (first-visit aggregates are vacuous);
+  // nobody supplies the lost seqs 2..3, and the ring installs around them.
+  inject_token(RingId{2, 8}, 2, 0, 0, 0);
+  ASSERT_EQ(ring->state(), SingleRing::State::kRecovery);
+  inject_token(RingId{2, 8}, 2, 1, 1, 1);
+  ASSERT_EQ(ring->state(), SingleRing::State::kOperational);
+  EXPECT_EQ(ring->stats().old_ring_messages_lost, 2u);
+
+  // Neither M nor M' is completable: M lost its tail, M' its head. Any
+  // delivery here is a corrupted cross-message concatenation.
+  for (const auto& d : delivered) {
+    ADD_FAILURE() << "delivered corrupt payload \"" << d.payload << "\" (origin "
+                  << d.origin << ", seq " << d.seq << ")";
+  }
+  EXPECT_FALSE(ring->has_partial_fragments())
+      << "fragment state must be dropped with the seqs that were lost";
+}
+
+// A fragmented message completed through recovery must be reported with
+// recovered=true and the FIRST fragment's seq (its position in the total
+// order), no matter which fragment arrived through the recovery path.
+TEST_F(RingTransitionFixture, RecoveredFragmentReportsWholeMessageRecovered) {
+  build(config(3));
+  inject_entry(RingId{1, 4}, 1, fragment(1, 1, 0, 2, "AAAA"));
+  EXPECT_TRUE(delivered.empty());
+
+  enter_recovery_with_peer(/*peer_aru=*/2, /*peer_high=*/2);
+  // Peer 2 rebroadcasts old seq 2 (the tail fragment we never saw)
+  // encapsulated on the new ring.
+  inject_entry(RingId{2, 8}, 2,
+               encapsulated(1, 2, RingId{1, 4}, fragment(2, 1, 1, 2, "BBBB")));
+
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].origin, 1u);
+  EXPECT_EQ(delivered[0].payload, "AAAABBBB");
+  EXPECT_TRUE(delivered[0].recovered)
+      << "a message completed via recovery must be flagged recovered";
+  EXPECT_EQ(delivered[0].seq, 1u)
+      << "a reassembled message is identified by its first fragment's seq";
+
+  inject_token(RingId{2, 8}, 2, 0, 1, 1);
+  inject_token(RingId{2, 8}, 2, 1, 1, 1);  // full rotation completes recovery
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+  EXPECT_EQ(ring->stats().old_ring_messages_recovered, 1u);
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+// The recovered flag on unfragmented messages: anything delivered through
+// the old-ring recovery path carries recovered=true.
+TEST_F(RingTransitionFixture, RecoveredPlainMessageFlagged) {
+  build(config(3));
+  inject_entry(RingId{1, 4}, 1, plain(1, 1, "one"));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_FALSE(delivered[0].recovered);
+
+  enter_recovery_with_peer(/*peer_aru=*/2, /*peer_high=*/2);
+  inject_entry(RingId{2, 8}, 2, encapsulated(1, 2, RingId{1, 4}, plain(2, 1, "two")));
+
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[1].payload, "two");
+  EXPECT_EQ(delivered[1].seq, 2u);
+  EXPECT_TRUE(delivered[1].recovered)
+      << "old-ring messages delivered during recovery must be flagged";
+
+  inject_token(RingId{2, 8}, 2, 0, 1, 1);
+  inject_token(RingId{2, 8}, 2, 1, 1, 1);  // full rotation completes recovery
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+}
+
+// Double failure: the recovery ring itself dies. The abandoned old-ring
+// store must be counted as lost exactly once, stale fragment state must go
+// with it, and the per-node pseudo ring id must never collide with any
+// committed ring.
+TEST_F(RingTransitionFixture, DoubleFailureAccountingAndPseudoRingId) {
+  build(config(3));
+  inject_entry(RingId{1, 4}, 1, fragment(1, 1, 0, 2, "AAAA"));
+  inject_entry(RingId{1, 4}, 1, fragment(4, 1, 1, 2, "DDDD"));
+
+  enter_recovery_with_peer(/*peer_aru=*/1, /*peer_high=*/4);
+  EXPECT_TRUE(ring->has_partial_fragments());
+
+  // No recovery token ever arrives: the recovery ring {2,8} failed too.
+  sim.run_for(Duration{150'000});
+  ASSERT_EQ(ring->state(), SingleRing::State::kGather);
+  // Only the seqs we actually held (seq 4) count as lost here; the install
+  // never happened, so the unrecoverable gap 2..3 is not double-counted.
+  EXPECT_EQ(ring->stats().old_ring_messages_lost, 1u);
+  EXPECT_FALSE(ring->has_partial_fragments())
+      << "abandoning the old store must abandon its partial fragments";
+
+  // The pseudo ring id is per-node and sits strictly between the failed
+  // ring's seq and any future committed seq (commits jump by 4 past the
+  // highest seen, which includes the pseudo id), so it can never collide
+  // with a committed ring.
+  const RingId pseudo = ring->ring();
+  EXPECT_EQ(pseudo, (RingId{3, 9}));
+  EXPECT_NE(pseudo, (RingId{1, 4}));
+  EXPECT_NE(pseudo, (RingId{2, 8}));
+
+  // Re-form with the surviving peer; the new committed ring's seq advances
+  // past the pseudo id. The join must land inside the gather grace window,
+  // before the lone node concludes it is a singleton.
+  inject_join(2, {2, 3}, {}, 9);
+  sim.run_for(Duration{60'000});  // grace period passes; consensus on {2,3}
+  ASSERT_EQ(ring->state(), SingleRing::State::kGather);
+
+  wire::CommitToken c;
+  c.new_ring = RingId{2, 13};
+  c.sender = 2;
+  c.hop = 1;
+  c.members.resize(2);
+  c.members[0].node = 2;
+  c.members[0].old_ring = RingId{2, 8};
+  c.members[0].filled = true;
+  c.members[1].node = 3;
+  rep.inject_message(wire::serialize_commit(c));
+  ASSERT_EQ(ring->state(), SingleRing::State::kCommit);
+  auto fwd = sent_commits().back().second;
+  fwd.hop = 2;
+  rep.inject_message(wire::serialize_commit(fwd));
+  ASSERT_EQ(ring->state(), SingleRing::State::kRecovery);
+  EXPECT_EQ(sent_commits().back().second.members[1].old_ring, pseudo)
+      << "our commit slot carries the pseudo ring id";
+
+  inject_token(RingId{2, 13}, 2, 0, 0, 0);
+  inject_token(RingId{2, 13}, 2, 1, 0, 0);  // full rotation completes recovery
+  ASSERT_EQ(ring->state(), SingleRing::State::kOperational);
+  EXPECT_EQ(ring->ring(), (RingId{2, 13}));
+  EXPECT_GT(ring->ring().ring_seq, pseudo.ring_seq);
+  EXPECT_EQ(ring->stats().old_ring_messages_lost, 1u)
+      << "the lost messages were already accounted at the double failure";
+  for (const auto& v : views) {
+    EXPECT_NE(v.ring, pseudo) << "a pseudo ring must never be installed";
+  }
+}
+
+// The install decision must be ring-wide. Once one member observed the
+// condition and marked the token, members later in the rotation install on
+// the mark even though the token they see already carries post-install
+// application traffic (aru < seq, backlog != 0) — re-evaluating the
+// condition locally would strand them in Recovery on an operational ring
+// while its safe line advances past messages they hold (found by the
+// fault-injection campaign engine, totem_chaos seed 2042).
+TEST_F(RingTransitionFixture, InstallMarkOverridesLocalConditionAndPropagates) {
+  build(config(3));
+  enter_recovery_with_peer(/*peer_aru=*/0, /*peer_high=*/0);
+
+  // First visit, marked token: the peer installed and has broadcast 5 new
+  // messages we have not received yet.
+  inject_token(RingId{2, 8}, 2, 0, /*seq=*/5, /*aru=*/3, /*install=*/true);
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+  ASSERT_FALSE(views.empty());
+  EXPECT_EQ(views.back().ring, (RingId{2, 8}));
+  EXPECT_TRUE(last_forwarded_token().install)
+      << "the mark must survive forwarding so every member sees it";
+}
+
+// Fresh application traffic broadcast by already-installed members can reach
+// a node that is still recovering. It must be HELD and delivered once the
+// node installs — not skipped as if it were an encapsulated old-ring
+// message, and not delivered raw.
+TEST_F(RingTransitionFixture, FreshTrafficDuringRecoveryDeliveredAfterInstall) {
+  build(config(3));
+  inject_entry(RingId{1, 4}, 1, plain(1, 1, "one"));
+  ASSERT_EQ(delivered.size(), 1u);
+
+  enter_recovery_with_peer(/*peer_aru=*/2, /*peer_high=*/2);
+  // Peer 2 rebroadcasts old seq 2, installs, then broadcasts a fresh
+  // message — all before our first recovery-token visit.
+  inject_entry(RingId{2, 8}, 2, encapsulated(1, 2, RingId{1, 4}, plain(2, 1, "two")));
+  inject_entry(RingId{2, 8}, 2, plain(2, 2, "fresh"));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[1].payload, "two");
+  EXPECT_TRUE(delivered[1].recovered);
+
+  inject_token(RingId{2, 8}, 2, 0, /*seq=*/2, /*aru=*/2, /*install=*/true);
+  EXPECT_EQ(ring->state(), SingleRing::State::kOperational);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[2].payload, "fresh");
+  EXPECT_FALSE(delivered[2].recovered);
+  EXPECT_EQ(delivered[2].seq, 2u);
+}
+
+}  // namespace
+}  // namespace totem::srp
