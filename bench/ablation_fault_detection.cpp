@@ -9,6 +9,8 @@
 //                         sporadic loss over 5 simulated seconds.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "harness/calibration.h"
 #include "harness/drivers.h"
 #include "harness/sim_cluster.h"
@@ -102,4 +104,4 @@ BENCHMARK(BM_PassiveImbalanceThreshold)
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("ablation_fault_detection")

@@ -8,6 +8,8 @@
 //    the light senders' worst-case latency at equal throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "harness/calibration.h"
 #include "harness/drivers.h"
 #include "harness/sim_cluster.h"
@@ -144,4 +146,4 @@ BENCHMARK(BM_FairShareUnderSkew)
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("ablation_flow_control")

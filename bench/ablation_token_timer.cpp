@@ -8,6 +8,8 @@
 // choice inspectable.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "harness/calibration.h"
 #include "harness/drivers.h"
 #include "harness/sim_cluster.h"
@@ -101,4 +103,4 @@ BENCHMARK(BM_ActiveTokenTimeout)
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("ablation_token_timer")

@@ -9,6 +9,8 @@
 // cost and loss-masking between passive (K=1-like) and active (K=N).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "figure_common.h"
 
 namespace totem::harness {
@@ -86,4 +88,4 @@ BENCHMARK(BM_KSweepFourNetworks)
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("active_passive_sweep")

@@ -1,0 +1,122 @@
+// Machine-readable benchmark output: every bench binary writes
+// BENCH_<name>.json next to its console table, so figure regeneration is a
+// file parse instead of a console scrape (see EXPERIMENTS.md).
+//
+// Usage: replace BENCHMARK_MAIN() with TOTEM_BENCH_MAIN("bench_name").
+// The JSON lands in ./BENCH_<bench_name>.json; --json=PATH overrides the
+// destination (the flag is stripped before Google Benchmark sees argv).
+//
+// Schema:
+//   {
+//     "bench": "<name>",
+//     "config": { "command": "<argv as invoked>", "output": "<path>" },
+//     "results": [
+//       { "name": "BM_X/style:1", "label": "active", "iterations": 1,
+//         "real_time_ms": ..., "cpu_time_ms": ...,
+//         "counters": { "msgs_per_sec": ..., "p50_delivery_us": ... } }
+//     ]
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace totem::bench {
+
+/// Console output passes through unchanged; every finished run is also
+/// captured for the JSON report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    runs_.insert(runs_.end(), reports.begin(), reports.end());
+    ConsoleReporter::ReportRuns(reports);
+  }
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+inline std::string render_report(const std::string& bench_name,
+                                 const std::string& command,
+                                 const std::string& output_path,
+                                 const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", bench_name);
+  w.key("config");
+  w.begin_object();
+  w.kv("command", command);
+  w.kv("output", output_path);
+  w.end_object();
+  w.key("results");
+  w.begin_array();
+  for (const auto& r : runs) {
+    w.begin_object();
+    w.kv("name", r.benchmark_name());
+    if (!r.report_label.empty()) w.kv("label", r.report_label);
+    w.kv("iterations", static_cast<std::int64_t>(r.iterations));
+    // Accumulated times are seconds; report per-iteration milliseconds to
+    // match the console table's kMillisecond unit.
+    const double iters = r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+    w.kv("real_time_ms", r.real_accumulated_time / iters * 1e3);
+    w.kv("cpu_time_ms", r.cpu_accumulated_time / iters * 1e3);
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [cname, counter] : r.counters) {
+      w.kv(cname.c_str(), static_cast<double>(counter.value));
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+inline int bench_main(const std::string& bench_name, int argc, char** argv) {
+  std::string json_path = "BENCH_" + bench_name + ".json";
+  std::string command;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) command += ' ';
+    command += argv[i];
+    const std::string_view a = argv[i];
+    if (a == "--json") continue;  // default path
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = std::string(a.substr(7));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << render_report(bench_name, command, json_path, reporter.runs()) << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return out ? 0 : 1;
+}
+
+}  // namespace totem::bench
+
+#define TOTEM_BENCH_MAIN(bench_name)                           \
+  int main(int argc, char** argv) {                            \
+    return totem::bench::bench_main(bench_name, argc, argv);   \
+  }

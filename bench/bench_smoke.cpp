@@ -1,0 +1,66 @@
+// Tier-1 smoke test for the benchmark reporting layer: a deliberately tiny
+// run (2 nodes, 50 simulated ms) that exercises the full pipeline —
+// SimCluster, SaturationDriver, the node-0 metrics registry, and the
+// TOTEM_BENCH_MAIN JSON writer. The companion ctest entry (bench/CMakeLists)
+// runs it with --json=... and validates that the output parses and carries
+// the keys figure regeneration depends on. Kept small enough to stay in the
+// default ctest budget even under TOTEM_SANITIZE.
+#include <benchmark/benchmark.h>
+
+#include "bench_report.h"
+#include "harness/calibration.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+
+namespace totem::harness {
+namespace {
+
+void BM_Smoke(benchmark::State& state) {
+  double msgs_per_sec = 0;
+  double kbytes_per_sec = 0;
+  MetricsSnapshot metrics;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = 2;
+    cfg.network_count = 2;
+    cfg.style = api::ReplicationStyle::kActive;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    cfg.record_payloads = false;
+    SimCluster cluster(cfg);
+    cluster.start_all();
+
+    SaturationDriver driver(cluster, {.message_size = 256, .queue_target = 32});
+    driver.start();
+    cluster.run_for(Duration{20'000});  // warm-up
+    cluster.clear_recordings();
+    cluster.node(0).metrics().reset();
+    const Duration measured{50'000};
+    cluster.run_for(measured);
+
+    const double seconds = std::chrono::duration<double>(measured).count();
+    msgs_per_sec = static_cast<double>(cluster.delivered_count(0)) / seconds;
+    kbytes_per_sec =
+        static_cast<double>(cluster.delivered_bytes(0)) / 1024.0 / seconds;
+    metrics = cluster.node(0).metrics().snapshot();
+  }
+
+  state.counters["msgs_per_sec"] = msgs_per_sec;
+  state.counters["kbytes_per_sec"] = kbytes_per_sec;
+  if (const auto* d = metrics.find_histogram("srp.delivery_latency_us")) {
+    state.counters["p50_delivery_us"] = d->p50();
+    state.counters["p99_delivery_us"] = d->p99();
+  }
+  if (const auto* r = metrics.find_histogram("srp.token_rotation_us")) {
+    state.counters["p50_rotation_us"] = r->p50();
+    state.counters["p99_rotation_us"] = r->p99();
+  }
+}
+
+BENCHMARK(BM_Smoke)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+TOTEM_BENCH_MAIN("bench_smoke")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Run a bench binary with --json=PATH and validate the report.
+
+Usage: check_bench_json.py <bench-binary> <json-path> [required counter ...]
+
+Checks: the process exits 0, the file parses as JSON, the top-level schema
+(bench/config/results) is present, results is non-empty, and every listed
+counter key appears in at least one result. Exits nonzero with a message on
+the first failure so ctest localizes it.
+"""
+import json
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 3:
+        fail(f"usage: {sys.argv[0]} <bench-binary> <json-path> [counter ...]")
+    binary, path = sys.argv[1], sys.argv[2]
+    required_counters = sys.argv[3:]
+
+    proc = subprocess.run([binary, f"--json={path}"], timeout=600)
+    if proc.returncode != 0:
+        fail(f"{binary} exited {proc.returncode}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    for key in ("bench", "config", "results"):
+        if key not in report:
+            fail(f"missing top-level key '{key}' in {path}")
+    if not report["results"]:
+        fail("results array is empty")
+    for result in report["results"]:
+        for key in ("name", "iterations", "real_time_ms", "counters"):
+            if key not in result:
+                fail(f"result missing key '{key}': {result}")
+    seen = set()
+    for result in report["results"]:
+        seen.update(result["counters"])
+    for counter in required_counters:
+        if counter not in seen:
+            fail(f"counter '{counter}' absent from every result (saw {sorted(seen)})")
+    print(f"ok: {path} ({len(report['results'])} results)")
+
+
+if __name__ == "__main__":
+    main()

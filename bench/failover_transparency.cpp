@@ -11,6 +11,8 @@
 // a membership change) to see what the redundant networks buy.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "harness/calibration.h"
 #include "harness/drivers.h"
 #include "harness/sim_cluster.h"
@@ -117,4 +119,4 @@ BENCHMARK(BM_NodeCrashReconfiguration)->Unit(benchmark::kMillisecond)->Iteration
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("failover_transparency")

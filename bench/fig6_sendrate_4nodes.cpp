@@ -15,4 +15,4 @@ BENCHMARK(BM_Fig6_SendRate_4Nodes)->Apply(register_figure_args);
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("fig6_sendrate_4nodes")

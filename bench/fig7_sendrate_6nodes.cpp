@@ -11,4 +11,4 @@ BENCHMARK(BM_Fig7_SendRate_6Nodes)->Apply(register_figure_args);
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("fig7_sendrate_6nodes")

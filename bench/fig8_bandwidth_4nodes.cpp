@@ -14,4 +14,4 @@ BENCHMARK(BM_Fig8_Bandwidth_4Nodes)->Apply(register_figure_args);
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("fig8_bandwidth_4nodes")

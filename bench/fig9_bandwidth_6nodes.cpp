@@ -10,4 +10,4 @@ BENCHMARK(BM_Fig9_Bandwidth_6Nodes)->Apply(register_figure_args);
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("fig9_bandwidth_6nodes")

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "harness/calibration.h"
 #include "harness/drivers.h"
 #include "harness/sim_cluster.h"
@@ -24,6 +25,12 @@ struct FigurePoint {
   double kbytes_per_sec = 0;
   double net0_utilization = 0;
   double cpu0_utilization = 0;
+  // Node 0's send->deliver latency and token rotation percentiles over the
+  // measured second (from its metrics registry; 0 when nothing recorded).
+  double p50_delivery_us = 0;
+  double p99_delivery_us = 0;
+  double p50_rotation_us = 0;
+  double p99_rotation_us = 0;
 };
 
 /// Run one saturated configuration and measure application-visible
@@ -46,6 +53,7 @@ inline FigurePoint run_figure_point(std::size_t nodes, api::ReplicationStyle sty
   driver.start();
   cluster.run_for(Duration{200'000});
   cluster.clear_recordings();
+  cluster.node(0).metrics().reset();  // percentiles cover the measured window
 
   const auto wire_before = cluster.network(0).stats().wire_busy;
   const auto cpu_before = cluster.host(0).cpu().total_busy();
@@ -65,6 +73,15 @@ inline FigurePoint run_figure_point(std::size_t nodes, api::ReplicationStyle sty
       std::chrono::duration<double>(cluster.host(0).cpu().total_busy() - cpu_before)
           .count() /
       seconds;
+  const MetricsSnapshot metrics = cluster.node(0).metrics().snapshot();
+  if (const auto* d = metrics.find_histogram("srp.delivery_latency_us")) {
+    p.p50_delivery_us = d->p50();
+    p.p99_delivery_us = d->p99();
+  }
+  if (const auto* r = metrics.find_histogram("srp.token_rotation_us")) {
+    p.p50_rotation_us = r->p50();
+    p.p99_rotation_us = r->p99();
+  }
   return p;
 }
 
@@ -87,6 +104,10 @@ inline void figure_bench(benchmark::State& state, std::size_t nodes) {
   state.counters["kbytes_per_sec"] = p.kbytes_per_sec;
   state.counters["net0_util"] = p.net0_utilization;
   state.counters["cpu0_util"] = p.cpu0_utilization;
+  state.counters["p50_delivery_us"] = p.p50_delivery_us;
+  state.counters["p99_delivery_us"] = p.p99_delivery_us;
+  state.counters["p50_rotation_us"] = p.p50_rotation_us;
+  state.counters["p99_rotation_us"] = p.p99_rotation_us;
   state.SetLabel(to_string(style));
 }
 

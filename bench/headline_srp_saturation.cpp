@@ -2,8 +2,13 @@
 // 100 Mbit/s Ethernet delivers more than 9,000 1-Kbyte msgs/sec — close to
 // 90% wire utilization. This bench regenerates that number on the simulated
 // substrate and is the calibration anchor for Figures 6-9.
+//
+// Besides throughput it reports node 0's send->deliver latency and token
+// rotation percentiles over the measured second (from the node's metrics
+// registry), and writes everything to BENCH_headline_srp_saturation.json.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "harness/calibration.h"
 #include "harness/drivers.h"
 #include "harness/sim_cluster.h"
@@ -17,6 +22,7 @@ void BM_HeadlineSaturation(benchmark::State& state) {
   std::uint64_t bytes = 0;
   double sim_seconds = 0;
   double utilization = 0;
+  MetricsSnapshot metrics;
 
   for (auto _ : state) {
     ClusterConfig cfg;
@@ -34,6 +40,7 @@ void BM_HeadlineSaturation(benchmark::State& state) {
     driver.start();
     cluster.run_for(Duration{200'000});  // warm-up
     cluster.clear_recordings();
+    cluster.node(0).metrics().reset();   // percentiles cover the measured window only
     const Duration measured{1'000'000};  // 1 simulated second
     const auto wire_before = cluster.network(0).stats().wire_busy;
     cluster.run_for(measured);
@@ -44,11 +51,21 @@ void BM_HeadlineSaturation(benchmark::State& state) {
     sim_seconds = std::chrono::duration<double>(measured).count();
     utilization =
         std::chrono::duration<double>(wire_after - wire_before).count() / sim_seconds;
+    metrics = cluster.node(0).metrics().snapshot();
   }
 
   state.counters["msgs_per_sec"] = static_cast<double>(msgs) / sim_seconds;
   state.counters["kbytes_per_sec"] = static_cast<double>(bytes) / 1024.0 / sim_seconds;
   state.counters["net0_utilization"] = utilization;
+  if (const auto* d = metrics.find_histogram("srp.delivery_latency_us")) {
+    state.counters["p50_delivery_us"] = d->p50();
+    state.counters["p99_delivery_us"] = d->p99();
+  }
+  if (const auto* r = metrics.find_histogram("srp.token_rotation_us")) {
+    state.counters["p50_rotation_us"] = r->p50();
+    state.counters["p99_rotation_us"] = r->p99();
+  }
+  state.SetLabel(to_string(style));
 }
 
 BENCHMARK(BM_HeadlineSaturation)
@@ -62,4 +79,4 @@ BENCHMARK(BM_HeadlineSaturation)
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("headline_srp_saturation")

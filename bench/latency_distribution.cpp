@@ -10,6 +10,8 @@
 // Reports p50 / p99 / max send-to-deliver latency observed at node 0.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include <algorithm>
 
 #include "harness/calibration.h"
@@ -100,4 +102,4 @@ BENCHMARK(BM_DeliveryLatency)
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("latency_distribution")

@@ -5,6 +5,8 @@
 // ~n respectively.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "figure_common.h"
 
 namespace totem::harness {
@@ -59,4 +61,4 @@ BENCHMARK(BM_RingSizeSweep)
 }  // namespace
 }  // namespace totem::harness
 
-BENCHMARK_MAIN();
+TOTEM_BENCH_MAIN("scalability_sweep")

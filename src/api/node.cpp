@@ -17,6 +17,14 @@ Node::Node(TimerService& timers, std::vector<net::Transport*> transports, NodeCo
   if (const Status s = validate(config, transports.size()); !s.is_ok()) {
     throw std::invalid_argument("invalid NodeConfig: " + s.message());
   }
+  // Every layer records into the node-wide registry unless the caller
+  // injected one of their own (config is by value, so this is local).
+  if (!config.srp.metrics) config.srp.metrics = &metrics_;
+  if (!config.active.metrics) config.active.metrics = &metrics_;
+  if (!config.passive.metrics) config.passive.metrics = &metrics_;
+  if (!config.active_passive.monitor.metrics) {
+    config.active_passive.monitor.metrics = &metrics_;
+  }
   switch (config.style) {
     case ReplicationStyle::kNone:
       replicator_ = std::make_unique<rrp::NullReplicator>(*transports.front());

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/timer_service.h"
 #include "net/transport.h"
@@ -95,8 +96,16 @@ class Node {
   [[nodiscard]] const rrp::Replicator& replicator() const { return *replicator_; }
   [[nodiscard]] ReplicationStyle style() const { return style_; }
 
+  /// The node-wide metrics registry (latency histograms + event counters
+  /// from every layer). The Node owns it and injects it into the SRP and
+  /// RRP configs at construction; config-supplied registry pointers are
+  /// honored instead if the caller already set them.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   ReplicationStyle style_;
+  MetricsRegistry metrics_;  // declared before the layers that record into it
   std::unique_ptr<rrp::Replicator> replicator_;
   std::unique_ptr<srp::SingleRing> ring_;
 };

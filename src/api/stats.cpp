@@ -1,6 +1,9 @@
 #include "api/stats.h"
 
+#include <set>
 #include <sstream>
+
+#include "common/json.h"
 
 namespace totem::api {
 
@@ -18,6 +21,7 @@ StatsSnapshot snapshot(const Node& node,
   snap.srp = node.ring().stats();
   snap.rrp = node.replicator().stats();
   snap.buffer_pool = node.ring().buffer_pool().stats();
+  snap.metrics = node.metrics().snapshot();
   for (const net::Transport* t : transports) {
     NetworkSnapshot ns;
     ns.network = t->network_id();
@@ -59,9 +63,151 @@ std::string to_string(const StatsSnapshot& snap) {
     out << "  net" << static_cast<int>(n.network) << (n.faulty ? " FAULTY" : "        ")
         << " tx=" << n.transport.packets_sent << "/" << n.transport.bytes_sent << "B"
         << " rx=" << n.transport.packets_received << "/" << n.transport.bytes_received
-        << "B\n";
+        << "B";
+    if (n.transport.rx_dropped || n.transport.rx_truncated || n.transport.rx_short) {
+      out << " drop=" << n.transport.rx_dropped << " trunc=" << n.transport.rx_truncated
+          << " short=" << n.transport.rx_short;
+    }
+    out << "\n";
   }
+  out << snap.metrics.to_string();
   return out.str();
+}
+
+namespace {
+
+void write_srp(JsonWriter& w, const srp::SingleRing::Stats& s) {
+  w.begin_object();
+  w.kv("messages_sent", s.messages_sent);
+  w.kv("bytes_sent", s.bytes_sent);
+  w.kv("messages_broadcast", s.messages_broadcast);
+  w.kv("messages_delivered", s.messages_delivered);
+  w.kv("bytes_delivered", s.bytes_delivered);
+  w.kv("duplicates_dropped", s.duplicates_dropped);
+  w.kv("retransmissions_sent", s.retransmissions_sent);
+  w.kv("retransmit_requests", s.retransmit_requests);
+  w.kv("tokens_processed", s.tokens_processed);
+  w.kv("duplicate_tokens", s.duplicate_tokens);
+  w.kv("token_retention_resends", s.token_retention_resends);
+  w.kv("token_loss_events", s.token_loss_events);
+  w.kv("stale_packets", s.stale_packets);
+  w.kv("malformed_packets", s.malformed_packets);
+  w.kv("send_queue_rejects", s.send_queue_rejects);
+  w.kv("membership_changes", s.membership_changes);
+  w.kv("old_ring_messages_recovered", s.old_ring_messages_recovered);
+  w.kv("old_ring_messages_lost", s.old_ring_messages_lost);
+  w.end_object();
+}
+
+void write_rrp(JsonWriter& w, const rrp::Replicator::Stats& s) {
+  w.begin_object();
+  w.kv("messages_sent", s.messages_sent);
+  w.kv("tokens_sent", s.tokens_sent);
+  w.kv("packets_fanned_out", s.packets_fanned_out);
+  w.kv("messages_delivered_up", s.messages_delivered_up);
+  w.kv("tokens_delivered_up", s.tokens_delivered_up);
+  w.kv("duplicate_tokens_absorbed", s.duplicate_tokens_absorbed);
+  w.kv("token_timer_expiries", s.token_timer_expiries);
+  w.kv("faults_reported", s.faults_reported);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string StatsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("node", static_cast<std::uint64_t>(node));
+  w.kv("style", api::to_string(style));
+  w.kv("state", srp::to_string(state));
+  w.key("ring");
+  w.begin_object();
+  w.kv("representative", static_cast<std::uint64_t>(ring.representative));
+  w.kv("ring_seq", ring.ring_seq);
+  w.end_object();
+  w.kv("member_count", static_cast<std::uint64_t>(member_count));
+  w.kv("my_aru", my_aru);
+  w.kv("safe_up_to", safe_up_to);
+  w.kv("send_queue_depth", static_cast<std::uint64_t>(send_queue_depth));
+  w.key("srp");
+  write_srp(w, srp);
+  w.key("rrp");
+  write_rrp(w, rrp);
+  w.key("buffer_pool");
+  w.begin_object();
+  w.kv("allocations", buffer_pool.allocations);
+  w.kv("reuses", buffer_pool.reuses);
+  w.kv("returns", buffer_pool.returns);
+  w.kv("outstanding", buffer_pool.outstanding);
+  w.kv("high_water", buffer_pool.high_water);
+  w.end_object();
+  w.key("networks");
+  w.begin_array();
+  for (const auto& n : networks) {
+    w.begin_object();
+    w.kv("network", static_cast<std::uint64_t>(n.network));
+    w.kv("faulty", n.faulty);
+    w.kv("packets_sent", n.transport.packets_sent);
+    w.kv("packets_received", n.transport.packets_received);
+    w.kv("bytes_sent", n.transport.bytes_sent);
+    w.kv("bytes_received", n.transport.bytes_received);
+    w.kv("rx_dropped", n.transport.rx_dropped);
+    w.kv("rx_truncated", n.transport.rx_truncated);
+    w.kv("rx_short", n.transport.rx_short);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  w.raw(metrics.to_json());
+  w.end_object();
+  return w.take();
+}
+
+std::string StatsSnapshot::to_prometheus() const {
+  const std::string label = "node=\"" + std::to_string(node) + "\"";
+  std::string out;
+  std::set<std::string> typed;  // one # TYPE line per metric family
+  auto scalar = [&](const char* name, const char* type, std::uint64_t v,
+                    const std::string& extra = {}) {
+    if (typed.insert(name).second) {
+      out += "# TYPE totem_";
+      out += name;
+      out += ' ';
+      out += type;
+      out += '\n';
+    }
+    out += "totem_";
+    out += name;
+    out += '{';
+    out += label;
+    out += extra;
+    out += "} ";
+    out += std::to_string(v);
+    out += '\n';
+  };
+  scalar("member_count", "gauge", member_count);
+  scalar("my_aru", "gauge", my_aru);
+  scalar("safe_up_to", "gauge", safe_up_to);
+  scalar("send_queue_depth", "gauge", send_queue_depth);
+  scalar("srp_messages_delivered", "counter", srp.messages_delivered);
+  scalar("srp_messages_broadcast", "counter", srp.messages_broadcast);
+  scalar("srp_retransmissions_sent", "counter", srp.retransmissions_sent);
+  scalar("srp_tokens_processed", "counter", srp.tokens_processed);
+  scalar("srp_membership_changes", "counter", srp.membership_changes);
+  scalar("rrp_packets_fanned_out", "counter", rrp.packets_fanned_out);
+  scalar("rrp_duplicate_tokens_absorbed", "counter", rrp.duplicate_tokens_absorbed);
+  scalar("rrp_faults_reported", "counter", rrp.faults_reported);
+  for (const auto& n : networks) {
+    const std::string net = ",network=\"" + std::to_string(n.network) + "\"";
+    scalar("net_faulty", "gauge", n.faulty ? 1 : 0, net);
+    scalar("net_packets_sent", "counter", n.transport.packets_sent, net);
+    scalar("net_packets_received", "counter", n.transport.packets_received, net);
+    scalar("net_rx_dropped", "counter", n.transport.rx_dropped, net);
+    scalar("net_rx_truncated", "counter", n.transport.rx_truncated, net);
+    scalar("net_rx_short", "counter", n.transport.rx_short, net);
+  }
+  out += metrics.to_prometheus(label);
+  return out;
 }
 
 }  // namespace totem::api

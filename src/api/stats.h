@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/node.h"
+#include "common/metrics.h"
 #include "common/packet_buffer.h"
 
 namespace totem::api {
@@ -29,6 +30,13 @@ struct StatsSnapshot {
   rrp::Replicator::Stats rrp;
   BufferPool::Stats buffer_pool;  // the ring's packet-encode pool
   std::vector<NetworkSnapshot> networks;
+  /// Latency histograms + event counters from the node's MetricsRegistry.
+  MetricsSnapshot metrics;
+
+  /// One JSON object covering every field above (histograms included).
+  [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition; every sample is labelled node="<id>".
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// Capture a snapshot of `node` and its transports (pass the same transport

@@ -1,0 +1,139 @@
+// JsonWriter: a minimal streaming JSON emitter shared by every export
+// surface in the repo (metrics snapshots, api::StatsSnapshot::to_json,
+// TraceRing::to_jsonl, bench reports, chaos-failure artifacts).
+//
+// It is deliberately tiny: a comma-state stack plus string escaping. It
+// never parses, never allocates per-value beyond the output string, and
+// guards non-finite doubles (NaN/inf render as null — JSON has no
+// spelling for them and downstream tooling chokes otherwise).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace totem {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    append_escaped(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    append_escaped(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null() {
+    comma();
+    out_ += "null";
+    return *this;
+  }
+
+  /// Splice pre-rendered JSON (e.g. a nested snapshot's to_json()) as one value.
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    return *this;
+  }
+
+  template <typename V>
+  JsonWriter& kv(std::string_view k, V&& v) {
+    key(k);
+    return value(std::forward<V>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    if (!first_.empty()) first_.pop_back();
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value immediately follows its key, no comma
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+  void append_escaped(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace totem

@@ -1,0 +1,203 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace totem {
+
+namespace {
+
+// Value range covered by bucket i (see header: bucket 0 = {0},
+// bucket i >= 1 = [2^(i-1), 2^i - 1], top bucket open-ended).
+void bucket_range(std::size_t i, std::uint64_t& lo, std::uint64_t& hi) {
+  if (i == 0) {
+    lo = hi = 0;
+    return;
+  }
+  lo = std::uint64_t{1} << (i - 1);
+  hi = (i >= 64) ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  if (i == LatencyHistogram::kBuckets - 1) hi = ~std::uint64_t{0};
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "totem_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string label_block(std::string_view labels, std::string_view extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cum += buckets[i];
+    if (cum < target) continue;
+    std::uint64_t lo = 0, hi = 0;
+    bucket_range(i, lo, hi);
+    const std::uint64_t before = cum - buckets[i];
+    const double frac =
+        buckets[i] <= 1 ? 0.0
+                        : static_cast<double>(target - before - 1) /
+                              static_cast<double>(buckets[i] - 1);
+    const double v =
+        static_cast<double>(lo) +
+        frac * (static_cast<double>(hi) - static_cast<double>(lo));
+    return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : counters) w.kv(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : gauges) w.kv(g.name, g.value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("mean", h.mean());
+    w.kv("p50", h.p50());
+    w.kv("p90", h.p90());
+    w.kv("p99", h.p99());
+    w.kv("p999", h.p999());
+    // Sparse bucket dump ([index, count] pairs) so offline tooling can
+    // re-derive any quantile without us guessing which it wants.
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.begin_array().value(static_cast<std::uint64_t>(i)).value(h.buckets[i]).end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string MetricsSnapshot::to_prometheus(std::string_view labels) const {
+  std::ostringstream out;
+  for (const auto& c : counters) {
+    const std::string n = prometheus_name(c.name);
+    out << "# TYPE " << n << " counter\n"
+        << n << label_block(labels) << " " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string n = prometheus_name(g.name);
+    out << "# TYPE " << n << " gauge\n"
+        << n << label_block(labels) << " " << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string n = prometheus_name(h.name);
+    out << "# TYPE " << n << " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", h.p50()}, {"0.9", h.p90()}, {"0.99", h.p99()}, {"0.999", h.p999()}};
+    for (const auto& [q, v] : quantiles) {
+      out << n
+          << label_block(labels,
+                         std::string("quantile=\"") + q + "\"")
+          << " " << v << "\n";
+    }
+    out << n << "_sum" << label_block(labels) << " " << h.sum << "\n"
+        << n << "_count" << label_block(labels) << " " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  for (const auto& c : counters) {
+    if (c.value == 0) continue;
+    out << "  " << c.name << ": " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    if (g.value == 0) continue;
+    out << "  " << g.name << ": " << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    if (h.count == 0) continue;
+    out << "  " << h.name << ": n=" << h.count << " mean=" << h.mean()
+        << " min=" << h.min << " p50=" << h.p50() << " p90=" << h.p90()
+        << " p99=" << h.p99() << " p999=" << h.p999() << " max=" << h.max
+        << "\n";
+  }
+  return out.str();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.min = h.min();
+    hs.max = h.max();
+    hs.buckets = h.buckets();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace totem

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/json.h"
+
 namespace totem {
 
 const char* to_string(TraceKind kind) {
@@ -61,6 +63,8 @@ std::string to_string(const TraceRecord& record) {
       out << " network=" << record.a << " reason=" << record.b;
       break;
     case TraceKind::kTokenTimerExpired:
+      out << " missing=" << record.a << " seq=" << record.b;
+      break;
     case TraceKind::kDuplicateTokenAbsorbed:
       out << " network=" << record.a;
       break;
@@ -68,6 +72,42 @@ std::string to_string(const TraceRecord& record) {
       break;
   }
   return out.str();
+}
+
+std::string to_json(const TraceRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("t_us", static_cast<std::int64_t>(record.at.time_since_epoch().count()));
+  w.kv("kind", to_string(record.kind));
+  w.kv("a", record.a);
+  w.kv("b", record.b);
+  w.end_object();
+  return w.take();
+}
+
+std::string TraceRing::to_jsonl(std::size_t last_n) const {
+  std::string out;
+  auto records = snapshot();
+  const std::size_t skip =
+      (last_n > 0 && records.size() > last_n) ? records.size() - last_n : 0;
+  for (std::size_t i = skip; i < records.size(); ++i) {
+    out += to_json(records[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceRing::to_json_array(std::size_t last_n) const {
+  JsonWriter w;
+  w.begin_array();
+  auto records = snapshot();
+  const std::size_t skip =
+      (last_n > 0 && records.size() > last_n) ? records.size() - last_n : 0;
+  for (std::size_t i = skip; i < records.size(); ++i) {
+    w.raw(to_json(records[i]));
+  }
+  w.end_array();
+  return w.take();
 }
 
 std::string TraceRing::to_string() const {

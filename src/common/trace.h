@@ -29,7 +29,10 @@ enum class TraceKind : std::uint8_t {
   kStateChange,         // a = new srp state
   kMembershipInstalled, // a = ring representative, b = ring seq
   kSafeAdvanced,        // a = safe seq
-  kTokenTimerExpired,   // RRP copy-collection / buffer timer (a = network... 0)
+  kTokenTimerExpired,   // RRP copy-collection / buffer timer fired.
+                        //   active / active-passive: a = bitmask of networks
+                        //   whose token copy was still missing, b = token seq
+                        //   passive: a = buffered token's network, b = token seq
   kDuplicateTokenAbsorbed,  // a = network
   kNetworkFault,        // a = network, b = reason enum
 };
@@ -75,11 +78,22 @@ class TraceRing {
   /// Multi-line human-readable dump, oldest first.
   [[nodiscard]] std::string to_string() const;
 
+  /// One JSON object per line, oldest first (JSONL). last_n = 0 dumps
+  /// everything currently held; otherwise only the newest last_n records.
+  [[nodiscard]] std::string to_jsonl(std::size_t last_n = 0) const;
+
+  /// Same records as a single JSON array value (for splicing into a
+  /// larger document, e.g. a chaos-failure artifact).
+  [[nodiscard]] std::string to_json_array(std::size_t last_n = 0) const;
+
  private:
   std::vector<TraceRecord> records_;
   std::size_t next_ = 0;
 };
 
 [[nodiscard]] std::string to_string(const TraceRecord& record);
+
+/// One compact JSON object: {"t_us":...,"kind":"...","a":...,"b":...}.
+[[nodiscard]] std::string to_json(const TraceRecord& record);
 
 }  // namespace totem

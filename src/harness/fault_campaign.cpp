@@ -1,11 +1,15 @@
 #include "harness/fault_campaign.h"
 
 #include <algorithm>
+#include <fstream>
 #include <functional>
 #include <sstream>
 
+#include "api/stats.h"
 #include "common/bytes.h"
+#include "common/json.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace totem::harness {
 
@@ -275,6 +279,14 @@ std::vector<FaultEvent> generate_schedule(const CampaignOptions& o) {
   return out;
 }
 
+std::string CampaignResult::replay_command() const {
+  std::ostringstream os;
+  os << "totem_chaos --seed=" << options.seed
+     << " --style=" << api::to_string(options.style)
+     << " --networks=" << options.networks << " --events=" << options.events;
+  return os.str();
+}
+
 std::string CampaignResult::describe() const {
   std::ostringstream os;
   os << "campaign seed=" << options.seed << " style=" << api::to_string(options.style)
@@ -284,12 +296,65 @@ std::string CampaignResult::describe() const {
   os << "verdict: " << report.to_string();
   if (!report.ok()) {
     if (!observations.empty()) os << "observations:\n" << observations;
-    os << "replay: totem_chaos --seed=" << options.seed
-       << " --style=" << api::to_string(options.style)
-       << " --networks=" << options.networks << " --events=" << options.events << "\n";
+    os << "replay: " << replay_command() << "\n";
   }
   return os.str();
 }
+
+bool CampaignResult::write_failure_artifact(const std::string& path) const {
+  if (artifact_json.empty()) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << artifact_json << "\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+/// The triage bundle dumped when an invariant check fails: everything an
+/// engineer needs to start on the failure without re-running it.
+std::string build_artifact(const CampaignResult& result, SimCluster& cluster) {
+  const CampaignOptions& o = result.options;
+  JsonWriter w;
+  w.begin_object();
+  w.key("campaign");
+  w.begin_object();
+  w.kv("seed", o.seed);
+  w.kv("style", api::to_string(o.style));
+  w.kv("nodes", static_cast<std::uint64_t>(o.nodes));
+  w.kv("networks", static_cast<std::uint64_t>(o.networks));
+  w.kv("events", static_cast<std::uint64_t>(o.events));
+  w.end_object();
+  w.kv("replay", result.replay_command());
+  w.key("violations");
+  w.begin_array();
+  for (const auto& v : result.report.violations) w.value(v);
+  w.end_array();
+  w.key("schedule");
+  w.begin_array();
+  for (const auto& ev : result.schedule) w.value(to_string(ev));
+  w.end_array();
+  w.key("nodes");
+  w.begin_array();
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    w.begin_object();
+    w.kv("node", static_cast<std::uint64_t>(i));
+    w.key("stats");
+    w.raw(api::snapshot(cluster.node(i), cluster.transports(i)).to_json());
+    w.key("trace");
+    if (const TraceRing* tr = cluster.trace(i)) {
+      w.raw(tr->to_json_array(o.artifact_trace_last_n));
+    } else {
+      w.raw("[]");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
 
 CampaignResult run_campaign(CampaignOptions o) {
   if (o.style == api::ReplicationStyle::kActivePassive && o.networks < 3) {
@@ -466,7 +531,10 @@ CampaignResult run_campaign(CampaignOptions o) {
   sim.run_for(o.drain);
 
   result.report = check_invariants(cluster, ctx);
-  if (!result.report.ok()) result.observations = dump_observations(cluster);
+  if (!result.report.ok()) {
+    result.observations = dump_observations(cluster);
+    result.artifact_json = build_artifact(result, cluster);
+  }
   return result;
 }
 

@@ -79,6 +79,10 @@ struct CampaignOptions {
   Duration drain{1'000'000};         // probe -> verdict
   Duration reformation_budget{6'000'000};
   Duration fault_report_grace{2'000'000};
+
+  /// How many of each node's most recent trace records the failure
+  /// artifact carries (0 = the whole ring).
+  std::size_t artifact_trace_last_n = 256;
 };
 
 /// Deterministically expand (seed, options) into a sorted fault schedule.
@@ -93,11 +97,20 @@ struct CampaignResult {
   InvariantReport report;
   /// dump_observations() snapshot, captured only when a check failed.
   std::string observations;
+  /// Machine-readable triage bundle, captured only when a check failed:
+  /// violated invariants, the schedule, the replay command, and per-node
+  /// stats snapshots (histograms included) + last-N trace records.
+  std::string artifact_json;
 
   [[nodiscard]] bool ok() const { return report.ok(); }
   /// Everything a human needs to act on a failure: options, the full event
   /// schedule, every violation, and the exact replay command.
   [[nodiscard]] std::string describe() const;
+  /// The exact `totem_chaos --seed=...` command that reproduces this run.
+  [[nodiscard]] std::string replay_command() const;
+  /// Write artifact_json to `path`. Returns false (artifact empty or I/O
+  /// error) without throwing — triage must not mask the original failure.
+  [[nodiscard]] bool write_failure_artifact(const std::string& path) const;
 };
 
 /// Build the cluster, run the schedule, heal, converge, probe, and check

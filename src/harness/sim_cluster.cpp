@@ -32,6 +32,7 @@ SimCluster::SimCluster(ClusterConfig config)
     for (std::size_t n = 0; n < nets; ++n) {
       transports.push_back(&networks_[n]->attach(*hosts_[i]));
     }
+    transports_.emplace_back(transports.begin(), transports.end());
 
     api::NodeConfig nc;
     nc.srp = config_.srp;
@@ -41,6 +42,17 @@ SimCluster::SimCluster(ClusterConfig config)
     nc.active = config_.active;
     nc.passive = config_.passive;
     nc.active_passive = config_.active_passive;
+    traces_.push_back(config_.trace_capacity > 0
+                          ? std::make_unique<TraceRing>(config_.trace_capacity)
+                          : nullptr);
+    if (TraceRing* tr = traces_.back().get()) {
+      // One recorder per node, shared by its SRP and RRP layers (callers
+      // that pre-set a ring in the config template keep theirs).
+      if (!nc.srp.trace) nc.srp.trace = tr;
+      if (!nc.active.trace) nc.active.trace = tr;
+      if (!nc.passive.trace) nc.passive.trace = tr;
+      if (!nc.active_passive.monitor.trace) nc.active_passive.monitor.trace = tr;
+    }
 
     nodes_.push_back(std::make_unique<api::Node>(sim_, transports, nc, hosts_[i].get()));
 

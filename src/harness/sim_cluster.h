@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "api/node.h"
+#include "common/trace.h"
 #include "net/sim_network.h"
 #include "rrp/replicator.h"
 #include "sim/simulator.h"
@@ -37,6 +38,10 @@ struct ClusterConfig {
   /// Record every delivery's payload (disable for throughput benches to
   /// keep memory flat; counters still accumulate).
   bool record_payloads = true;
+
+  /// Capacity of each node's protocol flight recorder (common/trace.h),
+  /// wired into the SRP and RRP configs. 0 disables tracing entirely.
+  std::size_t trace_capacity = 1024;
 };
 
 struct RecordedDelivery {
@@ -104,6 +109,13 @@ class SimCluster {
   [[nodiscard]] std::size_t network_count() const { return networks_.size(); }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
+  /// Node i's flight recorder — null when trace_capacity is 0.
+  [[nodiscard]] const TraceRing* trace(std::size_t i) const { return traces_[i].get(); }
+  /// Node i's transports (one per network) in api::snapshot()-ready form.
+  [[nodiscard]] const std::vector<const net::Transport*>& transports(std::size_t i) const {
+    return transports_[i];
+  }
+
   // ---- recorded observations ----
   [[nodiscard]] const std::vector<RecordedDelivery>& deliveries(NodeId at) const {
     return deliveries_[at];
@@ -147,7 +159,9 @@ class SimCluster {
   sim::Simulator sim_;
   std::vector<std::unique_ptr<net::SimNetwork>> networks_;
   std::vector<std::unique_ptr<net::SimHost>> hosts_;
+  std::vector<std::unique_ptr<TraceRing>> traces_;  // before nodes_: outlives them
   std::vector<std::unique_ptr<api::Node>> nodes_;
+  std::vector<std::vector<const net::Transport*>> transports_;
 
   std::vector<srp::SingleRing::DeliverHandler> app_deliver_;
   std::vector<srp::SingleRing::StateObserver> app_state_;

@@ -55,6 +55,11 @@ class Transport {
     std::uint64_t packets_received = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    // RX-side drop accounting (populated by transports that can observe
+    // these conditions, e.g. UdpTransport; zero on the simulator).
+    std::uint64_t rx_dropped = 0;    // bad magic, own loopback copy, injected fault
+    std::uint64_t rx_truncated = 0;  // datagram exceeded the RX buffer
+    std::uint64_t rx_short = 0;      // datagram shorter than the framing header
   };
   [[nodiscard]] virtual const Stats& stats() const = 0;
 

@@ -116,6 +116,11 @@ UdpTransport::UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd
   if (mcast_fd_ >= 0) {
     reactor_.register_fd(mcast_fd_, [this] { drain(mcast_fd_); });
   }
+  if (config_.metrics) {
+    const std::string net = std::to_string(config_.network);
+    tx_batch_hist_ = config_.metrics->histogram("net.tx_batch.net" + net);
+    rx_batch_hist_ = config_.metrics->histogram("net.rx_batch.net" + net);
+  }
 }
 
 UdpTransport::~UdpTransport() {
@@ -164,12 +169,16 @@ void UdpTransport::broadcast(PacketBuffer packet) {
   if (mcast_fd_ >= 0) {
     // One datagram to the group — the native broadcast Totem exploits (§2).
     send_frame(UdpEndpoint{config_.multicast_group, config_.multicast_port});
+    if (tx_batch_hist_) tx_batch_hist_->record(1);
     return;
   }
+  std::uint64_t sent = 0;
   for (const auto& [node, ep] : config_.peers) {
     if (node == config_.local_node) continue;
     send_frame(ep);
+    ++sent;
   }
+  if (tx_batch_hist_) tx_batch_hist_->record(sent);
 }
 
 void UdpTransport::unicast(NodeId dest, PacketBuffer packet) {
@@ -187,25 +196,43 @@ void UdpTransport::drain(int fd) {
   // Each datagram lands in a pooled buffer: the pool recycles the max-size
   // slab (no 64 KB zero-fill per recv) and the framing header is stripped
   // by narrowing the view, not by copying the payload out.
+  std::uint64_t drained = 0;
   for (;;) {
     PacketBuffer buf = rx_pool_.acquire_uninitialized(kMaxDatagram);
     Bytes& storage = buf.mutable_bytes();
-    const ssize_t n = ::recv(fd, storage.data(), kMaxDatagram, 0);
+    // MSG_TRUNC makes recv() return the datagram's REAL length even when it
+    // exceeds the buffer, so oversized datagrams are counted, not silently
+    // clipped into parse garbage.
+    const ssize_t n = ::recv(fd, storage.data(), kMaxDatagram, MSG_TRUNC);
     if (n < 0) {
       if (errno != EAGAIN && errno != EWOULDBLOCK) {
         TLOG_DEBUG << "udp recv failed: " << std::strerror(errno);
       }
-      return;
+      break;
     }
-    if (recv_fault_) continue;
+    ++drained;
+    if (recv_fault_) {
+      ++stats_.rx_dropped;
+      continue;
+    }
+    if (static_cast<std::size_t>(n) > kMaxDatagram) {
+      ++stats_.rx_truncated;
+      continue;
+    }
+    if (static_cast<std::size_t>(n) < kUdpHeader) {
+      ++stats_.rx_short;
+      continue;
+    }
     buf.truncate(static_cast<std::size_t>(n));
     ByteReader r(buf);
     auto magic = r.u32();
     auto sender = r.u32();
     if (!magic || !sender || magic.value() != kUdpMagic) {
+      ++stats_.rx_dropped;
       continue;  // not ours; a faulty network may deliver garbage
     }
     if (sender.value() == config_.local_node) {
+      ++stats_.rx_dropped;
       continue;  // multicast loopback copy of our own broadcast
     }
     ++stats_.packets_received;
@@ -215,6 +242,7 @@ void UdpTransport::drain(int fd) {
       rx_handler_(ReceivedPacket{std::move(buf), sender.value(), config_.network});
     }
   }
+  if (rx_batch_hist_ && drained > 0) rx_batch_hist_->record(drained);
 }
 
 std::map<NodeId, UdpEndpoint> loopback_peers(std::uint16_t base_port,

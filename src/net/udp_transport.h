@@ -16,6 +16,7 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/reactor.h"
 #include "net/transport.h"
@@ -47,6 +48,11 @@ class UdpTransport final : public Transport {
     std::string multicast_group;
     std::uint16_t multicast_port = 0;
     std::string multicast_interface = "127.0.0.1";
+
+    /// Optional metrics registry (common/metrics.h): send/recv batch-size
+    /// histograms (net.tx_batch.netN / net.rx_batch.netN) are recorded
+    /// here when set. Not owned; must outlive the transport.
+    MetricsRegistry* metrics = nullptr;
   };
 
   /// Binds the local endpoint and registers with the reactor.
@@ -94,6 +100,8 @@ class UdpTransport final : public Transport {
   std::uint64_t loss_rng_state_;
   Bytes tx_frame_;       // reused across sends; capacity stabilizes quickly
   BufferPool rx_pool_;   // received datagrams, handed up by refcount
+  LatencyHistogram* tx_batch_hist_ = nullptr;  // datagrams per broadcast()
+  LatencyHistogram* rx_batch_hist_ = nullptr;  // datagrams per drain() round
 };
 
 /// Convenience: build the peer map for `node_count` nodes on loopback with

@@ -22,6 +22,16 @@ ActivePassiveReplicator::ActivePassiveReplicator(TimerService& timers,
   for (net::Transport* t : transports_) {
     t->set_rx_handler([this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
   }
+  last_token_at_.resize(transports_.size());
+  evidence_start_.resize(transports_.size());
+  if (config_.monitor.metrics) {
+    token_gap_hists_.reserve(transports_.size());
+    for (std::size_t i = 0; i < transports_.size(); ++i) {
+      token_gap_hists_.push_back(config_.monitor.metrics->histogram(
+          "rrp.token_gap_us.net" + std::to_string(i)));
+    }
+    fault_detect_hist_ = config_.monitor.metrics->histogram("rrp.fault_detect_us");
+  }
   aging_timer_ = timers_.schedule(config_.monitor.aging_interval, [this] { on_aging(); });
 }
 
@@ -70,6 +80,16 @@ void ActivePassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
   if (!info) return;
 
   if (info.value().type == srp::wire::PacketType::kToken) {
+    if (!token_gap_hists_.empty() && packet.network < last_token_at_.size()) {
+      // Per-network token inter-arrival (K-of-N round robin: a healthy
+      // network's gap is ~(N/K) x the rotation time).
+      const TimePoint now = timers_.now();
+      if (last_token_at_[packet.network]) {
+        token_gap_hists_[packet.network]->record(static_cast<std::uint64_t>(
+            (now - *last_token_at_[packet.network]).count()));
+      }
+      last_token_at_[packet.network] = now;
+    }
     // Stage 1: monitor. Stage 2: collect K copies.
     record_monitored(token_monitor_, packet.network);
     handle_token(packet, TokenInstance{info.value().ring, info.value().token_rotation,
@@ -145,7 +165,12 @@ void ActivePassiveReplicator::maybe_deliver(NetworkId from) {
 void ActivePassiveReplicator::on_token_timer() {
   ++stats_.token_timer_expiries;
   if (config_.monitor.trace) {
-    config_.monitor.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired);
+    std::uint64_t missing = 0;
+    for (std::size_t i = 0; i < recv_last_token_.size(); ++i) {
+      if (!recv_last_token_[i] && !faulty_[i]) missing |= std::uint64_t{1} << i;
+    }
+    config_.monitor.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired,
+                                missing, last_token_ ? last_token_->seq : 0);
   }
   if (!delivered_current_ && last_token_) {
     delivered_current_ = true;
@@ -154,14 +179,38 @@ void ActivePassiveReplicator::on_token_timer() {
 }
 
 void ActivePassiveReplicator::record_monitored(ReceptionMonitor& monitor, NetworkId net) {
-  for (NetworkId lagging : monitor.record(net)) {
+  auto newly_faulty = monitor.record(net);
+  note_evidence(monitor);
+  for (NetworkId lagging : newly_faulty) {
     declare_faulty(lagging, monitor.lag(lagging));
+  }
+}
+
+void ActivePassiveReplicator::note_evidence(const ReceptionMonitor& monitor) {
+  if (!fault_detect_hist_) return;
+  for (std::size_t i = 0; i < evidence_start_.size(); ++i) {
+    if (!evidence_start_[i] && monitor.lag(static_cast<NetworkId>(i)) > 0) {
+      evidence_start_[i] = timers_.now();
+    }
   }
 }
 
 void ActivePassiveReplicator::on_aging() {
   token_monitor_.age();
   for (auto& [_, m] : message_monitors_) m.age();
+  if (fault_detect_hist_) {
+    // Evidence that aged away entirely was sporadic loss, not a fault:
+    // restart the detection clock.
+    for (std::size_t i = 0; i < evidence_start_.size(); ++i) {
+      if (!evidence_start_[i] || faulty_[i]) continue;
+      const auto n = static_cast<NetworkId>(i);
+      std::uint64_t max_lag = token_monitor_.lag(n);
+      for (const auto& [_, m] : message_monitors_) {
+        max_lag = std::max(max_lag, m.lag(n));
+      }
+      if (max_lag == 0) evidence_start_[i].reset();
+    }
+  }
   aging_timer_ =
       timers_.schedule(config_.monitor.aging_interval, [this] { on_aging(); });
 }
@@ -169,6 +218,10 @@ void ActivePassiveReplicator::on_aging() {
 void ActivePassiveReplicator::declare_faulty(NetworkId n, std::uint64_t lag) {
   if (n >= faulty_.size() || faulty_[n]) return;
   faulty_[n] = true;
+  if (fault_detect_hist_ && evidence_start_[n]) {
+    fault_detect_hist_->record(static_cast<std::uint64_t>(
+        (timers_.now() - *evidence_start_[n]).count()));
+  }
   TLOG_WARN << "active-passive replicator: network " << static_cast<int>(n)
             << " declared faulty (reception lag " << lag << ")";
   if (config_.monitor.trace) {
@@ -187,9 +240,18 @@ void ActivePassiveReplicator::declare_faulty(NetworkId n, std::uint64_t lag) {
 
 void ActivePassiveReplicator::reset_network(NetworkId n) {
   if (n >= faulty_.size()) return;
+  const bool was_reported = faulty_[n];
   faulty_[n] = false;
   token_monitor_.reset_network(n);
   for (auto& [_, m] : message_monitors_) m.reset_network(n);
+  if (n < evidence_start_.size()) evidence_start_[n].reset();
+  if (n < last_token_at_.size()) last_token_at_[n].reset();
+  if (was_reported && config_.monitor.trace) {
+    // The other edge of the outage: a reported network aged back in.
+    config_.monitor.trace->emit(
+        timers_.now(), TraceKind::kNetworkFault, n,
+        static_cast<std::uint64_t>(NetworkFaultReport::Reason::kReinstated));
+  }
 }
 
 void ActivePassiveReplicator::mark_faulty(NetworkId n) {

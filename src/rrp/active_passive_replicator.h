@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timer_service.h"
 #include "rrp/config.h"
 #include "rrp/monitor.h"
@@ -89,6 +90,15 @@ class ActivePassiveReplicator final : public Replicator {
   ReceptionMonitor token_monitor_;
   std::map<NodeId, ReceptionMonitor> message_monitors_;
   TimerHandle aging_timer_;
+
+  // ---- metrics (null/empty unless config_.monitor.metrics) ----
+  std::vector<LatencyHistogram*> token_gap_hists_;  // rrp.token_gap_us.netI
+  LatencyHistogram* fault_detect_hist_ = nullptr;   // rrp.fault_detect_us
+  std::vector<std::optional<TimePoint>> last_token_at_;
+  /// First moment any reception monitor showed a nonzero lag for the
+  /// network; cleared when every monitor's lag ages back to zero.
+  std::vector<std::optional<TimePoint>> evidence_start_;
+  void note_evidence(const ReceptionMonitor& monitor);
 };
 
 }  // namespace totem::rrp

@@ -17,10 +17,20 @@ ActiveReplicator::ActiveReplicator(TimerService& timers,
       faulty_(transports_.size(), false),
       recv_last_token_(transports_.size(), false),
       problem_counter_(transports_.size(), 0),
-      success_streak_(transports_.size(), 0) {
+      success_streak_(transports_.size(), 0),
+      last_token_at_(transports_.size()),
+      evidence_start_(transports_.size()) {
   assert(!transports_.empty());
   for (net::Transport* t : transports_) {
     t->set_rx_handler([this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
+  }
+  if (config_.metrics) {
+    token_gap_hists_.reserve(transports_.size());
+    for (std::size_t i = 0; i < transports_.size(); ++i) {
+      token_gap_hists_.push_back(
+          config_.metrics->histogram("rrp.token_gap_us.net" + std::to_string(i)));
+    }
+    fault_detect_hist_ = config_.metrics->histogram("rrp.fault_detect_us");
   }
   decay_timer_ = timers_.schedule(config_.decay_interval, [this] { on_decay(); });
 }
@@ -57,12 +67,23 @@ void ActiveReplicator::on_packet(net::ReceivedPacket&& packet) {
 }
 
 void ActiveReplicator::credit_success(NetworkId net) {
+  if (net < last_token_at_.size() && !token_gap_hists_.empty()) {
+    // Per-network token inter-arrival: the paper's per-network health signal,
+    // recorded for every current-ring token copy this network delivered.
+    const TimePoint now = timers_.now();
+    if (last_token_at_[net]) {
+      token_gap_hists_[net]->record(
+          static_cast<std::uint64_t>((now - *last_token_at_[net]).count()));
+    }
+    last_token_at_[net] = now;
+  }
   // Traffic-proportional decay (requirement A6): successful copies earn the
   // network credit against sporadic losses.
   if (net < success_streak_.size() && config_.recovery_credit_period > 0 &&
       ++success_streak_[net] >= config_.recovery_credit_period) {
     success_streak_[net] = 0;
     if (problem_counter_[net] > 0) --problem_counter_[net];
+    if (problem_counter_[net] == 0) evidence_start_[net].reset();
   }
 }
 
@@ -140,10 +161,16 @@ void ActiveReplicator::maybe_deliver(NetworkId from) {
 void ActiveReplicator::on_token_timer() {
   ++stats_.token_timer_expiries;
   if (config_.trace) {
-    config_.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired);
+    std::uint64_t missing = 0;
+    for (std::size_t i = 0; i < recv_last_token_.size(); ++i) {
+      if (!recv_last_token_[i] && !faulty_[i]) missing |= std::uint64_t{1} << i;
+    }
+    config_.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired, missing,
+                        last_token_ ? last_token_->seq : 0);
   }
   for (std::size_t i = 0; i < recv_last_token_.size(); ++i) {
     if (recv_last_token_[i] || faulty_[i]) continue;
+    if (problem_counter_[i] == 0) evidence_start_[i] = timers_.now();
     ++problem_counter_[i];
     if (problem_counter_[i] >= config_.problem_threshold) {
       declare_faulty(static_cast<NetworkId>(i), problem_counter_[i]);
@@ -157,8 +184,10 @@ void ActiveReplicator::on_token_timer() {
 }
 
 void ActiveReplicator::on_decay() {
-  for (auto& c : problem_counter_) {
-    if (c > 0) --c;
+  for (std::size_t i = 0; i < problem_counter_.size(); ++i) {
+    if (problem_counter_[i] > 0 && --problem_counter_[i] == 0) {
+      evidence_start_[i].reset();
+    }
   }
   decay_timer_ = timers_.schedule(config_.decay_interval, [this] { on_decay(); });
 }
@@ -166,6 +195,11 @@ void ActiveReplicator::on_decay() {
 void ActiveReplicator::declare_faulty(NetworkId n, std::uint32_t evidence) {
   if (faulty_[n]) return;
   faulty_[n] = true;
+  if (fault_detect_hist_ && evidence_start_[n]) {
+    // Detection latency: first uncredited problem evidence -> declaration.
+    fault_detect_hist_->record(static_cast<std::uint64_t>(
+        (timers_.now() - *evidence_start_[n]).count()));
+  }
   TLOG_WARN << "active replicator: network " << static_cast<int>(n) << " declared faulty"
             << " (problem counter " << evidence << ")";
   if (config_.trace) {
@@ -184,9 +218,18 @@ void ActiveReplicator::declare_faulty(NetworkId n, std::uint32_t evidence) {
 
 void ActiveReplicator::reset_network(NetworkId n) {
   if (n >= faulty_.size()) return;
+  const bool was_reported = faulty_[n];
   faulty_[n] = false;
   problem_counter_[n] = 0;
   success_streak_[n] = 0;
+  evidence_start_[n].reset();
+  last_token_at_[n].reset();
+  if (was_reported && config_.trace) {
+    // The other edge of the outage: a reported network aged back in.
+    config_.trace->emit(
+        timers_.now(), TraceKind::kNetworkFault, n,
+        static_cast<std::uint64_t>(NetworkFaultReport::Reason::kReinstated));
+  }
 }
 
 void ActiveReplicator::mark_faulty(NetworkId n) {

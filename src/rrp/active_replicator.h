@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timer_service.h"
 #include "rrp/config.h"
 #include "rrp/replicator.h"
@@ -81,6 +82,15 @@ class ActiveReplicator final : public Replicator {
   bool delivered_current_ = false;
   TimerHandle token_timer_;
   TimerHandle decay_timer_;
+
+  // ---- metrics (null/empty unless config_.metrics; common/metrics.h) ----
+  std::vector<LatencyHistogram*> token_gap_hists_;  // rrp.token_gap_us.netI
+  LatencyHistogram* fault_detect_hist_ = nullptr;   // rrp.fault_detect_us
+  std::vector<std::optional<TimePoint>> last_token_at_;
+  /// First problem evidence per network (counter left 0); cleared when the
+  /// counter drains back to 0. declare_faulty's detection latency is
+  /// measured from here.
+  std::vector<std::optional<TimePoint>> evidence_start_;
 };
 
 }  // namespace totem::rrp

@@ -7,6 +7,7 @@
 
 namespace totem {
 class TraceRing;
+class MetricsRegistry;
 }
 
 namespace totem::rrp {
@@ -34,6 +35,10 @@ struct ActiveConfig {
 
   /// Optional flight recorder (see common/trace.h). Not owned.
   TraceRing* trace = nullptr;
+
+  /// Optional metrics registry (see common/metrics.h): per-network token
+  /// gap histograms and fault-detection latency. Not owned.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct PassiveConfig {
@@ -51,6 +56,10 @@ struct PassiveConfig {
 
   /// Optional flight recorder (see common/trace.h). Not owned.
   TraceRing* trace = nullptr;
+
+  /// Optional metrics registry (see common/metrics.h): per-network token
+  /// gap histograms and fault-detection latency. Not owned.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ActivePassiveConfig {

@@ -20,6 +20,16 @@ PassiveReplicator::PassiveReplicator(TimerService& timers,
   for (net::Transport* t : transports_) {
     t->set_rx_handler([this](net::ReceivedPacket&& p) { on_packet(std::move(p)); });
   }
+  last_token_at_.resize(transports_.size());
+  evidence_start_.resize(transports_.size());
+  if (config_.metrics) {
+    token_gap_hists_.reserve(transports_.size());
+    for (std::size_t i = 0; i < transports_.size(); ++i) {
+      token_gap_hists_.push_back(
+          config_.metrics->histogram("rrp.token_gap_us.net" + std::to_string(i)));
+    }
+    fault_detect_hist_ = config_.metrics->histogram("rrp.fault_detect_us");
+  }
   aging_timer_ = timers_.schedule(config_.aging_interval, [this] { on_aging(); });
 }
 
@@ -56,6 +66,17 @@ void PassiveReplicator::on_packet(net::ReceivedPacket&& packet) {
   if (!info) return;
 
   if (info.value().type == srp::wire::PacketType::kToken) {
+    if (!token_gap_hists_.empty() && packet.network < last_token_at_.size()) {
+      // Per-network token inter-arrival. Round-robin token assignment means
+      // a healthy network's gap is ~N x the rotation time; a network that
+      // stops carrying tokens simply stops producing samples.
+      const TimePoint now = timers_.now();
+      if (last_token_at_[packet.network]) {
+        token_gap_hists_[packet.network]->record(static_cast<std::uint64_t>(
+            (now - *last_token_at_[packet.network]).count()));
+      }
+      last_token_at_[packet.network] = now;
+    }
     record_monitored(token_monitor_, packet.network);
     const SeqNum token_seq = info.value().token_seq;
     if (!srp_missing_messages(token_seq)) {
@@ -109,7 +130,9 @@ void PassiveReplicator::on_buffer_timer() {
   buffer_timer_running_ = false;
   ++stats_.token_timer_expiries;
   if (config_.trace) {
-    config_.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired);
+    config_.trace->emit(timers_.now(), TraceKind::kTokenTimerExpired,
+                        token_buffered_ ? buffered_token_net_ : 0,
+                        token_buffered_ ? buffered_token_seq_ : 0);
   }
   if (token_buffered_) {
     token_buffered_ = false;
@@ -118,20 +141,48 @@ void PassiveReplicator::on_buffer_timer() {
 }
 
 void PassiveReplicator::record_monitored(ReceptionMonitor& monitor, NetworkId net) {
-  for (NetworkId lagging : monitor.record(net)) {
+  auto newly_faulty = monitor.record(net);
+  note_evidence(monitor);
+  for (NetworkId lagging : newly_faulty) {
     declare_faulty(lagging, monitor.lag(lagging));
+  }
+}
+
+void PassiveReplicator::note_evidence(const ReceptionMonitor& monitor) {
+  if (!fault_detect_hist_) return;
+  for (std::size_t i = 0; i < evidence_start_.size(); ++i) {
+    if (!evidence_start_[i] && monitor.lag(static_cast<NetworkId>(i)) > 0) {
+      evidence_start_[i] = timers_.now();
+    }
   }
 }
 
 void PassiveReplicator::on_aging() {
   token_monitor_.age();
   for (auto& [_, m] : message_monitors_) m.age();
+  if (fault_detect_hist_) {
+    // Evidence that aged away entirely was sporadic loss, not a fault:
+    // restart the detection clock.
+    for (std::size_t i = 0; i < evidence_start_.size(); ++i) {
+      if (!evidence_start_[i] || faulty_[i]) continue;
+      const auto n = static_cast<NetworkId>(i);
+      std::uint64_t max_lag = token_monitor_.lag(n);
+      for (const auto& [_, m] : message_monitors_) {
+        max_lag = std::max(max_lag, m.lag(n));
+      }
+      if (max_lag == 0) evidence_start_[i].reset();
+    }
+  }
   aging_timer_ = timers_.schedule(config_.aging_interval, [this] { on_aging(); });
 }
 
 void PassiveReplicator::declare_faulty(NetworkId n, std::uint64_t lag) {
   if (n >= faulty_.size() || faulty_[n]) return;
   faulty_[n] = true;
+  if (fault_detect_hist_ && evidence_start_[n]) {
+    fault_detect_hist_->record(static_cast<std::uint64_t>(
+        (timers_.now() - *evidence_start_[n]).count()));
+  }
   TLOG_WARN << "passive replicator: network " << static_cast<int>(n)
             << " declared faulty (reception lag " << lag << ")";
   if (config_.trace) {
@@ -150,9 +201,18 @@ void PassiveReplicator::declare_faulty(NetworkId n, std::uint64_t lag) {
 
 void PassiveReplicator::reset_network(NetworkId n) {
   if (n >= faulty_.size()) return;
+  const bool was_reported = faulty_[n];
   faulty_[n] = false;
   token_monitor_.reset_network(n);
   for (auto& [_, m] : message_monitors_) m.reset_network(n);
+  if (n < evidence_start_.size()) evidence_start_[n].reset();
+  if (n < last_token_at_.size()) last_token_at_[n].reset();
+  if (was_reported && config_.trace) {
+    // The other edge of the outage: a reported network aged back in.
+    config_.trace->emit(
+        timers_.now(), TraceKind::kNetworkFault, n,
+        static_cast<std::uint64_t>(NetworkFaultReport::Reason::kReinstated));
+  }
 }
 
 void PassiveReplicator::mark_faulty(NetworkId n) {

@@ -31,6 +31,11 @@ struct NetworkFaultReport {
     kTokenTimeout,        // active/active-passive: problem counter exceeded
     kReceptionImbalance,  // passive: recvCount gap exceeded threshold
     kAdministrative,      // marked faulty by the operator / test harness
+    /// Not a fault: a previously reported network was aged back in
+    /// (reset_network repaired it). Never delivered through the fault
+    /// handler — used as the reason code on kNetworkFault trace records so
+    /// the flight recorder shows both edges of a network's outage.
+    kReinstated,
   };
 
   NetworkId network = 0;
@@ -45,6 +50,7 @@ struct NetworkFaultReport {
     case NetworkFaultReport::Reason::kTokenTimeout: return "token-timeout";
     case NetworkFaultReport::Reason::kReceptionImbalance: return "reception-imbalance";
     case NetworkFaultReport::Reason::kAdministrative: return "administrative";
+    case NetworkFaultReport::Reason::kReinstated: return "reinstated";
   }
   return "?";
 }

@@ -8,6 +8,7 @@
 
 namespace totem {
 class TraceRing;
+class MetricsRegistry;
 }
 
 namespace totem::srp {
@@ -76,6 +77,11 @@ struct Config {
   /// Optional flight recorder: protocol events are appended here when set
   /// (see common/trace.h). Not owned; must outlive the ring.
   TraceRing* trace = nullptr;
+
+  /// Optional metrics registry (see common/metrics.h): token rotation /
+  /// delivery-latency / reformation histograms and loss/retention counters
+  /// are recorded here when set. Not owned; must outlive the ring.
+  MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace totem::srp

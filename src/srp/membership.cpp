@@ -57,6 +57,12 @@ void SingleRing::start_gather(const char* reason) {
   trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kGather));
   notify_state();
   gather_start_ = timers_.now();
+  // The seq space is about to change: pending send->deliver latency
+  // samples and the token inter-arrival baseline are both meaningless now.
+  // (send_times_ survives: it tracks messages still in send_queue_, which
+  // will be broadcast on the new ring.)
+  inflight_sends_.clear();
+  last_token_arrival_.reset();
   consensus_rounds_ = 0;
   cancel_operational_timers();
   stop_commit_retention();
@@ -525,6 +531,11 @@ void SingleRing::install_ring() {
   notify_state();
   trace_event(TraceKind::kMembershipInstalled, ring_id_.representative, ring_id_.ring_seq);
   ++stats_.membership_changes;
+  if (reformation_hist_ && gather_start_ != TimePoint{}) {
+    // Gather -> install: the paper's reformation cost, per affected node.
+    reformation_hist_->record(
+        static_cast<std::uint64_t>((timers_.now() - gather_start_).count()));
+  }
   arm_announce_timer();
   TLOG_INFO << "node " << config_.node_id << " installed ring " << to_string(ring_id_)
             << " with " << members_.size() << " members";

@@ -16,6 +16,14 @@ SingleRing::SingleRing(TimerService& timers, rrp::Replicator& replicator, Config
   }
   std::sort(m.begin(), m.end());
   m.erase(std::unique(m.begin(), m.end()), m.end());
+
+  if (config_.metrics) {
+    rotation_hist_ = config_.metrics->histogram("srp.token_rotation_us");
+    delivery_hist_ = config_.metrics->histogram("srp.delivery_latency_us");
+    reformation_hist_ = config_.metrics->histogram("srp.reformation_us");
+    loss_counter_ = config_.metrics->counter("srp.token_loss_events");
+    retention_counter_ = config_.metrics->counter("srp.token_retention_resends");
+  }
 }
 
 void SingleRing::start() {
@@ -97,6 +105,11 @@ Status SingleRing::send(BytesView payload) {
   }
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
+  // One timestamp per accepted message (not per fragment): delivery latency
+  // is timed send() -> origin-local deliver callback. The origin delivers
+  // its own broadcast the moment the token assigns its seq, so wire-time
+  // alone is degenerate; queue wait IS part of what the application sees.
+  if (delivery_hist_) send_times_.push_back(timers_.now());
   return Status::ok();
 }
 
@@ -290,6 +303,7 @@ void SingleRing::deliver_entry(const wire::MessageEntry& entry, bool recovered,
     ++stats_.messages_delivered;
     stats_.bytes_delivered += entry.payload.size();
     trace_event(TraceKind::kMessageDelivered, entry.origin, entry.seq);
+    if (entry.origin == config_.node_id) record_delivery_latency(entry.seq);
     if (deliver_) {
       deliver_(DeliveredMessage{entry.origin, entry.seq, entry.payload, recovered, ring});
     }
@@ -319,6 +333,7 @@ void SingleRing::deliver_entry(const wire::MessageEntry& entry, bool recovered,
     ++stats_.messages_delivered;
     stats_.bytes_delivered += st.buf.size();
     trace_event(TraceKind::kMessageDelivered, entry.origin, st.first_seq);
+    if (entry.origin == config_.node_id) record_delivery_latency(st.first_seq);
     if (deliver_) {
       deliver_(DeliveredMessage{entry.origin, st.first_seq, st.buf, st.recovered,
                                 st.first_ring});
@@ -327,12 +342,33 @@ void SingleRing::deliver_entry(const wire::MessageEntry& entry, bool recovered,
   }
 }
 
+void SingleRing::record_delivery_latency(SeqNum seq) {
+  if (!delivery_hist_) return;
+  // inflight_sends_ is seq-ascending and own messages deliver in seq order;
+  // entries below `seq` (lost to a membership change) are dropped unmeasured.
+  while (!inflight_sends_.empty() && inflight_sends_.front().first < seq) {
+    inflight_sends_.pop_front();
+  }
+  if (inflight_sends_.empty() || inflight_sends_.front().first != seq) return;
+  delivery_hist_->record(static_cast<std::uint64_t>(
+      (timers_.now() - inflight_sends_.front().second).count()));
+  inflight_sends_.pop_front();
+}
+
 // ---------------------------------------------------------------------------
 // Token processing
 
 void SingleRing::handle_regular_token(wire::Token token) {
   ++stats_.tokens_processed;
   trace_event(TraceKind::kTokenReceived, token.rotation, token.seq);
+  if (rotation_hist_) {
+    const TimePoint now = timers_.now();
+    if (last_token_arrival_) {
+      rotation_hist_->record(static_cast<std::uint64_t>(
+          (now - *last_token_arrival_).count()));
+    }
+    last_token_arrival_ = now;
+  }
   charge(config_.per_token_cost);
   last_token_instance_ = token.instance_id();
   token_loss_timer_.cancel();
@@ -429,6 +465,16 @@ std::uint32_t SingleRing::broadcast_new_messages(wire::Token& token) {
   }
   for (const auto& e : batch) {
     high_seq_seen_ = std::max(high_seq_seen_, e.seq);
+    if (delivery_hist_ && (!e.is_fragment() || e.frag_index == 0)) {
+      // Stamp the seq the message just received with its send()-time
+      // timestamp (send_times_ is FIFO-aligned with send_queue_; a
+      // fragmented message is identified by its first fragment's seq).
+      const TimePoint enqueued =
+          send_times_.empty() ? timers_.now() : send_times_.front();
+      if (!send_times_.empty()) send_times_.pop_front();
+      if (inflight_sends_.size() >= 65536) inflight_sends_.pop_front();
+      inflight_sends_.emplace_back(e.seq, enqueued);
+    }
     store_.emplace(e.seq, e);
   }
   while (store_.count(my_aru_ + 1) != 0) ++my_aru_;
@@ -565,6 +611,7 @@ void SingleRing::arm_token_loss_timer() {
   token_loss_timer_.cancel();
   token_loss_timer_ = timers_.schedule(config_.token_loss_timeout, [this] {
     ++stats_.token_loss_events;
+    if (loss_counter_) loss_counter_->add();
     trace_event(TraceKind::kTokenLoss);
     start_gather("token loss");
   });
@@ -580,6 +627,7 @@ void SingleRing::on_retention_fire() {
   if (!retention_active_) return;
   if (state_ == State::kGather || state_ == State::kCommit) return;
   ++stats_.token_retention_resends;
+  if (retention_counter_) retention_counter_->add();
   trace_event(TraceKind::kTokenRetained, successor(), retained_token_seq_);
   replicator_.send_token(successor(), retained_token_);
   arm_retention_timer();

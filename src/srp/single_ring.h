@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "common/packet_buffer.h"
 #include "common/status.h"
 #include "common/timer_service.h"
@@ -214,6 +215,25 @@ class SingleRing {
   }
   Stats stats_;
   BufferPool pool_;  // every outgoing packet is encoded into a pooled buffer
+
+  // ---- metrics (null when config_.metrics unset; see common/metrics.h) ----
+  LatencyHistogram* rotation_hist_ = nullptr;     // srp.token_rotation_us
+  LatencyHistogram* delivery_hist_ = nullptr;     // srp.delivery_latency_us
+  LatencyHistogram* reformation_hist_ = nullptr;  // srp.reformation_us
+  Counter* loss_counter_ = nullptr;               // srp.token_loss_events
+  Counter* retention_counter_ = nullptr;          // srp.token_retention_resends
+  /// Previous token arrival, for the rotation histogram. Reset across
+  /// membership changes so reformation gaps don't pollute rotation time.
+  std::optional<TimePoint> last_token_arrival_;
+  /// send() timestamps of messages still waiting in send_queue_ (one per
+  /// message, FIFO-aligned with the queue; only filled when delivery_hist_
+  /// is registered).
+  std::deque<TimePoint> send_times_;
+  /// Own broadcasts in flight: (seq on the wire, send() time), seq
+  /// ascending. Popped in deliver_entry to measure send->deliver latency;
+  /// cleared when the seq space changes (start_gather).
+  std::deque<std::pair<SeqNum, TimePoint>> inflight_sends_;
+  void record_delivery_latency(SeqNum seq);
 
   State state_ = State::kOperational;
   RingId ring_id_;

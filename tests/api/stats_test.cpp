@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "harness/drivers.h"
 #include "harness/sim_cluster.h"
 
@@ -84,6 +86,82 @@ TEST(Stats, SnapshotExposesBufferPoolCounters) {
   EXPECT_GT(snap.buffer_pool.reuses, snap.buffer_pool.allocations)
       << "a steady ring must recycle slabs, not keep allocating";
   EXPECT_GE(snap.buffer_pool.high_water, snap.buffer_pool.outstanding);
+}
+
+TEST(Stats, SnapshotCarriesMetricsHistograms) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.network_count = 2;
+  cfg.style = ReplicationStyle::kActive;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  // Let the ring rotate first: a send while the token is elsewhere has a
+  // nonzero send->deliver latency (at t=0 the representative holds the
+  // token and would deliver its own broadcast in the same instant).
+  cluster.run_for(Duration{50'000});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.node(0).send(Bytes(64, std::byte{1})).is_ok());
+  }
+  cluster.run_for(Duration{500'000});
+
+  const StatsSnapshot snap = snapshot(cluster.node(0), {});
+  const auto* rotation = snap.metrics.find_histogram("srp.token_rotation_us");
+  ASSERT_NE(rotation, nullptr);
+  EXPECT_GT(rotation->count, 0u) << "tokens rotated, so inter-arrival was recorded";
+  const auto* delivery = snap.metrics.find_histogram("srp.delivery_latency_us");
+  ASSERT_NE(delivery, nullptr);
+  EXPECT_EQ(delivery->count, 10u) << "one sample per origin-local delivery";
+  EXPECT_GT(delivery->p99(), 0.0);
+  const auto* gap = snap.metrics.find_histogram("rrp.token_gap_us.net0");
+  ASSERT_NE(gap, nullptr);
+  EXPECT_GT(gap->count, 0u);
+}
+
+TEST(Stats, ToJsonIsWellFormedAndComplete) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 2;
+  cfg.style = ReplicationStyle::kPassive;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  ASSERT_TRUE(cluster.node(0).send(to_bytes("x")).is_ok());
+  cluster.run_for(Duration{300'000});
+
+  const std::string json = snapshot(cluster.node(0), {}).to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key : {"\"node\":0", "\"style\":\"passive\"", "\"srp\":", "\"rrp\":",
+                          "\"buffer_pool\":", "\"networks\":", "\"metrics\":",
+                          "\"messages_delivered\":1", "\"srp.delivery_latency_us\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing from:\n" << json;
+  }
+}
+
+TEST(Stats, ToPrometheusLabelsEverySampleWithNode) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 2;
+  cfg.network_count = 1;
+  cfg.style = ReplicationStyle::kNone;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  ASSERT_TRUE(cluster.node(1).send(to_bytes("y")).is_ok());
+  cluster.run_for(Duration{300'000});
+
+  const std::string prom = snapshot(cluster.node(1), {}).to_prometheus();
+  EXPECT_NE(prom.find("# TYPE totem_srp_messages_delivered counter"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("totem_srp_messages_delivered{node=\"1\"} 1"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("totem_srp_delivery_latency_us{node=\"1\",quantile=\"0.99\"}"),
+            std::string::npos)
+      << prom;
+  // Every non-comment line carries the node label.
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find("node=\"1\""), std::string::npos) << line;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace totem {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetsSignedValues) {
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.set(123);
+  EXPECT_EQ(g.value(), 123);
+}
+
+TEST(LatencyHistogram, TracksExactMinMaxMeanCount) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {10u, 20u, 30u, 40u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+}
+
+TEST(LatencyHistogram, BucketsArePowerOfTwo) {
+  LatencyHistogram h;
+  h.record(0);   // bucket 0
+  h.record(1);   // bucket 1: [1,1]
+  h.record(2);   // bucket 2: [2,3]
+  h.record(3);   // bucket 2
+  h.record(4);   // bucket 3: [4,7]
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[3], 1u);
+}
+
+TEST(LatencyHistogram, HugeValuesClampToTopBucket) {
+  LatencyHistogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.buckets().back(), 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+}
+
+HistogramSnapshot snap_of(const LatencyHistogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.buckets = h.buckets();
+  return s;
+}
+
+TEST(HistogramSnapshot, PercentilesOfUniformSpread) {
+  LatencyHistogram h;
+  // 1000 samples spread 1..1000us.
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto s = snap_of(h);
+  // Log-bucketed percentiles carry up to a factor-of-two relative error;
+  // assert the ordering plus a loose envelope.
+  EXPECT_GT(s.p50(), 250.0);
+  EXPECT_LT(s.p50(), 1000.0);
+  EXPECT_LE(s.p50(), s.p90());
+  EXPECT_LE(s.p90(), s.p99());
+  EXPECT_LE(s.p99(), s.p999());
+  EXPECT_LE(s.p999(), static_cast<double>(s.max));
+  EXPECT_GE(s.p50(), static_cast<double>(s.min));
+}
+
+TEST(HistogramSnapshot, SingleSampleAllPercentilesEqualIt) {
+  LatencyHistogram h;
+  h.record(77);
+  const auto s = snap_of(h);
+  EXPECT_DOUBLE_EQ(s.p50(), 77.0);
+  EXPECT_DOUBLE_EQ(s.p999(), 77.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 77.0);
+}
+
+TEST(HistogramSnapshot, EmptyIsAllZero) {
+  HistogramSnapshot s;
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(MetricsRegistry, StablePointersAndIdempotentLookup) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("srp.token_loss_events");
+  Counter* b = reg.counter("srp.token_loss_events");
+  EXPECT_EQ(a, b);
+  // Registering more instruments must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    (void)reg.counter("c" + std::to_string(i));
+    (void)reg.histogram("h" + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter("srp.token_loss_events"), a);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zzz")->add(1);
+  reg.counter("aaa")->add(2);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "aaa");
+  EXPECT_EQ(snap.counters[1].name, "zzz");
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsPointersValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("x");
+  LatencyHistogram* h = reg.histogram("y");
+  c->add(5);
+  h->record(100);
+  reg.reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  c->add(1);  // pointer still usable
+  EXPECT_EQ(reg.snapshot().counters[0].value, 1u);
+}
+
+TEST(MetricsSnapshot, JsonContainsInstruments) {
+  MetricsRegistry reg;
+  reg.counter("srp.token_loss_events")->add(3);
+  reg.histogram("srp.delivery_latency_us")->record(250);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"srp.token_loss_events\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"srp.delivery_latency_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+}
+
+TEST(MetricsSnapshot, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("srp.token_loss_events")->add(2);
+  reg.gauge("srp.send_queue_depth")->set(9);
+  reg.histogram("srp.token_rotation_us")->record(500);
+  const std::string prom = reg.snapshot().to_prometheus(R"(node="3")");
+  EXPECT_NE(prom.find("# TYPE totem_srp_token_loss_events counter"),
+            std::string::npos) << prom;
+  EXPECT_NE(prom.find("totem_srp_token_loss_events{node=\"3\"} 2"),
+            std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE totem_srp_send_queue_depth gauge"),
+            std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE totem_srp_token_rotation_us summary"),
+            std::string::npos) << prom;
+  EXPECT_NE(prom.find("totem_srp_token_rotation_us{node=\"3\",quantile=\"0.99\"}"),
+            std::string::npos) << prom;
+  EXPECT_NE(prom.find("totem_srp_token_rotation_us_count{node=\"3\"} 1"),
+            std::string::npos) << prom;
+}
+
+TEST(MetricsSnapshot, FindHelpers) {
+  MetricsRegistry reg;
+  reg.counter("a")->add(1);
+  reg.histogram("h")->record(10);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.find_counter("a"), nullptr);
+  EXPECT_EQ(snap.find_counter("missing"), nullptr);
+  ASSERT_NE(snap.find_histogram("h"), nullptr);
+  EXPECT_EQ(snap.find_histogram("missing"), nullptr);
+}
+
+TEST(JsonWriter, EscapesAndNests) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("s", "a\"b\\c\nd");
+  w.key("arr").begin_array().value(1).value(2.5).null().end_array();
+  w.key("nested").begin_object().kv("k", true).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"arr\":[1,2.5,null],"
+            "\"nested\":{\"k\":true}}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).value(1.0 / 0.0).end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+}  // namespace
+}  // namespace totem

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 namespace totem {
 namespace {
 
@@ -67,6 +70,57 @@ TEST(TraceKindNames, AllDistinct) {
     names.insert(to_string(static_cast<TraceKind>(k)));
   }
   EXPECT_EQ(names.size(), static_cast<std::size_t>(TraceKind::kNetworkFault));
+}
+
+TEST(TraceKindNames, NoKindFallsThroughToDefault) {
+  for (int k = 1; k <= static_cast<int>(TraceKind::kNetworkFault); ++k) {
+    EXPECT_STRNE(to_string(static_cast<TraceKind>(k)), "?")
+        << "kind " << k << " has no to_string entry";
+  }
+}
+
+TEST(TraceRecord, EveryKindRendersValidJson) {
+  for (int k = 1; k <= static_cast<int>(TraceKind::kNetworkFault); ++k) {
+    TraceRecord r{at(42), static_cast<TraceKind>(k), 7, 9};
+    const std::string json = to_json(r);
+    // Shape check: one flat object with the four fixed keys.
+    EXPECT_EQ(json.front(), '{') << json;
+    EXPECT_EQ(json.back(), '}') << json;
+    EXPECT_NE(json.find("\"t_us\":42"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"kind\":\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"a\":7"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"b\":9"), std::string::npos) << json;
+    // The rendered kind string round-trips.
+    EXPECT_NE(json.find(to_string(r.kind)), std::string::npos) << json;
+  }
+}
+
+TEST(TraceRing, JsonlOldestFirstAndLastN) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.emit(at(static_cast<Duration::rep>(i)), TraceKind::kSafeAdvanced, i);
+  }
+  const std::string all = ring.to_jsonl();
+  // Capacity 4, 6 emitted: oldest surviving is t=2, and it leads the dump.
+  EXPECT_EQ(all.find("{\"t_us\":2"), 0u) << all;
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 4);
+  const std::string last2 = ring.to_jsonl(2);
+  EXPECT_EQ(std::count(last2.begin(), last2.end(), '\n'), 2);
+  EXPECT_NE(last2.find("\"t_us\":4"), std::string::npos) << last2;
+  EXPECT_NE(last2.find("\"t_us\":5"), std::string::npos) << last2;
+  EXPECT_EQ(last2.find("\"t_us\":3"), std::string::npos) << last2;
+}
+
+TEST(TraceRing, JsonArrayWrapsSameRecords) {
+  TraceRing ring(8);
+  ring.emit(at(1), TraceKind::kTokenLoss);
+  ring.emit(at(2), TraceKind::kTokenReceived, 1, 2);
+  const std::string arr = ring.to_json_array();
+  EXPECT_EQ(arr.front(), '[');
+  EXPECT_EQ(arr.back(), ']');
+  EXPECT_NE(arr.find("token-loss"), std::string::npos) << arr;
+  EXPECT_NE(arr.find("token-received"), std::string::npos) << arr;
+  EXPECT_EQ(TraceRing(8).to_json_array(), "[]");
 }
 
 }  // namespace

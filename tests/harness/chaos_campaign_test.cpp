@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -47,8 +49,46 @@ TEST_P(ChaosCampaign, InvariantsHoldAcrossSeededSchedules) {
     o.networks = c.networks;
     o.seed = c.first_seed + k;
     const CampaignResult result = run_campaign(o);
-    ASSERT_TRUE(result.ok()) << result.describe();
+    if (!result.ok()) {
+      // Leave a machine-readable triage bundle next to the test log: the
+      // violated invariants plus per-node stats + trace tails.
+      const std::string path = "chaos_artifact_seed" + std::to_string(o.seed) + ".json";
+      const bool wrote = result.write_failure_artifact(path);
+      ASSERT_TRUE(result.ok()) << result.describe()
+                               << (wrote ? "artifact: " + path + "\n" : std::string());
+    }
   }
+}
+
+// A campaign rigged to fail (a reformation budget no reformation can meet)
+// must produce the triage artifact: the violated invariant by name, the
+// replay command, and per-node stats + trace records.
+TEST(ChaosArtifact, FailingCampaignYieldsTriageBundle) {
+  CampaignOptions o;
+  o.style = api::ReplicationStyle::kActive;
+  o.seed = 7;
+  // A budget that expires an hour before the heal: every node's final view
+  // install lands past it, so V6 fires no matter how the schedule plays out.
+  o.reformation_budget = Duration{-3'600'000'000};
+  const CampaignResult result = run_campaign(o);
+  ASSERT_FALSE(result.ok()) << "a pre-expired reformation budget cannot be met";
+  ASSERT_FALSE(result.artifact_json.empty());
+  const std::string& a = result.artifact_json;
+  EXPECT_NE(a.find("\"violations\":[\"V6"), std::string::npos) << a.substr(0, 2000);
+  EXPECT_NE(a.find(result.replay_command()), std::string::npos);
+  EXPECT_NE(a.find("\"stats\":{\"node\":0"), std::string::npos);
+  EXPECT_NE(a.find("\"trace\":[{"), std::string::npos)
+      << "trace records must be present";
+  EXPECT_NE(a.find("\"kind\":"), std::string::npos);
+  EXPECT_NE(a.find("srp.token_rotation_us"), std::string::npos)
+      << "metrics histograms ride along in the stats snapshots";
+
+  const std::string path = ::testing::TempDir() + "chaos_artifact_test.json";
+  ASSERT_TRUE(result.write_failure_artifact(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, result.artifact_json + "\n");
 }
 
 /// 6 combos x kBlocks blocks x kSeedsPerBlock campaigns. Each block is one
@@ -117,6 +157,13 @@ int main(int argc, char** argv) {
   if (replay) {
     const auto result = totem::harness::run_campaign(options);
     std::fputs(result.describe().c_str(), stdout);
+    if (!result.ok()) {
+      const std::string path =
+          "chaos_artifact_seed" + std::to_string(options.seed) + ".json";
+      if (result.write_failure_artifact(path)) {
+        std::printf("artifact: %s\n", path.c_str());
+      }
+    }
     return result.ok() ? 0 : 1;
   }
   ::testing::InitGoogleTest(&argc, argv);
