@@ -1,0 +1,206 @@
+// UDP loopback hot-path throughput (DESIGN.md §12): how much does syscall
+// batching (sendmmsg/recvmmsg + the SPSC TX handoff) buy over the
+// one-syscall-per-datagram path, on real loopback sockets?
+//
+// The workload is the transport's actual hot path under Totem: broadcast.
+// One sender fans each message out to kFanout receivers (the SRP broadcasts
+// every regular message; only tokens are unicast), so one logical send is
+// kFanout datagrams — which the batched mode packs into ONE sendmmsg call
+// while batch=1 pays kFanout sendto calls. A dedicated I/O thread runs the
+// reactor; the main thread plays the ordering thread's role (producing
+// sends, draining every receiver's RX ring). Both modes use the same
+// threads and the same bounded in-flight window; only the syscall strategy
+// differs:
+//
+//   batch=1  — batched_syscalls=false, no TX queue: every datagram is an
+//              immediate sendto() on the sending thread, every delivery
+//              one recv() on the I/O thread.
+//   batched  — TX handoff ring + sendmmsg (up to 64 datagrams/syscall) on
+//              the I/O thread, recvmmsg (up to 32/syscall).
+//
+// Each datagram carries its send timestamp; receiver 1 records
+// send->dispatch latency, reported as p50/p99. Results land in
+// BENCH_udp_loopback_throughput.json (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/bytes.h"
+#include "net/reactor.h"
+#include "net/udp_transport.h"
+
+namespace totem::net {
+namespace {
+
+constexpr std::uint16_t kPortBase = 45000;  // 43xxx/44xxx belong to tests
+constexpr std::uint32_t kFanout = 8;        // receivers per broadcast
+constexpr std::size_t kPayload = 256;       // bytes per datagram
+constexpr std::size_t kWindow = 256;        // max broadcasts in flight
+constexpr auto kMeasure = std::chrono::milliseconds(800);
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  const std::size_t idx =
+      std::min(v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+void BM_UdpLoopbackThroughput(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  // Distinct port blocks per mode so a crashed previous run cannot collide.
+  const std::uint16_t base = static_cast<std::uint16_t>(kPortBase + (batched ? 0 : 100));
+
+  std::uint64_t sent_datagrams = 0;
+  std::uint64_t received = 0;
+  double elapsed_s = 0;
+  std::vector<double> latencies_us;
+  Transport::Stats tx_stats{};
+  std::uint64_t rx_batches_total = 0;
+
+  for (auto _ : state) {
+    Reactor reactor;
+    const std::uint32_t nodes = kFanout + 1;
+    UdpTransport::Config scfg;
+    scfg.local_node = 0;
+    scfg.peers = loopback_peers(base, nodes);
+    scfg.batched_syscalls = batched;
+    scfg.tx_queue_capacity = batched ? 1024 : 0;
+    scfg.socket_buffer_bytes = 1 << 20;  // deep window: don't let 64 KB cap it
+    auto sender = UdpTransport::create(reactor, scfg);
+    if (!sender.is_ok()) {
+      state.SkipWithError("sender socket setup failed");
+      return;
+    }
+    std::vector<std::unique_ptr<UdpTransport>> receivers;
+    for (NodeId id = 1; id < nodes; ++id) {
+      UdpTransport::Config rcfg;
+      rcfg.local_node = id;
+      rcfg.peers = loopback_peers(base, nodes);
+      rcfg.batched_syscalls = batched;
+      rcfg.rx_queue_capacity = 4096;  // both modes: dispatch on the main thread
+      rcfg.socket_buffer_bytes = 1 << 20;
+      auto r = UdpTransport::create(reactor, rcfg);
+      if (!r.is_ok()) {
+        state.SkipWithError("receiver socket setup failed");
+        return;
+      }
+      receivers.push_back(std::move(r).take());
+    }
+    UdpTransport& tx = *sender.value();
+
+    latencies_us.clear();
+    latencies_us.reserve(1 << 20);
+    // Receiver 1 is the latency observer and the in-flight window's clock;
+    // the others just count deliveries.
+    receivers[0]->set_rx_handler([&](ReceivedPacket&& p) {
+      std::uint64_t ts = 0;
+      if (p.data.size() >= sizeof(ts)) {
+        std::memcpy(&ts, p.data.data(), sizeof(ts));
+        latencies_us.push_back(static_cast<double>(now_ns() - ts) / 1e3);
+      }
+    });
+    for (std::size_t i = 1; i < receivers.size(); ++i) {
+      receivers[i]->set_rx_handler([](ReceivedPacket&&) {});
+    }
+
+    std::thread io([&] { reactor.run(); });
+
+    Bytes payload(kPayload);
+    sent_datagrams = received = 0;
+    std::size_t in_flight = 0;  // broadcasts not yet seen by receiver 1
+    const auto start = std::chrono::steady_clock::now();
+    const auto end = start + kMeasure;
+    auto last_progress = start;
+    while (std::chrono::steady_clock::now() < end) {
+      // Refill with hysteresis: top the window back up only once half of it
+      // has drained, so sends leave in bursts and the batched mode has real
+      // backlogs to pack into sendmmsg calls. Both modes use the same
+      // pacing; batch=1 just pays kFanout syscalls per broadcast.
+      if (in_flight <= kWindow / 2) {
+        while (in_flight < kWindow) {
+          const std::uint64_t ts = now_ns();
+          std::memcpy(payload.data(), &ts, sizeof(ts));
+          tx.broadcast(BytesView(payload));
+          sent_datagrams += kFanout;
+          ++in_flight;
+        }
+      }
+      const std::size_t got0 = receivers[0]->dispatch_queued();
+      std::size_t got = got0;
+      for (std::size_t i = 1; i < receivers.size(); ++i) {
+        got += receivers[i]->dispatch_queued();
+      }
+      received += got;
+      const auto now = std::chrono::steady_clock::now();
+      if (got0 > 0) {
+        in_flight -= std::min(got0, in_flight);
+        last_progress = now;
+      } else if (got == 0 && now - last_progress > std::chrono::milliseconds(50)) {
+        in_flight = 0;  // the window was lost (socket buffer drop); refill
+        last_progress = now;
+      }
+    }
+    // Let stragglers land, then stop the I/O thread so stats reads are
+    // race-free (single-writer discipline, see Transport::stats()).
+    const auto tail_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+    while (std::chrono::steady_clock::now() < tail_deadline && received < sent_datagrams) {
+      for (auto& r : receivers) received += r->dispatch_queued();
+    }
+    elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count();
+    reactor.stop();
+    reactor.notify();
+    io.join();
+    for (auto& r : receivers) received += r->dispatch_queued();
+    tx_stats = tx.stats();
+    rx_batches_total = 0;
+    for (auto& r : receivers) rx_batches_total += r->stats().rx_syscall_batches;
+  }
+
+  state.SetLabel(batched ? "batched" : "batch=1");
+  state.counters["packets_per_sec"] = static_cast<double>(received) / elapsed_s;
+  state.counters["msgs_per_sec"] =
+      static_cast<double>(received) / static_cast<double>(kFanout) / elapsed_s;
+  state.counters["sent"] = static_cast<double>(sent_datagrams);
+  state.counters["received"] = static_cast<double>(received);
+  state.counters["p50_delivery_us"] = percentile(latencies_us, 0.50);
+  state.counters["p99_delivery_us"] = percentile(latencies_us, 0.99);
+  state.counters["tx_syscall_batches"] = static_cast<double>(tx_stats.tx_syscall_batches);
+  state.counters["rx_syscall_batches"] = static_cast<double>(rx_batches_total);
+  state.counters["avg_tx_batch"] =
+      tx_stats.tx_syscall_batches
+          ? static_cast<double>(tx_stats.packets_sent) /
+                static_cast<double>(tx_stats.tx_syscall_batches)
+          : 0;
+  state.counters["avg_rx_batch"] =
+      rx_batches_total ? static_cast<double>(received) /
+                             static_cast<double>(rx_batches_total)
+                       : 0;
+}
+
+BENCHMARK(BM_UdpLoopbackThroughput)
+    ->Arg(0)   // batch=1
+    ->Arg(1)   // batched
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace totem::net
+
+TOTEM_BENCH_MAIN("udp_loopback_throughput")

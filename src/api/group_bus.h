@@ -27,21 +27,25 @@
 
 namespace totem::api {
 
+/// One delivered group message (handler argument).
 struct GroupMessage {
-  std::string group;
-  NodeId origin = kInvalidNode;
-  SeqNum seq = 0;       // ring sequence number (total order witness)
-  BytesView payload;    // valid only during the callback
+  std::string group;            ///< destination group name
+  NodeId origin = kInvalidNode; ///< sending node
+  SeqNum seq = 0;               ///< ring sequence number (total order witness)
+  BytesView payload;            ///< valid only during the callback
 };
 
+/// A group membership view: who is in `group` right now, in agreed order.
 struct GroupView {
   std::string group;
-  std::vector<NodeId> members;  // sorted
+  std::vector<NodeId> members;  ///< sorted
 };
 
 class GroupBus {
  public:
+  /// Receives the group's totally-ordered message stream.
   using MessageHandler = std::function<void(const GroupMessage&)>;
+  /// Receives group membership views (also totally ordered with traffic).
   using ViewHandler = std::function<void(const GroupView&)>;
 
   /// Takes ownership of `node`'s deliver and membership handlers — do not
@@ -70,12 +74,13 @@ class GroupBus {
     return local_.count(group) != 0;
   }
 
+  /// Bus-level counters (all updated on the protocol thread).
   struct Stats {
-    std::uint64_t messages_sent = 0;
-    std::uint64_t messages_delivered = 0;   // to local handlers
-    std::uint64_t messages_filtered = 0;    // groups we are not in
-    std::uint64_t view_changes = 0;
-    std::uint64_t malformed_envelopes = 0;
+    std::uint64_t messages_sent = 0;        ///< send() calls accepted
+    std::uint64_t messages_delivered = 0;   ///< to local handlers
+    std::uint64_t messages_filtered = 0;    ///< groups we are not in
+    std::uint64_t view_changes = 0;         ///< views emitted to handlers
+    std::uint64_t malformed_envelopes = 0;  ///< undecodable group frames
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

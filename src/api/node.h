@@ -38,13 +38,15 @@
 
 namespace totem::api {
 
+/// Which RRP replication engine the node runs (paper §4).
 enum class ReplicationStyle {
-  kNone,           // single network (the paper's baseline)
-  kActive,         // §5: every packet on every network
-  kPassive,        // §6: packets round-robin over the networks
-  kActivePassive,  // §7: K of N networks per packet
+  kNone,           ///< single network (the paper's baseline)
+  kActive,         ///< §5: every packet on every network
+  kPassive,        ///< §6: packets round-robin over the networks
+  kActivePassive,  ///< §7: K of N networks per packet
 };
 
+/// Human-readable style name ("none", "active", ...).
 [[nodiscard]] constexpr const char* to_string(ReplicationStyle s) {
   switch (s) {
     case ReplicationStyle::kNone: return "none";
@@ -55,12 +57,18 @@ enum class ReplicationStyle {
   return "?";
 }
 
+/// Everything a Node needs beyond its transports. Validated by
+/// api::validate() at construction.
 struct NodeConfig {
+  /// SRP parameters: node id, initial members, timeouts, flow control.
   srp::Config srp;
+  /// Replication engine; must match the transport count (kNone needs
+  /// exactly one network, the others at least two).
   ReplicationStyle style = ReplicationStyle::kActive;
+  /// Engine-specific tuning; only the struct matching `style` is read.
   rrp::ActiveConfig active;
-  rrp::PassiveConfig passive;
-  rrp::ActivePassiveConfig active_passive;
+  rrp::PassiveConfig passive;          ///< used when style == kPassive
+  rrp::ActivePassiveConfig active_passive;  ///< used when style == kActivePassive
 };
 
 class Node {
@@ -73,12 +81,20 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
+  /// Totally-ordered delivery upcall: invoked with each message in the
+  /// agreed order, identically at every node. Runs on the protocol thread
+  /// (the reactor thread, or the OrderingLoop thread under
+  /// ThreadedRuntime).
   void set_deliver_handler(srp::SingleRing::DeliverHandler h) {
     ring_->set_deliver_handler(std::move(h));
   }
+  /// Ring membership views (node joins / crashes). Network faults do NOT
+  /// produce views — that transparency is the paper's point.
   void set_membership_handler(srp::SingleRing::MembershipHandler h) {
     ring_->set_membership_handler(std::move(h));
   }
+  /// Network fault alarms (paper §3): a redundant network failed or
+  /// recovered; the ring keeps running on the survivors.
   void set_fault_handler(rrp::Replicator::FaultHandler h) {
     replicator_->set_fault_handler(std::move(h));
   }
@@ -89,11 +105,15 @@ class Node {
   /// Queue `payload` for totally-ordered broadcast to the group.
   Status send(BytesView payload) { return ring_->send(payload); }
 
+  /// This node's id (== config.srp.node_id).
   [[nodiscard]] NodeId id() const { return ring_->node_id(); }
+  /// The SRP layer (escape hatch: watermark handlers, detailed stats).
   [[nodiscard]] srp::SingleRing& ring() { return *ring_; }
   [[nodiscard]] const srp::SingleRing& ring() const { return *ring_; }
+  /// The RRP layer (escape hatch: per-network health, fault state).
   [[nodiscard]] rrp::Replicator& replicator() { return *replicator_; }
   [[nodiscard]] const rrp::Replicator& replicator() const { return *replicator_; }
+  /// The replication style this node was constructed with.
   [[nodiscard]] ReplicationStyle style() const { return style_; }
 
   /// The node-wide metrics registry (latency histograms + event counters

@@ -1,0 +1,125 @@
+#include "api/runtime.h"
+
+#include <chrono>
+
+#include "common/log.h"
+
+namespace totem::api {
+
+TimePoint OrderingLoop::now() const {
+  return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
+}
+
+TimerHandle OrderingLoop::schedule(Duration delay, Callback cb) {
+  return timers_.schedule(now() + delay, std::move(cb));
+}
+
+void OrderingLoop::add_transport(net::UdpTransport* transport) {
+  transports_.push_back(transport);
+}
+
+void OrderingLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    posted_.push_back(std::move(fn));
+    wake_pending_ = true;
+  }
+  cv_.notify_one();
+}
+
+void OrderingLoop::wake() {
+  {
+    // Taking the mutex (not just notifying) is what makes this race-free:
+    // the loop re-checks wake_pending_ under the same mutex before it
+    // sleeps, so a wake() landing between its empty RX check and the
+    // cv_.wait cannot be lost.
+    std::lock_guard<std::mutex> lk(mu_);
+    wake_pending_ = true;
+  }
+  cv_.notify_one();
+}
+
+std::size_t OrderingLoop::run_once() {
+  std::size_t work = 0;
+  for (net::UdpTransport* t : transports_) {
+    work += t->dispatch_queued();
+  }
+  std::deque<std::function<void()>> posted;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    posted.swap(posted_);
+  }
+  work += posted.size();
+  for (auto& fn : posted) fn();
+  timers_.fire_due(now());
+  return work;
+}
+
+void OrderingLoop::run() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopped_ = false;
+  }
+  for (;;) {
+    const std::size_t work = run_once();
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopped_) return;
+    if (work > 0 || wake_pending_ || !posted_.empty()) {
+      // More may be queued behind what we just drained — go around again
+      // without sleeping.
+      wake_pending_ = false;
+      continue;
+    }
+    const auto deadline = timers_.next_deadline();
+    const auto pred = [this] { return wake_pending_ || stopped_; };
+    if (deadline) {
+      cv_.wait_until(lk, *deadline, pred);
+    } else {
+      cv_.wait(lk, pred);
+    }
+    wake_pending_ = false;
+    if (stopped_) return;
+  }
+}
+
+void OrderingLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_one();
+}
+
+ThreadedRuntime::ThreadedRuntime(net::Reactor& reactor, OrderingLoop& loop,
+                                 std::vector<net::UdpTransport*> transports)
+    : reactor_(reactor), loop_(loop) {
+  for (net::UdpTransport* t : transports) {
+    if (!t->rx_queued()) {
+      TLOG_WARN << "ThreadedRuntime: transport net" << t->network_id()
+                << " has no RX ring; its rx handler will run on the I/O thread";
+    }
+    loop_.add_transport(t);
+    t->set_rx_wakeup([this] { loop_.wake(); });
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() { stop(); }
+
+void ThreadedRuntime::start() {
+  if (running_) return;
+  running_ = true;
+  io_thread_ = std::thread([this] { reactor_.run(); });
+  ordering_thread_ = std::thread([this] { loop_.run(); });
+}
+
+void ThreadedRuntime::stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_.stop();
+  reactor_.stop();
+  reactor_.notify();  // a blocked poll() won't see stopped_ until it wakes
+  if (ordering_thread_.joinable()) ordering_thread_.join();
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+}  // namespace totem::api

@@ -1,0 +1,143 @@
+// Threaded runtime: split socket I/O from protocol work (DESIGN.md §12).
+//
+// Single-threaded mode (the default everywhere else in this repo) runs the
+// whole stack — reactor poll loop, UDP drains, SRP ordering, delivery
+// upcalls — on one thread. That is simple and fast until datagram bursts
+// and protocol work contend for the same core. This header provides the
+// two-thread alternative:
+//
+//   I/O (reactor) thread        ordering (protocol) thread
+//   ---------------------       --------------------------
+//   poll / recvmmsg drains  --> SpscRing<ReceivedPacket> --> SRP + RRP,
+//   sendmmsg TX flushes     <-- SpscRing<TxEntry>        <-- timers,
+//   (net::Reactor::run)          delivery upcalls (OrderingLoop::run)
+//
+// The handoff rings live inside each UdpTransport (Config::rx_queue_capacity
+// / tx_queue_capacity); this layer owns the threads and the wakeups:
+// Reactor::notify() kicks the I/O thread when TX is queued, and
+// OrderingLoop::wake() (installed as the transport's rx_wakeup) kicks the
+// protocol thread when RX lands. Both directions are TSan-clean: the rings
+// publish with acquire/release, and each wakeup uses a proper
+// mutex/condvar (ordering side) or self-pipe (I/O side) — no timed polling.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/timer_heap.h"
+#include "common/timer_service.h"
+#include "net/udp_transport.h"
+
+namespace totem::api {
+
+/// The protocol thread's event loop: a TimerService (so SingleRing and the
+/// replicators run on it unchanged) plus the consumer side of every
+/// transport's RX handoff ring.
+///
+/// Threading contract: run() is entered by exactly one thread — the
+/// "ordering thread" — and everything the protocol stack does (timer
+/// callbacks, rx handlers, delivery upcalls, send() calls made from those
+/// upcalls) happens on that thread. Three entry points are safe from other
+/// threads: wake(), post(), and stop(). schedule() is loop-thread-only,
+/// like Reactor's.
+class OrderingLoop final : public TimerService {
+ public:
+  OrderingLoop() = default;
+  ~OrderingLoop() override = default;
+  OrderingLoop(const OrderingLoop&) = delete;
+  OrderingLoop& operator=(const OrderingLoop&) = delete;
+
+  /// Monotonic wall-clock time (same clock as net::Reactor).
+  [[nodiscard]] TimePoint now() const override;
+  /// Run `cb` once after `delay`. Ordering thread only.
+  TimerHandle schedule(Duration delay, Callback cb) override;
+
+  /// Register a transport whose RX ring this loop drains. Call before the
+  /// loop starts (ThreadedRuntime does this).
+  void add_transport(net::UdpTransport* transport);
+
+  /// Thread-safe: run `fn` on the ordering thread at the next loop round.
+  /// Used to marshal calls like Node::start() and application send()s onto
+  /// the protocol thread.
+  void post(std::function<void()> fn);
+
+  /// Thread-safe: wake a sleeping loop round. Installed as each transport's
+  /// rx_wakeup; coalesces like Reactor::notify().
+  void wake();
+
+  /// Run until stop(): drain RX rings, run posted functions, fire timers,
+  /// then sleep on the condvar until the next deadline or a wake().
+  void run();
+
+  /// Thread-safe: make run() return at the next round.
+  void stop();
+
+ private:
+  /// One loop round. Returns the amount of work done (packets + posts).
+  std::size_t run_once();
+
+  TimerHeap timers_;
+  std::vector<net::UdpTransport*> transports_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;       // guarded by mu_
+  bool wake_pending_ = false;  // guarded by mu_; set by wake(), cleared by the loop
+  std::deque<std::function<void()>> posted_;  // guarded by mu_
+};
+
+/// Owns the two threads of the split runtime and wires the wakeups between
+/// them. Lifecycle:
+///
+///   net::Reactor reactor;
+///   api::OrderingLoop loop;
+///   auto t = UdpTransport::create(reactor, cfg);      // cfg.rx/tx_queue_capacity > 0
+///   api::Node node(loop, {t->get()}, node_cfg);       // timers = the ordering loop
+///   api::ThreadedRuntime rt(reactor, loop, {t->get()});
+///   rt.start();                                       // spawns I/O + ordering threads
+///   rt.post([&] { node.start(); });                   // protocol work runs over there
+///   ...
+///   rt.stop();                                        // joins both threads
+///
+/// After stop() returns both threads have joined, so reading transport
+/// stats / node metrics from the caller is race-free.
+class ThreadedRuntime {
+ public:
+  /// Wires each transport's rx_wakeup to `loop` and registers it for RX
+  /// dispatch. Transports should be created with rx_queue_capacity and
+  /// tx_queue_capacity set; a transport without an RX ring would run its rx
+  /// handler on the I/O thread, racing the protocol stack (warned at
+  /// construction).
+  ThreadedRuntime(net::Reactor& reactor, OrderingLoop& loop,
+                  std::vector<net::UdpTransport*> transports);
+  ~ThreadedRuntime();
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  /// Spawn the I/O thread (reactor.run()) and the ordering thread
+  /// (loop.run()). Idempotent until stop().
+  void start();
+
+  /// Stop both loops and join both threads. Idempotent; also called by the
+  /// destructor.
+  void stop();
+
+  /// Thread-safe: run `fn` on the ordering thread (see OrderingLoop::post).
+  void post(std::function<void()> fn) { loop_.post(std::move(fn)); }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  net::Reactor& reactor_;
+  OrderingLoop& loop_;
+  std::thread io_thread_;
+  std::thread ordering_thread_;
+  bool running_ = false;
+};
+
+}  // namespace totem::api

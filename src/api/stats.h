@@ -11,25 +11,28 @@
 
 namespace totem::api {
 
+/// One redundant network's state as seen by this node.
 struct NetworkSnapshot {
-  NetworkId network = 0;
-  bool faulty = false;
-  net::Transport::Stats transport;
+  NetworkId network = 0;           ///< which redundant network
+  bool faulty = false;             ///< declared faulty by the RRP monitor
+  net::Transport::Stats transport; ///< packet/byte/drop counters
 };
 
+/// A coherent point-in-time copy of every layer's counters for one node.
+/// Plain data: safe to ship across threads, serialize, or diff.
 struct StatsSnapshot {
-  NodeId node = kInvalidNode;
+  NodeId node = kInvalidNode;                ///< whose snapshot this is
   ReplicationStyle style = ReplicationStyle::kNone;
   srp::SingleRing::State state = srp::SingleRing::State::kOperational;
-  RingId ring;
-  std::size_t member_count = 0;
-  SeqNum my_aru = 0;
-  SeqNum safe_up_to = 0;
-  std::size_t send_queue_depth = 0;
-  srp::SingleRing::Stats srp;
-  rrp::Replicator::Stats rrp;
-  BufferPool::Stats buffer_pool;  // the ring's packet-encode pool
-  std::vector<NetworkSnapshot> networks;
+  RingId ring;                               ///< current ring identifier
+  std::size_t member_count = 0;              ///< ring membership size
+  SeqNum my_aru = 0;                         ///< all-received-up-to watermark
+  SeqNum safe_up_to = 0;                     ///< safe (all-hold) watermark
+  std::size_t send_queue_depth = 0;          ///< messages awaiting the token
+  srp::SingleRing::Stats srp;                ///< ordering-layer counters
+  rrp::Replicator::Stats rrp;                ///< replication-layer counters
+  BufferPool::Stats buffer_pool;             ///< the ring's packet-encode pool
+  std::vector<NetworkSnapshot> networks;     ///< one entry per transport
   /// Latency histograms + event counters from the node's MetricsRegistry.
   MetricsSnapshot metrics;
 

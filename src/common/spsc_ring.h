@@ -1,0 +1,91 @@
+// SpscRing: bounded lock-free single-producer / single-consumer queue.
+//
+// The handoff primitive of the threaded UDP hot path (DESIGN.md §12): the
+// reactor/I-O thread pushes received packets up to the ordering thread, and
+// the ordering thread pushes framed datagrams down to the I/O thread, each
+// direction through one of these rings. Exactly ONE thread may call
+// try_push and exactly ONE thread may call try_pop; with that contract the
+// ring needs no locks — a release store on the producer index publishes the
+// slot contents to the consumer's acquire load (and vice versa for slot
+// reuse), which is the whole synchronization story and is what makes the
+// hot path ThreadSanitizer-clean.
+//
+// Indices are monotonically increasing and wrapped by a power-of-two mask;
+// head_ == tail_ means empty, head_ - tail_ == capacity means full, so all
+// capacity slots are usable. Each side caches the other side's index and
+// refreshes it only when the cached value says the ring is full/empty,
+// keeping the common case free of cross-core cache traffic; the indices
+// live on separate cache lines for the same reason.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace totem {
+
+/// Bounded SPSC queue of default-constructible, movable T. Capacity is
+/// rounded up to a power of two. Popped slots hold moved-from values until
+/// overwritten, so a T that owns resources (e.g. a PacketBuffer refcount)
+/// releases them at pop time, not when the slot is reused.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (and leaves `v` untouched) when full.
+  [[nodiscard]] bool try_push(T&& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;  // genuinely full
+    }
+    slots_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;  // genuinely empty
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot of the element count. Exact when called by either endpoint
+  /// thread for its own decision making (never shrinks under the producer,
+  /// never grows under the consumer); approximate from anywhere else.
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::size_t> head_{0};  // next write (producer-owned)
+  alignas(64) std::size_t cached_tail_ = 0;       // producer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next read (consumer-owned)
+  alignas(64) std::size_t cached_head_ = 0;       // consumer's view of head_
+};
+
+}  // namespace totem

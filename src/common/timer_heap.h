@@ -1,0 +1,68 @@
+// TimerHeap: the one-shot-timer priority queue behind every real-time
+// TimerService implementation (net::Reactor's poll loop and the ordering
+// thread's api::OrderingLoop). Single-threaded by contract: schedule() and
+// fire_due() must be called from the owning loop's thread (or before that
+// thread starts). FIFO order among timers sharing a deadline is preserved
+// via a monotonically increasing sequence number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/timer_service.h"
+#include "common/types.h"
+
+namespace totem {
+
+class TimerHeap {
+ public:
+  /// Register `cb` to fire at `at`. The returned handle cancels lazily: a
+  /// cancelled entry stays queued and is skipped when it pops.
+  TimerHandle schedule(TimePoint at, TimerService::Callback cb) {
+    auto state = std::make_shared<detail::TimerState>();
+    timers_.push(Pending{at, next_seq_++, std::move(cb), state});
+    return TimerHandle{state};
+  }
+
+  /// Pop and invoke every non-cancelled timer due at or before `now`.
+  void fire_due(TimePoint now) {
+    while (!timers_.empty() && timers_.top().at <= now) {
+      Pending t = timers_.top();
+      timers_.pop();
+      if (t.state->cancelled) continue;
+      t.state->fired = true;
+      t.fn();
+    }
+  }
+
+  /// Deadline of the earliest pending timer (cancelled entries included —
+  /// they pop as no-ops, so the returned wait is merely conservative).
+  [[nodiscard]] std::optional<TimePoint> next_deadline() const {
+    if (timers_.empty()) return std::nullopt;
+    return timers_.top().at;
+  }
+
+  [[nodiscard]] bool empty() const { return timers_.empty(); }
+
+ private:
+  struct Pending {
+    TimePoint at;
+    std::uint64_t seq;
+    TimerService::Callback fn;
+    std::shared_ptr<detail::TimerState> state;
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Pending, std::vector<Pending>, Later> timers_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace totem

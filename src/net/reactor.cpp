@@ -1,22 +1,35 @@
 #include "net/reactor.h"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 
 namespace totem::net {
 
-Reactor::Reactor() = default;
+Reactor::Reactor() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    wake_rd_ = fds[0];
+    wake_wr_ = fds[1];
+  }
+}
+
+Reactor::~Reactor() {
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+}
 
 TimePoint Reactor::now() const {
   return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
 }
 
 TimerHandle Reactor::schedule(Duration delay, Callback cb) {
-  auto state = std::make_shared<detail::TimerState>();
-  timers_.push(PendingTimer{now() + delay, next_seq_++, std::move(cb), state});
-  return TimerHandle{state};
+  return timers_.schedule(now() + delay, std::move(cb));
 }
 
 void Reactor::register_fd(int fd, std::function<void()> on_readable) {
@@ -25,41 +38,62 @@ void Reactor::register_fd(int fd, std::function<void()> on_readable) {
 
 void Reactor::unregister_fd(int fd) { fds_.erase(fd); }
 
-Duration Reactor::until_next_timer(Duration cap) const {
-  if (timers_.empty()) return cap;
-  const Duration d = timers_.top().at - now();
-  return std::clamp(d, Duration{0}, cap);
+std::uint64_t Reactor::add_wake_hook(std::function<void()> hook) {
+  const std::uint64_t id = next_hook_id_++;
+  wake_hooks_[id] = std::move(hook);
+  return id;
 }
 
-void Reactor::fire_due_timers() {
-  while (!timers_.empty() && timers_.top().at <= now()) {
-    PendingTimer t = timers_.top();
-    timers_.pop();
-    if (t.state->cancelled) continue;
-    t.state->fired = true;
-    t.fn();
+void Reactor::remove_wake_hook(std::uint64_t id) { wake_hooks_.erase(id); }
+
+void Reactor::notify() {
+  // First caller since the last poll round pays the pipe write; the rest
+  // see notified_ already set and return. The loop clears the flag BEFORE
+  // draining the pipe and running hooks, so a notify() racing with the
+  // wakeup either lands in the current round or triggers the next one.
+  if (!notified_.exchange(true, std::memory_order_acq_rel) && wake_wr_ >= 0) {
+    const char one = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wake_wr_, &one, 1);  // pipe full == wakeup pending
   }
+}
+
+Duration Reactor::until_next_timer(Duration cap) const {
+  const auto deadline = timers_.next_deadline();
+  if (!deadline) return cap;
+  return std::clamp(*deadline - now(), Duration{0}, cap);
 }
 
 void Reactor::poll_once(Duration max_wait) {
   const Duration wait = until_next_timer(max_wait);
   std::vector<pollfd> pfds;
-  pfds.reserve(fds_.size());
+  pfds.reserve(fds_.size() + 1);
   for (const auto& [fd, _] : fds_) {
     pfds.push_back(pollfd{fd, POLLIN, 0});
   }
+  if (wake_rd_ >= 0) pfds.push_back(pollfd{wake_rd_, POLLIN, 0});
   const int timeout_ms =
       static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(wait).count());
   const int rc = ::poll(pfds.data(), pfds.size(), std::max(timeout_ms, 0));
   if (rc > 0) {
     for (const auto& p : pfds) {
       if ((p.revents & POLLIN) == 0) continue;
+      if (p.fd == wake_rd_) {
+        notified_.store(false, std::memory_order_release);
+        char buf[64];
+        while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
       // The handler may unregister fds; look it up fresh.
       auto it = fds_.find(p.fd);
       if (it != fds_.end()) it->second();
     }
   }
-  fire_due_timers();
+  // Wake hooks run every round (they are cheap empty-queue checks), so TX
+  // queued right before a socket-readability wakeup flushes without waiting
+  // for its own notify round.
+  for (auto& [id, hook] : wake_hooks_) hook();
+  timers_.fire_due(now());
 }
 
 void Reactor::run() {

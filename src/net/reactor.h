@@ -1,17 +1,28 @@
-// Reactor: single-threaded poll()-based event loop with a timer heap.
+// Reactor: poll()-based event loop with a timer heap.
 //
 // Real-time counterpart of sim::Simulator — implements the same TimerService
 // interface and additionally dispatches socket readability, so the protocol
 // stack runs unchanged over real UDP (see net::UdpTransport).
+//
+// Threading model. The reactor itself is single-threaded: register_fd /
+// unregister_fd / schedule / run / poll_once all belong to the one thread
+// that runs the loop (or to setup code before that thread starts and after
+// it joins). Exactly two entry points are safe from other threads:
+//   * stop()   — atomic flag, ends run() at the next poll round
+//   * notify() — wakes a blocked poll() immediately and runs the registered
+//                wake hooks; used by the ordering thread to kick the I/O
+//                thread after queueing TX work (DESIGN.md §12)
+// notify() coalesces: any number of calls between two poll rounds cost at
+// most one pipe write, so the ordering thread may call it per packet.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <vector>
 
+#include "common/timer_heap.h"
 #include "common/timer_service.h"
 #include "common/types.h"
 
@@ -20,43 +31,50 @@ namespace totem::net {
 class Reactor : public TimerService {
  public:
   Reactor();
+  ~Reactor() override;
 
+  /// Monotonic wall-clock time.
   [[nodiscard]] TimePoint now() const override;
+  /// Run `cb` once after `delay` (loop thread only).
   TimerHandle schedule(Duration delay, Callback cb) override;
 
   /// Invoke `on_readable` whenever `fd` becomes readable.
   void register_fd(int fd, std::function<void()> on_readable);
   void unregister_fd(int fd);
 
+  /// Register `hook` to run on every poll round after fd dispatch — the
+  /// mechanism by which transports flush their TX queues on the I/O thread.
+  /// Returns an id for remove_wake_hook.
+  std::uint64_t add_wake_hook(std::function<void()> hook);
+  void remove_wake_hook(std::uint64_t id);
+
+  /// Thread-safe: wake a blocked poll() now. Coalesced — concurrent calls
+  /// between two poll rounds collapse into one wakeup.
+  void notify();
+
   /// Run until stop() is called.
   void run();
   /// Run for (approximately) the given wall duration.
   void run_for(Duration d);
   /// One poll round: waits at most `max_wait` (clipped to the next timer
-  /// deadline), dispatches ready fds and due timers.
+  /// deadline), dispatches ready fds, wake hooks and due timers.
   void poll_once(Duration max_wait);
+  /// Thread-safe: make run() return at the next poll round.
   void stop() { stopped_ = true; }
 
  private:
-  void fire_due_timers();
   [[nodiscard]] Duration until_next_timer(Duration cap) const;
 
-  struct PendingTimer {
-    TimePoint at;
-    std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<detail::TimerState> state;
-  };
-  struct Later {
-    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<PendingTimer, std::vector<PendingTimer>, Later> timers_;
+  TimerHeap timers_;
   std::map<int, std::function<void()>> fds_;
-  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, std::function<void()>> wake_hooks_;
+  std::uint64_t next_hook_id_ = 0;
+
+  // Self-pipe for notify(): write end poked by other threads, read end in
+  // the poll set. notified_ coalesces writes between poll rounds.
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::atomic<bool> notified_{false};
   std::atomic<bool> stopped_{false};
 };
 

@@ -16,14 +16,28 @@
 
 namespace totem::net {
 
+/// One datagram handed up from a transport to the replication layer.
 struct ReceivedPacket {
-  PacketBuffer data;  // refcounted: receivers of one broadcast share bytes
+  /// The payload with transport framing already stripped. Refcounted:
+  /// receivers of one broadcast share the bytes rather than copying them.
+  PacketBuffer data;
+  /// Node id of the sender, recovered from the transport framing header.
   NodeId source = kInvalidNode;
+  /// Which redundant network delivered this copy.
   NetworkId network = 0;
 };
 
+/// Abstract best-effort datagram service over one redundant network.
+///
+/// Loss, duplication and reordering are allowed (the SRP's retransmission
+/// machinery repairs them); in-order delivery within one network is typical
+/// but not assumed. All methods are single-threaded with respect to each
+/// other unless a concrete implementation documents otherwise (see
+/// UdpTransport's threading notes for the batched/queued hot path).
 class Transport {
  public:
+  /// Upcall invoked once per received datagram, on the thread that drains
+  /// the network (the reactor/I-O thread for UdpTransport).
   using RxHandler = std::function<void(ReceivedPacket&&)>;
 
   virtual ~Transport() = default;
@@ -45,22 +59,37 @@ class Transport {
   void broadcast(BytesView packet) { broadcast(copy_to_pool(packet)); }
   void unicast(NodeId dest, BytesView packet) { unicast(dest, copy_to_pool(packet)); }
 
+  /// Install the receive upcall. Must be set before traffic flows (the
+  /// replicators install theirs at construction).
   virtual void set_rx_handler(RxHandler handler) = 0;
 
+  /// Index of the redundant network this transport serves (0-based).
   [[nodiscard]] virtual NetworkId network_id() const = 0;
+  /// Node id of the local endpoint on this network.
   [[nodiscard]] virtual NodeId local_node() const = 0;
 
+  /// Datagram-level traffic counters. Byte counts cover payloads only
+  /// (transport framing excluded), so they are comparable across transports.
   struct Stats {
-    std::uint64_t packets_sent = 0;
-    std::uint64_t packets_received = 0;
-    std::uint64_t bytes_sent = 0;
-    std::uint64_t bytes_received = 0;
+    std::uint64_t packets_sent = 0;      ///< datagrams submitted (incl. injected-loss victims)
+    std::uint64_t packets_received = 0;  ///< datagrams accepted and handed up
+    std::uint64_t bytes_sent = 0;        ///< payload bytes submitted
+    std::uint64_t bytes_received = 0;    ///< payload bytes accepted
     // RX-side drop accounting (populated by transports that can observe
     // these conditions, e.g. UdpTransport; zero on the simulator).
-    std::uint64_t rx_dropped = 0;    // bad magic, own loopback copy, injected fault
-    std::uint64_t rx_truncated = 0;  // datagram exceeded the RX buffer
-    std::uint64_t rx_short = 0;      // datagram shorter than the framing header
+    std::uint64_t rx_dropped = 0;    ///< bad magic, own loopback copy, injected fault
+    std::uint64_t rx_truncated = 0;  ///< datagram exceeded the RX buffer
+    std::uint64_t rx_short = 0;      ///< datagram shorter than the framing header
+    // Batched/queued hot-path accounting (UdpTransport; zero elsewhere).
+    std::uint64_t tx_errors = 0;          ///< datagrams the socket refused (per-datagram errno)
+    std::uint64_t tx_queue_drops = 0;     ///< datagrams dropped: TX handoff ring full
+    std::uint64_t rx_queue_drops = 0;     ///< datagrams dropped: RX handoff ring full
+    std::uint64_t tx_syscall_batches = 0; ///< sendmmsg/sendto rounds issued
+    std::uint64_t rx_syscall_batches = 0; ///< recvmmsg/recv rounds that returned data
   };
+  /// Live counters. Plain (non-atomic) fields: when an implementation runs
+  /// its hot path on an I/O thread (UdpTransport in queued mode), read them
+  /// only while that thread is stopped or quiescent.
   [[nodiscard]] virtual const Stats& stats() const = 0;
 
  protected:
@@ -69,6 +98,8 @@ class Transport {
   /// for it; real transports spend real cycles and need no hook).
   virtual void on_payload_copy(std::size_t /*bytes*/) {}
 
+  /// Copy a non-pooled payload into the process-wide scratch pool (the
+  /// bridge the BytesView convenience overloads ride on).
   [[nodiscard]] PacketBuffer copy_to_pool(BytesView packet) {
     on_payload_copy(packet.size());
     return BufferPool::scratch().copy_of(packet);
@@ -82,6 +113,7 @@ class Transport {
 class CpuCharger {
  public:
   virtual ~CpuCharger() = default;
+  /// Add `cost` of busy time to the local CPU model.
   virtual void charge(Duration cost) = 0;
 };
 

@@ -1,3 +1,7 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // sendmmsg/recvmmsg on glibc
+#endif
+
 #include "net/udp_transport.h"
 
 #include <arpa/inet.h>
@@ -11,6 +15,14 @@
 
 #include "common/bytes.h"
 #include "common/log.h"
+
+// The mmsg batch syscalls are Linux-specific; everything routes through the
+// portable per-datagram fallback elsewhere (and when batched_syscalls=false).
+#if defined(__linux__)
+#define TOTEM_HAVE_MMSG 1
+#else
+#define TOTEM_HAVE_MMSG 0
+#endif
 
 namespace totem::net {
 namespace {
@@ -41,9 +53,9 @@ Result<std::unique_ptr<UdpTransport>> UdpTransport::create(Reactor& reactor, Con
                   std::string("socket(): ") + std::strerror(errno)};
   }
   // No SO_REUSEADDR: a second bind to the same port is a configuration
-  // error and must fail loudly.
-  // Match the paper's testbed: Linux 2.2 used 64 KB socket buffers.
-  const int buf = 64 * 1024;
+  // error and must fail loudly. Buffer size defaults to the paper's
+  // testbed value (64 KB); see Config::socket_buffer_bytes.
+  const int buf = config.socket_buffer_bytes;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
 
@@ -115,6 +127,23 @@ UdpTransport::UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd
   reactor_.register_fd(fd_, [this] { drain(fd_); });
   if (mcast_fd_ >= 0) {
     reactor_.register_fd(mcast_fd_, [this] { drain(mcast_fd_); });
+    mcast_addr_ = to_sockaddr(UdpEndpoint{config_.multicast_group, config_.multicast_port});
+  }
+  for (const auto& [node, ep] : config_.peers) {
+    const sockaddr_in a = to_sockaddr(ep);
+    addr_by_node_[node] = a;
+    if (node != config_.local_node) peer_addrs_.emplace_back(node, a);
+  }
+  if (config_.rx_queue_capacity > 0) {
+    rx_ring_ = std::make_unique<SpscRing<ReceivedPacket>>(config_.rx_queue_capacity);
+  }
+  if (config_.tx_queue_capacity > 0) {
+    tx_ring_ = std::make_unique<SpscRing<TxEntry>>(config_.tx_queue_capacity);
+    // The reactor thread drains the TX ring; notify() from the ordering
+    // thread triggers the next round, and the hook also runs after every
+    // socket wakeup so queued TX piggybacks on RX polls.
+    wake_hook_id_ = reactor_.add_wake_hook([this] { flush_tx(); });
+    wake_hook_added_ = true;
   }
   if (config_.metrics) {
     const std::string net = std::to_string(config_.network);
@@ -124,6 +153,7 @@ UdpTransport::UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd
 }
 
 UdpTransport::~UdpTransport() {
+  if (wake_hook_added_) reactor_.remove_wake_hook(wake_hook_id_);
   if (fd_ >= 0) {
     reactor_.unregister_fd(fd_);
     ::close(fd_);
@@ -134,18 +164,19 @@ UdpTransport::~UdpTransport() {
   }
 }
 
-void UdpTransport::build_frame(BytesView packet) {
-  tx_frame_.clear();
-  ByteWriter w(tx_frame_);
+PacketBuffer UdpTransport::build_frame(BytesView packet) {
+  PacketBuffer frame = tx_pool_.acquire(kUdpHeader + packet.size());
+  ByteWriter w(frame.mutable_bytes());
   w.u32(kUdpMagic);
   w.u32(config_.local_node);
   w.raw(packet);
+  return frame;
 }
 
-void UdpTransport::send_frame(const UdpEndpoint& ep) {
+bool UdpTransport::account_tx(std::size_t payload_bytes) {
   ++stats_.packets_sent;
-  stats_.bytes_sent += tx_frame_.size() - kUdpHeader;
-  if (send_fault_) return;
+  stats_.bytes_sent += payload_bytes;
+  if (send_fault_.load(std::memory_order_relaxed)) return false;
   if (config_.send_loss_rate > 0.0) {
     // xorshift64*: cheap deterministic-enough loss injection for tests.
     loss_rng_state_ ^= loss_rng_state_ >> 12;
@@ -153,96 +184,302 @@ void UdpTransport::send_frame(const UdpEndpoint& ep) {
     loss_rng_state_ ^= loss_rng_state_ >> 27;
     const double u =
         static_cast<double>((loss_rng_state_ * 0x2545F4914F6CDD1DuLL) >> 11) * 0x1.0p-53;
-    if (u < config_.send_loss_rate) return;
+    if (u < config_.send_loss_rate) return false;
   }
+  return true;
+}
 
-  const sockaddr_in addr = to_sockaddr(ep);
-  const ssize_t rc = ::sendto(fd_, tx_frame_.data(), tx_frame_.size(), 0,
-                              reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
-    TLOG_DEBUG << "udp sendto failed: " << std::strerror(errno);
+void UdpTransport::send_batch(const PacketBuffer* frames[], const sockaddr_in* addrs,
+                              std::size_t n) {
+  if (n == 0) return;
+  // One datagram's failure must not wedge the rest of the batch: a partial
+  // sendmmsg return means the datagram AFTER the sent prefix errored (the
+  // kernel reports errno only when nothing was sent), so that one is probed
+  // individually with sendto — charging tx_errors — and the batch resumes
+  // behind it.
+  auto send_one = [&](std::size_t i) {
+    const ssize_t rc =
+        ::sendto(fd_, frames[i]->data(), frames[i]->size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addrs[i]), sizeof(addrs[i]));
+    if (rc < 0) {
+      ++stats_.tx_errors;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        TLOG_DEBUG << "udp sendto failed: " << std::strerror(errno);
+      }
+    }
+  };
+#if TOTEM_HAVE_MMSG
+  if (config_.batched_syscalls) {
+    ++stats_.tx_syscall_batches;
+    if (tx_batch_hist_) tx_batch_hist_->record(n);
+    mmsghdr msgs[kTxBatch];
+    iovec iovs[kTxBatch];
+    std::memset(msgs, 0, sizeof(mmsghdr) * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs[i].iov_base = const_cast<std::byte*>(frames[i]->data());
+      iovs[i].iov_len = frames[i]->size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(&addrs[i]);
+      msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    std::size_t off = 0;
+    while (off < n) {
+      const int rc = ::sendmmsg(fd_, msgs + off, static_cast<unsigned>(n - off), 0);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        send_one(off);  // nothing sent: the head datagram is the culprit
+        ++off;
+        continue;
+      }
+      off += static_cast<std::size_t>(rc);
+      if (off < n) {
+        send_one(off);  // partial return: datagram `off` errored
+        ++off;
+      }
+    }
+    return;
+  }
+#endif
+  // Portable fallback: one syscall per datagram.
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_.tx_syscall_batches;
+    if (tx_batch_hist_) tx_batch_hist_->record(1);
+    send_one(i);
+  }
+}
+
+void UdpTransport::send_entry(const TxEntry& entry) {
+  const PacketBuffer* frames[kTxBatch];
+  sockaddr_in addrs[kTxBatch];
+  std::size_t n = 0;
+  auto emit = [&](const sockaddr_in& a) {
+    frames[n] = &entry.frame;
+    addrs[n] = a;
+    if (++n == kTxBatch) {
+      send_batch(frames, addrs, n);
+      n = 0;
+    }
+  };
+  const std::size_t payload = entry.frame.size() - kUdpHeader;
+  if (entry.dest == kBroadcastDest) {
+    if (mcast_fd_ >= 0) {
+      // One datagram to the group — the native broadcast Totem exploits (§2).
+      if (account_tx(payload)) emit(mcast_addr_);
+    } else {
+      for (const auto& [node, addr] : peer_addrs_) {
+        if (account_tx(payload)) emit(addr);
+      }
+    }
+  } else {
+    auto it = addr_by_node_.find(entry.dest);
+    if (it == addr_by_node_.end()) {
+      TLOG_WARN << "udp unicast to unknown node " << entry.dest;
+      return;
+    }
+    if (account_tx(payload)) emit(it->second);
+  }
+  send_batch(frames, addrs, n);
+}
+
+void UdpTransport::flush_tx() {
+  if (!tx_ring_) return;
+  for (;;) {
+    // Gather up to kTxBatch queued entries; `held` keeps their frames alive
+    // (and pinned by refcount) until every batch they feed has been sent.
+    TxEntry held[kTxBatch];
+    std::size_t held_n = 0;
+    while (held_n < kTxBatch && tx_ring_->try_pop(held[held_n])) ++held_n;
+    if (held_n == 0) return;
+    const PacketBuffer* frames[kTxBatch];
+    sockaddr_in addrs[kTxBatch];
+    std::size_t n = 0;
+    auto emit_from = [&](const TxEntry& e, const sockaddr_in& a) {
+      frames[n] = &e.frame;
+      addrs[n] = a;
+      if (++n == kTxBatch) {
+        send_batch(frames, addrs, n);
+        n = 0;
+      }
+    };
+    for (std::size_t i = 0; i < held_n; ++i) {
+      const TxEntry& e = held[i];
+      const std::size_t payload = e.frame.size() - kUdpHeader;
+      if (e.dest == kBroadcastDest) {
+        if (mcast_fd_ >= 0) {
+          if (account_tx(payload)) emit_from(e, mcast_addr_);
+        } else {
+          for (const auto& [node, addr] : peer_addrs_) {
+            if (account_tx(payload)) emit_from(e, addr);
+          }
+        }
+      } else {
+        auto it = addr_by_node_.find(e.dest);
+        if (it == addr_by_node_.end()) {
+          TLOG_WARN << "udp unicast to unknown node " << e.dest;
+          continue;
+        }
+        if (account_tx(payload)) emit_from(e, it->second);
+      }
+    }
+    send_batch(frames, addrs, n);
   }
 }
 
 void UdpTransport::broadcast(PacketBuffer packet) {
-  build_frame(packet);
-  if (mcast_fd_ >= 0) {
-    // One datagram to the group — the native broadcast Totem exploits (§2).
-    send_frame(UdpEndpoint{config_.multicast_group, config_.multicast_port});
-    if (tx_batch_hist_) tx_batch_hist_->record(1);
+  TxEntry entry{build_frame(packet), kBroadcastDest};
+  if (tx_ring_) {
+    if (tx_ring_->try_push(std::move(entry))) {
+      reactor_.notify();
+    } else {
+      stats_.tx_queue_drops += mcast_fd_ >= 0 ? 1 : peer_addrs_.size();
+    }
     return;
   }
-  std::uint64_t sent = 0;
-  for (const auto& [node, ep] : config_.peers) {
-    if (node == config_.local_node) continue;
-    send_frame(ep);
-    ++sent;
-  }
-  if (tx_batch_hist_) tx_batch_hist_->record(sent);
+  send_entry(entry);
 }
 
 void UdpTransport::unicast(NodeId dest, PacketBuffer packet) {
-  auto it = config_.peers.find(dest);
-  if (it == config_.peers.end()) {
+  if (addr_by_node_.find(dest) == addr_by_node_.end()) {
     TLOG_WARN << "udp unicast to unknown node " << dest;
     return;
   }
-  build_frame(packet);
-  send_frame(it->second);
+  TxEntry entry{build_frame(packet), dest};
+  if (tx_ring_) {
+    if (tx_ring_->try_push(std::move(entry))) {
+      reactor_.notify();
+    } else {
+      ++stats_.tx_queue_drops;
+    }
+    return;
+  }
+  send_entry(entry);
+}
+
+bool UdpTransport::accept_datagram(PacketBuffer buf, std::size_t len) {
+  if (recv_fault_.load(std::memory_order_relaxed)) {
+    ++stats_.rx_dropped;
+    return false;
+  }
+  if (len > kMaxDatagram) {
+    ++stats_.rx_truncated;
+    return false;
+  }
+  if (len < kUdpHeader) {
+    ++stats_.rx_short;
+    return false;
+  }
+  buf.truncate(len);
+  ByteReader r(buf);
+  auto magic = r.u32();
+  auto sender = r.u32();
+  if (!magic || !sender || magic.value() != kUdpMagic) {
+    ++stats_.rx_dropped;
+    return false;  // not ours; a faulty network may deliver garbage
+  }
+  if (sender.value() == config_.local_node) {
+    ++stats_.rx_dropped;
+    return false;  // multicast loopback copy of our own broadcast
+  }
+  buf.drop_front(kUdpHeader);
+  const std::size_t payload = buf.size();
+  ReceivedPacket packet{std::move(buf), sender.value(), config_.network};
+  if (rx_ring_) {
+    if (!rx_ring_->try_push(std::move(packet))) {
+      // Bounded handoff: a full ring drops like a full kernel socket buffer.
+      ++stats_.rx_queue_drops;
+      return false;
+    }
+    ++stats_.packets_received;
+    stats_.bytes_received += payload;
+    return true;
+  }
+  ++stats_.packets_received;
+  stats_.bytes_received += payload;
+  if (rx_handler_) rx_handler_(std::move(packet));
+  return false;
 }
 
 void UdpTransport::drain(int fd) {
-  // Drain the socket: the reactor signals readability once per poll round.
-  // Each datagram lands in a pooled buffer: the pool recycles the max-size
-  // slab (no 64 KB zero-fill per recv) and the framing header is stripped
-  // by narrowing the view, not by copying the payload out.
-  std::uint64_t drained = 0;
+#if TOTEM_HAVE_MMSG
+  if (config_.batched_syscalls) {
+    drain_batched(fd);
+    return;
+  }
+#endif
+  drain_fallback(fd);
+}
+
+void UdpTransport::drain_batched(int fd) {
+#if TOTEM_HAVE_MMSG
+  // Drain the socket in recvmmsg bursts: each slot is a pooled max-size
+  // slab (recycled, so no 64 KB zero-fill per datagram) acquired before the
+  // syscall; unused slots return to the pool untouched. MSG_TRUNC makes
+  // msg_len report each datagram's REAL length even when it exceeds the
+  // buffer, so oversized datagrams are counted, not clipped into garbage.
+  bool queued_any = false;
+  for (;;) {
+    PacketBuffer bufs[kRxBatch];
+    mmsghdr msgs[kRxBatch];
+    iovec iovs[kRxBatch];
+    std::memset(msgs, 0, sizeof(msgs));
+    for (std::size_t i = 0; i < kRxBatch; ++i) {
+      bufs[i] = rx_pool_.acquire_uninitialized(kMaxDatagram);
+      iovs[i].iov_base = bufs[i].mutable_bytes().data();
+      iovs[i].iov_len = kMaxDatagram;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int rc = ::recvmmsg(fd, msgs, kRxBatch, MSG_TRUNC, nullptr);
+    if (rc <= 0) {
+      if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        TLOG_DEBUG << "udp recvmmsg failed: " << std::strerror(errno);
+      }
+      break;
+    }
+    ++stats_.rx_syscall_batches;
+    if (rx_batch_hist_) rx_batch_hist_->record(static_cast<std::uint64_t>(rc));
+    for (int i = 0; i < rc; ++i) {
+      queued_any |= accept_datagram(std::move(bufs[i]), msgs[i].msg_len);
+    }
+    if (rc < static_cast<int>(kRxBatch)) break;  // socket drained
+  }
+  if (queued_any && rx_wakeup_) rx_wakeup_();
+#else
+  (void)fd;
+#endif
+}
+
+void UdpTransport::drain_fallback(int fd) {
+  // Portable path: one recv() per datagram until EAGAIN.
+  bool queued_any = false;
   for (;;) {
     PacketBuffer buf = rx_pool_.acquire_uninitialized(kMaxDatagram);
     Bytes& storage = buf.mutable_bytes();
-    // MSG_TRUNC makes recv() return the datagram's REAL length even when it
-    // exceeds the buffer, so oversized datagrams are counted, not silently
-    // clipped into parse garbage.
+    // MSG_TRUNC: recv() returns the datagram's real length (see above).
     const ssize_t n = ::recv(fd, storage.data(), kMaxDatagram, MSG_TRUNC);
     if (n < 0) {
-      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
         TLOG_DEBUG << "udp recv failed: " << std::strerror(errno);
       }
       break;
     }
-    ++drained;
-    if (recv_fault_) {
-      ++stats_.rx_dropped;
-      continue;
-    }
-    if (static_cast<std::size_t>(n) > kMaxDatagram) {
-      ++stats_.rx_truncated;
-      continue;
-    }
-    if (static_cast<std::size_t>(n) < kUdpHeader) {
-      ++stats_.rx_short;
-      continue;
-    }
-    buf.truncate(static_cast<std::size_t>(n));
-    ByteReader r(buf);
-    auto magic = r.u32();
-    auto sender = r.u32();
-    if (!magic || !sender || magic.value() != kUdpMagic) {
-      ++stats_.rx_dropped;
-      continue;  // not ours; a faulty network may deliver garbage
-    }
-    if (sender.value() == config_.local_node) {
-      ++stats_.rx_dropped;
-      continue;  // multicast loopback copy of our own broadcast
-    }
-    ++stats_.packets_received;
-    stats_.bytes_received += buf.size();
-    if (rx_handler_) {
-      buf.drop_front(kUdpHeader);
-      rx_handler_(ReceivedPacket{std::move(buf), sender.value(), config_.network});
-    }
+    ++stats_.rx_syscall_batches;
+    if (rx_batch_hist_) rx_batch_hist_->record(1);
+    queued_any |= accept_datagram(std::move(buf), static_cast<std::size_t>(n));
   }
-  if (rx_batch_hist_ && drained > 0) rx_batch_hist_->record(drained);
+  if (queued_any && rx_wakeup_) rx_wakeup_();
+}
+
+std::size_t UdpTransport::dispatch_queued(std::size_t max) {
+  if (!rx_ring_) return 0;
+  std::size_t n = 0;
+  ReceivedPacket p;
+  while (n < max && rx_ring_->try_pop(p)) {
+    if (rx_handler_) rx_handler_(std::move(p));
+    ++n;
+  }
+  return n;
 }
 
 std::map<NodeId, UdpEndpoint> loopback_peers(std::uint16_t base_port,

@@ -10,19 +10,36 @@
 // Broadcast is emulated by unicasting to every peer (the examples run on
 // loopback where link-level broadcast is unavailable). A small transport
 // header carries the sender's node id.
+//
+// Hot path (DESIGN.md §12). TX and RX are syscall-batched: a broadcast
+// fan-out and any queued backlog go to the kernel as ONE sendmmsg() of up
+// to kTxBatch datagrams, and a readable socket is drained recvmmsg()-first
+// into kRxBatch pooled buffers per syscall (portable per-packet
+// sendto/recv fallback when the platform lacks the mmsg calls, or when
+// Config::batched_syscalls is off). Optionally the transport splits I/O
+// from protocol work across threads: with Config::rx_queue_capacity /
+// tx_queue_capacity set, received packets are handed to the ordering
+// thread through a bounded lock-free SPSC ring (common/spsc_ring.h) and
+// sends are framed on the ordering thread but hit the socket on the
+// reactor thread, so replicator fan-out over N networks overlaps with SRP
+// ordering work (api::ThreadedRuntime owns the thread lifecycle).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <netinet/in.h>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/spsc_ring.h"
 #include "common/status.h"
 #include "net/reactor.h"
 #include "net/transport.h"
 
 namespace totem::net {
 
+/// An IPv4 UDP address (dotted-quad + port) of one node on one network.
 struct UdpEndpoint {
   std::string ip = "127.0.0.1";
   std::uint16_t port = 0;
@@ -30,13 +47,27 @@ struct UdpEndpoint {
 
 class UdpTransport final : public Transport {
  public:
+  /// Datagrams per sendmmsg() call (a broadcast fan-out plus queued backlog
+  /// are packed up to this).
+  static constexpr std::size_t kTxBatch = 64;
+  /// Datagrams per recvmmsg() call (each backed by a pooled 64 KB buffer).
+  static constexpr std::size_t kRxBatch = 32;
+
   struct Config {
+    /// Index of the redundant network this transport serves.
     NetworkId network = 0;
+    /// Local node id; must appear in `peers`.
     NodeId local_node = 0;
     /// Endpoint of every node (including the local one) on this network.
     std::map<NodeId, UdpEndpoint> peers;
     /// Simulate send-side packet loss (testing aid; 0 = off).
     double send_loss_rate = 0.0;
+
+    /// SO_RCVBUF / SO_SNDBUF request. The default matches the paper's
+    /// testbed (Linux 2.2 used 64 KB socket buffers); benchmarks that keep
+    /// deep in-flight windows raise it so the kernel queue, not the
+    /// buffer size, is the limit.
+    int socket_buffer_bytes = 64 * 1024;
 
     /// Optional true IP multicast for broadcast() — what Totem actually
     /// uses on a real LAN ("the native Ethernet broadcast service", §2).
@@ -50,12 +81,34 @@ class UdpTransport final : public Transport {
     std::string multicast_interface = "127.0.0.1";
 
     /// Optional metrics registry (common/metrics.h): send/recv batch-size
-    /// histograms (net.tx_batch.netN / net.rx_batch.netN) are recorded
-    /// here when set. Not owned; must outlive the transport.
+    /// histograms (net.tx_batch.netN / net.rx_batch.netN, datagrams per
+    /// syscall) are recorded here when set. Not owned; must outlive the
+    /// transport.
     MetricsRegistry* metrics = nullptr;
+
+    /// Use sendmmsg/recvmmsg when the platform has them. Off = the
+    /// portable one-syscall-per-datagram fallback (also what non-Linux
+    /// builds compile to); exists so tests can pin either path and the
+    /// bench can compare them.
+    bool batched_syscalls = true;
+
+    /// When > 0, received packets are queued into a bounded SPSC ring
+    /// instead of invoking the rx handler on the reactor thread; the
+    /// ordering thread must call dispatch_queued() (ThreadedRuntime wires
+    /// this). Ring-full datagrams are counted in rx_queue_drops — bounded-
+    /// queue semantics, same as a full kernel socket buffer.
+    std::size_t rx_queue_capacity = 0;
+
+    /// When > 0, broadcast()/unicast() only frame the packet (on the
+    /// calling/ordering thread) and queue it; the reactor thread drains the
+    /// queue into sendmmsg batches. Ring-full datagrams are counted in
+    /// tx_queue_drops.
+    std::size_t tx_queue_capacity = 0;
   };
 
-  /// Binds the local endpoint and registers with the reactor.
+  /// Binds the local endpoint and registers with the reactor. Fails with
+  /// kInvalidArgument on a bad config and kUnavailable on socket errors
+  /// (e.g. the port is taken).
   static Result<std::unique_ptr<UdpTransport>> create(Reactor& reactor, Config config);
 
   ~UdpTransport() override;
@@ -65,43 +118,99 @@ class UdpTransport final : public Transport {
   using Transport::broadcast;
   using Transport::unicast;
 
+  /// Send to every peer: one multicast datagram when configured, otherwise
+  /// a sendmmsg-batched fan-out (or the per-peer fallback loop). In queued
+  /// mode this only frames + enqueues; the reactor thread does the syscall.
   void broadcast(PacketBuffer packet) override;
+  /// Send to one peer (the token path). Batched/queued like broadcast().
   void unicast(NodeId dest, PacketBuffer packet) override;
+  /// Install the receive upcall. In queued mode it runs on the thread that
+  /// calls dispatch_queued(); otherwise on the reactor thread.
   void set_rx_handler(RxHandler handler) override { rx_handler_ = std::move(handler); }
 
   [[nodiscard]] NetworkId network_id() const override { return config_.network; }
   [[nodiscard]] NodeId local_node() const override { return config_.local_node; }
+  /// See Transport::stats() for the threading caveat in queued mode.
   [[nodiscard]] const Stats& stats() const override { return stats_; }
+  /// True when broadcast() rides a single IP-multicast datagram.
   [[nodiscard]] bool multicast_enabled() const { return mcast_fd_ >= 0; }
 
+  /// Pop up to `max` packets from the RX handoff ring and invoke the rx
+  /// handler for each. The consumer half of the SPSC handoff: call from
+  /// exactly one (ordering) thread. Returns the number dispatched. No-op
+  /// unless Config::rx_queue_capacity > 0.
+  std::size_t dispatch_queued(std::size_t max = static_cast<std::size_t>(-1));
+  /// True when received packets are queued for dispatch_queued() rather than
+  /// delivered on the reactor thread.
+  [[nodiscard]] bool rx_queued() const { return rx_ring_ != nullptr; }
+  /// Invoked on the reactor thread after a drain round that queued at least
+  /// one packet — ThreadedRuntime uses it to wake the ordering loop. Set
+  /// before traffic flows.
+  void set_rx_wakeup(std::function<void()> wakeup) { rx_wakeup_ = std::move(wakeup); }
+
   /// Testing aid: drop all outgoing packets (models a failed NIC TX path).
-  void set_send_fault(bool faulty) { send_fault_ = faulty; }
+  /// Thread-safe.
+  void set_send_fault(bool faulty) { send_fault_.store(faulty, std::memory_order_relaxed); }
   /// Testing aid: drop all incoming packets (models a failed NIC RX path).
-  void set_recv_fault(bool faulty) { recv_fault_ = faulty; }
+  /// Thread-safe.
+  void set_recv_fault(bool faulty) { recv_fault_.store(faulty, std::memory_order_relaxed); }
 
  private:
   UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd);
 
+  // One framed datagram bound for `dest` (kBroadcastDest = all peers, or
+  // the multicast group when enabled). The frame is a pooled buffer so a
+  // queued entry pins refcounted bytes, not a copy.
+  static constexpr NodeId kBroadcastDest = kInvalidNode;
+  struct TxEntry {
+    PacketBuffer frame;
+    NodeId dest = kBroadcastDest;
+  };
+
   void drain(int fd);
-  /// Materialize the framed datagram (transport header + payload) into
-  /// tx_frame_ ONCE per broadcast/unicast; send_frame() then reuses it for
-  /// every destination instead of re-framing per sendto().
-  void build_frame(BytesView packet);
-  void send_frame(const UdpEndpoint& ep);
+  void drain_batched(int fd);
+  void drain_fallback(int fd);
+  /// Validate + strip framing and hand one datagram up (or queue it).
+  /// Returns true if the packet was queued into the RX ring.
+  bool accept_datagram(PacketBuffer buf, std::size_t len);
+
+  /// Materialize the framed datagram (transport header + payload) into a
+  /// pooled buffer ONCE per broadcast/unicast; the batch sender then reuses
+  /// it for every destination instead of re-framing per datagram.
+  [[nodiscard]] PacketBuffer build_frame(BytesView packet);
+  /// Send `entry` now: expand broadcast to all peers and flush through the
+  /// mmsghdr batch array. Caller thread = reactor thread in queued mode,
+  /// the broadcast()/unicast() caller otherwise.
+  void send_entry(const TxEntry& entry);
+  /// Drain the TX handoff ring into sendmmsg batches (reactor thread).
+  void flush_tx();
+  /// Count + loss-inject one datagram; returns false if it must be dropped.
+  bool account_tx(std::size_t payload_bytes);
+  void send_batch(const PacketBuffer* frames[], const sockaddr_in* addrs, std::size_t n);
 
   Reactor& reactor_;
   Config config_;
   int fd_ = -1;
   int mcast_fd_ = -1;
   RxHandler rx_handler_;
+  std::function<void()> rx_wakeup_;
   Stats stats_;
-  bool send_fault_ = false;
-  bool recv_fault_ = false;
+  std::atomic<bool> send_fault_{false};
+  std::atomic<bool> recv_fault_{false};
   std::uint64_t loss_rng_state_;
-  Bytes tx_frame_;       // reused across sends; capacity stabilizes quickly
+  BufferPool tx_pool_;   // framed datagrams (TX); refcount-shared across a batch
   BufferPool rx_pool_;   // received datagrams, handed up by refcount
-  LatencyHistogram* tx_batch_hist_ = nullptr;  // datagrams per broadcast()
-  LatencyHistogram* rx_batch_hist_ = nullptr;  // datagrams per drain() round
+  std::unique_ptr<SpscRing<TxEntry>> tx_ring_;          // ordering -> reactor
+  std::unique_ptr<SpscRing<ReceivedPacket>> rx_ring_;   // reactor -> ordering
+  std::uint64_t wake_hook_id_ = 0;
+  bool wake_hook_added_ = false;
+  LatencyHistogram* tx_batch_hist_ = nullptr;  // datagrams per TX syscall batch
+  LatencyHistogram* rx_batch_hist_ = nullptr;  // datagrams per RX syscall
+  // Resolved peer addresses (excluding self), fixed after construction —
+  // safe to read from any thread.
+  std::vector<std::pair<NodeId, sockaddr_in>> peer_addrs_;
+  std::map<NodeId, sockaddr_in> addr_by_node_;
+  sockaddr_in mcast_addr_{};
 };
 
 /// Convenience: build the peer map for `node_count` nodes on loopback with

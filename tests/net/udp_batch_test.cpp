@@ -1,0 +1,224 @@
+// UdpTransport batched hot path (DESIGN.md §12): sendmmsg/recvmmsg
+// syscall batching, the portable fallback, partial-batch error handling,
+// and the single-threaded view of the SPSC queued mode (the threaded view
+// lives in tests/api/runtime_test.cpp).
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "net/reactor.h"
+
+namespace totem::net {
+namespace {
+
+// Port block 43000-43999 (other UDP tests own 41200-42151).
+constexpr std::uint16_t kPortFanout = 43000;
+constexpr std::uint16_t kPortFallback = 43100;
+constexpr std::uint16_t kPortQueuedTx = 43200;
+constexpr std::uint16_t kPortPartial = 43300;
+constexpr std::uint16_t kPortShort = 43400;
+constexpr std::uint16_t kPortRxQueue = 43500;
+constexpr std::uint16_t kPortRxDrop = 43600;
+
+std::unique_ptr<UdpTransport> make_transport(Reactor& reactor, std::uint16_t base,
+                                             NodeId node, std::uint32_t count,
+                                             UdpTransport::Config cfg = {}) {
+  cfg.local_node = node;
+  cfg.peers = loopback_peers(base, count);
+  auto r = UdpTransport::create(reactor, cfg);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return r.is_ok() ? std::move(r).take() : nullptr;
+}
+
+TEST(UdpBatch, BroadcastFanoutIsOneSyscallBatch) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortFanout, 0, 5);
+  std::vector<std::unique_ptr<UdpTransport>> peers;
+  int got = 0;
+  for (NodeId id = 1; id < 5; ++id) {
+    peers.push_back(make_transport(reactor, kPortFanout, id, 5));
+    ASSERT_TRUE(peers.back());
+    peers.back()->set_rx_handler([&](ReceivedPacket&&) { ++got; });
+  }
+  ASSERT_TRUE(t0);
+
+  t0->broadcast(to_bytes("fanout"));
+  reactor.run_for(Duration{200'000});
+  EXPECT_EQ(got, 4);
+  EXPECT_EQ(t0->stats().packets_sent, 4u);
+#if defined(__linux__)
+  EXPECT_EQ(t0->stats().tx_syscall_batches, 1u)
+      << "a 4-peer fan-out should be ONE sendmmsg call";
+#endif
+}
+
+TEST(UdpBatch, FallbackPathDeliversIdentically) {
+  Reactor reactor;
+  UdpTransport::Config plain;
+  plain.batched_syscalls = false;
+  auto t0 = make_transport(reactor, kPortFallback, 0, 4, plain);
+  std::vector<std::unique_ptr<UdpTransport>> peers;
+  std::vector<std::string> got;
+  for (NodeId id = 1; id < 4; ++id) {
+    peers.push_back(make_transport(reactor, kPortFallback, id, 4, plain));
+    ASSERT_TRUE(peers.back());
+    peers.back()->set_rx_handler(
+        [&](ReceivedPacket&& p) { got.push_back(to_string(p.data)); });
+  }
+  ASSERT_TRUE(t0);
+
+  t0->broadcast(to_bytes("plain"));
+  t0->unicast(1, to_bytes("tok"));
+  reactor.run_for(Duration{200'000});
+  ASSERT_EQ(got.size(), 4u);  // 3 broadcast copies + 1 unicast
+  EXPECT_EQ(t0->stats().packets_sent, 4u);
+  // One syscall per datagram on the fallback path.
+  EXPECT_EQ(t0->stats().tx_syscall_batches, 4u);
+}
+
+TEST(UdpBatch, QueuedTxBacklogCoalescesIntoOneBatch) {
+  // Single-threaded view of TX queueing: broadcast()/unicast() only frame
+  // and enqueue; the reactor's wake hook drains the whole backlog into
+  // sendmmsg batches at the next poll round.
+  Reactor reactor;
+  UdpTransport::Config queued;
+  queued.tx_queue_capacity = 64;
+  auto t0 = make_transport(reactor, kPortQueuedTx, 0, 2, queued);
+  auto t1 = make_transport(reactor, kPortQueuedTx, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+  std::vector<std::string> got;
+  t1->set_rx_handler([&](ReceivedPacket&& p) { got.push_back(to_string(p.data)); });
+
+  for (int i = 0; i < 10; ++i) {
+    t0->unicast(1, to_bytes("q" + std::to_string(i)));
+  }
+  // Nothing hit the socket yet: the datagrams sit in the TX ring.
+  EXPECT_EQ(t0->stats().packets_sent, 0u);
+
+  reactor.run_for(Duration{300'000});
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], "q" + std::to_string(i));
+  EXPECT_EQ(t0->stats().packets_sent, 10u);
+#if defined(__linux__)
+  EXPECT_EQ(t0->stats().tx_syscall_batches, 1u)
+      << "10 queued datagrams should leave in ONE sendmmsg call";
+#endif
+}
+
+#if defined(__linux__)
+TEST(UdpBatch, PartialBatchSendErrorSkipsBadDatagramOnly) {
+  // Pack [small, oversized, small] into one sendmmsg batch. The kernel
+  // sends the first, then stops at the EMSGSIZE datagram and reports a
+  // partial count; the transport must charge tx_errors for the bad one and
+  // still deliver the datagram behind it.
+  Reactor reactor;
+  UdpTransport::Config queued;
+  queued.tx_queue_capacity = 8;
+  auto t0 = make_transport(reactor, kPortPartial, 0, 2, queued);
+  auto t1 = make_transport(reactor, kPortPartial, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+  std::vector<std::size_t> got_sizes;
+  t1->set_rx_handler([&](ReceivedPacket&& p) { got_sizes.push_back(p.data.size()); });
+
+  const std::string oversized(70'000, 'x');  // beyond the 65507-byte UDP max
+  t0->unicast(1, to_bytes("a"));
+  t0->unicast(1, to_bytes(oversized));
+  t0->unicast(1, to_bytes("bb"));
+  reactor.run_for(Duration{300'000});
+
+  ASSERT_EQ(got_sizes.size(), 2u) << "datagram after the failed one must still arrive";
+  EXPECT_EQ(got_sizes[0], 1u);
+  EXPECT_EQ(got_sizes[1], 2u);
+  EXPECT_EQ(t0->stats().packets_sent, 3u);  // all three were submitted
+  EXPECT_EQ(t0->stats().tx_errors, 1u);     // exactly the oversized one failed
+}
+#endif
+
+TEST(UdpBatch, ShortDatagramMidBurstDoesNotPoisonTheBatch) {
+  // Three datagrams land in one recvmmsg burst: valid, 3-byte junk (shorter
+  // than the framing header), valid. The junk must be counted in rx_short
+  // and both neighbors must still deliver.
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortShort, 0, 2);
+  auto t1 = make_transport(reactor, kPortShort, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+  std::vector<std::string> got;
+  t1->set_rx_handler([&](ReceivedPacket&& p) { got.push_back(to_string(p.data)); });
+
+  t0->unicast(1, to_bytes("one"));
+  {
+    int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(kPortShort + 1);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    const char junk[3] = {'x', 'y', 'z'};
+    ::sendto(fd, junk, sizeof(junk), 0, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+  }
+  t0->unicast(1, to_bytes("two"));
+
+  reactor.run_for(Duration{300'000});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "one");
+  EXPECT_EQ(got[1], "two");
+  EXPECT_EQ(t1->stats().rx_short, 1u);
+  EXPECT_EQ(t1->stats().packets_received, 2u);
+  EXPECT_GE(t1->stats().rx_syscall_batches, 1u);
+}
+
+TEST(UdpBatch, RxQueueModeDefersToDispatchQueued) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortRxQueue, 0, 2);
+  UdpTransport::Config queued;
+  queued.rx_queue_capacity = 16;
+  auto t1 = make_transport(reactor, kPortRxQueue, 1, 2, queued);
+  ASSERT_TRUE(t0 && t1);
+  ASSERT_TRUE(t1->rx_queued());
+
+  std::vector<std::string> got;
+  t1->set_rx_handler([&](ReceivedPacket&& p) { got.push_back(to_string(p.data)); });
+  int wakeups = 0;
+  t1->set_rx_wakeup([&] { ++wakeups; });
+
+  for (int i = 0; i < 3; ++i) t0->unicast(1, to_bytes("r" + std::to_string(i)));
+  reactor.run_for(Duration{300'000});
+
+  // Drained from the socket into the ring, but not yet handed to the
+  // handler — that is the consumer's job.
+  EXPECT_TRUE(got.empty());
+  EXPECT_GE(wakeups, 1);
+  EXPECT_EQ(t1->stats().packets_received, 3u);
+
+  EXPECT_EQ(t1->dispatch_queued(2), 2u);  // bounded dispatch
+  EXPECT_EQ(t1->dispatch_queued(), 1u);
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], "r" + std::to_string(i));
+  EXPECT_EQ(t1->dispatch_queued(), 0u);
+}
+
+TEST(UdpBatch, RxRingOverflowCountsDrops) {
+  Reactor reactor;
+  auto t0 = make_transport(reactor, kPortRxDrop, 0, 2);
+  UdpTransport::Config tiny;
+  tiny.rx_queue_capacity = 2;
+  auto t1 = make_transport(reactor, kPortRxDrop, 1, 2, tiny);
+  ASSERT_TRUE(t0 && t1);
+  t1->set_rx_handler([](ReceivedPacket&&) {});
+
+  for (int i = 0; i < 6; ++i) t0->unicast(1, to_bytes("x"));
+  reactor.run_for(Duration{300'000});  // no dispatch_queued: the ring stays full
+
+  EXPECT_EQ(t1->stats().rx_queue_drops, 4u);
+  EXPECT_EQ(t1->dispatch_queued(), 2u);
+}
+
+}  // namespace
+}  // namespace totem::net

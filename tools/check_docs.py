@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Tier-1 documentation checker (ctest entry: docs_check).
+
+Two guarantees, so the docs cannot silently rot:
+
+1. Every intra-repo markdown link in every tracked .md file resolves to a
+   file or directory that actually exists (external http(s)/mailto links
+   and pure #anchors are skipped; a trailing #fragment is stripped before
+   the existence check).
+2. Every module directory directly under src/ is mentioned (as "src/<name>/")
+   in docs/ARCHITECTURE.md, so the architecture tour can never omit a
+   subsystem that exists in the tree.
+
+Usage: check_docs.py <repo_root>
+Exits non-zero with one line per problem.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {"build", ".git", "third_party"}
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if not any(part in SKIP_DIRS or part.startswith("build") for part in rel.parts):
+            yield path
+
+
+def check_links(root: Path):
+    problems = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (root / path_part) if path_part.startswith("/") else (md.parent / path_part)
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(root)}: broken link '{target}' "
+                    f"(resolved to {resolved})"
+                )
+    return problems
+
+
+def check_architecture_coverage(root: Path):
+    arch = root / "docs" / "ARCHITECTURE.md"
+    if not arch.exists():
+        return ["docs/ARCHITECTURE.md is missing"]
+    text = arch.read_text(encoding="utf-8")
+    problems = []
+    for module in sorted(p.name for p in (root / "src").iterdir() if p.is_dir()):
+        if f"src/{module}/" not in text:
+            problems.append(
+                f"docs/ARCHITECTURE.md: module directory src/{module}/ is never mentioned"
+            )
+    return problems
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <repo_root>", file=sys.stderr)
+        return 2
+    root = Path(sys.argv[1]).resolve()
+    problems = check_links(root) + check_architecture_coverage(root)
+    for p in problems:
+        print(f"FAIL: {p}")
+    if problems:
+        print(f"docs_check: {len(problems)} problem(s)")
+        return 1
+    md_count = sum(1 for _ in markdown_files(root))
+    print(f"docs_check OK: {md_count} markdown files, all links resolve, "
+          f"ARCHITECTURE.md covers every src/ module")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
