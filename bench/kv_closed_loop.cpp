@@ -1,0 +1,231 @@
+// Closed-loop replicated-KV workload (DESIGN.md §13, EXPERIMENTS.md §11):
+// N clients each keep exactly one command outstanding against a 3-replica
+// ReplicatedKv group — submit, wait for the replicated apply to complete
+// locally, submit the next. Reported per run:
+//
+//   ops_per_sec    — completed replicated operations per second
+//   p50_apply_us   — submit -> completion latency percentiles; under Totem
+//   p99_apply_us     this is dominated by token rotations (a command is
+//                    applied when its own broadcast is delivered back)
+//
+// Two transports, same protocol stack and workload:
+//   BM_KvClosedLoopSim — SimCluster (virtual time; deterministic, measures
+//                        protocol cost in token rounds, not host speed)
+//   BM_KvClosedLoopUdp — real UDP sockets on loopback (wall-clock)
+//
+// The client count is the benchmark argument: 1 client measures the bare
+// round-trip; more clients amortize rotations (many commands ride one
+// token visit), so ops/s rises until the ring's per-rotation send budget
+// saturates. Results land in BENCH_kv_closed_loop.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "harness/sim_cluster.h"
+#include "net/reactor.h"
+#include "net/udp_transport.h"
+#include "smr/replicated_kv.h"
+#include "smr/replicated_log.h"
+
+namespace totem::smr {
+namespace {
+
+constexpr std::size_t kNodes = 3;
+constexpr std::size_t kNetworks = 2;
+constexpr std::size_t kKeys = 64;
+constexpr std::uint16_t kUdpPortBase = 45300;  // 45000s: bench-only ports
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+/// Shared closed-loop driver: clients are spread round-robin over the
+/// replicas; each submits its next command from inside its completion.
+/// `now_us` abstracts the clock (sim time vs steady_clock) and `pump` runs
+/// the transport until progress is possible again.
+struct ClosedLoop {
+  std::vector<ReplicatedLog*> logs;
+  std::size_t clients = 1;
+  std::uint64_t target_ops = 1000;
+
+  std::uint64_t completed = 0;
+  std::uint64_t op_counter = 0;
+  std::vector<double> latencies_us;
+  // request id -> (client, submit time) per replica.
+  std::vector<std::map<std::uint64_t, std::pair<std::size_t, double>>> pending;
+
+  std::function<double()> now_us;
+
+  void start() {
+    pending.assign(logs.size(), {});
+    latencies_us.reserve(target_ops);
+    for (std::size_t n = 0; n < logs.size(); ++n) {
+      logs[n]->set_completion_handler(
+          [this, n](std::uint64_t req, BytesView, bool) {
+            auto it = pending[n].find(req);
+            if (it == pending[n].end()) return;
+            const auto [client, submitted] = it->second;
+            pending[n].erase(it);
+            latencies_us.push_back(now_us() - submitted);
+            ++completed;
+            if (op_counter < target_ops) submit(client);
+          });
+    }
+    for (std::size_t c = 0; c < clients; ++c) submit(c);
+  }
+
+  void submit(std::size_t client) {
+    const std::size_t n = client % logs.size();
+    const std::uint64_t op = op_counter++;
+    const Bytes cmd = ReplicatedKv::encode_put(
+        "key" + std::to_string(op % kKeys), to_bytes("v" + std::to_string(op)));
+    auto r = logs[n]->submit(cmd);
+    if (r.is_ok()) {
+      pending[n].emplace(r.value(), std::pair{client, now_us()});
+    } else {
+      --op_counter;  // backpressure: the next completion retries the client
+    }
+  }
+};
+
+void report(benchmark::State& state, ClosedLoop& loop, double elapsed_s) {
+  state.counters["ops_per_sec"] =
+      elapsed_s > 0 ? static_cast<double>(loop.completed) / elapsed_s : 0;
+  state.counters["ops_completed"] = static_cast<double>(loop.completed);
+  state.counters["clients"] = static_cast<double>(loop.clients);
+  state.counters["p50_apply_us"] = percentile(loop.latencies_us, 0.50);
+  state.counters["p99_apply_us"] = percentile(loop.latencies_us, 0.99);
+}
+
+void BM_KvClosedLoopSim(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ClusterConfig cfg;
+    cfg.node_count = kNodes;
+    cfg.network_count = kNetworks;
+    harness::SimCluster cluster(cfg);
+    auto& sim = cluster.simulator();
+
+    std::vector<std::unique_ptr<api::GroupBus>> buses;
+    std::vector<std::unique_ptr<ReplicatedKv>> kvs;
+    std::vector<std::unique_ptr<ReplicatedLog>> logs;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      buses.push_back(std::make_unique<api::GroupBus>(cluster.node(i)));
+      kvs.push_back(std::make_unique<ReplicatedKv>());
+      logs.push_back(std::make_unique<ReplicatedLog>(
+          sim, *buses.back(), *kvs.back(), ReplicatedLog::Config{}));
+    }
+    cluster.start_all();
+    for (auto& log : logs) (void)log->start();
+    sim.run_for(Duration{1'000'000});  // everyone live
+
+    ClosedLoop loop;
+    for (auto& log : logs) loop.logs.push_back(log.get());
+    loop.clients = static_cast<std::size_t>(state.range(0));
+    loop.target_ops = 2000;
+    loop.now_us = [&sim] {
+      return static_cast<double>(sim.now().time_since_epoch().count());
+    };
+
+    const double start_us = loop.now_us();
+    loop.start();
+    while (loop.completed < loop.target_ops) sim.run_for(Duration{100'000});
+    const double elapsed_s = (loop.now_us() - start_us) / 1e6;
+    report(state, loop, elapsed_s);
+    state.SetLabel("sim");
+  }
+}
+
+void BM_KvClosedLoopUdp(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Reactor reactor;
+    std::vector<std::unique_ptr<net::UdpTransport>> transports;
+    std::vector<std::unique_ptr<api::Node>> nodes;
+    std::vector<std::unique_ptr<api::GroupBus>> buses;
+    std::vector<std::unique_ptr<ReplicatedKv>> kvs;
+    std::vector<std::unique_ptr<ReplicatedLog>> logs;
+    for (NodeId id = 0; id < kNodes; ++id) {
+      std::vector<net::Transport*> node_transports;
+      for (NetworkId n = 0; n < kNetworks; ++n) {
+        net::UdpTransport::Config tc;
+        tc.network = n;
+        tc.local_node = id;
+        tc.peers = net::loopback_peers(
+            static_cast<std::uint16_t>(kUdpPortBase + 100 * n), kNodes);
+        auto t = net::UdpTransport::create(reactor, tc);
+        if (!t.is_ok()) {
+          state.SkipWithError("UDP socket setup failed");
+          return;
+        }
+        transports.push_back(std::move(t).take());
+        node_transports.push_back(transports.back().get());
+      }
+      api::NodeConfig cfg;
+      cfg.srp.node_id = id;
+      cfg.srp.initial_members = {0, 1, 2};
+      cfg.style = api::ReplicationStyle::kActive;
+      nodes.push_back(std::make_unique<api::Node>(reactor, node_transports, cfg));
+      buses.push_back(std::make_unique<api::GroupBus>(*nodes.back()));
+      kvs.push_back(std::make_unique<ReplicatedKv>());
+      logs.push_back(std::make_unique<ReplicatedLog>(
+          reactor, *buses.back(), *kvs.back(), ReplicatedLog::Config{}));
+    }
+    for (auto& n : nodes) n->start();
+    for (auto& log : logs) (void)log->start();
+    const auto live_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < live_deadline &&
+           !std::all_of(logs.begin(), logs.end(),
+                        [](const auto& l) { return l->live(); })) {
+      reactor.poll_once(Duration{5'000});
+    }
+    if (!std::all_of(logs.begin(), logs.end(),
+                     [](const auto& l) { return l->live(); })) {
+      state.SkipWithError("replicas never went live");
+      return;
+    }
+
+    ClosedLoop loop;
+    for (auto& log : logs) loop.logs.push_back(log.get());
+    loop.clients = static_cast<std::size_t>(state.range(0));
+    loop.target_ops = 1500;
+    loop.now_us = [] {
+      return static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count()) /
+             1e3;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::seconds(30);
+    loop.start();
+    while (loop.completed < loop.target_ops &&
+           std::chrono::steady_clock::now() < deadline) {
+      reactor.poll_once(Duration{5'000});
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report(state, loop, elapsed_s);
+    state.SetLabel("udp");
+  }
+}
+
+BENCHMARK(BM_KvClosedLoopSim)->Arg(1)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KvClosedLoopUdp)->Arg(1)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace totem::smr
+
+TOTEM_BENCH_MAIN("kv_closed_loop")

@@ -1,150 +1,258 @@
-// bank_ledger: state-machine replication on top of Totem RRP.
+// bank_ledger: a replicated bank ledger on the SMR stack (DESIGN.md §13).
 //
 // The classic use of totally-ordered broadcast (paper §1: "back-end servers
-// for financial applications"): every replica applies the same stream of
-// transfers in the same order, so balances stay identical WITHOUT any
-// locking or coordination beyond the group communication itself. Mid-run,
-// one of the two networks is destroyed — the ledger replicas never notice,
-// and an alarm is raised for the operator.
+// for financial applications"), now running on the full state-machine
+// replication layer: every replica hosts a ReplicatedKv driven by a
+// ReplicatedLog, accounts are versioned keys, and a transfer is a pair of
+// compare-and-swap commands — the CAS version guard IS the overdraft check,
+// because the balance a client computed from cannot have changed by the
+// time its debit applies. No locks, no cross-replica coordination.
 //
-// Runs on the deterministic simulated substrate (4 bank replicas, 2
-// networks, active replication). Run: ./build/examples/bank_ledger
+// Three things go wrong mid-run, on purpose:
+//   t=1.0s  one of the two networks is destroyed — replication continues on
+//           the survivor and an operator alarm fires (RRP transparency);
+//   t=1.5s  a FOURTH replica joins cold, while transfers keep flowing — the
+//           leader snapshots the ledger at an agreed point in the stream
+//           and chunks it over; the joiner replays the live suffix and
+//           converges to the byte-identical state (joiner state transfer);
+//   always  clients race CAS commands at three replicas — contended debits
+//           are refused deterministically, contended credits retry.
+//
+// Runs on the deterministic simulated substrate. Run: ./build/examples/bank_ledger
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "api/group_bus.h"
 #include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/rng.h"
 #include "harness/sim_cluster.h"
+#include "smr/replicated_kv.h"
+#include "smr/replicated_log.h"
 
 using namespace totem;
 
 namespace {
 
-// A transfer command serialized into a Totem message.
-struct Transfer {
-  std::uint32_t from;
-  std::uint32_t to;
-  std::int64_t amount;
+constexpr int kReplicas = 4;  // replicas 0..2 found the group; 3 joins late
+constexpr int kAccounts = 8;
+constexpr std::int64_t kOpeningBalance = 1'000;
+constexpr Duration kClientStop{2'500'000};  // sim time when clients stop
 
-  [[nodiscard]] Bytes encode() const {
-    ByteWriter w;
-    w.u32(from);
-    w.u32(to);
-    w.u64(static_cast<std::uint64_t>(amount));
-    return std::move(w).take();
-  }
-  static Transfer decode(BytesView b) {
-    ByteReader r(b);
-    Transfer t{};
-    t.from = r.u32().value();
-    t.to = r.u32().value();
-    t.amount = static_cast<std::int64_t>(r.u64().value());
-    return t;
-  }
-};
+std::string acct(std::uint32_t a) { return "acct:" + std::to_string(a); }
 
-// One bank replica: account balances driven purely by delivered transfers.
-class Ledger {
- public:
-  explicit Ledger(int accounts) {
-    for (int a = 0; a < accounts; ++a) balances_[a] = 1'000;
-  }
+Bytes encode_balance(std::int64_t b) {
+  ByteWriter w;
+  w.u64(static_cast<std::uint64_t>(b));
+  return std::move(w).take();
+}
 
-  void apply(const Transfer& t) {
-    // Deterministic business rule: reject overdrafts. Because every replica
-    // sees the same totally-ordered stream, every replica rejects the SAME
-    // transfers — no cross-replica coordination needed.
-    auto& from = balances_[t.from];
-    if (from < t.amount) {
-      ++rejected_;
+std::int64_t decode_balance(BytesView v) {
+  ByteReader r(v);
+  return static_cast<std::int64_t>(r.u64().value());
+}
+
+/// One replica's transfer client. A transfer debits `from` with a CAS
+/// pinned to the version the client read — if any other transfer touched
+/// the account first, the CAS refuses and the transfer is dropped (same
+/// deterministic outcome at every replica). A successful debit owes one
+/// credit, which retries CAS until it lands: money is conserved.
+struct BankClient {
+  smr::ReplicatedLog* log = nullptr;
+  smr::ReplicatedKv* kv = nullptr;
+  sim::Simulator* sim = nullptr;
+  Rng rng{1};
+
+  struct PendingTransfer {
+    std::uint32_t to = 0;
+    std::int64_t amount = 0;
+    bool is_credit = false;
+  };
+  std::map<std::uint64_t, PendingTransfer> pending;  // request id -> op
+
+  int transfers_done = 0;
+  int overdrafts_refused = 0;
+  int debits_contended = 0;
+  int credit_retries = 0;
+
+  void try_transfer() {
+    if (!log->live()) return;
+    const auto from = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+    const auto to = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+    const auto amount = static_cast<std::int64_t>(1 + rng.next_below(400));
+    const smr::ReplicatedKv::Entry* e = kv->get(acct(from));
+    if (e == nullptr) return;  // ledger not seeded yet
+    const std::int64_t balance = decode_balance(e->value);
+    if (balance < amount || from == to) {
+      ++overdrafts_refused;
       return;
     }
-    from -= t.amount;
-    balances_[t.to] += t.amount;
-    ++applied_;
+    auto r = log->submit(smr::ReplicatedKv::encode_cas(
+        acct(from), e->version, encode_balance(balance - amount)));
+    if (r.is_ok()) pending[r.value()] = {to, amount, false};
   }
 
-  [[nodiscard]] std::int64_t total() const {
-    std::int64_t sum = 0;
-    for (const auto& [_, b] : balances_) sum += b;
-    return sum;
-  }
-  [[nodiscard]] std::uint64_t fingerprint() const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (const auto& [a, b] : balances_) {
-      h = (h ^ static_cast<std::uint64_t>(a * 1000003 + b)) * 1099511628211ull;
+  void submit_credit(std::uint32_t to, std::int64_t amount) {
+    const smr::ReplicatedKv::Entry* e = kv->get(acct(to));
+    if (e == nullptr) return;  // cannot happen once seeded
+    auto r = log->submit(smr::ReplicatedKv::encode_cas(
+        acct(to), e->version, encode_balance(decode_balance(e->value) + amount)));
+    if (r.is_ok()) {
+      pending[r.value()] = {to, amount, true};
+    } else {
+      // Ring backpressure: the debt stands, try again shortly.
+      sim->schedule(Duration{5'000}, [this, to, amount] { submit_credit(to, amount); });
     }
-    return h;
   }
-  [[nodiscard]] int applied() const { return applied_; }
-  [[nodiscard]] int rejected() const { return rejected_; }
 
- private:
-  std::map<std::uint32_t, std::int64_t> balances_;
-  int applied_ = 0;
-  int rejected_ = 0;
+  void on_complete(std::uint64_t req, BytesView result, bool applied_locally) {
+    const auto it = pending.find(req);
+    if (it == pending.end()) return;
+    const PendingTransfer op = it->second;
+    pending.erase(it);
+    bool ok = false;
+    if (applied_locally) {
+      // (A command absorbed into a restored snapshot has no result bytes;
+      // only the late joiner sees that, and it runs no client.)
+      const auto res = smr::ReplicatedKv::decode_result(result);
+      ok = res.is_ok() && res.value().ok;
+    }
+    if (!op.is_credit) {
+      if (ok) {
+        submit_credit(op.to, op.amount);  // debit landed: now owe the credit
+      } else {
+        ++debits_contended;  // version moved under us — transfer refused whole
+      }
+    } else if (ok) {
+      ++transfers_done;
+    } else {
+      ++credit_retries;  // credit raced another write: re-read and retry
+      submit_credit(op.to, op.amount);
+    }
+  }
+
+  [[nodiscard]] bool idle() const { return pending.empty(); }
 };
 
 }  // namespace
 
 int main() {
-  constexpr int kReplicas = 4;
-  constexpr int kAccounts = 8;
-  constexpr int kTransfers = 2'000;
-
   harness::ClusterConfig cfg;
   cfg.node_count = kReplicas;
   cfg.network_count = 2;
   cfg.style = api::ReplicationStyle::kActive;
   cfg.record_payloads = false;
   harness::SimCluster cluster(cfg);
+  auto& sim = cluster.simulator();
 
-  std::vector<Ledger> ledgers(kReplicas, Ledger(kAccounts));
+  std::vector<std::unique_ptr<api::GroupBus>> buses;
+  std::vector<std::unique_ptr<smr::ReplicatedKv>> kvs;
+  std::vector<std::unique_ptr<smr::ReplicatedLog>> logs;
   for (int r = 0; r < kReplicas; ++r) {
-    cluster.set_app_deliver_handler(static_cast<NodeId>(r), [&ledgers, r](const srp::DeliveredMessage& m) {
-      ledgers[r].apply(Transfer::decode(m.payload));
-    });
-    cluster.node(r).set_fault_handler([r, &cluster](const rrp::NetworkFaultReport& f) {
+    buses.push_back(std::make_unique<api::GroupBus>(cluster.node(r)));
+    kvs.push_back(std::make_unique<smr::ReplicatedKv>());
+    logs.push_back(std::make_unique<smr::ReplicatedLog>(
+        sim, *buses.back(), *kvs.back(), smr::ReplicatedLog::Config{}));
+    cluster.node(r).set_fault_handler([r, &sim](const rrp::NetworkFaultReport& f) {
       std::printf("[t=%8lldus] replica %d ALARM: network %d faulty (%s) — page the operator\n",
-                  static_cast<long long>(cluster.simulator().now().time_since_epoch().count()),
-                  r, static_cast<int>(f.network), to_string(f.reason));
+                  static_cast<long long>(sim.now().time_since_epoch().count()), r,
+                  static_cast<int>(f.network), to_string(f.reason));
     });
   }
   cluster.start_all();
 
-  // Clients at each replica issue randomized transfers.
-  Rng rng(2026);
-  for (int i = 0; i < kTransfers; ++i) {
-    Transfer t{static_cast<std::uint32_t>(rng.next_below(kAccounts)),
-               static_cast<std::uint32_t>(rng.next_below(kAccounts)),
-               static_cast<std::int64_t>(rng.next_below(500))};
-    const auto replica = rng.next_below(kReplicas);
-    const auto at = Duration{static_cast<Duration::rep>(rng.next_below(900'000))};
-    cluster.simulator().schedule(at, [&cluster, replica, t] {
-      (void)cluster.node(replica).send(t.encode());
-    });
+  std::vector<BankClient> clients(kReplicas);
+  for (int r = 0; r < kReplicas; ++r) {
+    clients[r].log = logs[r].get();
+    clients[r].kv = kvs[r].get();
+    clients[r].sim = &sim;
+    clients[r].rng = Rng(2026 + static_cast<std::uint64_t>(r));
+    logs[r]->set_completion_handler(
+        [&clients, r](std::uint64_t req, BytesView result, bool applied) {
+          clients[r].on_complete(req, result, applied);
+        });
   }
 
-  // Halfway through, a switch dies: total failure of network 0.
-  cluster.simulator().schedule(Duration{450'000}, [&cluster] {
-    std::printf("[t=  450000us] *** network 0 switch destroyed ***\n");
+  // Replicas 0..2 found the ledger group; replica 3 stays offline for now.
+  for (int r = 0; r < 3; ++r) (void)logs[r]->start();
+  cluster.run_for(Duration{200'000});
+
+  // Replica 0 seeds the accounts (plain puts — versioned keys from then on).
+  for (int a = 0; a < kAccounts; ++a) {
+    (void)logs[0]->submit(smr::ReplicatedKv::encode_put(
+        acct(static_cast<std::uint32_t>(a)), encode_balance(kOpeningBalance)));
+  }
+  cluster.run_for(Duration{300'000});
+
+  // Clients at the three founding replicas issue racing transfers until
+  // t=2.5s. The self-rescheduling ticks live in this function-scope vector,
+  // which outlives every simulator run below.
+  std::vector<std::function<void()>> tickers(3);
+  for (int r = 0; r < 3; ++r) {
+    tickers[r] = [&clients, &sim, &tickers, r] {
+      clients[r].try_transfer();
+      if (sim.now().time_since_epoch() < kClientStop) {
+        sim.schedule(Duration{3'000 + 500 * r}, tickers[r]);
+      }
+    };
+    sim.schedule(Duration{1'000 + 300 * r}, tickers[r]);
+  }
+
+  // t=1.0s: a switch dies. Replication continues on the surviving network.
+  sim.schedule(Duration{500'000}, [&cluster] {
+    std::printf("[t= 1000000us] *** network 0 switch destroyed ***\n");
     cluster.network(0).fail();
   });
 
+  // t=1.5s: a fourth replica joins COLD, mid-traffic, over the one surviving
+  // network. It must converge to the exact ledger via snapshot + replay.
+  sim.schedule(Duration{1'000'000}, [&logs] {
+    std::printf("[t= 1500000us] *** replica 3 joins with empty state ***\n");
+    (void)logs[3]->start();
+  });
   cluster.run_for(Duration{3'000'000});
 
-  std::printf("\nafter %d transfers across a mid-run network failure:\n", kTransfers);
+  // Drain: every owed credit must land and the joiner must be live.
+  for (int spin = 0; spin < 50; ++spin) {
+    const bool idle = clients[0].idle() && clients[1].idle() && clients[2].idle();
+    if (idle && logs[3]->live()) break;
+    cluster.run_for(Duration{200'000});
+  }
+
+  std::printf("\nledger after racing transfers, a dead network, and a late joiner:\n");
   bool consistent = true;
   for (int r = 0; r < kReplicas; ++r) {
-    std::printf("  replica %d: applied=%d rejected=%d total=%lld fingerprint=%016llx\n", r,
-                ledgers[r].applied(), ledgers[r].rejected(),
-                static_cast<long long>(ledgers[r].total()),
-                static_cast<unsigned long long>(ledgers[r].fingerprint()));
-    consistent = consistent && ledgers[r].fingerprint() == ledgers[0].fingerprint() &&
-                 ledgers[r].total() == kAccounts * 1'000;
+    const Bytes snap = kvs[r]->snapshot();
+    std::int64_t total = 0;
+    for (int a = 0; a < kAccounts; ++a) {
+      const auto* e = kvs[r]->get(acct(static_cast<std::uint32_t>(a)));
+      total += e != nullptr ? decode_balance(e->value) : 0;
+    }
+    std::printf("  replica %d: applied=%llu keys=%zu total=%lld state-crc=%08x%s\n", r,
+                static_cast<unsigned long long>(logs[r]->applied_seq()), kvs[r]->size(),
+                static_cast<long long>(total), crc32(snap),
+                r == 3 ? "  (joined late)" : "");
+    consistent = consistent && snap == kvs[0]->snapshot() &&
+                 total == kAccounts * kOpeningBalance && logs[r]->live();
   }
-  std::printf("replicas consistent: %s\n", consistent ? "YES" : "NO");
-  std::printf("membership changes seen: %zu (network faults must not change membership)\n",
-              cluster.views(0).size() - 1);
+  int done = 0, refused = 0, contended = 0, retries = 0;
+  for (const auto& c : clients) {
+    done += c.transfers_done;
+    refused += c.overdrafts_refused;
+    contended += c.debits_contended;
+    retries += c.credit_retries;
+  }
+  const auto& js = logs[3]->stats();
+  std::printf("transfers: %d completed, %d refused (overdraft guard), %d lost CAS races, %d credit retries\n",
+              done, refused, contended, retries);
+  std::printf("joiner state transfer: %llu snapshot restored, %llu chunks, %llu buffered commands replayed\n",
+              static_cast<unsigned long long>(js.snapshots_restored),
+              static_cast<unsigned long long>(js.chunks_accepted),
+              static_cast<unsigned long long>(js.commands_replayed));
+  std::printf("replicas consistent and money conserved: %s\n", consistent ? "YES" : "NO");
   return consistent ? 0 : 1;
 }

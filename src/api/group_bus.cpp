@@ -11,10 +11,20 @@ constexpr std::size_t kMaxGroupName = 255;
 
 }  // namespace
 
-GroupBus::GroupBus(Node& node) : node_(node) {
-  node_.set_deliver_handler([this](const srp::DeliveredMessage& m) { on_deliver(m); });
-  node_.set_membership_handler(
-      [this](const srp::MembershipView& v) { on_ring_view(v); });
+GroupBus::GroupBus(Node& node)
+    : node_(node),
+      chained_deliver_(node.ring().deliver_handler()),
+      chained_membership_(node.ring().membership_handler()) {
+  // Chain, don't replace: a harness recorder (or any earlier layer) that
+  // installed handlers before us still sees every event first.
+  node_.set_deliver_handler([this](const srp::DeliveredMessage& m) {
+    if (chained_deliver_) chained_deliver_(m);
+    on_deliver(m);
+  });
+  node_.set_membership_handler([this](const srp::MembershipView& v) {
+    if (chained_membership_) chained_membership_(v);
+    on_ring_view(v);
+  });
 }
 
 Bytes GroupBus::encode(Kind kind, const std::string& group, BytesView payload) {
@@ -23,6 +33,21 @@ Bytes GroupBus::encode(Kind kind, const std::string& group, BytesView payload) {
   w.u8(static_cast<std::uint8_t>(group.size()));
   w.raw(to_bytes(group));
   w.raw(payload);
+  return std::move(w).take();
+}
+
+Bytes GroupBus::encode_announcement(Kind kind, const std::string& group) {
+  // Announcements have no payload, so two nodes re-announcing the same
+  // group would otherwise emit byte-identical ring messages. The (node,
+  // nonce) trailer keeps every announcement unique on the wire; on_deliver
+  // never reads past the group name for kJoin/kLeave, so the trailer is
+  // wire-compatible padding.
+  ByteWriter w(14 + group.size());
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(static_cast<std::uint8_t>(group.size()));
+  w.raw(to_bytes(group));
+  w.u32(node_.id());
+  w.u64(++announce_nonce_);
   return std::move(w).take();
 }
 
@@ -37,23 +62,33 @@ Status GroupBus::join(const std::string& group, MessageHandler on_message,
   local_[group] = LocalSub{std::move(on_message), std::move(on_view)};
   // The join becomes visible (including to ourselves) when the announcement
   // delivers — totally ordered against all group traffic.
-  return node_.send(encode(Kind::kJoin, group, {}));
+  return node_.send(encode_announcement(Kind::kJoin, group));
 }
 
 Status GroupBus::leave(const std::string& group) {
   if (local_.count(group) == 0) {
     return Status{StatusCode::kFailedPrecondition, "not a member of " + group};
   }
-  return node_.send(encode(Kind::kLeave, group, {}));
+  return node_.send(encode_announcement(Kind::kLeave, group));
 }
 
 Status GroupBus::send(const std::string& group, BytesView payload) {
   if (group.empty() || group.size() > kMaxGroupName) {
     return Status{StatusCode::kInvalidArgument, "group name must be 1..255 bytes"};
   }
+  if (local_.count(group) == 0 && views_.count(group) == 0) {
+    // Never joined, and no join announcement from anyone has delivered:
+    // nothing could ever deliver this message. Tell the caller instead of
+    // eating ring bandwidth.
+    return Status{StatusCode::kNotFound, "group has no known members: " + group};
+  }
   const Status s = node_.send(encode(Kind::kData, group, payload));
   if (s.is_ok()) ++stats_.messages_sent;
   return s;
+}
+
+void GroupBus::add_ring_view_observer(RingViewObserver observer) {
+  ring_observers_.push_back(std::move(observer));
 }
 
 std::vector<NodeId> GroupBus::group_members(const std::string& group) const {
@@ -110,18 +145,29 @@ void GroupBus::on_deliver(const srp::DeliveredMessage& m) {
 void GroupBus::apply_membership(const std::string& group, NodeId node, bool joined) {
   auto& members = views_[group];
   const bool changed = joined ? members.insert(node).second : members.erase(node) > 0;
-  if (!changed) return;  // idempotent re-announcements after ring changes
+  if (!changed) {
+    // Idempotent re-announcement after a ring change.
+    if (members.empty()) views_.erase(group);
+    return;
+  }
   if (members.empty()) views_.erase(group);
-  emit_view(group);
+  if (joined) {
+    emit_view(group, {node}, {});
+  } else {
+    emit_view(group, {}, {node});
+  }
 }
 
-void GroupBus::emit_view(const std::string& group) {
+void GroupBus::emit_view(const std::string& group, std::vector<NodeId> added,
+                         std::vector<NodeId> removed) {
   ++stats_.view_changes;
   auto it = local_.find(group);
   if (it == local_.end() || !it->second.on_view) return;
   GroupView view;
   view.group = group;
   view.members = group_members(group);
+  view.added = std::move(added);
+  view.removed = std::move(removed);
   it->second.on_view(view);
 }
 
@@ -131,12 +177,12 @@ void GroupBus::on_ring_view(const srp::MembershipView& view) {
   // survivor: the ring view itself is the synchronization point).
   for (auto it = views_.begin(); it != views_.end();) {
     auto& [group, members] = *it;
-    bool changed = false;
+    std::vector<NodeId> dropped;
     for (auto m = members.begin(); m != members.end();) {
       if (std::find(ring_members_.begin(), ring_members_.end(), *m) ==
           ring_members_.end()) {
+        dropped.push_back(*m);
         m = members.erase(m);
-        changed = true;
       } else {
         ++m;
       }
@@ -148,14 +194,18 @@ void GroupBus::on_ring_view(const srp::MembershipView& view) {
     } else {
       ++it;
     }
-    if (changed) emit_view(group_name);
+    if (!dropped.empty()) emit_view(group_name, {}, std::move(dropped));
   }
   // Re-announce our memberships so nodes that merged into the ring learn
   // them (idempotent; totally ordered). Our own state is re-inserted when
   // the announcements deliver.
   for (const auto& [group, _] : local_) {
-    (void)node_.send(encode(Kind::kJoin, group, {}));
+    (void)node_.send(encode_announcement(Kind::kJoin, group));
   }
+  // Ring observers run last: group drops are already emitted and the sync
+  // announcements are already queued, so anything an observer sends is
+  // ordered after the bus's own view transition (the send barrier).
+  for (const auto& observer : ring_observers_) observer(view);
 }
 
 }  // namespace totem::api

@@ -8,7 +8,8 @@
 // group. Join and leave announcements ride the same totally-ordered stream
 // as data, so every member observes the identical sequence of
 // (view change | message) events per group: the property that makes
-// replicated state machines per group trivially consistent.
+// replicated state machines per group trivially consistent (src/smr/ is
+// that state-machine layer).
 //
 // Ring membership changes compose with group membership: nodes that fall
 // off the ring are removed from every group (with a view change), and after
@@ -28,17 +29,27 @@
 namespace totem::api {
 
 /// One delivered group message (handler argument).
+///
+/// LIFETIME RULE: `payload` is a view into the ring's pooled delivery
+/// buffer and is valid ONLY for the duration of the handler callback — the
+/// buffer is recycled the moment the callback returns. A handler that needs
+/// the bytes later must copy them (e.g. `Bytes(m.payload.begin(),
+/// m.payload.end())`); retaining the BytesView itself dangles.
 struct GroupMessage {
   std::string group;            ///< destination group name
   NodeId origin = kInvalidNode; ///< sending node
   SeqNum seq = 0;               ///< ring sequence number (total order witness)
-  BytesView payload;            ///< valid only during the callback
+  BytesView payload;            ///< valid only during the callback — copy to keep
 };
 
 /// A group membership view: who is in `group` right now, in agreed order.
+/// `added`/`removed` are the delta against the previous view of the same
+/// group — the hook a state-transfer layer needs to react to joiners.
 struct GroupView {
   std::string group;
   std::vector<NodeId> members;  ///< sorted
+  std::vector<NodeId> added;    ///< sorted; joined since the previous view
+  std::vector<NodeId> removed;  ///< sorted; left/dropped since the previous view
 };
 
 class GroupBus {
@@ -47,9 +58,17 @@ class GroupBus {
   using MessageHandler = std::function<void(const GroupMessage&)>;
   /// Receives group membership views (also totally ordered with traffic).
   using ViewHandler = std::function<void(const GroupView&)>;
+  /// Observes raw ring membership views AFTER the bus updated every group
+  /// (drops emitted, re-announcements queued). Because re-announcements are
+  /// sent inside the same view transition, an observer that sends here is
+  /// ordered AFTER the bus's own sync traffic — a view-ordered send
+  /// barrier. Multiple observers run in registration order.
+  using RingViewObserver = std::function<void(const srp::MembershipView&)>;
 
-  /// Takes ownership of `node`'s deliver and membership handlers — do not
-  /// set them yourself after constructing a GroupBus. Call before start().
+  /// Chains onto `node`'s deliver and membership handlers: anything already
+  /// installed (e.g. a test harness recorder) keeps running, then the bus
+  /// processes the event. Do not replace the node's handlers after
+  /// constructing a GroupBus. Call before start().
   explicit GroupBus(Node& node);
 
   GroupBus(const GroupBus&) = delete;
@@ -65,13 +84,26 @@ class GroupBus {
   Status leave(const std::string& group);
 
   /// Send `payload` to every member of `group`. The sender need not be a
-  /// member (it will not receive the delivery unless it is).
+  /// member (it will not receive the delivery unless it is) — but the group
+  /// must exist from this node's point of view: sending to a group this
+  /// node never joined and with no known members returns kNotFound instead
+  /// of enqueuing bytes nobody will ever deliver.
   Status send(const std::string& group, BytesView payload);
+
+  /// Register a ring-view observer (see RingViewObserver). Observers cannot
+  /// be removed; they must outlive the bus or be self-disabling.
+  void add_ring_view_observer(RingViewObserver observer);
 
   /// Current (locally known) membership of a group, sorted.
   [[nodiscard]] std::vector<NodeId> group_members(const std::string& group) const;
   [[nodiscard]] bool locally_joined(const std::string& group) const {
     return local_.count(group) != 0;
+  }
+  /// This bus's node id / last seen ring membership (empty before the
+  /// first view).
+  [[nodiscard]] NodeId node_id() const { return node_.id(); }
+  [[nodiscard]] const std::vector<NodeId>& ring_members() const {
+    return ring_members_;
   }
 
   /// Bus-level counters (all updated on the protocol thread).
@@ -94,15 +126,25 @@ class GroupBus {
 
   [[nodiscard]] static Bytes encode(Kind kind, const std::string& group,
                                     BytesView payload);
+  /// A join/leave announcement. Carries (node, nonce) trailer bytes so two
+  /// announcements are never byte-identical on the wire (the chaos
+  /// invariants treat payload bytes as message identities); the parser
+  /// ignores the trailer.
+  [[nodiscard]] Bytes encode_announcement(Kind kind, const std::string& group);
   void on_deliver(const srp::DeliveredMessage& m);
   void on_ring_view(const srp::MembershipView& view);
   void apply_membership(const std::string& group, NodeId node, bool joined);
-  void emit_view(const std::string& group);
+  void emit_view(const std::string& group, std::vector<NodeId> added,
+                 std::vector<NodeId> removed);
 
   Node& node_;
+  srp::SingleRing::DeliverHandler chained_deliver_;        // pre-bus handler
+  srp::SingleRing::MembershipHandler chained_membership_;  // pre-bus handler
   std::map<std::string, LocalSub> local_;          // groups this node joined
   std::map<std::string, std::set<NodeId>> views_;  // group -> member nodes
   std::vector<NodeId> ring_members_;
+  std::vector<RingViewObserver> ring_observers_;
+  std::uint64_t announce_nonce_ = 0;
   Stats stats_;
 };
 

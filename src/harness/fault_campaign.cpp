@@ -10,6 +10,8 @@
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/trace.h"
+#include "smr/replicated_kv.h"
+#include "smr/replicated_log.h"
 
 namespace totem::harness {
 
@@ -284,6 +286,7 @@ std::string CampaignResult::replay_command() const {
   os << "totem_chaos --seed=" << options.seed
      << " --style=" << api::to_string(options.style)
      << " --networks=" << options.networks << " --events=" << options.events;
+  if (options.kv_workload) os << " --kv";
   return os.str();
 }
 
@@ -377,6 +380,25 @@ CampaignResult run_campaign(CampaignOptions o) {
   cfg.srp.merge_backoff = Duration{1'000'000};
   SimCluster cluster(cfg);
   auto& sim = cluster.simulator();
+
+  // Optional replicated-KV stack on every node (V8). Built before start_all
+  // so the GroupBus handler chain is in place for the first delivery;
+  // declared after `cluster` so the logs' timer handles die first.
+  std::vector<std::unique_ptr<api::GroupBus>> kv_buses;
+  std::vector<std::unique_ptr<smr::ReplicatedKv>> kv_machines;
+  std::vector<std::unique_ptr<smr::ReplicatedLog>> kv_logs;
+  // Function-scope so the self-rescheduling timer lambdas that capture it
+  // by reference outlive every sim.run_* call below.
+  std::function<void(std::size_t)> kv_client;
+  if (o.kv_workload) {
+    for (std::size_t i = 0; i < o.nodes; ++i) {
+      kv_buses.push_back(std::make_unique<api::GroupBus>(cluster.node(i)));
+      kv_machines.push_back(std::make_unique<smr::ReplicatedKv>());
+      kv_logs.push_back(std::make_unique<smr::ReplicatedLog>(
+          cluster.simulator(), *kv_buses.back(), *kv_machines.back(),
+          smr::ReplicatedLog::Config{}));
+    }
+  }
 
   const TimePoint heal_time =
       TimePoint{} + o.settle +
@@ -508,6 +530,41 @@ CampaignResult run_campaign(CampaignOptions o) {
 
   cluster.start_all();
 
+  if (o.kv_workload) {
+    for (auto& log : kv_logs) (void)log->start();
+    // Seeded closed-ish-loop clients: each node keeps a put/delete/CAS mix
+    // flowing while it is live. Payloads are tagged (seed, node, counter)
+    // so V2's global-uniqueness premise also covers the KV stream.
+    auto kv_rng = std::make_shared<Rng>(o.seed * 77 + 13);
+    auto kv_counter = std::make_shared<std::uint64_t>(0);
+    kv_client = [&, kv_rng, kv_counter](std::size_t n) {
+      if (sim.now() >= heal_time) return;
+      if (kv_logs[n]->live()) {
+        const std::string key =
+            "k" + std::to_string(kv_rng->next_below(o.kv_keys));
+        const Bytes value = to_bytes("v" + std::to_string(o.seed) + "-" +
+                                     std::to_string(n) + "-" +
+                                     std::to_string((*kv_counter)++));
+        const std::uint64_t dice = kv_rng->next_below(10);
+        Bytes cmd;
+        if (dice < 7) {
+          cmd = smr::ReplicatedKv::encode_put(key, value);
+        } else if (dice < 9) {
+          const auto* e = kv_machines[n]->get(key);
+          cmd = smr::ReplicatedKv::encode_cas(key, e ? e->version : 0, value);
+        } else {
+          cmd = smr::ReplicatedKv::encode_del(key);
+        }
+        (void)kv_logs[n]->submit(cmd);
+      }
+      sim.schedule(o.kv_client_interval +
+                       Duration{static_cast<Duration::rep>(
+                           kv_rng->next_below(3'000))},
+                   [&kv_client, n] { kv_client(n); });
+    };
+    for (std::size_t n = 0; n < o.nodes; ++n) kv_client(n);
+  }
+
   // Uniquely-tagged background traffic from every node until the heal.
   Rng traffic_rng(o.seed * 31 + 5);
   std::uint64_t counter = 0;
@@ -529,6 +586,20 @@ CampaignResult run_campaign(CampaignOptions o) {
     (void)cluster.node(n).send(to_bytes(probe));
   }
   sim.run_for(o.drain);
+
+  if (o.kv_workload) {
+    // Give freshly re-synced replicas time to finish their transfer, then
+    // take the V8 census.
+    sim.run_for(o.kv_drain);
+    for (std::size_t i = 0; i < o.nodes; ++i) {
+      InvariantContext::ReplicaState r;
+      r.node = static_cast<NodeId>(i);
+      r.live = kv_logs[i]->live();
+      r.applied_seq = kv_logs[i]->applied_seq();
+      r.snapshot = kv_machines[i]->snapshot();
+      ctx.replicas.push_back(std::move(r));
+    }
+  }
 
   result.report = check_invariants(cluster, ctx);
   if (!result.report.ok()) {

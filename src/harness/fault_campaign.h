@@ -7,7 +7,7 @@
 // replayed byte-for-byte from its seed alone:
 //
 //   totem_chaos --seed=S [--style=active|passive|active-passive]
-//               [--networks=N] [--events=E]
+//               [--networks=N] [--events=E] [--kv]
 //
 // The fault vocabulary (DESIGN.md §10):
 //   * crash/restart      — node loses TX+RX on every network, later rejoins
@@ -83,6 +83,17 @@ struct CampaignOptions {
   /// How many of each node's most recent trace records the failure
   /// artifact carries (0 = the whole ring).
   std::size_t artifact_trace_last_n = 256;
+
+  /// Run a replicated KV store (smr::ReplicatedLog over a GroupBus group)
+  /// on every node, with seeded per-node clients submitting put/delete/CAS
+  /// commands until the heal. The end-of-run replica states feed invariant
+  /// V8: every replica must converge to the byte-identical snapshot.
+  bool kv_workload = false;
+  Duration kv_client_interval{5'000};  ///< per-node submit pacing
+  std::size_t kv_keys = 48;            ///< workload key-space size
+  /// Extra post-probe sim time for demoted replicas to finish their state
+  /// transfer before V8 takes its snapshot census.
+  Duration kv_drain{4'000'000};
 };
 
 /// Deterministically expand (seed, options) into a sorted fault schedule.

@@ -318,6 +318,36 @@ InvariantReport check_invariants(SimCluster& cluster, const InvariantContext& ct
     }
   }
 
+  // ---- V8: replicated-state convergence (only when a workload ran) ----
+  if (!ctx.replicas.empty()) {
+    const InvariantContext::ReplicaState* ref = nullptr;
+    for (const auto& r : ctx.replicas) {
+      if (!r.live) {
+        out.push_back("V8: replica on node " + std::to_string(r.node) +
+                      " is still not live after heal + drain (applied " +
+                      std::to_string(r.applied_seq) + " commands)");
+        continue;
+      }
+      if (!ref) {
+        ref = &r;
+        continue;
+      }
+      if (r.applied_seq != ref->applied_seq) {
+        out.push_back("V8: replica on node " + std::to_string(r.node) +
+                      " applied " + std::to_string(r.applied_seq) +
+                      " commands but node " + std::to_string(ref->node) +
+                      " applied " + std::to_string(ref->applied_seq));
+      }
+      if (r.snapshot != ref->snapshot) {
+        out.push_back("V8: replica snapshots diverge between nodes " +
+                      std::to_string(ref->node) + " (" +
+                      std::to_string(ref->snapshot.size()) + " bytes) and " +
+                      std::to_string(r.node) + " (" +
+                      std::to_string(r.snapshot.size()) + " bytes)");
+      }
+    }
+  }
+
   // ---- V7: probes delivered exactly once everywhere ----
   for (const auto& probe : ctx.probes) {
     for (std::size_t i = 0; i < nodes; ++i) {

@@ -26,11 +26,17 @@
 //      within `reformation_budget` of the heal.
 //   V7 Probe delivery — post-heal probe messages arrive exactly once at
 //      every node.
+//   V8 Replica-state convergence — when the campaign ran a replicated
+//      state machine on top of the stack (see fault_campaign.h kv_workload),
+//      every replica must end live with the byte-identical snapshot and the
+//      same applied-command count. Total order + the SMR sync protocol make
+//      this the end-to-end corollary of V1/V2.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/types.h"
 #include "harness/sim_cluster.h"
 
@@ -58,6 +64,15 @@ struct InvariantContext {
   /// V7: payloads sent after convergence; must be delivered exactly once
   /// at every node.
   std::vector<std::string> probes;
+
+  /// V8: end-of-campaign replica observations (empty = check skipped).
+  struct ReplicaState {
+    NodeId node = kInvalidNode;
+    bool live = false;
+    std::uint64_t applied_seq = 0;
+    Bytes snapshot;
+  };
+  std::vector<ReplicaState> replicas;
 };
 
 struct InvariantReport {

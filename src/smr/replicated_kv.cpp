@@ -1,0 +1,142 @@
+#include "smr/replicated_kv.h"
+
+namespace totem::smr {
+namespace {
+
+Bytes encode_result(bool ok, std::uint64_t version) {
+  ByteWriter w(9);
+  w.u8(ok ? 1 : 0);
+  w.u64(version);
+  return std::move(w).take();
+}
+
+Bytes to_key_bytes(std::string_view key) { return to_bytes(key); }
+
+}  // namespace
+
+Bytes ReplicatedKv::encode_put(std::string_view key, BytesView value) {
+  ByteWriter w(9 + key.size() + value.size());
+  w.u8(static_cast<std::uint8_t>(Op::kPut));
+  w.blob(to_key_bytes(key));
+  w.blob(value);
+  return std::move(w).take();
+}
+
+Bytes ReplicatedKv::encode_del(std::string_view key) {
+  ByteWriter w(5 + key.size());
+  w.u8(static_cast<std::uint8_t>(Op::kDel));
+  w.blob(to_key_bytes(key));
+  return std::move(w).take();
+}
+
+Bytes ReplicatedKv::encode_cas(std::string_view key,
+                               std::uint64_t expected_version, BytesView value) {
+  ByteWriter w(17 + key.size() + value.size());
+  w.u8(static_cast<std::uint8_t>(Op::kCas));
+  w.blob(to_key_bytes(key));
+  w.u64(expected_version);
+  w.blob(value);
+  return std::move(w).take();
+}
+
+Result<KvResult> ReplicatedKv::decode_result(BytesView result) {
+  ByteReader r(result);
+  auto ok = r.u8();
+  auto version = r.u64();
+  if (!ok || !version) {
+    return Status{StatusCode::kMalformedPacket, "truncated KV result"};
+  }
+  return KvResult{ok.value() == 1, version.value()};
+}
+
+Bytes ReplicatedKv::apply(BytesView command) {
+  ByteReader r(command);
+  auto op = r.u8();
+  auto key_bytes = op ? r.blob() : Result<BytesView>{op.status()};
+  if (!op || !key_bytes) {
+    ++stats_.malformed;
+    return encode_result(false, 0);
+  }
+  const std::string key = to_string(key_bytes.value());
+  switch (static_cast<Op>(op.value())) {
+    case Op::kPut: {
+      auto value = r.blob();
+      if (!value) break;
+      Entry& e = map_[key];
+      e.value.assign(value.value().begin(), value.value().end());
+      ++e.version;
+      ++stats_.puts;
+      return encode_result(true, e.version);
+    }
+    case Op::kDel: {
+      auto it = map_.find(key);
+      ++stats_.deletes;
+      if (it == map_.end()) return encode_result(false, 0);
+      map_.erase(it);
+      return encode_result(true, 0);
+    }
+    case Op::kCas: {
+      auto expected = r.u64();
+      auto value = r.blob();
+      if (!expected || !value) break;
+      auto it = map_.find(key);
+      const std::uint64_t current = it == map_.end() ? 0 : it->second.version;
+      if (current != expected.value()) {
+        ++stats_.cas_fail;
+        return encode_result(false, current);
+      }
+      Entry& e = map_[key];
+      e.value.assign(value.value().begin(), value.value().end());
+      ++e.version;
+      ++stats_.cas_ok;
+      return encode_result(true, e.version);
+    }
+  }
+  ++stats_.malformed;
+  return encode_result(false, 0);
+}
+
+Bytes ReplicatedKv::snapshot() const {
+  std::size_t bytes = 8;
+  for (const auto& [key, e] : map_) bytes += 16 + key.size() + e.value.size();
+  ByteWriter w(bytes);
+  w.u64(map_.size());
+  for (const auto& [key, e] : map_) {
+    w.blob(to_bytes(key));
+    w.u64(e.version);
+    w.blob(e.value);
+  }
+  return std::move(w).take();
+}
+
+Status ReplicatedKv::restore(BytesView snapshot) {
+  map_.clear();
+  ByteReader r(snapshot);
+  auto n = r.u64();
+  if (!n) return Status{StatusCode::kMalformedPacket, "truncated KV snapshot"};
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto key = r.blob();
+    auto version = r.u64();
+    auto value = r.blob();
+    if (!key || !version || !value) {
+      map_.clear();
+      return Status{StatusCode::kMalformedPacket, "truncated KV snapshot entry"};
+    }
+    Entry e;
+    e.value.assign(value.value().begin(), value.value().end());
+    e.version = version.value();
+    map_[to_string(key.value())] = std::move(e);
+  }
+  if (!r.exhausted()) {
+    map_.clear();
+    return Status{StatusCode::kMalformedPacket, "trailing bytes in KV snapshot"};
+  }
+  return Status::ok();
+}
+
+const ReplicatedKv::Entry* ReplicatedKv::get(std::string_view key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace totem::smr

@@ -1,0 +1,74 @@
+// ReplicatedKv: the reference StateMachine — a key/value store with
+// per-key versions and compare-and-swap, the workload Ring Paxos-style
+// evaluations run against their atomic broadcast layer.
+//
+// Commands and results are fixed little-endian encodings (ByteWriter), so
+// apply() is deterministic byte-for-byte. Reads are local: any live
+// replica's map is the agreed state, so get() needs no command.
+//
+// Determinism note: state lives in a std::map (ordered), so snapshot() is
+// canonical — byte-identical across replicas with equal history, which is
+// exactly what invariant V8 and the joiner-convergence tests assert.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "smr/state_machine.h"
+
+namespace totem::smr {
+
+/// Decoded apply() result of any KV command.
+struct KvResult {
+  bool ok = false;           ///< operation succeeded (CAS matched, key existed, ...)
+  std::uint64_t version = 0; ///< key's version after the command (0 = absent)
+};
+
+class ReplicatedKv final : public StateMachine {
+ public:
+  struct Entry {
+    Bytes value;
+    std::uint64_t version = 0;  ///< starts at 1, bumps on every write
+  };
+
+  // ---- command encoding (client side) ----
+  /// Unconditional write. Creates the key at version 1 or bumps it.
+  [[nodiscard]] static Bytes encode_put(std::string_view key, BytesView value);
+  /// Delete. ok=false (no state change) when the key is absent.
+  [[nodiscard]] static Bytes encode_del(std::string_view key);
+  /// Compare-and-swap: writes only if the key's current version equals
+  /// `expected_version` (0 = key must be absent; creates it).
+  [[nodiscard]] static Bytes encode_cas(std::string_view key,
+                                        std::uint64_t expected_version,
+                                        BytesView value);
+  /// Parse an apply() result.
+  [[nodiscard]] static Result<KvResult> decode_result(BytesView result);
+
+  // ---- StateMachine ----
+  Bytes apply(BytesView command) override;
+  [[nodiscard]] Bytes snapshot() const override;
+  Status restore(BytesView snapshot) override;
+
+  // ---- local reads ----
+  [[nodiscard]] const Entry* get(std::string_view key) const;
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t cas_ok = 0;
+    std::uint64_t cas_fail = 0;
+    std::uint64_t malformed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Op : std::uint8_t { kPut = 1, kDel = 2, kCas = 3 };
+
+  std::map<std::string, Entry, std::less<>> map_;
+  Stats stats_;
+};
+
+}  // namespace totem::smr

@@ -1,0 +1,540 @@
+#include "smr/replicated_log.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+#include "common/log.h"
+
+namespace totem::smr {
+namespace {
+
+// kSyncDone causes — only there to keep the wire payloads distinct (the
+// ring's no-duplicate-delivery invariant treats payloads as identities).
+constexpr std::uint8_t kDoneRestored = 0;
+constexpr std::uint8_t kDoneAudited = 1;
+constexpr std::uint8_t kDonePromoted = 2;
+
+}  // namespace
+
+ReplicatedLog::ReplicatedLog(TimerService& timers, api::GroupBus& bus,
+                             StateMachine& machine, Config config)
+    : timers_(timers),
+      bus_(bus),
+      machine_(machine),
+      config_(std::move(config)),
+      self_(bus.node_id()) {}
+
+Status ReplicatedLog::start() {
+  if (mode_ != Mode::kOffline) {
+    return Status{StatusCode::kFailedPrecondition, "log already started"};
+  }
+  ring_members_ = bus_.ring_members();
+  bus_.add_ring_view_observer(
+      [this](const srp::MembershipView& v) { on_ring_view(v); });
+  return bus_.join(
+      config_.group, [this](const api::GroupMessage& m) { on_message(m); },
+      [this](const api::GroupView& v) { on_group_view(v); });
+}
+
+Result<std::uint64_t> ReplicatedLog::submit(BytesView command) {
+  if (mode_ == Mode::kOffline && !bus_.locally_joined(config_.group)) {
+    return Status{StatusCode::kFailedPrecondition, "log not started"};
+  }
+  const std::uint64_t req = next_request_++;
+  ByteWriter w(13 + command.size());
+  w.u8(static_cast<std::uint8_t>(MsgKind::kCommand));
+  w.u32(self_);
+  w.u64(req);
+  w.raw(command);
+  const Status s = bus_.send(config_.group, std::move(w).take());
+  if (!s.is_ok()) return s;
+  pending_.insert(req);
+  ++stats_.commands_submitted;
+  return req;
+}
+
+std::vector<NodeId> ReplicatedLog::established_members() const {
+  std::vector<NodeId> out;
+  for (NodeId n : members_) {
+    if (syncing_.count(n) == 0) out.push_back(n);
+  }
+  return out;
+}
+
+NodeId ReplicatedLog::leader() const {
+  const auto est = established_members();
+  return est.empty() ? kInvalidNode : est.front();
+}
+
+bool ReplicatedLog::is_leader() const { return leader() == self_; }
+
+Bytes ReplicatedLog::frame(MsgKind kind, BytesView body) const {
+  ByteWriter w(1 + body.size());
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.raw(body);
+  return std::move(w).take();
+}
+
+void ReplicatedLog::on_message(const api::GroupMessage& m) {
+  ByteReader r(m.payload);
+  auto kind = r.u8();
+  if (!kind) return;
+  switch (static_cast<MsgKind>(kind.value())) {
+    case MsgKind::kCommand: {
+      auto submitter = r.u32();
+      auto req = r.u64();
+      if (!submitter || !req) return;
+      handle_command(submitter.value(), req.value(),
+                     m.payload.subspan(r.position()));
+      return;
+    }
+    case MsgKind::kSnapMark: {
+      auto mark_leader = r.u32();
+      auto mark = r.u64();
+      if (!mark_leader || !mark) return;
+      handle_mark(mark_leader.value(), mark.value());
+      return;
+    }
+    case MsgKind::kSnapChunk:
+      handle_chunk(m.payload.subspan(r.position()));
+      return;
+    case MsgKind::kSyncDone: {
+      auto node = r.u32();
+      if (!node) return;
+      syncing_.erase(node.value());
+      had_state_.erase(node.value());
+      return;
+    }
+    case MsgKind::kSyncRequest: {
+      auto node = r.u32();
+      auto nonce = r.u64();
+      auto held = r.u8();
+      if (!node || !nonce || !held) return;
+      handle_sync_request(node.value(), held.value() != 0);
+      return;
+    }
+  }
+}
+
+void ReplicatedLog::handle_command(NodeId submitter, std::uint64_t request_id,
+                                   BytesView cmd) {
+  if (mode_ == Mode::kLive) {
+    if (audit_armed_) {
+      audit_buffer_.push_back(
+          BufferedCommand{submitter, request_id, Bytes(cmd.begin(), cmd.end())});
+    }
+    apply_one(submitter, request_id, cmd);
+    return;
+  }
+  if (mode_ == Mode::kSyncing) {
+    if (awaiting_round_) {
+      buffer_.push_back(
+          BufferedCommand{submitter, request_id, Bytes(cmd.begin(), cmd.end())});
+      ++stats_.commands_buffered;
+      return;
+    }
+    // Before any alignment mark the upcoming snapshot will already include
+    // this command's effect: complete our own submissions now (result
+    // unknown locally — it executed at the live replicas).
+    if (submitter == self_ && pending_.erase(request_id) > 0 && on_complete_) {
+      on_complete_(request_id, {}, false);
+    }
+  }
+}
+
+void ReplicatedLog::handle_mark(NodeId mark_leader, std::uint64_t mark) {
+  if (mode_ == Mode::kSyncing) {
+    // The mark's delivery is the agreed alignment point: the leader
+    // snapshots exactly here, so commands before it are covered by the
+    // image and commands after it go into the replay buffer.
+    flush_pending_as_absorbed(buffer_);
+    buffer_.clear();
+    assembler_.reset();
+    awaiting_round_ = true;
+    round_leader_ = mark_leader;
+    round_mark_ = mark;
+    return;
+  }
+  if (mode_ != Mode::kLive) return;
+  if (mark_leader == self_) {
+    // Our own mark delivered — this is the point the whole group agreed on.
+    // It also SUPERSEDES any older round we were auditing: every replica
+    // honors only the latest-delivered mark's round, or two rounds led by
+    // replicas with divergent state could be adopted cross-wise and swap
+    // the divergence around instead of healing it.
+    audit_armed_ = false;
+    audit_buffer_.clear();
+    mark_in_flight_ = false;
+    send_snapshot_round(mark);
+    if (mark_needed_) maybe_lead_transfer();
+    return;
+  }
+  // Another replica leads a round: audit it. If the leader's snapshot
+  // disagrees with our state at the same agreed point, WE are the diverged
+  // one (we audit the elected leader, not the other way around) and the
+  // incoming transfer is our repair.
+  audit_armed_ = true;
+  audit_leader_ = mark_leader;
+  audit_mark_ = mark;
+  audit_applied_ = applied_;
+  audit_crc_ = crc32(machine_.snapshot());
+  audit_buffer_.clear();
+}
+
+void ReplicatedLog::handle_chunk(BytesView wire) {
+  auto decoded = decode_chunk(wire);
+  if (!decoded) {
+    ++stats_.chunks_rejected;
+    return;
+  }
+  const SnapshotChunk& c = decoded.value();
+
+  if (mode_ == Mode::kLive) {
+    if (c.leader == self_) return;  // our own broadcast coming back
+    if (audit_armed_ && c.leader == audit_leader_ && c.mark == audit_mark_) {
+      audit_armed_ = false;
+      if (c.applied_seq == audit_applied_ && c.total_crc == audit_crc_) {
+        // State agreed at the mark. Ack so the leader's bookkeeping clears
+        // us in case it (re-)counted us as syncing after a ring merge.
+        audit_buffer_.clear();
+        // Uniquified by our own nonce, not the round's mark: two different
+        // leaders can both reach mark N, and we may ack both.
+        send_sync_done(++sync_nonce_, kDoneAudited);
+        return;
+      }
+      // We diverged (e.g. missed a ring epoch without noticing). Adopt the
+      // very round we audited: commands since the mark are in
+      // audit_buffer_, which is exactly the suffix the snapshot needs.
+      ++stats_.divergence_alarms;
+      ++stats_.demotions;
+      TLOG_INFO << "smr[" << self_ << "]: divergence at mark (" << audit_leader_
+            << "," << audit_mark_ << "): applied " << audit_applied_ << " vs "
+            << c.applied_seq << " — resyncing";
+      mode_ = Mode::kSyncing;
+      awaiting_round_ = true;
+      round_leader_ = c.leader;
+      round_mark_ = c.mark;
+      assembler_.reset();
+      buffer_ = std::move(audit_buffer_);
+      audit_buffer_.clear();
+      arm_watchdog();
+      // fall through to the syncing path below with this same chunk
+    } else {
+      ++stats_.chunks_stale;
+      return;
+    }
+  }
+  if (mode_ != Mode::kSyncing) {
+    ++stats_.chunks_stale;
+    return;
+  }
+  if (!awaiting_round_ || c.leader != round_leader_ || c.mark != round_mark_) {
+    ++stats_.chunks_stale;
+    return;
+  }
+  switch (assembler_.add(c)) {
+    case SnapshotAssembler::Accept::kAccepted:
+      ++stats_.chunks_accepted;
+      break;
+    case SnapshotAssembler::Accept::kDuplicate:
+    case SnapshotAssembler::Accept::kStale:
+      ++stats_.chunks_stale;
+      return;
+    case SnapshotAssembler::Accept::kCorrupt:
+      ++stats_.chunks_rejected;
+      return;
+  }
+  if (assembler_.complete()) finish_restore();
+}
+
+void ReplicatedLog::handle_sync_request(NodeId node, bool held_state) {
+  if (members_.count(node) != 0 || node == self_) {
+    syncing_.insert(node);
+    if (held_state) had_state_.insert(node);
+  }
+  if (mode_ == Mode::kLive) {
+    maybe_lead_transfer();
+    return;
+  }
+  // Disaster check: every member is syncing — the live side vanished
+  // entirely (e.g. a many-way merge demoted every fragment). The lowest-id
+  // replica that ever held live state re-elects itself and re-seeds the
+  // group from its (best-surviving) state. Each replica evaluates this on
+  // the same agreed request stream, so at most the designated candidate
+  // acts; transient disagreement is repaired by the audit path.
+  // Never evaluate it on our FIRST own request while the ring holds other
+  // nodes: right after a merge our group view may not yet contain the
+  // (possibly still-live) peers, so "everyone is syncing" would be an
+  // artifact of missing announcements. A foreign request proves the view
+  // caught up; so does our own watchdog retry, which fires long after the
+  // merge-time re-announcements landed. On a solo ring nobody is missing.
+  if (node == self_) ++own_sync_requests_;
+  if (node == self_ && ring_members_.size() > 1 && own_sync_requests_ < 2) {
+    return;
+  }
+  if (mode_ == Mode::kSyncing && was_live_) {
+    bool any_established = false;
+    for (NodeId n : members_) {
+      if (syncing_.count(n) == 0) {
+        any_established = true;
+        break;
+      }
+    }
+    if (!any_established && !had_state_.empty() &&
+        *had_state_.begin() == self_) {
+      promote();
+    }
+  }
+}
+
+void ReplicatedLog::apply_one(NodeId submitter, std::uint64_t request_id,
+                              BytesView cmd) {
+  const Bytes result = machine_.apply(cmd);
+  ++applied_;
+  ++stats_.commands_applied;
+  if (submitter == self_ && pending_.erase(request_id) > 0 && on_complete_) {
+    on_complete_(request_id, result, true);
+  }
+}
+
+void ReplicatedLog::flush_pending_as_absorbed(std::deque<BufferedCommand>& buffer) {
+  for (const BufferedCommand& b : buffer) {
+    if (b.submitter == self_ && pending_.erase(b.request_id) > 0 && on_complete_) {
+      on_complete_(b.request_id, {}, false);
+    }
+  }
+}
+
+void ReplicatedLog::finish_restore() {
+  auto image = assembler_.assemble();
+  Status restored = image ? machine_.restore(image.value()) : image.status();
+  if (!restored.is_ok()) {
+    // Total-CRC or restore failure: the round was unusable; drop it and ask
+    // for a fresh transfer.
+    ++stats_.chunks_rejected;
+    assembler_.reset();
+    awaiting_round_ = false;
+    request_sync();
+    return;
+  }
+  applied_ = assembler_.applied_seq();
+  assembler_.reset();
+  awaiting_round_ = false;
+  ++stats_.snapshots_restored;
+  // The buffer holds exactly the commands delivered after the mark: replay
+  // them and the machine equals every live replica byte-for-byte.
+  std::deque<BufferedCommand> replay = std::move(buffer_);
+  buffer_.clear();
+  for (const BufferedCommand& b : replay) {
+    apply_one(b.submitter, b.request_id, b.command);
+    ++stats_.commands_replayed;
+  }
+  become_live();
+  send_sync_done(++sync_nonce_, kDoneRestored);
+  TLOG_INFO << "smr[" << self_ << "]: restored snapshot (applied=" << applied_
+            << ", replayed=" << replay.size() << ")";
+}
+
+void ReplicatedLog::become_live() {
+  mode_ = Mode::kLive;
+  was_live_ = true;
+  syncing_.erase(self_);
+  had_state_.erase(self_);
+  own_sync_requests_ = 0;
+  watchdog_.cancel();
+  audit_armed_ = false;
+  audit_buffer_.clear();
+}
+
+void ReplicatedLog::demote(const char* reason) {
+  if (mode_ != Mode::kLive) return;
+  ++stats_.demotions;
+  TLOG_INFO << "smr[" << self_ << "]: demoted to syncing (" << reason << ")";
+  mode_ = Mode::kSyncing;
+  own_sync_requests_ = 0;
+  awaiting_round_ = false;
+  round_leader_ = kInvalidNode;
+  round_mark_ = 0;
+  assembler_.reset();
+  flush_pending_as_absorbed(buffer_);
+  buffer_.clear();
+  audit_armed_ = false;
+  audit_buffer_.clear();
+  mark_in_flight_ = false;
+  mark_needed_ = false;
+  arm_watchdog();
+  request_sync();
+}
+
+void ReplicatedLog::promote() {
+  ++stats_.promotions;
+  TLOG_INFO << "smr[" << self_ << "]: no established replica left — promoting with applied="
+            << applied_;
+  // Commands buffered since the last mark were applied by no one; fold them
+  // into the state we are about to re-seed the group with. (Syncing peers
+  // clear their buffers at our upcoming mark, so nothing applies twice.)
+  std::deque<BufferedCommand> replay = std::move(buffer_);
+  buffer_.clear();
+  awaiting_round_ = false;
+  assembler_.reset();
+  for (const BufferedCommand& b : replay) {
+    apply_one(b.submitter, b.request_id, b.command);
+  }
+  become_live();
+  send_sync_done(++sync_nonce_, kDonePromoted);
+  maybe_lead_transfer();
+}
+
+void ReplicatedLog::maybe_lead_transfer() {
+  if (mode_ != Mode::kLive || !is_leader() || syncing_.empty()) return;
+  if (mark_in_flight_) {
+    mark_needed_ = true;
+    return;
+  }
+  send_mark();
+}
+
+void ReplicatedLog::send_mark() {
+  const std::uint64_t mark = ++mark_nonce_;
+  ByteWriter w(13);
+  w.u8(static_cast<std::uint8_t>(MsgKind::kSnapMark));
+  w.u32(self_);
+  w.u64(mark);
+  const Status s = bus_.send(config_.group, std::move(w).take());
+  if (!s.is_ok()) {
+    // Backpressure: retry once the queue drains a little.
+    mark_needed_ = true;
+    retry_.cancel();
+    retry_ = timers_.schedule(config_.sync_retry, [this] { maybe_lead_transfer(); });
+    return;
+  }
+  ++stats_.marks_sent;
+  mark_in_flight_ = true;
+  mark_needed_ = false;
+}
+
+void ReplicatedLog::send_snapshot_round(std::uint64_t mark) {
+  const Bytes image = machine_.snapshot();
+  const auto chunks =
+      split_snapshot(image, self_, mark, applied_, config_.max_chunk_bytes);
+  for (const SnapshotChunk& c : chunks) {
+    const Status s =
+        bus_.send(config_.group, frame(MsgKind::kSnapChunk, encode_chunk(c)));
+    if (!s.is_ok()) {
+      // Queue full mid-round: the partial round can never complete (total
+      // CRC protects the joiners); schedule a fresh mark instead.
+      mark_needed_ = true;
+      retry_.cancel();
+      retry_ = timers_.schedule(config_.sync_retry, [this] { maybe_lead_transfer(); });
+      return;
+    }
+    ++stats_.chunks_sent;
+  }
+  ++stats_.snapshots_sent;
+}
+
+void ReplicatedLog::send_sync_done(std::uint64_t uniq, std::uint8_t cause) {
+  ByteWriter w(14);
+  w.u8(static_cast<std::uint8_t>(MsgKind::kSyncDone));
+  w.u32(self_);
+  w.u64(uniq);
+  w.u8(cause);
+  (void)bus_.send(config_.group, std::move(w).take());
+}
+
+void ReplicatedLog::request_sync() {
+  if (mode_ != Mode::kSyncing) return;
+  ByteWriter w(14);
+  w.u8(static_cast<std::uint8_t>(MsgKind::kSyncRequest));
+  w.u32(self_);
+  w.u64(++sync_nonce_);
+  w.u8(was_live_ ? 1 : 0);
+  if (bus_.send(config_.group, std::move(w).take()).is_ok()) {
+    ++stats_.sync_requests;
+  }
+}
+
+void ReplicatedLog::arm_watchdog() {
+  watchdog_.cancel();
+  watchdog_ = timers_.schedule(config_.sync_retry, [this] {
+    if (mode_ != Mode::kSyncing) return;
+    request_sync();
+    arm_watchdog();
+  });
+}
+
+void ReplicatedLog::on_group_view(const api::GroupView& v) {
+  members_.clear();
+  members_.insert(v.members.begin(), v.members.end());
+  for (NodeId n : v.removed) {
+    syncing_.erase(n);
+    had_state_.erase(n);
+  }
+  for (NodeId n : v.added) {
+    if (n == self_) {
+      if (mode_ != Mode::kOffline) continue;  // re-announce echo
+      if (members_.size() == 1) {
+        // Our join CREATED the group: we are the founding replica and the
+        // empty machine is, by definition, the authoritative state.
+        become_live();
+        TLOG_INFO << "smr[" << self_ << "]: founded group '" << config_.group << "'";
+      } else {
+        mode_ = Mode::kSyncing;
+        syncing_.insert(self_);
+        arm_watchdog();
+      }
+      continue;
+    }
+    if (mode_ == Mode::kLive) {
+      // A fresh joiner: it needs a transfer before it counts as a replica.
+      syncing_.insert(n);
+    }
+  }
+  if (mode_ == Mode::kLive && !v.added.empty()) maybe_lead_transfer();
+  // Our transfer source may have been among the removed: ask again (the
+  // surviving leader answers; the watchdog also retries).
+  if (mode_ == Mode::kSyncing && !v.removed.empty()) request_sync();
+}
+
+void ReplicatedLog::on_ring_view(const srp::MembershipView& v) {
+  const std::vector<NodeId> prev = ring_members_;
+  ring_members_ = v.members;
+  // A new ring is a send-barrier: anything we sent on the old ring has by
+  // now either been delivered (recovery completed before this view) or died
+  // with the ring. A mark still "in flight" here is gone — without this
+  // reset, maybe_lead_transfer() would wait on it forever and no syncing
+  // replica could ever be served again.
+  if (mark_in_flight_) {
+    mark_in_flight_ = false;
+    mark_needed_ = true;
+  }
+  if (mode_ != Mode::kLive || prev.empty()) return;
+  bool grew = false;
+  for (NodeId n : v.members) {
+    if (std::find(prev.begin(), prev.end(), n) == prev.end()) {
+      grew = true;
+      break;
+    }
+  }
+  if (!grew) return;
+  // Ring MERGE: fragments that diverged while partitioned are reuniting.
+  // Exactly one side's state may survive; the agreed rule is majority size
+  // with lowest-id tiebreak (ring size proxies the fragment's replica
+  // count). The minority demotes and re-syncs from the survivors.
+  const std::size_t p = prev.size();
+  const std::size_t m = v.members.size();
+  bool stay = 2 * p > m;
+  if (!stay && 2 * p == m) {
+    const NodeId lowest = *std::min_element(v.members.begin(), v.members.end());
+    stay = std::find(prev.begin(), prev.end(), lowest) != prev.end();
+  }
+  if (!stay) {
+    demote("ring merge: previous fragment was the minority");
+  } else if (mark_needed_ && !syncing_.empty()) {
+    // Still live on the new ring with a round owed (possibly the one the
+    // barrier above just invalidated): restart it.
+    maybe_lead_transfer();
+  }
+}
+
+}  // namespace totem::smr

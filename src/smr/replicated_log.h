@@ -1,0 +1,226 @@
+// ReplicatedLog: state-machine replication over one GroupBus group.
+//
+// Every replica runs the same deterministic StateMachine and feeds it the
+// group's totally-ordered command stream. The interesting part is STATE
+// TRANSFER: a node that joins mid-run must converge to the exact state the
+// live replicas hold, without pausing them. The protocol (DESIGN.md §13):
+//
+//   * All SMR traffic — commands, snapshot chunks, and control messages —
+//     rides the ONE totally-ordered group stream. Every replica therefore
+//     observes the identical sequence of events; all decisions below are
+//     functions of that sequence, never of local timing.
+//   * The LEADER is the lowest-id live (fully synced) replica. When a
+//     group view adds members (or a syncing replica asks), the leader
+//     broadcasts an alignment MARK. The mark's own delivery is a single
+//     agreed point in the stream: the leader calls snapshot() exactly
+//     there and immediately broadcasts the image as CRC-checked chunks;
+//     a syncing replica starts buffering commands exactly there. The
+//     buffered suffix therefore complements the snapshot precisely —
+//     restore(), replay the buffer, and the joiner is byte-identical.
+//   * Rounds are tagged (leader, mark-nonce): a joiner only assembles the
+//     round of the latest mark, so duplicate and stale chunks (an old
+//     leader's leftovers, a re-mark racing a slow transfer) are discarded
+//     by tag alone. applied_seq tagging + a total CRC guard the image.
+//   * Live replicas audit every round: at a mark each records its own
+//     applied count and state CRC; if the leader's chunks disagree, the
+//     replica has diverged (e.g. it missed a ring epoch) — it demotes
+//     itself and consumes the very transfer it just audited, converging
+//     back instead of staying silently wrong.
+//   * When rings MERGE (partition heal / restarted node returns), sides
+//     that were in the minority demote to syncing: majority size wins, and
+//     an exact tie keeps the side containing the lowest-id ring member.
+//     This is the (conservative) agreed rule for "whose state survives".
+//
+// Liveness nets: a syncing replica re-requests a transfer on every group
+// view change and on a watchdog timer; the leader re-marks whenever adds
+// or requests arrive while a round is already in flight.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "api/group_bus.h"
+#include "common/timer_service.h"
+#include "smr/snapshot.h"
+#include "smr/state_machine.h"
+
+namespace totem::smr {
+
+class ReplicatedLog {
+ public:
+  /// Completion of a locally submitted command: `result` is the machine's
+  /// apply() output. applied_locally is false when the command was absorbed
+  /// into a snapshot this replica restored instead of applying it (the
+  /// command still executed — its effect arrived via the image).
+  using CompletionHandler = std::function<void(
+      std::uint64_t request_id, BytesView result, bool applied_locally)>;
+
+  enum class Mode : std::uint8_t {
+    kOffline,  ///< start() not yet called / left the group
+    kSyncing,  ///< member, buffering commands, awaiting state transfer
+    kLive,     ///< state machine authoritative; commands applied directly
+  };
+
+  struct Config {
+    std::string group = "smr";
+    /// Snapshot chunk payload size. Kept below the ring's unfragmented
+    /// payload so one chunk = one wire message (fragmentation still works,
+    /// it is just slower).
+    std::size_t max_chunk_bytes = 900;
+    /// Syncing watchdog: re-request a transfer if none completed within
+    /// this interval. Fires only while kSyncing.
+    Duration sync_retry{500'000};
+  };
+
+  struct Stats {
+    std::uint64_t commands_submitted = 0;
+    std::uint64_t commands_applied = 0;    ///< fed to machine (live path)
+    std::uint64_t commands_buffered = 0;   ///< queued while syncing
+    std::uint64_t commands_replayed = 0;   ///< buffer drained post-restore
+    std::uint64_t marks_sent = 0;          ///< alignment marks (leader)
+    std::uint64_t snapshots_sent = 0;      ///< transfer rounds led
+    std::uint64_t snapshots_restored = 0;  ///< restores completed
+    std::uint64_t chunks_sent = 0;
+    std::uint64_t chunks_accepted = 0;
+    std::uint64_t chunks_stale = 0;        ///< wrong round / not awaiting
+    std::uint64_t chunks_rejected = 0;     ///< CRC / malformed / inconsistent
+    std::uint64_t sync_requests = 0;       ///< re-requests we broadcast
+    std::uint64_t demotions = 0;           ///< live -> syncing transitions
+    std::uint64_t divergence_alarms = 0;   ///< live audit mismatches
+    std::uint64_t promotions = 0;          ///< disaster re-elections won
+  };
+
+  /// The log joins `config.group` on `bus` at start(). `machine` must
+  /// outlive the log. `timers` drives the syncing watchdog only — all
+  /// correctness-relevant transitions happen in delivery order.
+  ReplicatedLog(TimerService& timers, api::GroupBus& bus, StateMachine& machine,
+                Config config);
+
+  ReplicatedLog(const ReplicatedLog&) = delete;
+  ReplicatedLog& operator=(const ReplicatedLog&) = delete;
+  ~ReplicatedLog() {
+    watchdog_.cancel();
+    retry_.cancel();
+  }
+
+  /// Join the group and begin replication. A node whose join CREATES the
+  /// group becomes live immediately (it is the founding replica, state
+  /// empty); any later joiner starts kSyncing and converges via transfer.
+  Status start();
+
+  /// Submit a command for replicated execution. Returns a request id that
+  /// the completion handler echoes when the command's own delivery applies
+  /// it here. Fails (backpressure) when the ring send queue is full.
+  Result<std::uint64_t> submit(BytesView command);
+
+  void set_completion_handler(CompletionHandler h) { on_complete_ = std::move(h); }
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] bool live() const { return mode_ == Mode::kLive; }
+  [[nodiscard]] std::uint64_t applied_seq() const { return applied_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const StateMachine& machine() const { return machine_; }
+  /// Live replicas this log currently believes are synced (sorted).
+  [[nodiscard]] std::vector<NodeId> established_members() const;
+  /// The replica that would lead the next transfer (lowest established id).
+  [[nodiscard]] NodeId leader() const;
+
+ private:
+  enum class MsgKind : std::uint8_t {
+    kCommand = 1,      // u32 submitter, u64 request id, raw command
+    kSnapMark = 2,     // u32 leader, u64 mark nonce
+    kSnapChunk = 3,    // encode_chunk() payload
+    kSyncDone = 4,     // u32 node, u64 mark/nonce, u8 cause (unique payload)
+    kSyncRequest = 5,  // u32 node, u64 nonce, u8 held-state-before flag
+  };
+
+  struct BufferedCommand {
+    NodeId submitter = kInvalidNode;
+    std::uint64_t request_id = 0;
+    Bytes command;
+  };
+
+  void on_message(const api::GroupMessage& m);
+  void on_group_view(const api::GroupView& v);
+  void on_ring_view(const srp::MembershipView& v);
+
+  void handle_command(NodeId submitter, std::uint64_t request_id, BytesView cmd);
+  void handle_mark(NodeId mark_leader, std::uint64_t mark);
+  void handle_chunk(BytesView wire);
+  void handle_sync_request(NodeId node, bool held_state);
+  void apply_one(NodeId submitter, std::uint64_t request_id, BytesView cmd);
+  void flush_pending_as_absorbed(std::deque<BufferedCommand>& buffer);
+  void finish_restore();
+  void become_live();
+  void demote(const char* reason);
+  void promote();
+
+  void maybe_lead_transfer();
+  void send_mark();
+  void send_snapshot_round(std::uint64_t mark);
+  void send_sync_done(std::uint64_t uniq, std::uint8_t cause);
+  void request_sync();
+  void arm_watchdog();
+
+  [[nodiscard]] Bytes frame(MsgKind kind, BytesView body) const;
+  [[nodiscard]] bool is_leader() const;
+
+  TimerService& timers_;
+  api::GroupBus& bus_;
+  StateMachine& machine_;
+  Config config_;
+  NodeId self_;
+
+  Mode mode_ = Mode::kOffline;
+  bool was_live_ = false;      // held authoritative state at least once
+  std::uint64_t applied_ = 0;  // commands fed to machine_ since empty state
+
+  // Group membership split into established (synced) vs syncing replicas.
+  // `had_state_`: syncing members that self-reported prior live state in
+  // their kSyncRequest — the candidate set for disaster re-election.
+  std::set<NodeId> members_;
+  std::set<NodeId> syncing_;
+  std::set<NodeId> had_state_;
+
+  // --- submitter state ---
+  std::uint64_t next_request_ = 1;
+  std::set<std::uint64_t> pending_;  // submitted, completion not yet fired
+
+  // --- syncing state ---
+  SnapshotAssembler assembler_;
+  bool awaiting_round_ = false;        // a mark delivered; chunks expected
+  NodeId round_leader_ = kInvalidNode; // round we await
+  std::uint64_t round_mark_ = 0;
+  std::deque<BufferedCommand> buffer_; // commands after the awaited mark
+  std::uint64_t sync_nonce_ = 0;       // uniquifies kSyncRequest payloads
+  // Own kSyncRequest deliveries since entering kSyncing: the first one can
+  // race post-merge announcements, so self-promotion waits for the second.
+  std::uint64_t own_sync_requests_ = 0;
+  TimerHandle watchdog_;
+  TimerHandle retry_;                  // leader backpressure retry
+
+  // --- leader state ---
+  std::uint64_t mark_nonce_ = 0;   // uniquifies rounds this node leads
+  bool mark_in_flight_ = false;    // sent a mark, its delivery pending
+  bool mark_needed_ = false;       // adds/requests arrived meanwhile
+
+  // --- live-side round audit ---
+  bool audit_armed_ = false;
+  NodeId audit_leader_ = kInvalidNode;
+  std::uint64_t audit_mark_ = 0;
+  std::uint64_t audit_applied_ = 0;    // our applied count at the mark
+  std::uint32_t audit_crc_ = 0;        // our snapshot CRC at the mark
+  std::deque<BufferedCommand> audit_buffer_;  // commands since the mark
+
+  // Ring membership context for the merge-demotion rule.
+  std::vector<NodeId> ring_members_;
+
+  CompletionHandler on_complete_;
+  Stats stats_;
+};
+
+}  // namespace totem::smr

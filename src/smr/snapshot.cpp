@@ -1,0 +1,134 @@
+#include "smr/snapshot.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace totem::smr {
+
+Bytes encode_chunk(const SnapshotChunk& chunk) {
+  ByteWriter w(40 + chunk.data.size());
+  w.u32(chunk.leader);
+  w.u64(chunk.mark);
+  w.u64(chunk.applied_seq);
+  w.u32(chunk.index);
+  w.u32(chunk.count);
+  w.u32(chunk.total_crc);
+  w.blob(chunk.data);
+  w.u32(crc32(chunk.data));
+  return std::move(w).take();
+}
+
+Result<SnapshotChunk> decode_chunk(BytesView wire) {
+  ByteReader r(wire);
+  auto leader = r.u32();
+  auto mark = r.u64();
+  auto applied = r.u64();
+  auto index = r.u32();
+  auto count = r.u32();
+  auto total_crc = r.u32();
+  auto data = r.blob();
+  auto chunk_crc = r.u32();
+  if (!leader || !mark || !applied || !index || !count || !total_crc ||
+      !data || !chunk_crc) {
+    return Status{StatusCode::kMalformedPacket, "truncated snapshot chunk"};
+  }
+  if (count.value() == 0 || index.value() >= count.value()) {
+    return Status{StatusCode::kMalformedPacket, "snapshot chunk index out of range"};
+  }
+  if (crc32(data.value()) != chunk_crc.value()) {
+    return Status{StatusCode::kMalformedPacket, "snapshot chunk CRC mismatch"};
+  }
+  SnapshotChunk c;
+  c.leader = leader.value();
+  c.mark = mark.value();
+  c.applied_seq = applied.value();
+  c.index = index.value();
+  c.count = count.value();
+  c.total_crc = total_crc.value();
+  c.data.assign(data.value().begin(), data.value().end());
+  return c;
+}
+
+std::vector<SnapshotChunk> split_snapshot(BytesView snapshot, NodeId leader,
+                                          std::uint64_t mark,
+                                          std::uint64_t applied_seq,
+                                          std::size_t max_chunk_bytes) {
+  if (max_chunk_bytes == 0) max_chunk_bytes = 1;
+  const std::uint32_t total_crc = crc32(snapshot);
+  const std::size_t count =
+      std::max<std::size_t>(1, (snapshot.size() + max_chunk_bytes - 1) / max_chunk_bytes);
+  std::vector<SnapshotChunk> chunks;
+  chunks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t begin = i * max_chunk_bytes;
+    const std::size_t len = std::min(max_chunk_bytes, snapshot.size() - begin);
+    SnapshotChunk c;
+    c.leader = leader;
+    c.mark = mark;
+    c.applied_seq = applied_seq;
+    c.index = static_cast<std::uint32_t>(i);
+    c.count = static_cast<std::uint32_t>(count);
+    c.total_crc = total_crc;
+    const BytesView slice = snapshot.subspan(begin, len);
+    c.data.assign(slice.begin(), slice.end());
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+SnapshotAssembler::Accept SnapshotAssembler::add(const SnapshotChunk& chunk) {
+  if (!in_progress()) {
+    leader_ = chunk.leader;
+    mark_ = chunk.mark;
+    applied_seq_ = chunk.applied_seq;
+    count_ = chunk.count;
+    total_crc_ = chunk.total_crc;
+    parts_[chunk.index] = chunk.data;
+    return Accept::kAccepted;
+  }
+  if (chunk.leader != leader_ || chunk.mark != mark_) {
+    // The caller (ReplicatedLog) resets the assembler at each alignment
+    // mark and filters chunks to the round it awaits, so a mismatched
+    // (leader, mark) here is a superseded round's leftover.
+    return Accept::kStale;
+  }
+  // Same round: header fields must be consistent across all its chunks.
+  if (chunk.count != count_ || chunk.total_crc != total_crc_ ||
+      chunk.applied_seq != applied_seq_ || chunk.index >= count_) {
+    return Accept::kCorrupt;
+  }
+  if (parts_.count(chunk.index) != 0) return Accept::kDuplicate;
+  parts_[chunk.index] = chunk.data;
+  return Accept::kAccepted;
+}
+
+bool SnapshotAssembler::complete() const {
+  return count_ != 0 && parts_.size() == count_;
+}
+
+Result<Bytes> SnapshotAssembler::assemble() const {
+  Bytes image;
+  std::size_t total = 0;
+  for (const auto& [_, data] : parts_) total += data.size();
+  image.reserve(total);
+  for (const auto& [_, data] : parts_) {
+    image.insert(image.end(), data.begin(), data.end());
+  }
+  if (crc32(image) != total_crc_) {
+    return Status{StatusCode::kMalformedPacket, "snapshot total CRC mismatch"};
+  }
+  return image;
+}
+
+void SnapshotAssembler::reset() {
+  leader_ = kInvalidNode;
+  mark_ = 0;
+  applied_seq_ = 0;
+  count_ = 0;
+  total_crc_ = 0;
+  parts_.clear();
+}
+
+}  // namespace totem::smr

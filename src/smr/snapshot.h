@@ -1,0 +1,95 @@
+// Snapshot chunking for SMR state transfer.
+//
+// A snapshot travels through the SAME totally-ordered group stream as the
+// commands it summarizes, split into chunks so a large state never exceeds
+// the ring's fragmentation comfort zone. Each chunk is self-describing and
+// double-checksummed:
+//
+//   u32 leader        — node that took the snapshot
+//   u64 mark          — alignment-mark nonce; (leader, mark) names one
+//                       transfer round, so stale or duplicate rounds are
+//                       discarded without inspecting the payload
+//   u64 applied_seq   — commands applied when the snapshot was taken
+//   u32 index, count  — chunk position / total chunks in the round
+//   u32 total_crc     — CRC-32 of the complete reassembled snapshot
+//   blob data         — this chunk's slice (u32-length-prefixed)
+//   u32 chunk_crc     — CRC-32 of `data` alone (per-chunk integrity)
+//
+// The ring already CRCs every packet, so chunk_crc/total_crc guard against
+// software faults (truncation, mis-slicing, a diverged leader), not the
+// network — and they let unit tests corrupt a chunk deliberately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace totem::smr {
+
+struct SnapshotChunk {
+  NodeId leader = kInvalidNode;
+  std::uint64_t mark = 0;         ///< transfer-round nonce (see ReplicatedLog)
+  std::uint64_t applied_seq = 0;  ///< machine's applied count at snapshot time
+  std::uint32_t index = 0;
+  std::uint32_t count = 0;        ///< total chunks in this round (>= 1)
+  std::uint32_t total_crc = 0;    ///< crc32 of the full snapshot image
+  Bytes data;                     ///< this chunk's slice
+};
+
+/// Serialize one chunk (appends the trailing per-chunk CRC).
+[[nodiscard]] Bytes encode_chunk(const SnapshotChunk& chunk);
+
+/// Parse + verify one chunk. Fails with kMalformedPacket on truncation or
+/// on a per-chunk CRC mismatch.
+[[nodiscard]] Result<SnapshotChunk> decode_chunk(BytesView wire);
+
+/// Split a snapshot image into <= max_chunk_bytes slices (at least one
+/// chunk, even for an empty snapshot, so the transfer round is always
+/// observable).
+[[nodiscard]] std::vector<SnapshotChunk> split_snapshot(
+    BytesView snapshot, NodeId leader, std::uint64_t mark,
+    std::uint64_t applied_seq, std::size_t max_chunk_bytes);
+
+/// Reassembles one transfer round's chunks, in any order, with duplicate
+/// and stale-round detection. One assembler holds exactly one round: the
+/// owner (ReplicatedLog) resets it at each alignment mark, which group
+/// total order makes an agreed event at every replica.
+class SnapshotAssembler {
+ public:
+  enum class Accept {
+    kAccepted,    ///< chunk stored (or completed the round)
+    kDuplicate,   ///< same (round, index) already held
+    kStale,       ///< chunk belongs to a superseded (leader, mark) round
+    kCorrupt,     ///< inconsistent header vs the round in progress
+  };
+
+  /// Feed one decoded chunk. The first chunk after reset() fixes the round;
+  /// later chunks must match its (leader, mark) or they are kStale.
+  Accept add(const SnapshotChunk& chunk);
+
+  [[nodiscard]] bool complete() const;
+  /// Valid only when complete(): the reassembled image, verified against
+  /// total_crc. Fails with kMalformedPacket on a total-CRC mismatch.
+  [[nodiscard]] Result<Bytes> assemble() const;
+
+  [[nodiscard]] std::uint64_t applied_seq() const { return applied_seq_; }
+  [[nodiscard]] NodeId leader() const { return leader_; }
+  [[nodiscard]] std::uint64_t mark() const { return mark_; }
+  [[nodiscard]] bool in_progress() const { return count_ != 0; }
+
+  void reset();
+
+ private:
+  NodeId leader_ = kInvalidNode;
+  std::uint64_t mark_ = 0;
+  std::uint64_t applied_seq_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t total_crc_ = 0;
+  std::map<std::uint32_t, Bytes> parts_;  // index -> data
+};
+
+}  // namespace totem::smr

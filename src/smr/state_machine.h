@@ -1,0 +1,43 @@
+// StateMachine: the application-side contract of the SMR layer.
+//
+// A deterministic state machine consumes an ordered stream of opaque
+// commands. Replication is then exactly the textbook construction (and the
+// one Ring Paxos evaluates): run the same machine at every group member,
+// feed every machine the identical totally-ordered command stream — which
+// GroupBus provides — and the replicas can never diverge.
+//
+// Determinism rules (DESIGN.md §13):
+//   * apply() must depend only on the current state and the command bytes —
+//     no clocks, no randomness, no node identity.
+//   * snapshot() must be a pure, canonical serialization: two machines that
+//     applied the same command sequence must produce byte-identical
+//     snapshots (iteration order matters — use ordered containers).
+//   * restore(snapshot()) followed by a command suffix must equal applying
+//     the full command sequence directly.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace totem::smr {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Apply one command, mutate state, return the (deterministic) result
+  /// bytes. Malformed commands must be handled deterministically too:
+  /// encode the error into the result, never throw and never skip state.
+  virtual Bytes apply(BytesView command) = 0;
+
+  /// Canonical serialization of the full current state. Two replicas with
+  /// the same applied history must return byte-identical snapshots; this is
+  /// what invariant V8 asserts after every chaos campaign.
+  [[nodiscard]] virtual Bytes snapshot() const = 0;
+
+  /// Replace the entire state from a snapshot() image. On error the machine
+  /// must be left empty (the caller re-requests a transfer), never partial.
+  virtual Status restore(BytesView snapshot) = 0;
+};
+
+}  // namespace totem::smr

@@ -81,6 +81,12 @@ class SingleRing {
 
   void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
   void set_membership_handler(MembershipHandler h) { membership_ = std::move(h); }
+  /// Current handlers — lets a wrapper (api::GroupBus) CHAIN onto handlers
+  /// an earlier layer installed instead of silently replacing them.
+  [[nodiscard]] const DeliverHandler& deliver_handler() const { return deliver_; }
+  [[nodiscard]] const MembershipHandler& membership_handler() const {
+    return membership_;
+  }
   void set_safe_watermark_handler(SafeHandler h) { safe_handler_ = std::move(h); }
   void set_state_observer(StateObserver h) { state_observer_ = std::move(h); }
 

@@ -147,6 +147,54 @@ TEST_F(GroupFixture, DoubleJoinAndForeignLeaveRejected) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(GroupFixture, SendToUnknownGroupReturnsNotFound) {
+  build(2);
+  // No node anywhere has joined "ghost": nothing could ever deliver this
+  // message, so send() reports it instead of eating a ring slot.
+  EXPECT_EQ(buses[0]->send("ghost", to_bytes("x")).code(), StatusCode::kNotFound);
+  EXPECT_EQ(buses[0]->stats().messages_sent, 0u);
+  // Once any node's join has delivered, even a non-member may send.
+  ASSERT_TRUE(join(1, "ghost").is_ok());
+  run();
+  ASSERT_TRUE(buses[0]->send("ghost", to_bytes("x")).is_ok());
+  run();
+  EXPECT_EQ(got[1]["ghost"], (std::vector<std::string>{"x"}));
+  // The last member leaving makes the group unknown again.
+  ASSERT_TRUE(buses[1]->leave("ghost").is_ok());
+  run();
+  EXPECT_EQ(buses[0]->send("ghost", to_bytes("y")).code(), StatusCode::kNotFound);
+}
+
+// Regression for the GroupMessage::payload lifetime rule: the view aliases
+// the ring's delivery buffer and is valid ONLY during the callback — a
+// handler that wants the bytes must copy them (the buffer is recycled for
+// later traffic, so a retained view dangles). This test streams enough
+// messages for recycling to happen and asserts every copy taken inside the
+// callback stays intact; under the ASan tree it is also the use-after-free
+// canary: if the zero-copy plumbing ever hands the callback an
+// already-released buffer, the copy itself trips the sanitizer.
+TEST_F(GroupFixture, PayloadViewMustBeCopiedNotRetained) {
+  build(2);
+  std::vector<Bytes> copies;  // copied during the callback, checked after
+  ASSERT_TRUE(buses[0]
+                  ->join("raw",
+                         [&](const GroupMessage& m) {
+                           copies.emplace_back(m.payload.begin(), m.payload.end());
+                         })
+                  .is_ok());
+  run();
+  constexpr int kMessages = 64;
+  for (int k = 0; k < kMessages; ++k) {
+    ASSERT_TRUE(
+        buses[1]->send("raw", to_bytes("msg-" + std::to_string(k))).is_ok());
+    run(Duration{100'000});
+  }
+  ASSERT_EQ(copies.size(), static_cast<std::size_t>(kMessages));
+  for (int k = 0; k < kMessages; ++k) {
+    EXPECT_EQ(copies[k], to_bytes("msg-" + std::to_string(k))) << "message " << k;
+  }
+}
+
 TEST_F(GroupFixture, SenderIsNotDeliveredBeforeItsOwnJoinCompletes) {
   build(2);
   ASSERT_TRUE(join(0, "g").is_ok());

@@ -7,7 +7,7 @@
 // command.
 //
 // Replay mode bypasses gtest:   totem_chaos --seed=S [--style=...]
-//                               [--networks=N] [--events=E]
+//                               [--networks=N] [--events=E] [--kv]
 // re-runs that one campaign byte-for-byte and prints its schedule+verdict.
 #include <gtest/gtest.h>
 
@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "harness/fault_campaign.h"
 
 namespace totem::harness {
@@ -30,6 +31,7 @@ struct CampaignCase {
   std::size_t networks;
   std::uint64_t first_seed;
   std::size_t count;
+  bool kv = false;  ///< run the replicated-KV workload and check V8
 };
 
 std::string case_name(const ::testing::TestParamInfo<CampaignCase>& info) {
@@ -48,6 +50,7 @@ TEST_P(ChaosCampaign, InvariantsHoldAcrossSeededSchedules) {
     o.style = c.style;
     o.networks = c.networks;
     o.seed = c.first_seed + k;
+    o.kv_workload = c.kv;
     const CampaignResult result = run_campaign(o);
     if (!result.ok()) {
       // Leave a machine-readable triage bundle next to the test log: the
@@ -124,6 +127,21 @@ std::vector<CampaignCase> make_cases() {
 INSTANTIATE_TEST_SUITE_P(Campaigns, ChaosCampaign, ::testing::ValuesIn(make_cases()),
                          case_name);
 
+/// KV-workload campaigns: the same fault vocabulary with a replicated KV
+/// store running on top, so V8 (replica-state convergence) is exercised
+/// under crashes, partitions, and ring merges. A smaller fixed-seed grid —
+/// each campaign carries the extra SMR resync drain.
+std::vector<CampaignCase> make_kv_cases() {
+  return {
+      {api::ReplicationStyle::kActive, 2, 9001, 3, true},
+      {api::ReplicationStyle::kPassive, 2, 9101, 3, true},
+      {api::ReplicationStyle::kActivePassive, 3, 9201, 3, true},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(KvCampaigns, ChaosCampaign,
+                         ::testing::ValuesIn(make_kv_cases()), case_name);
+
 }  // namespace
 }  // namespace totem::harness
 
@@ -152,6 +170,16 @@ int main(int argc, char** argv) {
       options.networks = std::strtoul(v, nullptr, 10);
     } else if (const char* v = arg_value(argv[i], "--events=")) {
       options.events = std::strtoul(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--kv") == 0) {
+      options.kv_workload = true;
+    } else if (const char* v = arg_value(argv[i], "--log=")) {
+      // Replay triage: surface protocol-module logging (e.g. --log=info).
+      using totem::LogLevel;
+      totem::Logger::instance().set_level(
+          std::strcmp(v, "trace") == 0   ? LogLevel::kTrace
+          : std::strcmp(v, "debug") == 0 ? LogLevel::kDebug
+          : std::strcmp(v, "info") == 0  ? LogLevel::kInfo
+                                         : LogLevel::kWarn);
     }
   }
   if (replay) {

@@ -1,0 +1,115 @@
+// ReplicatedKv semantics: put/delete/CAS with per-key versions, canonical
+// snapshots, restore round-trip and failure atomicity.
+#include "smr/replicated_kv.h"
+
+#include <gtest/gtest.h>
+
+namespace totem::smr {
+namespace {
+
+KvResult apply_ok(ReplicatedKv& kv, const Bytes& cmd) {
+  auto r = ReplicatedKv::decode_result(kv.apply(cmd));
+  EXPECT_TRUE(r.is_ok());
+  return r.is_ok() ? r.value() : KvResult{};
+}
+
+TEST(ReplicatedKv, PutBumpsVersions) {
+  ReplicatedKv kv;
+  auto r = apply_ok(kv, ReplicatedKv::encode_put("a", to_bytes("1")));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 1u);
+  r = apply_ok(kv, ReplicatedKv::encode_put("a", to_bytes("2")));
+  EXPECT_EQ(r.version, 2u);
+  ASSERT_NE(kv.get("a"), nullptr);
+  EXPECT_EQ(kv.get("a")->value, to_bytes("2"));
+  EXPECT_EQ(kv.get("a")->version, 2u);
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(ReplicatedKv, DeleteExistingAndMissing) {
+  ReplicatedKv kv;
+  (void)kv.apply(ReplicatedKv::encode_put("a", to_bytes("x")));
+  auto r = apply_ok(kv, ReplicatedKv::encode_del("a"));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(kv.get("a"), nullptr);
+  r = apply_ok(kv, ReplicatedKv::encode_del("a"));
+  EXPECT_FALSE(r.ok);
+  // Re-created key restarts its version history.
+  r = apply_ok(kv, ReplicatedKv::encode_put("a", to_bytes("y")));
+  EXPECT_EQ(r.version, 1u);
+}
+
+TEST(ReplicatedKv, CasMatchesVersionExactly) {
+  ReplicatedKv kv;
+  // expected=0 means create-if-absent.
+  auto r = apply_ok(kv, ReplicatedKv::encode_cas("k", 0, to_bytes("v1")));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 1u);
+  // Stale expected version fails and reports the current one.
+  r = apply_ok(kv, ReplicatedKv::encode_cas("k", 0, to_bytes("v2")));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.version, 1u);
+  r = apply_ok(kv, ReplicatedKv::encode_cas("k", 1, to_bytes("v2")));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2u);
+  EXPECT_EQ(kv.get("k")->value, to_bytes("v2"));
+  EXPECT_EQ(kv.stats().cas_ok, 2u);
+  EXPECT_EQ(kv.stats().cas_fail, 1u);
+}
+
+TEST(ReplicatedKv, MalformedCommandIsDeterministicNoop) {
+  ReplicatedKv kv;
+  (void)kv.apply(ReplicatedKv::encode_put("a", to_bytes("x")));
+  const Bytes before = kv.snapshot();
+  auto r = apply_ok(kv, to_bytes("garbage"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(kv.snapshot(), before);
+  EXPECT_GE(kv.stats().malformed, 1u);
+}
+
+TEST(ReplicatedKv, SnapshotRestoreRoundTripIsByteIdentical) {
+  ReplicatedKv a;
+  for (int i = 0; i < 100; ++i) {
+    (void)a.apply(ReplicatedKv::encode_put("key" + std::to_string(i),
+                                           to_bytes("val" + std::to_string(i * 3))));
+  }
+  (void)a.apply(ReplicatedKv::encode_del("key50"));
+  (void)a.apply(ReplicatedKv::encode_cas("key7", 1, to_bytes("swapped")));
+  const Bytes image = a.snapshot();
+  ReplicatedKv b;
+  ASSERT_TRUE(b.restore(image).is_ok());
+  EXPECT_EQ(b.snapshot(), image);
+  EXPECT_EQ(b.size(), 99u);
+  ASSERT_NE(b.get("key7"), nullptr);
+  EXPECT_EQ(b.get("key7")->value, to_bytes("swapped"));
+  EXPECT_EQ(b.get("key7")->version, 2u);
+  // Divergence-free continuation: identical commands keep identical bytes.
+  (void)a.apply(ReplicatedKv::encode_put("post", to_bytes("p")));
+  (void)b.apply(ReplicatedKv::encode_put("post", to_bytes("p")));
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(ReplicatedKv, RestoreFailureLeavesMachineEmpty) {
+  ReplicatedKv kv;
+  (void)kv.apply(ReplicatedKv::encode_put("a", to_bytes("x")));
+  Bytes image = kv.snapshot();
+  image.pop_back();  // truncate
+  ReplicatedKv other;
+  (void)other.apply(ReplicatedKv::encode_put("junk", to_bytes("j")));
+  EXPECT_FALSE(other.restore(image).is_ok());
+  EXPECT_EQ(other.size(), 0u);
+  // Trailing garbage also rejected.
+  image = kv.snapshot();
+  image.push_back(std::byte{0});
+  EXPECT_FALSE(other.restore(image).is_ok());
+  EXPECT_EQ(other.size(), 0u);
+}
+
+TEST(ReplicatedKv, DecodeResultRejectsTruncation) {
+  auto r = ReplicatedKv::decode_result(to_bytes("x"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kMalformedPacket);
+}
+
+}  // namespace
+}  // namespace totem::smr

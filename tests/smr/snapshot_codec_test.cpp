@@ -1,0 +1,174 @@
+// Snapshot chunk wire format: round-trip, truncation/corruption rejection,
+// and SnapshotAssembler duplicate/stale/inconsistency handling.
+#include "smr/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+
+namespace totem::smr {
+namespace {
+
+Bytes make_image(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::byte>(i * 31 + 7);
+  return b;
+}
+
+TEST(SnapshotCodec, ChunkRoundTrip) {
+  SnapshotChunk c;
+  c.leader = 3;
+  c.mark = 77;
+  c.applied_seq = 1234;
+  c.index = 2;
+  c.count = 5;
+  c.total_crc = 0xDEADBEEF;
+  c.data = make_image(100);
+  const Bytes wire = encode_chunk(c);
+  auto back = decode_chunk(wire);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().leader, c.leader);
+  EXPECT_EQ(back.value().mark, c.mark);
+  EXPECT_EQ(back.value().applied_seq, c.applied_seq);
+  EXPECT_EQ(back.value().index, c.index);
+  EXPECT_EQ(back.value().count, c.count);
+  EXPECT_EQ(back.value().total_crc, c.total_crc);
+  EXPECT_EQ(back.value().data, c.data);
+}
+
+TEST(SnapshotCodec, TruncatedChunkRejected) {
+  SnapshotChunk c;
+  c.leader = 1;
+  c.mark = 1;
+  c.count = 1;
+  c.data = make_image(64);
+  const Bytes wire = encode_chunk(c);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{20},
+                          wire.size() - 1}) {
+    auto r = decode_chunk(BytesView(wire).first(cut));
+    ASSERT_FALSE(r.is_ok()) << "cut=" << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kMalformedPacket);
+  }
+}
+
+TEST(SnapshotCodec, CorruptDataRejectedByChunkCrc) {
+  SnapshotChunk c;
+  c.leader = 1;
+  c.mark = 9;
+  c.count = 1;
+  c.data = make_image(64);
+  Bytes wire = encode_chunk(c);
+  // Flip one payload byte (the data blob starts after the 32-byte header).
+  wire[40] ^= std::byte{0x40};
+  auto r = decode_chunk(wire);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kMalformedPacket);
+}
+
+TEST(SnapshotCodec, ZeroCountOrBadIndexRejected) {
+  SnapshotChunk c;
+  c.leader = 1;
+  c.mark = 1;
+  c.index = 0;
+  c.count = 0;  // invalid
+  auto r = decode_chunk(encode_chunk(c));
+  ASSERT_FALSE(r.is_ok());
+  c.count = 2;
+  c.index = 2;  // out of range
+  r = decode_chunk(encode_chunk(c));
+  ASSERT_FALSE(r.is_ok());
+}
+
+TEST(SnapshotSplit, SplitsAndReassembles) {
+  const Bytes image = make_image(2500);
+  const auto chunks = split_snapshot(image, 0, 5, 42, 1000);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].data.size(), 1000u);
+  EXPECT_EQ(chunks[2].data.size(), 500u);
+  SnapshotAssembler asmb;
+  // Out-of-order arrival is fine.
+  EXPECT_EQ(asmb.add(chunks[2]), SnapshotAssembler::Accept::kAccepted);
+  EXPECT_FALSE(asmb.complete());
+  EXPECT_EQ(asmb.add(chunks[0]), SnapshotAssembler::Accept::kAccepted);
+  EXPECT_EQ(asmb.add(chunks[1]), SnapshotAssembler::Accept::kAccepted);
+  ASSERT_TRUE(asmb.complete());
+  EXPECT_EQ(asmb.applied_seq(), 42u);
+  auto out = asmb.assemble();
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), image);
+}
+
+TEST(SnapshotSplit, EmptySnapshotStillOneChunk) {
+  const auto chunks = split_snapshot({}, 7, 1, 0, 900);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(chunks[0].data.empty());
+  SnapshotAssembler asmb;
+  EXPECT_EQ(asmb.add(chunks[0]), SnapshotAssembler::Accept::kAccepted);
+  ASSERT_TRUE(asmb.complete());
+  auto out = asmb.assemble();
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(SnapshotAssembler, DuplicateAndStaleChunks) {
+  const Bytes image = make_image(1800);
+  const auto round1 = split_snapshot(image, 0, 1, 10, 1000);
+  const auto round2 = split_snapshot(image, 0, 2, 10, 1000);
+  SnapshotAssembler asmb;
+  EXPECT_EQ(asmb.add(round2[0]), SnapshotAssembler::Accept::kAccepted);
+  // Duplicate of an already-held index.
+  EXPECT_EQ(asmb.add(round2[0]), SnapshotAssembler::Accept::kDuplicate);
+  // Leftover chunk from a superseded round (older mark).
+  EXPECT_EQ(asmb.add(round1[1]), SnapshotAssembler::Accept::kStale);
+  EXPECT_EQ(asmb.add(round2[1]), SnapshotAssembler::Accept::kAccepted);
+  EXPECT_TRUE(asmb.complete());
+}
+
+TEST(SnapshotAssembler, InconsistentHeaderIsCorrupt) {
+  const Bytes image = make_image(1800);
+  const auto chunks = split_snapshot(image, 0, 1, 10, 1000);
+  SnapshotAssembler asmb;
+  ASSERT_EQ(asmb.add(chunks[0]), SnapshotAssembler::Accept::kAccepted);
+  SnapshotChunk evil = chunks[1];
+  evil.applied_seq = 11;  // same round, contradictory header
+  EXPECT_EQ(asmb.add(evil), SnapshotAssembler::Accept::kCorrupt);
+  evil = chunks[1];
+  evil.count = 3;
+  EXPECT_EQ(asmb.add(evil), SnapshotAssembler::Accept::kCorrupt);
+}
+
+TEST(SnapshotAssembler, TotalCrcCatchesCrossRoundMix) {
+  // Two different images, chunks mixed from both rounds of the same shape:
+  // per-chunk CRCs pass, the total CRC must not.
+  const Bytes a = make_image(1800);
+  Bytes b = a;
+  b[1700] ^= std::byte{1};
+  auto ra = split_snapshot(a, 0, 1, 10, 1000);
+  auto rb = split_snapshot(b, 0, 1, 10, 1000);
+  // Forge rb's chunk into ra's round (same leader/mark/total_crc header, the
+  // per-chunk payload CRC still matches its own data).
+  SnapshotChunk forged = rb[1];
+  forged.total_crc = ra[1].total_crc;
+  SnapshotAssembler asmb;
+  ASSERT_EQ(asmb.add(ra[0]), SnapshotAssembler::Accept::kAccepted);
+  ASSERT_EQ(asmb.add(forged), SnapshotAssembler::Accept::kAccepted);
+  ASSERT_TRUE(asmb.complete());
+  auto out = asmb.assemble();
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kMalformedPacket);
+}
+
+TEST(SnapshotAssembler, ResetForgetsEverything) {
+  const auto chunks = split_snapshot(make_image(100), 2, 3, 4, 1000);
+  SnapshotAssembler asmb;
+  ASSERT_EQ(asmb.add(chunks[0]), SnapshotAssembler::Accept::kAccepted);
+  ASSERT_TRUE(asmb.complete());
+  asmb.reset();
+  EXPECT_FALSE(asmb.in_progress());
+  EXPECT_FALSE(asmb.complete());
+  EXPECT_EQ(asmb.add(chunks[0]), SnapshotAssembler::Accept::kAccepted);
+  EXPECT_TRUE(asmb.complete());
+}
+
+}  // namespace
+}  // namespace totem::smr
