@@ -1,0 +1,236 @@
+// Measured failover under degraded networks (DESIGN.md §14, paper §3).
+//
+// failover_transparency.cpp kills a network on an otherwise CLEAN fabric.
+// This bench asks the harder operational question: the surviving networks
+// are themselves degraded — WAN-grade latency, gray failure, asymmetric
+// loss, flapping — and one network still dies mid-traffic. For every
+// replication style x named link profile it reports, JSON-checked in tier-1:
+//
+//   * detection_ms   — fault injection -> first administrator alarm
+//   * reinstate_ms   — administrator repair -> every node receiving on the
+//                      repaired network again (time-to-reinstate)
+//   * msgs_delayed   — deliveries during the fault window whose latency
+//                      exceeded the pre-fault p99 (histogram-delta count,
+//                      aggregated across nodes)
+//   * pps_before / pps_during / pps_after — node-0 delivery rate through
+//                      the switch
+//   * p99_before_us / p50_during_us / p99_during_us — delivery latency
+//                      through the switch
+//
+// Adaptive token-timeout tuning (rrp::TimeoutAdvisor) is ON: with the
+// paper's fixed 2 ms token timeout a WAN-profiled ring (rotation ~100 ms)
+// would do nothing but fire timers and declare healthy networks faulty.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_report.h"
+
+#include "harness/calibration.h"
+#include "harness/drivers.h"
+#include "harness/sim_cluster.h"
+#include "net/link_profile.h"
+
+namespace totem::harness {
+namespace {
+
+struct ProfileRow {
+  const char* name;
+  net::LinkProfile profile;
+  /// Apply the profile per-direction (low node id -> high node id only)
+  /// instead of network-wide, so the reverse path stays clean.
+  bool asymmetric;
+};
+
+const ProfileRow kProfiles[] = {
+    {"wan", net::LinkProfile::wan(), false},
+    {"gray_failure", net::LinkProfile::gray_failure(), false},
+    {"asymmetric_loss", net::LinkProfile::asymmetric_loss(), true},
+    {"flapping", net::LinkProfile::flapping(), false},
+};
+
+/// Node's srp.delivery_latency_us snapshot (empty if never recorded).
+HistogramSnapshot delivery_hist(const api::Node& node) {
+  const auto snap = node.metrics().snapshot();
+  const HistogramSnapshot* h = snap.find_histogram("srp.delivery_latency_us");
+  return h ? *h : HistogramSnapshot{};
+}
+
+/// after - before, as a snapshot percentile() can digest. min is pinned to 0
+/// and max to after.max, so the clamp only bites at the extremes.
+HistogramSnapshot hist_delta(const HistogramSnapshot& before,
+                             const HistogramSnapshot& after) {
+  HistogramSnapshot d;
+  d.count = after.count - before.count;
+  d.sum = after.sum - before.sum;
+  d.min = 0;
+  d.max = after.max;
+  for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+    d.buckets[i] = after.buckets[i] - before.buckets[i];
+  }
+  return d;
+}
+
+/// Delta samples whose bucket lower bound exceeds `threshold_us` — i.e.
+/// deliveries slower than the pre-fault p99.
+std::uint64_t count_above(const HistogramSnapshot& delta, double threshold_us) {
+  std::uint64_t n = 0;
+  for (std::size_t i = 1; i < delta.buckets.size(); ++i) {
+    const double lower = static_cast<double>(1uLL << (i - 1));
+    if (lower > threshold_us) n += delta.buckets[i];
+  }
+  return n;
+}
+
+void BM_FailoverSwitchover(benchmark::State& state) {
+  const auto style = static_cast<api::ReplicationStyle>(state.range(0));
+  const ProfileRow& row = kProfiles[state.range(1)];
+
+  double pps_before = 0, pps_during = 0, pps_after = 0;
+  double detection = -1, reinstate = -1;
+  double msgs_delayed = 0;
+  double p99_before = 0, p50_during = 0, p99_during = 0;
+
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.network_count = style == api::ReplicationStyle::kActivePassive ? 3 : 2;
+    cfg.style = style;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    // Degraded fabrics stretch a rotation to ~100 ms; the clean-LAN loss
+    // timeouts would tear the ring down instead of riding it out.
+    cfg.srp.token_loss_timeout = Duration{500'000};
+    cfg.srp.consensus_timeout = Duration{500'000};
+    cfg.srp.commit_timeout = Duration{500'000};
+    cfg.adaptive_timeout.enabled = true;
+    cfg.adaptive_timeout.update_interval = Duration{100'000};
+    cfg.adaptive_timeout.advisor.min_samples = 8;
+    cfg.record_payloads = false;
+    SimCluster cluster(cfg);
+
+    // The degraded profile covers EVERY network from the start — the fault
+    // happens on a fabric that is already operating degraded.
+    for (std::size_t n = 0; n < cluster.network_count(); ++n) {
+      if (row.asymmetric) {
+        // Per-direction: low id -> high id runs degraded, the reverse path
+        // stays on the clean default.
+        for (NodeId i = 0; i < 4; ++i) {
+          for (NodeId j = static_cast<NodeId>(i + 1); j < 4; ++j) {
+            cluster.network(n).set_link_profile(i, j, row.profile);
+          }
+        }
+      } else {
+        cluster.network(n).set_default_profile(row.profile);
+      }
+    }
+
+    cluster.start_all();
+    SaturationDriver driver(cluster, {.message_size = 1024, .queue_target = 256});
+    driver.start();
+    // Warmup: ring forms, advisor sees >= min_samples rotations, timers adapt.
+    cluster.run_for(Duration{1'000'000});
+
+    const Duration window{2'000'000};
+    const double window_s =
+        std::chrono::duration<double>(window).count();
+
+    cluster.clear_recordings();
+    cluster.run_for(window);
+    pps_before = static_cast<double>(cluster.delivered_count(0)) / window_s;
+
+    std::vector<HistogramSnapshot> base;
+    double p99_sum = 0;
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      base.push_back(delivery_hist(cluster.node(i)));
+      p99_sum += base.back().p99();
+    }
+    p99_before = p99_sum / static_cast<double>(cluster.node_count());
+
+    // ---- the switch: network 0 dies mid-traffic ----
+    cluster.clear_recordings();
+    const TimePoint failed_at = cluster.simulator().now();
+    cluster.network(0).fail();
+    cluster.run_for(window);
+    pps_during = static_cast<double>(cluster.delivered_count(0)) / window_s;
+
+    if (!cluster.faults().empty()) {
+      detection = std::chrono::duration<double, std::milli>(
+                      cluster.faults().front().report.when - failed_at)
+                      .count();
+    }
+
+    HistogramSnapshot during_total;  // summed deltas across nodes
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      const HistogramSnapshot delta =
+          hist_delta(base[i], delivery_hist(cluster.node(i)));
+      msgs_delayed += static_cast<double>(count_above(delta, base[i].p99()));
+      during_total.count += delta.count;
+      during_total.sum += delta.sum;
+      during_total.max = std::max(during_total.max, delta.max);
+      for (std::size_t b = 0; b < delta.buckets.size(); ++b) {
+        during_total.buckets[b] += delta.buckets[b];
+      }
+    }
+    p50_during = during_total.p50();
+    p99_during = during_total.p99();
+
+    // ---- the administrator repairs; measure time-to-reinstate ----
+    std::vector<std::uint64_t> rx_at_repair;
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      rx_at_repair.push_back(cluster.transports(i)[0]->stats().packets_received);
+    }
+    const TimePoint repaired_at = cluster.simulator().now();
+    cluster.network(0).recover();
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      cluster.node(i).replicator().reset_network(0);
+    }
+    for (int step = 0; step < 200; ++step) {  // cap: 2 s
+      cluster.run_for(Duration{10'000});
+      bool all = true;
+      for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+        if (cluster.transports(i)[0]->stats().packets_received <= rx_at_repair[i] ||
+            cluster.node(i).replicator().network_faulty(0)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        reinstate = std::chrono::duration<double, std::milli>(
+                        cluster.simulator().now() - repaired_at)
+                        .count();
+        break;
+      }
+    }
+
+    cluster.clear_recordings();
+    cluster.run_for(window);
+    pps_after = static_cast<double>(cluster.delivered_count(0)) / window_s;
+  }
+
+  state.counters["pps_before"] = pps_before;
+  state.counters["pps_during"] = pps_during;
+  state.counters["pps_after"] = pps_after;
+  state.counters["detection_ms"] = detection;
+  state.counters["reinstate_ms"] = reinstate;
+  state.counters["msgs_delayed"] = msgs_delayed;
+  state.counters["p99_before_us"] = p99_before;
+  state.counters["p50_during_us"] = p50_during;
+  state.counters["p99_during_us"] = p99_during;
+  state.SetLabel(std::string(to_string(style)) + "/" + row.name);
+}
+BENCHMARK(BM_FailoverSwitchover)
+    ->ArgsProduct({{static_cast<int>(api::ReplicationStyle::kActive),
+                    static_cast<int>(api::ReplicationStyle::kPassive),
+                    static_cast<int>(api::ReplicationStyle::kActivePassive)},
+                   {0, 1, 2, 3}})
+    ->ArgNames({"style", "profile"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace totem::harness
+
+TOTEM_BENCH_MAIN("failover_switchover")

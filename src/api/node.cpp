@@ -43,6 +43,39 @@ Node::Node(TimerService& timers, std::vector<net::Transport*> transports, NodeCo
       break;
   }
   ring_ = std::make_unique<srp::SingleRing>(timers, *replicator_, config.srp, cpu);
+
+  // Adaptive token-timeout tuning (DESIGN.md §14): watch the SRP rotation
+  // histogram, periodically retune the replicator's timer. kNone has no
+  // replicator timer to tune.
+  if (config.adaptive_timeout.enabled && config.style != ReplicationStyle::kNone) {
+    timers_ = &timers;
+    adaptive_ = config.adaptive_timeout;
+    switch (config.style) {
+      case ReplicationStyle::kNone: break;  // unreachable (guard above)
+      case ReplicationStyle::kActive:
+        static_timeout_ = config.active.token_timeout;
+        break;
+      case ReplicationStyle::kPassive:
+        static_timeout_ = config.passive.token_buffer_timeout;
+        break;
+      case ReplicationStyle::kActivePassive:
+        static_timeout_ = config.active_passive.token_timeout;
+        break;
+    }
+    // The advisor must read the same registry the SRP records into; that is
+    // metrics_ unless the caller injected their own.
+    advisor_ = std::make_unique<rrp::TimeoutAdvisor>(*config.srp.metrics,
+                                                     adaptive_.advisor);
+    apply_advice_and_rearm();
+  }
+}
+
+Node::~Node() { advisor_timer_.cancel(); }
+
+void Node::apply_advice_and_rearm() {
+  replicator_->set_token_timeout(advisor_->advise(static_timeout_));
+  advisor_timer_ = timers_->schedule(adaptive_.update_interval,
+                                     [this] { apply_advice_and_rearm(); });
 }
 
 }  // namespace totem::api

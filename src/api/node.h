@@ -33,6 +33,7 @@
 #include "net/transport.h"
 #include "rrp/config.h"
 #include "rrp/replicator.h"
+#include "rrp/timeout_advisor.h"
 #include "srp/config.h"
 #include "srp/single_ring.h"
 
@@ -69,6 +70,19 @@ struct NodeConfig {
   rrp::ActiveConfig active;
   rrp::PassiveConfig passive;          ///< used when style == kPassive
   rrp::ActivePassiveConfig active_passive;  ///< used when style == kActivePassive
+
+  /// Adaptive token-timeout tuning (DESIGN.md §14). When enabled, the node
+  /// periodically re-derives the replicator's token timeout from the
+  /// observed rotation-time histogram via rrp::TimeoutAdvisor; until enough
+  /// rotations are seen, the style's static configured timeout applies.
+  /// Ignored for kNone (no replicator timer to tune). Requires SRP metrics
+  /// (on by default) for the rotation histogram.
+  struct AdaptiveTimeout {
+    bool enabled = false;
+    Duration update_interval{250'000};  ///< how often the advice is applied
+    rrp::TimeoutAdvisor::Config advisor;
+  };
+  AdaptiveTimeout adaptive_timeout;
 };
 
 class Node {
@@ -80,6 +94,7 @@ class Node {
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
+  ~Node();  // cancels the adaptive-timeout timer (callback captures this)
 
   /// Totally-ordered delivery upcall: invoked with each message in the
   /// agreed order, identically at every node. Runs on the protocol thread
@@ -123,11 +138,31 @@ class Node {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// The adaptive-timeout advisor, or nullptr when adaptive tuning is off.
+  [[nodiscard]] const rrp::TimeoutAdvisor* timeout_advisor() const {
+    return advisor_.get();
+  }
+  /// The timeout the advisor would apply right now (the static configured
+  /// value until enough rotations are observed). Only meaningful when
+  /// adaptive tuning is enabled.
+  [[nodiscard]] Duration advised_token_timeout() const {
+    return advisor_ ? advisor_->advise(static_timeout_) : static_timeout_;
+  }
+
  private:
+  void apply_advice_and_rearm();
+
   ReplicationStyle style_;
   MetricsRegistry metrics_;  // declared before the layers that record into it
   std::unique_ptr<rrp::Replicator> replicator_;
   std::unique_ptr<srp::SingleRing> ring_;
+
+  // Adaptive timeout (null/inactive unless config.adaptive_timeout.enabled).
+  TimerService* timers_ = nullptr;
+  NodeConfig::AdaptiveTimeout adaptive_;
+  Duration static_timeout_{};  // the style's configured fallback timeout
+  std::unique_ptr<rrp::TimeoutAdvisor> advisor_;
+  TimerHandle advisor_timer_;
 };
 
 }  // namespace totem::api

@@ -96,6 +96,7 @@ void write_srp(JsonWriter& w, const srp::SingleRing::Stats& s) {
   w.kv("membership_changes", s.membership_changes);
   w.kv("old_ring_messages_recovered", s.old_ring_messages_recovered);
   w.kv("old_ring_messages_lost", s.old_ring_messages_lost);
+  w.kv("send_time_desync", s.send_time_desync);
   w.end_object();
 }
 

@@ -31,6 +31,14 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kHealPartition: return "heal-partition";
     case FaultKind::kDropTokens: return "drop-tokens";
     case FaultKind::kKillNetworkAtState: return "kill-network-at-state";
+    case FaultKind::kFlapNetwork: return "flap-network";
+    case FaultKind::kEndFlap: return "end-flap";
+    case FaultKind::kGrayDegrade: return "gray-degrade";
+    case FaultKind::kEndGrayDegrade: return "end-gray-degrade";
+    case FaultKind::kReorderBurst: return "reorder-burst";
+    case FaultKind::kEndReorderBurst: return "end-reorder-burst";
+    case FaultKind::kDuplicateBurst: return "duplicate-burst";
+    case FaultKind::kEndDuplicateBurst: return "end-duplicate-burst";
   }
   return "?";
 }
@@ -52,11 +60,22 @@ std::string to_string(const FaultEvent& ev) {
       break;
     case FaultKind::kLossBurst:
     case FaultKind::kCorruptionBurst:
+    case FaultKind::kReorderBurst:
+    case FaultKind::kDuplicateBurst:
       os << " net=" << static_cast<int>(ev.network) << " rate=" << ev.rate;
       break;
     case FaultKind::kEndLossBurst:
     case FaultKind::kEndCorruptionBurst:
+    case FaultKind::kGrayDegrade:
+    case FaultKind::kEndGrayDegrade:
+    case FaultKind::kEndReorderBurst:
+    case FaultKind::kEndDuplicateBurst:
+    case FaultKind::kEndFlap:
       os << " net=" << static_cast<int>(ev.network);
+      break;
+    case FaultKind::kFlapNetwork:
+      os << " net=" << static_cast<int>(ev.network)
+         << " period=" << ev.period.count() << "us";
       break;
     case FaultKind::kPartition: {
       os << " net=" << static_cast<int>(ev.network) << " groups=";
@@ -134,13 +153,16 @@ std::vector<FaultEvent> generate_schedule(const CampaignOptions& o) {
     return free[rng.next_below(free.size())];
   };
 
-  constexpr int kKindCount = 8;
+  // Classic seeds draw from kinds 0-7; the degraded vocabulary appends
+  // kinds 8-11 (flap / gray / reorder / duplicate). The count feeds the RNG,
+  // so classic schedules stay byte-identical with the flag off.
+  const int kind_count = o.degraded_vocabulary ? 12 : 8;
   for (std::size_t slot = 0; slot < o.events; ++slot) {
     const long s = static_cast<long>(slot);
     const long d = 1 + static_cast<long>(rng.next_below(2));  // 1-2 slots
-    const int first = static_cast<int>(rng.next_below(kKindCount));
-    for (int attempt = 0; attempt < kKindCount; ++attempt) {
-      const int kind = (first + attempt) % kKindCount;
+    const int first = static_cast<int>(rng.next_below(kind_count));
+    for (int attempt = 0; attempt < kind_count; ++attempt) {
+      const int kind = (first + attempt) % kind_count;
       FaultEvent begin;
       begin.at = slot_start(slot) + jitter();
       FaultEvent end;
@@ -271,6 +293,63 @@ std::vector<FaultEvent> generate_schedule(const CampaignOptions& o) {
           placed = true;
           break;
         }
+        case 8: {  // flap: network toggles dead/alive until the end event
+          if (dead_nets_at(s) + 1 > o.networks - 1) break;
+          const int net = pick_free_net(net_dead_until, s);
+          if (net < 0) break;
+          net_dead_until[net] = s + d - 1;
+          begin.kind = FaultKind::kFlapNetwork;
+          begin.network = static_cast<NetworkId>(net);
+          begin.period =
+              Duration{15'000 + static_cast<Duration::rep>(rng.next_below(30'000))};
+          end.kind = FaultKind::kEndFlap;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 9: {  // gray degrade: the gray_failure link profile
+          const int net = pick_free_net(net_lossy_until, s);
+          if (net < 0) break;
+          net_lossy_until[net] = s + d - 1;
+          begin.kind = FaultKind::kGrayDegrade;
+          begin.network = static_cast<NetworkId>(net);
+          end.kind = FaultKind::kEndGrayDegrade;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 10: {  // reorder burst
+          const int net = pick_free_net(net_lossy_until, s);
+          if (net < 0) break;
+          net_lossy_until[net] = s + d - 1;
+          begin.kind = FaultKind::kReorderBurst;
+          begin.network = static_cast<NetworkId>(net);
+          begin.rate = 0.2 + 0.3 * rng.next_double();
+          end.kind = FaultKind::kEndReorderBurst;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
+        case 11: {  // duplicate burst
+          const int net = pick_free_net(net_lossy_until, s);
+          if (net < 0) break;
+          net_lossy_until[net] = s + d - 1;
+          begin.kind = FaultKind::kDuplicateBurst;
+          begin.network = static_cast<NetworkId>(net);
+          begin.rate = 0.05 + 0.15 * rng.next_double();
+          end.kind = FaultKind::kEndDuplicateBurst;
+          end.network = static_cast<NetworkId>(net);
+          out.push_back(begin);
+          out.push_back(end);
+          placed = true;
+          break;
+        }
       }
       if (placed) break;
     }
@@ -287,6 +366,7 @@ std::string CampaignResult::replay_command() const {
      << " --style=" << api::to_string(options.style)
      << " --networks=" << options.networks << " --events=" << options.events;
   if (options.kv_workload) os << " --kv";
+  if (options.degraded_vocabulary) os << " --degraded";
   return os.str();
 }
 
@@ -439,8 +519,54 @@ CampaignResult run_campaign(CampaignOptions o) {
       case FaultKind::kDropTokens:
         ctx.injured.push_back({ev.network, ev.at, ev.at});
         break;
+      case FaultKind::kFlapNetwork:
+        ctx.injured.push_back({ev.network, ev.at, close(FaultKind::kEndFlap)});
+        break;
+      case FaultKind::kGrayDegrade:
+        // Gray failure includes a duplicate_rate: count-inflating, so a
+        // reception-imbalance report may indict any network (see
+        // InjuryWindow::any_network).
+        ctx.injured.push_back(
+            {ev.network, ev.at, close(FaultKind::kEndGrayDegrade), true});
+        break;
+      case FaultKind::kReorderBurst:
+        ctx.injured.push_back(
+            {ev.network, ev.at, close(FaultKind::kEndReorderBurst)});
+        break;
+      case FaultKind::kDuplicateBurst:
+        ctx.injured.push_back(
+            {ev.network, ev.at, close(FaultKind::kEndDuplicateBurst), true});
+        break;
       default:
         break;
+    }
+  }
+
+  // Flap toggles, pre-scheduled deterministically from the schedule itself
+  // (begin fails the network; every period it alternates until the end
+  // event recovers it for good).
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    const auto& ev = sched[i];
+    if (ev.kind != FaultKind::kFlapNetwork) continue;
+    TimePoint flap_end = heal_time;
+    for (std::size_t j = i + 1; j < sched.size(); ++j) {
+      if (sched[j].kind == FaultKind::kEndFlap && sched[j].network == ev.network) {
+        flap_end = sched[j].at;
+        break;
+      }
+    }
+    bool down = true;  // the begin event itself fails the network
+    for (TimePoint t = ev.at + ev.period; t < flap_end; t += ev.period) {
+      down = !down;
+      const bool fail_now = down;
+      const NetworkId net = ev.network;
+      sim.schedule_at(t, [&cluster, net, fail_now] {
+        if (fail_now) {
+          cluster.network(net).fail();
+        } else {
+          cluster.network(net).recover();
+        }
+      });
     }
   }
 
@@ -504,6 +630,38 @@ CampaignResult run_campaign(CampaignOptions o) {
                 ctx.injured.push_back({ev.network, sim.now(), heal_time});
               });
           break;
+        case FaultKind::kFlapNetwork:
+          // The periodic toggles are pre-scheduled above; this is edge 0.
+          cluster.network(ev.network).fail();
+          break;
+        case FaultKind::kEndFlap:
+          cluster.network(ev.network).recover();
+          for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+            cluster.node(i).replicator().reset_network(ev.network);
+          }
+          break;
+        case FaultKind::kGrayDegrade:
+          cluster.network(ev.network).set_default_profile(
+              net::LinkProfile::gray_failure());
+          break;
+        case FaultKind::kReorderBurst: {
+          net::LinkProfile p = cluster.network(ev.network).default_profile();
+          p.reorder_rate = ev.rate;
+          p.reorder_window = Duration{2'000};
+          cluster.network(ev.network).set_default_profile(p);
+          break;
+        }
+        case FaultKind::kDuplicateBurst: {
+          net::LinkProfile p = cluster.network(ev.network).default_profile();
+          p.duplicate_rate = ev.rate;
+          cluster.network(ev.network).set_default_profile(p);
+          break;
+        }
+        case FaultKind::kEndGrayDegrade:
+        case FaultKind::kEndReorderBurst:
+        case FaultKind::kEndDuplicateBurst:
+          cluster.network(ev.network).reset_default_profile();
+          break;
       }
     });
   }
@@ -518,6 +676,8 @@ CampaignResult run_campaign(CampaignOptions o) {
       net.set_loss_rate(0.0);
       net.set_corruption_rate(0.0);
       net.clear_pending_unicast_drops();
+      net.reset_default_profile();
+      net.clear_link_profiles();
     }
     for (std::size_t i = 0; i < cluster.node_count(); ++i) {
       cluster.reconnect(static_cast<NodeId>(i));

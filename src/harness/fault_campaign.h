@@ -19,6 +19,14 @@
 //   * token drop         — one network eats the next few unicasts (tokens)
 //   * kill-at-state      — one network dies the moment a chosen node enters
 //                          a chosen protocol state (Gather/Commit/Recovery)
+//
+// Degraded-network vocabulary (DESIGN.md §14; opt-in via
+// CampaignOptions::degraded_vocabulary so classic seeds stay byte-identical):
+//   * flap               — one network toggles dead/alive with a fixed period
+//   * gray degrade       — one network runs the gray_failure link profile
+//                          (high loss + jitter + reorder + duplication)
+//   * reorder burst      — one network reorders a fraction of its packets
+//   * duplicate burst    — one network duplicates a fraction of its packets
 #pragma once
 
 #include <cstdint>
@@ -47,6 +55,15 @@ enum class FaultKind : std::uint8_t {
   kHealPartition,
   kDropTokens,
   kKillNetworkAtState,
+  // Degraded-network kinds (generated only with degraded_vocabulary).
+  kFlapNetwork,
+  kEndFlap,
+  kGrayDegrade,
+  kEndGrayDegrade,
+  kReorderBurst,
+  kEndReorderBurst,
+  kDuplicateBurst,
+  kEndDuplicateBurst,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -56,8 +73,9 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kCrashNode;
   NodeId node = kInvalidNode;     // crash/pause/kill-at-state target
   NetworkId network = 0;          // network kinds
-  double rate = 0.0;              // loss / corruption bursts
+  double rate = 0.0;              // loss / corruption / reorder / dup bursts
   std::uint32_t count = 0;        // token drops
+  Duration period{25'000};        // flap half-period (dead for period, then alive)
   srp::SingleRing::State state = srp::SingleRing::State::kGather;  // trigger
   std::vector<std::vector<NodeId>> groups;  // partition
 };
@@ -72,6 +90,11 @@ struct CampaignOptions {
   std::uint64_t seed = 1;
   /// Number of injected faults (begin/end pairs count once).
   std::size_t events = 6;
+
+  /// Include the degraded-network fault kinds (flap, gray degrade,
+  /// reorder/duplicate bursts) in the generated vocabulary. Off by default:
+  /// classic seeds must keep producing byte-identical schedules.
+  bool degraded_vocabulary = false;
 
   Duration settle{300'000};          // fault-free warmup
   Duration event_spacing{300'000};   // schedule slot width

@@ -270,8 +270,12 @@ InvariantReport check_invariants(SimCluster& cluster, const InvariantContext& ct
   for (const auto& f : cluster.faults()) {
     if (f.report.reason == rrp::NetworkFaultReport::Reason::kAdministrative) continue;
     bool justified = false;
+    const bool imbalance =
+        f.report.reason == rrp::NetworkFaultReport::Reason::kReceptionImbalance;
     for (const auto& w : ctx.injured) {
-      if (w.network == f.report.network && f.report.when >= w.from &&
+      const bool network_matches =
+          w.network == f.report.network || (w.any_network && imbalance);
+      if (network_matches && f.report.when >= w.from &&
           f.report.when <= w.until + ctx.fault_report_grace) {
         justified = true;
         break;

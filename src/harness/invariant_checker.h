@@ -20,7 +20,10 @@
 //   V5 Fault-report soundness — a non-administrative network fault report
 //      must fall inside (or within a grace period after) a window in which
 //      that network was actually injected-faulty. Node crashes are not
-//      network injuries and must not trigger blame.
+//      network injuries and must not trigger blame. Exception: while a
+//      count-inflating fault (duplicate-burst, gray-degrade) is active,
+//      a reception-imbalance report may blame any network — the monitors
+//      compare counts, and inflation indicts the clean side.
 //   V6 Bounded re-formation — after the schedule fully heals, every node
 //      ends Operational on one common full-membership ring, installed
 //      within `reformation_budget` of the heal.
@@ -48,6 +51,11 @@ struct InjuryWindow {
   NetworkId network = 0;
   TimePoint from{};
   TimePoint until{};
+  /// Count-inflating faults (duplicate-burst, gray-degrade): the RRP's
+  /// reception monitors are purely comparative, so inflating one network's
+  /// reception count legitimately indicts a *clean* network as lagging.
+  /// Such a window excuses a reception-imbalance report on any network.
+  bool any_network = false;
 };
 
 struct InvariantContext {

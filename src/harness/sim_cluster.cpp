@@ -42,6 +42,7 @@ SimCluster::SimCluster(ClusterConfig config)
     nc.active = config_.active;
     nc.passive = config_.passive;
     nc.active_passive = config_.active_passive;
+    nc.adaptive_timeout = config_.adaptive_timeout;
     traces_.push_back(config_.trace_capacity > 0
                           ? std::make_unique<TraceRing>(config_.trace_capacity)
                           : nullptr);

@@ -35,6 +35,9 @@ struct ClusterConfig {
   rrp::PassiveConfig passive;
   rrp::ActivePassiveConfig active_passive;
 
+  /// Adaptive token-timeout tuning, applied to every node (api::NodeConfig).
+  api::NodeConfig::AdaptiveTimeout adaptive_timeout;
+
   /// Record every delivery's payload (disable for throughput benches to
   /// keep memory flat; counters still accumulate).
   bool record_payloads = true;

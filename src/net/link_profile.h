@@ -1,0 +1,105 @@
+// LinkProfile: per-direction link quality for the simulated networks.
+//
+// The paper's monitors (Fig. 5) assume symmetric, loss-or-dead LANs.
+// Production rings see more: asymmetric loss, WAN-scale latency and jitter,
+// reordering, duplication, and slow-but-not-dead "gray" networks. A
+// LinkProfile captures those per DIRECTED (src, dst) pair — or as a whole
+// network's default — so the degraded-network scenarios of DESIGN.md §14
+// (and every later WAN/multi-site scenario) are expressible in the sim.
+//
+// Reordering and duplication deserve a note: SimNetwork normally clamps
+// arrivals to FIFO per (src, dst) pair, because UDP over one Ethernet
+// preserves order to a single recipient in the fault-free case. A packet
+// selected for reordering deliberately BYPASSES that clamp (it is held back
+// by an extra delay drawn from [1, reorder_window] while later packets
+// overtake it), and a packet selected for duplication is delivered again —
+// a refcounted copy of the same pooled buffer — after a similar extra
+// delay. Both are repaired by the SRP (seq-number dedup, retransmission),
+// which is exactly what the tests under these profiles assert.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace totem::net {
+
+struct LinkProfile {
+  Duration latency{5};        ///< base propagation latency
+  Duration jitter{2};         ///< uniform extra delay in [0, jitter)
+  double loss = 0.0;          ///< drop probability per delivery attempt
+  double reorder_rate = 0.0;  ///< probability a delivered packet is held back
+  Duration reorder_window{0}; ///< max extra delay for a reordered packet
+  double duplicate_rate = 0.0;///< probability a delivered packet arrives twice
+
+  // ---- named presets (DESIGN.md §14) ----
+
+  /// The clean paper-testbed LAN (matches SimNetwork::Params defaults).
+  [[nodiscard]] static constexpr LinkProfile clean() { return LinkProfile{}; }
+
+  /// A long-haul link: tens of ms of latency, visible jitter, light loss,
+  /// and the mild reordering/duplication real WAN paths exhibit.
+  [[nodiscard]] static constexpr LinkProfile wan() {
+    LinkProfile p;
+    p.latency = Duration{20'000};
+    p.jitter = Duration{5'000};
+    p.loss = 0.005;
+    p.reorder_rate = 0.02;
+    p.reorder_window = Duration{10'000};
+    p.duplicate_rate = 0.001;
+    return p;
+  }
+
+  /// Slow-but-not-dead: LAN latency, but heavy loss plus reordering and
+  /// duplication. Neither monitor's loss-or-dead dichotomy fits it — the
+  /// scenario the paper's Fig. 5 thresholds were never tuned for.
+  [[nodiscard]] static constexpr LinkProfile gray_failure() {
+    LinkProfile p;
+    p.latency = Duration{8};
+    p.jitter = Duration{40};
+    p.loss = 0.10;
+    p.reorder_rate = 0.05;
+    p.reorder_window = Duration{2'000};
+    p.duplicate_rate = 0.01;
+    return p;
+  }
+
+  /// A link that oscillates between fine and awful: bursty delay spread
+  /// (jitter far above the base latency) with moderate loss. Campaigns and
+  /// the failover bench pair this profile with actual up/down flapping of
+  /// the network (FaultKind::kFlapNetwork) for the time-varying half.
+  [[nodiscard]] static constexpr LinkProfile flapping() {
+    LinkProfile p;
+    p.latency = Duration{10};
+    p.jitter = Duration{15'000};
+    p.loss = 0.05;
+    p.reorder_rate = 0.10;
+    p.reorder_window = Duration{15'000};
+    return p;
+  }
+
+  /// The degraded DIRECTION of an asymmetric link: heavy one-way loss.
+  /// Apply to (src, dst) and leave (dst, src) clean — receivers hear the
+  /// sender badly while the reverse path stays perfect, which starves
+  /// exactly one side of the token exchange.
+  [[nodiscard]] static constexpr LinkProfile asymmetric_loss() {
+    LinkProfile p;
+    p.loss = 0.30;
+    return p;
+  }
+};
+
+/// Preset lookup by name ("clean", "wan", "gray_failure", "flapping",
+/// "asymmetric_loss") — the vocabulary benches and campaign replays use.
+[[nodiscard]] inline std::optional<LinkProfile> link_profile_preset(
+    std::string_view name) {
+  if (name == "clean") return LinkProfile::clean();
+  if (name == "wan") return LinkProfile::wan();
+  if (name == "gray_failure") return LinkProfile::gray_failure();
+  if (name == "flapping") return LinkProfile::flapping();
+  if (name == "asymmetric_loss") return LinkProfile::asymmetric_loss();
+  return std::nullopt;
+}
+
+}  // namespace totem::net

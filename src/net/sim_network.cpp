@@ -9,7 +9,8 @@
 namespace totem::net {
 
 SimNetwork::SimNetwork(sim::Simulator& simulator, NetworkId id, Params params)
-    : sim_(simulator), id_(id), params_(params) {}
+    : sim_(simulator), id_(id), params_(params),
+      default_profile_(profile_from_params()) {}
 
 SimNetwork::SimNetwork(sim::Simulator& simulator, NetworkId id)
     : SimNetwork(simulator, id, Params{}) {}
@@ -33,6 +34,23 @@ void SimNetwork::set_link_loss(NodeId src, NodeId dst, std::optional<double> p) 
   } else {
     link_loss_.erase({src, dst});
   }
+}
+
+void SimNetwork::set_link_profile(NodeId src, NodeId dst,
+                                  std::optional<LinkProfile> p) {
+  if (p) {
+    link_profile_[{src, dst}] = *p;
+  } else {
+    link_profile_.erase({src, dst});
+  }
+}
+
+LinkProfile SimNetwork::profile_from_params() const {
+  LinkProfile p;
+  p.latency = params_.base_latency;
+  p.jitter = params_.latency_jitter;
+  p.loss = params_.loss_rate;
+  return p;
 }
 
 void SimNetwork::set_partition(std::vector<std::vector<NodeId>> groups) {
@@ -158,30 +176,76 @@ void SimNetwork::deliver_shared(SimTransport& from, SimTransport& to,
     ++stats_.dropped_fault;
     return;
   }
-  double loss = params_.loss_rate;
+
+  // Effective link behaviour: a per-(src, dst) profile replaces the network
+  // default wholesale; the legacy set_link_loss override then wins on the
+  // loss component alone (it predates profiles and tests rely on it).
+  const LinkProfile* prof = &default_profile_;
+  if (auto it = link_profile_.find({src, dst}); it != link_profile_.end()) {
+    prof = &it->second;
+  }
+  double loss = prof->loss;
   if (auto it = link_loss_.find({src, dst}); it != link_loss_.end()) loss = it->second;
   if (loss > 0.0 && sim_.rng().chance(loss)) {
     ++stats_.dropped_loss;
+    // Per-receiver loss verdict: the submission already recorded kSent (the
+    // frame DID cross the wire); this entry records which receiver lost it,
+    // so captures reconcile with Stats::dropped_loss.
+    record_capture(src, dst, data.size(), CapturedPacket::Verdict::kDroppedLoss);
     return;
   }
 
   Duration jitter{0};
-  if (params_.latency_jitter.count() > 0) {
+  if (prof->jitter.count() > 0) {
     jitter = Duration(static_cast<Duration::rep>(
-        sim_.rng().next_below(static_cast<std::uint64_t>(params_.latency_jitter.count()))));
+        sim_.rng().next_below(static_cast<std::uint64_t>(prof->jitter.count()))));
   }
-  TimePoint arrival = wire_done + params_.base_latency + jitter;
+  TimePoint arrival = wire_done + prof->latency + jitter;
 
-  auto& last = last_arrival_[{src, dst}];
-  if (arrival <= last) arrival = last + Duration(1);
-  last = arrival;
+  const bool reorder = prof->reorder_rate > 0.0 &&
+                       prof->reorder_window.count() > 0 &&
+                       sim_.rng().chance(prof->reorder_rate);
+  if (reorder) {
+    // Hold this packet back by an extra delay and deliberately SKIP the
+    // FIFO clamp: later packets on the same (src, dst) link may overtake
+    // it. This is the one path where the sim produces genuine reordering.
+    ++stats_.reordered;
+    arrival += Duration(1 + static_cast<Duration::rep>(sim_.rng().next_below(
+                                static_cast<std::uint64_t>(prof->reorder_window.count()))));
+  } else {
+    auto& last = last_arrival_[{src, dst}];
+    if (arrival <= last) arrival = last + Duration(1);
+    last = arrival;
+  }
 
-  SimTransport* dest = &to;
+  schedule_arrival(&to, src, data, arrival);
+
+  if (prof->duplicate_rate > 0.0 && sim_.rng().chance(prof->duplicate_rate)) {
+    // Re-deliver a pooled copy (a refcount on the same shared buffer — the
+    // wire does not copy payloads and neither do we) after an extra delay.
+    // The duplicate bypasses the FIFO clamp like a reordered packet: real
+    // duplicates arrive late, after the original's successors.
+    ++stats_.duplicated;
+    const std::uint64_t window = static_cast<std::uint64_t>(
+        prof->reorder_window.count() > 0 ? prof->reorder_window.count()
+                                         : prof->jitter.count() + 1);
+    const TimePoint dup_arrival =
+        arrival + Duration(1 + static_cast<Duration::rep>(sim_.rng().next_below(window)));
+    schedule_arrival(&to, src, data, dup_arrival);
+  }
+}
+
+void SimNetwork::schedule_arrival(SimTransport* dest, NodeId src,
+                                  const PacketBuffer& data, TimePoint arrival) {
   sim_.schedule_at(arrival, [this, dest, src, data] {
     // Linux 2.2 default socket buffers were 64 KB: packets arriving while
     // the receiver's stack is backed up beyond that are silently dropped.
+    // The drop shows up on BOTH ledgers — the network's overflow counter
+    // and the endpoint's rx_dropped — so sim and UDP runs produce the same
+    // triage artifacts.
     if (dest->rx_pending_bytes_ + data.size() > params_.rx_buffer_bytes) {
       ++stats_.dropped_overflow;
+      ++dest->stats_.rx_dropped;
       return;
     }
     dest->rx_pending_bytes_ += data.size();

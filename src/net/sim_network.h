@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/link_profile.h"
 #include "net/transport.h"
 #include "sim/simulator.h"
 
@@ -98,13 +99,18 @@ class SimNetwork {
     std::uint64_t dropped_overflow = 0;    // rx socket buffer overflow
     std::uint64_t dropped_injected = 0;    // drop_next_unicasts sabotage
     std::uint64_t corrupted = 0;           // delivered with a flipped byte
+    std::uint64_t reordered = 0;           // bypassed the FIFO clamp (profile)
+    std::uint64_t duplicated = 0;          // extra deliveries (profile)
     std::uint64_t wire_bytes = 0;          // incl. frame overhead
     Duration wire_busy{0};
   };
 
   /// One captured wire event (enable with start_capture). The pcap-style
   /// companion to the protocol-level TraceRing: what actually crossed (or
-  /// failed to cross) this network.
+  /// failed to cross) this network. A broadcast that reaches the wire
+  /// records one kSent entry (dst == kInvalidNode); every RECEIVER the
+  /// random/link loss then eats records its own kDroppedLoss entry, so
+  /// capture totals reconcile with Stats::dropped_loss.
   struct CapturedPacket {
     TimePoint at{};                  // submission time
     NodeId src = kInvalidNode;
@@ -113,6 +119,7 @@ class SimNetwork {
     enum class Verdict : std::uint8_t {
       kSent = 0,          // put on the wire
       kDroppedFailed,     // network failed / send fault / unknown dest
+      kDroppedLoss,       // eaten by loss_rate / link loss (per receiver)
     } verdict = Verdict::kSent;
   };
 
@@ -131,12 +138,32 @@ class SimNetwork {
   /// Change propagation latency at runtime (e.g. to model one slow network
   /// whose traffic the fast network systematically overtakes — the reorder
   /// scenarios of Figs. 1 and 3).
-  void set_base_latency(Duration latency) { params_.base_latency = latency; }
+  void set_base_latency(Duration latency) {
+    params_.base_latency = latency;
+    default_profile_.latency = latency;
+  }
 
   void fail() { failed_ = true; }            // total network failure
   void recover() { failed_ = false; }
   [[nodiscard]] bool failed() const { return failed_; }
-  void set_loss_rate(double p) { params_.loss_rate = p; }
+  void set_loss_rate(double p) {
+    params_.loss_rate = p;
+    default_profile_.loss = p;
+  }
+
+  // ---- degraded-network link profiles (DESIGN.md §14) ----
+  /// Replace the whole network's default link behaviour (latency, jitter,
+  /// loss, reordering, duplication). Per-(src, dst) profiles still win.
+  void set_default_profile(const LinkProfile& p) { default_profile_ = p; }
+  /// Restore the default profile derived from the construction Params.
+  void reset_default_profile() { default_profile_ = profile_from_params(); }
+  [[nodiscard]] const LinkProfile& default_profile() const { return default_profile_; }
+  /// Profile for the DIRECTED link src -> dst (overrides the network
+  /// default entirely; pass std::nullopt to clear). Directionality is the
+  /// point: an asymmetric link degrades one direction only.
+  void set_link_profile(NodeId src, NodeId dst, std::optional<LinkProfile> p);
+  /// Drop every per-link profile override (the default profile remains).
+  void clear_link_profiles() { link_profile_.clear(); }
   /// Probability that a delivered packet arrives with a flipped byte
   /// (models a NIC/switch corrupting frames; the packet CRC catches it and
   /// the SRP's retransmission machinery repairs the loss).
@@ -185,12 +212,19 @@ class SimNetwork {
   void submit(SimTransport& from, PacketBuffer packet, std::optional<NodeId> dest);
   void deliver_shared(SimTransport& from, SimTransport& to, const PacketBuffer& data,
                       TimePoint wire_done);
+  /// Schedule the arrival-side half of a delivery (rx buffer, receiver CPU,
+  /// handler upcall) at `arrival`. Shared by the primary delivery and the
+  /// duplication path.
+  void schedule_arrival(SimTransport* dest, NodeId src, const PacketBuffer& data,
+                        TimePoint arrival);
   [[nodiscard]] bool same_partition(NodeId a, NodeId b) const;
+  [[nodiscard]] LinkProfile profile_from_params() const;
 
   sim::Simulator& sim_;
   NetworkId id_;
   Params params_;
   Stats stats_;
+  LinkProfile default_profile_;
   BufferPool corruption_pool_;  // per-receiver mangled copies only
   double corruption_rate_ = 0.0;
   std::uint32_t drop_unicasts_ = 0;
@@ -201,9 +235,12 @@ class SimNetwork {
   std::map<NodeId, bool> send_fault_;
   std::map<NodeId, bool> recv_fault_;
   std::map<std::pair<NodeId, NodeId>, double> link_loss_;
+  std::map<std::pair<NodeId, NodeId>, LinkProfile> link_profile_;
   std::map<NodeId, int> group_of_;  // empty => no partition
   // Enforces FIFO per (src, dst) pair on one network (UDP-over-Ethernet
   // preserves order to a single recipient in the fault-free case; paper §5).
+  // Packets a LinkProfile selects for reordering deliberately bypass this
+  // clamp — that is the only way the sim can express reordering at all.
   std::map<std::pair<NodeId, NodeId>, TimePoint> last_arrival_;
 
   // Wire capture (start_capture).

@@ -75,9 +75,10 @@ class Transport {
     std::uint64_t packets_received = 0;  ///< datagrams accepted and handed up
     std::uint64_t bytes_sent = 0;        ///< payload bytes submitted
     std::uint64_t bytes_received = 0;    ///< payload bytes accepted
-    // RX-side drop accounting (populated by transports that can observe
-    // these conditions, e.g. UdpTransport; zero on the simulator).
-    std::uint64_t rx_dropped = 0;    ///< bad magic, own loopback copy, injected fault
+    // RX-side drop accounting. UdpTransport counts bad magic / loopback /
+    // injected faults here; SimTransport counts rx-buffer overflow, so sim
+    // and UDP runs surface receive-side drops through the same field.
+    std::uint64_t rx_dropped = 0;    ///< rx-side drops (see above)
     std::uint64_t rx_truncated = 0;  ///< datagram exceeded the RX buffer
     std::uint64_t rx_short = 0;      ///< datagram shorter than the framing header
     // Batched/queued hot-path accounting (UdpTransport; zero elsewhere).

@@ -39,7 +39,9 @@ class ActivePassiveReplicator final : public Replicator {
   }
   void reset_network(NetworkId n) override;
   void mark_faulty(NetworkId n) override;
+  void set_token_timeout(Duration timeout) override { config_.token_timeout = timeout; }
 
+  [[nodiscard]] Duration token_timeout() const { return config_.token_timeout; }
   [[nodiscard]] std::uint32_t k() const { return config_.k; }
 
  private:

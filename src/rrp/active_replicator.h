@@ -38,7 +38,9 @@ class ActiveReplicator final : public Replicator {
   }
   void reset_network(NetworkId n) override;
   void mark_faulty(NetworkId n) override;
+  void set_token_timeout(Duration timeout) override { config_.token_timeout = timeout; }
 
+  [[nodiscard]] Duration token_timeout() const { return config_.token_timeout; }
   [[nodiscard]] std::uint32_t problem_counter(NetworkId n) const {
     return n < problem_counter_.size() ? problem_counter_[n] : 0;
   }

@@ -45,7 +45,11 @@ class PassiveReplicator final : public Replicator {
   }
   void reset_network(NetworkId n) override;
   void mark_faulty(NetworkId n) override;
+  void set_token_timeout(Duration timeout) override {
+    config_.token_buffer_timeout = timeout;
+  }
 
+  [[nodiscard]] Duration token_timeout() const { return config_.token_buffer_timeout; }
   [[nodiscard]] const ReceptionMonitor& token_monitor() const { return token_monitor_; }
   [[nodiscard]] const std::map<NodeId, ReceptionMonitor>& message_monitors() const {
     return message_monitors_;

@@ -102,6 +102,12 @@ class Replicator {
   /// Administratively mark a network faulty (stops sending on it).
   virtual void mark_faulty(NetworkId n) = 0;
 
+  /// Retune the replicator's token timeout at runtime (adaptive tuning,
+  /// DESIGN.md §14). Active/active-passive adjust the token-retransmission
+  /// timeout; passive adjusts the token buffer timeout. NullReplicator has
+  /// no timer and ignores it. Takes effect the next time the timer is armed.
+  virtual void set_token_timeout(Duration /*timeout*/) {}
+
   struct Stats {
     std::uint64_t messages_sent = 0;        // SRP sends (pre-fanout)
     std::uint64_t tokens_sent = 0;          // SRP sends (pre-fanout)

@@ -1,0 +1,29 @@
+#include "rrp/timeout_advisor.h"
+
+#include <algorithm>
+
+namespace totem::rrp {
+
+TimeoutAdvisor::TimeoutAdvisor(MetricsRegistry& metrics, Config config)
+    : config_(std::move(config)),
+      hist_(metrics.histogram(config_.rotation_histogram)) {}
+
+double TimeoutAdvisor::rotation_p99_us() const {
+  if (hist_->count() == 0) return 0.0;
+  HistogramSnapshot snap;
+  snap.count = hist_->count();
+  snap.sum = hist_->sum();
+  snap.min = hist_->min();
+  snap.max = hist_->max();
+  snap.buckets = hist_->buckets();
+  return snap.p99();
+}
+
+Duration TimeoutAdvisor::advise(Duration fallback) const {
+  if (hist_->count() < config_.min_samples) return fallback;
+  const auto advised =
+      static_cast<Duration::rep>(config_.headroom * rotation_p99_us());
+  return std::clamp(Duration{advised}, config_.min_timeout, config_.max_timeout);
+}
+
+}  // namespace totem::rrp

@@ -1,0 +1,65 @@
+// TimeoutAdvisor: adaptive token-timeout tuning from observed rotation time.
+//
+// The RRP token timeouts (ActiveConfig::token_timeout, the active-passive
+// stage-2 timeout, PassiveConfig::token_buffer_timeout) are fixed constants
+// in the paper — tuned for a clean 100 Mbit/s LAN where a rotation takes a
+// few hundred microseconds. On a degraded or WAN-profiled network
+// (DESIGN.md §14) the real rotation time can be 100x that, so a fixed 2 ms
+// timeout fires on every rotation, charges healthy networks problem counts,
+// and produces false fault reports; conversely, on a fast ring a padded
+// timeout delays fault detection.
+//
+// The advisor closes the loop using the metrics the stack already records:
+// it watches the SRP's `srp.token_rotation_us` histogram and advises
+//
+//     clamp(headroom * observed_rotation_p99, min_timeout, max_timeout)
+//
+// falling back to the configured static value until enough rotations have
+// been observed. api::Node (NodeConfig::adaptive_timeout) polls it
+// periodically and feeds the advice into Replicator::set_token_timeout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace totem::rrp {
+
+class TimeoutAdvisor {
+ public:
+  struct Config {
+    /// Histogram the advice is derived from (recorded by the SRP).
+    std::string rotation_histogram = "srp.token_rotation_us";
+    /// Advised timeout = headroom * rotation p99 (then clamped). >1 so a
+    /// token that is merely at the observed tail is not declared late.
+    double headroom = 1.5;
+    Duration min_timeout{500};
+    Duration max_timeout{100'000};
+    /// Rotations to observe before overriding the static fallback.
+    std::uint64_t min_samples = 32;
+  };
+
+  /// `metrics` must outlive the advisor (it is the node's registry).
+  TimeoutAdvisor(MetricsRegistry& metrics, Config config);
+  explicit TimeoutAdvisor(MetricsRegistry& metrics)
+      : TimeoutAdvisor(metrics, Config{}) {}
+
+  /// The timeout to use right now: the adaptive value once min_samples
+  /// rotations have been seen, `fallback` (the static config value) before.
+  [[nodiscard]] Duration advise(Duration fallback) const;
+
+  /// Rotations observed so far.
+  [[nodiscard]] std::uint64_t samples() const { return hist_->count(); }
+  /// Current rotation p99 estimate in microseconds (0 until any samples).
+  [[nodiscard]] double rotation_p99_us() const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  const LatencyHistogram* hist_;  // stable pointer into the registry
+};
+
+}  // namespace totem::rrp

@@ -469,13 +469,27 @@ std::uint32_t SingleRing::broadcast_new_messages(wire::Token& token) {
       // Stamp the seq the message just received with its send()-time
       // timestamp (send_times_ is FIFO-aligned with send_queue_; a
       // fragmented message is identified by its first fragment's seq).
-      const TimePoint enqueued =
-          send_times_.empty() ? timers_.now() : send_times_.front();
-      if (!send_times_.empty()) send_times_.pop_front();
-      if (inflight_sends_.size() >= 65536) inflight_sends_.pop_front();
-      inflight_sends_.emplace_back(e.seq, enqueued);
+      if (send_times_.empty()) {
+        // Desync: no timestamp for this message-start. Count it and skip
+        // the latency sample — substituting now() here would record a
+        // near-zero queue wait and silently corrupt the send→deliver
+        // histogram.
+        ++stats_.send_time_desync;
+      } else {
+        const TimePoint enqueued = send_times_.front();
+        send_times_.pop_front();
+        if (inflight_sends_.size() >= 65536) inflight_sends_.pop_front();
+        inflight_sends_.emplace_back(e.seq, enqueued);
+      }
     }
     store_.emplace(e.seq, e);
+  }
+  // Opposite-polarity audit: once the queue drains, every timestamp must
+  // have been consumed. Leftovers would attach stale (too-early) times to
+  // FUTURE messages; count and drop them instead.
+  if (delivery_hist_ && send_queue_.empty() && !send_times_.empty()) {
+    stats_.send_time_desync += send_times_.size();
+    send_times_.clear();
   }
   while (store_.count(my_aru_ + 1) != 0) ++my_aru_;
   stats_.messages_broadcast += allowance;

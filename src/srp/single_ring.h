@@ -144,6 +144,12 @@ class SingleRing {
     std::uint64_t membership_changes = 0;
     std::uint64_t old_ring_messages_recovered = 0;
     std::uint64_t old_ring_messages_lost = 0;
+    /// send_times_ fell out of alignment with send_queue_ (audited — the
+    /// deques are kept FIFO-aligned across ring transitions, so this should
+    /// stay 0). When it fires, the affected message's send→deliver latency
+    /// sample is SKIPPED rather than fabricated from now(), which would
+    /// silently pollute the histogram with ~0 queue-wait samples.
+    std::uint64_t send_time_desync = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -233,8 +239,14 @@ class SingleRing {
   std::optional<TimePoint> last_token_arrival_;
   /// send() timestamps of messages still waiting in send_queue_ (one per
   /// message, FIFO-aligned with the queue; only filled when delivery_hist_
-  /// is registered).
+  /// is registered). Alignment audit: send() is the only push (one
+  /// timestamp per message, after the message's fragments are queued) and
+  /// broadcast_new_messages the only pop (at each message-start entry);
+  /// ring transitions preserve send_queue_ untouched, so the deques stay
+  /// aligned. Misalignment is counted in Stats::send_time_desync rather
+  /// than papered over with a fabricated now() timestamp.
   std::deque<TimePoint> send_times_;
+  friend class SingleRingTestPeer;  // white-box regression tests only
   /// Own broadcasts in flight: (seq on the wire, send() time), seq
   /// ascending. Popped in deliver_entry to measure send->deliver latency;
   /// cleared when the seq space changes (start_gather).

@@ -7,7 +7,7 @@
 // command.
 //
 // Replay mode bypasses gtest:   totem_chaos --seed=S [--style=...]
-//                               [--networks=N] [--events=E] [--kv]
+//                               [--networks=N] [--events=E] [--kv] [--degraded]
 // re-runs that one campaign byte-for-byte and prints its schedule+verdict.
 #include <gtest/gtest.h>
 
@@ -31,14 +31,16 @@ struct CampaignCase {
   std::size_t networks;
   std::uint64_t first_seed;
   std::size_t count;
-  bool kv = false;  ///< run the replicated-KV workload and check V8
+  bool kv = false;        ///< run the replicated-KV workload and check V8
+  bool degraded = false;  ///< include the degraded-network fault vocabulary
 };
 
 std::string case_name(const ::testing::TestParamInfo<CampaignCase>& info) {
   std::string style = api::to_string(info.param.style);
   std::replace(style.begin(), style.end(), '-', '_');
   return style + "_n" + std::to_string(info.param.networks) + "_s" +
-         std::to_string(info.param.first_seed);
+         std::to_string(info.param.first_seed) +
+         (info.param.degraded ? "_degraded" : "");
 }
 
 class ChaosCampaign : public ::testing::TestWithParam<CampaignCase> {};
@@ -51,6 +53,7 @@ TEST_P(ChaosCampaign, InvariantsHoldAcrossSeededSchedules) {
     o.networks = c.networks;
     o.seed = c.first_seed + k;
     o.kv_workload = c.kv;
+    o.degraded_vocabulary = c.degraded;
     const CampaignResult result = run_campaign(o);
     if (!result.ok()) {
       // Leave a machine-readable triage bundle next to the test log: the
@@ -142,6 +145,23 @@ std::vector<CampaignCase> make_kv_cases() {
 INSTANTIATE_TEST_SUITE_P(KvCampaigns, ChaosCampaign,
                          ::testing::ValuesIn(make_kv_cases()), case_name);
 
+/// Degraded-network campaigns: the extended fault vocabulary (flap, gray
+/// degrade, reorder bursts, duplicate bursts — DESIGN.md §14) mixed with the
+/// classic kinds, fixed-seed, against every style. V1-V8 must hold even when
+/// a network is reordering, duplicating, or flapping rather than cleanly
+/// dead.
+std::vector<CampaignCase> make_degraded_cases() {
+  return {
+      {api::ReplicationStyle::kActive, 2, 5001, 4, false, true},
+      {api::ReplicationStyle::kActive, 3, 5101, 4, false, true},
+      {api::ReplicationStyle::kPassive, 2, 5201, 4, false, true},
+      {api::ReplicationStyle::kActivePassive, 3, 5301, 4, false, true},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(DegradedCampaigns, ChaosCampaign,
+                         ::testing::ValuesIn(make_degraded_cases()), case_name);
+
 }  // namespace
 }  // namespace totem::harness
 
@@ -172,6 +192,8 @@ int main(int argc, char** argv) {
       options.events = std::strtoul(v, nullptr, 10);
     } else if (std::strcmp(argv[i], "--kv") == 0) {
       options.kv_workload = true;
+    } else if (std::strcmp(argv[i], "--degraded") == 0) {
+      options.degraded_vocabulary = true;
     } else if (const char* v = arg_value(argv[i], "--log=")) {
       // Replay triage: surface protocol-module logging (e.g. --log=info).
       using totem::LogLevel;

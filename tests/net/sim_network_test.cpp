@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 namespace totem::net {
 namespace {
 
@@ -199,6 +201,9 @@ TEST_F(NetFixture, RxBufferOverflowDrops) {
   sim.run_for(Duration{10'000'000});
   EXPECT_GT(network->stats().dropped_overflow, 0u);
   EXPECT_LT(received[1].size(), 500u);
+  // Counter parity: the same drop must appear on the endpoint's ledger too,
+  // exactly as UdpTransport surfaces kernel-level receive drops.
+  EXPECT_EQ(transports[1]->stats().rx_dropped, network->stats().dropped_overflow);
 }
 
 TEST_F(NetFixture, StatsAccumulate) {
@@ -242,6 +247,109 @@ TEST_F(NetFixture, CaptureMarksFailedSends) {
   ASSERT_EQ(cap.size(), 2u);
   EXPECT_EQ(cap[0].verdict, SimNetwork::CapturedPacket::Verdict::kDroppedFailed);
   EXPECT_EQ(cap[1].verdict, SimNetwork::CapturedPacket::Verdict::kDroppedFailed);
+}
+
+TEST_F(NetFixture, LinkProfilePresetsResolveByName) {
+  ASSERT_TRUE(link_profile_preset("wan").has_value());
+  EXPECT_GT(link_profile_preset("wan")->latency.count(), 0);
+  ASSERT_TRUE(link_profile_preset("gray_failure").has_value());
+  EXPECT_GT(link_profile_preset("gray_failure")->loss, 0.0);
+  ASSERT_TRUE(link_profile_preset("flapping").has_value());
+  ASSERT_TRUE(link_profile_preset("asymmetric_loss").has_value());
+  ASSERT_TRUE(link_profile_preset("clean").has_value());
+  EXPECT_FALSE(link_profile_preset("no-such-profile").has_value());
+}
+
+TEST_F(NetFixture, PerDirectionProfileDegradesOnlyThatDirection) {
+  build(2);
+  LinkProfile slow;
+  slow.latency = Duration{50'000};
+  slow.jitter = Duration{0};
+  network->set_link_profile(0, 1, slow);
+
+  transports[0]->broadcast(packet(10));
+  transports[1]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  // Reverse direction rides the clean default; 0 -> 1 is still in flight.
+  EXPECT_EQ(received[0].size(), 1u);
+  EXPECT_TRUE(received[1].empty());
+  sim.run_for(Duration{100'000});
+  EXPECT_EQ(received[1].size(), 1u);
+
+  network->set_link_profile(0, 1, std::nullopt);
+  transports[0]->broadcast(packet(10));
+  sim.run_for(Duration{10'000});
+  EXPECT_EQ(received[1].size(), 2u) << "cleared profile restores the default";
+}
+
+TEST_F(NetFixture, ReorderPathBypassesTheFifoClamp) {
+  build(2);
+  LinkProfile p;
+  p.latency = Duration{5};
+  p.jitter = Duration{0};
+  p.reorder_rate = 0.5;
+  p.reorder_window = Duration{5'000};
+  network->set_default_profile(p);
+
+  for (int i = 0; i < 50; ++i) {
+    transports[0]->broadcast(packet(10, std::byte(i)));
+  }
+  sim.run_for(Duration{100'000});
+  ASSERT_EQ(received[1].size(), 50u) << "reordering never loses packets";
+  EXPECT_GT(network->stats().reordered, 0u);
+  // Held-back packets skip the per-link FIFO clamp, so later sends overtake
+  // them — the arrival sequence must contain at least one inversion.
+  bool inverted = false;
+  for (std::size_t i = 1; i < received[1].size(); ++i) {
+    if (received[1][i].data[0] < received[1][i - 1].data[0]) inverted = true;
+  }
+  EXPECT_TRUE(inverted) << "no inversion despite " << network->stats().reordered
+                        << " reordered packets";
+}
+
+TEST_F(NetFixture, DuplicationRedeliversAPooledCopy) {
+  build(2);
+  LinkProfile p;
+  p.jitter = Duration{0};
+  p.duplicate_rate = 1.0;
+  network->set_default_profile(p);
+
+  for (int i = 0; i < 20; ++i) {
+    transports[0]->broadcast(packet(10, std::byte(i)));
+  }
+  sim.run_for(Duration{100'000});
+  EXPECT_EQ(network->stats().duplicated, 20u);
+  ASSERT_EQ(received[1].size(), 40u) << "every packet arrives exactly twice";
+  // The duplicate is a refcount on the same buffer: payloads match.
+  std::array<int, 20> copies{};
+  for (const auto& pk : received[1]) {
+    ASSERT_EQ(pk.data.size(), 10u);
+    ++copies[static_cast<int>(pk.data[0])];
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(copies[i], 2) << "payload " << i;
+}
+
+TEST_F(NetFixture, CaptureReconcilesWithLossCounter) {
+  build(2);
+  network->start_capture(4096);
+  network->set_loss_rate(0.5);
+  for (int i = 0; i < 200; ++i) {
+    transports[0]->broadcast(packet(10));
+    sim.run_for(Duration{200});
+  }
+  sim.run_for(Duration{100'000});
+
+  std::size_t sent = 0, lost = 0;
+  for (const auto& c : network->capture()) {
+    if (c.verdict == SimNetwork::CapturedPacket::Verdict::kSent) ++sent;
+    if (c.verdict == SimNetwork::CapturedPacket::Verdict::kDroppedLoss) ++lost;
+  }
+  EXPECT_EQ(sent, 200u) << "every frame crossed the wire";
+  EXPECT_GT(lost, 0u);
+  // Per-receiver loss verdicts reconcile with the stats ledger and with
+  // what the receiver actually saw.
+  EXPECT_EQ(lost, network->stats().dropped_loss);
+  EXPECT_EQ(received[1].size() + lost, 200u);
 }
 
 TEST_F(NetFixture, CaptureRingIsBounded) {

@@ -1,0 +1,114 @@
+// TimeoutAdvisor (rrp/timeout_advisor.h): adaptive token-timeout tuning
+// from the observed srp.token_rotation_us histogram, plus the api::Node
+// wiring that periodically applies the advice to the replicator.
+#include <gtest/gtest.h>
+
+#include "harness/calibration.h"
+#include "harness/sim_cluster.h"
+#include "net/link_profile.h"
+#include "rrp/active_replicator.h"
+#include "rrp/config.h"
+#include "rrp/timeout_advisor.h"
+
+namespace totem::rrp {
+namespace {
+
+TEST(TimeoutAdvisor, FallsBackUntilMinSamples) {
+  MetricsRegistry reg;
+  TimeoutAdvisor::Config cfg;
+  cfg.min_samples = 4;
+  cfg.headroom = 1.5;
+  TimeoutAdvisor advisor(reg, cfg);
+
+  const Duration fallback{2'000};
+  EXPECT_EQ(advisor.advise(fallback), fallback) << "no samples yet";
+
+  auto* h = reg.histogram("srp.token_rotation_us");
+  h->record(3'000);
+  h->record(3'000);
+  h->record(3'000);
+  EXPECT_EQ(advisor.advise(fallback), fallback) << "below min_samples";
+
+  h->record(3'000);
+  // p99 of identical samples is exactly the sample (clamped to max).
+  EXPECT_EQ(advisor.advise(fallback), Duration{4'500}) << "1.5 * p99";
+  EXPECT_EQ(advisor.samples(), 4u);
+  EXPECT_DOUBLE_EQ(advisor.rotation_p99_us(), 3'000.0);
+}
+
+TEST(TimeoutAdvisor, ClampsAdviceToConfiguredBounds) {
+  TimeoutAdvisor::Config cfg;
+  cfg.min_samples = 1;
+  cfg.min_timeout = Duration{500};
+  cfg.max_timeout = Duration{10'000};
+
+  MetricsRegistry fast;
+  TimeoutAdvisor fast_advisor(fast, cfg);
+  fast.histogram("srp.token_rotation_us")->record(10);
+  EXPECT_EQ(fast_advisor.advise(Duration{2'000}), cfg.min_timeout)
+      << "a very fast ring must not drive the timeout below the floor";
+
+  MetricsRegistry slow;
+  TimeoutAdvisor slow_advisor(slow, cfg);
+  slow.histogram("srp.token_rotation_us")->record(5'000'000);
+  EXPECT_EQ(slow_advisor.advise(Duration{2'000}), cfg.max_timeout)
+      << "a degraded ring must not push the timeout past the ceiling";
+}
+
+// End to end: a WAN-profiled cluster (rotation ~100x the clean-LAN case)
+// with adaptive tuning enabled must retune every node's replicator away
+// from the paper's fixed 2 ms token timeout.
+TEST(TimeoutAdvisor, NodeAppliesAdviceToTheReplicator) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.net_params = harness::paper_net_params();
+  cfg.host_costs = harness::paper_host_costs();
+  harness::apply_paper_srp_costs(cfg.srp);
+  cfg.srp.token_loss_timeout = Duration{500'000};
+  cfg.srp.consensus_timeout = Duration{500'000};
+  cfg.srp.commit_timeout = Duration{500'000};
+  cfg.adaptive_timeout.enabled = true;
+  cfg.adaptive_timeout.update_interval = Duration{100'000};
+  cfg.adaptive_timeout.advisor.min_samples = 8;
+  harness::SimCluster cluster(cfg);
+  for (std::size_t n = 0; n < cluster.network_count(); ++n) {
+    cluster.network(n).set_default_profile(net::LinkProfile::wan());
+  }
+  cluster.start_all();
+  cluster.run_for(Duration{3'000'000});
+
+  const Duration static_timeout = ActiveConfig{}.token_timeout;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const auto& node = cluster.node(i);
+    ASSERT_NE(node.timeout_advisor(), nullptr);
+    EXPECT_GE(node.timeout_advisor()->samples(),
+              cfg.adaptive_timeout.advisor.min_samples)
+        << "node " << i;
+    const auto* rep = dynamic_cast<const ActiveReplicator*>(&node.replicator());
+    ASSERT_NE(rep, nullptr);
+    EXPECT_GT(rep->token_timeout(), static_timeout)
+        << "node " << i << ": a ~100 ms rotation must stretch the 2 ms timeout";
+    EXPECT_EQ(rep->token_timeout(), node.advised_token_timeout()) << "node " << i;
+  }
+}
+
+// Disabled (the default) leaves the configured static timeout untouched.
+TEST(TimeoutAdvisor, DisabledKeepsTheStaticTimeout) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{1'000'000});
+  const auto& node = cluster.node(0);
+  EXPECT_EQ(node.timeout_advisor(), nullptr);
+  const auto* rep = dynamic_cast<const ActiveReplicator*>(&node.replicator());
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->token_timeout(), ActiveConfig{}.token_timeout);
+}
+
+}  // namespace
+}  // namespace totem::rrp

@@ -1,0 +1,104 @@
+// Regression coverage for the send_times_ / send_queue_ alignment
+// (single_ring.h): the send-latency timestamp deque must track the send
+// queue exactly. The old code silently substituted now() when they
+// desynced, polluting srp.delivery_latency_us with ~0 queue-wait samples;
+// the fix counts the slip in Stats::send_time_desync and SKIPS the sample.
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+#include "srp/single_ring.h"
+
+namespace totem::srp {
+
+/// White-box seam (friend of SingleRing): lets the regression test induce
+/// the desync the production code is audited never to produce on its own.
+class SingleRingTestPeer {
+ public:
+  static std::size_t send_time_count(const SingleRing& r) {
+    return r.send_times_.size();
+  }
+  static void drop_front_send_time(SingleRing& r) { r.send_times_.pop_front(); }
+};
+
+}  // namespace totem::srp
+
+namespace totem::harness {
+namespace {
+
+ClusterConfig fast_cluster() {
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.join_interval = Duration{10'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  cfg.srp.commit_timeout = Duration{100'000};
+  return cfg;
+}
+
+std::uint64_t delivery_samples(const api::Node& node) {
+  const auto snap = node.metrics().snapshot();
+  const HistogramSnapshot* h = snap.find_histogram("srp.delivery_latency_us");
+  return h ? h->count : 0;
+}
+
+// The audit: fragmented sends queued on one ring, a forced ring transition
+// (node crash + rejoin) while they are in flight, more sends on the new
+// ring — alignment must hold end to end, so the counter never fires.
+TEST(SendTimeDesync, FragmentedSendsAcrossRingTransitionsStayAligned) {
+  SimCluster cluster(fast_cluster());
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+
+  // ~3 fragments per message; enough of them that some are still queued
+  // when the ring tears down.
+  const Bytes big(4'000, std::byte{0x5A});
+  for (int i = 0; i < 12; ++i) (void)cluster.node(0).send(big);
+  cluster.run_for(Duration{20'000});  // some broadcast, some still queued
+
+  cluster.crash(3);
+  for (int i = 0; i < 4; ++i) (void)cluster.node(0).send(big);  // mid-Gather
+  cluster.run_for(Duration{1'500'000});
+  cluster.reconnect(3);
+  cluster.run_for(Duration{2'000'000});
+  for (int i = 0; i < 4; ++i) (void)cluster.node(0).send(big);
+  cluster.run_for(Duration{1'000'000});
+
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_EQ(cluster.node(i).ring().stats().send_time_desync, 0u)
+        << "node " << i << ": send_times_ desynced from send_queue_";
+  }
+  EXPECT_GT(delivery_samples(cluster.node(0)), 0u)
+      << "aligned timestamps must produce latency samples";
+}
+
+// The regression: a missing timestamp (induced via the test peer) must bump
+// the counter and skip the histogram sample — never fabricate one.
+TEST(SendTimeDesync, MissingTimestampIsCountedNotFabricated) {
+  SimCluster cluster(fast_cluster());
+  cluster.start_all();
+  cluster.run_for(Duration{300'000});
+
+  auto& ring = cluster.node(0).ring();
+  const std::uint64_t samples_before = delivery_samples(cluster.node(0));
+
+  ASSERT_TRUE(cluster.node(0).send(Bytes(64, std::byte{0x42})).is_ok());
+  ASSERT_EQ(srp::SingleRingTestPeer::send_time_count(ring), 1u);
+  srp::SingleRingTestPeer::drop_front_send_time(ring);  // induce the desync
+
+  cluster.run_for(Duration{500'000});
+
+  EXPECT_GE(ring.stats().send_time_desync, 1u);
+  EXPECT_EQ(delivery_samples(cluster.node(0)), samples_before)
+      << "the slipped message must not contribute a fabricated latency sample";
+  // The message itself is unharmed — accounting degraded, delivery didn't.
+  bool delivered = false;
+  for (const auto& d : cluster.deliveries(0)) {
+    if (d.origin == 0 && d.payload_size == 64) delivered = true;
+  }
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace totem::harness
