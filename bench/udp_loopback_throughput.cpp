@@ -1,22 +1,22 @@
-// UDP loopback hot-path throughput (DESIGN.md §12): how much does syscall
-// batching (sendmmsg/recvmmsg + the SPSC TX handoff) buy over the
-// one-syscall-per-datagram path, on real loopback sockets?
+// UDP loopback hot-path shoot-out (DESIGN.md §12, §15): the three datapath
+// backend generations head to head on real loopback sockets —
+//
+//   per-datagram — one sendto()/recv() syscall per datagram.
+//   mmsg         — TX handoff ring + sendmmsg (up to 64 datagrams/syscall)
+//                  on the I/O thread, recvmmsg (up to 32/syscall).
+//   io_uring     — submission-queue TX with linked fan-out SQEs, multishot
+//                  recv into registered provided buffers; the I/O thread
+//                  reaps completions off one ring fd instead of polling
+//                  nine sockets. Skipped (with an error) when the kernel
+//                  or build lacks it.
 //
 // The workload is the transport's actual hot path under Totem: broadcast.
 // One sender fans each message out to kFanout receivers (the SRP broadcasts
 // every regular message; only tokens are unicast), so one logical send is
-// kFanout datagrams — which the batched mode packs into ONE sendmmsg call
-// while batch=1 pays kFanout sendto calls. A dedicated I/O thread runs the
-// reactor; the main thread plays the ordering thread's role (producing
-// sends, draining every receiver's RX ring). Both modes use the same
-// threads and the same bounded in-flight window; only the syscall strategy
-// differs:
-//
-//   batch=1  — batched_syscalls=false, no TX queue: every datagram is an
-//              immediate sendto() on the sending thread, every delivery
-//              one recv() on the I/O thread.
-//   batched  — TX handoff ring + sendmmsg (up to 64 datagrams/syscall) on
-//              the I/O thread, recvmmsg (up to 32/syscall).
+// kFanout datagrams. A dedicated I/O thread runs the reactor; the main
+// thread plays the ordering thread's role (producing sends, draining every
+// receiver's RX ring). All backends use the same threads and the same
+// bounded in-flight window; only the syscall strategy differs.
 //
 // Each datagram carries its send timestamp; receiver 1 records
 // send->dispatch latency, reported as p50/p99. Results land in
@@ -32,6 +32,7 @@
 
 #include "bench_report.h"
 #include "common/bytes.h"
+#include "net/datapath.h"
 #include "net/reactor.h"
 #include "net/udp_transport.h"
 
@@ -41,7 +42,7 @@ namespace {
 constexpr std::uint16_t kPortBase = 45000;  // 43xxx/44xxx belong to tests
 constexpr std::uint32_t kFanout = 8;        // receivers per broadcast
 constexpr std::size_t kPayload = 256;       // bytes per datagram
-constexpr std::size_t kWindow = 256;        // max broadcasts in flight
+constexpr std::size_t kWindow = 512;        // max broadcasts in flight
 constexpr auto kMeasure = std::chrono::milliseconds(800);
 
 std::uint64_t now_ns() {
@@ -59,10 +60,26 @@ double percentile(std::vector<double>& v, double p) {
   return v[idx];
 }
 
+DatapathBackend arg_backend(int arg) {
+  switch (arg) {
+    case 0: return DatapathBackend::kPerDatagram;
+    case 2: return DatapathBackend::kIoUring;
+    default: return DatapathBackend::kMmsg;
+  }
+}
+
 void BM_UdpLoopbackThroughput(benchmark::State& state) {
-  const bool batched = state.range(0) != 0;
-  // Distinct port blocks per mode so a crashed previous run cannot collide.
-  const std::uint16_t base = static_cast<std::uint16_t>(kPortBase + (batched ? 0 : 100));
+  const DatapathBackend backend = arg_backend(static_cast<int>(state.range(0)));
+  if (backend == DatapathBackend::kIoUring && !io_uring_available()) {
+    state.SkipWithError(io_uring_compiled()
+                            ? "io_uring probe failed on this kernel"
+                            : "io_uring backend not compiled in");
+    return;
+  }
+  const bool batched = backend != DatapathBackend::kPerDatagram;
+  // Distinct port blocks per backend so a crashed previous run cannot collide.
+  const std::uint16_t base =
+      static_cast<std::uint16_t>(kPortBase + 100 * state.range(0));
 
   std::uint64_t sent_datagrams = 0;
   std::uint64_t received = 0;
@@ -77,9 +94,17 @@ void BM_UdpLoopbackThroughput(benchmark::State& state) {
     UdpTransport::Config scfg;
     scfg.local_node = 0;
     scfg.peers = loopback_peers(base, nodes);
+    scfg.backend = backend;
+    scfg.require_backend = true;  // availability was checked above
     scfg.batched_syscalls = batched;
-    scfg.tx_queue_capacity = batched ? 1024 : 0;
+    scfg.tx_queue_capacity = batched ? 2048 : 0;
     scfg.socket_buffer_bytes = 1 << 20;  // deep window: don't let 64 KB cap it
+    // The window keeps kWindow * kFanout = 2048 datagrams in flight; size the
+    // sender's submission queue and TX completion slots so a full window never
+    // backlogs, and each receiver's provided-buffer pool so a burst directed
+    // at one socket cannot exhaust it between reaps.
+    scfg.uring_sq_entries = 2048;
+    scfg.uring_tx_slots = 8192;
     auto sender = UdpTransport::create(reactor, scfg);
     if (!sender.is_ok()) {
       state.SkipWithError("sender socket setup failed");
@@ -90,9 +115,12 @@ void BM_UdpLoopbackThroughput(benchmark::State& state) {
       UdpTransport::Config rcfg;
       rcfg.local_node = id;
       rcfg.peers = loopback_peers(base, nodes);
+      rcfg.backend = backend;
+      rcfg.require_backend = true;
       rcfg.batched_syscalls = batched;
-      rcfg.rx_queue_capacity = 4096;  // both modes: dispatch on the main thread
+      rcfg.rx_queue_capacity = 8192;  // all backends: dispatch on the main thread
       rcfg.socket_buffer_bytes = 1 << 20;
+      rcfg.uring_rx_buffers = 2048;
       auto r = UdpTransport::create(reactor, rcfg);
       if (!r.is_ok()) {
         state.SkipWithError("receiver socket setup failed");
@@ -127,9 +155,10 @@ void BM_UdpLoopbackThroughput(benchmark::State& state) {
     auto last_progress = start;
     while (std::chrono::steady_clock::now() < end) {
       // Refill with hysteresis: top the window back up only once half of it
-      // has drained, so sends leave in bursts and the batched mode has real
-      // backlogs to pack into sendmmsg calls. Both modes use the same
-      // pacing; batch=1 just pays kFanout syscalls per broadcast.
+      // has drained, so sends leave in bursts and the batched backends have
+      // real backlogs to pack into one syscall (or one submission). All
+      // backends use the same pacing; per-datagram just pays kFanout
+      // syscalls per broadcast.
       if (in_flight <= kWindow / 2) {
         while (in_flight < kWindow) {
           const std::uint64_t ts = now_ns();
@@ -153,6 +182,10 @@ void BM_UdpLoopbackThroughput(benchmark::State& state) {
         in_flight = 0;  // the window was lost (socket buffer drop); refill
         last_progress = now;
       }
+      // An empty drain round means the I/O thread (and the kernel's softirq
+      // work on loopback) is behind us — donate the core instead of spinning
+      // on empty SPSC rings. Matters enormously on small machines.
+      if (got == 0) std::this_thread::yield();
     }
     // Let stragglers land, then stop the I/O thread so stats reads are
     // race-free (single-writer discipline, see Transport::stats()).
@@ -172,7 +205,7 @@ void BM_UdpLoopbackThroughput(benchmark::State& state) {
     for (auto& r : receivers) rx_batches_total += r->stats().rx_syscall_batches;
   }
 
-  state.SetLabel(batched ? "batched" : "batch=1");
+  state.SetLabel(backend_name(backend));
   state.counters["packets_per_sec"] = static_cast<double>(received) / elapsed_s;
   state.counters["msgs_per_sec"] =
       static_cast<double>(received) / static_cast<double>(kFanout) / elapsed_s;
@@ -194,8 +227,9 @@ void BM_UdpLoopbackThroughput(benchmark::State& state) {
 }
 
 BENCHMARK(BM_UdpLoopbackThroughput)
-    ->Arg(0)   // batch=1
-    ->Arg(1)   // batched
+    ->Arg(0)   // per-datagram
+    ->Arg(1)   // mmsg
+    ->Arg(2)   // io_uring
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -1,10 +1,38 @@
 #include "api/runtime.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <chrono>
 
 #include "common/log.h"
 
 namespace totem::api {
+namespace {
+
+// Best-effort CPU pinning for ThreadedRuntime::Options; no-op off Linux.
+void pin_to_cpu(std::thread& thread, int cpu, const char* which) {
+  if (cpu < 0) return;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  const int rc =
+      ::pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+  if (rc != 0) {
+    TLOG_WARN << "ThreadedRuntime: pinning " << which << " thread to cpu "
+              << cpu << " failed (errno " << rc << "); leaving it unpinned";
+  }
+#else
+  (void)thread;
+  TLOG_WARN << "ThreadedRuntime: cpu pinning unsupported on this platform ("
+            << which << " thread unpinned)";
+#endif
+}
+
+}  // namespace
 
 TimePoint OrderingLoop::now() const {
   return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
@@ -91,8 +119,9 @@ void OrderingLoop::stop() {
 }
 
 ThreadedRuntime::ThreadedRuntime(net::Reactor& reactor, OrderingLoop& loop,
-                                 std::vector<net::UdpTransport*> transports)
-    : reactor_(reactor), loop_(loop) {
+                                 std::vector<net::UdpTransport*> transports,
+                                 Options options)
+    : reactor_(reactor), loop_(loop), options_(options) {
   for (net::UdpTransport* t : transports) {
     if (!t->rx_queued()) {
       TLOG_WARN << "ThreadedRuntime: transport net" << t->network_id()
@@ -110,6 +139,8 @@ void ThreadedRuntime::start() {
   running_ = true;
   io_thread_ = std::thread([this] { reactor_.run(); });
   ordering_thread_ = std::thread([this] { loop_.run(); });
+  pin_to_cpu(io_thread_, options_.io_cpu, "I/O");
+  pin_to_cpu(ordering_thread_, options_.ordering_cpu, "ordering");
 }
 
 void ThreadedRuntime::stop() {

@@ -1,0 +1,47 @@
+// DatapathBackend: which syscall strategy drives a UdpTransport.
+//
+// Three generations of the same UDP hot path (DESIGN.md §12, §15):
+//   kPerDatagram — portable sendto()/recv(), one syscall per datagram.
+//   kMmsg        — sendmmsg()/recvmmsg() batches (Linux; PR 4).
+//   kIoUring     — io_uring: multishot recv into provided buffers, linked
+//                  SQE fan-out over connected per-peer sockets (Linux ≥6.0).
+//
+// Selection is a UdpTransport::Config field; UdpTransport::create() resolves
+// it against what the build and the running kernel actually support and
+// falls back kIoUring → kMmsg → kPerDatagram (see Config::require_backend
+// for tests that must pin a backend or skip).
+#pragma once
+
+namespace totem::net {
+
+enum class DatapathBackend {
+  kPerDatagram,
+  kMmsg,
+  kIoUring,
+};
+
+/// Human-readable backend name ("per-datagram", "mmsg", "io_uring") — also
+/// the label suffix on the net.tx_batch/net.rx_batch metrics. (Not named
+/// to_string: it would hide totem::to_string(BytesView) inside totem::net.)
+[[nodiscard]] constexpr const char* backend_name(DatapathBackend b) {
+  switch (b) {
+    case DatapathBackend::kPerDatagram: return "per-datagram";
+    case DatapathBackend::kMmsg: return "mmsg";
+    case DatapathBackend::kIoUring: return "io_uring";
+  }
+  return "?";
+}
+
+/// True when the io_uring backend was compiled in (Linux build with
+/// <linux/io_uring.h>, CMake option TOTEM_IO_URING=ON).
+[[nodiscard]] bool io_uring_compiled();
+
+/// True when the running kernel supports everything the backend needs
+/// (io_uring with multishot recv + provided buffer rings). One functional
+/// probe per process — an actual ring, buffer ring, and multishot recv
+/// round-trip on a loopback socket — cached after the first call. False
+/// whenever io_uring_compiled() is false, or when seccomp/older kernels
+/// reject the setup.
+[[nodiscard]] bool io_uring_available();
+
+}  // namespace totem::net

@@ -1,0 +1,522 @@
+#include "net/io_uring_transport.h"
+
+#if TOTEM_IO_URING_BACKEND
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/udp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/log.h"
+
+// Older glibc headers may lack the UDP GSO knob even when the kernel has it.
+#ifndef UDP_SEGMENT
+#define UDP_SEGMENT 103
+#endif
+
+namespace totem::net {
+namespace {
+
+// Direct-mode senders with no TX ring still need bounded memory when the
+// kernel back-pressures: entries past the in-flight slots queue here, FIFO.
+constexpr std::size_t kMaxBacklog = 4096;
+
+// UDP_SEGMENT limits: at most 64 segments per super-buffer, and the whole
+// buffer must still fit in one UDP payload.
+constexpr unsigned kMaxGsoSegs = 64;
+constexpr std::size_t kMaxGsoBytes = 60000;
+
+}  // namespace
+
+IoUringTransport::IoUringTransport(Reactor& reactor, Config config, int fd, int mcast_fd)
+    : UdpTransport(reactor, std::move(config), fd, mcast_fd, DatapathBackend::kIoUring) {}
+
+Status IoUringTransport::setup_tx_sockets() {
+  // One CONNECTED socket per peer: connect() resolves the route once, so
+  // each IORING_OP_SEND skips the per-datagram lookup a sendto would pay.
+  // The sockets are blocking on purpose — under io_uring a full socket
+  // buffer parks the SQE in the kernel instead of failing with EAGAIN,
+  // which is exactly the back-pressure the slot/backlog machinery wants.
+  const int buf = config_.socket_buffer_bytes;
+  for (const auto& [node, addr] : peer_addrs_) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) {
+      return Status{StatusCode::kUnavailable,
+                    std::string("tx socket(): ") + std::strerror(errno)};
+    }
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status{StatusCode::kUnavailable,
+                    std::string("tx connect(): ") + std::strerror(err)};
+    }
+    tx_fds_.emplace_back(node, fd);
+  }
+  if (mcast_fd_ >= 0) {
+    mcast_tx_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (mcast_tx_fd_ < 0) {
+      return Status{StatusCode::kUnavailable,
+                    std::string("mcast tx socket(): ") + std::strerror(errno)};
+    }
+    ::setsockopt(mcast_tx_fd_, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+    in_addr ifaddr{};
+    ::inet_pton(AF_INET, config_.multicast_interface.c_str(), &ifaddr);
+    ::setsockopt(mcast_tx_fd_, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr, sizeof(ifaddr));
+    const unsigned char loop = 1;
+    ::setsockopt(mcast_tx_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
+    if (::connect(mcast_tx_fd_, reinterpret_cast<const sockaddr*>(&mcast_addr_),
+                  sizeof(mcast_addr_)) < 0) {
+      return Status{StatusCode::kUnavailable,
+                    std::string("mcast tx connect(): ") + std::strerror(errno)};
+    }
+  }
+  // Probe UDP GSO: setting segment size 0 is a valid no-op on kernels that
+  // have the option and fails with ENOPROTOOPT on ones that don't.
+  if (config_.uring_tx_gso) {
+    const int probe_fd = !tx_fds_.empty() ? tx_fds_.front().second : mcast_tx_fd_;
+    int zero = 0;
+    gso_ok_ = probe_fd >= 0 &&
+              ::setsockopt(probe_fd, IPPROTO_UDP, UDP_SEGMENT, &zero,
+                           sizeof(zero)) == 0;
+  }
+  round_gso_.clear();
+  for (const auto& [node, fd] : tx_fds_) round_gso_.push_back(GsoQueue{fd, {}});
+  if (mcast_tx_fd_ >= 0) round_gso_.push_back(GsoQueue{mcast_tx_fd_, {}});
+  return {};
+}
+
+int IoUringTransport::tx_fd_for(NodeId dest) const {
+  if (dest == kBroadcastDest) return mcast_tx_fd_;
+  for (const auto& [node, fd] : tx_fds_) {
+    if (node == dest) return fd;
+  }
+  return -1;
+}
+
+Status IoUringTransport::attach() {
+  rx_buf_bytes_ = config_.uring_rx_buffer_bytes;
+  const unsigned nbufs = std::max(8u, config_.uring_rx_buffers);
+  const unsigned nslots = std::max(8u, config_.uring_tx_slots);
+  // CQ sized for the worst burst: every RX buffer completing plus every TX
+  // slot, with slack so completions are never dropped on the floor.
+  if (Status st = ring_.init(std::max(8u, config_.uring_sq_entries),
+                             2 * (nbufs + nslots));
+      !st.is_ok()) {
+    return st;
+  }
+  if (Status st = setup_tx_sockets(); !st.is_ok()) return st;
+  if (Status st = ring_.register_buf_ring(nbufs, 0); !st.is_ok()) return st;
+
+  // Every provided buffer is a pooled slab pinned in rx_bufs_ (bid-indexed)
+  // until its completion hands it up; the replacement is pushed before the
+  // next commit so the kernel never starves.
+  const unsigned entries = ring_.buf_ring_entries();
+  rx_bufs_.resize(entries);
+  for (unsigned bid = 0; bid < entries; ++bid) {
+    rx_bufs_[bid] = rx_pool_.acquire_uninitialized(rx_buf_bytes_);
+    ring_.push_buf(static_cast<unsigned short>(bid),
+                   rx_bufs_[bid].mutable_bytes().data(),
+                   static_cast<unsigned>(rx_buf_bytes_));
+  }
+  ring_.commit_buf_ring();
+
+  slots_.resize(nslots);
+  free_slots_.reserve(nslots);
+  for (std::size_t i = nslots; i-- > 0;) free_slots_.push_back(i);
+
+  {
+    std::lock_guard<std::mutex> lk(tx_mu_);
+    arm_recv_locked(fd_, kRxMain);
+    if (mcast_fd_ >= 0) arm_recv_locked(mcast_fd_, kRxMcast);
+    if (const int rc = ring_.submit(); rc != 0) {
+      return Status{StatusCode::kUnavailable,
+                    std::string("io_uring submit: ") + std::strerror(-rc)};
+    }
+  }
+  // The RING fd is what the reactor watches (POLLIN = CQEs pending); the
+  // UDP sockets themselves are never registered — the armed multishot
+  // recvs replace the readable-socket callbacks entirely.
+  reactor_.register_fd(ring_.ring_fd(), [this] { on_ring_readable(); });
+  ring_registered_ = true;
+  return {};
+}
+
+IoUringTransport::~IoUringTransport() {
+  // Ring teardown is asynchronous in the kernel: pending multishot recvs
+  // hold socket references, and just closing everything leaves the ports
+  // bound until the async cleanup runs — a follow-up bind() on the same
+  // port then fails. Cancel the recvs and reap every outstanding CQE
+  // (bounded) BEFORE ~UdpTransport closes the sockets.
+  if (ring_registered_) reactor_.unregister_fd(ring_.ring_fd());
+  std::lock_guard<std::mutex> lk(tx_mu_);
+  shutting_down_ = true;
+  auto cancel = [&](std::uint64_t tag) {
+    io_uring_sqe* sqe = ring_.get_sqe();
+    if (sqe == nullptr) return;
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->addr = tag;                    // cancel by matching user_data
+    sqe->user_data = tag | kCancelBit;  // guarded out of the slot range below
+  };
+  if (rx_main_armed_) cancel(kRxMain);
+  if (rx_mcast_armed_) cancel(kRxMcast);
+  ring_.submit();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  auto drained = [&] {
+    return !rx_main_armed_ && !rx_mcast_armed_ &&
+           free_slots_.size() == slots_.size();
+  };
+  while (!drained() && std::chrono::steady_clock::now() < deadline) {
+    ring_.reap([&](const io_uring_cqe& cqe) {
+      if (cqe.user_data >= kCancelBit) return;  // the cancel op's own CQE
+      if (cqe.user_data >= kTxBase) {
+        const std::size_t slot = static_cast<std::size_t>(cqe.user_data - kTxBase);
+        if (slot < slots_.size()) {
+          slots_[slot].frame = PacketBuffer();
+          free_slots_.push_back(slot);
+        }
+        return;
+      }
+      // RX completions during teardown: data is dropped; only the
+      // terminal (no F_MORE / error) CQE matters.
+      if (cqe.res < 0 || (cqe.flags & IORING_CQE_F_MORE) == 0) {
+        if (cqe.user_data == kRxMain) rx_main_armed_ = false;
+        if (cqe.user_data == kRxMcast) rx_mcast_armed_ = false;
+      }
+    });
+    if (!drained()) {
+      pollfd p{ring_.ring_fd(), POLLIN, 0};
+      ::poll(&p, 1, 10);
+    }
+  }
+  if (!drained()) {
+    TLOG_WARN << "io_uring teardown timed out with operations in flight on net"
+              << config_.network;
+  }
+  rx_bufs_.clear();
+  slots_.clear();
+  backlog_.clear();
+  round_gso_.clear();
+  for (auto& [node, fd] : tx_fds_) ::close(fd);
+  if (mcast_tx_fd_ >= 0) ::close(mcast_tx_fd_);
+  // ~Uring then unregisters the provided-buffer ring and closes the ring
+  // fd; ~UdpTransport closes fd_/mcast_fd_ (never reactor-registered here,
+  // and unregister_fd of an unknown fd is a no-op).
+}
+
+void IoUringTransport::arm_recv_locked(int fd, std::uint64_t tag) {
+  io_uring_sqe* sqe = ring_.get_sqe();
+  if (sqe == nullptr) return;  // SQ full; the next completion round re-arms
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = fd;
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = 0;
+  // MSG_TRUNC: cqe->res reports each datagram's REAL length even beyond
+  // the provided buffer, so oversized datagrams are counted (rx_truncated),
+  // never silently clipped.
+  sqe->msg_flags = MSG_TRUNC;
+  sqe->user_data = tag;
+  if (tag == kRxMain) rx_main_armed_ = true;
+  if (tag == kRxMcast) rx_mcast_armed_ = true;
+}
+
+void IoUringTransport::emit_send_locked(std::size_t slot, bool link) {
+  io_uring_sqe* sqe = ring_.get_sqe();  // caller verified sq_space
+  TxSlot& s = slots_[slot];
+  if (s.segs > 1) {
+    // Packed GSO super-buffer: one SENDMSG, UDP_SEGMENT cmsg carries the
+    // segment size; the kernel emits s.segs real datagrams from it.
+    s.iov.iov_base = const_cast<std::byte*>(s.frame.data());
+    s.iov.iov_len = s.frame.size();
+    std::memset(&s.mh, 0, sizeof(s.mh));
+    s.mh.msg_iov = &s.iov;
+    s.mh.msg_iovlen = 1;
+    s.mh.msg_control = s.cmsg;
+    s.mh.msg_controllen = CMSG_SPACE(sizeof(std::uint16_t));
+    cmsghdr* cm = CMSG_FIRSTHDR(&s.mh);
+    cm->cmsg_level = SOL_UDP;
+    cm->cmsg_type = UDP_SEGMENT;
+    cm->cmsg_len = CMSG_LEN(sizeof(std::uint16_t));
+    const auto seg = static_cast<std::uint16_t>(s.seg_bytes);
+    std::memcpy(CMSG_DATA(cm), &seg, sizeof(seg));
+    sqe->opcode = IORING_OP_SENDMSG;
+    sqe->fd = s.fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(&s.mh);
+    sqe->len = 1;
+  } else {
+    sqe->opcode = IORING_OP_SEND;
+    sqe->fd = s.fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(s.frame.data());
+    sqe->len = static_cast<unsigned>(s.frame.size());
+  }
+  sqe->user_data = kTxBase + slot;
+  // Link flags are decided NOW, while the SQE is written: once a flush may
+  // run, this slot's SQE memory can be handed to another writer, so a
+  // chain can never be extended retroactively.
+  if (link) sqe->flags |= IOSQE_IO_LINK;
+  round_submitted_ += s.segs;
+}
+
+void IoUringTransport::backlog_locked(PacketBuffer frame, int fd) {
+  if (backlog_.size() >= kMaxBacklog) {
+    ++stats_.tx_errors;
+    return;
+  }
+  backlog_.push_back(BacklogEntry{std::move(frame), fd});
+}
+
+void IoUringTransport::drain_backlog_locked() {
+  while (!backlog_.empty() && !free_slots_.empty() && ring_.sq_space() > 0) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    TxSlot& s = slots_[slot];
+    s.frame = std::move(backlog_.front().frame);
+    s.fd = backlog_.front().fd;
+    s.retried = false;
+    s.segs = 1;
+    backlog_.pop_front();
+    emit_send_locked(slot, false);
+  }
+}
+
+void IoUringTransport::queue_gso_locked(int fd, PacketBuffer frame) {
+  for (GsoQueue& q : round_gso_) {
+    if (q.fd == fd) {
+      q.frames.push_back(std::move(frame));
+      return;
+    }
+  }
+  // Unknown fd (cannot happen with the fixed layout) — send unpacked.
+  if (!free_slots_.empty() && ring_.sq_space() > 0) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    TxSlot& s = slots_[slot];
+    s.frame = std::move(frame);
+    s.fd = fd;
+    s.retried = false;
+    s.segs = 1;
+    emit_send_locked(slot, false);
+  } else {
+    backlog_locked(std::move(frame), fd);
+  }
+}
+
+void IoUringTransport::flush_gso_locked() {
+  for (GsoQueue& q : round_gso_) {
+    if (q.frames.empty()) continue;
+    // A non-empty backlog means earlier frames are still waiting for slots;
+    // join the queue behind them so per-destination order holds.
+    if (!backlog_.empty()) {
+      for (PacketBuffer& f : q.frames) backlog_locked(std::move(f), q.fd);
+      q.frames.clear();
+      continue;
+    }
+    std::size_t i = 0;
+    const std::size_t n = q.frames.size();
+    while (i < n) {
+      if (free_slots_.empty() || ring_.sq_space() == 0) {
+        for (; i < n; ++i) backlog_locked(std::move(q.frames[i]), q.fd);
+        break;
+      }
+      // Maximal GSO run: equal-size frames, optionally closed by one
+      // shorter frame (UDP_SEGMENT allows a short final segment).
+      const std::size_t seg = q.frames[i].size();
+      std::size_t k = 1;
+      std::size_t bytes = seg;
+      while (i + k < n && k < kMaxGsoSegs && seg > 0) {
+        const std::size_t next = q.frames[i + k].size();
+        if (next > seg || bytes + next > kMaxGsoBytes) break;
+        ++k;
+        bytes += next;
+        if (next < seg) break;  // short segment terminates the run
+      }
+      const std::size_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      TxSlot& s = slots_[slot];
+      s.fd = q.fd;
+      s.retried = false;
+      if (k == 1) {
+        s.frame = std::move(q.frames[i]);
+        s.segs = 1;
+      } else {
+        PacketBuffer packed = tx_pool_.acquire_uninitialized(bytes);
+        std::byte* dst = packed.mutable_bytes().data();
+        for (std::size_t j = 0; j < k; ++j) {
+          const PacketBuffer& f = q.frames[i + j];
+          std::memcpy(dst, f.data(), f.size());
+          dst += f.size();
+        }
+        s.frame = std::move(packed);
+        s.segs = static_cast<unsigned>(k);
+        s.seg_bytes = static_cast<unsigned>(seg);
+      }
+      emit_send_locked(slot, false);
+      i += k;
+    }
+    q.frames.clear();
+  }
+}
+
+void IoUringTransport::flush_round_locked() {
+  if (ring_.pending() > 0) ring_.submit();
+  if (round_submitted_ > 0) {
+    ++stats_.tx_syscall_batches;
+    if (tx_batch_hist_) tx_batch_hist_->record(round_submitted_);
+    round_submitted_ = 0;
+  }
+}
+
+void IoUringTransport::begin_tx_round() {}
+
+void IoUringTransport::submit_entry(const TxEntry& entry) {
+  // Gather the fan-out first: the chain length must be known BEFORE any SQE
+  // is written (see emit_send_locked on link flags).
+  std::array<int, kTxBatch> fds;
+  std::size_t m = 0;
+  expand_entry(entry, [&](NodeId dest, const sockaddr_in&) {
+    const int fd = tx_fd_for(dest);
+    if (fd >= 0 && m < fds.size()) fds[m++] = fd;
+  });
+  if (m == 0) return;
+  std::lock_guard<std::mutex> lk(tx_mu_);
+  if (gso_ok_) {
+    // GSO path: park the fan-out on the per-destination round queues;
+    // end_tx_round packs equal-size runs into UDP_SEGMENT super-buffers.
+    for (std::size_t i = 0; i < m; ++i) queue_gso_locked(fds[i], entry.frame);
+    return;
+  }
+  if (ring_.sq_space() < m) ring_.submit();
+  // Whole fan-out as one IOSQE_IO_LINK chain when resources allow — the
+  // kernel walks every destination from a single submit. Otherwise emit
+  // (or backlog) each datagram unlinked; a partially-resourced chain must
+  // never dangle into a later, unrelated SQE.
+  const bool chain =
+      m > 1 && backlog_.empty() && free_slots_.size() >= m && ring_.sq_space() >= m;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!chain && (!backlog_.empty() || free_slots_.empty() || ring_.sq_space() == 0)) {
+      backlog_locked(entry.frame, fds[i]);
+      continue;
+    }
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    TxSlot& s = slots_[slot];
+    s.frame = entry.frame;  // refcount copy pins the bytes for the kernel
+    s.fd = fds[i];
+    s.retried = false;
+    s.segs = 1;
+    emit_send_locked(slot, chain && i + 1 < m);
+  }
+}
+
+void IoUringTransport::end_tx_round() {
+  std::lock_guard<std::mutex> lk(tx_mu_);
+  if (gso_ok_) flush_gso_locked();
+  flush_round_locked();
+}
+
+void IoUringTransport::on_ring_readable() {
+  // Datagrams accepted this round are handed up AFTER the lock drops: the
+  // rx handler may immediately send (token forward), and submit_entry
+  // takes tx_mu_.
+  std::vector<std::pair<PacketBuffer, std::size_t>> accepted;
+  {
+    std::lock_guard<std::mutex> lk(tx_mu_);
+    bool bufs_dirty = false;
+    ring_.reap([&](const io_uring_cqe& cqe) {
+      if (cqe.user_data >= kTxBase) {
+        const std::size_t slot = static_cast<std::size_t>(cqe.user_data - kTxBase);
+        TxSlot& s = slots_[slot];
+        if (cqe.res == -ECANCELED && !s.retried && !shutting_down_ &&
+            ring_.sq_space() > 0) {
+          // A linked predecessor failed, so this SQE never ran. The frame
+          // and fd are still in the slot: one bounded resubmit.
+          s.retried = true;
+          emit_send_locked(slot, false);
+          return;
+        }
+        if (cqe.res < 0) {
+          stats_.tx_errors += s.segs;  // a failed GSO op loses every segment
+          TLOG_DEBUG << "io_uring send failed: " << std::strerror(-cqe.res);
+        } else if (s.segs > 1 &&
+                   static_cast<std::size_t>(cqe.res) < s.frame.size()) {
+          // Short GSO write: the kernel sent only the leading whole
+          // segments; charge the rest as errors so counters reconcile.
+          const unsigned sent = s.seg_bytes > 0
+                                    ? static_cast<unsigned>(cqe.res) / s.seg_bytes
+                                    : 0;
+          stats_.tx_errors += s.segs - std::min(s.segs, sent);
+        }
+        s.frame = PacketBuffer();  // un-pin the bytes
+        s.fd = -1;
+        s.retried = false;
+        s.segs = 1;
+        free_slots_.push_back(slot);
+        return;
+      }
+      // Multishot recv completion.
+      if (cqe.res >= 0 && (cqe.flags & IORING_CQE_F_BUFFER) != 0) {
+        const auto bid =
+            static_cast<unsigned short>(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
+        PacketBuffer buf = std::move(rx_bufs_[bid]);
+        rx_bufs_[bid] = rx_pool_.acquire_uninitialized(rx_buf_bytes_);
+        ring_.push_buf(bid, rx_bufs_[bid].mutable_bytes().data(),
+                       static_cast<unsigned>(rx_buf_bytes_));
+        bufs_dirty = true;
+        const auto len = static_cast<std::size_t>(cqe.res);  // real length (MSG_TRUNC)
+        if (len > rx_buf_bytes_) {
+          ++stats_.rx_truncated;
+        } else {
+          accepted.emplace_back(std::move(buf), len);
+        }
+      }
+      if (cqe.res < 0 || (cqe.flags & IORING_CQE_F_MORE) == 0) {
+        // The multishot terminated (ENOBUFS after a burst, error, or
+        // cancel); re-arm below once buffers are recommitted.
+        if (cqe.user_data == kRxMain) {
+          rx_main_armed_ = false;
+          rearm_main_ = !shutting_down_;
+        }
+        if (cqe.user_data == kRxMcast) {
+          rx_mcast_armed_ = false;
+          rearm_mcast_ = !shutting_down_;
+        }
+        if (cqe.res < 0 && cqe.res != -ENOBUFS && cqe.res != -ECANCELED) {
+          TLOG_DEBUG << "io_uring recv terminated: " << std::strerror(-cqe.res);
+        }
+      }
+    });
+    if (bufs_dirty) ring_.commit_buf_ring();
+    if (rearm_main_ && !rx_main_armed_ && ring_.sq_space() > 0) {
+      rearm_main_ = false;
+      arm_recv_locked(fd_, kRxMain);
+    }
+    if (rearm_mcast_ && !rx_mcast_armed_ && ring_.sq_space() > 0) {
+      rearm_mcast_ = false;
+      arm_recv_locked(mcast_fd_, kRxMcast);
+    }
+    drain_backlog_locked();
+    flush_round_locked();
+    if (!accepted.empty()) {
+      // One completion round plays the role one recvmmsg call played.
+      ++stats_.rx_syscall_batches;
+      if (rx_batch_hist_) rx_batch_hist_->record(accepted.size());
+    }
+  }
+  bool queued_any = false;
+  for (auto& [buf, len] : accepted) {
+    queued_any |= accept_datagram(std::move(buf), len);
+  }
+  if (queued_any && rx_wakeup_) rx_wakeup_();
+}
+
+}  // namespace totem::net
+
+#endif  // TOTEM_IO_URING_BACKEND

@@ -7,6 +7,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,9 +16,11 @@
 
 #include "common/bytes.h"
 #include "common/log.h"
+#include "net/io_uring_transport.h"
 
 // The mmsg batch syscalls are Linux-specific; everything routes through the
-// portable per-datagram fallback elsewhere (and when batched_syscalls=false).
+// portable per-datagram fallback elsewhere (and when the per-datagram
+// backend is selected).
 #if defined(__linux__)
 #define TOTEM_HAVE_MMSG 1
 #else
@@ -28,7 +31,7 @@ namespace totem::net {
 namespace {
 
 constexpr std::uint32_t kUdpMagic = 0x544F544Du;  // "TOTM"
-constexpr std::size_t kUdpHeader = 8;             // magic + sender id
+constexpr std::size_t kUdpHeader = UdpTransport::kUdpHeaderSize;
 constexpr std::size_t kMaxDatagram = 64 * 1024;
 
 sockaddr_in to_sockaddr(const UdpEndpoint& ep) {
@@ -46,6 +49,35 @@ Result<std::unique_ptr<UdpTransport>> UdpTransport::create(Reactor& reactor, Con
   if (self_it == config.peers.end()) {
     return Status{StatusCode::kInvalidArgument, "local node missing from peer map"};
   }
+
+  // Resolve the requested backend against what this build and kernel can
+  // actually provide. The legacy batched_syscalls=false switch means "pin
+  // the portable per-datagram path" and predates the enum.
+  DatapathBackend backend = config.backend;
+  if (backend == DatapathBackend::kMmsg && !config.batched_syscalls) {
+    backend = DatapathBackend::kPerDatagram;
+  }
+#if !TOTEM_HAVE_MMSG
+  if (backend == DatapathBackend::kMmsg) backend = DatapathBackend::kPerDatagram;
+#endif
+  if (backend == DatapathBackend::kIoUring && !io_uring_available()) {
+    if (config.require_backend) {
+      return Status{StatusCode::kUnavailable,
+                    io_uring_compiled()
+                        ? "io_uring datapath unavailable: kernel probe failed"
+                        : "io_uring datapath unavailable: not compiled in "
+                          "(TOTEM_IO_URING=OFF or no <linux/io_uring.h>)"};
+    }
+    backend = TOTEM_HAVE_MMSG != 0 && config.batched_syscalls
+                  ? DatapathBackend::kMmsg
+                  : DatapathBackend::kPerDatagram;
+    TLOG_WARN << "io_uring datapath unavailable on net" << config.network
+              << "; falling back to " << backend_name(backend);
+  }
+  // Keep the legacy flag coherent with the resolution so the drain/send
+  // paths (which still branch on it) agree with backend().
+  config.batched_syscalls = backend == DatapathBackend::kMmsg;
+  config.backend = backend;
 
   const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd < 0) {
@@ -114,19 +146,28 @@ Result<std::unique_ptr<UdpTransport>> UdpTransport::create(Reactor& reactor, Con
     ::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
   }
 
-  return std::unique_ptr<UdpTransport>(
-      new UdpTransport(reactor, std::move(config), fd, mcast_fd));
+  std::unique_ptr<UdpTransport> transport;
+#if TOTEM_IO_URING_BACKEND
+  if (backend == DatapathBackend::kIoUring) {
+    transport.reset(new IoUringTransport(reactor, std::move(config), fd, mcast_fd));
+  }
+#endif
+  if (!transport) {
+    transport.reset(new UdpTransport(reactor, std::move(config), fd, mcast_fd, backend));
+  }
+  if (Status st = transport->attach(); !st.is_ok()) return st;
+  return transport;
 }
 
-UdpTransport::UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd)
+UdpTransport::UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd,
+                           DatapathBackend backend)
     : reactor_(reactor),
       config_(std::move(config)),
+      backend_(backend),
       fd_(fd),
       mcast_fd_(mcast_fd),
       loss_rng_state_(0x9E3779B97F4A7C15uLL ^ (static_cast<std::uint64_t>(fd) << 32)) {
-  reactor_.register_fd(fd_, [this] { drain(fd_); });
   if (mcast_fd_ >= 0) {
-    reactor_.register_fd(mcast_fd_, [this] { drain(mcast_fd_); });
     mcast_addr_ = to_sockaddr(UdpEndpoint{config_.multicast_group, config_.multicast_port});
   }
   for (const auto& [node, ep] : config_.peers) {
@@ -146,10 +187,21 @@ UdpTransport::UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd
     wake_hook_added_ = true;
   }
   if (config_.metrics) {
-    const std::string net = std::to_string(config_.network);
-    tx_batch_hist_ = config_.metrics->histogram("net.tx_batch.net" + net);
-    rx_batch_hist_ = config_.metrics->histogram("net.rx_batch.net" + net);
+    // Backend-labelled so a shoot-out over several backends keeps their
+    // batch-shape histograms apart in one registry.
+    const std::string suffix =
+        ".net" + std::to_string(config_.network) + "." + backend_name(backend_);
+    tx_batch_hist_ = config_.metrics->histogram("net.tx_batch" + suffix);
+    rx_batch_hist_ = config_.metrics->histogram("net.rx_batch" + suffix);
   }
+}
+
+Status UdpTransport::attach() {
+  reactor_.register_fd(fd_, [this] { drain(fd_); });
+  if (mcast_fd_ >= 0) {
+    reactor_.register_fd(mcast_fd_, [this] { drain(mcast_fd_); });
+  }
+  return {};
 }
 
 UdpTransport::~UdpTransport() {
@@ -189,29 +241,25 @@ bool UdpTransport::account_tx(std::size_t payload_bytes) {
   return true;
 }
 
+void UdpTransport::warn_unknown_dest(NodeId dest) {
+  TLOG_WARN << "udp unicast to unknown node " << dest;
+}
+
+bool UdpTransport::wait_writable(int fd) {
+  // The socket buffer back-pressured a send. Waiting here (briefly) instead
+  // of dropping keeps the queued backlog intact and ordered; if the buffer
+  // stays full past the budget the caller degrades to counted drops, so a
+  // dead peer cannot wedge the reactor thread.
+  pollfd p{fd, POLLOUT, 0};
+  const int rc = ::poll(&p, 1, 50);
+  return rc > 0 && (p.revents & POLLOUT) != 0;
+}
+
 void UdpTransport::send_batch(const PacketBuffer* frames[], const sockaddr_in* addrs,
                               std::size_t n) {
   if (n == 0) return;
-  // One datagram's failure must not wedge the rest of the batch: a partial
-  // sendmmsg return means the datagram AFTER the sent prefix errored (the
-  // kernel reports errno only when nothing was sent), so that one is probed
-  // individually with sendto — charging tx_errors — and the batch resumes
-  // behind it.
-  auto send_one = [&](std::size_t i) {
-    const ssize_t rc =
-        ::sendto(fd_, frames[i]->data(), frames[i]->size(), 0,
-                 reinterpret_cast<const sockaddr*>(&addrs[i]), sizeof(addrs[i]));
-    if (rc < 0) {
-      ++stats_.tx_errors;
-      if (errno != EAGAIN && errno != EWOULDBLOCK) {
-        TLOG_DEBUG << "udp sendto failed: " << std::strerror(errno);
-      }
-    }
-  };
 #if TOTEM_HAVE_MMSG
   if (config_.batched_syscalls) {
-    ++stats_.tx_syscall_batches;
-    if (tx_batch_hist_) tx_batch_hist_->record(n);
     mmsghdr msgs[kTxBatch];
     iovec iovs[kTxBatch];
     std::memset(msgs, 0, sizeof(mmsghdr) * n);
@@ -223,63 +271,93 @@ void UdpTransport::send_batch(const PacketBuffer* frames[], const sockaddr_in* a
       msgs[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(&addrs[i]);
       msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
     }
+    // Partial-return recovery. sendmmsg reports errno only when NOTHING was
+    // sent; a short return means the datagram after the sent prefix errored
+    // or the socket buffer filled. Resuming from the failed head makes the
+    // next call either send it (transient) or surface its errno (per-
+    // datagram failure, charged to tx_errors and skipped). Nothing is
+    // dropped, duplicated, or reordered relative to the queued backlog, and
+    // the batch histogram records each datagram exactly once: successfully
+    // sent ones per actual syscall, failed ones only in tx_errors.
     std::size_t off = 0;
+    bool waited = false;
     while (off < n) {
-      const int rc = ::sendmmsg(fd_, msgs + off, static_cast<unsigned>(n - off), 0);
-      if (rc < 0) {
-        if (errno == EINTR) continue;
-        send_one(off);  // nothing sent: the head datagram is the culprit
-        ++off;
+      const int rc =
+          config_.sendmmsg_hook
+              ? config_.sendmmsg_hook(fd_, msgs + off, static_cast<unsigned>(n - off), 0)
+              : ::sendmmsg(fd_, msgs + off, static_cast<unsigned>(n - off), 0);
+      if (rc > 0) {
+        ++stats_.tx_syscall_batches;
+        if (tx_batch_hist_) tx_batch_hist_->record(static_cast<std::uint64_t>(rc));
+        off += static_cast<std::size_t>(rc);
+        waited = false;
         continue;
       }
-      off += static_cast<std::size_t>(rc);
-      if (off < n) {
-        send_one(off);  // partial return: datagram `off` errored
-        ++off;
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Full socket buffer, not a bad datagram: wait for POLLOUT once,
+        // then retry the untouched remainder in order.
+        if (!waited && wait_writable(fd_)) {
+          waited = true;
+          continue;
+        }
+        stats_.tx_errors += n - off;
+        TLOG_DEBUG << "udp sendmmsg backlog dropped after POLLOUT wait: "
+                   << (n - off) << " datagrams";
+        return;
       }
+      // Per-datagram error on the head (or rc == 0, which sendmmsg does not
+      // produce for vlen > 0): charge it and resume behind it.
+      ++stats_.tx_errors;
+      TLOG_DEBUG << "udp sendmmsg datagram failed: " << std::strerror(errno);
+      ++off;
+      waited = false;
     }
     return;
   }
 #endif
-  // Portable fallback: one syscall per datagram.
+  // Portable fallback: one syscall per datagram, same recovery contract.
   for (std::size_t i = 0; i < n; ++i) {
-    ++stats_.tx_syscall_batches;
-    if (tx_batch_hist_) tx_batch_hist_->record(1);
-    send_one(i);
+    bool waited = false;
+    for (;;) {
+      const ssize_t rc =
+          ::sendto(fd_, frames[i]->data(), frames[i]->size(), 0,
+                   reinterpret_cast<const sockaddr*>(&addrs[i]), sizeof(addrs[i]));
+      if (rc >= 0) {
+        ++stats_.tx_syscall_batches;
+        if (tx_batch_hist_) tx_batch_hist_->record(1);
+        break;
+      }
+      if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && !waited && wait_writable(fd_)) {
+        waited = true;
+        continue;
+      }
+      ++stats_.tx_errors;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        TLOG_DEBUG << "udp sendto failed: " << std::strerror(errno);
+      }
+      break;
+    }
   }
 }
 
-void UdpTransport::send_entry(const TxEntry& entry) {
-  const PacketBuffer* frames[kTxBatch];
-  sockaddr_in addrs[kTxBatch];
-  std::size_t n = 0;
-  auto emit = [&](const sockaddr_in& a) {
-    frames[n] = &entry.frame;
-    addrs[n] = a;
-    if (++n == kTxBatch) {
-      send_batch(frames, addrs, n);
-      n = 0;
+void UdpTransport::begin_tx_round() { round_n_ = 0; }
+
+void UdpTransport::submit_entry(const TxEntry& entry) {
+  expand_entry(entry, [&](NodeId, const sockaddr_in& addr) {
+    round_frames_[round_n_] = &entry.frame;
+    round_addrs_[round_n_] = addr;
+    if (++round_n_ == kTxBatch) {
+      send_batch(round_frames_.data(), round_addrs_.data(), round_n_);
+      round_n_ = 0;
     }
-  };
-  const std::size_t payload = entry.frame.size() - kUdpHeader;
-  if (entry.dest == kBroadcastDest) {
-    if (mcast_fd_ >= 0) {
-      // One datagram to the group — the native broadcast Totem exploits (§2).
-      if (account_tx(payload)) emit(mcast_addr_);
-    } else {
-      for (const auto& [node, addr] : peer_addrs_) {
-        if (account_tx(payload)) emit(addr);
-      }
-    }
-  } else {
-    auto it = addr_by_node_.find(entry.dest);
-    if (it == addr_by_node_.end()) {
-      TLOG_WARN << "udp unicast to unknown node " << entry.dest;
-      return;
-    }
-    if (account_tx(payload)) emit(it->second);
-  }
-  send_batch(frames, addrs, n);
+  });
+}
+
+void UdpTransport::end_tx_round() {
+  send_batch(round_frames_.data(), round_addrs_.data(), round_n_);
+  round_n_ = 0;
 }
 
 void UdpTransport::flush_tx() {
@@ -291,38 +369,9 @@ void UdpTransport::flush_tx() {
     std::size_t held_n = 0;
     while (held_n < kTxBatch && tx_ring_->try_pop(held[held_n])) ++held_n;
     if (held_n == 0) return;
-    const PacketBuffer* frames[kTxBatch];
-    sockaddr_in addrs[kTxBatch];
-    std::size_t n = 0;
-    auto emit_from = [&](const TxEntry& e, const sockaddr_in& a) {
-      frames[n] = &e.frame;
-      addrs[n] = a;
-      if (++n == kTxBatch) {
-        send_batch(frames, addrs, n);
-        n = 0;
-      }
-    };
-    for (std::size_t i = 0; i < held_n; ++i) {
-      const TxEntry& e = held[i];
-      const std::size_t payload = e.frame.size() - kUdpHeader;
-      if (e.dest == kBroadcastDest) {
-        if (mcast_fd_ >= 0) {
-          if (account_tx(payload)) emit_from(e, mcast_addr_);
-        } else {
-          for (const auto& [node, addr] : peer_addrs_) {
-            if (account_tx(payload)) emit_from(e, addr);
-          }
-        }
-      } else {
-        auto it = addr_by_node_.find(e.dest);
-        if (it == addr_by_node_.end()) {
-          TLOG_WARN << "udp unicast to unknown node " << e.dest;
-          continue;
-        }
-        if (account_tx(payload)) emit_from(e, it->second);
-      }
-    }
-    send_batch(frames, addrs, n);
+    begin_tx_round();
+    for (std::size_t i = 0; i < held_n; ++i) submit_entry(held[i]);
+    end_tx_round();
   }
 }
 
@@ -336,7 +385,9 @@ void UdpTransport::broadcast(PacketBuffer packet) {
     }
     return;
   }
-  send_entry(entry);
+  begin_tx_round();
+  submit_entry(entry);
+  end_tx_round();
 }
 
 void UdpTransport::unicast(NodeId dest, PacketBuffer packet) {
@@ -353,7 +404,9 @@ void UdpTransport::unicast(NodeId dest, PacketBuffer packet) {
     }
     return;
   }
-  send_entry(entry);
+  begin_tx_round();
+  submit_entry(entry);
+  end_tx_round();
 }
 
 bool UdpTransport::accept_datagram(PacketBuffer buf, std::size_t len) {
@@ -386,8 +439,13 @@ bool UdpTransport::accept_datagram(PacketBuffer buf, std::size_t len) {
   ReceivedPacket packet{std::move(buf), sender.value(), config_.network};
   if (rx_ring_) {
     if (!rx_ring_->try_push(std::move(packet))) {
-      // Bounded handoff: a full ring drops like a full kernel socket buffer.
+      // Bounded handoff: a full ring drops like a full kernel socket
+      // buffer — counted in BOTH rx_queue_drops (the why) and rx_dropped
+      // (the what), so transport- and network-side totals reconcile.
+      // (Pool exhaustion cannot drop here: BufferPool::acquire grows on
+      // demand rather than failing.)
       ++stats_.rx_queue_drops;
+      ++stats_.rx_dropped;
       return false;
     }
     ++stats_.packets_received;

@@ -11,29 +11,37 @@
 // loopback where link-level broadcast is unavailable). A small transport
 // header carries the sender's node id.
 //
-// Hot path (DESIGN.md §12). TX and RX are syscall-batched: a broadcast
-// fan-out and any queued backlog go to the kernel as ONE sendmmsg() of up
-// to kTxBatch datagrams, and a readable socket is drained recvmmsg()-first
-// into kRxBatch pooled buffers per syscall (portable per-packet
-// sendto/recv fallback when the platform lacks the mmsg calls, or when
-// Config::batched_syscalls is off). Optionally the transport splits I/O
-// from protocol work across threads: with Config::rx_queue_capacity /
-// tx_queue_capacity set, received packets are handed to the ordering
-// thread through a bounded lock-free SPSC ring (common/spsc_ring.h) and
-// sends are framed on the ordering thread but hit the socket on the
-// reactor thread, so replicator fan-out over N networks overlaps with SRP
-// ordering work (api::ThreadedRuntime owns the thread lifecycle).
+// Hot path (DESIGN.md §12, §15). Three datapath backends share this class's
+// framing, accounting, and queueing; Config::backend picks one:
+//   * kPerDatagram — portable sendto()/recv(), one syscall per datagram.
+//   * kMmsg — a broadcast fan-out and any queued backlog go to the kernel
+//     as ONE sendmmsg() of up to kTxBatch datagrams, and a readable socket
+//     is drained recvmmsg()-first into kRxBatch pooled buffers per syscall.
+//   * kIoUring — net::IoUringTransport (a subclass, still created through
+//     UdpTransport::create()): multishot recv into a provided-buffer ring,
+//     linked-SQE broadcast fan-out over connected per-peer sockets.
+// Optionally the transport splits I/O from protocol work across threads:
+// with Config::rx_queue_capacity / tx_queue_capacity set, received packets
+// are handed to the ordering thread through a bounded lock-free SPSC ring
+// (common/spsc_ring.h) and sends are framed on the ordering thread but hit
+// the socket on the reactor thread, so replicator fan-out over N networks
+// overlaps with SRP ordering work (api::ThreadedRuntime owns the thread
+// lifecycle and can pin each thread to a CPU).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <netinet/in.h>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/spsc_ring.h"
 #include "common/status.h"
+#include "net/datapath.h"
 #include "net/reactor.h"
 #include "net/transport.h"
 
@@ -45,13 +53,15 @@ struct UdpEndpoint {
   std::uint16_t port = 0;
 };
 
-class UdpTransport final : public Transport {
+class UdpTransport : public Transport {
  public:
   /// Datagrams per sendmmsg() call (a broadcast fan-out plus queued backlog
   /// are packed up to this).
   static constexpr std::size_t kTxBatch = 64;
   /// Datagrams per recvmmsg() call (each backed by a pooled 64 KB buffer).
   static constexpr std::size_t kRxBatch = 32;
+  /// Size of the transport framing header (magic + sender id).
+  static constexpr std::size_t kUdpHeaderSize = 8;
 
   struct Config {
     /// Index of the redundant network this transport serves.
@@ -81,22 +91,54 @@ class UdpTransport final : public Transport {
     std::string multicast_interface = "127.0.0.1";
 
     /// Optional metrics registry (common/metrics.h): send/recv batch-size
-    /// histograms (net.tx_batch.netN / net.rx_batch.netN, datagrams per
-    /// syscall) are recorded here when set. Not owned; must outlive the
-    /// transport.
+    /// histograms (net.tx_batch.netN.<backend> / net.rx_batch.netN.<backend>,
+    /// datagrams per syscall or per completion round, labelled with the
+    /// EFFECTIVE backend) are recorded here when set. Not owned; must
+    /// outlive the transport.
     MetricsRegistry* metrics = nullptr;
 
-    /// Use sendmmsg/recvmmsg when the platform has them. Off = the
-    /// portable one-syscall-per-datagram fallback (also what non-Linux
-    /// builds compile to); exists so tests can pin either path and the
-    /// bench can compare them.
+    /// Which datapath backend drives this transport (net/datapath.h).
+    /// create() resolves it against the build and the running kernel:
+    /// kIoUring degrades to kMmsg (with a warning) when io_uring is
+    /// unavailable, and kMmsg degrades to kPerDatagram off Linux — unless
+    /// require_backend is set. backend() reports the resolved choice.
+    DatapathBackend backend = DatapathBackend::kMmsg;
+    /// When true, create() fails with kUnavailable instead of degrading a
+    /// `backend` the platform cannot provide (tests use this to skip).
+    bool require_backend = false;
+
+    /// Legacy switch for the pre-backend-enum API: false pins the portable
+    /// per-datagram path (equivalent to backend = kPerDatagram). Kept so
+    /// existing callers and benches keep meaning what they said.
     bool batched_syscalls = true;
+
+    /// kIoUring tuning. RX buffers come from the transport's BufferPool and
+    /// are registered as a provided-buffer ring; each must hold the largest
+    /// protocol datagram (srp/wire.h caps bodies at 1424 bytes, so the 2 KB
+    /// default — one pool slab — has headroom; oversized datagrams are
+    /// counted in rx_truncated and dropped, never clipped into garbage).
+    unsigned uring_sq_entries = 256;
+    unsigned uring_rx_buffers = 256;
+    std::size_t uring_rx_buffer_bytes = 2048;
+    unsigned uring_tx_slots = 256;
+    /// Pack consecutive same-size frames to one destination into a single
+    /// UDP_SEGMENT (GSO) sendmsg — the kernel traverses the send path once
+    /// per run instead of once per datagram. Probed at attach; silently
+    /// falls back to per-datagram SQEs on kernels without UDP GSO.
+    bool uring_tx_gso = true;
+
+    /// TEST SEAM: when set, the mmsg path calls this instead of ::sendmmsg
+    /// (msgvec is a struct mmsghdr*; same contract). Lets regression tests
+    /// inject short writes and transient errors without a fake kernel.
+    std::function<int(int fd, void* msgvec, unsigned vlen, int flags)>
+        sendmmsg_hook;
 
     /// When > 0, received packets are queued into a bounded SPSC ring
     /// instead of invoking the rx handler on the reactor thread; the
     /// ordering thread must call dispatch_queued() (ThreadedRuntime wires
-    /// this). Ring-full datagrams are counted in rx_queue_drops — bounded-
-    /// queue semantics, same as a full kernel socket buffer.
+    /// this). Ring-full datagrams are counted in rx_queue_drops AND
+    /// rx_dropped — bounded-queue semantics, same as a full kernel socket
+    /// buffer, reconciled with the network-side counters.
     std::size_t rx_queue_capacity = 0;
 
     /// When > 0, broadcast()/unicast() only frame the packet (on the
@@ -106,9 +148,11 @@ class UdpTransport final : public Transport {
     std::size_t tx_queue_capacity = 0;
   };
 
-  /// Binds the local endpoint and registers with the reactor. Fails with
+  /// Binds the local endpoint, builds the backend resolved from
+  /// Config::backend, and registers with the reactor. Fails with
   /// kInvalidArgument on a bad config and kUnavailable on socket errors
-  /// (e.g. the port is taken).
+  /// (e.g. the port is taken) or when require_backend is set and the
+  /// platform cannot provide the requested backend.
   static Result<std::unique_ptr<UdpTransport>> create(Reactor& reactor, Config config);
 
   ~UdpTransport() override;
@@ -119,8 +163,8 @@ class UdpTransport final : public Transport {
   using Transport::unicast;
 
   /// Send to every peer: one multicast datagram when configured, otherwise
-  /// a sendmmsg-batched fan-out (or the per-peer fallback loop). In queued
-  /// mode this only frames + enqueues; the reactor thread does the syscall.
+  /// a batched fan-out (or the per-peer fallback loop). In queued mode this
+  /// only frames + enqueues; the reactor thread does the syscall.
   void broadcast(PacketBuffer packet) override;
   /// Send to one peer (the token path). Batched/queued like broadcast().
   void unicast(NodeId dest, PacketBuffer packet) override;
@@ -134,6 +178,8 @@ class UdpTransport final : public Transport {
   [[nodiscard]] const Stats& stats() const override { return stats_; }
   /// True when broadcast() rides a single IP-multicast datagram.
   [[nodiscard]] bool multicast_enabled() const { return mcast_fd_ >= 0; }
+  /// The EFFECTIVE datapath backend (after create()'s fallback resolution).
+  [[nodiscard]] DatapathBackend backend() const { return backend_; }
 
   /// Pop up to `max` packets from the RX handoff ring and invoke the rx
   /// handler for each. The consumer half of the SPSC handoff: call from
@@ -155,8 +201,9 @@ class UdpTransport final : public Transport {
   /// Thread-safe.
   void set_recv_fault(bool faulty) { recv_fault_.store(faulty, std::memory_order_relaxed); }
 
- private:
-  UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd);
+ protected:
+  UdpTransport(Reactor& reactor, Config config, int fd, int mcast_fd,
+               DatapathBackend backend);
 
   // One framed datagram bound for `dest` (kBroadcastDest = all peers, or
   // the multicast group when enabled). The frame is a pooled buffer so a
@@ -166,6 +213,50 @@ class UdpTransport final : public Transport {
     PacketBuffer frame;
     NodeId dest = kBroadcastDest;
   };
+
+  /// Wire the freshly-constructed transport into the reactor (and, for
+  /// subclasses, bring up their submission machinery). Called exactly once
+  /// by create() — construction and attachment are split so a subclass's
+  /// overrides are reachable. A failure status aborts create().
+  virtual Status attach();
+
+  // --- TX rounds -------------------------------------------------------
+  // broadcast()/unicast() (direct mode) and flush_tx() (queued mode) wrap
+  // one or more entries in begin_tx_round()..end_tx_round(); submit_entry()
+  // expands each entry to its destinations. The base class packs datagrams
+  // into sendmmsg batches; IoUringTransport overrides the three hooks to
+  // fill SQEs instead. All three run on the sending thread (the reactor
+  // thread in queued mode).
+  virtual void begin_tx_round();
+  virtual void submit_entry(const TxEntry& entry);
+  virtual void end_tx_round();
+
+  /// Expand `entry` into accounted (dest, addr) datagrams: multicast when
+  /// enabled, else per-peer fan-out for broadcasts; route lookup for
+  /// unicasts. `emit(NodeId dest, const sockaddr_in& addr)` is invoked once
+  /// per datagram that survives account_tx() (dest == kBroadcastDest for
+  /// the multicast group).
+  template <typename Emit>
+  void expand_entry(const TxEntry& entry, Emit&& emit) {
+    const std::size_t payload = entry.frame.size() - kUdpHeaderSize;
+    if (entry.dest == kBroadcastDest) {
+      if (mcast_fd_ >= 0) {
+        // One datagram to the group — the native broadcast Totem exploits (§2).
+        if (account_tx(payload)) emit(kBroadcastDest, mcast_addr_);
+      } else {
+        for (const auto& [node, addr] : peer_addrs_) {
+          if (account_tx(payload)) emit(node, addr);
+        }
+      }
+    } else {
+      auto it = addr_by_node_.find(entry.dest);
+      if (it == addr_by_node_.end()) {
+        warn_unknown_dest(entry.dest);
+        return;
+      }
+      if (account_tx(payload)) emit(entry.dest, it->second);
+    }
+  }
 
   void drain(int fd);
   void drain_batched(int fd);
@@ -178,18 +269,19 @@ class UdpTransport final : public Transport {
   /// pooled buffer ONCE per broadcast/unicast; the batch sender then reuses
   /// it for every destination instead of re-framing per datagram.
   [[nodiscard]] PacketBuffer build_frame(BytesView packet);
-  /// Send `entry` now: expand broadcast to all peers and flush through the
-  /// mmsghdr batch array. Caller thread = reactor thread in queued mode,
-  /// the broadcast()/unicast() caller otherwise.
-  void send_entry(const TxEntry& entry);
-  /// Drain the TX handoff ring into sendmmsg batches (reactor thread).
+  /// Drain the TX handoff ring into TX rounds (reactor thread).
   void flush_tx();
   /// Count + loss-inject one datagram; returns false if it must be dropped.
   bool account_tx(std::size_t payload_bytes);
   void send_batch(const PacketBuffer* frames[], const sockaddr_in* addrs, std::size_t n);
+  void warn_unknown_dest(NodeId dest);
+  /// Bounded POLLOUT wait used when the socket buffer back-pressures a
+  /// send; returns false when it stayed full past the budget.
+  bool wait_writable(int fd);
 
   Reactor& reactor_;
   Config config_;
+  DatapathBackend backend_;
   int fd_ = -1;
   int mcast_fd_ = -1;
   RxHandler rx_handler_;
@@ -211,6 +303,13 @@ class UdpTransport final : public Transport {
   std::vector<std::pair<NodeId, sockaddr_in>> peer_addrs_;
   std::map<NodeId, sockaddr_in> addr_by_node_;
   sockaddr_in mcast_addr_{};
+
+ private:
+  // mmsg-batch accumulator for the current TX round (sending thread only;
+  // frames stay pinned by the round's TxEntry owners until end_tx_round).
+  std::array<const PacketBuffer*, kTxBatch> round_frames_{};
+  std::array<sockaddr_in, kTxBatch> round_addrs_{};
+  std::size_t round_n_ = 0;
 };
 
 /// Convenience: build the peer map for `node_count` nodes on loopback with

@@ -1,0 +1,123 @@
+// Minimal raw-syscall io_uring shim (no liburing dependency).
+//
+// The toolchain ships <linux/io_uring.h> but not liburing, so this wraps
+// the three syscalls (io_uring_setup / io_uring_enter / io_uring_register)
+// and the mmap'd SQ/CQ rings directly — just enough surface for
+// IoUringTransport: SQE acquisition, submission, CQE reaping, and one
+// provided-buffer ring (IORING_REGISTER_PBUF_RING) for multishot recv.
+//
+// Threading: the shim itself is not synchronized. The owner serializes all
+// SQ access (get_sqe/submit) and CQ access (reap) — IoUringTransport holds
+// its TX mutex around both. The kernel side of the rings uses its own
+// acquire/release protocol, honored here with std::atomic_ref.
+#pragma once
+
+#include "common/status.h"
+
+#if defined(__linux__) && defined(TOTEM_HAVE_IO_URING)
+#define TOTEM_IO_URING_COMPILED 1
+#else
+#define TOTEM_IO_URING_COMPILED 0
+#endif
+
+#if TOTEM_IO_URING_COMPILED
+
+#include <linux/io_uring.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace totem::net {
+
+class Uring {
+ public:
+  Uring() = default;
+  ~Uring();
+  Uring(const Uring&) = delete;
+  Uring& operator=(const Uring&) = delete;
+
+  /// Create the ring: `sq_entries` submission slots and a completion queue
+  /// of at least `cq_entries` (IORING_SETUP_CQSIZE; the kernel rounds both
+  /// up to powers of two). kUnavailable when the kernel lacks io_uring
+  /// (ENOSYS, or seccomp EPERM) or rejects the geometry.
+  Status init(unsigned sq_entries, unsigned cq_entries);
+
+  /// The ring fd. Pollable — POLLIN when CQEs are pending — so it plugs
+  /// into net::Reactor like any socket.
+  [[nodiscard]] int ring_fd() const { return fd_; }
+
+  /// Next free SQE, zeroed, or nullptr when the SQ is full (submit first).
+  io_uring_sqe* get_sqe();
+  /// SQEs acquired but not yet handed to the kernel.
+  [[nodiscard]] unsigned pending() const { return pending_; }
+  /// Free SQ slots remaining before get_sqe() returns nullptr.
+  [[nodiscard]] unsigned sq_space() const;
+
+  /// io_uring_enter: submit everything pending, optionally waiting for
+  /// `wait_nr` completions. Returns 0 or a negative errno; EINTR retried.
+  int submit(unsigned wait_nr = 0);
+
+  /// Invoke `fn(const io_uring_cqe&)` for every pending CQE, then release
+  /// them to the kernel. Returns the number consumed.
+  template <typename Fn>
+  unsigned reap(Fn&& fn) {
+    unsigned head = *cq_head_;  // sole consumer: plain read of our own index
+    const unsigned tail =
+        std::atomic_ref<unsigned>(*cq_tail_).load(std::memory_order_acquire);
+    const unsigned mask = *cq_mask_;
+    unsigned n = 0;
+    while (head != tail) {
+      fn(cqes_[head & mask]);
+      ++head;
+      ++n;
+    }
+    if (n > 0) {
+      std::atomic_ref<unsigned>(*cq_head_).store(head, std::memory_order_release);
+    }
+    return n;
+  }
+
+  /// Register a provided-buffer ring of `entries` slots (rounded up to a
+  /// power of two) under buffer-group id `bgid`. One ring per Uring.
+  Status register_buf_ring(unsigned entries, unsigned short bgid);
+  /// Stage buffer `bid` (addr/len) at the provided ring's tail. Invisible
+  /// to the kernel until commit_buf_ring().
+  void push_buf(unsigned short bid, void* addr, unsigned len);
+  /// Publish every pushed buffer (release-store of the shared tail).
+  void commit_buf_ring();
+  [[nodiscard]] unsigned buf_ring_entries() const { return buf_ring_entries_; }
+
+ private:
+  int enter(unsigned to_submit, unsigned min_complete, unsigned flags);
+
+  int fd_ = -1;
+  io_uring_params params_{};
+  void* sq_mem_ = nullptr;
+  std::size_t sq_len_ = 0;
+  void* cq_mem_ = nullptr;
+  std::size_t cq_len_ = 0;
+  void* sqe_mem_ = nullptr;
+  std::size_t sqe_len_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned pending_ = 0;
+
+  io_uring_buf_ring* buf_ring_ = nullptr;
+  std::size_t buf_ring_len_ = 0;
+  unsigned buf_ring_entries_ = 0;
+  unsigned short buf_tail_ = 0;
+  unsigned short bgid_ = 0;
+  bool buf_ring_registered_ = false;
+};
+
+}  // namespace totem::net
+
+#endif  // TOTEM_IO_URING_COMPILED

@@ -2,11 +2,17 @@
 // loopback — three nodes, two redundant networks, one reactor. This is the
 // same deployment shape as the examples and proves the protocol code runs
 // identically over the real transport and the simulated one.
+//
+// The whole matrix runs once per datapath backend (per-datagram, mmsg,
+// io_uring) so all three generations of the UDP hot path face the same
+// end-to-end ordering, replication, and fault-recovery obligations. The
+// io_uring rows skip (with a reason) when the kernel or build lacks it.
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "api/node.h"
+#include "net/datapath.h"
 #include "net/reactor.h"
 #include "net/udp_transport.h"
 
@@ -16,6 +22,12 @@ namespace {
 constexpr std::uint32_t kNodes = 3;
 constexpr std::uint32_t kNetworks = 2;
 
+// Offset each backend's ports so back-to-back parameterized runs (and any
+// lingering kernel state) cannot collide: base + 100*network + 10*backend.
+std::uint16_t backend_port(std::uint16_t base, NetworkId n, net::DatapathBackend b) {
+  return static_cast<std::uint16_t>(base + 100 * n + 10 * static_cast<int>(b));
+}
+
 struct UdpRing {
   net::Reactor reactor;
   std::vector<std::unique_ptr<net::UdpTransport>> transports;
@@ -23,15 +35,17 @@ struct UdpRing {
   std::vector<std::vector<std::string>> delivered{kNodes};
   std::vector<rrp::NetworkFaultReport> faults;
 
-  bool build(std::uint16_t base_port, api::ReplicationStyle style) {
+  bool build(std::uint16_t base_port, api::ReplicationStyle style,
+             net::DatapathBackend backend) {
     for (NodeId id = 0; id < kNodes; ++id) {
       std::vector<net::Transport*> node_transports;
       for (NetworkId n = 0; n < kNetworks; ++n) {
         net::UdpTransport::Config tc;
         tc.network = n;
         tc.local_node = id;
-        tc.peers = net::loopback_peers(
-            static_cast<std::uint16_t>(base_port + 100 * n), kNodes);
+        tc.backend = backend;
+        tc.require_backend = true;  // the fixture already skipped if absent
+        tc.peers = net::loopback_peers(backend_port(base_port, n, backend), kNodes);
         auto t = net::UdpTransport::create(reactor, tc);
         if (!t.is_ok()) {
           ADD_FAILURE() << t.status().to_string();
@@ -68,9 +82,20 @@ struct UdpRing {
   }
 };
 
-TEST(UdpRing, ActiveReplicationDeliversInTotalOrder) {
+class UdpRingBackends : public ::testing::TestWithParam<net::DatapathBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == net::DatapathBackend::kIoUring && !net::io_uring_available()) {
+      GTEST_SKIP() << (net::io_uring_compiled()
+                           ? "io_uring probe failed on this kernel"
+                           : "io_uring backend not compiled in");
+    }
+  }
+};
+
+TEST_P(UdpRingBackends, ActiveReplicationDeliversInTotalOrder) {
   UdpRing ring;
-  ASSERT_TRUE(ring.build(42000, api::ReplicationStyle::kActive));
+  ASSERT_TRUE(ring.build(42000, api::ReplicationStyle::kActive, GetParam()));
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(ring.nodes[0]->send(to_bytes("a" + std::to_string(i))).is_ok());
     ASSERT_TRUE(ring.nodes[1]->send(to_bytes("b" + std::to_string(i))).is_ok());
@@ -83,9 +108,9 @@ TEST(UdpRing, ActiveReplicationDeliversInTotalOrder) {
   EXPECT_TRUE(ring.faults.empty());
 }
 
-TEST(UdpRing, PassiveReplicationDeliversInTotalOrder) {
+TEST_P(UdpRingBackends, PassiveReplicationDeliversInTotalOrder) {
   UdpRing ring;
-  ASSERT_TRUE(ring.build(42600, api::ReplicationStyle::kPassive));
+  ASSERT_TRUE(ring.build(42600, api::ReplicationStyle::kPassive, GetParam()));
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(ring.nodes[i % 3]->send(to_bytes("m" + std::to_string(i))).is_ok());
   }
@@ -96,11 +121,11 @@ TEST(UdpRing, PassiveReplicationDeliversInTotalOrder) {
   }
 }
 
-TEST(UdpRing, ActiveSurvivesNicSendFaultLive) {
+TEST_P(UdpRingBackends, ActiveSurvivesNicSendFaultLive) {
   // Kill node 0's TX path on network 0 mid-run: with active replication the
   // ring keeps delivering through network 1.
   UdpRing ring;
-  ASSERT_TRUE(ring.build(43200, api::ReplicationStyle::kActive));
+  ASSERT_TRUE(ring.build(42300, api::ReplicationStyle::kActive, GetParam()));
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(ring.nodes[0]->send(to_bytes("pre" + std::to_string(i))).is_ok());
   }
@@ -117,6 +142,20 @@ TEST(UdpRing, ActiveSurvivesNicSendFaultLive) {
     EXPECT_EQ(ring.delivered[i], ring.delivered[0]);
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Datapaths, UdpRingBackends,
+    ::testing::Values(net::DatapathBackend::kPerDatagram,
+                      net::DatapathBackend::kMmsg,
+                      net::DatapathBackend::kIoUring),
+    [](const ::testing::TestParamInfo<net::DatapathBackend>& info) {
+      switch (info.param) {
+        case net::DatapathBackend::kPerDatagram: return "PerDatagram";
+        case net::DatapathBackend::kMmsg: return "Mmsg";
+        case net::DatapathBackend::kIoUring: return "IoUring";
+      }
+      return "Unknown";
+    });
 
 }  // namespace
 }  // namespace totem

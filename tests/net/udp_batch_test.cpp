@@ -2,6 +2,10 @@
 // syscall batching, the portable fallback, partial-batch error handling,
 // and the single-threaded view of the SPSC queued mode (the threaded view
 // lives in tests/api/runtime_test.cpp).
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // sendmmsg for the short-write injection hook
+#endif
+
 #include "net/udp_transport.h"
 
 #include <arpa/inet.h>
@@ -26,6 +30,8 @@ constexpr std::uint16_t kPortPartial = 43300;
 constexpr std::uint16_t kPortShort = 43400;
 constexpr std::uint16_t kPortRxQueue = 43500;
 constexpr std::uint16_t kPortRxDrop = 43600;
+constexpr std::uint16_t kPortShortWrite = 43700;
+constexpr std::uint16_t kPortEagain = 43800;
 
 std::unique_ptr<UdpTransport> make_transport(Reactor& reactor, std::uint16_t base,
                                              NodeId node, std::uint32_t count,
@@ -217,8 +223,91 @@ TEST(UdpBatch, RxRingOverflowCountsDrops) {
   reactor.run_for(Duration{300'000});  // no dispatch_queued: the ring stays full
 
   EXPECT_EQ(t1->stats().rx_queue_drops, 4u);
+  // Ring-full datagrams must ALSO hit the aggregate drop counter, so the
+  // transport-level accounting reconciles with the network side:
+  //   sent == received + dropped.
+  EXPECT_EQ(t1->stats().rx_dropped, 4u);
+  EXPECT_EQ(t1->stats().packets_received, 2u);
+  EXPECT_EQ(t0->stats().packets_sent,
+            t1->stats().packets_received + t1->stats().rx_dropped);
   EXPECT_EQ(t1->dispatch_queued(), 2u);
 }
+
+#if defined(__linux__)
+TEST(UdpBatch, PartialSendmmsgShortWriteRecovery) {
+  // A sendmmsg that accepts fewer datagrams than offered is NOT an error:
+  // the unsent tail must go out on subsequent calls, in order, with no
+  // datagram dropped or duplicated — and the tx batch histogram must count
+  // each datagram exactly once (per actual syscall, not per attempt).
+  Reactor reactor;
+  MetricsRegistry metrics;
+  UdpTransport::Config cfg;
+  cfg.tx_queue_capacity = 32;
+  cfg.metrics = &metrics;
+  int hook_calls = 0;
+  cfg.sendmmsg_hook = [&](int fd, void* msgvec, unsigned vlen, int flags) {
+    ++hook_calls;
+    // Clamp every batch to ONE accepted datagram: the worst legal short
+    // write, repeated for the whole backlog.
+    return ::sendmmsg(fd, static_cast<mmsghdr*>(msgvec), std::min(vlen, 1u), flags);
+  };
+  auto t0 = make_transport(reactor, kPortShortWrite, 0, 2, cfg);
+  auto t1 = make_transport(reactor, kPortShortWrite, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+  std::vector<std::string> got;
+  t1->set_rx_handler([&](ReceivedPacket&& p) { got.push_back(to_string(p.data)); });
+
+  constexpr int kN = 12;
+  for (int i = 0; i < kN; ++i) t0->unicast(1, to_bytes("sw" + std::to_string(i)));
+  reactor.run_for(Duration{500'000});
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN))
+      << "short writes must not drop or duplicate datagrams";
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(got[i], "sw" + std::to_string(i));
+  EXPECT_EQ(t0->stats().packets_sent, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(t0->stats().tx_errors, 0u);
+  EXPECT_EQ(hook_calls, kN);  // one clamped syscall per datagram
+  EXPECT_EQ(t0->stats().tx_syscall_batches, static_cast<std::uint64_t>(kN));
+  const auto snap = metrics.snapshot();
+  const auto* hist = snap.find_histogram("net.tx_batch.net0.mmsg");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(hist->sum, static_cast<std::uint64_t>(kN))
+      << "each datagram must be recorded exactly once across the batches";
+  EXPECT_EQ(hist->max, 1u);
+}
+
+TEST(UdpBatch, TransientEagainRetriesWithoutDrops) {
+  // EAGAIN from a full socket buffer is back-pressure, not a bad datagram:
+  // the transport waits for POLLOUT and retries the untouched remainder
+  // instead of charging tx_errors.
+  Reactor reactor;
+  UdpTransport::Config cfg;
+  cfg.tx_queue_capacity = 16;
+  bool injected = false;
+  cfg.sendmmsg_hook = [&](int fd, void* msgvec, unsigned vlen, int flags) {
+    if (!injected) {
+      injected = true;
+      errno = EAGAIN;
+      return -1;
+    }
+    return ::sendmmsg(fd, static_cast<mmsghdr*>(msgvec), vlen, flags);
+  };
+  auto t0 = make_transport(reactor, kPortEagain, 0, 2, cfg);
+  auto t1 = make_transport(reactor, kPortEagain, 1, 2);
+  ASSERT_TRUE(t0 && t1);
+  std::vector<std::string> got;
+  t1->set_rx_handler([&](ReceivedPacket&& p) { got.push_back(to_string(p.data)); });
+
+  for (int i = 0; i < 5; ++i) t0->unicast(1, to_bytes("ea" + std::to_string(i)));
+  reactor.run_for(Duration{500'000});
+
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(got[i], "ea" + std::to_string(i));
+  EXPECT_TRUE(injected);
+  EXPECT_EQ(t0->stats().tx_errors, 0u);
+}
+#endif
 
 }  // namespace
 }  // namespace totem::net

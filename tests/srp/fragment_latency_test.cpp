@@ -1,0 +1,76 @@
+// Fragmented-message delivery latency (single_ring.cpp deliver_entry):
+// srp.delivery_latency_us must measure send() -> delivery of the LAST
+// fragment, recorded exactly once per message. A regression that sampled at
+// the first fragment (or once per fragment) would under-report multi-packet
+// messages — precisely the ones whose latency matters — and inflate the
+// sample count.
+//
+// The proof is timing-shaped: with max_messages_per_visit = 1 each fragment
+// needs its own token visit, so a 3-fragment message's last fragment lands
+// about two full token rotations after its first. Its latency sample must
+// therefore clearly exceed a single-entry message's sample taken on the same
+// quiet ring. The simulation clock is deterministic, so the comparison is
+// exact, not flaky.
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+#include "srp/single_ring.h"
+#include "srp/wire.h"
+
+namespace totem::harness {
+namespace {
+
+struct LatencyView {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+LatencyView latency_view(const api::Node& node) {
+  const auto snap = node.metrics().snapshot();
+  const HistogramSnapshot* h = snap.find_histogram("srp.delivery_latency_us");
+  return h ? LatencyView{h->count, h->sum} : LatencyView{};
+}
+
+TEST(FragmentLatency, SampleSpansToLastFragmentAndIsRecordedOnce) {
+  ClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.network_count = 2;
+  cfg.style = api::ReplicationStyle::kActive;
+  cfg.srp.max_messages_per_visit = 1;  // one fragment per token visit
+  SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(Duration{500'000});
+
+  // Baseline: one unfragmented message on the quiet ring.
+  ASSERT_TRUE(cluster.node(0).send(Bytes(64, std::byte{0x11})).is_ok());
+  cluster.run_for(Duration{2'000'000});
+  const LatencyView after_small = latency_view(cluster.node(0));
+  ASSERT_EQ(after_small.count, 1u);
+  const std::uint64_t small_us = after_small.sum;
+  ASSERT_GT(small_us, 0u);
+
+  // Three fragments -> three token visits before the message completes.
+  const std::size_t big = 2 * srp::wire::kMaxUnfragmentedPayload + 100;
+  ASSERT_TRUE(cluster.node(0).send(Bytes(big, std::byte{0x22})).is_ok());
+  cluster.run_for(Duration{4'000'000});
+  ASSERT_FALSE(cluster.node(0).ring().has_partial_fragments());
+  const LatencyView after_big = latency_view(cluster.node(0));
+
+  EXPECT_EQ(after_big.count, 2u)
+      << "a fragmented message must contribute exactly ONE latency sample";
+  const std::uint64_t big_us = after_big.sum - small_us;
+  EXPECT_GT(big_us, small_us)
+      << "the sample must span the extra token rotations the trailing "
+         "fragments need — recording at the first fragment would make the "
+         "two messages' latencies indistinguishable";
+
+  // The message arrived whole and in one piece at a remote node too.
+  bool delivered = false;
+  for (const auto& d : cluster.deliveries(2)) {
+    if (d.origin == 0 && d.payload_size == big) delivered = true;
+  }
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace totem::harness
