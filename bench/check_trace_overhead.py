@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Run headline_srp_saturation --json and gate the tracing overhead.
+
+Usage: check_trace_overhead.py <bench-binary> <json-path> [max-delta-pct]
+
+Pairs each style's traced:0 / traced:1 rows and fails if their msgs_per_sec
+differ by more than max-delta-pct (default 2). On the simulated substrate
+the delta should be exactly zero: the flight recorder is pure observability,
+so ANY divergence means a TraceRing started feeding back into protocol
+behavior (changed timing, extra allocations on the sim clock, ...). The 2%
+ceiling keeps headroom for a future real-time variant of this bench.
+
+Also requires every traced row to have actually recorded events
+(trace_events > 0) so the comparison cannot silently pass with tracing off.
+"""
+import json
+import re
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace_overhead: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 3:
+        fail(f"usage: {sys.argv[0]} <bench-binary> <json-path> [max-delta-pct]")
+    binary, path = sys.argv[1], sys.argv[2]
+    max_delta_pct = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0
+
+    proc = subprocess.run([binary, f"--json={path}"], timeout=600)
+    if proc.returncode != 0:
+        fail(f"{binary} exited {proc.returncode}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    # Rows are named .../style:N/traced:M — pair them by style.
+    by_style: dict[str, dict[int, dict]] = {}
+    for result in report.get("results", []):
+        m = re.search(r"style:(\d+)/traced:(\d+)", result.get("name", ""))
+        if not m:
+            continue
+        by_style.setdefault(m.group(1), {})[int(m.group(2))] = result
+
+    if not by_style:
+        fail("no style:N/traced:M rows found in the report")
+
+    for style, rows in sorted(by_style.items()):
+        if 0 not in rows or 1 not in rows:
+            fail(f"style {style}: missing traced or untraced row")
+        base = rows[0]["counters"].get("msgs_per_sec")
+        traced = rows[1]["counters"].get("msgs_per_sec")
+        if not base or traced is None:
+            fail(f"style {style}: msgs_per_sec missing or zero")
+        events = rows[1]["counters"].get("trace_events", 0)
+        if events <= 0:
+            fail(f"style {style}: traced row recorded no trace events")
+        delta_pct = abs(traced - base) / base * 100.0
+        print(
+            f"style {style}: untraced={base:.0f} traced={traced:.0f} "
+            f"msgs/s delta={delta_pct:.3f}% ({events:.0f} events)"
+        )
+        if delta_pct > max_delta_pct:
+            fail(
+                f"style {style}: tracing changed throughput by "
+                f"{delta_pct:.3f}% (> {max_delta_pct}%)"
+            )
+    print(f"ok: tracing overhead within {max_delta_pct}% for all styles")
+
+
+if __name__ == "__main__":
+    main()

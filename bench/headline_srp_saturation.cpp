@@ -6,6 +6,12 @@
 // Besides throughput it reports node 0's send->deliver latency and token
 // rotation percentiles over the measured second (from the node's metrics
 // registry), and writes everything to BENCH_headline_srp_saturation.json.
+//
+// Each style runs twice: traced:0 (flight recorder disabled) and traced:1
+// (a deep per-node TraceRing recording every protocol event). In the
+// simulated substrate the two rows MUST agree on throughput — tracing is
+// observability, and any delta means a recorder started feeding back into
+// protocol behavior. check_trace_overhead.py gates the delta at <2%.
 #include <benchmark/benchmark.h>
 
 #include "bench_report.h"
@@ -18,10 +24,12 @@ namespace {
 
 void BM_HeadlineSaturation(benchmark::State& state) {
   const auto style = static_cast<api::ReplicationStyle>(state.range(0));
+  const bool traced = state.range(1) != 0;
   std::uint64_t msgs = 0;
   std::uint64_t bytes = 0;
   double sim_seconds = 0;
   double utilization = 0;
+  std::uint64_t trace_events = 0;
   MetricsSnapshot metrics;
 
   for (auto _ : state) {
@@ -33,6 +41,9 @@ void BM_HeadlineSaturation(benchmark::State& state) {
     cfg.host_costs = paper_host_costs();
     apply_paper_srp_costs(cfg.srp);
     cfg.record_payloads = false;
+    // traced:1 = a deep flight recorder on every node; traced:0 = no
+    // recorder at all (not even the default small ring).
+    cfg.trace_capacity = traced ? (std::size_t{1} << 14) : 0;
     SimCluster cluster(cfg);
     cluster.start_all();
 
@@ -52,6 +63,11 @@ void BM_HeadlineSaturation(benchmark::State& state) {
     utilization =
         std::chrono::duration<double>(wire_after - wire_before).count() / sim_seconds;
     metrics = cluster.node(0).metrics().snapshot();
+    if (traced) {
+      for (std::size_t n = 0; n < cfg.node_count; ++n) {
+        trace_events += cluster.trace(n)->total_emitted();
+      }
+    }
   }
 
   state.counters["msgs_per_sec"] = static_cast<double>(msgs) / sim_seconds;
@@ -65,14 +81,19 @@ void BM_HeadlineSaturation(benchmark::State& state) {
     state.counters["p50_rotation_us"] = r->p50();
     state.counters["p99_rotation_us"] = r->p99();
   }
-  state.SetLabel(to_string(style));
+  state.counters["traced"] = traced ? 1 : 0;
+  if (traced) state.counters["trace_events"] = static_cast<double>(trace_events);
+  state.SetLabel(std::string(to_string(style)) + (traced ? "+traced" : ""));
 }
 
 BENCHMARK(BM_HeadlineSaturation)
-    ->Arg(static_cast<int>(api::ReplicationStyle::kNone))
-    ->Arg(static_cast<int>(api::ReplicationStyle::kActive))
-    ->Arg(static_cast<int>(api::ReplicationStyle::kPassive))
-    ->ArgNames({"style"})
+    ->Args({static_cast<int>(api::ReplicationStyle::kNone), 0})
+    ->Args({static_cast<int>(api::ReplicationStyle::kNone), 1})
+    ->Args({static_cast<int>(api::ReplicationStyle::kActive), 0})
+    ->Args({static_cast<int>(api::ReplicationStyle::kActive), 1})
+    ->Args({static_cast<int>(api::ReplicationStyle::kPassive), 0})
+    ->Args({static_cast<int>(api::ReplicationStyle::kPassive), 1})
+    ->ArgNames({"style", "traced"})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -1,0 +1,175 @@
+#include "api/health.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace totem::api {
+
+std::string to_json(const HealthSnapshot& h) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("overall", to_string(h.overall));
+  w.kv("overall_transitions", h.overall_transitions);
+  w.kv("srp_state", srp::to_string(h.srp_state));
+  w.kv("rotation_drift", h.rotation_drift);
+  w.kv("rotation_p99_us", h.rotation_p99_us);
+  w.kv("rotation_baseline_us", h.rotation_baseline_us);
+  w.key("networks");
+  w.begin_array();
+  for (const auto& nh : h.networks) {
+    w.begin_object();
+    w.kv("network", static_cast<std::uint64_t>(nh.network));
+    w.kv("state", to_string(nh.state));
+    w.kv("monitor_faulty", nh.monitor_faulty);
+    w.kv("token_gap_p99_us", nh.token_gap_p99_us);
+    w.kv("window_samples", nh.window_samples);
+    w.kv("transitions", nh.transitions);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+// Value range covered by histogram bucket i (mirrors common/metrics.cpp:
+// bucket 0 = {0}, bucket i >= 1 = [2^(i-1), 2^i - 1], top bucket open).
+void bucket_range(std::size_t i, std::uint64_t& lo, std::uint64_t& hi) {
+  if (i == 0) {
+    lo = hi = 0;
+    return;
+  }
+  lo = std::uint64_t{1} << (i - 1);
+  hi = (i >= 64) ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  if (i == LatencyHistogram::kBuckets - 1) hi = ~std::uint64_t{0};
+}
+
+}  // namespace
+
+double HealthModel::windowed_p99(const MetricsRegistry* metrics,
+                                 const std::string& name,
+                                 std::uint64_t& samples) {
+  samples = 0;
+  if (!metrics) return 0.0;
+  const LatencyHistogram* h = metrics->find_histogram(name);
+  if (!h) return 0.0;
+
+  Window& prev = windows_[name];
+  const auto& cur = h->buckets();
+  HistogramSnapshot delta;
+  delta.name = name;
+  // A registry reset() (bench warmup/measure boundary) makes the cumulative
+  // counts go backwards; restart the window from the fresh counts.
+  const bool restarted = h->count() < prev.count;
+  std::size_t lo_bucket = cur.size();
+  std::size_t hi_bucket = 0;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const std::uint64_t d = restarted || cur[i] < prev.buckets[i]
+                                ? cur[i]
+                                : cur[i] - prev.buckets[i];
+    delta.buckets[i] = d;
+    delta.count += d;
+    if (d > 0) {
+      lo_bucket = std::min(lo_bucket, i);
+      hi_bucket = std::max(hi_bucket, i);
+    }
+  }
+  prev.buckets = cur;
+  prev.count = h->count();
+  samples = delta.count;
+  if (delta.count == 0) return 0.0;
+  // min/max only clamp percentile(); bucket bounds are tight enough here.
+  std::uint64_t lo = 0, hi = 0;
+  bucket_range(lo_bucket, lo, hi);
+  delta.min = lo;
+  bucket_range(hi_bucket, lo, hi);
+  delta.max = hi;
+  return delta.p99();
+}
+
+void HealthModel::transition(TimePoint now, std::uint64_t key,
+                             HealthState& slot, HealthState next,
+                             std::uint64_t& counter) {
+  if (slot == next) return;
+  if (config_.trace) {
+    config_.trace->emit(now, TraceKind::kHealthTransition, key,
+                        (static_cast<std::uint64_t>(slot) << 8) |
+                            static_cast<std::uint64_t>(next));
+  }
+  slot = next;
+  ++counter;
+}
+
+void HealthModel::update(TimePoint now, const Inputs& in) {
+  snapshot_.srp_state = in.srp_state;
+  if (snapshot_.networks.size() != in.network_count) {
+    snapshot_.networks.resize(in.network_count);
+    for (std::size_t n = 0; n < in.network_count; ++n) {
+      snapshot_.networks[n].network = static_cast<NetworkId>(n);
+    }
+  }
+
+  // Per-network verdicts: the monitor's word is final (faulted); below the
+  // monitor's thresholds, a swollen windowed token-gap p99 means degraded.
+  std::size_t faulted = 0;
+  bool any_unhealthy = false;
+  for (std::size_t n = 0; n < in.network_count; ++n) {
+    NetworkHealth& nh = snapshot_.networks[n];
+    nh.monitor_faulty = (in.faulty_mask >> n) & 1;
+    nh.token_gap_p99_us = windowed_p99(
+        in.metrics, "rrp.token_gap_us.net" + std::to_string(n),
+        nh.window_samples);
+    HealthState next = HealthState::kHealthy;
+    if (nh.monitor_faulty) {
+      next = HealthState::kFaulted;
+    } else if (nh.window_samples >= config_.min_window_samples &&
+               nh.token_gap_p99_us > config_.token_gap_p99_limit_us) {
+      next = HealthState::kDegraded;
+    }
+    transition(now, n, nh.state, next, nh.transitions);
+    if (nh.state == HealthState::kFaulted) ++faulted;
+    if (nh.state != HealthState::kHealthy) any_unhealthy = true;
+  }
+
+  // Rotation drift: windowed rotation p99 far beyond the lifetime median.
+  // The baseline needs enough history before the comparison means anything.
+  std::uint64_t rotation_samples = 0;
+  snapshot_.rotation_p99_us =
+      windowed_p99(in.metrics, "srp.token_rotation_us", rotation_samples);
+  snapshot_.rotation_baseline_us = 0.0;
+  snapshot_.rotation_drift = false;
+  if (in.metrics) {
+    if (const LatencyHistogram* h =
+            in.metrics->find_histogram("srp.token_rotation_us");
+        h && h->count() >= config_.min_baseline_samples) {
+      HistogramSnapshot life;
+      life.count = h->count();
+      life.sum = h->sum();
+      life.min = h->min();
+      life.max = h->max();
+      life.buckets = h->buckets();
+      snapshot_.rotation_baseline_us = life.p50();
+      snapshot_.rotation_drift =
+          rotation_samples >= config_.min_window_samples &&
+          snapshot_.rotation_p99_us >
+              config_.rotation_drift_factor * snapshot_.rotation_baseline_us;
+    }
+  }
+
+  // Ring-wide verdict. All networks faulted = the node cannot reach anyone:
+  // faulted. Any softer trouble — a sick network, a reformation in flight,
+  // rotation drift — is degraded: the ring still delivers, watch it.
+  HealthState overall = HealthState::kHealthy;
+  if (in.network_count > 0 && faulted == in.network_count) {
+    overall = HealthState::kFaulted;
+  } else if (any_unhealthy || snapshot_.rotation_drift ||
+             in.srp_state != srp::SingleRing::State::kOperational) {
+    overall = HealthState::kDegraded;
+  }
+  transition(now, kHealthOverall, snapshot_.overall, overall,
+             snapshot_.overall_transitions);
+}
+
+}  // namespace totem::api

@@ -1,0 +1,150 @@
+// Ring health model (DESIGN.md §16): a derived, operator-facing verdict.
+//
+// The protocol layers expose raw signals — the RRP monitor's per-network
+// faulty flags, per-network token-gap histograms, the SRP's rotation-time
+// histogram and protocol state. None of them alone answers the on-call
+// question "is this ring OK?". HealthModel folds them into a three-state
+// verdict per redundant network plus one ring-wide verdict:
+//
+//   * healthy  — monitor clean, windowed token-gap p99 under the limit
+//   * degraded — monitor clean but the gap p99 (or, ring-wide, rotation
+//                drift or a non-operational SRP state) says trouble is
+//                brewing: the classic gray-failure window the paper's
+//                fault monitors react to only after thresholds trip
+//   * faulted  — the RRP monitor declared the network faulty (ring-wide:
+//                every network is faulted — total connectivity loss)
+//
+// Histogram signals are WINDOWED: each update() diffs the cumulative
+// bucket counts against the previous update, so the verdict tracks the
+// last interval, not the lifetime average (a ring that was slow an hour
+// ago is not degraded now). Every state change bumps a transition counter
+// and emits a kHealthTransition trace record (a = network id, or
+// kHealthOverall for the ring-wide state; b = old<<8|new), so failovers
+// line up with reformation spans on the merged Perfetto timeline.
+//
+// The numeric HealthState values are part of the trace contract:
+// common/trace_merge.cpp renders kHealthTransition payloads through the
+// same 0/1/2 mapping (pinned by tests/common/trace_merge_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "srp/single_ring.h"
+
+namespace totem::api {
+
+/// Derived health verdict. Values are stable wire/trace constants
+/// (trace_merge renders b = old<<8|new through this mapping).
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kFaulted = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kFaulted: return "faulted";
+  }
+  return "?";
+}
+
+/// One redundant network's derived health.
+struct NetworkHealth {
+  NetworkId network = 0;
+  HealthState state = HealthState::kHealthy;
+  bool monitor_faulty = false;     ///< the RRP monitor's verdict
+  double token_gap_p99_us = 0.0;   ///< windowed (since previous update)
+  std::uint64_t window_samples = 0;  ///< gap samples in the window
+  std::uint64_t transitions = 0;   ///< lifetime state-change count
+};
+
+/// Point-in-time health verdict for the whole node. Plain data.
+struct HealthSnapshot {
+  HealthState overall = HealthState::kHealthy;
+  std::uint64_t overall_transitions = 0;
+  srp::SingleRing::State srp_state = srp::SingleRing::State::kOperational;
+  bool rotation_drift = false;       ///< windowed rotation p99 over baseline
+  double rotation_p99_us = 0.0;      ///< windowed rotation p99
+  double rotation_baseline_us = 0.0; ///< lifetime rotation p50 (drift base)
+  std::vector<NetworkHealth> networks;
+};
+
+/// One JSON object for a health verdict — the `health` block of
+/// StatsSnapshot::to_json and the whole body of the /healthz endpoint.
+[[nodiscard]] std::string to_json(const HealthSnapshot& h);
+
+/// Folds monitor verdicts + histogram windows into HealthState verdicts.
+/// Not thread-safe: call update() from the protocol thread (or wrap in the
+/// same external ordering api::snapshot already requires).
+class HealthModel {
+ public:
+  struct Config {
+    /// A network whose windowed token-gap p99 exceeds this is degraded
+    /// even while the monitor still calls it OK. Default 50ms: an order of
+    /// magnitude over a healthy LAN gap, well under the token timeouts
+    /// that would trip the monitor.
+    double token_gap_p99_limit_us = 50'000.0;
+    /// Ring-wide drift alarm: windowed rotation p99 beyond this multiple
+    /// of the lifetime rotation median marks the ring degraded.
+    double rotation_drift_factor = 8.0;
+    /// Histogram windows with fewer samples than this are ignored (no
+    /// verdict flapping off one slow rotation).
+    std::uint64_t min_window_samples = 16;
+    /// The drift baseline (lifetime median) needs at least this many
+    /// samples before drift detection arms.
+    std::uint64_t min_baseline_samples = 64;
+    /// Optional flight recorder for kHealthTransition records. Not owned.
+    TraceRing* trace = nullptr;
+  };
+
+  /// Everything one update() reads, decoupled from the live layers so the
+  /// model is unit-testable without constructing a ring.
+  struct Inputs {
+    srp::SingleRing::State srp_state = srp::SingleRing::State::kOperational;
+    std::size_t network_count = 0;
+    std::uint64_t faulty_mask = 0;  ///< bit n: monitor declared network n faulty
+    /// Registry carrying `srp.token_rotation_us` and `rrp.token_gap_us.netN`;
+    /// may be null (histogram signals simply stay quiet).
+    const MetricsRegistry* metrics = nullptr;
+  };
+
+  HealthModel() = default;
+  explicit HealthModel(const Config& config) : config_(config) {}
+
+  /// Re-derive every verdict from the current inputs. Emits one
+  /// kHealthTransition trace record per state that changed.
+  void update(TimePoint now, const Inputs& in);
+
+  [[nodiscard]] const HealthSnapshot& snapshot() const { return snapshot_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  /// Cumulative bucket counts at the previous update, per histogram name.
+  struct Window {
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> buckets{};
+    std::uint64_t count = 0;
+  };
+
+  /// Windowed p99 of `name` since the previous update. Returns sample
+  /// count via `samples`; 0.0 when the histogram is missing or empty.
+  double windowed_p99(const MetricsRegistry* metrics, const std::string& name,
+                      std::uint64_t& samples);
+
+  void transition(TimePoint now, std::uint64_t key, HealthState& slot,
+                  HealthState next, std::uint64_t& counter);
+
+  Config config_;
+  HealthSnapshot snapshot_;
+  std::map<std::string, Window, std::less<>> windows_;
+};
+
+}  // namespace totem::api

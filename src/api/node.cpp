@@ -43,12 +43,20 @@ Node::Node(TimerService& timers, std::vector<net::Transport*> transports, NodeCo
       break;
   }
   ring_ = std::make_unique<srp::SingleRing>(timers, *replicator_, config.srp, cpu);
+  timers_ = &timers;
+
+  // Health model (DESIGN.md §16): reads whatever registry the SRP records
+  // into and traces transitions into the same flight recorder.
+  if (!config.health.model.trace) config.health.model.trace = config.srp.trace;
+  health_model_ = HealthModel(config.health.model);
+  health_metrics_ = config.srp.metrics;
+  health_interval_ = config.health.update_interval;
+  if (health_interval_ > Duration{0}) update_health_and_rearm();
 
   // Adaptive token-timeout tuning (DESIGN.md §14): watch the SRP rotation
   // histogram, periodically retune the replicator's timer. kNone has no
   // replicator timer to tune.
   if (config.adaptive_timeout.enabled && config.style != ReplicationStyle::kNone) {
-    timers_ = &timers;
     adaptive_ = config.adaptive_timeout;
     switch (config.style) {
       case ReplicationStyle::kNone: break;  // unreachable (guard above)
@@ -70,12 +78,35 @@ Node::Node(TimerService& timers, std::vector<net::Transport*> transports, NodeCo
   }
 }
 
-Node::~Node() { advisor_timer_.cancel(); }
+Node::~Node() {
+  advisor_timer_.cancel();
+  health_timer_.cancel();
+}
 
 void Node::apply_advice_and_rearm() {
   replicator_->set_token_timeout(advisor_->advise(static_timeout_));
   advisor_timer_ = timers_->schedule(adaptive_.update_interval,
                                      [this] { apply_advice_and_rearm(); });
+}
+
+const HealthSnapshot& Node::health() const {
+  HealthModel::Inputs in;
+  in.srp_state = ring_->state();
+  in.network_count = replicator_->network_count();
+  for (std::size_t n = 0; n < in.network_count && n < 64; ++n) {
+    if (replicator_->network_faulty(static_cast<NetworkId>(n))) {
+      in.faulty_mask |= std::uint64_t{1} << n;
+    }
+  }
+  in.metrics = health_metrics_;
+  health_model_.update(timers_->now(), in);
+  return health_model_.snapshot();
+}
+
+void Node::update_health_and_rearm() {
+  (void)health();
+  health_timer_ =
+      timers_->schedule(health_interval_, [this] { update_health_and_rearm(); });
 }
 
 }  // namespace totem::api

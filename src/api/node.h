@@ -25,8 +25,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "api/health.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/timer_service.h"
@@ -83,6 +85,29 @@ struct NodeConfig {
     rrp::TimeoutAdvisor::Config advisor;
   };
   AdaptiveTimeout adaptive_timeout;
+
+  /// Ring health model (DESIGN.md §16). Always available through
+  /// Node::health() — by default it is re-derived lazily on each call
+  /// (and therefore on every api::snapshot), which costs nothing between
+  /// calls and keeps deterministic schedules untouched. Set
+  /// update_interval > 0 to also re-derive on a periodic timer so health
+  /// transitions are traced promptly even when nobody polls.
+  struct Health {
+    HealthModel::Config model;  ///< thresholds; trace defaults to srp.trace
+    Duration update_interval{0};  ///< 0 = lazy only (update on health())
+  };
+  Health health;
+
+  /// Live telemetry endpoint (api/telemetry.h), opt-in. The Node itself
+  /// opens no sockets — api::NodeTelemetry::create consumes this block; it
+  /// is carried here so one struct holds a deployment's knobs. Ignored by
+  /// simulated clusters (no real sockets to serve from).
+  struct Telemetry {
+    bool enabled = false;
+    std::string bind_address = "127.0.0.1";  ///< loopback-only by default
+    std::uint16_t port = 0;                  ///< 0 = ephemeral
+  };
+  Telemetry telemetry;
 };
 
 class Node {
@@ -138,6 +163,12 @@ class Node {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Re-derive and return the ring health verdict (api/health.h). Call
+  /// from the protocol thread (same rule as api::snapshot, which calls
+  /// this for you). Also driven periodically when
+  /// NodeConfig::Health::update_interval > 0.
+  [[nodiscard]] const HealthSnapshot& health() const;
+
   /// The adaptive-timeout advisor, or nullptr when adaptive tuning is off.
   [[nodiscard]] const rrp::TimeoutAdvisor* timeout_advisor() const {
     return advisor_.get();
@@ -151,18 +182,27 @@ class Node {
 
  private:
   void apply_advice_and_rearm();
+  void update_health_and_rearm();
 
   ReplicationStyle style_;
   MetricsRegistry metrics_;  // declared before the layers that record into it
   std::unique_ptr<rrp::Replicator> replicator_;
   std::unique_ptr<srp::SingleRing> ring_;
 
-  // Adaptive timeout (null/inactive unless config.adaptive_timeout.enabled).
   TimerService* timers_ = nullptr;
+
+  // Adaptive timeout (inactive unless config.adaptive_timeout.enabled).
   NodeConfig::AdaptiveTimeout adaptive_;
   Duration static_timeout_{};  // the style's configured fallback timeout
   std::unique_ptr<rrp::TimeoutAdvisor> advisor_;
   TimerHandle advisor_timer_;
+
+  // Health model: mutable so const introspection (health(), api::snapshot)
+  // can refresh the derived verdict without widening the public API.
+  mutable HealthModel health_model_;
+  const MetricsRegistry* health_metrics_ = nullptr;  // what the SRP records into
+  Duration health_interval_{0};
+  TimerHandle health_timer_;
 };
 
 }  // namespace totem::api

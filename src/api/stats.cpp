@@ -22,6 +22,7 @@ StatsSnapshot snapshot(const Node& node,
   snap.rrp = node.replicator().stats();
   snap.buffer_pool = node.ring().buffer_pool().stats();
   snap.metrics = node.metrics().snapshot();
+  snap.health = node.health();  // re-derives the verdict at capture time
   for (const net::Transport* t : transports) {
     NetworkSnapshot ns;
     ns.network = t->network_id();
@@ -55,6 +56,14 @@ std::string to_string(const StatsSnapshot& snap) {
       << " dup_tokens=" << snap.rrp.duplicate_tokens_absorbed
       << " timer_expiries=" << snap.rrp.token_timer_expiries
       << " faults=" << snap.rrp.faults_reported << "\n";
+  out << "  health: " << api::to_string(snap.health.overall)
+      << " transitions=" << snap.health.overall_transitions;
+  if (snap.health.rotation_drift) out << " ROTATION-DRIFT";
+  for (const auto& nh : snap.health.networks) {
+    out << " net" << static_cast<int>(nh.network) << "="
+        << api::to_string(nh.state);
+  }
+  out << "\n";
   out << "  pool: alloc=" << snap.buffer_pool.allocations
       << " reuse=" << snap.buffer_pool.reuses
       << " outstanding=" << snap.buffer_pool.outstanding
@@ -158,6 +167,8 @@ std::string StatsSnapshot::to_json() const {
     w.end_object();
   }
   w.end_array();
+  w.key("health");
+  w.raw(api::to_json(health));
   w.key("metrics");
   w.raw(metrics.to_json());
   w.end_object();
@@ -198,6 +209,16 @@ std::string StatsSnapshot::to_prometheus() const {
   scalar("rrp_packets_fanned_out", "counter", rrp.packets_fanned_out);
   scalar("rrp_duplicate_tokens_absorbed", "counter", rrp.duplicate_tokens_absorbed);
   scalar("rrp_faults_reported", "counter", rrp.faults_reported);
+  // Health verdicts export as enum-valued gauges (0 healthy / 1 degraded /
+  // 2 faulted — the HealthState contract) so alerting is a threshold rule.
+  scalar("health_state", "gauge", static_cast<std::uint64_t>(health.overall));
+  scalar("health_transitions", "counter", health.overall_transitions);
+  scalar("health_rotation_drift", "gauge", health.rotation_drift ? 1 : 0);
+  for (const auto& nh : health.networks) {
+    const std::string net = ",network=\"" + std::to_string(nh.network) + "\"";
+    scalar("net_health_state", "gauge", static_cast<std::uint64_t>(nh.state), net);
+    scalar("net_health_transitions", "counter", nh.transitions, net);
+  }
   for (const auto& n : networks) {
     const std::string net = ",network=\"" + std::to_string(n.network) + "\"";
     scalar("net_faulty", "gauge", n.faulty ? 1 : 0, net);

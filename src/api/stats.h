@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "api/health.h"
 #include "api/node.h"
 #include "common/metrics.h"
 #include "common/packet_buffer.h"
@@ -35,6 +36,8 @@ struct StatsSnapshot {
   std::vector<NetworkSnapshot> networks;     ///< one entry per transport
   /// Latency histograms + event counters from the node's MetricsRegistry.
   MetricsSnapshot metrics;
+  /// Derived ring health verdict (api/health.h), re-derived at capture.
+  HealthSnapshot health;
 
   /// One JSON object covering every field above (histograms included).
   [[nodiscard]] std::string to_json() const;

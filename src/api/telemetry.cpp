@@ -1,0 +1,69 @@
+#include "api/telemetry.h"
+
+#include "common/trace.h"
+
+namespace totem::api {
+
+Result<std::unique_ptr<NodeTelemetry>> NodeTelemetry::create(
+    net::Reactor& reactor, const Node& node,
+    std::vector<const net::Transport*> transports, Config config) {
+  auto telemetry = std::unique_ptr<NodeTelemetry>(
+      new NodeTelemetry(node, std::move(transports), std::move(config)));
+  NodeTelemetry* raw = telemetry.get();
+  auto server = net::TelemetryServer::create(
+      reactor, telemetry->config_.http,
+      [raw](const net::TelemetryServer::Request& req, auto reply) {
+        raw->handle(req, std::move(reply));
+      });
+  if (!server.is_ok()) return server.status();
+  telemetry->server_ = std::move(server).take();
+  return telemetry;
+}
+
+void NodeTelemetry::handle(
+    const net::TelemetryServer::Request& req,
+    std::function<void(net::TelemetryServer::Response)> reply) const {
+  using Response = net::TelemetryServer::Response;
+  if (req.method != "GET") {
+    reply(Response{405, "text/plain; charset=utf-8", "GET only\n"});
+    return;
+  }
+  // Ignore any query string: "/metrics?x=1" still serves /metrics.
+  const std::string path = req.target.substr(0, req.target.find('?'));
+
+  if (path == "/trace") {
+    // TraceRing snapshots are seqlock-consistent from any thread — no need
+    // to borrow the protocol thread for what may be megabytes of JSONL.
+    if (!config_.trace) {
+      reply(Response{404, "text/plain; charset=utf-8", "tracing disabled\n"});
+      return;
+    }
+    reply(Response{200, "application/x-ndjson", config_.trace->to_jsonl()});
+    return;
+  }
+
+  std::function<void()> work;
+  if (path == "/metrics") {
+    work = [this, reply] {
+      reply(Response{200, "text/plain; version=0.0.4; charset=utf-8",
+                     api::snapshot(node_, transports_).to_prometheus()});
+    };
+  } else if (path == "/healthz") {
+    work = [this, reply] {
+      const HealthSnapshot& h = node_.health();
+      reply(Response{h.overall == HealthState::kFaulted ? 503 : 200,
+                     "application/json", to_json(h) + "\n"});
+    };
+  } else {
+    reply(Response{404, "text/plain; charset=utf-8",
+                   "try /metrics, /healthz, or /trace\n"});
+    return;
+  }
+  if (config_.post) {
+    config_.post(std::move(work));  // marshal onto the protocol thread
+  } else {
+    work();
+  }
+}
+
+}  // namespace totem::api

@@ -1,0 +1,71 @@
+// NodeTelemetry: binds a net::TelemetryServer to one api::Node, serving
+// the operator surface of a live ring (DESIGN.md §16):
+//
+//   GET /metrics  -> StatsSnapshot::to_prometheus() (text exposition)
+//   GET /healthz  -> api::to_json(node.health());  HTTP 503 when the
+//                    overall verdict is faulted (probe-friendly), 200 for
+//                    healthy AND degraded — degraded is an alert, not an
+//                    outage
+//   GET /trace    -> TraceRing::to_jsonl() flight-recorder dump (feed the
+//                    per-node dumps to totem_tracemerge for a timeline)
+//
+// Threading. Requests arrive on the reactor (I/O) thread. /metrics and
+// /healthz walk protocol-thread state (ring stats, histograms, health
+// model), so under ThreadedRuntime the snapshot work MUST run on the
+// ordering thread: set Config::post (e.g. `[&rt](auto fn) {
+// rt.post(std::move(fn)); }`) and the handler marshals each request over
+// and the response back. With post unset the snapshot runs inline —
+// correct only for single-threaded runtimes where the reactor thread IS
+// the protocol thread. /trace reads the seqlock-protected TraceRing and
+// is served inline from any thread either way.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/node.h"
+#include "api/stats.h"
+#include "common/status.h"
+#include "net/telemetry_server.h"
+
+namespace totem::api {
+
+class NodeTelemetry {
+ public:
+  struct Config {
+    /// Listener knobs (bind address, port, limits). Defaults: loopback,
+    /// ephemeral port — read port() after create.
+    net::TelemetryServer::Config http;
+    /// Protocol-thread executor; required under ThreadedRuntime, leave
+    /// null when the reactor thread runs the protocol stack.
+    std::function<void(std::function<void()>)> post;
+    /// Flight recorder served at /trace; null => /trace answers 404.
+    const TraceRing* trace = nullptr;
+  };
+
+  /// `node` and `transports` must outlive the returned object (same
+  /// lifetime rule as api::snapshot's arguments).
+  static Result<std::unique_ptr<NodeTelemetry>> create(
+      net::Reactor& reactor, const Node& node,
+      std::vector<const net::Transport*> transports, Config config);
+
+  /// The bound port (resolves an ephemeral-port request).
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+  [[nodiscard]] const net::TelemetryServer& server() const { return *server_; }
+
+ private:
+  NodeTelemetry(const Node& node, std::vector<const net::Transport*> transports,
+                Config config)
+      : node_(node), transports_(std::move(transports)), config_(std::move(config)) {}
+
+  void handle(const net::TelemetryServer::Request& req,
+              std::function<void(net::TelemetryServer::Response)> reply) const;
+
+  const Node& node_;
+  std::vector<const net::Transport*> transports_;
+  Config config_;
+  std::unique_ptr<net::TelemetryServer> server_;
+};
+
+}  // namespace totem::api

@@ -147,6 +147,14 @@ class MetricsRegistry {
     return &histograms_[std::string(name)];
   }
 
+  /// Read-only lookup that does NOT create the instrument on a miss —
+  /// for observers (api::HealthModel) that must not register empty
+  /// histograms as a side effect of looking.
+  [[nodiscard]] const LatencyHistogram* find_histogram(std::string_view name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Zero every instrument but keep registrations (and therefore every

@@ -22,8 +22,27 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kTokenTimerExpired: return "rrp-token-timer-expired";
     case TraceKind::kDuplicateTokenAbsorbed: return "rrp-duplicate-token";
     case TraceKind::kNetworkFault: return "rrp-network-fault";
+    case TraceKind::kReformationBegin: return "reformation-begin";
+    case TraceKind::kReformationEnd: return "reformation-end";
+    case TraceKind::kSnapshotRoundBegin: return "smr-snapshot-round-begin";
+    case TraceKind::kSnapshotRoundEnd: return "smr-snapshot-round-end";
+    case TraceKind::kDatapathTxBatch: return "datapath-tx-batch";
+    case TraceKind::kDatapathRxBatch: return "datapath-rx-batch";
+    case TraceKind::kHealthTransition: return "health-transition";
   }
   return "?";
+}
+
+bool trace_kind_from_string(std::string_view name, TraceKind& out) {
+  for (int k = static_cast<int>(TraceKind::kTokenReceived);
+       k <= static_cast<int>(kLastTraceKind); ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    if (name == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string to_string(const TraceRecord& record) {
@@ -68,8 +87,34 @@ std::string to_string(const TraceRecord& record) {
     case TraceKind::kDuplicateTokenAbsorbed:
       out << " network=" << record.a;
       break;
+    case TraceKind::kReformationBegin:
+      out << " view=" << record.a << " old_ring_seq=" << record.b;
+      break;
+    case TraceKind::kReformationEnd:
+      out << " view=" << record.a << " new_ring_seq=" << record.b;
+      break;
+    case TraceKind::kSnapshotRoundBegin:
+    case TraceKind::kSnapshotRoundEnd:
+      out << " leader=" << record.a << " nonce=" << record.b;
+      break;
+    case TraceKind::kDatapathTxBatch:
+    case TraceKind::kDatapathRxBatch:
+      out << " network=" << record.a << " datagrams=" << record.b;
+      break;
+    case TraceKind::kHealthTransition:
+      if (record.a == kHealthOverall) {
+        out << " scope=ring";
+      } else {
+        out << " network=" << record.a;
+      }
+      out << " from=" << ((record.b >> 8) & 0xff) << " to=" << (record.b & 0xff);
+      break;
     case TraceKind::kTokenLoss:
       break;
+  }
+  if (record.node != kInvalidNode) {
+    out << " node=" << record.node << " ring_seq=" << record.ring_seq
+        << " token_seq=" << record.token_seq;
   }
   return out.str();
 }
@@ -81,6 +126,9 @@ std::string to_json(const TraceRecord& record) {
   w.kv("kind", to_string(record.kind));
   w.kv("a", record.a);
   w.kv("b", record.b);
+  w.kv("node", static_cast<std::uint64_t>(record.node));
+  w.kv("ring_seq", record.ring_seq);
+  w.kv("token_seq", record.token_seq);
   w.end_object();
   return w.take();
 }

@@ -4,13 +4,36 @@
 // matter more than any log line).
 //
 // Recording is allocation-free after construction and cheap enough to leave
-// on: one array store per event. Attach a TraceRing via srp::Config::trace
-// and/or the rrp::*Config::trace pointers; snapshot() / to_string() render
-// the history oldest-first.
+// on: a handful of relaxed atomic stores per event. Attach a TraceRing via
+// srp::Config::trace and/or the rrp::*Config::trace pointers; snapshot() /
+// to_string() render the history oldest-first.
+//
+// Correlation keys (DESIGN.md §16). Every record carries the emitting node
+// id plus the ring seq and token seq current at emit time, so per-node dumps
+// from different nodes can be stitched into one causally ordered cluster
+// timeline (common/trace_merge.h, tools/totem_tracemerge): a token-rotation
+// span at node 2 and the delivery of message (origin 0, seq 41) at node 3
+// line up on the same token_seq / (origin, seq) axes. The SRP refreshes the
+// context (set_node / set_ring_seq / set_token_seq); other layers sharing
+// the same per-node ring inherit it.
+//
+// Threading (DESIGN.md §16). emit() may be called concurrently from the
+// ordering thread (SRP/RRP/SMR events) and the I/O thread (datapath batch
+// events), and snapshot() from any thread (the live telemetry endpoint
+// serves /trace from the reactor thread while the ring is being written).
+// Each slot is a seqlock over relaxed atomics: writers claim a slot with one
+// fetch_add, bump the slot version odd, store the fields, bump it even;
+// readers retry or skip slots whose version changed mid-read. No locks, no
+// allocation, and TSan-clean (every shared field is an atomic).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -35,45 +58,118 @@ enum class TraceKind : std::uint8_t {
                         //   passive: a = buffered token's network, b = token seq
   kDuplicateTokenAbsorbed,  // a = network
   kNetworkFault,        // a = network, b = reason enum
+  // ---- span-style kinds (PR 8): begin/end pairs the trace merger turns
+  // into Perfetto duration spans ----
+  kReformationBegin,    // a = view number at gather entry, b = old ring seq
+  kReformationEnd,      // a = new view number, b = new ring seq
+  kSnapshotRoundBegin,  // smr state transfer: a = round leader, b = mark nonce
+  kSnapshotRoundEnd,    // a = round leader, b = mark nonce (sent/restored/superseded)
+  kDatapathTxBatch,     // a = network, b = datagrams in this TX syscall/chain
+  kDatapathRxBatch,     // a = network, b = datagrams in this RX drain
+  kHealthTransition,    // a = network (kHealthOverall = ring-wide), b = old<<8|new
 };
 
+/// `a` value on kHealthTransition records for the ring-wide state (no
+/// single network): the per-network states use their NetworkId.
+constexpr std::uint64_t kHealthOverall = std::numeric_limits<std::uint64_t>::max();
+
 [[nodiscard]] const char* to_string(TraceKind kind);
+
+/// Inverse of to_string(TraceKind): resolves a kind name back to the enum
+/// (the trace merger parses to_jsonl() dumps). Returns false for unknown
+/// names — forward compatibility for dumps from newer builds.
+[[nodiscard]] bool trace_kind_from_string(std::string_view name, TraceKind& out);
+
+/// Last enumerator — the merge/parse layers iterate [kTokenReceived, kLastTraceKind].
+constexpr TraceKind kLastTraceKind = TraceKind::kHealthTransition;
 
 struct TraceRecord {
   TimePoint at{};
   TraceKind kind{};
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  // Correlation keys (stamped from the ring's context at emit time).
+  NodeId node = kInvalidNode;
+  std::uint64_t ring_seq = 0;
+  std::uint64_t token_seq = 0;
 };
 
 class TraceRing {
  public:
   explicit TraceRing(std::size_t capacity = 4096)
-      : records_(capacity > 0 ? capacity : 1) {}
+      : capacity_(capacity > 0 ? capacity : 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {}
 
+  /// Record one event. Safe to call concurrently from multiple threads
+  /// (each call claims its own slot); wait-free and allocation-free.
   void emit(TimePoint at, TraceKind kind, std::uint64_t a = 0, std::uint64_t b = 0) {
-    records_[next_ % records_.size()] = TraceRecord{at, kind, a, b};
-    ++next_;
+    Slot& s = slots_[next_.fetch_add(1, std::memory_order_acq_rel) % capacity_];
+    // Seqlock write: odd version opens the slot, even version publishes it.
+    // The release fence keeps the field stores from drifting above the
+    // opening version store (Boehm, "Can seqlocks get along with
+    // programming language memory models?").
+    const std::uint32_t v = s.ver.load(std::memory_order_relaxed);
+    s.ver.store(v + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.t_us.store(at.time_since_epoch().count(), std::memory_order_relaxed);
+    s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+    s.a.store(a, std::memory_order_relaxed);
+    s.b.store(b, std::memory_order_relaxed);
+    s.node.store(node_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    s.ring_seq.store(ring_seq_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    s.token_seq.store(token_seq_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    s.ver.store(v + 2, std::memory_order_release);
   }
 
-  /// Events currently held, oldest first.
+  // ---- correlation context (stamped onto every subsequent record) ----
+  void set_node(NodeId node) { node_.store(node, std::memory_order_relaxed); }
+  void set_ring_seq(std::uint64_t ring_seq) {
+    ring_seq_.store(ring_seq, std::memory_order_relaxed);
+  }
+  void set_token_seq(std::uint64_t token_seq) {
+    token_seq_.store(token_seq, std::memory_order_relaxed);
+  }
+  [[nodiscard]] NodeId node() const { return node_.load(std::memory_order_relaxed); }
+
+  /// Events currently held, oldest first. Safe concurrently with emit():
+  /// slots caught mid-write (and slots a lapped writer tears) are skipped
+  /// rather than returned torn.
   [[nodiscard]] std::vector<TraceRecord> snapshot() const {
     std::vector<TraceRecord> out;
-    const std::size_t n = std::min(next_, records_.size());
+    const std::size_t end = next_.load(std::memory_order_acquire);
+    const std::size_t n = std::min(end, capacity_);
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(records_[(next_ - n + i) % records_.size()]);
+      TraceRecord rec;
+      if (read_slot(slots_[(end - n + i) % capacity_], rec)) out.push_back(rec);
     }
     return out;
   }
 
-  [[nodiscard]] std::size_t total_emitted() const { return next_; }
-  [[nodiscard]] std::size_t dropped() const {
-    return next_ > records_.size() ? next_ - records_.size() : 0;
+  [[nodiscard]] std::size_t total_emitted() const {
+    return next_.load(std::memory_order_acquire);
   }
-  [[nodiscard]] std::size_t capacity() const { return records_.size(); }
+  [[nodiscard]] std::size_t dropped() const {
+    const std::size_t n = total_emitted();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  void clear() { next_ = 0; }
+  /// Reset to empty. NOT safe concurrently with emit() — a bench/test
+  /// convenience, not a hot-path operation.
+  void clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      Slot& s = slots_[i];
+      const std::uint32_t v = s.ver.load(std::memory_order_relaxed);
+      s.ver.store(v + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      s.kind.store(0, std::memory_order_relaxed);
+      s.ver.store(v + 2, std::memory_order_release);
+    }
+    next_.store(0, std::memory_order_release);
+  }
 
   /// Multi-line human-readable dump, oldest first.
   [[nodiscard]] std::string to_string() const;
@@ -87,13 +183,52 @@ class TraceRing {
   [[nodiscard]] std::string to_json_array(std::size_t last_n = 0) const;
 
  private:
-  std::vector<TraceRecord> records_;
-  std::size_t next_ = 0;
+  struct Slot {
+    std::atomic<std::uint32_t> ver{0};
+    std::atomic<std::int64_t> t_us{0};
+    std::atomic<std::uint8_t> kind{0};  // 0 = never written
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint32_t> node{kInvalidNode};
+    std::atomic<std::uint64_t> ring_seq{0};
+    std::atomic<std::uint64_t> token_seq{0};
+  };
+
+  /// Seqlock read; false when the slot is unwritten or stayed torn after a
+  /// few retries (writer mid-store — the record is simply skipped).
+  [[nodiscard]] static bool read_slot(const Slot& s, TraceRecord& out) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint32_t v1 = s.ver.load(std::memory_order_acquire);
+      if (v1 & 1) continue;
+      out.at = TimePoint{} + Duration{s.t_us.load(std::memory_order_relaxed)};
+      out.kind = static_cast<TraceKind>(s.kind.load(std::memory_order_relaxed));
+      out.a = s.a.load(std::memory_order_relaxed);
+      out.b = s.b.load(std::memory_order_relaxed);
+      out.node = s.node.load(std::memory_order_relaxed);
+      out.ring_seq = s.ring_seq.load(std::memory_order_relaxed);
+      out.token_seq = s.token_seq.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.ver.load(std::memory_order_relaxed) == v1) {
+        return static_cast<std::uint8_t>(out.kind) != 0;
+      }
+    }
+    return false;
+  }
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::size_t> next_{0};
+
+  // Correlation context, folded into each record at emit time.
+  std::atomic<NodeId> node_{kInvalidNode};
+  std::atomic<std::uint64_t> ring_seq_{0};
+  std::atomic<std::uint64_t> token_seq_{0};
 };
 
 [[nodiscard]] std::string to_string(const TraceRecord& record);
 
-/// One compact JSON object: {"t_us":...,"kind":"...","a":...,"b":...}.
+/// One compact JSON object:
+/// {"t_us":...,"kind":"...","a":...,"b":...,"node":...,"ring_seq":...,"token_seq":...}.
 [[nodiscard]] std::string to_json(const TraceRecord& record);
 
 }  // namespace totem

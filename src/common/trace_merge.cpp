@@ -1,0 +1,456 @@
+#include "common/trace_merge.h"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/json.h"
+
+namespace totem {
+namespace {
+
+// ---- JSONL parsing --------------------------------------------------------
+// The dumps are machine-written flat objects (common/trace.cpp to_json), so
+// a tiny scanner is enough: quoted keys, and values that are either numbers
+// or quoted strings. Anything that deviates fails the line, not the merge.
+
+struct LineScanner {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool quoted(std::string_view& out) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != '"') return false;
+    const std::size_t start = ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') return false;  // trace dumps never escape
+      ++pos;
+    }
+    if (pos >= s.size()) return false;
+    out = s.substr(start, pos - start);
+    ++pos;
+    return true;
+  }
+  bool number(std::int64_t& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+    if (pos == start) return false;
+    out = std::strtoll(std::string(s.substr(start, pos - start)).c_str(),
+                       nullptr, 10);
+    return true;
+  }
+};
+
+bool parse_trace_line(std::string_view line, TraceRecord& out) {
+  LineScanner sc{line};
+  if (!sc.eat('{')) return false;
+  bool have_kind = false;
+  bool first = true;
+  for (;;) {
+    if (sc.eat('}')) break;
+    if (!first && !sc.eat(',')) return false;
+    first = false;
+    std::string_view key;
+    if (!sc.quoted(key) || !sc.eat(':')) return false;
+    if (key == "kind") {
+      std::string_view name;
+      if (!sc.quoted(name)) return false;
+      if (!trace_kind_from_string(name, out.kind)) return false;
+      have_kind = true;
+      continue;
+    }
+    std::int64_t v = 0;
+    if (!sc.number(v)) return false;
+    if (key == "t_us") {
+      out.at = TimePoint{} + Duration{v};
+    } else if (key == "a") {
+      out.a = static_cast<std::uint64_t>(v);
+    } else if (key == "b") {
+      out.b = static_cast<std::uint64_t>(v);
+    } else if (key == "node") {
+      out.node = static_cast<NodeId>(v);
+    } else if (key == "ring_seq") {
+      out.ring_seq = static_cast<std::uint64_t>(v);
+    } else if (key == "token_seq") {
+      out.token_seq = static_cast<std::uint64_t>(v);
+    }
+    // Unknown numeric keys are skipped: forward compatibility.
+  }
+  return have_kind;
+}
+
+// ---- Chrome trace-event emission -----------------------------------------
+
+// Fixed Perfetto "thread" lanes inside each node's process.
+enum Lane : int {
+  kLaneToken = 1,
+  kLaneMessages = 2,
+  kLaneMembership = 3,
+  kLaneSmr = 4,
+  kLaneRrp = 5,
+  kLaneDatapath = 6,
+  kLaneHealth = 7,
+  kLaneEvents = 8,
+};
+
+const char* lane_name(int lane) {
+  switch (lane) {
+    case kLaneToken: return "token";
+    case kLaneMessages: return "messages";
+    case kLaneMembership: return "membership";
+    case kLaneSmr: return "smr";
+    case kLaneRrp: return "rrp";
+    case kLaneDatapath: return "datapath";
+    case kLaneHealth: return "health";
+    case kLaneEvents: return "events";
+  }
+  return "?";
+}
+
+// Must track rrp::NetworkFaultReport::Reason::kReinstated (the merge layer
+// sits below rrp/ and cannot include it; trace_merge_test pins the value).
+constexpr std::uint64_t kReinstatedReason = 3;
+
+// Must track api::HealthState (same layering constraint; pinned by test).
+const char* health_state_name(std::uint64_t v) {
+  switch (v) {
+    case 0: return "healthy";
+    case 1: return "degraded";
+    case 2: return "faulted";
+  }
+  return "?";
+}
+
+// Pid used for records emitted before any node id was stamped.
+constexpr std::uint64_t kUnattributedPid = 0xFFFFFFFFu;
+
+std::uint64_t pid_of(const TraceRecord& r) {
+  return r.node == kInvalidNode ? kUnattributedPid
+                                : static_cast<std::uint64_t>(r.node);
+}
+
+std::int64_t us_of(const TraceRecord& r) {
+  return r.at.time_since_epoch().count();
+}
+
+class ChromeTraceBuilder {
+ public:
+  ChromeTraceBuilder() {
+    w_.begin_object();
+    w_.key("traceEvents");
+    w_.begin_array();
+  }
+
+  void span(std::uint64_t pid, int lane, std::string_view name,
+            std::int64_t ts, std::int64_t dur,
+            const std::vector<std::pair<std::string_view, std::uint64_t>>& args) {
+    begin_event(pid, lane, name, "X", ts);
+    w_.kv("dur", dur < 0 ? std::int64_t{0} : dur);
+    end_event(args);
+  }
+
+  void instant(std::uint64_t pid, int lane, std::string_view name,
+               std::int64_t ts,
+               const std::vector<std::pair<std::string_view, std::uint64_t>>& args) {
+    begin_event(pid, lane, name, "i", ts);
+    w_.kv("s", "t");  // thread-scoped instant
+    end_event(args);
+  }
+
+  std::string finish() {
+    // Metadata last is fine — Perfetto applies it regardless of position.
+    for (const auto& [pid, lanes] : used_lanes_) {
+      meta(pid, 0, "process_name",
+           pid == kUnattributedPid ? std::string("unattributed")
+                                   : "node " + std::to_string(pid));
+      for (const auto& [lane, _] : lanes) {
+        meta(pid, lane, "thread_name", lane_name(lane));
+      }
+    }
+    w_.end_array();
+    w_.end_object();
+    return w_.take();
+  }
+
+ private:
+  void begin_event(std::uint64_t pid, int lane, std::string_view name,
+                   std::string_view ph, std::int64_t ts) {
+    used_lanes_[pid][lane] = true;
+    w_.begin_object();
+    w_.kv("name", name);
+    w_.kv("ph", ph);
+    w_.kv("ts", ts);
+    w_.kv("pid", pid);
+    w_.kv("tid", static_cast<std::uint64_t>(lane));
+  }
+
+  void end_event(const std::vector<std::pair<std::string_view, std::uint64_t>>& args) {
+    w_.key("args");
+    w_.begin_object();
+    for (const auto& [k, v] : args) w_.kv(k, v);
+    w_.end_object();
+    w_.end_object();
+  }
+
+  void meta(std::uint64_t pid, int lane, std::string_view kind,
+            const std::string& name) {
+    w_.begin_object();
+    w_.kv("name", kind);
+    w_.kv("ph", "M");
+    w_.kv("pid", pid);
+    if (lane != 0) w_.kv("tid", static_cast<std::uint64_t>(lane));
+    w_.key("args");
+    w_.begin_object();
+    w_.kv("name", name);
+    w_.end_object();
+    w_.end_object();
+  }
+
+  JsonWriter w_;
+  std::map<std::uint64_t, std::map<int, bool>> used_lanes_;
+};
+
+// Per-node pairing state carried through the time-ordered sweep.
+struct NodeSpans {
+  bool token_open = false;
+  std::int64_t token_ts = 0;
+  std::uint64_t token_seq = 0;
+  std::uint64_t token_rotation = 0;
+
+  bool reform_open = false;
+  std::int64_t reform_ts = 0;
+  std::uint64_t reform_view = 0;
+  std::uint64_t reform_old_seq = 0;
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> smr_open;
+  std::map<std::uint64_t, std::pair<std::int64_t, std::uint64_t>> outage_open;
+};
+
+}  // namespace
+
+std::vector<TraceRecord> parse_trace_jsonl(std::string_view jsonl,
+                                           std::size_t* skipped) {
+  std::vector<TraceRecord> out;
+  std::size_t bad = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string_view::npos) end = jsonl.size();
+    const std::string_view line = jsonl.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    TraceRecord rec;
+    if (parse_trace_line(line, rec)) {
+      out.push_back(rec);
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped) *skipped = bad;
+  return out;
+}
+
+std::string merge_to_chrome_trace(std::vector<TraceRecord> records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& l, const TraceRecord& r) {
+                     if (l.at != r.at) return l.at < r.at;
+                     return pid_of(l) < pid_of(r);
+                   });
+
+  // Pre-pass: broadcast times keyed (origin, seq) so a delivery anywhere can
+  // anchor its end-to-end span at the origin's broadcast instant. A
+  // broadcast record covers [first_seq, first_seq + count); the per-message
+  // fan-out is capped to keep a corrupt count from exploding the map.
+  constexpr std::uint64_t kMaxFanout = 4096;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> broadcast_at;
+  for (const TraceRecord& r : records) {
+    if (r.kind != TraceKind::kMessageBroadcast || r.node == kInvalidNode) continue;
+    const std::uint64_t count = r.b < kMaxFanout ? r.b : kMaxFanout;
+    for (std::uint64_t s = 0; s < count; ++s) {
+      broadcast_at.emplace(std::make_pair(static_cast<std::uint64_t>(r.node),
+                                          r.a + s),
+                           us_of(r));
+    }
+  }
+
+  ChromeTraceBuilder out;
+  std::map<std::uint64_t, NodeSpans> state;
+
+  auto flush_token = [&](std::uint64_t pid, NodeSpans& ns) {
+    if (!ns.token_open) return;
+    ns.token_open = false;
+    out.instant(pid, kLaneToken, "token-received (unforwarded)", ns.token_ts,
+                {{"seq", ns.token_seq}, {"rotation_us", ns.token_rotation}});
+  };
+
+  for (const TraceRecord& r : records) {
+    const std::uint64_t pid = pid_of(r);
+    NodeSpans& ns = state[pid];
+    const std::int64_t ts = us_of(r);
+    switch (r.kind) {
+      case TraceKind::kTokenReceived:
+        flush_token(pid, ns);
+        ns.token_open = true;
+        ns.token_ts = ts;
+        ns.token_seq = r.b;
+        ns.token_rotation = r.a;
+        break;
+      case TraceKind::kTokenForwarded:
+      case TraceKind::kTokenRetained:
+        // The forwarded seq may exceed the received one (the holder stamps
+        // its new broadcasts into the token), so pair on alternation, not
+        // on equal seq: the next forward after a receive closes it.
+        if (ns.token_open && r.b >= ns.token_seq) {
+          ns.token_open = false;
+          out.span(pid, kLaneToken, "token-rotation", ns.token_ts,
+                   ts - ns.token_ts,
+                   {{"seq", r.b},
+                    {"to", r.a},
+                    {"rotation_us", ns.token_rotation},
+                    {"ring_seq", r.ring_seq}});
+        } else {
+          out.instant(pid, kLaneToken, to_string(r.kind), ts,
+                      {{"to", r.a}, {"seq", r.b}});
+        }
+        break;
+      case TraceKind::kMessageDelivered: {
+        const auto it = broadcast_at.find(std::make_pair(r.a, r.b));
+        if (it != broadcast_at.end()) {
+          out.span(pid, kLaneMessages, "deliver", it->second, ts - it->second,
+                   {{"origin", r.a}, {"seq", r.b}, {"ring_seq", r.ring_seq}});
+        } else {
+          out.instant(pid, kLaneMessages, "deliver", ts,
+                      {{"origin", r.a}, {"seq", r.b}});
+        }
+        break;
+      }
+      case TraceKind::kMessageBroadcast:
+        out.instant(pid, kLaneMessages, "broadcast", ts,
+                    {{"first_seq", r.a}, {"count", r.b}});
+        break;
+      case TraceKind::kReformationBegin:
+        if (ns.reform_open) {
+          out.instant(pid, kLaneMembership, "reformation (restarted)", ns.reform_ts,
+                      {{"view", ns.reform_view}});
+        }
+        ns.reform_open = true;
+        ns.reform_ts = ts;
+        ns.reform_view = r.a;
+        ns.reform_old_seq = r.b;
+        break;
+      case TraceKind::kReformationEnd:
+        if (ns.reform_open) {
+          ns.reform_open = false;
+          out.span(pid, kLaneMembership, "reformation", ns.reform_ts,
+                   ts - ns.reform_ts,
+                   {{"view", r.a},
+                    {"old_ring_seq", ns.reform_old_seq},
+                    {"new_ring_seq", r.b}});
+        } else {
+          out.instant(pid, kLaneMembership, "reformation-end", ts,
+                      {{"view", r.a}, {"new_ring_seq", r.b}});
+        }
+        break;
+      case TraceKind::kSnapshotRoundBegin:
+        ns.smr_open[{r.a, r.b}] = ts;
+        break;
+      case TraceKind::kSnapshotRoundEnd: {
+        const auto it = ns.smr_open.find({r.a, r.b});
+        if (it != ns.smr_open.end()) {
+          out.span(pid, kLaneSmr, "snapshot-round", it->second, ts - it->second,
+                   {{"leader", r.a}, {"nonce", r.b}});
+          ns.smr_open.erase(it);
+        } else {
+          out.instant(pid, kLaneSmr, "snapshot-round-end", ts,
+                      {{"leader", r.a}, {"nonce", r.b}});
+        }
+        break;
+      }
+      case TraceKind::kNetworkFault:
+        if (r.b == kReinstatedReason) {
+          const auto it = ns.outage_open.find(r.a);
+          if (it != ns.outage_open.end()) {
+            out.span(pid, kLaneRrp, "network-outage", it->second.first,
+                     ts - it->second.first,
+                     {{"network", r.a}, {"reason", it->second.second}});
+            ns.outage_open.erase(it);
+          } else {
+            out.instant(pid, kLaneRrp, "network-reinstated", ts,
+                        {{"network", r.a}});
+          }
+        } else if (ns.outage_open.count(r.a) == 0) {
+          ns.outage_open[r.a] = {ts, r.b};
+          out.instant(pid, kLaneRrp, "network-fault", ts,
+                      {{"network", r.a}, {"reason", r.b}});
+        } else {
+          // Re-report during an open outage: keep the original span edge.
+          out.instant(pid, kLaneRrp, "network-fault", ts,
+                      {{"network", r.a}, {"reason", r.b}});
+        }
+        break;
+      case TraceKind::kDatapathTxBatch:
+        out.instant(pid, kLaneDatapath, "tx-batch", ts,
+                    {{"network", r.a}, {"datagrams", r.b}});
+        break;
+      case TraceKind::kDatapathRxBatch:
+        out.instant(pid, kLaneDatapath, "rx-batch", ts,
+                    {{"network", r.a}, {"datagrams", r.b}});
+        break;
+      case TraceKind::kHealthTransition: {
+        const std::uint64_t from = (r.b >> 8) & 0xff;
+        const std::uint64_t to = r.b & 0xff;
+        std::string name = r.a == kHealthOverall
+                               ? std::string("ring ")
+                               : "net" + std::to_string(r.a) + " ";
+        name += health_state_name(from);
+        name += "->";
+        name += health_state_name(to);
+        std::vector<std::pair<std::string_view, std::uint64_t>> args = {
+            {"from", from}, {"to", to}};
+        if (r.a != kHealthOverall) args.emplace_back("network", r.a);
+        out.instant(pid, kLaneHealth, name, ts, args);
+        break;
+      }
+      default:
+        out.instant(pid, kLaneEvents, to_string(r.kind), ts,
+                    {{"a", r.a},
+                     {"b", r.b},
+                     {"ring_seq", r.ring_seq},
+                     {"token_seq", r.token_seq}});
+        break;
+    }
+  }
+
+  // Leftover opens degrade to instants so truncated rings still render.
+  for (auto& [pid, ns] : state) {
+    flush_token(pid, ns);
+    if (ns.reform_open) {
+      out.instant(pid, kLaneMembership, "reformation (unfinished)", ns.reform_ts,
+                  {{"view", ns.reform_view}});
+    }
+    for (const auto& [key, begin_ts] : ns.smr_open) {
+      out.instant(pid, kLaneSmr, "snapshot-round (unfinished)", begin_ts,
+                  {{"leader", key.first}, {"nonce", key.second}});
+    }
+    for (const auto& [network, open] : ns.outage_open) {
+      out.instant(pid, kLaneRrp, "network-outage (unhealed)", open.first,
+                  {{"network", network}, {"reason", open.second}});
+    }
+  }
+  return out.finish();
+}
+
+}  // namespace totem

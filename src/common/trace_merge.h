@@ -1,0 +1,52 @@
+// Trace merge: stitch per-node TraceRing dumps into one causally ordered
+// Chrome trace-event JSON document (loadable in Perfetto / chrome://tracing).
+//
+// Input is the JSONL format TraceRing::to_jsonl() produces — one record per
+// line with the correlation keys (node, ring_seq, token_seq) every record
+// carries since PR 8. The merger groups records by emitting node (one
+// Perfetto "process" per node) and reconstructs duration spans from the
+// protocol's begin/end pairs:
+//
+//   * token rotations     kTokenReceived -> kTokenForwarded/kTokenRetained,
+//                         paired on the token seq
+//   * message latency     kMessageBroadcast at the origin -> each node's
+//                         kMessageDelivered, keyed on (origin, seq) — the
+//                         end-to-end send->deliver span drawn on the
+//                         DELIVERING node's track
+//   * reformations        kReformationBegin -> kReformationEnd
+//   * snapshot transfer   kSnapshotRoundBegin -> kSnapshotRoundEnd, keyed
+//                         on (leader, mark nonce)
+//   * network outages     kNetworkFault (fault reason) -> kNetworkFault
+//                         (reinstated), per (node, network) — the RRP
+//                         failover window
+//
+// Everything else (datapath batches, health transitions, retransmissions,
+// ...) renders as instant events. Unpaired begins/ends degrade to instants
+// rather than being dropped, so a truncated ring still yields a timeline.
+//
+// The same clock must drive every input ring for the merged axis to mean
+// anything: the simulator's virtual clock (chaos campaigns) or one host's
+// steady_clock (the in-process live examples) both qualify.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace totem {
+
+/// Parse one TraceRing::to_jsonl() dump. Unparseable lines and unknown
+/// kinds are counted in `*skipped` (when non-null) and dropped — a merge
+/// should survive a partially torn dump file.
+[[nodiscard]] std::vector<TraceRecord> parse_trace_jsonl(
+    std::string_view jsonl, std::size_t* skipped = nullptr);
+
+/// Merge records from any number of nodes (concatenate the parsed dumps)
+/// into one Chrome trace-event JSON document: {"traceEvents":[...]}.
+/// Records are grouped by their `node` correlation key; records emitted
+/// before a node id was stamped land under a synthetic "unattributed" pid.
+[[nodiscard]] std::string merge_to_chrome_trace(std::vector<TraceRecord> records);
+
+}  // namespace totem

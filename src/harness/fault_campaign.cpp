@@ -8,8 +8,10 @@
 #include "api/stats.h"
 #include "common/bytes.h"
 #include "common/json.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/trace.h"
+#include "common/trace_merge.h"
 #include "smr/replicated_kv.h"
 #include "smr/replicated_log.h"
 
@@ -433,6 +435,21 @@ std::string build_artifact(const CampaignResult& result, SimCluster& cluster) {
     w.end_object();
   }
   w.end_array();
+  // Merged cluster timeline (same last-N window as the per-node dumps):
+  // load artifact["timeline"] straight into Perfetto to see what every node
+  // was doing around the violation.
+  std::vector<TraceRecord> all_records;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    if (const TraceRing* tr = cluster.trace(i)) {
+      auto records = tr->snapshot();
+      const std::size_t n = o.artifact_trace_last_n;
+      const std::size_t skip =
+          (n > 0 && records.size() > n) ? records.size() - n : 0;
+      all_records.insert(all_records.end(), records.begin() + skip, records.end());
+    }
+  }
+  w.key("timeline");
+  w.raw(merge_to_chrome_trace(std::move(all_records)));
   w.end_object();
   return w.take();
 }
@@ -458,6 +475,12 @@ CampaignResult run_campaign(CampaignOptions o) {
   cfg.srp.commit_timeout = Duration{100'000};
   cfg.srp.announce_interval = Duration{200'000};  // fast post-heal merges
   cfg.srp.merge_backoff = Duration{1'000'000};
+  if (!o.trace_dump_dir.empty()) {
+    // A Perfetto dump wants the whole run, not the last ~0.3 s the default
+    // ring holds. Ring depth has zero protocol feedback, so deepening it
+    // cannot perturb the seeded schedule.
+    cfg.trace_capacity = 1 << 17;
+  }
   SimCluster cluster(cfg);
   auto& sim = cluster.simulator();
 
@@ -474,9 +497,11 @@ CampaignResult run_campaign(CampaignOptions o) {
     for (std::size_t i = 0; i < o.nodes; ++i) {
       kv_buses.push_back(std::make_unique<api::GroupBus>(cluster.node(i)));
       kv_machines.push_back(std::make_unique<smr::ReplicatedKv>());
+      smr::ReplicatedLog::Config kv_cfg;
+      kv_cfg.trace = cluster.mutable_trace(i);
       kv_logs.push_back(std::make_unique<smr::ReplicatedLog>(
           cluster.simulator(), *kv_buses.back(), *kv_machines.back(),
-          smr::ReplicatedLog::Config{}));
+          std::move(kv_cfg)));
     }
   }
 
@@ -765,6 +790,20 @@ CampaignResult run_campaign(CampaignOptions o) {
   if (!result.report.ok()) {
     result.observations = dump_observations(cluster);
     result.artifact_json = build_artifact(result, cluster);
+  }
+  if (!o.trace_dump_dir.empty()) {
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      if (const TraceRing* tr = cluster.trace(i)) {
+        const std::string path =
+            o.trace_dump_dir + "/node" + std::to_string(i) + ".jsonl";
+        std::ofstream out(path, std::ios::trunc);
+        if (out) {
+          out << tr->to_jsonl();
+        } else {
+          TLOG_WARN << "chaos: cannot write trace dump " << path;
+        }
+      }
+    }
   }
   return result;
 }

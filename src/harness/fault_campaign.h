@@ -107,6 +107,12 @@ struct CampaignOptions {
   /// artifact carries (0 = the whole ring).
   std::size_t artifact_trace_last_n = 256;
 
+  /// When non-empty, every node's full flight-recorder history is written
+  /// to `<dir>/node<N>.jsonl` at the end of the run (pass or fail) — the
+  /// inputs tools/totem_tracemerge stitches into one Perfetto timeline.
+  /// The directory must already exist.
+  std::string trace_dump_dir;
+
   /// Run a replicated KV store (smr::ReplicatedLog over a GroupBus group)
   /// on every node, with seeded per-node clients submitting put/delete/CAS
   /// commands until the heal. The end-of-run replica states feed invariant

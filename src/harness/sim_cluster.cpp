@@ -43,6 +43,8 @@ SimCluster::SimCluster(ClusterConfig config)
     nc.passive = config_.passive;
     nc.active_passive = config_.active_passive;
     nc.adaptive_timeout = config_.adaptive_timeout;
+    nc.health = config_.health;
+    nc.telemetry = config_.telemetry;
     traces_.push_back(config_.trace_capacity > 0
                           ? std::make_unique<TraceRing>(config_.trace_capacity)
                           : nullptr);

@@ -38,6 +38,15 @@ struct ClusterConfig {
   /// Adaptive token-timeout tuning, applied to every node (api::NodeConfig).
   api::NodeConfig::AdaptiveTimeout adaptive_timeout;
 
+  /// Health-model thresholds + optional periodic update, applied to every
+  /// node (api::NodeConfig). Default = lazy updates on api::snapshot only.
+  api::NodeConfig::Health health;
+
+  /// Telemetry-endpoint knobs, copied into every api::NodeConfig. The sim
+  /// cluster itself never opens sockets (NodeConfig documents this), but
+  /// drivers that rebuild a config for live deployment inherit it.
+  api::NodeConfig::Telemetry telemetry;
+
   /// Record every delivery's payload (disable for throughput benches to
   /// keep memory flat; counters still accumulate).
   bool record_payloads = true;
@@ -114,6 +123,9 @@ class SimCluster {
 
   /// Node i's flight recorder — null when trace_capacity is 0.
   [[nodiscard]] const TraceRing* trace(std::size_t i) const { return traces_[i].get(); }
+  /// Mutable access for wiring the recorder into extra components built on
+  /// top of the cluster (e.g. the fault campaign's replicated-KV logs).
+  [[nodiscard]] TraceRing* mutable_trace(std::size_t i) { return traces_[i].get(); }
   /// Node i's transports (one per network) in api::snapshot()-ready form.
   [[nodiscard]] const std::vector<const net::Transport*>& transports(std::size_t i) const {
     return transports_[i];

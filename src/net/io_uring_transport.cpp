@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "common/trace.h"
 
 // Older glibc headers may lack the UDP GSO knob even when the kernel has it.
 #ifndef UDP_SEGMENT
@@ -370,6 +371,7 @@ void IoUringTransport::flush_round_locked() {
   if (round_submitted_ > 0) {
     ++stats_.tx_syscall_batches;
     if (tx_batch_hist_) tx_batch_hist_->record(round_submitted_);
+    trace_batch(TraceKind::kDatapathTxBatch, round_submitted_);
     round_submitted_ = 0;
   }
 }
@@ -508,6 +510,7 @@ void IoUringTransport::on_ring_readable() {
       // One completion round plays the role one recvmmsg call played.
       ++stats_.rx_syscall_batches;
       if (rx_batch_hist_) rx_batch_hist_->record(accepted.size());
+      trace_batch(TraceKind::kDatapathRxBatch, accepted.size());
     }
   }
   bool queued_any = false;

@@ -38,6 +38,12 @@ void Reactor::register_fd(int fd, std::function<void()> on_readable) {
 
 void Reactor::unregister_fd(int fd) { fds_.erase(fd); }
 
+void Reactor::register_fd_write(int fd, std::function<void()> on_writable) {
+  write_fds_[fd] = std::move(on_writable);
+}
+
+void Reactor::unregister_fd_write(int fd) { write_fds_.erase(fd); }
+
 std::uint64_t Reactor::add_wake_hook(std::function<void()> hook) {
   const std::uint64_t id = next_hook_id_++;
   wake_hooks_[id] = std::move(hook);
@@ -66,9 +72,22 @@ Duration Reactor::until_next_timer(Duration cap) const {
 void Reactor::poll_once(Duration max_wait) {
   const Duration wait = until_next_timer(max_wait);
   std::vector<pollfd> pfds;
-  pfds.reserve(fds_.size() + 1);
+  pfds.reserve(fds_.size() + write_fds_.size() + 1);
   for (const auto& [fd, _] : fds_) {
     pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  for (const auto& [fd, _] : write_fds_) {
+    // A fd watched for both directions gets one pollfd with both bits
+    // (both maps are sorted, so a linear merge would do; n is tiny).
+    bool merged = false;
+    for (auto& p : pfds) {
+      if (p.fd == fd) {
+        p.events |= POLLOUT;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) pfds.push_back(pollfd{fd, POLLOUT, 0});
   }
   if (wake_rd_ >= 0) pfds.push_back(pollfd{wake_rd_, POLLIN, 0});
   const int timeout_ms =
@@ -76,17 +95,32 @@ void Reactor::poll_once(Duration max_wait) {
   const int rc = ::poll(pfds.data(), pfds.size(), std::max(timeout_ms, 0));
   if (rc > 0) {
     for (const auto& p : pfds) {
-      if ((p.revents & POLLIN) == 0) continue;
-      if (p.fd == wake_rd_) {
-        notified_.store(false, std::memory_order_release);
-        char buf[64];
-        while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      if ((p.revents & POLLIN) != 0) {
+        if (p.fd == wake_rd_) {
+          notified_.store(false, std::memory_order_release);
+          char buf[64];
+          while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+          }
+          continue;
         }
-        continue;
+        // Handlers may unregister fds — even their own (a connection
+        // handler closing its connection): look the entry up fresh and
+        // invoke a copy so the erase cannot destroy the running function.
+        auto it = fds_.find(p.fd);
+        if (it != fds_.end()) {
+          auto handler = it->second;
+          handler();
+        }
       }
-      // The handler may unregister fds; look it up fresh.
-      auto it = fds_.find(p.fd);
-      if (it != fds_.end()) it->second();
+      // Errors/hangups dispatch the write handler too: its write attempt
+      // sees the error and tears the connection down.
+      if ((p.revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        auto it = write_fds_.find(p.fd);
+        if (it != write_fds_.end()) {
+          auto handler = it->second;
+          handler();
+        }
+      }
     }
   }
   // Wake hooks run every round (they are cheap empty-queue checks), so TX

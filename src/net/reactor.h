@@ -42,6 +42,14 @@ class Reactor : public TimerService {
   void register_fd(int fd, std::function<void()> on_readable);
   void unregister_fd(int fd);
 
+  /// Invoke `on_writable` whenever `fd` becomes writable (or errors/hangs
+  /// up — the handler's write attempt surfaces the error). A fd may be
+  /// registered for read and write independently; used by streaming
+  /// responders (net::TelemetryServer) to flush large replies without
+  /// blocking the loop. Same threading rules as register_fd.
+  void register_fd_write(int fd, std::function<void()> on_writable);
+  void unregister_fd_write(int fd);
+
   /// Register `hook` to run on every poll round after fd dispatch — the
   /// mechanism by which transports flush their TX queues on the I/O thread.
   /// Returns an id for remove_wake_hook.
@@ -67,6 +75,7 @@ class Reactor : public TimerService {
 
   TimerHeap timers_;
   std::map<int, std::function<void()>> fds_;
+  std::map<int, std::function<void()>> write_fds_;
   std::map<std::uint64_t, std::function<void()>> wake_hooks_;
   std::uint64_t next_hook_id_ = 0;
 

@@ -1,0 +1,235 @@
+#include "net/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace totem::net {
+
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::create(
+    Reactor& reactor, Config config, Handler handler) {
+  if (!handler) {
+    return Status(StatusCode::kInvalidArgument, "TelemetryServer needs a handler");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad telemetry bind address: " + config.bind_address);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const Status s(StatusCode::kUnavailable,
+                   "telemetry bind/listen " + config.bind_address + ":" +
+                       std::to_string(config.port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  std::uint16_t port = config.port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port = ntohs(bound.sin_port);
+  }
+
+  auto server = std::unique_ptr<TelemetryServer>(
+      new TelemetryServer(reactor, std::move(config), std::move(handler)));
+  server->listen_fd_ = fd;
+  server->port_ = port;
+  TelemetryServer* raw = server.get();
+  reactor.register_fd(fd, [raw] { raw->on_acceptable(); });
+  return server;
+}
+
+TelemetryServer::TelemetryServer(Reactor& reactor, Config config, Handler handler)
+    : reactor_(reactor), config_(std::move(config)), handler_(std::move(handler)) {
+  reply_queue_ = std::make_shared<ReplyQueue>();
+  reply_queue_->reactor = &reactor_;
+  wake_hook_id_ = reactor_.add_wake_hook([this] { drain_replies(); });
+}
+
+TelemetryServer::~TelemetryServer() {
+  {
+    // Detach in-flight reply closures: after this they silently drop.
+    std::lock_guard<std::mutex> lk(reply_queue_->mu);
+    reply_queue_->reactor = nullptr;
+  }
+  reactor_.remove_wake_hook(wake_hook_id_);
+  while (!conns_.empty()) close_conn(conns_.begin()->first);
+  if (listen_fd_ >= 0) {
+    reactor_.unregister_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void TelemetryServer::on_acceptable() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for the next round
+    if (conns_.size() >= config_.max_connections) {
+      ++stats_.connections_rejected;
+      ::close(fd);
+      continue;
+    }
+    ++stats_.connections_accepted;
+    const std::uint64_t id = next_conn_id_++;
+    conns_[id].fd = fd;
+    reactor_.register_fd(fd, [this, id] { on_readable(id); });
+  }
+}
+
+void TelemetryServer::on_readable(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (!c.dispatched) c.in.append(buf, static_cast<std::size_t>(n));
+      continue;  // keep draining; dispatched connections just discard input
+    }
+    if (n == 0) {  // peer closed before (or after) the request completed
+      if (!c.dispatched) close_conn(id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(id);
+    return;
+  }
+  if (c.dispatched) return;
+  if (c.in.size() > config_.max_request_bytes) {
+    ++stats_.bad_requests;
+    c.dispatched = true;
+    start_response(id, Response{400, "text/plain; charset=utf-8",
+                                "request too large\n"});
+    return;
+  }
+  // HTTP/1.0 GET: the request is complete at the first blank line (any
+  // body would be ignored anyway).
+  const std::size_t header_end = c.in.find("\r\n\r\n");
+  if (header_end == std::string::npos) return;
+
+  const std::size_t line_end = c.in.find("\r\n");
+  const std::string line = c.in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    ++stats_.bad_requests;
+    c.dispatched = true;
+    start_response(id, Response{400, "text/plain; charset=utf-8",
+                                "malformed request line\n"});
+    return;
+  }
+  Request req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  c.dispatched = true;
+  c.in.clear();
+  c.in.shrink_to_fit();
+
+  // The reply closure may outlive the server and fire from any thread.
+  std::weak_ptr<ReplyQueue> weak = reply_queue_;
+  handler_(req, [weak, id](Response r) {
+    const std::shared_ptr<ReplyQueue> q = weak.lock();
+    if (!q) return;
+    std::lock_guard<std::mutex> lk(q->mu);
+    if (!q->reactor) return;
+    q->replies.emplace_back(id, std::move(r));
+    q->reactor->notify();
+  });
+}
+
+void TelemetryServer::drain_replies() {
+  std::vector<std::pair<std::uint64_t, Response>> replies;
+  {
+    std::lock_guard<std::mutex> lk(reply_queue_->mu);
+    replies.swap(reply_queue_->replies);
+  }
+  for (auto& [id, response] : replies) {
+    if (conns_.find(id) == conns_.end()) continue;  // client already gone
+    ++stats_.requests_served;
+    start_response(id, response);
+  }
+}
+
+void TelemetryServer::start_response(std::uint64_t id, const Response& r) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  c.out = "HTTP/1.0 " + std::to_string(r.status) + ' ' +
+          reason_phrase(r.status) +
+          "\r\nContent-Type: " + r.content_type +
+          "\r\nContent-Length: " + std::to_string(r.body.size()) +
+          "\r\nConnection: close\r\n\r\n" + r.body;
+  c.off = 0;
+  // Try inline first — most responses fit the socket buffer and finish
+  // without ever registering for writability.
+  flush(id);
+  if (auto again = conns_.find(id); again != conns_.end()) {
+    reactor_.register_fd_write(again->second.fd,
+                               [this, id] { on_writable(id); });
+  }
+}
+
+void TelemetryServer::on_writable(std::uint64_t id) { flush(id); }
+
+void TelemetryServer::flush(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  while (c.off < c.out.size()) {
+    const ssize_t n =
+        ::send(c.fd, c.out.data() + c.off, c.out.size() - c.off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    break;  // error: give up on this connection
+  }
+  close_conn(id);  // fully flushed (or failed): HTTP/1.0, one shot
+}
+
+void TelemetryServer::close_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const int fd = it->second.fd;
+  reactor_.unregister_fd(fd);
+  reactor_.unregister_fd_write(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+}  // namespace totem::net

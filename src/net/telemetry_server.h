@@ -1,0 +1,125 @@
+// TelemetryServer: a minimal non-blocking HTTP/1.0 responder on the
+// Reactor, built for scrape traffic (Prometheus, health probes, trace
+// dumps) — NOT a general web server.
+//
+// Scope and posture (DESIGN.md §16): binds loopback by default, speaks
+// just enough HTTP/1.0 to serve GET requests, one response per
+// connection (`Connection: close`), no TLS, no auth — expose it beyond
+// localhost only behind a real proxy. Request bodies are ignored;
+// anything that is not a well-formed request line is answered 400 and
+// the connection closed.
+//
+// Threading. The listener and every connection live on the reactor
+// thread: accepts, reads and writes all happen inside poll rounds, and a
+// response larger than one send() drains through the reactor's
+// writable-fd registration without ever blocking the loop. The ONE
+// cross-thread edge is the reply callback handed to the Handler: it may
+// be invoked from any thread (api::NodeTelemetry posts snapshot work to
+// the ordering thread under ThreadedRuntime) — it enqueues the response
+// under a mutex and kicks Reactor::notify(); the reactor's wake hook
+// marshals it back onto the loop. The callback holds only a weak_ptr to
+// that queue, so replies arriving after the server (or the connection)
+// is gone are dropped, never dereferenced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/reactor.h"
+
+namespace totem::net {
+
+class TelemetryServer {
+ public:
+  struct Request {
+    std::string method;  ///< e.g. "GET"
+    std::string target;  ///< e.g. "/metrics" (query string included verbatim)
+  };
+
+  struct Response {
+    int status = 200;  ///< 200 / 400 / 404 / 405 / 503 get reason phrases
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Invoked on the reactor thread once per complete request. `reply` must
+  /// be called exactly once; it is thread-safe, may be called immediately
+  /// or later, and is a no-op once the server or connection is gone.
+  using Handler =
+      std::function<void(const Request&, std::function<void(Response)> reply)>;
+
+  struct Config {
+    std::string bind_address = "127.0.0.1";  ///< loopback-only by default
+    std::uint16_t port = 0;                  ///< 0 = ephemeral; see port()
+    std::size_t max_connections = 16;        ///< extra accepts close instantly
+    std::size_t max_request_bytes = 8192;    ///< oversize requests answered 400
+  };
+
+  /// Open + bind + listen, register with the reactor. Call from the
+  /// reactor thread (or before it starts).
+  static Result<std::unique_ptr<TelemetryServer>> create(Reactor& reactor,
+                                                         Config config,
+                                                         Handler handler);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// The bound port (resolves Config::port == 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;  ///< over max_connections
+    std::uint64_t requests_served = 0;
+    std::uint64_t bad_requests = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;          ///< request bytes until the blank line
+    std::string out;         ///< formatted response being flushed
+    std::size_t off = 0;     ///< out bytes already written
+    bool dispatched = false; ///< handler invoked, awaiting reply
+  };
+
+  /// Replies crossing back from other threads; the reply closures hold a
+  /// weak_ptr to this, the reactor wake hook drains it.
+  struct ReplyQueue {
+    std::mutex mu;
+    Reactor* reactor = nullptr;  // null once the server is destroyed
+    std::vector<std::pair<std::uint64_t, Response>> replies;
+  };
+
+  TelemetryServer(Reactor& reactor, Config config, Handler handler);
+
+  void on_acceptable();
+  void on_readable(std::uint64_t id);
+  void on_writable(std::uint64_t id);
+  void start_response(std::uint64_t id, const Response& r);
+  void flush(std::uint64_t id);
+  void close_conn(std::uint64_t id);
+  void drain_replies();
+
+  Reactor& reactor_;
+  Config config_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, Conn> conns_;
+  std::shared_ptr<ReplyQueue> reply_queue_;
+  std::uint64_t wake_hook_id_ = 0;
+  Stats stats_;
+};
+
+}  // namespace totem::net

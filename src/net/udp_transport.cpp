@@ -16,6 +16,7 @@
 
 #include "common/bytes.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "net/io_uring_transport.h"
 
 // The mmsg batch syscalls are Linux-specific; everything routes through the
@@ -241,6 +242,12 @@ bool UdpTransport::account_tx(std::size_t payload_bytes) {
   return true;
 }
 
+void UdpTransport::trace_batch(TraceKind kind, std::uint64_t datagrams) {
+  if (config_.trace && datagrams > 0) {
+    config_.trace->emit(reactor_.now(), kind, config_.network, datagrams);
+  }
+}
+
 void UdpTransport::warn_unknown_dest(NodeId dest) {
   TLOG_WARN << "udp unicast to unknown node " << dest;
 }
@@ -289,6 +296,7 @@ void UdpTransport::send_batch(const PacketBuffer* frames[], const sockaddr_in* a
       if (rc > 0) {
         ++stats_.tx_syscall_batches;
         if (tx_batch_hist_) tx_batch_hist_->record(static_cast<std::uint64_t>(rc));
+        trace_batch(TraceKind::kDatapathTxBatch, static_cast<std::uint64_t>(rc));
         off += static_cast<std::size_t>(rc);
         waited = false;
         continue;
@@ -317,6 +325,7 @@ void UdpTransport::send_batch(const PacketBuffer* frames[], const sockaddr_in* a
   }
 #endif
   // Portable fallback: one syscall per datagram, same recovery contract.
+  std::uint64_t sent = 0;
   for (std::size_t i = 0; i < n; ++i) {
     bool waited = false;
     for (;;) {
@@ -326,6 +335,7 @@ void UdpTransport::send_batch(const PacketBuffer* frames[], const sockaddr_in* a
       if (rc >= 0) {
         ++stats_.tx_syscall_batches;
         if (tx_batch_hist_) tx_batch_hist_->record(1);
+        ++sent;
         break;
       }
       if (errno == EINTR) continue;
@@ -340,6 +350,9 @@ void UdpTransport::send_batch(const PacketBuffer* frames[], const sockaddr_in* a
       break;
     }
   }
+  // One record for the whole round — per-datagram instants would flood the
+  // ring on the portable path without adding timeline information.
+  trace_batch(TraceKind::kDatapathTxBatch, sent);
 }
 
 void UdpTransport::begin_tx_round() { round_n_ = 0; }
@@ -497,6 +510,7 @@ void UdpTransport::drain_batched(int fd) {
     }
     ++stats_.rx_syscall_batches;
     if (rx_batch_hist_) rx_batch_hist_->record(static_cast<std::uint64_t>(rc));
+    trace_batch(TraceKind::kDatapathRxBatch, static_cast<std::uint64_t>(rc));
     for (int i = 0; i < rc; ++i) {
       queued_any |= accept_datagram(std::move(bufs[i]), msgs[i].msg_len);
     }
@@ -511,6 +525,7 @@ void UdpTransport::drain_batched(int fd) {
 void UdpTransport::drain_fallback(int fd) {
   // Portable path: one recv() per datagram until EAGAIN.
   bool queued_any = false;
+  std::uint64_t received = 0;
   for (;;) {
     PacketBuffer buf = rx_pool_.acquire_uninitialized(kMaxDatagram);
     Bytes& storage = buf.mutable_bytes();
@@ -524,8 +539,10 @@ void UdpTransport::drain_fallback(int fd) {
     }
     ++stats_.rx_syscall_batches;
     if (rx_batch_hist_) rx_batch_hist_->record(1);
+    ++received;
     queued_any |= accept_datagram(std::move(buf), static_cast<std::size_t>(n));
   }
+  trace_batch(TraceKind::kDatapathRxBatch, received);
   if (queued_any && rx_wakeup_) rx_wakeup_();
 }
 

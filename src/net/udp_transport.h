@@ -45,6 +45,11 @@
 #include "net/reactor.h"
 #include "net/transport.h"
 
+namespace totem {
+class TraceRing;
+enum class TraceKind : std::uint8_t;
+}  // namespace totem
+
 namespace totem::net {
 
 /// An IPv4 UDP address (dotted-quad + port) of one node on one network.
@@ -96,6 +101,14 @@ class UdpTransport : public Transport {
     /// EFFECTIVE backend) are recorded here when set. Not owned; must
     /// outlive the transport.
     MetricsRegistry* metrics = nullptr;
+
+    /// Optional flight recorder (common/trace.h): one kDatapathTxBatch /
+    /// kDatapathRxBatch instant per syscall batch (a = network, b =
+    /// datagrams in the batch), so the merged cluster timeline shows the
+    /// batch shape under each token rotation. Emitted from the reactor
+    /// (I/O) thread — TraceRing::emit is multi-writer safe. Not owned;
+    /// must outlive the transport.
+    TraceRing* trace = nullptr;
 
     /// Which datapath backend drives this transport (net/datapath.h).
     /// create() resolves it against the build and the running kernel:
@@ -273,6 +286,9 @@ class UdpTransport : public Transport {
   void flush_tx();
   /// Count + loss-inject one datagram; returns false if it must be dropped.
   bool account_tx(std::size_t payload_bytes);
+  /// Emit a kDatapathTxBatch/kDatapathRxBatch instant (no-op when
+  /// Config::trace is unset or the batch is empty). Reactor-thread safe.
+  void trace_batch(TraceKind kind, std::uint64_t datagrams);
   void send_batch(const PacketBuffer* frames[], const sockaddr_in* addrs, std::size_t n);
   void warn_unknown_dest(NodeId dest);
   /// Bounded POLLOUT wait used when the socket buffer back-pressures a

@@ -153,6 +153,7 @@ void ReplicatedLog::handle_mark(NodeId mark_leader, std::uint64_t mark) {
     awaiting_round_ = true;
     round_leader_ = mark_leader;
     round_mark_ = mark;
+    trace_event(TraceKind::kSnapshotRoundBegin, round_leader_, round_mark_);
     return;
   }
   if (mode_ != Mode::kLive) return;
@@ -214,6 +215,7 @@ void ReplicatedLog::handle_chunk(BytesView wire) {
       awaiting_round_ = true;
       round_leader_ = c.leader;
       round_mark_ = c.mark;
+      trace_event(TraceKind::kSnapshotRoundBegin, round_leader_, round_mark_);
       assembler_.reset();
       buffer_ = std::move(audit_buffer_);
       audit_buffer_.clear();
@@ -314,12 +316,14 @@ void ReplicatedLog::finish_restore() {
     ++stats_.chunks_rejected;
     assembler_.reset();
     awaiting_round_ = false;
+    trace_event(TraceKind::kSnapshotRoundEnd, round_leader_, round_mark_);
     request_sync();
     return;
   }
   applied_ = assembler_.applied_seq();
   assembler_.reset();
   awaiting_round_ = false;
+  trace_event(TraceKind::kSnapshotRoundEnd, round_leader_, round_mark_);
   ++stats_.snapshots_restored;
   // The buffer holds exactly the commands delivered after the mark: replay
   // them and the machine equals every live replica byte-for-byte.
@@ -352,6 +356,9 @@ void ReplicatedLog::demote(const char* reason) {
   TLOG_INFO << "smr[" << self_ << "]: demoted to syncing (" << reason << ")";
   mode_ = Mode::kSyncing;
   own_sync_requests_ = 0;
+  if (awaiting_round_) {
+    trace_event(TraceKind::kSnapshotRoundEnd, round_leader_, round_mark_);
+  }
   awaiting_round_ = false;
   round_leader_ = kInvalidNode;
   round_mark_ = 0;
@@ -375,6 +382,9 @@ void ReplicatedLog::promote() {
   // clear their buffers at our upcoming mark, so nothing applies twice.)
   std::deque<BufferedCommand> replay = std::move(buffer_);
   buffer_.clear();
+  if (awaiting_round_) {
+    trace_event(TraceKind::kSnapshotRoundEnd, round_leader_, round_mark_);
+  }
   awaiting_round_ = false;
   assembler_.reset();
   for (const BufferedCommand& b : replay) {
@@ -414,6 +424,7 @@ void ReplicatedLog::send_mark() {
 }
 
 void ReplicatedLog::send_snapshot_round(std::uint64_t mark) {
+  trace_event(TraceKind::kSnapshotRoundBegin, self_, mark);
   const Bytes image = machine_.snapshot();
   const auto chunks =
       split_snapshot(image, self_, mark, applied_, config_.max_chunk_bytes);
@@ -426,11 +437,13 @@ void ReplicatedLog::send_snapshot_round(std::uint64_t mark) {
       mark_needed_ = true;
       retry_.cancel();
       retry_ = timers_.schedule(config_.sync_retry, [this] { maybe_lead_transfer(); });
+      trace_event(TraceKind::kSnapshotRoundEnd, self_, mark);
       return;
     }
     ++stats_.chunks_sent;
   }
   ++stats_.snapshots_sent;
+  trace_event(TraceKind::kSnapshotRoundEnd, self_, mark);
 }
 
 void ReplicatedLog::send_sync_done(std::uint64_t uniq, std::uint8_t cause) {

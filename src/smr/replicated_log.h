@@ -45,6 +45,7 @@
 
 #include "api/group_bus.h"
 #include "common/timer_service.h"
+#include "common/trace.h"
 #include "smr/snapshot.h"
 #include "smr/state_machine.h"
 
@@ -74,6 +75,13 @@ class ReplicatedLog {
     /// Syncing watchdog: re-request a transfer if none completed within
     /// this interval. Fires only while kSyncing.
     Duration sync_retry{500'000};
+
+    /// Optional flight recorder (common/trace.h): snapshot-transfer rounds
+    /// are emitted as kSnapshotRoundBegin/End span pairs correlated on
+    /// (leader, mark nonce), so a transfer shows up as one span on the
+    /// leader and one on each joiner in the merged cluster timeline. Not
+    /// owned; must outlive the log.
+    TraceRing* trace = nullptr;
   };
 
   struct Stats {
@@ -158,6 +166,10 @@ class ReplicatedLog {
   void become_live();
   void demote(const char* reason);
   void promote();
+
+  void trace_event(TraceKind kind, std::uint64_t a, std::uint64_t b) {
+    if (config_.trace) config_.trace->emit(timers_.now(), kind, a, b);
+  }
 
   void maybe_lead_transfer();
   void send_mark();

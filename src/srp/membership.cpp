@@ -50,9 +50,13 @@ void SingleRing::start_gather(const char* reason) {
     // A per-node pseudo ring id so the aborted recovery ring can never be
     // confused with a committed one (real rings advance ring_seq by 4).
     ring_id_ = RingId{config_.node_id, highest_ring_seq_ + 1};
+    sync_trace_ring();
     remember_ring(ring_id_);
   }
 
+  // Reformation span: opened here, closed by install_ring's kReformationEnd
+  // (the trace merger renders the pair as one Perfetto duration span).
+  trace_event(TraceKind::kReformationBegin, view_number_, ring_id_.ring_seq);
   state_ = State::kGather;
   trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kGather));
   notify_state();
@@ -344,6 +348,7 @@ void SingleRing::enter_recovery(const wire::CommitToken& commit) {
 
   old_ring_id_ = ring_id_;
   ring_id_ = commit.new_ring;
+  sync_trace_ring();
   remember_ring(ring_id_);
   notify_state();
   members_.clear();
@@ -530,6 +535,7 @@ void SingleRing::install_ring() {
   trace_event(TraceKind::kStateChange, static_cast<std::uint64_t>(State::kOperational));
   notify_state();
   trace_event(TraceKind::kMembershipInstalled, ring_id_.representative, ring_id_.ring_seq);
+  trace_event(TraceKind::kReformationEnd, view_number_, ring_id_.ring_seq);
   ++stats_.membership_changes;
   if (reformation_hist_ && gather_start_ != TimePoint{}) {
     // Gather -> install: the paper's reformation cost, per affected node.

@@ -17,6 +17,7 @@ SingleRing::SingleRing(TimerService& timers, rrp::Replicator& replicator, Config
   std::sort(m.begin(), m.end());
   m.erase(std::unique(m.begin(), m.end()), m.end());
 
+  if (config_.trace) config_.trace->set_node(config_.node_id);
   if (config_.metrics) {
     rotation_hist_ = config_.metrics->histogram("srp.token_rotation_us");
     delivery_hist_ = config_.metrics->histogram("srp.delivery_latency_us");
@@ -37,6 +38,7 @@ void SingleRing::start() {
   if (config_.assume_initial_ring) {
     members_ = config_.initial_members;
     ring_id_ = RingId{members_.front(), 4};
+    sync_trace_ring();
     remember_ring(ring_id_);
     highest_ring_seq_ = ring_id_.ring_seq;
     state_ = State::kOperational;
@@ -360,6 +362,7 @@ void SingleRing::record_delivery_latency(SeqNum seq) {
 
 void SingleRing::handle_regular_token(wire::Token token) {
   ++stats_.tokens_processed;
+  if (config_.trace) config_.trace->set_token_seq(token.seq);
   trace_event(TraceKind::kTokenReceived, token.rotation, token.seq);
   if (rotation_hist_) {
     const TimePoint now = timers_.now();

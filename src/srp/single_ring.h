@@ -211,6 +211,12 @@ class SingleRing {
   void trace_event(TraceKind kind, std::uint64_t a = 0, std::uint64_t b = 0) {
     if (config_.trace) config_.trace->emit(timers_.now(), kind, a, b);
   }
+  /// Refresh the flight recorder's ring-seq correlation key; call after
+  /// every ring_id_ assignment so subsequent records are stamped with the
+  /// seq space they belong to (DESIGN.md §16).
+  void sync_trace_ring() {
+    if (config_.trace) config_.trace->set_ring_seq(ring_id_.ring_seq);
+  }
   void deliver_membership_view();
 
   TimerService& timers_;

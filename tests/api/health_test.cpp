@@ -1,0 +1,252 @@
+#include "api/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/stats.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "harness/sim_cluster.h"
+
+namespace totem {
+namespace {
+
+TimePoint at(Duration::rep us) { return TimePoint{} + Duration{us}; }
+
+TEST(HealthModel, MonitorVerdictDrivesNetworkAndOverallState) {
+  api::HealthModel model;
+  api::HealthModel::Inputs in;
+  in.network_count = 2;
+
+  model.update(at(1), in);
+  const auto& snap = model.snapshot();
+  ASSERT_EQ(snap.networks.size(), 2u);
+  EXPECT_EQ(snap.overall, api::HealthState::kHealthy);
+  EXPECT_EQ(snap.overall_transitions, 0u);
+
+  // Monitor declares network 1 faulty: net faulted, ring degraded (the
+  // other network still carries the token).
+  in.faulty_mask = 0b10;
+  model.update(at(2), in);
+  EXPECT_EQ(snap.networks[0].state, api::HealthState::kHealthy);
+  EXPECT_EQ(snap.networks[1].state, api::HealthState::kFaulted);
+  EXPECT_TRUE(snap.networks[1].monitor_faulty);
+  EXPECT_EQ(snap.networks[1].transitions, 1u);
+  EXPECT_EQ(snap.overall, api::HealthState::kDegraded);
+  EXPECT_EQ(snap.overall_transitions, 1u);
+
+  // Every network faulted = total connectivity loss: ring faulted.
+  in.faulty_mask = 0b11;
+  model.update(at(3), in);
+  EXPECT_EQ(snap.overall, api::HealthState::kFaulted);
+  EXPECT_EQ(snap.overall_transitions, 2u);
+
+  // Reinstatement heals everything and keeps counting transitions.
+  in.faulty_mask = 0;
+  model.update(at(4), in);
+  EXPECT_EQ(snap.overall, api::HealthState::kHealthy);
+  EXPECT_EQ(snap.networks[1].state, api::HealthState::kHealthy);
+  EXPECT_EQ(snap.networks[1].transitions, 2u);
+  EXPECT_EQ(snap.overall_transitions, 3u);
+}
+
+TEST(HealthModel, NonOperationalSrpStateIsDegraded) {
+  api::HealthModel model;
+  api::HealthModel::Inputs in;
+  in.network_count = 1;
+  in.srp_state = srp::SingleRing::State::kGather;
+  model.update(at(1), in);
+  EXPECT_EQ(model.snapshot().overall, api::HealthState::kDegraded);
+  in.srp_state = srp::SingleRing::State::kOperational;
+  model.update(at(2), in);
+  EXPECT_EQ(model.snapshot().overall, api::HealthState::kHealthy);
+}
+
+TEST(HealthModel, WindowedTokenGapP99DegradesBelowMonitorThreshold) {
+  MetricsRegistry reg;
+  LatencyHistogram* gap = reg.histogram("rrp.token_gap_us.net0");
+
+  api::HealthModel model;
+  api::HealthModel::Inputs in;
+  in.network_count = 1;
+  in.metrics = &reg;
+
+  // Healthy window: 32 gaps around 100us.
+  for (int i = 0; i < 32; ++i) gap->record(100);
+  model.update(at(1), in);
+  const auto& snap = model.snapshot();
+  EXPECT_EQ(snap.networks[0].state, api::HealthState::kHealthy);
+  EXPECT_EQ(snap.networks[0].window_samples, 32u);
+  EXPECT_LT(snap.networks[0].token_gap_p99_us,
+            model.config().token_gap_p99_limit_us);
+
+  // Gray failure: the monitor hasn't tripped, but this interval's gaps
+  // ballooned past the limit. Only the NEW samples count (windowing).
+  for (int i = 0; i < 32; ++i) gap->record(200'000);
+  model.update(at(2), in);
+  EXPECT_EQ(snap.networks[0].state, api::HealthState::kDegraded);
+  EXPECT_FALSE(snap.networks[0].monitor_faulty);
+  EXPECT_GT(snap.networks[0].token_gap_p99_us,
+            model.config().token_gap_p99_limit_us);
+  EXPECT_EQ(snap.overall, api::HealthState::kDegraded);
+
+  // Quiet interval: no new samples, verdict returns to healthy (the slow
+  // hour ago does not condemn the ring now).
+  model.update(at(3), in);
+  EXPECT_EQ(snap.networks[0].state, api::HealthState::kHealthy);
+  EXPECT_EQ(snap.networks[0].window_samples, 0u);
+  EXPECT_EQ(snap.networks[0].transitions, 2u);
+}
+
+TEST(HealthModel, FewSamplesNeverFlapTheVerdict) {
+  MetricsRegistry reg;
+  LatencyHistogram* gap = reg.histogram("rrp.token_gap_us.net0");
+  api::HealthModel model;
+  api::HealthModel::Inputs in;
+  in.network_count = 1;
+  in.metrics = &reg;
+
+  // One monstrous gap is below min_window_samples: still healthy.
+  gap->record(10'000'000);
+  model.update(at(1), in);
+  EXPECT_EQ(model.snapshot().networks[0].state, api::HealthState::kHealthy);
+  EXPECT_EQ(model.snapshot().networks[0].window_samples, 1u);
+}
+
+TEST(HealthModel, SurvivesRegistryResetBetweenUpdates) {
+  MetricsRegistry reg;
+  LatencyHistogram* gap = reg.histogram("rrp.token_gap_us.net0");
+  api::HealthModel model;
+  api::HealthModel::Inputs in;
+  in.network_count = 1;
+  in.metrics = &reg;
+
+  for (int i = 0; i < 32; ++i) gap->record(200'000);
+  model.update(at(1), in);
+  EXPECT_EQ(model.snapshot().networks[0].state, api::HealthState::kDegraded);
+
+  // A bench warmup boundary resets the registry: cumulative counts go
+  // backwards. The window restarts from the fresh counts instead of
+  // underflowing.
+  reg.reset();
+  gap = reg.histogram("rrp.token_gap_us.net0");
+  for (int i = 0; i < 20; ++i) gap->record(100);
+  model.update(at(2), in);
+  EXPECT_EQ(model.snapshot().networks[0].state, api::HealthState::kHealthy);
+  EXPECT_EQ(model.snapshot().networks[0].window_samples, 20u);
+}
+
+TEST(HealthModel, RotationDriftMarksRingDegraded) {
+  MetricsRegistry reg;
+  LatencyHistogram* rot = reg.histogram("srp.token_rotation_us");
+  api::HealthModel model;
+  api::HealthModel::Inputs in;
+  in.network_count = 1;
+  in.metrics = &reg;
+
+  // Build the lifetime baseline: 64 rotations around 1ms.
+  for (int i = 0; i < 64; ++i) rot->record(1'000);
+  model.update(at(1), in);
+  EXPECT_FALSE(model.snapshot().rotation_drift);
+  EXPECT_GT(model.snapshot().rotation_baseline_us, 0.0);
+
+  // This interval's rotations are ~50x the median: drift.
+  for (int i = 0; i < 32; ++i) rot->record(50'000);
+  model.update(at(2), in);
+  EXPECT_TRUE(model.snapshot().rotation_drift);
+  EXPECT_GT(model.snapshot().rotation_p99_us,
+            model.config().rotation_drift_factor *
+                model.snapshot().rotation_baseline_us);
+  EXPECT_EQ(model.snapshot().overall, api::HealthState::kDegraded);
+
+  // Quiet interval clears it.
+  model.update(at(3), in);
+  EXPECT_FALSE(model.snapshot().rotation_drift);
+  EXPECT_EQ(model.snapshot().overall, api::HealthState::kHealthy);
+}
+
+TEST(HealthModel, EmitsTransitionTraceRecords) {
+  TraceRing ring(16);
+  api::HealthModel::Config cfg;
+  cfg.trace = &ring;
+  api::HealthModel model(cfg);
+  api::HealthModel::Inputs in;
+  in.network_count = 2;
+  model.update(at(1), in);  // all healthy: no records
+  EXPECT_TRUE(ring.snapshot().empty());
+
+  in.faulty_mask = 0b10;
+  model.update(at(2), in);
+  const auto recs = ring.snapshot();
+  ASSERT_EQ(recs.size(), 2u) << "net1 flip + overall flip";
+  EXPECT_EQ(recs[0].kind, TraceKind::kHealthTransition);
+  EXPECT_EQ(recs[0].a, 1u) << "network id";
+  EXPECT_EQ(recs[0].b,
+            (static_cast<std::uint64_t>(api::HealthState::kHealthy) << 8) |
+                static_cast<std::uint64_t>(api::HealthState::kFaulted));
+  EXPECT_EQ(recs[1].a, kHealthOverall);
+  EXPECT_EQ(recs[1].b,
+            (static_cast<std::uint64_t>(api::HealthState::kHealthy) << 8) |
+                static_cast<std::uint64_t>(api::HealthState::kDegraded));
+}
+
+TEST(HealthModel, SnapshotRendersAsJson) {
+  api::HealthModel model;
+  api::HealthModel::Inputs in;
+  in.network_count = 2;
+  in.faulty_mask = 0b01;
+  model.update(at(1), in);
+  const std::string json = api::to_json(model.snapshot());
+  EXPECT_NE(json.find("\"overall\":\"degraded\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"state\":\"faulted\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"state\":\"healthy\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"networks\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"srp_state\""), std::string::npos) << json;
+}
+
+// End to end through api::Node: the monitor's verdict reaches the derived
+// health, and reinstatement heals it.
+TEST(HealthIntegration, NodeHealthFollowsMonitorFaults) {
+  harness::ClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.network_count = 2;
+  harness::SimCluster cluster(cfg);
+  cluster.start_all();
+  cluster.run_for(std::chrono::seconds(2));
+
+  api::Node& node = cluster.node(0);
+  {
+    const api::HealthSnapshot& h = node.health();
+    EXPECT_EQ(h.overall, api::HealthState::kHealthy) << api::to_json(h);
+    ASSERT_EQ(h.networks.size(), 2u);
+  }
+
+  node.replicator().mark_faulty(1);
+  {
+    const api::HealthSnapshot& h = node.health();
+    EXPECT_EQ(h.overall, api::HealthState::kDegraded);
+    EXPECT_EQ(h.networks[1].state, api::HealthState::kFaulted);
+    EXPECT_TRUE(h.networks[1].monitor_faulty);
+  }
+
+  node.replicator().mark_faulty(0);
+  EXPECT_EQ(node.health().overall, api::HealthState::kFaulted);
+
+  node.replicator().reset_network(0);
+  node.replicator().reset_network(1);
+  {
+    const api::HealthSnapshot& h = node.health();
+    EXPECT_EQ(h.overall, api::HealthState::kHealthy);
+    EXPECT_GE(h.overall_transitions, 3u);
+  }
+
+  // The same verdict rides along in StatsSnapshot.
+  const auto snap = api::snapshot(node, cluster.transports(0));
+  EXPECT_EQ(snap.health.overall, api::HealthState::kHealthy);
+  EXPECT_NE(api::to_string(snap).find("health: healthy"), std::string::npos)
+      << api::to_string(snap);
+}
+
+}  // namespace
+}  // namespace totem

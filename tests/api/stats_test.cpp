@@ -164,5 +164,115 @@ TEST(Stats, ToPrometheusLabelsEverySampleWithNode) {
   }
 }
 
+// Golden output: the exact exposition text for a hand-built snapshot. Locks
+// the scrape contract the telemetry endpoint serves — TYPE dedup across
+// repeated families, node + network labelling, and summary-quantile
+// rendering of histograms. Any format change must show up here on purpose.
+TEST(Stats, ToPrometheusGoldenOutput) {
+  StatsSnapshot snap;
+  snap.node = 9;
+  snap.member_count = 3;
+  snap.my_aru = 7;
+  snap.safe_up_to = 5;
+  snap.srp.messages_delivered = 42;
+  snap.srp.messages_broadcast = 11;
+  snap.srp.retransmissions_sent = 1;
+  snap.srp.tokens_processed = 100;
+  snap.srp.membership_changes = 2;
+  snap.rrp.packets_fanned_out = 200;
+  snap.rrp.duplicate_tokens_absorbed = 3;
+  snap.rrp.faults_reported = 1;
+
+  snap.health.overall = HealthState::kDegraded;
+  snap.health.overall_transitions = 2;
+  snap.health.rotation_drift = true;
+  snap.health.networks.resize(2);
+  snap.health.networks[0].network = 0;
+  snap.health.networks[1].network = 1;
+  snap.health.networks[1].state = HealthState::kFaulted;
+  snap.health.networks[1].transitions = 1;
+
+  snap.networks.resize(2);
+  snap.networks[0].network = 0;
+  snap.networks[0].transport.packets_sent = 10;
+  snap.networks[0].transport.packets_received = 20;
+  snap.networks[1].network = 1;
+  snap.networks[1].faulty = true;
+  snap.networks[1].transport.packets_sent = 4;
+  snap.networks[1].transport.rx_dropped = 1;
+
+  MetricsRegistry reg;
+  reg.counter("app.acks")->add(4);
+  LatencyHistogram* rot = reg.histogram("srp.token_rotation_us");
+  for (int i = 0; i < 4; ++i) rot->record(1);
+  snap.metrics = reg.snapshot();
+
+  const char* expected =
+      "# TYPE totem_member_count gauge\n"
+      "totem_member_count{node=\"9\"} 3\n"
+      "# TYPE totem_my_aru gauge\n"
+      "totem_my_aru{node=\"9\"} 7\n"
+      "# TYPE totem_safe_up_to gauge\n"
+      "totem_safe_up_to{node=\"9\"} 5\n"
+      "# TYPE totem_send_queue_depth gauge\n"
+      "totem_send_queue_depth{node=\"9\"} 0\n"
+      "# TYPE totem_srp_messages_delivered counter\n"
+      "totem_srp_messages_delivered{node=\"9\"} 42\n"
+      "# TYPE totem_srp_messages_broadcast counter\n"
+      "totem_srp_messages_broadcast{node=\"9\"} 11\n"
+      "# TYPE totem_srp_retransmissions_sent counter\n"
+      "totem_srp_retransmissions_sent{node=\"9\"} 1\n"
+      "# TYPE totem_srp_tokens_processed counter\n"
+      "totem_srp_tokens_processed{node=\"9\"} 100\n"
+      "# TYPE totem_srp_membership_changes counter\n"
+      "totem_srp_membership_changes{node=\"9\"} 2\n"
+      "# TYPE totem_rrp_packets_fanned_out counter\n"
+      "totem_rrp_packets_fanned_out{node=\"9\"} 200\n"
+      "# TYPE totem_rrp_duplicate_tokens_absorbed counter\n"
+      "totem_rrp_duplicate_tokens_absorbed{node=\"9\"} 3\n"
+      "# TYPE totem_rrp_faults_reported counter\n"
+      "totem_rrp_faults_reported{node=\"9\"} 1\n"
+      "# TYPE totem_health_state gauge\n"
+      "totem_health_state{node=\"9\"} 1\n"
+      "# TYPE totem_health_transitions counter\n"
+      "totem_health_transitions{node=\"9\"} 2\n"
+      "# TYPE totem_health_rotation_drift gauge\n"
+      "totem_health_rotation_drift{node=\"9\"} 1\n"
+      "# TYPE totem_net_health_state gauge\n"
+      "totem_net_health_state{node=\"9\",network=\"0\"} 0\n"
+      "# TYPE totem_net_health_transitions counter\n"
+      "totem_net_health_transitions{node=\"9\",network=\"0\"} 0\n"
+      "totem_net_health_state{node=\"9\",network=\"1\"} 2\n"
+      "totem_net_health_transitions{node=\"9\",network=\"1\"} 1\n"
+      "# TYPE totem_net_faulty gauge\n"
+      "totem_net_faulty{node=\"9\",network=\"0\"} 0\n"
+      "# TYPE totem_net_packets_sent counter\n"
+      "totem_net_packets_sent{node=\"9\",network=\"0\"} 10\n"
+      "# TYPE totem_net_packets_received counter\n"
+      "totem_net_packets_received{node=\"9\",network=\"0\"} 20\n"
+      "# TYPE totem_net_rx_dropped counter\n"
+      "totem_net_rx_dropped{node=\"9\",network=\"0\"} 0\n"
+      "# TYPE totem_net_rx_truncated counter\n"
+      "totem_net_rx_truncated{node=\"9\",network=\"0\"} 0\n"
+      "# TYPE totem_net_rx_short counter\n"
+      "totem_net_rx_short{node=\"9\",network=\"0\"} 0\n"
+      "totem_net_faulty{node=\"9\",network=\"1\"} 1\n"
+      "totem_net_packets_sent{node=\"9\",network=\"1\"} 4\n"
+      "totem_net_packets_received{node=\"9\",network=\"1\"} 0\n"
+      "totem_net_rx_dropped{node=\"9\",network=\"1\"} 1\n"
+      "totem_net_rx_truncated{node=\"9\",network=\"1\"} 0\n"
+      "totem_net_rx_short{node=\"9\",network=\"1\"} 0\n"
+      "# TYPE totem_app_acks counter\n"
+      "totem_app_acks{node=\"9\"} 4\n"
+      "# TYPE totem_srp_token_rotation_us summary\n"
+      "totem_srp_token_rotation_us{node=\"9\",quantile=\"0.5\"} 1\n"
+      "totem_srp_token_rotation_us{node=\"9\",quantile=\"0.9\"} 1\n"
+      "totem_srp_token_rotation_us{node=\"9\",quantile=\"0.99\"} 1\n"
+      "totem_srp_token_rotation_us{node=\"9\",quantile=\"0.999\"} 1\n"
+      "totem_srp_token_rotation_us_sum{node=\"9\"} 4\n"
+      "totem_srp_token_rotation_us_count{node=\"9\"} 4\n";
+  EXPECT_EQ(snap.to_prometheus(), expected);
+}
+
 }  // namespace
 }  // namespace totem::api

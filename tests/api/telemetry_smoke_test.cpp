@@ -1,0 +1,231 @@
+// End-to-end telemetry smoke test (PR 8 acceptance): a 3-node ring over
+// real UDP loopback sockets with a NodeTelemetry endpoint on node 0.
+// /metrics, /healthz and /trace are scraped over real TCP while the ring
+// delivers, and /healthz flips to 503 when every network is marked faulty
+// and recovers after reinstatement.
+#include "api/telemetry.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/node.h"
+#include "common/trace.h"
+#include "net/reactor.h"
+#include "net/udp_transport.h"
+
+namespace totem {
+namespace {
+
+constexpr std::uint32_t kNodes = 3;
+constexpr std::uint32_t kNetworks = 2;
+constexpr std::uint16_t kBasePort = 44200;  // clear of the other UDP suites
+
+std::string http_exchange(std::uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "<socket failed>";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "<connect failed>";
+  }
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+struct TelemetryRing {
+  net::Reactor reactor;
+  TraceRing trace{1 << 12};
+  std::vector<std::unique_ptr<net::UdpTransport>> transports;
+  std::vector<std::unique_ptr<api::Node>> nodes;
+  std::vector<std::size_t> delivered = std::vector<std::size_t>(kNodes, 0);
+  std::unique_ptr<api::NodeTelemetry> telemetry;
+
+  bool build() {
+    for (NodeId id = 0; id < kNodes; ++id) {
+      std::vector<net::Transport*> node_transports;
+      for (NetworkId n = 0; n < kNetworks; ++n) {
+        net::UdpTransport::Config tc;
+        tc.network = n;
+        tc.local_node = id;
+        tc.peers = net::loopback_peers(
+            static_cast<std::uint16_t>(kBasePort + 100 * n), kNodes);
+        auto t = net::UdpTransport::create(reactor, tc);
+        if (!t.is_ok()) {
+          ADD_FAILURE() << t.status().to_string();
+          return false;
+        }
+        transports.push_back(std::move(t).take());
+        node_transports.push_back(transports.back().get());
+      }
+      api::NodeConfig cfg;
+      cfg.srp.node_id = id;
+      cfg.srp.initial_members = {0, 1, 2};
+      cfg.style = api::ReplicationStyle::kActive;
+      // This test exercises the endpoint plumbing and the monitor-driven
+      // healthz flips; the gray-failure heuristics have their own unit
+      // tests. Pin the latency thresholds sky-high so host scheduling
+      // jitter on an oversubscribed CI box cannot flip the verdict.
+      cfg.health.model.token_gap_p99_limit_us = 1e12;
+      cfg.health.model.rotation_drift_factor = 1e12;
+      if (id == 0) cfg.srp.trace = &trace;
+      nodes.push_back(std::make_unique<api::Node>(reactor, node_transports, cfg));
+      nodes.back()->set_deliver_handler(
+          [this, id](const srp::DeliveredMessage&) { ++delivered[id]; });
+    }
+    for (auto& n : nodes) n->start();
+
+    // Single-threaded runtime: the reactor thread IS the protocol thread,
+    // so no Config::post marshalling is needed.
+    api::NodeTelemetry::Config tcfg;
+    tcfg.trace = &trace;
+    std::vector<const net::Transport*> node0_transports = {transports[0].get(),
+                                                           transports[1].get()};
+    auto t = api::NodeTelemetry::create(reactor, *nodes[0],
+                                        std::move(node0_transports), tcfg);
+    if (!t.is_ok()) {
+      ADD_FAILURE() << t.status().to_string();
+      return false;
+    }
+    telemetry = std::move(t).take();
+    return true;
+  }
+
+  void run_until_delivered(std::size_t per_node, Duration cap) {
+    const TimePoint deadline = reactor.now() + cap;
+    while (reactor.now() < deadline) {
+      bool done = true;
+      for (const auto d : delivered) {
+        if (d < per_node) done = false;
+      }
+      if (done) return;
+      reactor.poll_once(Duration{10'000});
+    }
+  }
+
+  // Scrape from a client thread while this thread keeps the ring polling —
+  // the ring stays live under scrape load, per the acceptance criteria.
+  std::string scrape(const std::string& target) {
+    std::string resp;
+    std::atomic<bool> done{false};
+    std::thread client([&, port = telemetry->port()] {
+      resp = http_exchange(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+      done.store(true, std::memory_order_release);
+    });
+    while (!done.load(std::memory_order_acquire)) {
+      reactor.poll_once(Duration{5'000});
+    }
+    client.join();
+    return resp;
+  }
+};
+
+TEST(TelemetrySmoke, ScrapesLiveUdpRingAndHealthzFollowsFaults) {
+  TelemetryRing ring;
+  ASSERT_TRUE(ring.build());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ring.nodes[i % kNodes]->send(to_bytes("m" + std::to_string(i))).is_ok());
+  }
+  ring.run_until_delivered(6, Duration{5'000'000});
+  ASSERT_EQ(ring.delivered[0], 6u) << "ring must be delivering before scraping";
+
+  // /metrics: Prometheus exposition with node labels and live counters.
+  const std::string metrics = ring.scrape("/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("totem_srp_messages_delivered{node=\"0\"} 6"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("# TYPE totem_health_state gauge"), std::string::npos);
+  EXPECT_NE(metrics.find("totem_health_state{node=\"0\"} 0"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("totem_srp_token_rotation_us{node=\"0\",quantile="),
+            std::string::npos)
+      << "histograms render as summaries:\n" << metrics;
+
+  // /healthz: 200 + "healthy" while the ring is clean.
+  const std::string healthy = ring.scrape("/healthz");
+  EXPECT_EQ(healthy.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << healthy;
+  EXPECT_NE(healthy.find("\"overall\":\"healthy\""), std::string::npos) << healthy;
+
+  // /trace: the flight recorder full of real protocol events.
+  const std::string trace = ring.scrape("/trace");
+  EXPECT_EQ(trace.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << trace;
+  EXPECT_NE(trace.find("Content-Type: application/x-ndjson"), std::string::npos);
+  EXPECT_NE(trace.find("\"kind\":\"token-received\""), std::string::npos)
+      << trace.substr(0, 2000);
+
+  // One network down: an alert (degraded) but not an outage — still 200.
+  ring.nodes[0]->replicator().mark_faulty(1);
+  const std::string degraded = ring.scrape("/healthz");
+  EXPECT_EQ(degraded.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << degraded;
+  EXPECT_NE(degraded.find("\"overall\":\"degraded\""), std::string::npos)
+      << degraded;
+  EXPECT_NE(degraded.find("\"state\":\"faulted\""), std::string::npos) << degraded;
+
+  // Every network down: the probe must go red.
+  ring.nodes[0]->replicator().mark_faulty(0);
+  const std::string faulted = ring.scrape("/healthz");
+  EXPECT_EQ(faulted.rfind("HTTP/1.0 503 Service Unavailable\r\n", 0), 0u)
+      << faulted;
+  EXPECT_NE(faulted.find("\"overall\":\"faulted\""), std::string::npos) << faulted;
+
+  // Reinstatement heals the probe.
+  ring.nodes[0]->replicator().reset_network(0);
+  ring.nodes[0]->replicator().reset_network(1);
+  const std::string healed = ring.scrape("/healthz");
+  EXPECT_EQ(healed.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << healed;
+  EXPECT_NE(healed.find("\"overall\":\"healthy\""), std::string::npos) << healed;
+
+  // Unknown paths 404 with a hint; non-GET methods are 405.
+  const std::string missing = ring.scrape("/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
+  EXPECT_NE(missing.find("/metrics"), std::string::npos) << missing;
+  std::string post;
+  {
+    std::atomic<bool> done{false};
+    std::thread client([&, port = ring.telemetry->port()] {
+      post = http_exchange(port, "POST /metrics HTTP/1.0\r\n\r\n");
+      done.store(true, std::memory_order_release);
+    });
+    while (!done.load(std::memory_order_acquire)) {
+      ring.reactor.poll_once(Duration{5'000});
+    }
+    client.join();
+  }
+  EXPECT_EQ(post.rfind("HTTP/1.0 405 Method Not Allowed\r\n", 0), 0u) << post;
+
+  // The ring kept running under all that scrape traffic.
+  ASSERT_TRUE(ring.nodes[0]->send(to_bytes("after")).is_ok());
+  ring.run_until_delivered(7, Duration{5'000'000});
+  EXPECT_EQ(ring.delivered[0], 7u);
+}
+
+}  // namespace
+}  // namespace totem

@@ -1,0 +1,155 @@
+#include "common/trace_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/health.h"
+#include "common/trace.h"
+#include "rrp/replicator.h"
+
+namespace totem {
+namespace {
+
+TimePoint at(Duration::rep us) { return TimePoint{} + Duration{us}; }
+
+TraceRecord rec(Duration::rep us, TraceKind kind, std::uint64_t a,
+                std::uint64_t b, NodeId node, std::uint64_t ring_seq = 0,
+                std::uint64_t token_seq = 0) {
+  return TraceRecord{at(us), kind, a, b, node, ring_seq, token_seq};
+}
+
+// trace_merge.cpp lives in common/ and cannot include the rrp/ or api/
+// headers, so it hard-codes two tiny cross-layer contracts. Pin them here:
+// if either enum is renumbered, this test fails before a chaos artifact
+// silently mislabels outages or health flips.
+TEST(TraceMergeContract, PinsCrossLayerEnumEncodings) {
+  // kNetworkFault records carry the rrp::NetworkFaultReport::Reason in `b`;
+  // the merger closes an outage span when b == 3 (kReinstated).
+  EXPECT_EQ(static_cast<int>(rrp::NetworkFaultReport::Reason::kReinstated), 3);
+  // kHealthTransition packs (old_state << 8) | new_state using the
+  // api::HealthState values; the merger renders them by this numbering.
+  EXPECT_EQ(static_cast<int>(api::HealthState::kHealthy), 0);
+  EXPECT_EQ(static_cast<int>(api::HealthState::kDegraded), 1);
+  EXPECT_EQ(static_cast<int>(api::HealthState::kFaulted), 2);
+  EXPECT_STREQ(api::to_string(api::HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(api::to_string(api::HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(api::to_string(api::HealthState::kFaulted), "faulted");
+}
+
+TEST(TraceMergeParse, RoundTripsRingDumpWithCorrelationKeys) {
+  TraceRing ring(16);
+  ring.set_node(3);
+  ring.set_ring_seq(7);
+  ring.set_token_seq(41);
+  ring.emit(at(10), TraceKind::kTokenReceived, 5, 41);
+  ring.set_token_seq(43);
+  ring.emit(at(20), TraceKind::kTokenForwarded, 1, 43);
+
+  std::size_t skipped = 99;
+  const auto records = parse_trace_jsonl(ring.to_jsonl(), &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at, at(10));
+  EXPECT_EQ(records[0].kind, TraceKind::kTokenReceived);
+  EXPECT_EQ(records[0].a, 5u);
+  EXPECT_EQ(records[0].b, 41u);
+  EXPECT_EQ(records[0].node, NodeId{3});
+  EXPECT_EQ(records[0].ring_seq, 7u);
+  EXPECT_EQ(records[0].token_seq, 41u);
+  EXPECT_EQ(records[1].kind, TraceKind::kTokenForwarded);
+  EXPECT_EQ(records[1].token_seq, 43u);
+}
+
+TEST(TraceMergeParse, CountsUnparseableLinesInsteadOfFailing) {
+  const std::string jsonl =
+      "{\"t_us\":1,\"kind\":\"token-received\",\"a\":1,\"b\":2,"
+      "\"node\":0,\"ring_seq\":1,\"token_seq\":2}\n"
+      "this line is not json\n"
+      "{\"t_us\":2,\"kind\":\"no-such-kind\",\"a\":0,\"b\":0}\n"
+      "\n";
+  std::size_t skipped = 0;
+  const auto records = parse_trace_jsonl(jsonl, &skipped);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, TraceKind::kTokenReceived);
+  EXPECT_EQ(skipped, 2u) << "garbage line + unknown kind (blank lines are free)";
+}
+
+TEST(TraceMerge, PairsTokenRotationIntoSpan) {
+  std::vector<TraceRecord> records;
+  // Rotation: received seq 10, forwarded 50us later having stamped to 12.
+  records.push_back(rec(100, TraceKind::kTokenReceived, 1, 10, 0, 4, 10));
+  records.push_back(rec(150, TraceKind::kTokenForwarded, 1, 12, 0, 4, 12));
+  // A receive with no matching forward degrades to an instant, not a drop.
+  records.push_back(rec(400, TraceKind::kTokenReceived, 2, 14, 0, 4, 14));
+
+  const std::string json = merge_to_chrome_trace(std::move(records));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"token-rotation\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos) << json;
+  EXPECT_NE(json.find("token-received (unforwarded)"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"node 0\""), std::string::npos) << json;
+}
+
+TEST(TraceMerge, DrawsCrossNodeDeliverSpanOnDeliveringNode) {
+  std::vector<TraceRecord> records;
+  // Node 0 broadcasts seq 5; node 1 delivers it 90us later. The span is
+  // anchored at the ORIGIN's broadcast timestamp but drawn on node 1.
+  records.push_back(rec(110, TraceKind::kMessageBroadcast, 5, 1, 0, 4, 10));
+  records.push_back(rec(200, TraceKind::kMessageDelivered, 0, 5, 1, 4, 11));
+
+  const std::string json = merge_to_chrome_trace(std::move(records));
+  EXPECT_NE(json.find("\"name\":\"deliver\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":110"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":90"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"origin\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"node 1\""), std::string::npos) << json;
+}
+
+TEST(TraceMerge, ClosesNetworkOutageOnReinstatement) {
+  constexpr auto kTimeout =
+      static_cast<std::uint64_t>(rrp::NetworkFaultReport::Reason::kTokenTimeout);
+  constexpr auto kReinstated =
+      static_cast<std::uint64_t>(rrp::NetworkFaultReport::Reason::kReinstated);
+  std::vector<TraceRecord> records;
+  records.push_back(rec(120, TraceKind::kNetworkFault, 1, kTimeout, 2));
+  records.push_back(rec(300, TraceKind::kNetworkFault, 1, kReinstated, 2));
+
+  const std::string json = merge_to_chrome_trace(std::move(records));
+  EXPECT_NE(json.find("\"name\":\"network-outage\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":180"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"network\":1"), std::string::npos) << json;
+}
+
+TEST(TraceMerge, RendersHealthTransitionsByName) {
+  const auto pack = [](api::HealthState from, api::HealthState to) {
+    return (static_cast<std::uint64_t>(from) << 8) |
+           static_cast<std::uint64_t>(to);
+  };
+  std::vector<TraceRecord> records;
+  records.push_back(rec(100, TraceKind::kHealthTransition, kHealthOverall,
+                        pack(api::HealthState::kHealthy,
+                             api::HealthState::kDegraded),
+                        0));
+  records.push_back(rec(200, TraceKind::kHealthTransition, /*network=*/1,
+                        pack(api::HealthState::kDegraded,
+                             api::HealthState::kFaulted),
+                        0));
+
+  const std::string json = merge_to_chrome_trace(std::move(records));
+  EXPECT_NE(json.find("ring healthy->degraded"), std::string::npos) << json;
+  EXPECT_NE(json.find("net1 degraded->faulted"), std::string::npos) << json;
+}
+
+TEST(TraceMerge, UnattributedRecordsLandOnSyntheticProcess) {
+  std::vector<TraceRecord> records;
+  records.push_back(
+      rec(10, TraceKind::kTokenLoss, 0, 0, kInvalidNode));
+  const std::string json = merge_to_chrome_trace(std::move(records));
+  EXPECT_NE(json.find("\"unattributed\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace totem

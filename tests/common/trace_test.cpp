@@ -66,21 +66,34 @@ TEST(TraceRing, DumpMentionsOverwrites) {
 
 TEST(TraceKindNames, AllDistinct) {
   std::set<std::string> names;
-  for (int k = 1; k <= static_cast<int>(TraceKind::kNetworkFault); ++k) {
+  for (int k = 1; k <= static_cast<int>(kLastTraceKind); ++k) {
     names.insert(to_string(static_cast<TraceKind>(k)));
   }
-  EXPECT_EQ(names.size(), static_cast<std::size_t>(TraceKind::kNetworkFault));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kLastTraceKind));
 }
 
 TEST(TraceKindNames, NoKindFallsThroughToDefault) {
-  for (int k = 1; k <= static_cast<int>(TraceKind::kNetworkFault); ++k) {
+  for (int k = 1; k <= static_cast<int>(kLastTraceKind); ++k) {
     EXPECT_STRNE(to_string(static_cast<TraceKind>(k)), "?")
         << "kind " << k << " has no to_string entry";
   }
 }
 
+TEST(TraceKindNames, EveryKindParsesBackFromItsName) {
+  for (int k = 1; k <= static_cast<int>(kLastTraceKind); ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    TraceKind parsed{};
+    ASSERT_TRUE(trace_kind_from_string(to_string(kind), parsed))
+        << "kind " << k << " (" << to_string(kind) << ")";
+    EXPECT_EQ(parsed, kind);
+  }
+  TraceKind parsed{};
+  EXPECT_FALSE(trace_kind_from_string("no-such-kind", parsed));
+  EXPECT_FALSE(trace_kind_from_string("", parsed));
+}
+
 TEST(TraceRecord, EveryKindRendersValidJson) {
-  for (int k = 1; k <= static_cast<int>(TraceKind::kNetworkFault); ++k) {
+  for (int k = 1; k <= static_cast<int>(kLastTraceKind); ++k) {
     TraceRecord r{at(42), static_cast<TraceKind>(k), 7, 9};
     const std::string json = to_json(r);
     // Shape check: one flat object with the four fixed keys.

@@ -8,6 +8,7 @@
 //
 // Replay mode bypasses gtest:   totem_chaos --seed=S [--style=...]
 //                               [--networks=N] [--events=E] [--kv] [--degraded]
+//                               [--trace-dump=DIR]
 // re-runs that one campaign byte-for-byte and prints its schedule+verdict.
 #include <gtest/gtest.h>
 
@@ -194,6 +195,11 @@ int main(int argc, char** argv) {
       options.kv_workload = true;
     } else if (std::strcmp(argv[i], "--degraded") == 0) {
       options.degraded_vocabulary = true;
+    } else if (const char* v = arg_value(argv[i], "--trace-dump=")) {
+      // Write per-node flight-recorder dumps (node<N>.jsonl) into this
+      // existing directory for tools/totem_tracemerge.
+      options.trace_dump_dir = v;
+      replay = true;
     } else if (const char* v = arg_value(argv[i], "--log=")) {
       // Replay triage: surface protocol-module logging (e.g. --log=info).
       using totem::LogLevel;

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a merged Chrome trace-event JSON timeline (tools/totem_tracemerge
+output), optionally producing it first from a fixed-seed chaos run.
+
+Validate an existing file:
+
+    check_trace_json.py merged.json
+
+End-to-end (the tier-1 ctest mode): run a deterministic 4-node chaos
+campaign with --trace-dump, merge the per-node dumps, then validate:
+
+    check_trace_json.py --chaos <totem_chaos> --merge <totem_tracemerge> \
+        [--seed N] [--workdir DIR]
+
+Schema checks: the document is {"traceEvents": [...]} with a non-empty list;
+every event carries ph/pid (+ name/ts/tid for non-metadata events); "X"
+duration spans carry a non-negative integer dur. Semantic checks: every node
+named by process_name metadata has at least one token-rotation span, and at
+least one end-to-end send->deliver span crosses nodes (args.origin != pid).
+Exits nonzero with a message on the first failure so ctest localizes it.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty list")
+
+    node_pids = set()
+    rotation_pids = set()
+    cross_deliver = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"{path}: traceEvents[{i}] has unexpected ph {ph!r}")
+        if "pid" not in ev:
+            fail(f"{path}: traceEvents[{i}] missing pid")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                fail(f"{path}: traceEvents[{i}] metadata name {ev.get('name')!r}")
+            if "name" not in ev.get("args", {}):
+                fail(f"{path}: traceEvents[{i}] metadata missing args.name")
+            label = ev["args"]["name"]
+            if ev["name"] == "process_name" and label.startswith("node "):
+                node_pids.add(ev["pid"])
+            continue
+        for key in ("name", "ts", "tid"):
+            if key not in ev:
+                fail(f"{path}: traceEvents[{i}] missing {key}")
+        if not isinstance(ev["ts"], int):
+            fail(f"{path}: traceEvents[{i}] ts must be an integer")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                fail(f"{path}: traceEvents[{i}] X span needs integer dur >= 0")
+            if ev["name"] == "token-rotation":
+                rotation_pids.add(ev["pid"])
+            if (ev["name"] == "deliver"
+                    and ev.get("args", {}).get("origin") != ev["pid"]):
+                cross_deliver += 1
+
+    if not node_pids:
+        fail(f"{path}: no node process_name metadata found")
+    missing = node_pids - rotation_pids
+    if missing:
+        fail(f"{path}: node pid(s) {sorted(missing)} have no token-rotation span")
+    if cross_deliver == 0:
+        fail(f"{path}: no cross-node send->deliver span (deliver with "
+             "args.origin != pid)")
+    print(f"check_trace_json: OK ({len(events)} events, {len(node_pids)} nodes, "
+          f"{cross_deliver} cross-node deliver spans)")
+
+
+def run_end_to_end(chaos: str, merge: str, seed: int, workdir: str) -> str:
+    dump_dir = os.path.join(workdir, "trace")
+    os.makedirs(dump_dir, exist_ok=True)
+    cmd = [chaos, f"--seed={seed}", f"--trace-dump={dump_dir}"]
+    proc = subprocess.run(cmd, timeout=600)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}")
+    dumps = sorted(
+        os.path.join(dump_dir, f) for f in os.listdir(dump_dir)
+        if f.endswith(".jsonl"))
+    if len(dumps) < 2:
+        fail(f"expected per-node dumps in {dump_dir}, found {dumps}")
+    merged = os.path.join(workdir, "merged.json")
+    proc = subprocess.run([merge, "-o", merged] + dumps, timeout=120)
+    if proc.returncode != 0:
+        fail(f"{merge} exited {proc.returncode}")
+    return merged
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("merged", nargs="?", help="merged trace JSON to validate")
+    parser.add_argument("--chaos", help="totem_chaos binary (end-to-end mode)")
+    parser.add_argument("--merge", help="totem_tracemerge binary")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workdir", help="scratch dir (default: a tempdir)")
+    args = parser.parse_args()
+
+    if args.chaos:
+        if not args.merge:
+            fail("--chaos requires --merge")
+        if args.workdir:
+            os.makedirs(args.workdir, exist_ok=True)
+            validate(run_end_to_end(args.chaos, args.merge, args.seed, args.workdir))
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                validate(run_end_to_end(args.chaos, args.merge, args.seed, tmp))
+    elif args.merged:
+        validate(args.merged)
+    else:
+        fail("pass a merged.json or --chaos/--merge binaries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+// totem_tracemerge: merge per-node TraceRing JSONL dumps into one Chrome
+// trace-event JSON file loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+//   totem_tracemerge [-o merged.json] node0.jsonl node1.jsonl ...
+//
+// Each input is one node's TraceRing::to_jsonl() dump (e.g. written by
+// `totem_chaos --trace-dump=DIR` or scraped from a live node's /trace
+// telemetry endpoint). With no -o the document goes to stdout. Unparseable
+// lines are skipped with a note on stderr; an input that yields nothing at
+// all is an error (a typo'd path should not silently produce an empty
+// timeline).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace_merge.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-o merged.json] node0.jsonl [node1.jsonl ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--output=", 9) == 0) {
+      out_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::vector<totem::TraceRecord> all;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "totem_tracemerge: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::size_t skipped = 0;
+    auto records = totem::parse_trace_jsonl(text, &skipped);
+    if (skipped > 0) {
+      std::fprintf(stderr, "totem_tracemerge: %s: skipped %zu unparseable line(s)\n",
+                   path.c_str(), skipped);
+    }
+    if (records.empty() && !text.empty()) {
+      std::fprintf(stderr, "totem_tracemerge: %s: no parseable trace records\n",
+                   path.c_str());
+      return 1;
+    }
+    all.insert(all.end(), records.begin(), records.end());
+  }
+
+  const std::string merged = totem::merge_to_chrome_trace(std::move(all));
+  if (out_path.empty()) {
+    std::fwrite(merged.data(), 1, merged.size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "totem_tracemerge: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << merged << '\n';
+  }
+  return 0;
+}
