@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate the sharded KV bench's scaling claims from its JSON reports.
+
+Usage: check_shard_scaling.py <sharded-json> <single-ring-json> [sim-ratio-floor]
+
+Reads BENCH_kv_sharded_closed_loop.json and BENCH_kv_closed_loop.json
+(both produced by their schema-check runs — ctest FIXTURES make those run
+first, so this gate never re-runs a bench) and enforces:
+
+  * SIM — sharded ops/s at 4 shards >= <sim-ratio-floor> x ops/s at
+    1 shard (default 3.0). Sim rings are identical up to seed, so anything
+    much below linear means the router or the lockstep harness is
+    serializing work that should be parallel.
+  * UDP — the 4-shard deployment's aggregate ops/s holds within a bounded
+    router tax of the best single-ring kv_closed_loop row on the same
+    loopback substrate (4-shard >= 0.85 x best single-ring). Both benches
+    run every ring on ONE reactor thread, so in-process wall-clock
+    throughput is capped by one core no matter how many shards exist —
+    the sim sweep carries the scaling claim; this gate proves the router
+    and the extra rings cost at most measurement noise on real sockets.
+    (A real deployment runs one process per shard; see EXPERIMENTS.md
+    section 14.)
+
+Exits nonzero with a message on the first failure so ctest localizes it.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_shard_scaling: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+
+def sharded_ops_by_shards(results, label):
+    out = {}
+    for r in results:
+        if r.get("label") != label:
+            continue
+        counters = r.get("counters", {})
+        if "shards" not in counters or "ops_per_sec" not in counters:
+            fail(f"{label} result missing shards/ops_per_sec counters: {r['name']}")
+        out[int(counters["shards"])] = float(counters["ops_per_sec"])
+    return out
+
+
+def main() -> None:
+    if len(sys.argv) < 3:
+        fail(f"usage: {sys.argv[0]} <sharded-json> <single-ring-json> [sim-ratio-floor]")
+    sharded_path, baseline_path = sys.argv[1], sys.argv[2]
+    floor = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+
+    sharded = load(sharded_path)
+
+    sim = sharded_ops_by_shards(sharded.get("results", []), "sim")
+    for shards in (1, 4):
+        if shards not in sim:
+            fail(f"no sim result for {shards} shard(s) in {sharded_path}")
+        if sim[shards] <= 0:
+            fail(f"sim {shards}-shard ops_per_sec is {sim[shards]}")
+    ratio = sim[4] / sim[1]
+    if ratio < floor:
+        fail(
+            f"sim scaling {ratio:.2f}x below the {floor:.1f}x floor "
+            f"(1 shard: {sim[1]:.0f} ops/s, 4 shards: {sim[4]:.0f} ops/s)"
+        )
+
+    udp = sharded_ops_by_shards(sharded.get("results", []), "udp")
+    if 4 not in udp:
+        fail(f"no udp result for 4 shards in {sharded_path}")
+
+    baseline = load(baseline_path)
+    base_rows = [
+        float(r["counters"]["ops_per_sec"])
+        for r in baseline.get("results", [])
+        if r.get("label") == "udp" and "ops_per_sec" in r.get("counters", {})
+    ]
+    if not base_rows:
+        fail(f"no udp ops_per_sec rows in {baseline_path}")
+    best_single = max(base_rows)
+    udp_floor = 0.85  # bounded router tax; see module docstring
+    if udp[4] < udp_floor * best_single:
+        fail(
+            f"udp 4-shard throughput {udp[4]:.0f} ops/s fell below "
+            f"{udp_floor:.2f}x the best single-ring baseline "
+            f"{best_single:.0f} ops/s — the router or the extra rings are "
+            f"taxing the datapath beyond measurement noise"
+        )
+
+    print(
+        f"ok: sim 4/1 scaling {ratio:.2f}x (floor {floor:.1f}x), "
+        f"udp 4 shards {udp[4]:.0f} ops/s vs single-ring best "
+        f"{best_single:.0f} ({udp[4] / best_single:.2f}x, floor {udp_floor:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,222 @@
+// Sharded closed-loop KV workload (DESIGN.md §17, EXPERIMENTS.md §14):
+// the single-ring kv_closed_loop driver lifted to totem::ShardedKv — R
+// independent rings behind one consistent-hash router, 8 closed-loop
+// clients per shard, each client pinned to one shard's keyspace so every
+// ring carries the same load. Reported per run:
+//
+//   ops_per_sec    — aggregate completed router operations per second
+//   ops_completed  — total completions across all shards
+//   shards/clients — sweep coordinates
+//   p50_apply_us   — submit -> completion latency percentiles (still one
+//   p99_apply_us     ring's token rotation; sharding buys throughput, not
+//                    lower latency)
+//
+// Two substrates, same router and workload:
+//   BM_KvShardedSim — SimShardedCluster, shards 1,2,4,8 (virtual time;
+//                     rings are identical up to seed, so the sweep isolates
+//                     the router + partitioning overhead — near-linear
+//                     scaling is the pass condition, see
+//                     check_shard_scaling.py)
+//   BM_KvShardedUdp — UdpShardedCluster on loopback, shards 1,4
+//                     (wall-clock; ONE reactor thread drives all rings, so
+//                     in-process throughput is capped by one core no matter
+//                     the shard count — the gate bounds the router tax
+//                     against the best single-ring kv_closed_loop row; the
+//                     sim sweep carries the scaling claim)
+//
+// Results land in BENCH_kv_sharded_closed_loop.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_report.h"
+#include "harness/sharded_cluster.h"
+#include "shard/sharded_kv.h"
+
+namespace totem::shard {
+namespace {
+
+constexpr std::size_t kClientsPerShard = 8;
+constexpr std::size_t kKeysPerShard = 32;
+constexpr std::uint16_t kUdpPortBase = 47000;  // 47000s: sharded-bench ports
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+/// Closed-loop driver over the router: client c is pinned to shard
+/// c % shards and cycles through keys that route there, so load is even by
+/// construction and the sweep measures ring parallelism, not hash luck.
+struct ShardedLoop {
+  ShardedKv* kv = nullptr;
+  std::size_t shards = 1;
+  std::uint64_t target_ops = 1000;
+
+  std::uint64_t completed = 0;
+  std::uint64_t op_counter = 0;
+  std::vector<double> latencies_us;
+  std::vector<std::vector<std::string>> shard_keys;  // [shard][k]
+  std::map<std::uint64_t, std::pair<std::size_t, double>> pending;  // op -> (client, t)
+  std::vector<std::size_t> stalled;  // clients whose submit was rejected
+
+  /// Clock, per shard: under the lockstep sim each shard has its own
+  /// simulator, and an op's submit + completion both happen on its client's
+  /// pinned shard — timing it against that shard's clock avoids the
+  /// slice-quantization artifacts a single global clock would show.
+  std::function<double(std::size_t)> now_us;
+
+  void start() {
+    shard_keys.assign(shards, {});
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::uint64_t i = 0; shard_keys[s].size() < kKeysPerShard; ++i) {
+        std::string key = "key-" + std::to_string(i);
+        if (kv->shard_for(key) == s) shard_keys[s].push_back(std::move(key));
+      }
+    }
+    latencies_us.reserve(target_ops);
+    kv->set_completion_handler([this](const OpCompletion& done) {
+      auto it = pending.find(done.op);
+      if (it == pending.end()) return;
+      const auto [client, submitted] = it->second;
+      pending.erase(it);
+      latencies_us.push_back(now_us(done.shard) - submitted);
+      ++completed;
+      if (op_counter < target_ops) submit(client);
+    });
+    for (std::size_t c = 0; c < kClientsPerShard * shards; ++c) submit(c);
+  }
+
+  void submit(std::size_t client) {
+    const std::size_t s = client % shards;
+    const std::uint64_t op = op_counter++;
+    const std::string& key = shard_keys[s][op % kKeysPerShard];
+    auto r = kv->put(key, to_bytes("v" + std::to_string(op)));
+    if (r.is_ok()) {
+      pending.emplace(r.value(), std::pair{client, now_us(s)});
+    } else {
+      // Rejected (backpressure or a not-yet-available shard). A rejected
+      // client has nothing pending, so no completion will resubmit it —
+      // park it for the driver loop to retry.
+      --op_counter;
+      stalled.push_back(client);
+    }
+  }
+
+  /// Driver hook: resubmit every parked client. Safe to call every pump.
+  void retry_stalled() {
+    if (stalled.empty()) return;
+    std::vector<std::size_t> again;
+    again.swap(stalled);
+    for (std::size_t c : again) {
+      if (op_counter < target_ops) submit(c);
+    }
+  }
+};
+
+void report(benchmark::State& state, ShardedLoop& loop, double elapsed_s) {
+  state.counters["ops_per_sec"] =
+      elapsed_s > 0 ? static_cast<double>(loop.completed) / elapsed_s : 0;
+  state.counters["ops_completed"] = static_cast<double>(loop.completed);
+  state.counters["shards"] = static_cast<double>(loop.shards);
+  state.counters["clients"] = static_cast<double>(kClientsPerShard * loop.shards);
+  state.counters["p50_apply_us"] = percentile(loop.latencies_us, 0.50);
+  state.counters["p99_apply_us"] = percentile(loop.latencies_us, 0.99);
+}
+
+void BM_KvShardedSim(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    harness::ShardedClusterConfig cfg;
+    cfg.shard_count = shards;
+    harness::SimShardedCluster cluster(cfg);
+    cluster.start_all();
+    if (!cluster.run_until_live(Duration{5'000'000})) {
+      state.SkipWithError("replicas never went live");
+      return;
+    }
+
+    ShardedLoop loop;
+    loop.kv = &cluster.kv();
+    loop.shards = shards;
+    // Same per-shard work at every sweep point: aggregate ops grow with R,
+    // so perfect scaling is flat wall-time and R-times ops/s.
+    loop.target_ops = 800 * shards;
+    loop.now_us = [&cluster](std::size_t s) {
+      return static_cast<double>(cluster.now(s).time_since_epoch().count());
+    };
+
+    const double start_us = loop.now_us(0);
+    loop.start();
+    while (loop.completed < loop.target_ops) {
+      cluster.run_for(Duration{100'000});
+      loop.retry_stalled();
+    }
+    const double elapsed_s = (loop.now_us(0) - start_us) / 1e6;
+    report(state, loop, elapsed_s);
+    state.SetLabel("sim");
+  }
+}
+
+void BM_KvShardedUdp(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    harness::ShardedClusterConfig cfg;
+    cfg.shard_count = shards;
+    harness::UdpShardedCluster cluster(cfg, kUdpPortBase);
+    if (!cluster.ok().is_ok()) {
+      state.SkipWithError("UDP socket setup failed");
+      return;
+    }
+    cluster.start_all();
+    if (!cluster.wait_all_live(Duration{10'000'000})) {
+      state.SkipWithError("replicas never went live");
+      return;
+    }
+
+    ShardedLoop loop;
+    loop.kv = &cluster.kv();
+    loop.shards = shards;
+    // Long enough that the measured window dwarfs startup jitter — at
+    // ~100k ops/s the 4-shard run still finishes in well under a second.
+    loop.target_ops = 40'000 * shards;
+    loop.now_us = [](std::size_t) {
+      return static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count()) /
+             1e3;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::seconds(60);
+    loop.start();
+    while (loop.completed < loop.target_ops &&
+           std::chrono::steady_clock::now() < deadline) {
+      cluster.poll_once(Duration{5'000});
+      loop.retry_stalled();
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report(state, loop, elapsed_s);
+    state.SetLabel("udp");
+  }
+}
+
+BENCHMARK(BM_KvShardedSim)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KvShardedUdp)->Arg(1)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace totem::shard
+
+TOTEM_BENCH_MAIN("kv_sharded_closed_loop")

@@ -175,8 +175,9 @@ std::string StatsSnapshot::to_json() const {
   return w.take();
 }
 
-std::string StatsSnapshot::to_prometheus() const {
-  const std::string label = "node=\"" + std::to_string(node) + "\"";
+std::string StatsSnapshot::to_prometheus(std::string_view extra_labels) const {
+  std::string label = "node=\"" + std::to_string(node) + "\"";
+  label += extra_labels;  // e.g. ",shard=\"2\"" from the sharded roll-up
   std::string out;
   std::set<std::string> typed;  // one # TYPE line per metric family
   auto scalar = [&](const char* name, const char* type, std::uint64_t v,

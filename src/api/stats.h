@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/health.h"
@@ -42,7 +43,10 @@ struct StatsSnapshot {
   /// One JSON object covering every field above (histograms included).
   [[nodiscard]] std::string to_json() const;
   /// Prometheus text exposition; every sample is labelled node="<id>".
-  [[nodiscard]] std::string to_prometheus() const;
+  /// `extra_labels` is appended verbatim to every sample's label set (must
+  /// start with ',' when non-empty, e.g. ",shard=\"2\"") — node ids repeat
+  /// across shards, so the sharded roll-up disambiguates with it.
+  [[nodiscard]] std::string to_prometheus(std::string_view extra_labels = "") const;
 };
 
 /// Capture a snapshot of `node` and its transports (pass the same transport

@@ -1,0 +1,397 @@
+#include "harness/sharded_campaign.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "harness/sharded_cluster.h"
+#include "shard/sharded_kv.h"
+#include "smr/replicated_kv.h"
+
+namespace totem::harness {
+
+const char* to_string(ShardFaultKind kind) {
+  switch (kind) {
+    case ShardFaultKind::kKillShard: return "kill-shard";
+    case ShardFaultKind::kRestoreShard: return "restore-shard";
+    case ShardFaultKind::kKillShardNetwork: return "kill-shard-network";
+    case ShardFaultKind::kRecoverShardNetwork: return "recover-shard-network";
+    case ShardFaultKind::kLossBurst: return "loss-burst";
+    case ShardFaultKind::kEndLossBurst: return "end-loss-burst";
+  }
+  return "?";
+}
+
+std::string to_string(const ShardFaultEvent& ev) {
+  std::string out = "t=" + std::to_string(ev.at.time_since_epoch().count()) +
+                    "us " + to_string(ev.kind) + " shard=" +
+                    std::to_string(ev.shard);
+  switch (ev.kind) {
+    case ShardFaultKind::kKillShardNetwork:
+    case ShardFaultKind::kRecoverShardNetwork:
+      out += " network=" + std::to_string(ev.network);
+      break;
+    case ShardFaultKind::kLossBurst:
+      out += " network=" + std::to_string(ev.network) +
+             " rate=" + std::to_string(ev.rate);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::vector<ShardFaultEvent> generate_sharded_schedule(
+    const ShardedCampaignOptions& o) {
+  Rng rng(o.seed * 131 + 17);
+  std::vector<ShardFaultEvent> schedule;
+  const TimePoint start = TimePoint{} + o.settle;
+  for (std::size_t i = 0; i < o.events; ++i) {
+    const TimePoint begin = start + o.event_spacing * static_cast<Duration::rep>(i);
+    const TimePoint end = begin + o.fault_window;
+    const std::size_t shard = rng.next_below(o.shards);
+    // The first window is always the headline fault; later windows mix in
+    // the single-ring vocabulary (scoped to one shard's networks).
+    const std::uint64_t dice = i == 0 ? 0 : rng.next_below(3);
+    ShardFaultEvent begin_ev;
+    begin_ev.at = begin;
+    begin_ev.shard = shard;
+    ShardFaultEvent end_ev;
+    end_ev.at = end;
+    end_ev.shard = shard;
+    switch (dice) {
+      case 0:
+        begin_ev.kind = ShardFaultKind::kKillShard;
+        end_ev.kind = ShardFaultKind::kRestoreShard;
+        break;
+      case 1:
+        begin_ev.kind = ShardFaultKind::kKillShardNetwork;
+        end_ev.kind = ShardFaultKind::kRecoverShardNetwork;
+        begin_ev.network = end_ev.network =
+            static_cast<NetworkId>(rng.next_below(o.networks));
+        break;
+      default:
+        begin_ev.kind = ShardFaultKind::kLossBurst;
+        end_ev.kind = ShardFaultKind::kEndLossBurst;
+        begin_ev.network = end_ev.network =
+            static_cast<NetworkId>(rng.next_below(o.networks));
+        begin_ev.rate = 0.15 + 0.1 * static_cast<double>(rng.next_below(3));
+        break;
+    }
+    schedule.push_back(begin_ev);
+    schedule.push_back(end_ev);
+  }
+  return schedule;
+}
+
+std::string ShardedCampaignResult::describe() const {
+  std::string out = "sharded campaign: seed=" + std::to_string(options.seed) +
+                    " style=" + api::to_string(options.style) +
+                    " shards=" + std::to_string(options.shards) +
+                    " nodes/shard=" + std::to_string(options.nodes_per_shard) +
+                    " networks=" + std::to_string(options.networks) +
+                    " events=" + std::to_string(options.events) + "\n";
+  out += "schedule:\n";
+  for (const auto& ev : schedule) out += "  " + to_string(ev) + "\n";
+  out += "ops: completed=" + std::to_string(ops_completed) +
+         " rejected=" + std::to_string(ops_rejected) + "\n";
+  out += report.to_string();
+  return out;
+}
+
+namespace {
+
+/// One closed-loop router client: at most one op in flight; resubmits from
+/// the slice loop (deterministic — no timers involved).
+struct Client {
+  bool idle = true;
+};
+
+struct CampaignState {
+  Rng rng;
+  std::uint64_t counter = 0;
+  std::vector<Client> clients;
+  /// Router op id -> submitting client.
+  std::map<std::uint64_t, std::size_t> owner;
+  /// Every value ever submitted for a key (pending or not): the V9.2
+  /// "never wrong" reference set.
+  std::map<std::string, std::set<std::string>> submitted;
+};
+
+}  // namespace
+
+ShardedCampaignResult run_sharded_campaign(ShardedCampaignOptions o) {
+  ShardedCampaignResult result;
+  result.options = o;
+  result.schedule = generate_sharded_schedule(o);
+  auto violation = [&](const std::string& v) {
+    result.report.violations.push_back(v);
+  };
+
+  ShardedClusterConfig cfg;
+  cfg.shard_count = o.shards;
+  cfg.nodes_per_shard = o.nodes_per_shard;
+  cfg.networks_per_shard = o.networks;
+  cfg.style = o.style;
+  cfg.seed = o.seed;
+  cfg.record_payloads = false;
+  // Fast reformation, mirroring the single-ring campaigns.
+  cfg.srp.token_loss_timeout = Duration{100'000};
+  cfg.srp.join_interval = Duration{10'000};
+  cfg.srp.consensus_timeout = Duration{100'000};
+  cfg.srp.commit_timeout = Duration{100'000};
+  cfg.srp.announce_interval = Duration{200'000};
+  cfg.srp.merge_backoff = Duration{1'000'000};
+  SimShardedCluster cluster(cfg);
+  auto& router = cluster.kv();
+
+  cluster.start_all();
+  if (!cluster.run_until_live(o.live_budget)) {
+    violation("V9 setup: replicas never all went live before the campaign");
+    return result;
+  }
+
+  CampaignState st{Rng(o.seed * 91 + 7), 0, {}, {}, {}};
+  st.clients.assign(o.clients_per_shard * o.shards, Client{});
+
+  router.set_completion_handler([&](const shard::OpCompletion& done) {
+    auto it = st.owner.find(done.op);
+    if (it == st.owner.end()) return;
+    st.clients[it->second].idle = true;
+    st.owner.erase(it);
+  });
+
+  auto try_submit = [&](std::size_t c) {
+    const std::string key = "k" + std::to_string(st.rng.next_below(o.keys));
+    const std::string value = "v" + std::to_string(o.seed) + "-" +
+                              std::to_string(st.counter++);
+    const std::uint64_t dice = st.rng.next_below(10);
+    Result<std::uint64_t> r = [&]() -> Result<std::uint64_t> {
+      if (dice < 7) return router.put(key, to_bytes(value));
+      if (dice < 9) {
+        const auto cur = router.get(key);
+        return router.cas(key, cur.status == shard::ReadStatus::kOk ? cur.version : 0,
+                          to_bytes(value));
+      }
+      return router.del(key);
+    }();
+    if (r.is_ok()) {
+      if (dice < 9) st.submitted[key].insert(value);
+      st.owner.emplace(r.value(), c);
+      st.clients[c].idle = false;
+    }
+    // Rejected (backpressure / unavailable shard): stay idle, retry next
+    // slice. The router's counters record the rejection.
+  };
+
+  // ---- schedule + probe bookkeeping ----
+  const TimePoint heal_time =
+      TimePoint{} + o.settle +
+      o.event_spacing * static_cast<Duration::rep>(o.events);
+  std::size_t next_event = 0;
+  struct PendingProbe {
+    TimePoint at{};
+    std::size_t killed_shard = 0;
+    bool done = false;
+  };
+  std::vector<PendingProbe> probes;
+  for (const auto& ev : result.schedule) {
+    if (ev.kind == ShardFaultKind::kKillShard) {
+      probes.push_back({ev.at + o.probe_delay, ev.shard, false});
+    }
+  }
+  /// Completed-op counters captured when a kill begins, per surviving
+  /// shard; V9.4 requires growth by the time the shard is restored.
+  std::map<std::size_t, std::vector<std::uint64_t>> serving_baseline;
+
+  auto apply_event = [&](const ShardFaultEvent& ev) {
+    auto& sc = cluster.shard_cluster(ev.shard);
+    switch (ev.kind) {
+      case ShardFaultKind::kKillShard: {
+        std::vector<std::uint64_t> base(o.shards, 0);
+        for (std::size_t s = 0; s < o.shards; ++s) {
+          base[s] = router.shard_stats(s).completed;
+        }
+        serving_baseline[ev.shard] = std::move(base);
+        cluster.kill_shard(ev.shard);
+        break;
+      }
+      case ShardFaultKind::kRestoreShard: {
+        cluster.restore_shard(ev.shard);
+        auto it = serving_baseline.find(ev.shard);
+        if (it != serving_baseline.end()) {
+          for (std::size_t s = 0; s < o.shards; ++s) {
+            if (s == ev.shard) continue;
+            if (router.shard_stats(s).completed <= it->second[s]) {
+              violation("V9.4: surviving shard " + std::to_string(s) +
+                        " completed no ops while shard " +
+                        std::to_string(ev.shard) + " was killed");
+            }
+          }
+          serving_baseline.erase(it);
+        }
+        break;
+      }
+      case ShardFaultKind::kKillShardNetwork:
+        sc.network(ev.network).fail();
+        break;
+      case ShardFaultKind::kRecoverShardNetwork:
+        sc.network(ev.network).recover();
+        for (std::size_t i = 0; i < o.nodes_per_shard; ++i) {
+          sc.node(i).replicator().reset_network(ev.network);
+        }
+        break;
+      case ShardFaultKind::kLossBurst:
+        sc.network(ev.network).set_loss_rate(ev.rate);
+        break;
+      case ShardFaultKind::kEndLossBurst:
+        sc.network(ev.network).set_loss_rate(0.0);
+        break;
+    }
+  };
+
+  auto run_probe = [&](const PendingProbe& p) {
+    // Mid-kill census: the killed shard's keys answer unavailable (never
+    // minority state), a write to it is rejected, and healthy shards still
+    // answer. Keys with no active fault anywhere else by construction —
+    // windows never overlap.
+    bool write_probed = false;
+    for (std::size_t k = 0; k < o.keys; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      const auto read = router.get(key);
+      if (read.shard == p.killed_shard) {
+        if (read.status != shard::ReadStatus::kUnavailable) {
+          violation("V9.4: killed shard " + std::to_string(p.killed_shard) +
+                    " answered '" + std::string(to_string(read.status)) +
+                    "' for " + key + " mid-kill (must be unavailable)");
+        }
+        if (!write_probed) {
+          write_probed = true;  // one write probe per kill is enough
+          auto w = router.put(key, to_bytes("mid-kill-write-must-fail"));
+          if (w.is_ok()) {
+            violation("V9.4: killed shard " + std::to_string(p.killed_shard) +
+                      " accepted a write for " + key + " mid-kill");
+          }
+        }
+      } else if (read.status == shard::ReadStatus::kUnavailable) {
+        violation("V9.4: healthy shard " + std::to_string(read.shard) +
+                  " was unavailable for " + key + " mid-kill of shard " +
+                  std::to_string(p.killed_shard));
+      }
+    }
+  };
+
+  // ---- main loop: slice-driven clients + schedule ----
+  const Duration slice{20'000};
+  while (cluster.now() < heal_time) {
+    while (next_event < result.schedule.size() &&
+           result.schedule[next_event].at <= cluster.now()) {
+      apply_event(result.schedule[next_event++]);
+    }
+    for (auto& p : probes) {
+      if (!p.done && p.at <= cluster.now()) {
+        run_probe(p);
+        p.done = true;
+      }
+    }
+    for (std::size_t c = 0; c < st.clients.size(); ++c) {
+      if (st.clients[c].idle) try_submit(c);
+    }
+    cluster.run_for(slice);
+  }
+  while (next_event < result.schedule.size()) {
+    apply_event(result.schedule[next_event++]);
+  }
+
+  // Global heal (belt and braces — every end event already fired): clear
+  // residual faults so convergence starts clean.
+  for (std::size_t s = 0; s < o.shards; ++s) {
+    auto& sc = cluster.shard_cluster(s);
+    for (std::size_t n = 0; n < o.networks; ++n) {
+      sc.network(n).recover();
+      sc.network(n).set_loss_rate(0.0);
+    }
+  }
+  cluster.run_for(o.convergence);
+
+  // ---- post-heal probe writes: every shard serves again (V9.4) ----
+  std::map<std::uint64_t, std::size_t> probe_ops;  // op -> shard
+  std::set<std::size_t> probe_completed;
+  router.set_completion_handler([&](const shard::OpCompletion& done) {
+    auto it = probe_ops.find(done.op);
+    if (it != probe_ops.end()) probe_completed.insert(it->second);
+  });
+  for (std::size_t s = 0; s < o.shards; ++s) {
+    // Deterministically find a key routing to shard s.
+    std::string key;
+    for (std::uint64_t i = 0;; ++i) {
+      key = "probe-" + std::to_string(o.seed) + "-" + std::to_string(i);
+      if (router.shard_for(key) == s) break;
+    }
+    const std::string value = "post-heal-" + std::to_string(s);
+    st.submitted[key].insert(value);
+    auto r = router.put(key, to_bytes(value));
+    if (!r.is_ok()) {
+      violation("V9.4: post-heal probe write to shard " + std::to_string(s) +
+                " rejected: " + r.status().to_string());
+      continue;
+    }
+    probe_ops.emplace(r.value(), s);
+  }
+  cluster.run_for(o.drain);
+  for (const auto& entry : probe_ops) {
+    if (probe_completed.count(entry.second) == 0) {
+      violation("V9.4: post-heal probe write to shard " +
+                std::to_string(entry.second) + " never completed");
+    }
+  }
+
+  // ---- final census: V9.1 / V9.2 / V9.3 ----
+  for (std::size_t s = 0; s < o.shards; ++s) {
+    const Bytes reference = cluster.machine(s, 0).snapshot();
+    const std::uint64_t ref_applied = cluster.log(s, 0).applied_seq();
+    for (std::size_t r = 0; r < o.nodes_per_shard; ++r) {
+      if (!cluster.log(s, r).live()) {
+        violation("V9.1: shard " + std::to_string(s) + " replica " +
+                  std::to_string(r) + " not live after heal");
+        continue;
+      }
+      if (cluster.log(s, r).applied_seq() != ref_applied) {
+        violation("V9.1: shard " + std::to_string(s) + " replica " +
+                  std::to_string(r) + " applied " +
+                  std::to_string(cluster.log(s, r).applied_seq()) +
+                  " commands vs replica 0's " + std::to_string(ref_applied));
+      }
+      if (cluster.machine(s, r).snapshot() != reference) {
+        violation("V9.1: shard " + std::to_string(s) + " replica " +
+                  std::to_string(r) + " snapshot diverges from replica 0");
+      }
+    }
+    for (const auto& [key, entry] : cluster.machine(s, 0).entries()) {
+      if (router.shard_for(key) != s) {
+        violation("V9.3: key '" + key + "' found in shard " +
+                  std::to_string(s) + " but routes to shard " +
+                  std::to_string(router.shard_for(key)));
+      }
+      const std::string value = totem::to_string(BytesView(entry.value));
+      auto it = st.submitted.find(key);
+      if (it == st.submitted.end() || it->second.count(value) == 0) {
+        violation("V9.2: shard " + std::to_string(s) + " holds value '" +
+                  value + "' for key '" + key +
+                  "' that no client ever submitted for it");
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < o.shards; ++s) {
+    const auto& stats = router.shard_stats(s);
+    result.ops_completed += stats.completed;
+    result.ops_rejected +=
+        stats.rejected_backpressure + stats.rejected_unavailable;
+  }
+  return result;
+}
+
+}  // namespace totem::harness

@@ -1,0 +1,109 @@
+// Sharded chaos campaigns: deterministic fault injection against a
+// SimShardedCluster + router, checked by the cross-shard convergence
+// invariant V9 (DESIGN.md §17).
+//
+// The single-ring campaigns (fault_campaign.h, V1-V8) prove one ring's
+// guarantees under faults. Sharding adds a new failure domain — a WHOLE
+// ring can die — and a new layer that must stay honest about it: the
+// consistent-hash router. V9 is that layer's contract:
+//
+//   V9.1 Per-shard convergence — after the global heal, every replica of
+//        every shard ends live with the byte-identical snapshot and equal
+//        applied count (V8, per ring).
+//   V9.2 Never wrong — every value present in any shard's final state was
+//        actually submitted for that exact key by a campaign client.
+//        Unavailability may lose answers; it may never fabricate them.
+//   V9.3 Routing isolation — every key in shard s's final state hashes to
+//        s under the campaign's partitioner. Keys cannot bleed between
+//        rings: there is no cross-ring protocol to move them.
+//   V9.4 Surviving shards keep serving — while a shard is killed, reads
+//        and writes on every healthy shard keep completing, reads of the
+//        killed shard's keys report unavailable (never stale minority
+//        state), writes to it are rejected, and after the heal the killed
+//        shard serves fresh probe writes again.
+//
+// Schedules are a pure function of (seed, options): a failing campaign is
+// reproduced by re-running the same options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/node.h"
+#include "common/types.h"
+#include "harness/invariant_checker.h"
+
+namespace totem::harness {
+
+/// Fault vocabulary over shards. Whole-shard kill is the headline; the
+/// network kinds re-exercise the single-ring vocabulary inside one shard
+/// while the router keeps serving the others.
+enum class ShardFaultKind : std::uint8_t {
+  kKillShard,            ///< crash every node of one shard (ring vanishes)
+  kRestoreShard,         ///< reconnect them (ring re-forms, replicas re-sync)
+  kKillShardNetwork,     ///< one redundant network of one shard dies
+  kRecoverShardNetwork,  ///< ... and recovers
+  kLossBurst,            ///< one shard network drops a fraction of packets
+  kEndLossBurst,
+};
+
+[[nodiscard]] const char* to_string(ShardFaultKind kind);
+
+struct ShardFaultEvent {
+  TimePoint at{};
+  ShardFaultKind kind = ShardFaultKind::kKillShard;
+  std::size_t shard = 0;
+  NetworkId network = 0;  ///< network kinds only
+  double rate = 0.0;      ///< loss burst only
+};
+
+[[nodiscard]] std::string to_string(const ShardFaultEvent& ev);
+
+struct ShardedCampaignOptions {
+  std::size_t shards = 3;
+  std::size_t nodes_per_shard = 3;
+  std::size_t networks = 2;
+  api::ReplicationStyle style = api::ReplicationStyle::kActive;
+  std::uint64_t seed = 1;
+  /// Fault windows (begin/end pairs count once). The first window is
+  /// always a kill-whole-shard; windows never overlap, so the victim is
+  /// the only degraded shard while V9.4 probes the survivors.
+  std::size_t events = 3;
+
+  std::size_t keys = 48;           ///< client keyspace ("k0".."k<keys-1>")
+  std::size_t clients_per_shard = 2;  ///< closed-loop clients (router-wide)
+
+  Duration settle{800'000};         ///< fault-free warmup after all-live
+  Duration event_spacing{2'500'000};///< slot width per fault window
+  Duration fault_window{1'500'000}; ///< fault active this long within a slot
+  Duration probe_delay{1'200'000};  ///< window start -> mid-fault V9.4 probe
+  Duration convergence{6'000'000};  ///< heal -> post-heal probes
+  Duration drain{2'500'000};        ///< probe writes -> final census
+  Duration live_budget{5'000'000};  ///< initial all-live budget
+};
+
+struct ShardedCampaignResult {
+  ShardedCampaignOptions options;
+  std::vector<ShardFaultEvent> schedule;
+  InvariantReport report;            ///< V9 violations (empty = pass)
+  std::uint64_t ops_completed = 0;   ///< router-wide completions
+  std::uint64_t ops_rejected = 0;    ///< unavailability + backpressure
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  /// Options, schedule and every violation — everything needed to act on
+  /// (and deterministically re-run) a failure.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministically expand (seed, options) into non-overlapping fault
+/// windows; the first is always kill-whole-shard.
+[[nodiscard]] std::vector<ShardFaultEvent> generate_sharded_schedule(
+    const ShardedCampaignOptions& options);
+
+/// Build the sharded cluster, run the schedule under router traffic, heal,
+/// probe, and check V9. Same options => byte-for-byte identical run.
+[[nodiscard]] ShardedCampaignResult run_sharded_campaign(
+    ShardedCampaignOptions options);
+
+}  // namespace totem::harness

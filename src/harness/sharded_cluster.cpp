@@ -1,0 +1,229 @@
+#include "harness/sharded_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "api/stats.h"
+
+namespace totem::harness {
+
+namespace {
+
+/// Shared backend assembly: the router borrows every shard's logs + kvs.
+std::unique_ptr<shard::ShardedKv> build_router(
+    shard::ShardedKv::Config router_config, std::size_t shard_count,
+    const std::vector<std::vector<std::unique_ptr<smr::ReplicatedLog>>>& logs,
+    const std::vector<std::vector<std::unique_ptr<smr::ReplicatedKv>>>& machines) {
+  router_config.partitioner.shard_count = shard_count;
+  std::vector<shard::ShardBackend> backends(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    for (const auto& log : logs[s]) backends[s].logs.push_back(log.get());
+    for (const auto& kv : machines[s]) backends[s].kvs.push_back(kv.get());
+  }
+  return std::make_unique<shard::ShardedKv>(router_config, std::move(backends));
+}
+
+}  // namespace
+
+SimShardedCluster::SimShardedCluster(ShardedClusterConfig config)
+    : config_(std::move(config)) {
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    ClusterConfig cc;
+    cc.node_count = config_.nodes_per_shard;
+    cc.network_count = config_.networks_per_shard;
+    cc.style = config_.style;
+    cc.seed = config_.seed + 1000 * s;
+    cc.srp = config_.srp;
+    cc.record_payloads = config_.record_payloads;
+    cc.trace_capacity = config_.trace_capacity;
+    clusters_.push_back(std::make_unique<SimCluster>(cc));
+
+    buses_.emplace_back();
+    machines_.emplace_back();
+    logs_.emplace_back();
+    for (std::size_t i = 0; i < config_.nodes_per_shard; ++i) {
+      buses_[s].push_back(std::make_unique<api::GroupBus>(clusters_[s]->node(i)));
+      machines_[s].push_back(std::make_unique<smr::ReplicatedKv>());
+      smr::ReplicatedLog::Config lc;
+      lc.group = config_.group_prefix + std::to_string(s);
+      lc.trace = clusters_[s]->mutable_trace(i);
+      logs_[s].push_back(std::make_unique<smr::ReplicatedLog>(
+          clusters_[s]->simulator(), *buses_[s].back(), *machines_[s].back(),
+          std::move(lc)));
+    }
+  }
+  router_ = build_router(config_.router, config_.shard_count, logs_, machines_);
+}
+
+SimShardedCluster::~SimShardedCluster() = default;
+
+void SimShardedCluster::start_all() {
+  for (std::size_t s = 0; s < clusters_.size(); ++s) {
+    clusters_[s]->start_all();
+    for (auto& log : logs_[s]) (void)log->start();
+  }
+}
+
+void SimShardedCluster::run_for(Duration d) {
+  Duration remaining = d;
+  while (remaining > Duration::zero()) {
+    const Duration slice = std::min(remaining, config_.lockstep_slice);
+    for (auto& cluster : clusters_) cluster->run_for(slice);
+    remaining -= slice;
+  }
+}
+
+bool SimShardedCluster::run_until_live(Duration budget) {
+  // Live logs are not enough: the submit replica must also have seen its
+  // peers' "established" announcements, or the router's majority gate
+  // rejects the first writes a caller issues right after this returns.
+  const auto all_ready = [&] {
+    for (const auto& shard_logs : logs_) {
+      for (const auto& log : shard_logs) {
+        if (!log->live()) return false;
+      }
+    }
+    for (std::size_t s = 0; s < clusters_.size(); ++s) {
+      if (!router_->shard_available(s)) return false;
+    }
+    return true;
+  };
+  Duration spent{0};
+  while (!all_ready() && spent < budget) {
+    run_for(config_.lockstep_slice);
+    spent += config_.lockstep_slice;
+  }
+  return all_ready();
+}
+
+TimePoint SimShardedCluster::now(std::size_t s) const {
+  return clusters_[s]->simulator().now();
+}
+
+void SimShardedCluster::kill_shard(std::size_t s) {
+  for (std::size_t i = 0; i < config_.nodes_per_shard; ++i) {
+    clusters_[s]->crash(static_cast<NodeId>(i));
+  }
+}
+
+void SimShardedCluster::restore_shard(std::size_t s) {
+  for (std::size_t i = 0; i < config_.nodes_per_shard; ++i) {
+    clusters_[s]->reconnect(static_cast<NodeId>(i));
+    for (std::size_t n = 0; n < config_.networks_per_shard; ++n) {
+      clusters_[s]->node(i).replicator().reset_network(static_cast<NetworkId>(n));
+    }
+  }
+}
+
+shard::ClusterSnapshot SimShardedCluster::snapshot(bool include_nodes) {
+  std::vector<std::vector<api::StatsSnapshot>> per_shard;
+  if (include_nodes) {
+    per_shard.resize(clusters_.size());
+    for (std::size_t s = 0; s < clusters_.size(); ++s) {
+      for (std::size_t i = 0; i < config_.nodes_per_shard; ++i) {
+        per_shard[s].push_back(
+            api::snapshot(clusters_[s]->node(i), clusters_[s]->transports(i)));
+      }
+    }
+  }
+  return router_->roll_up(std::move(per_shard));
+}
+
+UdpShardedCluster::UdpShardedCluster(ShardedClusterConfig config,
+                                     std::uint16_t base_port)
+    : config_(std::move(config)) {
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    nodes_.emplace_back();
+    node_transports_.emplace_back();
+    buses_.emplace_back();
+    machines_.emplace_back();
+    logs_.emplace_back();
+    std::vector<NodeId> members;
+    for (std::size_t i = 0; i < config_.nodes_per_shard; ++i) {
+      members.push_back(static_cast<NodeId>(i));
+    }
+    for (std::size_t i = 0; i < config_.nodes_per_shard; ++i) {
+      std::vector<net::Transport*> raw;
+      std::vector<const net::Transport*> views;
+      for (std::size_t n = 0; n < config_.networks_per_shard; ++n) {
+        net::UdpTransport::Config tc;
+        tc.network = static_cast<NetworkId>(n);
+        tc.local_node = static_cast<NodeId>(i);
+        const auto block = static_cast<std::uint16_t>(
+            base_port + (s * config_.networks_per_shard + n) * kPortsPerBlock);
+        tc.peers = net::loopback_peers(
+            block, static_cast<std::uint32_t>(config_.nodes_per_shard));
+        auto t = net::UdpTransport::create(reactor_, tc);
+        if (!t.is_ok()) {
+          status_ = t.status();
+          return;
+        }
+        transports_.push_back(std::move(t).take());
+        raw.push_back(transports_.back().get());
+        views.push_back(transports_.back().get());
+      }
+      api::NodeConfig cfg;
+      cfg.srp.node_id = static_cast<NodeId>(i);
+      cfg.srp.initial_members = members;
+      cfg.style = config_.style;
+      nodes_[s].push_back(std::make_unique<api::Node>(reactor_, raw, cfg));
+      node_transports_[s].push_back(std::move(views));
+      buses_[s].push_back(std::make_unique<api::GroupBus>(*nodes_[s].back()));
+      machines_[s].push_back(std::make_unique<smr::ReplicatedKv>());
+      smr::ReplicatedLog::Config lc;
+      lc.group = config_.group_prefix + std::to_string(s);
+      logs_[s].push_back(std::make_unique<smr::ReplicatedLog>(
+          reactor_, *buses_[s].back(), *machines_[s].back(), std::move(lc)));
+    }
+  }
+  router_ = build_router(config_.router, config_.shard_count, logs_, machines_);
+}
+
+UdpShardedCluster::~UdpShardedCluster() = default;
+
+void UdpShardedCluster::start_all() {
+  for (auto& shard_nodes : nodes_) {
+    for (auto& node : shard_nodes) node->start();
+  }
+  for (auto& shard_logs : logs_) {
+    for (auto& log : shard_logs) (void)log->start();
+  }
+}
+
+bool UdpShardedCluster::wait_all_live(Duration budget) {
+  // As in SimShardedCluster::run_until_live: wait for router availability,
+  // not just per-log liveness, so the first post-wait write is accepted.
+  const auto all_ready = [&] {
+    for (const auto& shard_logs : logs_) {
+      for (const auto& log : shard_logs) {
+        if (!log->live()) return false;
+      }
+    }
+    for (std::size_t s = 0; s < logs_.size(); ++s) {
+      if (!router_->shard_available(s)) return false;
+    }
+    return true;
+  };
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(budget.count());
+  while (!all_ready() && std::chrono::steady_clock::now() < deadline) {
+    reactor_.poll_once(Duration{5'000});
+  }
+  return all_ready();
+}
+
+shard::ClusterSnapshot UdpShardedCluster::snapshot(bool include_nodes) {
+  std::vector<std::vector<api::StatsSnapshot>> per_shard;
+  if (include_nodes) {
+    per_shard.resize(nodes_.size());
+    for (std::size_t s = 0; s < nodes_.size(); ++s) {
+      for (std::size_t i = 0; i < nodes_[s].size(); ++i) {
+        per_shard[s].push_back(
+            api::snapshot(*nodes_[s][i], node_transports_[s][i]));
+      }
+    }
+  }
+  return router_->roll_up(std::move(per_shard));
+}
+
+}  // namespace totem::harness

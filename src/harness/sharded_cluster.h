@@ -1,0 +1,163 @@
+// Sharded-cluster factories: R independent ring+ReplicatedKv stacks plus
+// one totem::ShardedKv router, on either substrate the repo supports
+// (DESIGN.md §17, docs/SHARDING.md):
+//
+//   SimShardedCluster — R SimClusters advanced in LOCKSTEP slices. Shards
+//     are causally independent (they share no networks), so interleaving
+//     whole slices is equivalent to one global simulator while reusing the
+//     per-ring deterministic harness unchanged. Each shard's ring gets its
+//     own seed, trace ring, and metrics namespace.
+//   UdpShardedCluster — R real UDP rings on loopback behind one Reactor,
+//     each ring on its own port block (SHARDING.md documents the layout:
+//     port = base + (shard * networks + network) * kPortsPerBlock + node).
+//
+// Both expose the same surface to benches/tests: kv() for the router,
+// log()/machine() per replica, shard-level fault controls (sim), and a
+// ClusterSnapshot roll-up wired from live node snapshots.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/group_bus.h"
+#include "harness/sim_cluster.h"
+#include "net/reactor.h"
+#include "net/udp_transport.h"
+#include "shard/sharded_kv.h"
+#include "smr/replicated_kv.h"
+#include "smr/replicated_log.h"
+
+namespace totem::harness {
+
+/// Everything a sharded deployment needs beyond one ring's ClusterConfig.
+struct ShardedClusterConfig {
+  std::size_t shard_count = 4;
+  std::size_t nodes_per_shard = 3;
+  std::size_t networks_per_shard = 2;
+  api::ReplicationStyle style = api::ReplicationStyle::kActive;
+  /// Base seed; shard s's ring runs on seed + 1000 * s so schedules stay
+  /// deterministic but decorrelated across shards.
+  std::uint64_t seed = 1;
+
+  /// Router knobs. `router.partitioner.shard_count` is overwritten with
+  /// `shard_count`; virtual_nodes is honored.
+  shard::ShardedKv::Config router;
+
+  /// Each shard's replicated-log group name: "<prefix><shard>". Groups live
+  /// on disjoint rings, so the suffix only aids traces and debugging.
+  std::string group_prefix = "kv/shard";
+
+  /// Sim substrate only: per-ring SRP template + recording toggles,
+  /// forwarded into every shard's ClusterConfig.
+  srp::Config srp;
+  bool record_payloads = false;
+  std::size_t trace_capacity = 1024;
+
+  /// Lockstep granularity for SimShardedCluster::run_for — the maximum
+  /// causal skew between any two shards' clocks.
+  Duration lockstep_slice{20'000};
+};
+
+/// R deterministic sim rings + router. Construction builds every stack;
+/// call start_all(), then run_until_live() before driving traffic.
+class SimShardedCluster {
+ public:
+  explicit SimShardedCluster(ShardedClusterConfig config);
+  ~SimShardedCluster();
+
+  SimShardedCluster(const SimShardedCluster&) = delete;
+  SimShardedCluster& operator=(const SimShardedCluster&) = delete;
+
+  /// Start every shard's nodes and replicated logs.
+  void start_all();
+  /// Advance every shard's simulator by `d`, interleaved in lockstep
+  /// slices (config.lockstep_slice).
+  void run_for(Duration d);
+  /// run_for until every replica log reports kLive AND every shard is
+  /// available through the router (submit replicas see a majority
+  /// established), up to `budget` of sim time. Returns true on success.
+  bool run_until_live(Duration budget);
+
+  [[nodiscard]] shard::ShardedKv& kv() { return *router_; }
+  [[nodiscard]] const ShardedClusterConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t shard_count() const { return clusters_.size(); }
+  /// Shard s's underlying single-ring harness (fault injection, networks).
+  [[nodiscard]] SimCluster& shard_cluster(std::size_t s) { return *clusters_[s]; }
+  /// Shard s's clock (all shards stay within one lockstep slice).
+  [[nodiscard]] TimePoint now(std::size_t s = 0) const;
+  [[nodiscard]] smr::ReplicatedLog& log(std::size_t s, std::size_t replica) {
+    return *logs_[s][replica];
+  }
+  [[nodiscard]] const smr::ReplicatedKv& machine(std::size_t s,
+                                                 std::size_t replica) const {
+    return *machines_[s][replica];
+  }
+
+  // ---- shard-level fault controls (chaos campaigns) ----
+  /// Crash every node of shard s (NICs cut on every network — the whole
+  /// shard is gone from the cluster's point of view).
+  void kill_shard(std::size_t s);
+  /// Undo kill_shard: reconnect every node and clear residual monitor
+  /// verdicts so the shard re-forms cleanly.
+  void restore_shard(std::size_t s);
+
+  /// Roll availability, health and router counters into one cluster view;
+  /// `include_nodes` adds full per-replica api::StatsSnapshots.
+  [[nodiscard]] shard::ClusterSnapshot snapshot(bool include_nodes = false);
+
+ private:
+  ShardedClusterConfig config_;
+  std::vector<std::unique_ptr<SimCluster>> clusters_;
+  std::vector<std::vector<std::unique_ptr<api::GroupBus>>> buses_;
+  std::vector<std::vector<std::unique_ptr<smr::ReplicatedKv>>> machines_;
+  std::vector<std::vector<std::unique_ptr<smr::ReplicatedLog>>> logs_;
+  std::unique_ptr<shard::ShardedKv> router_;
+};
+
+/// R real UDP rings on loopback behind one Reactor + router. Check ok()
+/// after construction (socket setup can fail); then start_all() and
+/// wait_all_live().
+class UdpShardedCluster {
+ public:
+  /// Ports used: [base_port, base_port + shards*networks*kPortsPerBlock).
+  static constexpr std::uint16_t kPortsPerBlock = 16;  // max nodes per ring
+
+  UdpShardedCluster(ShardedClusterConfig config, std::uint16_t base_port);
+  ~UdpShardedCluster();
+
+  UdpShardedCluster(const UdpShardedCluster&) = delete;
+  UdpShardedCluster& operator=(const UdpShardedCluster&) = delete;
+
+  /// OK unless a transport failed to bind (port collision, no loopback).
+  [[nodiscard]] const Status& ok() const { return status_; }
+
+  void start_all();
+  /// Poll the reactor until every replica log is live and every shard is
+  /// router-available, or `budget` (wall-clock) elapses. Returns true on
+  /// success.
+  bool wait_all_live(Duration budget);
+  /// One bounded reactor poll (drive this from the bench's closed loop).
+  void poll_once(Duration timeout) { reactor_.poll_once(timeout); }
+
+  [[nodiscard]] shard::ShardedKv& kv() { return *router_; }
+  [[nodiscard]] net::Reactor& reactor() { return reactor_; }
+  [[nodiscard]] std::size_t shard_count() const { return logs_.size(); }
+  [[nodiscard]] smr::ReplicatedLog& log(std::size_t s, std::size_t replica) {
+    return *logs_[s][replica];
+  }
+  [[nodiscard]] shard::ClusterSnapshot snapshot(bool include_nodes = false);
+
+ private:
+  ShardedClusterConfig config_;
+  Status status_;
+  net::Reactor reactor_;
+  std::vector<std::unique_ptr<net::UdpTransport>> transports_;
+  std::vector<std::vector<std::unique_ptr<api::Node>>> nodes_;
+  std::vector<std::vector<std::vector<const net::Transport*>>> node_transports_;
+  std::vector<std::vector<std::unique_ptr<api::GroupBus>>> buses_;
+  std::vector<std::vector<std::unique_ptr<smr::ReplicatedKv>>> machines_;
+  std::vector<std::vector<std::unique_ptr<smr::ReplicatedLog>>> logs_;
+  std::unique_ptr<shard::ShardedKv> router_;
+};
+
+}  // namespace totem::harness

@@ -1,0 +1,77 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace totem::shard {
+
+Partitioner::Partitioner(Config config) : virtual_nodes_(config.virtual_nodes) {
+  assert(config.shard_count > 0 && "partitioner needs at least one shard");
+  assert(config.virtual_nodes > 0 && "partitioner needs at least one point per shard");
+  if (virtual_nodes_ == 0) virtual_nodes_ = 1;
+  ring_.reserve(config.shard_count * virtual_nodes_);
+  for (std::size_t id = 0; id < config.shard_count; ++id) {
+    shard_ids_.push_back(id);
+    insert_points(id);
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void Partitioner::insert_points(std::size_t id) {
+  // The point label is a fixed string, so the ring layout is a pure
+  // function of (id, vnode index) — never of insertion history.
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    const std::string label =
+        "shard:" + std::to_string(id) + "#" + std::to_string(v);
+    ring_.push_back({ring_hash(label), static_cast<std::uint32_t>(id)});
+  }
+}
+
+std::size_t Partitioner::shard_for(std::string_view key) const {
+  assert(!ring_.empty() && "shard_for on an empty ring");
+  const std::uint64_t h = ring_hash(key);
+  // First point with hash >= h, wrapping to the ring start past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t hash) { return p.hash < hash; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+void Partitioner::add_shard() {
+  const std::size_t id = shard_ids_.empty() ? 0 : shard_ids_.back() + 1;
+  shard_ids_.push_back(id);
+  insert_points(id);
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void Partitioner::remove_shard(std::size_t id) {
+  auto sit = std::find(shard_ids_.begin(), shard_ids_.end(), id);
+  if (sit == shard_ids_.end()) return;
+  shard_ids_.erase(sit);
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [id](const Point& p) { return p.shard == id; }),
+              ring_.end());
+}
+
+double Partitioner::load_fraction(std::size_t id) const {
+  if (ring_.empty()) return 0.0;
+  if (shard_ids_.size() == 1) return shard_ids_.front() == id ? 1.0 : 0.0;
+  // Each point owns the arc from its predecessor (exclusive) to itself
+  // (inclusive); the first point also owns the wrap-around arc.
+  constexpr double kSpace = 18446744073709551616.0;  // 2^64
+  double owned = 0.0;
+  bool present = false;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[i];
+    if (p.shard != id) continue;
+    present = true;
+    const std::uint64_t prev = i == 0 ? ring_.back().hash : ring_[i - 1].hash;
+    // Wrap-safe arc length; a duplicate hash contributes zero width.
+    owned += static_cast<double>(p.hash - prev);  // unsigned wrap is the arc
+  }
+  return present ? owned / kSpace : 0.0;
+}
+
+}  // namespace totem::shard

@@ -1,0 +1,110 @@
+// Consistent-hash partitioner: the deterministic key -> shard mapping that
+// lets many independent Totem rings carry one keyspace (DESIGN.md §17,
+// docs/SHARDING.md).
+//
+// Classic Karger-style consistent hashing with virtual nodes: every shard
+// owns `virtual_nodes` pseudo-random points on a 64-bit hash ring; a key is
+// routed to the shard owning the first point at or clockwise-after
+// hash(key). The properties the sharded KV layer builds on:
+//
+//   * DETERMINISM — the hash is a fixed FNV-1a + SplitMix64 finalizer
+//     (ring_hash below), the point set is a pure
+//     function of (shard id, virtual-node index), and ties are broken by
+//     (point, shard id). Two processes, today or after a restart, always
+//     agree where a key lives. No state is exchanged to route.
+//   * UNIFORMITY — with V virtual nodes per shard the expected imbalance
+//     shrinks like 1/sqrt(R*V); the defaults keep every shard within a few
+//     percent of the mean over large keyspaces (bounded by a unit test).
+//   * MINIMAL REMAPPING — adding a shard only moves keys onto the new
+//     shard (expected fraction 1/(R+1)); removing one only moves the keys
+//     it owned. Keys never shuffle between surviving shards, which is what
+//     makes rebalancing R -> R+1 an incremental migration instead of a
+//     full reshuffle.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace totem::shard {
+
+/// FNV-1a 64-bit over the bytes of `s`. Fixed constants, no seeding: the
+/// routing hash must agree across builds, platforms and process restarts.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer. FNV-1a alone has weak avalanche on short, similar
+/// strings ("key-1", "key-2", ... land on correlated ring positions, which
+/// skews arc ownership badly); this fixed bijective mix restores uniform
+/// spread while keeping the composition a pure, portable function.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// The routing hash: where on the 64-bit ring a key (or a shard's virtual
+/// node label) sits.
+[[nodiscard]] constexpr std::uint64_t ring_hash(std::string_view s) {
+  return mix64(fnv1a64(s));
+}
+
+/// Immutable-by-convention consistent-hash ring over shard ids 0..R-1.
+/// add_shard()/remove_shard() exist for rebalance analysis and tests; a
+/// live ShardedKv holds a fixed ring for its lifetime.
+class Partitioner {
+ public:
+  struct Config {
+    /// Number of shards (hash-ring owners). Ids are 0..shard_count-1.
+    std::size_t shard_count = 1;
+    /// Ring points per shard. More points = tighter balance at O(R*V log)
+    /// build cost; 128 keeps max/mean load within ~10% for small R.
+    std::size_t virtual_nodes = 128;
+  };
+
+  explicit Partitioner(Config config);
+
+  /// The shard owning `key`. O(log(R*V)) binary search; never fails while
+  /// at least one shard is present.
+  [[nodiscard]] std::size_t shard_for(std::string_view key) const;
+
+  /// Number of shards currently on the ring.
+  [[nodiscard]] std::size_t shard_count() const { return shard_ids_.size(); }
+  /// Sorted ids of the shards currently on the ring.
+  [[nodiscard]] const std::vector<std::size_t>& shards() const { return shard_ids_; }
+  /// Total ring points (shard_count * virtual_nodes).
+  [[nodiscard]] std::size_t ring_points() const { return ring_.size(); }
+
+  /// Append shard id == shard_count() to the ring (rebalance analysis).
+  void add_shard();
+  /// Remove shard `id` from the ring; keys it owned redistribute over the
+  /// survivors, keys it did not own stay put. No-op for unknown ids.
+  void remove_shard(std::size_t id);
+
+  /// Fraction of the 64-bit hash space shard `id` owns — the analytic load
+  /// estimate SHARDING.md's capacity-planning math uses (0 if absent).
+  [[nodiscard]] double load_fraction(std::size_t id) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t shard = 0;
+    friend bool operator<(const Point& a, const Point& b) {
+      return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+    }
+  };
+
+  void insert_points(std::size_t id);
+
+  std::size_t virtual_nodes_;
+  std::vector<Point> ring_;            // sorted by (hash, shard)
+  std::vector<std::size_t> shard_ids_; // sorted active ids
+};
+
+}  // namespace totem::shard

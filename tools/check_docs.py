@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tier-1 documentation checker (ctest entry: docs_check).
 
-Two guarantees, so the docs cannot silently rot:
+Three guarantees, so the docs cannot silently rot:
 
 1. Every intra-repo markdown link in every tracked .md file resolves to a
    file or directory that actually exists (external http(s)/mailto links
@@ -10,6 +10,14 @@ Two guarantees, so the docs cannot silently rot:
 2. Every module directory directly under src/ is mentioned (as "src/<name>/")
    in docs/ARCHITECTURE.md, so the architecture tour can never omit a
    subsystem that exists in the tree.
+3. Every backticked inline source-path reference in the prose docs
+   (README.md, DESIGN.md, EXPERIMENTS.md, docs/*.md) resolves to a real
+   file, from the repo root or from src/ — so "see `srp/single_ring.h`"
+   can never survive a rename. A span counts as a path reference when it
+   is '/'-separated path characters ending in a source extension; brace
+   groups expand (`metrics.{h,cpp}` checks both), and anything with
+   spaces, wildcards, '::' or template brackets is prose, not a path.
+   ROADMAP.md is exempt: it records history, including deleted files.
 
 Usage: check_docs.py <repo_root>
 Exits non-zero with one line per problem.
@@ -21,6 +29,12 @@ from pathlib import Path
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 SKIP_DIRS = {"build", ".git", "third_party"}
+
+FENCE_RE = re.compile(r"^```.*?^```", re.M | re.S)
+BACKTICK_RE = re.compile(r"`([^`]+)`")
+PATH_CHARS_RE = re.compile(r"^[A-Za-z0-9_.{},/-]+$")
+PATH_EXTENSIONS = (".h", ".hpp", ".c", ".cc", ".cpp", ".py", ".md")
+BRACE_RE = re.compile(r"\{([^{}]*)\}")
 
 
 def markdown_files(root: Path):
@@ -63,12 +77,55 @@ def check_architecture_coverage(root: Path):
     return problems
 
 
+def expand_braces(span: str):
+    """`a.{h,cpp}` -> ['a.h', 'a.cpp']; at most one group per span."""
+    m = BRACE_RE.search(span)
+    if not m:
+        return [span]
+    return [span[: m.start()] + alt + span[m.end():] for alt in m.group(1).split(",")]
+
+
+def path_candidates(text: str):
+    """Backticked spans that read as source-file paths (see docstring #3).
+
+    Fenced code blocks are stripped first: their ``` markers would otherwise
+    desynchronize the inline-backtick pairing for the rest of the document
+    (and shell snippets reference build outputs, not sources).
+    """
+    for span in BACKTICK_RE.findall(FENCE_RE.sub("", text)):
+        if "/" not in span or not PATH_CHARS_RE.match(span):
+            continue
+        for path in expand_braces(span):
+            if path.endswith(PATH_EXTENSIONS):
+                yield span, path
+
+
+def check_inline_paths(root: Path):
+    prose = [root / "README.md", root / "DESIGN.md", root / "EXPERIMENTS.md"]
+    prose += sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    problems = []
+    for md in prose:
+        if not md.exists():
+            continue
+        for span, path in path_candidates(md.read_text(encoding="utf-8")):
+            if not ((root / path).exists() or (root / "src" / path).exists()):
+                problems.append(
+                    f"{md.relative_to(root)}: inline path reference `{span}` "
+                    f"does not resolve ({path} not found at repo root or src/)"
+                )
+    return problems
+
+
 def main():
     if len(sys.argv) != 2:
         print(f"usage: {sys.argv[0]} <repo_root>", file=sys.stderr)
         return 2
     root = Path(sys.argv[1]).resolve()
-    problems = check_links(root) + check_architecture_coverage(root)
+    problems = (
+        check_links(root)
+        + check_architecture_coverage(root)
+        + check_inline_paths(root)
+    )
     for p in problems:
         print(f"FAIL: {p}")
     if problems:
@@ -76,7 +133,8 @@ def main():
         return 1
     md_count = sum(1 for _ in markdown_files(root))
     print(f"docs_check OK: {md_count} markdown files, all links resolve, "
-          f"ARCHITECTURE.md covers every src/ module")
+          f"ARCHITECTURE.md covers every src/ module, "
+          f"inline source-path references all exist")
     return 0
 
 
