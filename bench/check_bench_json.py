@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Run a bench binary with --json=PATH and validate the report.
 
-Usage: check_bench_json.py <bench-binary> <json-path> [required counter ...]
+Usage: check_bench_json.py <bench-binary> <json-path> [--flag ...] [counter ...]
+
+Arguments starting with "--" are passed through to the bench binary (e.g.
+--benchmark_filter=... or a harness's --totemd=...); the rest are required
+counter names.
 
 Checks: the process exits 0, the file parses as JSON, the top-level schema
 (bench/config/results) is present, results is non-empty, and every listed
@@ -22,9 +26,10 @@ def main() -> None:
     if len(sys.argv) < 3:
         fail(f"usage: {sys.argv[0]} <bench-binary> <json-path> [counter ...]")
     binary, path = sys.argv[1], sys.argv[2]
-    required_counters = sys.argv[3:]
+    passthrough = [a for a in sys.argv[3:] if a.startswith("--")]
+    required_counters = [a for a in sys.argv[3:] if not a.startswith("--")]
 
-    proc = subprocess.run([binary, f"--json={path}"], timeout=600)
+    proc = subprocess.run([binary, f"--json={path}", *passthrough], timeout=600)
     if proc.returncode != 0:
         fail(f"{binary} exited {proc.returncode}")
 

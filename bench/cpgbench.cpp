@@ -1,0 +1,529 @@
+// cpgbench — multi-process closed-process-group load harness (the corosync
+// cpgbench shape): spawn one real totemd per node on a 4-node UDP loopback
+// ring, fork N client processes per node, have every client join one group
+// and hammer it, then verify that EVERY client observed the IDENTICAL total
+// order (FNV-1a hash over the delivery stream, compared across processes)
+// and report ops/s plus p50/p99 client-send→client-deliver latency.
+//
+// Two rounds:
+//   baseline — clients only;
+//   wedged   — one extra client joins and never reads. The harness checks
+//              that the wedge is evicted by egress backpressure and that
+//              the other clients' throughput stays within --wedge-ratio
+//              (default 0.9) of baseline. A wedged reader must cost its
+//              peers nothing.
+//
+// Emits the shared bench JSON schema (bench_report.h) by hand — this is an
+// orchestrator, not a Google-Benchmark binary — honoring --json=PATH, so
+// check_bench_json.py gates it in tier-1.
+//
+//   cpgbench [--totemd=PATH] [--nodes=4] [--clients-per-node=16]
+//            [--msgs=25] [--payload=4096] [--base-port=47300]
+//            [--wedge-ratio=0.9] [--json=PATH]
+//
+// Ports 47300+ (ring) — keep clear of the test suites (41xxx-46xxx).
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "ipc/client.h"
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options {
+  std::string totemd;
+  std::uint32_t nodes = 4;
+  std::uint32_t clients_per_node = 16;
+  std::uint32_t msgs = 100;    ///< per client
+  std::uint32_t window = 8;    ///< self-clocked in-flight sends per client
+  std::uint32_t attempts = 3;  ///< wedge-gate retries (burst noise)
+  std::uint32_t payload = 4096;
+  std::uint16_t base_port = 47300;
+  double wedge_ratio = 0.9;
+  std::string json_path = "BENCH_cpgbench.json";
+};
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "cpgbench: FAIL: %s\n", why.c_str());
+  std::exit(1);
+}
+
+std::string self_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string p(buf);
+  const auto slash = p.rfind('/');
+  return slash == std::string::npos ? "." : p.substr(0, slash);
+}
+
+bool flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+// Fixed in main() before any fork — forked workers must agree on the paths.
+std::string g_sock_prefix;
+
+std::string socket_path(totem::NodeId node) {
+  return g_sock_prefix + std::to_string(node) + ".sock";
+}
+
+std::unique_ptr<totem::ipc::Client> connect_retry(const std::string& path) {
+  for (int i = 0; i < 500; ++i) {
+    totem::ipc::Client::Options o;
+    o.socket_path = path;
+    auto c = totem::ipc::Client::connect(std::move(o));
+    if (c.is_ok()) return std::move(c).take();
+    std::this_thread::sleep_for(20ms);
+  }
+  return nullptr;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+/// What one worker reports back up its pipe.
+struct WorkerResult {
+  std::uint64_t order_hash = 0;
+  std::uint64_t received = 0;
+  std::uint64_t elapsed_ns = 0;
+  std::vector<std::uint64_t> latencies_us;  ///< own send→deliver samples
+};
+
+/// Client worker process body: join, barrier on the full view, send
+/// `opt.msgs` while draining, then drain until every message in the round
+/// has been delivered. Writes one result line to `result_fd` and _exits.
+[[noreturn]] void run_worker(const Options& opt, totem::NodeId node,
+                             std::uint32_t expected_members,
+                             std::uint64_t expected_msgs, int result_fd) {
+  auto client = connect_retry(socket_path(node));
+  if (!client) _exit(10);
+  if (!client->join("bench").is_ok()) _exit(11);
+
+  WorkerResult r;
+  std::uint64_t own_delivered = 0;
+  std::uint64_t h = kFnvOffset;
+
+  auto on_event = [&](const totem::ipc::Client::Event& ev) {
+    if (ev.type == totem::ipc::Client::Event::Type::kDeliver) {
+      fnv_mix(h, ev.deliver.origin.node);
+      fnv_mix(h, ev.deliver.origin.client);
+      fnv_mix(h, ev.deliver.seq);
+      ++r.received;
+      if (ev.deliver.origin == client->self() &&
+          ev.deliver.payload.size() >= 8) {
+        ++own_delivered;
+        std::uint64_t ts = 0;
+        std::memcpy(&ts, ev.deliver.payload.data(), 8);
+        const auto now = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count());
+        r.latencies_us.push_back(now > ts ? (now - ts) / 1000 : 0);
+      }
+    } else if (ev.type == totem::ipc::Client::Event::Type::kGoodbye ||
+               ev.type == totem::ipc::Client::Event::Type::kDisconnected) {
+      _exit(15);
+    }
+  };
+
+  // Start barrier: wait until the view holds every client of this round —
+  // exactly. Leaves from a previous round's members can interleave with our
+  // joins, so a peer may pass its barrier (and start sending) a view or two
+  // before we pass ours; any data that early bird delivers to us meanwhile
+  // is part of the round and is hashed, not treated as a protocol error.
+  const auto barrier_deadline = Clock::now() + 120s;
+  std::size_t members = 1;
+  while (members != expected_members) {
+    if (Clock::now() > barrier_deadline) _exit(12);
+    auto ev = client->poll(50ms);
+    if (!ev) continue;
+    if (ev->type == totem::ipc::Client::Event::Type::kView) {
+      members = ev->view.members.size();
+    } else {
+      on_event(*ev);
+    }
+  }
+
+  // Round clock starts once the view is complete; barrier wait (previous
+  // round's leave churn) is setup, not throughput.
+  const auto started = Clock::now();
+  const auto deadline = started + 120s;
+
+  totem::Bytes payload(std::max<std::uint32_t>(opt.payload, 16), std::byte{0x42});
+  std::uint32_t sent = 0;
+  while (sent < opt.msgs) {
+    if (Clock::now() > deadline) _exit(16);
+    // Self-clocked window: never run more than `window` sends ahead of our
+    // own delivered stream. An open loop would park megabytes in every
+    // daemon and turn the bench into a queue-depth meter — and a client
+    // lagging the aggregate stream by the egress cap reads as a wedge.
+    // Block until something arrives — poll() returns on the first event, and
+    // a short timeout here would have 64 window-full processes spinning the
+    // scheduler while the daemons try to turn the token.
+    if (sent - own_delivered >= opt.window) {
+      while (auto ev = client->poll(50ms)) {
+        on_event(*ev);
+        if (sent - own_delivered < opt.window) break;
+      }
+      continue;
+    }
+    const auto ts = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+    std::memcpy(payload.data(), &ts, 8);
+    const totem::Status s = client->send("bench", payload);
+    if (s.is_ok()) {
+      ++sent;
+    } else if (s.code() != totem::StatusCode::kResourceExhausted) {
+      _exit(17);
+    }
+    // Drain (and, when out of credits, wait for CREDIT) as we go.
+    while (auto ev = client->poll(s.is_ok() ? 0ms : 10ms)) on_event(*ev);
+  }
+  while (r.received < expected_msgs) {
+    if (Clock::now() > deadline) _exit(18);
+    auto ev = client->poll(50ms);
+    if (ev) on_event(*ev);
+  }
+  r.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           started)
+          .count());
+  r.order_hash = h;
+
+  std::string line = "R " + std::to_string(r.order_hash) + " " +
+                     std::to_string(r.received) + " " +
+                     std::to_string(r.elapsed_ns);
+  for (const auto us : r.latencies_us) line += " " + std::to_string(us);
+  line += "\n";
+  if (::write(result_fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    _exit(19);
+  }
+  _exit(0);
+}
+
+/// Wedge process body: join, report "J", then hold the socket open WITHOUT
+/// reading until the orchestrator pokes the control pipe; then poll once to
+/// learn our fate and report "E <evicted>".
+[[noreturn]] void run_wedge(totem::NodeId node, int control_fd, int result_fd) {
+  auto client = connect_retry(socket_path(node));
+  if (!client) _exit(20);
+  if (!client->join("bench").is_ok()) _exit(21);
+  if (::write(result_fd, "J\n", 2) != 2) _exit(22);
+
+  char b;  // block here, never touching the daemon socket
+  (void)::read(control_fd, &b, 1);
+
+  bool evicted = false;
+  const auto deadline = Clock::now() + 30s;
+  while (!evicted && Clock::now() < deadline) {
+    auto ev = client->poll(50ms);
+    if (!ev) continue;
+    if (ev->type == totem::ipc::Client::Event::Type::kGoodbye ||
+        ev->type == totem::ipc::Client::Event::Type::kDisconnected) {
+      evicted = true;
+    }
+  }
+  const std::string line = std::string("E ") + (evicted ? "1" : "0") + "\n";
+  (void)::write(result_fd, line.data(), line.size());
+  _exit(0);
+}
+
+struct RoundStats {
+  double ops_per_sec = 0;
+  double delivers_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double elapsed_ms = 0;
+  bool wedge_evicted = false;
+};
+
+std::string read_line(int fd, std::chrono::seconds budget) {
+  std::string line;
+  const auto deadline = Clock::now() + budget;
+  char c;
+  while (Clock::now() < deadline) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n == 1) {
+      if (c == '\n') return line;
+      line += c;
+    } else if (n == 0) {
+      return line;  // EOF
+    } else {
+      return "";
+    }
+  }
+  return "";
+}
+
+/// One measured round. `wedge` adds the never-reading client.
+RoundStats run_round(const Options& opt, bool wedge) {
+  const std::uint32_t workers = opt.nodes * opt.clients_per_node;
+  const std::uint32_t expected_members = workers + (wedge ? 1 : 0);
+  const std::uint64_t expected_msgs =
+      static_cast<std::uint64_t>(workers) * opt.msgs;
+
+  int wedge_result[2] = {-1, -1}, wedge_control[2] = {-1, -1};
+  pid_t wedge_pid = -1;
+  if (wedge) {
+    if (::pipe(wedge_result) != 0 || ::pipe(wedge_control) != 0)
+      die("pipe failed");
+    wedge_pid = ::fork();
+    if (wedge_pid < 0) die("fork failed");
+    if (wedge_pid == 0) {
+      ::close(wedge_result[0]);
+      ::close(wedge_control[1]);
+      run_wedge(0, wedge_control[0], wedge_result[1]);
+    }
+    ::close(wedge_result[1]);
+    ::close(wedge_control[0]);
+    // The wedge must be in the view before the workers' start barrier.
+    if (read_line(wedge_result[0], 60s) != "J") die("wedge never joined");
+  }
+
+  std::vector<pid_t> pids;
+  std::vector<int> result_fds;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    int fds[2];
+    if (::pipe(fds) != 0) die("pipe failed");
+    const pid_t pid = ::fork();
+    if (pid < 0) die("fork failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      run_worker(opt, static_cast<totem::NodeId>(w % opt.nodes),
+                 expected_members, expected_msgs, fds[1]);
+    }
+    ::close(fds[1]);
+    pids.push_back(pid);
+    result_fds.push_back(fds[0]);
+  }
+
+  std::vector<WorkerResult> results;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    const std::string line = read_line(result_fds[w], 180s);
+    int status = 0;
+    if (::waitpid(pids[w], &status, 0) != pids[w] || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      die("worker " + std::to_string(w) + " failed (exit " +
+          std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1) + ")");
+    }
+    ::close(result_fds[w]);
+    WorkerResult r;
+    char tag;
+    std::size_t pos = 0;
+    if (line.empty() || line[0] != 'R') die("bad worker report: " + line);
+    tag = line[0];
+    (void)tag;
+    const char* p = line.c_str() + 1;
+    char* end = nullptr;
+    r.order_hash = std::strtoull(p, &end, 10);
+    r.received = std::strtoull(end, &end, 10);
+    r.elapsed_ns = std::strtoull(end, &end, 10);
+    while (*end != '\0') {
+      const std::uint64_t v = std::strtoull(end, &end, 10);
+      r.latencies_us.push_back(v);
+      (void)pos;
+    }
+    results.push_back(std::move(r));
+  }
+
+  RoundStats st;
+  std::uint64_t max_elapsed = 0;
+  std::vector<std::uint64_t> all_lat;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    const WorkerResult& r = results[w];
+    if (r.order_hash != results[0].order_hash) {
+      die("total-order violation: worker " + std::to_string(w) +
+          " observed a different delivery order");
+    }
+    if (r.received != expected_msgs) {
+      die("worker " + std::to_string(w) + " received " +
+          std::to_string(r.received) + "/" + std::to_string(expected_msgs));
+    }
+    max_elapsed = std::max(max_elapsed, r.elapsed_ns);
+    all_lat.insert(all_lat.end(), r.latencies_us.begin(),
+                   r.latencies_us.end());
+  }
+  const double secs = static_cast<double>(max_elapsed) / 1e9;
+  st.elapsed_ms = static_cast<double>(max_elapsed) / 1e6;
+  st.ops_per_sec = secs > 0 ? static_cast<double>(expected_msgs) / secs : 0;
+  st.delivers_per_sec =
+      secs > 0 ? static_cast<double>(expected_msgs) * workers / secs : 0;
+  std::sort(all_lat.begin(), all_lat.end());
+  if (!all_lat.empty()) {
+    st.p50_us = static_cast<double>(all_lat[all_lat.size() / 2]);
+    st.p99_us = static_cast<double>(all_lat[all_lat.size() * 99 / 100]);
+  }
+
+  if (wedge) {
+    // Workers are done; now ask the wedge what happened to it.
+    if (::write(wedge_control[1], "x", 1) != 1) die("wedge poke failed");
+    const std::string line = read_line(wedge_result[0], 60s);
+    int status = 0;
+    (void)::waitpid(wedge_pid, &status, 0);
+    st.wedge_evicted = line == "E 1";
+    ::close(wedge_result[0]);
+    ::close(wedge_control[1]);
+  }
+  return st;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.totemd = self_dir() + "/../src/daemon/totemd";
+  std::string command;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) command += ' ';
+    command += argv[i];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (flag(argv[i], "--totemd", &v)) opt.totemd = v;
+    else if (flag(argv[i], "--nodes", &v)) opt.nodes = std::stoul(v);
+    else if (flag(argv[i], "--clients-per-node", &v)) opt.clients_per_node = std::stoul(v);
+    else if (flag(argv[i], "--msgs", &v)) opt.msgs = std::stoul(v);
+    else if (flag(argv[i], "--window", &v)) opt.window = std::stoul(v);
+    else if (flag(argv[i], "--payload", &v)) opt.payload = std::stoul(v);
+    else if (flag(argv[i], "--base-port", &v)) opt.base_port = static_cast<std::uint16_t>(std::stoul(v));
+    else if (flag(argv[i], "--wedge-ratio", &v)) opt.wedge_ratio = std::stod(v);
+    else if (flag(argv[i], "--json", &v)) opt.json_path = v;
+    else die(std::string("unknown flag: ") + argv[i]);
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  g_sock_prefix = "/tmp/cpgbench-" + std::to_string(::getpid()) + "-";
+
+  // Spawn one totemd per node.
+  std::vector<pid_t> daemons;
+  for (totem::NodeId n = 0; n < opt.nodes; ++n) {
+    const pid_t pid = ::fork();
+    if (pid < 0) die("fork failed");
+    if (pid == 0) {
+      const std::string sock = "--socket=" + socket_path(n);
+      const std::string node = "--node=" + std::to_string(n);
+      const std::string nodes = "--nodes=" + std::to_string(opt.nodes);
+      const std::string port = "--base-port=" + std::to_string(opt.base_port);
+      ::execl(opt.totemd.c_str(), opt.totemd.c_str(), sock.c_str(),
+              node.c_str(), nodes.c_str(), port.c_str(),
+              "--run-for-ms=600000", static_cast<char*>(nullptr));
+      std::perror("execl totemd");
+      std::_Exit(127);
+    }
+    daemons.push_back(pid);
+  }
+
+  const std::uint32_t workers = opt.nodes * opt.clients_per_node;
+  std::printf("cpgbench: %u clients x %u msgs x %u B on a %u-node ring\n",
+              workers, opt.msgs, opt.payload, opt.nodes);
+
+  // Correctness violations (order mismatch, lost deliveries) die() inside
+  // run_round on the first attempt. The throughput-ratio gate, by contrast,
+  // compares two short bursts and carries run-to-run noise, so a missed
+  // gate re-measures the PAIR rather than failing tier-1 on jitter.
+  RoundStats base, wedged;
+  double ratio = 0;
+  for (std::uint32_t attempt = 1; attempt <= opt.attempts; ++attempt) {
+    base = run_round(opt, /*wedge=*/false);
+    std::printf("cpgbench: baseline %.0f ops/s  p50 %.0f us  p99 %.0f us\n",
+                base.ops_per_sec, base.p50_us, base.p99_us);
+    wedged = run_round(opt, /*wedge=*/true);
+    ratio = base.ops_per_sec > 0 ? wedged.ops_per_sec / base.ops_per_sec : 0;
+    std::printf(
+        "cpgbench: wedged   %.0f ops/s  p50 %.0f us  p99 %.0f us  "
+        "ratio %.2f  evicted=%d\n",
+        wedged.ops_per_sec, wedged.p50_us, wedged.p99_us, ratio,
+        wedged.wedge_evicted ? 1 : 0);
+    if (wedged.wedge_evicted && ratio >= opt.wedge_ratio) break;
+    if (attempt < opt.attempts)
+      std::printf("cpgbench: wedge gate missed, re-measuring\n");
+  }
+
+  for (const pid_t pid : daemons) ::kill(pid, SIGTERM);
+  for (const pid_t pid : daemons) {
+    int status = 0;
+    (void)::waitpid(pid, &status, 0);
+  }
+  for (totem::NodeId n = 0; n < opt.nodes; ++n)
+    ::unlink(socket_path(n).c_str());
+
+  // Report before gating, so a failed gate still leaves the evidence.
+  totem::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "cpgbench");
+  w.key("config");
+  w.begin_object();
+  w.kv("command", command);
+  w.kv("output", opt.json_path);
+  w.end_object();
+  w.key("results");
+  w.begin_array();
+  const auto row = [&](const char* name, const RoundStats& st) {
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("iterations", std::int64_t{1});
+    w.kv("real_time_ms", st.elapsed_ms);
+    w.kv("cpu_time_ms", st.elapsed_ms);
+    w.key("counters");
+    w.begin_object();
+    w.kv("ops_per_sec", st.ops_per_sec);
+    w.kv("delivers_per_sec", st.delivers_per_sec);
+    w.kv("p50_client_us", st.p50_us);
+    w.kv("p99_client_us", st.p99_us);
+    w.kv("clients", double(workers));
+    w.kv("nodes", double(opt.nodes));
+    w.kv("msgs_per_client", double(opt.msgs));
+    w.kv("payload_bytes", double(opt.payload));
+    w.kv("order_hash_match", 1.0);  // die()d above otherwise
+    w.kv("wedged_evicted", st.wedge_evicted ? 1.0 : 0.0);
+    w.kv("throughput_ratio",
+         &st == &wedged ? ratio : 1.0);
+    w.end_object();
+    w.end_object();
+  };
+  row("cpgbench/baseline", base);
+  row("cpgbench/wedged", wedged);
+  w.end_array();
+  w.end_object();
+  std::ofstream out(opt.json_path, std::ios::trunc);
+  if (!out) die("cannot write " + opt.json_path);
+  out << w.take() << "\n";
+  std::printf("wrote %s\n", opt.json_path.c_str());
+
+  if (!wedged.wedge_evicted)
+    die("wedged client was not evicted by backpressure");
+  if (ratio < opt.wedge_ratio)
+    die("throughput with a wedged client dropped to " + std::to_string(ratio) +
+        "x of baseline (floor " + std::to_string(opt.wedge_ratio) + "x)");
+  std::printf("cpgbench: PASS\n");
+  return 0;
+}

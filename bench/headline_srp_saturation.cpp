@@ -14,6 +14,8 @@
 // protocol behavior. check_trace_overhead.py gates the delta at <2%.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_report.h"
 #include "harness/calibration.h"
 #include "harness/drivers.h"
@@ -94,6 +96,67 @@ BENCHMARK(BM_HeadlineSaturation)
     ->Args({static_cast<int>(api::ReplicationStyle::kPassive), 0})
     ->Args({static_cast<int>(api::ReplicationStyle::kPassive), 1})
     ->ArgNames({"style", "traced"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Message-size sweep, 16 B - 1 MB: everything above
+// wire::kMaxUnfragmentedPayload travels the fragment/reassembly path, which
+// no other bench exercises under sustained load. Unreplicated ring, same
+// paper-calibrated substrate as the headline rows.
+void BM_MessageSizeSweep(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  double sim_seconds = 0;
+  MetricsSnapshot metrics;
+
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.network_count = 1;
+    cfg.style = api::ReplicationStyle::kNone;
+    cfg.net_params = paper_net_params();
+    cfg.host_costs = paper_host_costs();
+    apply_paper_srp_costs(cfg.srp);
+    cfg.record_payloads = false;
+    cfg.trace_capacity = 0;
+    SimCluster cluster(cfg);
+    cluster.start_all();
+
+    // Keep roughly a fixed number of bytes queued regardless of message
+    // size — 256 one-MB entries would be pure memory pressure, not load.
+    const std::size_t target = std::clamp<std::size_t>((1u << 18) / size, 2, 256);
+    SaturationDriver driver(cluster, {.message_size = size, .queue_target = target});
+    driver.start();
+    cluster.run_for(Duration{200'000});  // warm-up
+    cluster.clear_recordings();
+    cluster.node(0).metrics().reset();
+    const Duration measured{1'000'000};  // 1 simulated second
+    cluster.run_for(measured);
+
+    msgs = cluster.delivered_count(0);
+    bytes = cluster.delivered_bytes(0);
+    sim_seconds = std::chrono::duration<double>(measured).count();
+    metrics = cluster.node(0).metrics().snapshot();
+  }
+
+  state.counters["message_bytes"] = static_cast<double>(size);
+  state.counters["msgs_per_sec"] = static_cast<double>(msgs) / sim_seconds;
+  state.counters["kbytes_per_sec"] = static_cast<double>(bytes) / 1024.0 / sim_seconds;
+  if (const auto* d = metrics.find_histogram("srp.delivery_latency_us")) {
+    state.counters["p50_delivery_us"] = d->p50();
+    state.counters["p99_delivery_us"] = d->p99();
+  }
+  state.SetLabel(std::to_string(size) + "B");
+}
+
+BENCHMARK(BM_MessageSizeSweep)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->ArgNames({"size"})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -48,6 +48,15 @@ void NodeTelemetry::handle(
       reply(Response{200, "text/plain; version=0.0.4; charset=utf-8",
                      api::snapshot(node_, transports_).to_prometheus()});
     };
+  } else if (path == "/shards") {
+    if (!config_.shards) {
+      reply(Response{404, "text/plain; charset=utf-8",
+                     "no sharded deployment on this node\n"});
+      return;
+    }
+    work = [this, reply] {
+      reply(Response{200, "application/json", config_.shards() + "\n"});
+    };
   } else if (path == "/healthz") {
     work = [this, reply] {
       const HealthSnapshot& h = node_.health();
@@ -56,7 +65,7 @@ void NodeTelemetry::handle(
     };
   } else {
     reply(Response{404, "text/plain; charset=utf-8",
-                   "try /metrics, /healthz, or /trace\n"});
+                   "try /metrics, /healthz, /shards, or /trace\n"});
     return;
   }
   if (config_.post) {

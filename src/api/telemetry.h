@@ -8,6 +8,11 @@
 //                    outage
 //   GET /trace    -> TraceRing::to_jsonl() flight-recorder dump (feed the
 //                    per-node dumps to totem_tracemerge for a timeline)
+//   GET /shards   -> shard::ClusterSnapshot::to_json() roll-up, when this
+//                    node fronts a ShardedKv (Config::shards provider set;
+//                    404 otherwise). The api layer stays shard-agnostic:
+//                    the provider is a std::function the embedder wires to
+//                    ShardedKv::roll_up (see harness::ShardedUdpCluster)
 //
 // Threading. Requests arrive on the reactor (I/O) thread. /metrics and
 // /healthz walk protocol-thread state (ring stats, histograms, health
@@ -42,6 +47,11 @@ class NodeTelemetry {
     std::function<void(std::function<void()>)> post;
     /// Flight recorder served at /trace; null => /trace answers 404.
     const TraceRing* trace = nullptr;
+    /// Cluster-wide shard roll-up served at /shards as JSON (wire it to
+    /// shard::ClusterSnapshot::to_json over ShardedKv::roll_up); null =>
+    /// /shards answers 404. Runs through Config::post like /metrics — the
+    /// router state it walks belongs to the protocol thread.
+    std::function<std::string()> shards;
   };
 
   /// `node` and `transports` must outlive the returned object (same

@@ -22,11 +22,12 @@ using BytesView = std::span<const std::byte>;
 
 inline Bytes to_bytes(std::string_view s) {
   Bytes b(s.size());
-  std::memcpy(b.data(), s.data(), s.size());
+  if (!s.empty()) std::memcpy(b.data(), s.data(), s.size());
   return b;
 }
 
 inline std::string to_string(BytesView b) {
+  if (b.empty()) return {};
   return {reinterpret_cast<const char*>(b.data()), b.size()};
 }
 

@@ -1,0 +1,555 @@
+#include "daemon/daemon.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace totem::daemon {
+namespace {
+
+// Client-level envelope inside a GroupBus data message:
+//   [u8 kind][u64 client][payload...]            kind 1 = data
+//   [u8 kind][u64 client][u64 nonce]             kind 2/3 = join/leave
+// The nonce keeps two announcements for the same client from ever being
+// byte-identical on the wire (the GroupBus announcement idiom).
+constexpr std::uint8_t kEnvData = 1;
+constexpr std::uint8_t kEnvJoin = 2;
+constexpr std::uint8_t kEnvLeave = 3;
+
+constexpr std::size_t kMaxGroupName = 255;
+
+Bytes encode_data_envelope(std::uint64_t client, BytesView payload) {
+  ByteWriter w(9 + payload.size());
+  w.u8(kEnvData);
+  w.u64(client);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Bytes encode_membership_envelope(std::uint8_t kind, std::uint64_t client,
+                                 std::uint64_t nonce) {
+  ByteWriter w(17);
+  w.u8(kind);
+  w.u64(client);
+  w.u64(nonce);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Daemon>> Daemon::create(
+    net::Reactor& reactor, TimerService& timers, api::Node& node,
+    std::function<void(std::function<void()>)> post, Config config) {
+  if (config.socket_path.empty()) {
+    return Status(StatusCode::kInvalidArgument, "Daemon needs a socket path");
+  }
+  if (config.initial_credits == 0) {
+    return Status(StatusCode::kInvalidArgument, "initial_credits must be > 0");
+  }
+  auto daemon = std::unique_ptr<Daemon>(
+      new Daemon(timers, node, std::move(post), std::move(config)));
+  Daemon* raw = daemon.get();
+  ipc::UnixListener::Config lcfg;
+  lcfg.socket_path = daemon->config_.socket_path;
+  lcfg.max_connections = daemon->config_.max_connections;
+  lcfg.max_egress_bytes = daemon->config_.max_egress_bytes;
+  auto listener = ipc::UnixListener::create(
+      reactor, std::move(lcfg),
+      [raw](std::uint64_t conn, ipc::Frame frame) {
+        raw->on_protocol([raw, conn, f = std::move(frame)]() mutable {
+          raw->handle_frame(conn, std::move(f));
+        });
+      },
+      [raw](std::uint64_t conn, ipc::CloseCause cause) {
+        raw->on_protocol([raw, conn, cause] { raw->handle_closed(conn, cause); });
+      });
+  if (!listener) return listener.status();
+  daemon->listener_ = std::move(listener).take();
+  return daemon;
+}
+
+Daemon::Daemon(TimerService& timers, api::Node& node,
+               std::function<void(std::function<void()>)> post, Config config)
+    : timers_(timers),
+      node_(node),
+      post_(std::move(post)),
+      config_(std::move(config)),
+      bus_(std::make_unique<api::GroupBus>(node)) {
+  MetricsRegistry& m = node_.metrics();
+  m_connects_ = m.counter("ipc.connects");
+  m_disconnects_ = m.counter("ipc.disconnects");
+  m_evict_slow_ = m.counter("ipc.evictions_slow_reader");
+  m_evict_protocol_ = m.counter("ipc.evictions_protocol");
+  m_sends_ = m.counter("ipc.sends");
+  m_send_errors_ = m.counter("ipc.send_errors");
+  m_delivers_ = m.counter("ipc.delivers");
+  m_joins_ = m.counter("ipc.client_joins");
+  m_leaves_ = m.counter("ipc.client_leaves");
+  m_credit_stalls_ = m.counter("ipc.credit_stalls");
+  m_clients_ = m.gauge("ipc.clients");
+  m_groups_ = m.gauge("ipc.groups");
+  m_egress_peak_ = m.gauge("ipc.egress_peak_bytes");
+  m_pending_sends_ = m.gauge("ipc.pending_sends");
+}
+
+Daemon::~Daemon() { retry_timer_.cancel(); }
+
+void Daemon::on_protocol(std::function<void()> fn) {
+  if (post_) {
+    post_(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+void Daemon::begin_shutdown() {
+  on_protocol([this] {
+    const Bytes bye = ipc::encode_goodbye(ipc::GoodbyeReason::kShutdown);
+    for (auto& [conn, client] : clients_) {
+      client.evicted = true;  // suppress further frames / slow-reader paths
+      listener_->hangup(conn, bye);
+    }
+  });
+}
+
+// ---------------------------------------------------------------- frames
+
+void Daemon::handle_frame(std::uint64_t conn, ipc::Frame frame) {
+  auto it = clients_.find(conn);
+  if (frame.type == ipc::FrameType::kHello) {
+    handle_hello(conn, frame.body);
+    return;
+  }
+  if (it == clients_.end() || !it->second.hello_done) {
+    // Spoke before HELLO (or after we evicted and erased it): hang up.
+    listener_->hangup(conn,
+                      ipc::encode_goodbye(ipc::GoodbyeReason::kProtocolViolation));
+    return;
+  }
+  if (it->second.evicted) return;  // frames racing an eviction: ignore
+  switch (frame.type) {
+    case ipc::FrameType::kJoin:
+      handle_join(conn, frame.body);
+      return;
+    case ipc::FrameType::kLeave:
+      handle_leave(conn, frame.body);
+      return;
+    case ipc::FrameType::kSend:
+      handle_send(conn, frame.body);
+      return;
+    default:
+      evict(conn, ipc::GoodbyeReason::kProtocolViolation);
+      return;
+  }
+}
+
+void Daemon::handle_hello(std::uint64_t conn, BytesView body) {
+  if (clients_.count(conn) != 0) {
+    evict(conn, ipc::GoodbyeReason::kProtocolViolation);  // double HELLO
+    return;
+  }
+  auto hello = ipc::decode_hello(body);
+  if (!hello || hello.value().version != ipc::kProtocolVersion) {
+    listener_->hangup(conn,
+                      ipc::encode_goodbye(ipc::GoodbyeReason::kProtocolViolation));
+    return;
+  }
+  ClientState& c = clients_[conn];
+  c.hello_done = true;
+  m_connects_->add();
+  m_clients_->set(static_cast<std::int64_t>(clients_.size()));
+  ipc::HelloAck ack;
+  ack.node = node_.id();
+  ack.client_id = conn;  // connection ids are unique for the daemon's life
+  ack.initial_credits = config_.initial_credits;
+  ack.max_message_bytes = config_.max_message_bytes;
+  send_or_evict(conn, ipc::encode_hello_ack(ack));
+}
+
+void Daemon::handle_join(std::uint64_t conn, BytesView body) {
+  auto req = ipc::decode_group_request(body);
+  if (!req) {
+    evict(conn, ipc::GoodbyeReason::kProtocolViolation);
+    return;
+  }
+  const std::string& group = req.value().group;
+  const std::uint32_t cookie = req.value().cookie;
+  if (group.empty() || group.size() > kMaxGroupName) {
+    reply_status(conn, cookie,
+                 Status(StatusCode::kInvalidArgument, "group name must be 1..255 bytes"));
+    return;
+  }
+  ClientState& c = clients_.at(conn);
+  if (c.groups.count(group) != 0) {
+    reply_status(conn, cookie, Status::ok());  // idempotent re-join
+    return;
+  }
+  if (Status s = ensure_bus_joined(group); !s.is_ok()) {
+    reply_status(conn, cookie, s);
+    return;
+  }
+  groups_.at(group).pending_joins.push_back({conn, cookie});
+  if (c.joining.insert(group).second) {
+    // First join request from this client: broadcast it. The STATUS reply
+    // waits for the envelope to deliver — after join() returns, the
+    // client's membership is ordered at every node.
+    broadcast_membership(group, kEnvJoin, conn);
+  }
+}
+
+void Daemon::handle_leave(std::uint64_t conn, BytesView body) {
+  auto req = ipc::decode_group_request(body);
+  if (!req) {
+    evict(conn, ipc::GoodbyeReason::kProtocolViolation);
+    return;
+  }
+  const std::string& group = req.value().group;
+  const std::uint32_t cookie = req.value().cookie;
+  ClientState& c = clients_.at(conn);
+  if (c.groups.count(group) == 0) {
+    reply_status(conn, cookie,
+                 Status(StatusCode::kFailedPrecondition,
+                        c.joining.count(group) ? "join still in flight"
+                                               : "not a member of " + group));
+    return;
+  }
+  groups_.at(group).pending_leaves.push_back({conn, cookie});
+  broadcast_membership(group, kEnvLeave, conn);
+}
+
+void Daemon::handle_send(std::uint64_t conn, BytesView body) {
+  ClientState& c = clients_.at(conn);
+  if (c.in_flight >= config_.initial_credits) {
+    // More SENDs in flight than credits granted: the client is not
+    // honoring the window. That is a protocol violation, not congestion.
+    evict(conn, ipc::GoodbyeReason::kProtocolViolation);
+    return;
+  }
+  auto req = ipc::decode_send(body);
+  if (!req) {
+    evict(conn, ipc::GoodbyeReason::kProtocolViolation);
+    return;
+  }
+  c.in_flight += 1;
+  const std::string& group = req.value().group;
+  if (req.value().payload.size() > config_.max_message_bytes) {
+    m_send_errors_->add();
+    reply_status(conn, req.value().cookie,
+                 Status(StatusCode::kInvalidArgument, "payload too large"));
+    grant_credit(conn, 1);
+    c.in_flight -= 1;
+    return;
+  }
+  if (c.groups.count(group) == 0) {
+    m_send_errors_->add();
+    reply_status(conn, req.value().cookie,
+                 Status(StatusCode::kNotFound, "not a member of " + group));
+    grant_credit(conn, 1);
+    c.in_flight -= 1;
+    return;
+  }
+  Bytes envelope = encode_data_envelope(conn, req.value().payload);
+  const Status s = bus_->send(group, envelope);
+  if (s.is_ok()) {
+    m_sends_->add();
+    grant_credit(conn, 1);
+    c.in_flight -= 1;
+    return;
+  }
+  if (s.code() == StatusCode::kResourceExhausted) {
+    // Ring pushback: park the message, keep the credit spent — this is how
+    // ring congestion reaches clients without blocking anyone.
+    m_credit_stalls_->add();
+    c.pending.push_back({group, std::move(envelope)});
+    m_pending_sends_->set(m_pending_sends_->value() + 1);
+    arm_retry_timer();
+    return;
+  }
+  m_send_errors_->add();
+  reply_status(conn, req.value().cookie, s);
+  grant_credit(conn, 1);
+  c.in_flight -= 1;
+}
+
+void Daemon::handle_closed(std::uint64_t conn, ipc::CloseCause cause) {
+  auto it = clients_.find(conn);
+  if (it == clients_.end()) return;  // closed before HELLO completed
+  ClientState state = std::move(it->second);
+  clients_.erase(it);
+  m_disconnects_->add();
+  if (cause == ipc::CloseCause::kProtocol) m_evict_protocol_->add();
+  m_clients_->set(static_cast<std::int64_t>(clients_.size()));
+  m_pending_sends_->set(m_pending_sends_->value() -
+                        static_cast<std::int64_t>(state.pending.size()));
+
+  // Broadcast a leave for everything the client was (or was becoming) a
+  // member of — crash cleanup rides the same totally-ordered stream as
+  // deliberate leaves, so every node converges. A leave for a join still
+  // in flight is safe: sender-FIFO ordering delivers the join first.
+  std::set<std::string> to_leave = std::move(state.groups);
+  to_leave.insert(state.joining.begin(), state.joining.end());
+  for (const std::string& group : to_leave) {
+    broadcast_membership(group, kEnvLeave, conn);
+  }
+  for (auto& [name, g] : groups_) {
+    g.local_conns.erase(conn);
+    auto drop = [conn](const PendingReply& p) { return p.conn == conn; };
+    std::erase_if(g.pending_joins, drop);
+    std::erase_if(g.pending_leaves, drop);
+  }
+}
+
+// ---------------------------------------------------------------- ring side
+
+Status Daemon::ensure_bus_joined(const std::string& group) {
+  GroupState& g = groups_[group];
+  if (g.bus_joined) return Status::ok();
+  Status s = bus_->join(
+      group,
+      [this, group](const api::GroupMessage& m) { on_group_message(group, m); },
+      [this, group](const api::GroupView& v) { on_group_view(group, v); });
+  // kFailedPrecondition = bus already joined (a previous attempt whose
+  // announcement send failed): the subscription exists, proceed.
+  if (!s.is_ok() && s.code() != StatusCode::kFailedPrecondition) return s;
+  g.bus_joined = true;
+  std::int64_t joined = 0;
+  for (const auto& [_, gs] : groups_) joined += gs.bus_joined ? 1 : 0;
+  m_groups_->set(joined);
+  return Status::ok();
+}
+
+void Daemon::broadcast_membership(const std::string& group, std::uint8_t kind,
+                                  std::uint64_t client) {
+  Bytes envelope = encode_membership_envelope(kind, client, ++envelope_nonce_);
+  const Status s = bus_->send(group, envelope);
+  if (s.is_ok()) return;
+  // Membership traffic must not be lost (a dead client's leave is cleanup,
+  // not best effort): park it and retry on the timer. kNotFound cannot
+  // happen — we bus-join before broadcasting.
+  pending_control_.push_back({group, std::move(envelope)});
+  arm_retry_timer();
+}
+
+void Daemon::on_group_message(const std::string& group,
+                              const api::GroupMessage& m) {
+  ByteReader r(m.payload);
+  auto kind = r.u8();
+  auto client = r.u64();
+  if (!kind || !client) return;  // not one of ours — ignore
+  const ipc::ClientRef ref{m.origin, client.value()};
+  switch (kind.value()) {
+    case kEnvData: {
+      auto payload = r.raw(r.remaining());
+      GroupState& g = groups_[group];
+      if (g.local_conns.empty()) return;
+      ipc::Deliver d;
+      d.group = group;
+      d.origin = ref;
+      d.seq = m.seq;
+      d.payload.assign(payload.value().begin(), payload.value().end());
+      const Bytes frame = ipc::encode_deliver(d);
+      // Copy the fan-out list: a slow-reader eviction mutates local_conns
+      // (via handle_closed) only later, but keep the iteration robust.
+      const std::vector<std::uint64_t> fanout(g.local_conns.begin(),
+                                              g.local_conns.end());
+      for (const std::uint64_t conn : fanout) {
+        m_delivers_->add();
+        send_or_evict(conn, frame);
+        const auto q = static_cast<std::int64_t>(listener_->queued_bytes(conn));
+        if (q > m_egress_peak_->value()) m_egress_peak_->set(q);
+      }
+      return;
+    }
+    case kEnvJoin:
+      apply_client_join(group, ref, m.seq);
+      return;
+    case kEnvLeave:
+      apply_client_leave(group, ref, m.seq);
+      return;
+    default:
+      return;
+  }
+}
+
+void Daemon::apply_client_join(const std::string& group, ipc::ClientRef ref,
+                               std::uint64_t seq) {
+  GroupState& g = groups_[group];
+  const bool is_new = g.members.insert(ref).second;
+  const bool local = ref.node == node_.id();
+  if (local) {
+    auto cit = clients_.find(ref.client);
+    if (cit != clients_.end()) {
+      cit->second.joining.erase(group);
+      cit->second.groups.insert(group);
+      g.local_conns.insert(ref.client);
+    }
+    // else: the client died between broadcast and delivery; our leave
+    // envelope is already behind this join in sender-FIFO order.
+  }
+  if (is_new) {
+    m_joins_->add();
+    g.view_seq = seq;
+    emit_view(group, g, {ref}, {});
+  }
+  if (local) {
+    // Resolve join() calls waiting on this delivery — after the view, so
+    // the joiner's first event is the view that includes it.
+    std::vector<PendingReply> done;
+    std::erase_if(g.pending_joins, [&](const PendingReply& p) {
+      if (p.conn != ref.client) return false;
+      done.push_back(p);
+      return true;
+    });
+    for (const PendingReply& p : done) reply_status(p.conn, p.cookie, Status::ok());
+  }
+}
+
+void Daemon::apply_client_leave(const std::string& group, ipc::ClientRef ref,
+                                std::uint64_t seq) {
+  GroupState& g = groups_[group];
+  if (g.members.erase(ref) == 0) return;  // duplicate cleanup leave
+  m_leaves_->add();
+  g.view_seq = seq;
+  // The leaver (if alive and local) sees the view with its own removal
+  // BEFORE the STATUS that completes leave() — last event, clean cut.
+  emit_view(group, g, {}, {ref});
+  if (ref.node != node_.id()) return;
+  g.local_conns.erase(ref.client);
+  auto cit = clients_.find(ref.client);
+  if (cit != clients_.end()) cit->second.groups.erase(group);
+  std::vector<PendingReply> done;
+  std::erase_if(g.pending_leaves, [&](const PendingReply& p) {
+    if (p.conn != ref.client) return false;
+    done.push_back(p);
+    return true;
+  });
+  for (const PendingReply& p : done) reply_status(p.conn, p.cookie, Status::ok());
+}
+
+void Daemon::on_group_view(const std::string& group, const api::GroupView& view) {
+  GroupState& g = groups_[group];
+  // Nodes that fell off the ring take their clients with them — the ring
+  // view is the agreed synchronization point, so every surviving daemon
+  // prunes the same refs here.
+  if (!view.removed.empty()) {
+    std::vector<ipc::ClientRef> gone;
+    for (auto it = g.members.begin(); it != g.members.end();) {
+      if (std::find(view.removed.begin(), view.removed.end(), it->node) !=
+          view.removed.end()) {
+        gone.push_back(*it);
+        it = g.members.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!gone.empty()) {
+      g.view_seq += 1;  // node-crash views carry no ring seq of their own
+      emit_view(group, g, {}, std::move(gone));
+    }
+  }
+  // A node newly hosting this group missed earlier client joins: everyone
+  // re-announces its local clients (idempotent, totally ordered) — the
+  // CPG-style sync phase.
+  bool foreign_added = false;
+  for (const NodeId n : view.added) foreign_added |= n != node_.id();
+  if (foreign_added) {
+    for (const std::uint64_t conn : g.local_conns) {
+      broadcast_membership(group, kEnvJoin, conn);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- helpers
+
+void Daemon::emit_view(const std::string& group, GroupState& g,
+                       std::vector<ipc::ClientRef> added,
+                       std::vector<ipc::ClientRef> removed) {
+  if (g.local_conns.empty()) return;
+  ipc::View v;
+  v.group = group;
+  v.view_seq = g.view_seq;
+  v.members.assign(g.members.begin(), g.members.end());  // set: sorted
+  std::sort(added.begin(), added.end());
+  std::sort(removed.begin(), removed.end());
+  v.added = std::move(added);
+  v.removed = std::move(removed);
+  const Bytes frame = ipc::encode_view(v);
+  const std::vector<std::uint64_t> fanout(g.local_conns.begin(),
+                                          g.local_conns.end());
+  for (const std::uint64_t conn : fanout) send_or_evict(conn, frame);
+}
+
+void Daemon::reply_status(std::uint64_t conn, std::uint32_t cookie,
+                          const Status& s) {
+  ipc::StatusReply reply;
+  reply.cookie = cookie;
+  reply.code = s.code();
+  reply.detail = s.message();
+  send_or_evict(conn, ipc::encode_status(reply));
+}
+
+void Daemon::grant_credit(std::uint64_t conn, std::uint32_t n) {
+  send_or_evict(conn, ipc::encode_credit(ipc::Credit{n}));
+}
+
+void Daemon::send_or_evict(std::uint64_t conn, Bytes frame) {
+  if (listener_->send(conn, std::move(frame))) return;
+  // Refused: egress over the cap (slow reader) — or the conn is already
+  // doomed/gone, in which case evict() is a no-op.
+  evict(conn, ipc::GoodbyeReason::kSlowReader);
+}
+
+void Daemon::evict(std::uint64_t conn, ipc::GoodbyeReason reason) {
+  auto it = clients_.find(conn);
+  if (it == clients_.end() || it->second.evicted) return;
+  it->second.evicted = true;
+  if (reason == ipc::GoodbyeReason::kSlowReader) {
+    m_evict_slow_->add();
+  } else if (reason == ipc::GoodbyeReason::kProtocolViolation) {
+    m_evict_protocol_->add();
+  }
+  // Best effort GOODBYE, forced close; handle_closed() (kLocal) broadcasts
+  // the leaves once the listener confirms the teardown.
+  listener_->hangup(conn, ipc::encode_goodbye(reason));
+}
+
+void Daemon::arm_retry_timer() {
+  if (retry_armed_) return;
+  retry_armed_ = true;
+  retry_timer_ = timers_.schedule(config_.send_retry_interval, [this] {
+    retry_armed_ = false;
+    drain_pending();
+  });
+}
+
+void Daemon::drain_pending() {
+  bool ring_full = false;
+  while (!pending_control_.empty() && !ring_full) {
+    PendingSend& p = pending_control_.front();
+    const Status s = bus_->send(p.group, p.envelope);
+    if (s.code() == StatusCode::kResourceExhausted) {
+      ring_full = true;
+      break;
+    }
+    // OK — or a non-retryable error (dropped: the group vanished).
+    pending_control_.pop_front();
+  }
+  for (auto& [conn, c] : clients_) {
+    while (!c.pending.empty() && !ring_full) {
+      PendingSend& p = c.pending.front();
+      const Status s = bus_->send(p.group, p.envelope);
+      if (s.code() == StatusCode::kResourceExhausted) {
+        ring_full = true;
+        break;
+      }
+      if (s.is_ok()) m_sends_->add();
+      else m_send_errors_->add();
+      c.pending.pop_front();
+      m_pending_sends_->set(m_pending_sends_->value() - 1);
+      grant_credit(conn, 1);
+      if (c.in_flight > 0) c.in_flight -= 1;
+    }
+  }
+  if (ring_full) arm_retry_timer();
+}
+
+}  // namespace totem::daemon

@@ -1,0 +1,205 @@
+// totem::daemon::Daemon — the totemd executive: one api::Node multiplexed
+// across many local client processes, the openais/corosync deployment shape
+// (docs/DAEMON.md is the operator guide, DESIGN.md §18 the rationale).
+//
+// The daemon composes three existing layers and adds the client-facing
+// semantics on top:
+//
+//   ipc::UnixListener (reactor thread)  — accepts clients, deframes bytes
+//        | post()                       — every frame marshals over
+//   Daemon state (ordering thread)      — groups, credits, views
+//        | api::GroupBus / api::Node    — the totally-ordered ring
+//
+// Closed process groups. Group membership is CLIENTS, not nodes: a client
+// join/leave is broadcast through the GroupBus as an envelope riding the
+// ring's totally-ordered stream, so every daemon applies membership changes
+// at the same sequence number and all clients observe the same sequence of
+// (view | message) events per group. View catch-up follows the bus's sync
+// idiom: when a daemon's node-level join to a group delivers, the other
+// daemons re-announce their local clients (idempotent, totally ordered), so
+// a node that starts hosting a group converges to the agreed view. The
+// daemon never bus-leaves a group once joined — GroupBus keeps local state
+// until a leave delivers, and staying subscribed makes client churn cheap.
+//
+// Flow control. Each client holds a credit window (Config::initial_credits):
+// one credit per in-flight SEND, returned as CREDIT the moment the message
+// is accepted by the ring. A ring that pushes back (RESOURCE_EXHAUSTED from
+// a full send queue) parks the message in a per-client retry queue — the
+// credit stays spent, which is exactly how ring congestion propagates to
+// clients without blocking anyone. Spending more credits than granted is a
+// protocol violation: eviction. On the delivery side every client has a
+// byte-capped egress queue in the listener; a DELIVER that will not fit
+// evicts the slow reader (GOODBYE kSlowReader, best effort) — a totally
+// ordered stream can be delivered gap-free or not at all, and one wedged
+// reader must never stall the ring or its peers.
+//
+// Crash cleanup. A closed socket (client crash or eviction) broadcasts
+// client-leave envelopes for everything the client had joined, so remote
+// views converge. A daemon restart re-binds the socket path; clients see
+// EOF, surface kDisconnected, and ipc::Client::reconnect() re-attaches
+// with a fresh identity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/group_bus.h"
+#include "api/node.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/timer_service.h"
+#include "ipc/listener.h"
+#include "ipc/protocol.h"
+#include "net/reactor.h"
+
+namespace totem::daemon {
+
+class Daemon {
+ public:
+  struct Config {
+    std::string socket_path;
+    std::uint32_t initial_credits = 64;
+    std::uint32_t max_message_bytes = 1u << 20;
+    /// Per-client delivery-queue cap; exceeding it evicts the slow reader.
+    /// Keep it well above initial_credits * max_message_bytes: the ordering
+    /// thread can queue a full credit window of deliveries before the
+    /// reactor thread flushes, and that transient burst must not evict a
+    /// healthy reader.
+    std::size_t max_egress_bytes = 4u << 20;
+    std::size_t max_connections = 128;
+    Duration send_retry_interval{2'000};  ///< ring-pushback retry cadence
+  };
+
+  /// Construct before Node::start() and before the runtime threads spawn:
+  /// the internal GroupBus chains onto the node's handlers, and the
+  /// listener registers with the reactor. `timers` must be the protocol
+  /// thread's TimerService (the OrderingLoop under ThreadedRuntime; the
+  /// reactor itself single-threaded). `post` marshals work onto the
+  /// protocol thread — leave null when the reactor thread IS the protocol
+  /// thread. `node` must outlive the Daemon.
+  static Result<std::unique_ptr<Daemon>> create(
+      net::Reactor& reactor, TimerService& timers, api::Node& node,
+      std::function<void(std::function<void()>)> post, Config config);
+
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Thread-safe: queue a GOODBYE(kShutdown) to every client. Call before
+  /// stopping the runtime; give the reactor a beat to flush (best effort —
+  /// clients treat EOF as disconnect anyway).
+  void begin_shutdown();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return listener_->path();
+  }
+  /// The bus (protocol thread): tests inspect node-level group state.
+  [[nodiscard]] api::GroupBus& bus() { return *bus_; }
+  /// Protocol thread: currently attached (HELLO-completed) client count.
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+ private:
+  struct PendingSend {
+    std::string group;
+    Bytes envelope;
+  };
+  struct ClientState {
+    bool hello_done = false;
+    bool evicted = false;             ///< hangup sent; awaiting on_closed
+    std::uint32_t in_flight = 0;      ///< credits currently spent
+    std::set<std::string> groups;     ///< memberships whose join delivered
+    std::set<std::string> joining;    ///< join broadcast, not yet delivered
+    std::deque<PendingSend> pending;  ///< ring pushed back; retried on timer
+  };
+  struct PendingReply {
+    std::uint64_t conn = 0;
+    std::uint32_t cookie = 0;
+  };
+  struct GroupState {
+    bool bus_joined = false;               ///< sticky for the daemon's life
+    std::set<ipc::ClientRef> members;      ///< the agreed view
+    std::set<std::uint64_t> local_conns;   ///< members attached to this daemon
+    std::uint64_t view_seq = 0;
+    std::vector<PendingReply> pending_joins;
+    std::vector<PendingReply> pending_leaves;
+  };
+
+  Daemon(TimerService& timers, api::Node& node,
+         std::function<void(std::function<void()>)> post, Config config);
+
+  /// Marshal `fn` onto the protocol thread (or run inline without `post`).
+  void on_protocol(std::function<void()> fn);
+
+  // --- protocol-thread frame handling ---
+  void handle_frame(std::uint64_t conn, ipc::Frame frame);
+  void handle_hello(std::uint64_t conn, BytesView body);
+  void handle_join(std::uint64_t conn, BytesView body);
+  void handle_leave(std::uint64_t conn, BytesView body);
+  void handle_send(std::uint64_t conn, BytesView body);
+  void handle_closed(std::uint64_t conn, ipc::CloseCause cause);
+
+  // --- ring-side (GroupBus upcalls, protocol thread) ---
+  void on_group_message(const std::string& group, const api::GroupMessage& m);
+  void on_group_view(const std::string& group, const api::GroupView& view);
+  void apply_client_join(const std::string& group, ipc::ClientRef ref,
+                         std::uint64_t seq);
+  void apply_client_leave(const std::string& group, ipc::ClientRef ref,
+                          std::uint64_t seq);
+
+  // --- helpers (protocol thread) ---
+  Status ensure_bus_joined(const std::string& group);
+  /// Broadcast one client join/leave envelope; queues for retry on ring
+  /// pushback so cleanup cannot be lost.
+  void broadcast_membership(const std::string& group, std::uint8_t kind,
+                            std::uint64_t client);
+  void emit_view(const std::string& group, GroupState& g,
+                 std::vector<ipc::ClientRef> added,
+                 std::vector<ipc::ClientRef> removed);
+  void reply_status(std::uint64_t conn, std::uint32_t cookie, const Status& s);
+  void grant_credit(std::uint64_t conn, std::uint32_t n);
+  /// send() with slow-reader eviction on refusal.
+  void send_or_evict(std::uint64_t conn, Bytes frame);
+  void evict(std::uint64_t conn, ipc::GoodbyeReason reason);
+  void arm_retry_timer();
+  void drain_pending();
+
+  TimerService& timers_;
+  api::Node& node_;
+  std::function<void(std::function<void()>)> post_;
+  Config config_;
+  std::unique_ptr<api::GroupBus> bus_;
+  std::unique_ptr<ipc::UnixListener> listener_;
+
+  std::map<std::uint64_t, ClientState> clients_;
+  std::map<std::string, GroupState> groups_;
+  /// Membership envelopes the ring refused (must not be lost — a dead
+  /// client's leave is cleanup, not best effort).
+  std::deque<PendingSend> pending_control_;
+  std::uint64_t envelope_nonce_ = 0;
+  bool retry_armed_ = false;
+  TimerHandle retry_timer_;  ///< cancelled in the destructor
+
+  // IPC metrics (registered in node.metrics(); protocol thread writes).
+  Counter* m_connects_ = nullptr;
+  Counter* m_disconnects_ = nullptr;
+  Counter* m_evict_slow_ = nullptr;
+  Counter* m_evict_protocol_ = nullptr;
+  Counter* m_sends_ = nullptr;
+  Counter* m_send_errors_ = nullptr;
+  Counter* m_delivers_ = nullptr;
+  Counter* m_joins_ = nullptr;
+  Counter* m_leaves_ = nullptr;
+  Counter* m_credit_stalls_ = nullptr;
+  Gauge* m_clients_ = nullptr;
+  Gauge* m_groups_ = nullptr;
+  Gauge* m_egress_peak_ = nullptr;
+  Gauge* m_pending_sends_ = nullptr;
+};
+
+}  // namespace totem::daemon

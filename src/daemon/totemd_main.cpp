@@ -1,0 +1,174 @@
+// totemd — the per-node Totem daemon binary (docs/DAEMON.md).
+//
+// Owns one api::Node on a UDP loopback ring under the split I/O/protocol
+// runtime, and serves local client processes over the Unix-domain IPC
+// socket via daemon::Daemon. Run one totemd per node id:
+//
+//   totemd --node=0 --nodes=4 --base-port=47100 --socket=/tmp/totemd.0
+//
+// Exits 0 on SIGTERM/SIGINT after sending every client GOODBYE(shutdown).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/node.h"
+#include "api/runtime.h"
+#include "api/telemetry.h"
+#include "daemon/daemon.h"
+#include "net/reactor.h"
+#include "net/udp_transport.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+bool flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+struct Options {
+  totem::NodeId node = 0;
+  std::uint32_t nodes = 1;
+  std::uint16_t base_port = 47100;
+  std::uint32_t networks = 1;
+  std::string socket_path;
+  std::uint32_t credits = 64;
+  std::size_t max_egress = 4u << 20;
+  std::uint32_t max_message = 1u << 20;
+  int telemetry_port = -1;  ///< -1 = no telemetry endpoint
+  long run_for_ms = 0;      ///< 0 = until a signal; else orphan insurance
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--node=ID] [--nodes=N]\n"
+               "  [--base-port=P] [--networks=K] [--credits=N]\n"
+               "  [--max-egress=BYTES] [--max-message=BYTES]\n"
+               "  [--telemetry-port=P] [--run-for-ms=MS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (flag(argv[i], "--node", &v)) opt.node = static_cast<totem::NodeId>(std::stoul(v));
+    else if (flag(argv[i], "--nodes", &v)) opt.nodes = static_cast<std::uint32_t>(std::stoul(v));
+    else if (flag(argv[i], "--base-port", &v)) opt.base_port = static_cast<std::uint16_t>(std::stoul(v));
+    else if (flag(argv[i], "--networks", &v)) opt.networks = static_cast<std::uint32_t>(std::stoul(v));
+    else if (flag(argv[i], "--socket", &v)) opt.socket_path = v;
+    else if (flag(argv[i], "--credits", &v)) opt.credits = static_cast<std::uint32_t>(std::stoul(v));
+    else if (flag(argv[i], "--max-egress", &v)) opt.max_egress = std::stoull(v);
+    else if (flag(argv[i], "--max-message", &v)) opt.max_message = static_cast<std::uint32_t>(std::stoul(v));
+    else if (flag(argv[i], "--telemetry-port", &v)) opt.telemetry_port = std::stoi(v);
+    else if (flag(argv[i], "--run-for-ms", &v)) opt.run_for_ms = std::stol(v);
+    else return usage(argv[0]);
+  }
+  if (opt.socket_path.empty() || opt.nodes == 0 || opt.networks == 0 ||
+      opt.node >= opt.nodes) {
+    return usage(argv[0]);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  totem::net::Reactor reactor;
+  totem::api::OrderingLoop loop;
+
+  std::vector<std::unique_ptr<totem::net::UdpTransport>> owned;
+  std::vector<totem::net::Transport*> transports;
+  std::vector<totem::net::UdpTransport*> udp;
+  for (std::uint32_t n = 0; n < opt.networks; ++n) {
+    totem::net::UdpTransport::Config tc;
+    tc.network = static_cast<totem::NetworkId>(n);
+    tc.local_node = opt.node;
+    tc.peers = totem::net::loopback_peers(
+        static_cast<std::uint16_t>(opt.base_port + 100 * n), opt.nodes);
+    tc.rx_queue_capacity = 1024;
+    tc.tx_queue_capacity = 1024;
+    auto t = totem::net::UdpTransport::create(reactor, tc);
+    if (!t) {
+      std::fprintf(stderr, "totemd: transport: %s\n", t.status().to_string().c_str());
+      return 1;
+    }
+    owned.push_back(std::move(t).take());
+    transports.push_back(owned.back().get());
+    udp.push_back(owned.back().get());
+  }
+
+  totem::api::NodeConfig cfg;
+  cfg.srp.node_id = opt.node;
+  for (totem::NodeId m = 0; m < opt.nodes; ++m) cfg.srp.initial_members.push_back(m);
+  cfg.style = opt.networks > 1 ? totem::api::ReplicationStyle::kActive
+                               : totem::api::ReplicationStyle::kNone;
+  totem::api::Node node(loop, transports, cfg);
+
+  totem::api::ThreadedRuntime runtime(reactor, loop, udp);
+
+  totem::daemon::Daemon::Config dcfg;
+  dcfg.socket_path = opt.socket_path;
+  dcfg.initial_credits = opt.credits;
+  dcfg.max_egress_bytes = opt.max_egress;
+  dcfg.max_message_bytes = opt.max_message;
+  auto daemon = totem::daemon::Daemon::create(
+      reactor, loop, node,
+      [&runtime](std::function<void()> fn) { runtime.post(std::move(fn)); },
+      dcfg);
+  if (!daemon) {
+    std::fprintf(stderr, "totemd: %s\n", daemon.status().to_string().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<totem::api::NodeTelemetry> telemetry;
+  if (opt.telemetry_port >= 0) {
+    totem::api::NodeTelemetry::Config tcfg;
+    tcfg.http.port = static_cast<std::uint16_t>(opt.telemetry_port);
+    tcfg.post = [&runtime](std::function<void()> fn) { runtime.post(std::move(fn)); };
+    std::vector<const totem::net::Transport*> ct(transports.begin(), transports.end());
+    auto t = totem::api::NodeTelemetry::create(reactor, node, ct, std::move(tcfg));
+    if (!t) {
+      std::fprintf(stderr, "totemd: telemetry: %s\n", t.status().to_string().c_str());
+      return 1;
+    }
+    telemetry = std::move(t).take();
+    std::printf("totemd telemetry port=%u\n", telemetry->port());
+  }
+
+  runtime.start();
+  runtime.post([&node] { node.start(); });
+
+  std::printf("totemd ready node=%u nodes=%u socket=%s\n", opt.node, opt.nodes,
+              opt.socket_path.c_str());
+  std::fflush(stdout);
+
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop) {
+    if (opt.run_for_ms > 0 &&
+        std::chrono::steady_clock::now() - started >
+            std::chrono::milliseconds(opt.run_for_ms)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Best-effort GOODBYE(shutdown) to every client, a beat for the reactor
+  // to flush, then join both threads. Clients treat EOF the same way.
+  daemon.value()->begin_shutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  runtime.stop();
+  std::printf("totemd exiting node=%u\n", opt.node);
+  return 0;
+}

@@ -145,6 +145,11 @@ class UdpShardedCluster {
   [[nodiscard]] smr::ReplicatedLog& log(std::size_t s, std::size_t replica) {
     return *logs_[s][replica];
   }
+  /// Shard s's replica node (e.g. to hang a NodeTelemetry endpoint off one
+  /// member of the deployment and serve /shards from this cluster).
+  [[nodiscard]] const api::Node& node(std::size_t s, std::size_t replica) const {
+    return *nodes_[s][replica];
+  }
   [[nodiscard]] shard::ClusterSnapshot snapshot(bool include_nodes = false);
 
  private:

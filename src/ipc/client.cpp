@@ -1,0 +1,336 @@
+#include "ipc/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace totem::ipc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int poll_wait_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left.count(), 60'000));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::connect(Options options) {
+  auto client = std::unique_ptr<Client>(new Client(std::move(options)));
+  if (Status s = client->dial_and_handshake(); !s.is_ok()) return s;
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::dial_and_handshake() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return {StatusCode::kInvalidArgument,
+            "bad socket path: '" + options_.socket_path + "'"};
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return {StatusCode::kUnavailable, std::string("socket: ") + std::strerror(errno)};
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s{StatusCode::kUnavailable,
+                   "connect " + options_.socket_path + ": " + std::strerror(errno)};
+    ::close(fd_);
+    fd_ = -1;
+    return s;
+  }
+
+  if (Status s = write_all(encode_hello(Hello{})); !s.is_ok()) return s;
+
+  // The HELLO_ACK must be the first frame on the stream.
+  const auto deadline = Clock::now() + options_.request_timeout;
+  while (true) {
+    if (auto frame = in_.pop()) {
+      if (frame->type != FrameType::kHelloAck) {
+        drop_connection();
+        return {StatusCode::kFailedPrecondition, "expected HELLO_ACK"};
+      }
+      auto ack = decode_hello_ack(frame->body);
+      if (!ack) {
+        drop_connection();
+        return ack.status();
+      }
+      hello_ = ack.value();
+      credits_ = hello_.initial_credits;
+      dead_ = false;
+      return Status::ok();
+    }
+    if (in_.corrupted()) {
+      drop_connection();
+      return {StatusCode::kMalformedPacket, "corrupt handshake stream"};
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, poll_wait_ms(deadline));
+    if (rc < 0 && errno != EINTR) {
+      drop_connection();
+      return {StatusCode::kUnavailable, std::string("poll: ") + std::strerror(errno)};
+    }
+    if (rc == 0) {
+      drop_connection();
+      return {StatusCode::kUnavailable, "handshake timed out"};
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      in_.feed(buf, static_cast<std::size_t>(n));
+    } else if (n == 0 || (errno != EAGAIN && errno != EINTR)) {
+      drop_connection();
+      return {StatusCode::kUnavailable, "daemon closed during handshake"};
+    }
+  }
+}
+
+Status Client::write_all(const Bytes& frame) {
+  if (fd_ < 0) return {StatusCode::kUnavailable, "not connected"};
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET: the daemon is gone (or evicted us mid-write).
+    drop_connection();
+    return {StatusCode::kUnavailable,
+            std::string("send: ") + std::strerror(errno)};
+  }
+  return Status::ok();
+}
+
+void Client::drop_connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!dead_) {
+    dead_ = true;
+    Event e;
+    e.type = Event::Type::kDisconnected;
+    pending_.push_back(std::move(e));
+  }
+}
+
+Status Client::pump(bool wait, Duration timeout) {
+  if (fd_ < 0) return {StatusCode::kUnavailable, "not connected"};
+  const auto deadline = Clock::now() + timeout;
+  const std::size_t pending_at_entry = pending_.size();
+  bool first_round = true;
+  while (true) {
+    // Drain complete frames before touching the socket again.
+    while (auto frame = in_.pop()) {
+      switch (frame->type) {
+        case FrameType::kCredit: {
+          if (auto c = decode_credit(frame->body)) credits_ += c.value().granted;
+          break;
+        }
+        case FrameType::kDeliver: {
+          if (auto d = decode_deliver(frame->body)) {
+            Event e;
+            e.type = Event::Type::kDeliver;
+            e.deliver = std::move(d).take();
+            pending_.push_back(std::move(e));
+          }
+          break;
+        }
+        case FrameType::kView: {
+          if (auto v = decode_view(frame->body)) {
+            Event e;
+            e.type = Event::Type::kView;
+            e.view = std::move(v).take();
+            pending_.push_back(std::move(e));
+          }
+          break;
+        }
+        case FrameType::kStatus: {
+          if (auto s = decode_status(frame->body)) {
+            if (awaiting_cookie_ != 0 && s.value().cookie == awaiting_cookie_) {
+              captured_status_ = std::move(s).take();
+            }
+            // Unsolicited STATUS (e.g. a send to a group we left racing the
+            // leave) is dropped; the daemon returned the credit regardless.
+          }
+          break;
+        }
+        case FrameType::kGoodbye: {
+          Event e;
+          e.type = Event::Type::kGoodbye;
+          e.goodbye_reason = GoodbyeReason::kShutdown;
+          if (auto g = decode_goodbye(frame->body)) e.goodbye_reason = g.value();
+          pending_.push_back(std::move(e));
+          dead_ = true;  // poll() reports kDisconnected after the goodbye
+          if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+          }
+          return Status::ok();
+        }
+        default:
+          break;  // unknown daemon->client frame: ignore, stay compatible
+      }
+    }
+    if (in_.corrupted()) {
+      drop_connection();
+      return {StatusCode::kMalformedPacket, "corrupt stream from daemon"};
+    }
+    // Stop the moment this call produced something to report — a new event
+    // for poll() or a captured reply for request(). Only keep waiting while
+    // the frames seen so far were pure bookkeeping (CREDIT refills).
+    if (wait && (pending_.size() > pending_at_entry ||
+                 captured_status_.has_value())) {
+      return Status::ok();
+    }
+    if (!wait && !first_round) return Status::ok();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int wait_ms = wait ? poll_wait_ms(deadline) : 0;
+    if (wait && wait_ms == 0 && !first_round) return Status::ok();
+    const int rc = ::poll(&pfd, 1, wait ? wait_ms : 0);
+    first_round = false;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      drop_connection();
+      return {StatusCode::kUnavailable, std::string("poll: ") + std::strerror(errno)};
+    }
+    if (rc == 0) {
+      if (!wait) return Status::ok();
+      continue;  // re-check deadline at the top
+    }
+    char buf[65536];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      in_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+    drop_connection();  // EOF or hard error
+    return Status::ok();
+  }
+}
+
+Status Client::request(const Bytes& frame, std::uint32_t cookie) {
+  if (dead_ || fd_ < 0) return {StatusCode::kUnavailable, "not connected"};
+  if (Status s = write_all(frame); !s.is_ok()) return s;
+  awaiting_cookie_ = cookie;
+  captured_status_.reset();
+  const auto deadline = Clock::now() + options_.request_timeout;
+  while (!captured_status_) {
+    if (dead_ || fd_ < 0) {
+      awaiting_cookie_ = 0;
+      return {StatusCode::kUnavailable, "disconnected awaiting reply"};
+    }
+    if (Clock::now() >= deadline) {
+      awaiting_cookie_ = 0;
+      return {StatusCode::kUnavailable, "request timed out"};
+    }
+    if (Status s = pump(true, std::chrono::milliseconds(50)); !s.is_ok()) {
+      awaiting_cookie_ = 0;
+      return s;
+    }
+  }
+  awaiting_cookie_ = 0;
+  StatusReply reply = std::move(*captured_status_);
+  captured_status_.reset();
+  if (reply.code == StatusCode::kOk) return Status::ok();
+  return {reply.code, std::move(reply.detail)};
+}
+
+Status Client::join(const std::string& group) {
+  const std::uint32_t cookie = next_cookie_++;
+  Status s = request(encode_join(GroupRequest{cookie, group}), cookie);
+  if (s.is_ok()) joined_.insert(group);
+  return s;
+}
+
+Status Client::leave(const std::string& group) {
+  const std::uint32_t cookie = next_cookie_++;
+  Status s = request(encode_leave(GroupRequest{cookie, group}), cookie);
+  if (s.is_ok()) joined_.erase(group);
+  return s;
+}
+
+Status Client::send(const std::string& group, BytesView payload) {
+  if (dead_ || fd_ < 0) return {StatusCode::kUnavailable, "not connected"};
+  if (payload.size() > hello_.max_message_bytes) {
+    return {StatusCode::kInvalidArgument,
+            "payload exceeds max_message_bytes (" +
+                std::to_string(hello_.max_message_bytes) + ")"};
+  }
+  if (credits_ == 0) {
+    // Harvest any CREDIT frames already on the wire, then fast-fail: the
+    // contract is that send() never blocks on a congested ring.
+    if (Status s = pump(false, Duration::zero()); !s.is_ok()) return s;
+  }
+  if (credits_ == 0) {
+    return {StatusCode::kResourceExhausted, "no send credits"};
+  }
+  SendRequest req;
+  req.cookie = next_cookie_++;
+  req.group = group;
+  req.payload.assign(payload.begin(), payload.end());
+  if (Status s = write_all(encode_send(req)); !s.is_ok()) return s;
+  --credits_;
+  return Status::ok();
+}
+
+std::optional<Client::Event> Client::poll(Duration timeout) {
+  if (!pending_.empty()) {
+    Event e = std::move(pending_.front());
+    pending_.pop_front();
+    return e;
+  }
+  if (dead_ || fd_ < 0) {
+    Event e;
+    e.type = Event::Type::kDisconnected;
+    return e;
+  }
+  (void)pump(true, timeout);
+  if (pending_.empty()) return std::nullopt;
+  Event e = std::move(pending_.front());
+  pending_.pop_front();
+  return e;
+}
+
+Status Client::reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  dead_ = false;
+  pending_.clear();       // events from the previous incarnation are stale
+  in_ = FrameBuffer{};
+  awaiting_cookie_ = 0;
+  captured_status_.reset();
+  if (Status s = dial_and_handshake(); !s.is_ok()) return s;
+  for (const std::string& group : joined_) {
+    const std::uint32_t cookie = next_cookie_++;
+    if (Status s = request(encode_join(GroupRequest{cookie, group}), cookie);
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace totem::ipc

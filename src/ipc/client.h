@@ -1,0 +1,126 @@
+// totem::ipc::Client — the thin library an application process links to
+// talk to its node's totemd (src/daemon/) over the Unix socket protocol in
+// ipc/protocol.h. This is the cpg-style surface: connect, join/leave named
+// process groups, send, and poll for totally-ordered deliveries and
+// membership views.
+//
+// The client is deliberately synchronous and single-threaded (one instance
+// per thread; no internal locking): join/leave block for the daemon's
+// STATUS reply, send() never blocks — it fast-fails with
+// RESOURCE_EXHAUSTED when the credit window is empty (credits come back on
+// CREDIT frames as the daemon hands messages to the ring) — and poll()
+// surfaces everything else as a stream of Events. Total order guarantee:
+// every client in a group, on every node, observes DELIVER events for that
+// group in the same sequence (Deliver::seq is the ring sequence number and
+// is strictly increasing per group at every client).
+//
+// Crash/restart handling: when the daemon dies, poll() yields a
+// kDisconnected event (and join/send start failing kUnavailable).
+// reconnect() re-dials the socket, repeats the HELLO handshake, and
+// re-joins every group the application had joined — the daemon broadcast
+// leaves for the dead connection, so peers see a leave+join pair, never a
+// silent identity swap (the ClientRef changes).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ipc/protocol.h"
+
+namespace totem::ipc {
+
+class Client {
+ public:
+  struct Options {
+    std::string socket_path;
+    /// Budget for connect()+handshake and for each blocking request's
+    /// STATUS reply; expiry surfaces as kUnavailable.
+    Duration request_timeout = std::chrono::seconds(10);
+  };
+
+  struct Event {
+    enum class Type : std::uint8_t {
+      kDeliver = 1,       ///< a group message, in total order
+      kView = 2,          ///< agreed membership change for a joined group
+      kGoodbye = 3,       ///< daemon evicted us (reason says why)
+      kDisconnected = 4,  ///< socket died — reconnect() to reattach
+    };
+    Type type{};
+    Deliver deliver;               ///< kDeliver
+    View view;                     ///< kView
+    GoodbyeReason goodbye_reason;  ///< kGoodbye
+  };
+
+  /// Dial + HELLO/HELLO_ACK handshake.
+  static Result<std::unique_ptr<Client>> connect(Options options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Block until the daemon accepts the join (kOk), rejects it, or the
+  /// request times out. DELIVER/VIEW frames arriving meanwhile are queued
+  /// for poll(), never lost. Joining twice is kOk (idempotent).
+  Status join(const std::string& group);
+
+  /// Counterpart of join(); after kOk no further frames for `group` arrive
+  /// (a VIEW showing our own removal is delivered first).
+  Status leave(const std::string& group);
+
+  /// Never blocks. kResourceExhausted when no send credits remain (poll()
+  /// or any blocking call harvests CREDIT frames and refills the window);
+  /// kInvalidArgument when `payload` exceeds max_message_bytes();
+  /// kUnavailable once disconnected.
+  Status send(const std::string& group, BytesView payload);
+
+  /// Wait up to `timeout` for the next event; nullopt on timeout. After
+  /// kGoodbye/kDisconnected it keeps returning kDisconnected immediately.
+  [[nodiscard]] std::optional<Event> poll(Duration timeout);
+
+  /// Re-dial after a daemon restart: fresh handshake (new client_id), then
+  /// re-join every group join()ed before the disconnect.
+  Status reconnect();
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] NodeId node() const { return hello_.node; }
+  [[nodiscard]] std::uint64_t client_id() const { return hello_.client_id; }
+  /// Our cluster-wide identity as it appears in Views.
+  [[nodiscard]] ClientRef self() const { return {hello_.node, hello_.client_id}; }
+  [[nodiscard]] std::uint32_t credits() const { return credits_; }
+  [[nodiscard]] std::uint32_t max_message_bytes() const {
+    return hello_.max_message_bytes;
+  }
+
+ private:
+  explicit Client(Options options) : options_(std::move(options)) {}
+
+  Status dial_and_handshake();
+  /// Read whatever is available (blocking up to `timeout` for the first
+  /// byte if `wait`), turning frames into queued events / credit refills.
+  Status pump(bool wait, Duration timeout);
+  /// Blocking request: write `frame`, pump until STATUS{cookie} arrives.
+  Status request(const Bytes& frame, std::uint32_t cookie);
+  Status write_all(const Bytes& frame);
+  void drop_connection();  ///< close fd, queue kDisconnected
+
+  Options options_;
+  int fd_ = -1;
+  HelloAck hello_;
+  FrameBuffer in_;
+  std::deque<Event> pending_;
+  std::set<std::string> joined_;  ///< for reconnect()
+  std::uint32_t credits_ = 0;
+  std::uint32_t next_cookie_ = 1;
+  std::uint32_t awaiting_cookie_ = 0;          ///< request() in flight
+  std::optional<StatusReply> captured_status_; ///< its matched reply
+  bool dead_ = false;  ///< disconnect already surfaced; poll() repeats it
+};
+
+}  // namespace totem::ipc

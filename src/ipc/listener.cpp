@@ -1,0 +1,267 @@
+#include "ipc/listener.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace totem::ipc {
+
+Result<std::unique_ptr<UnixListener>> UnixListener::create(
+    net::Reactor& reactor, Config config, FrameHandler on_frame,
+    ClosedHandler on_closed) {
+  if (!on_frame || !on_closed) {
+    return Status(StatusCode::kInvalidArgument, "UnixListener needs callbacks");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config.socket_path.empty() ||
+      config.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad socket path: '" + config.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, config.socket_path.c_str(),
+              config.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  // A stale path from a crashed daemon would fail the bind; a LIVE daemon's
+  // path is also unlinked — last binder wins, as with corosync restarts.
+  ::unlink(config.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const Status s(StatusCode::kUnavailable, "bind/listen " +
+                                                 config.socket_path + ": " +
+                                                 std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+
+  auto listener = std::unique_ptr<UnixListener>(new UnixListener(
+      reactor, std::move(config), std::move(on_frame), std::move(on_closed)));
+  listener->listen_fd_ = fd;
+  UnixListener* raw = listener.get();
+  reactor.register_fd(fd, [raw] { raw->on_acceptable(); });
+  return listener;
+}
+
+UnixListener::UnixListener(net::Reactor& reactor, Config config,
+                           FrameHandler on_frame, ClosedHandler on_closed)
+    : reactor_(reactor),
+      config_(std::move(config)),
+      on_frame_(std::move(on_frame)),
+      on_closed_(std::move(on_closed)) {
+  egress_ = std::make_shared<Egress>();
+  egress_->reactor = &reactor_;
+  egress_->cap = config_.max_egress_bytes;
+  wake_hook_id_ = reactor_.add_wake_hook([this] { drain_egress(); });
+}
+
+UnixListener::~UnixListener() {
+  {
+    // Detach cross-thread senders: send()/hangup() after this are no-ops.
+    std::lock_guard<std::mutex> lk(egress_->mu);
+    egress_->reactor = nullptr;
+    egress_->conns.clear();
+  }
+  reactor_.remove_wake_hook(wake_hook_id_);
+  while (!conns_.empty()) close_conn(conns_.begin()->first, CloseCause::kLocal);
+  if (listen_fd_ >= 0) {
+    reactor_.unregister_fd(listen_fd_);
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+bool UnixListener::send(std::uint64_t id, Bytes frame) {
+  std::lock_guard<std::mutex> lk(egress_->mu);
+  if (!egress_->reactor) return false;
+  auto it = egress_->conns.find(id);
+  if (it == egress_->conns.end()) return false;
+  Egress::Pending& p = it->second;
+  if (p.doomed) return false;
+  if (p.bytes + frame.size() > egress_->cap) return false;  // backpressure
+  p.bytes += frame.size();
+  p.frames.push_back(std::move(frame));
+  p.dirty = true;
+  egress_->reactor->notify();
+  return true;
+}
+
+void UnixListener::hangup(std::uint64_t id, Bytes frame) {
+  std::lock_guard<std::mutex> lk(egress_->mu);
+  if (!egress_->reactor) return;
+  auto it = egress_->conns.find(id);
+  if (it == egress_->conns.end()) return;
+  Egress::Pending& p = it->second;
+  if (p.doomed) return;
+  p.frames.clear();
+  p.bytes = frame.size();
+  p.frames.push_back(std::move(frame));
+  p.doomed = true;
+  p.dirty = true;
+  egress_->reactor->notify();
+}
+
+std::size_t UnixListener::queued_bytes(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(egress_->mu);
+  auto it = egress_->conns.find(id);
+  return it == egress_->conns.end() ? 0 : it->second.bytes;
+}
+
+void UnixListener::on_acceptable() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for the next round
+    if (conns_.size() >= config_.max_connections) {
+      ++stats_.rejected;
+      ::close(fd);
+      continue;
+    }
+    ++stats_.accepted;
+    const std::uint64_t id = next_conn_id_++;
+    conns_[id].fd = fd;
+    {
+      std::lock_guard<std::mutex> lk(egress_->mu);
+      egress_->conns[id];  // open the cross-thread egress slot
+    }
+    reactor_.register_fd(fd, [this, id] { on_readable(id); });
+  }
+}
+
+void UnixListener::on_readable(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      c.in.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      close_conn(id, CloseCause::kRemote);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(id, CloseCause::kRemote);
+    return;
+  }
+  while (auto frame = c.in.pop()) {
+    on_frame_(id, std::move(*frame));
+    // The handler may have (indirectly) closed this connection.
+    if (conns_.find(id) == conns_.end()) return;
+  }
+  if (c.in.corrupted()) {
+    // Best effort: tell the client why before the socket drops. The write
+    // goes straight out — a conn this broken gets no queueing courtesy.
+    const Bytes bye = encode_goodbye(GoodbyeReason::kProtocolViolation);
+    (void)::send(c.fd, bye.data(), bye.size(), MSG_NOSIGNAL);
+    close_conn(id, CloseCause::kProtocol);
+  }
+}
+
+void UnixListener::drain_egress() {
+  // Move queued frames into reactor-side out buffers. Collect doomed ids
+  // and flush outside the lock — flush() may close and re-lock (via
+  // close_conn erasing the egress slot).
+  std::vector<std::uint64_t> ready;
+  std::vector<std::uint64_t> doomed;
+  {
+    std::lock_guard<std::mutex> lk(egress_->mu);
+    for (auto& [id, p] : egress_->conns) {
+      if (!p.dirty) continue;
+      p.dirty = false;
+      auto cit = conns_.find(id);
+      if (cit == conns_.end()) continue;
+      Conn& c = cit->second;
+      if (p.doomed) {
+        // Discard anything part-written except... nothing: a doomed conn's
+        // stream integrity no longer matters, only the GOODBYE attempt.
+        c.out.clear();
+        c.off = 0;
+      }
+      for (Bytes& f : p.frames) {
+        c.out.insert(c.out.end(), f.begin(), f.end());
+      }
+      p.frames.clear();
+      // p.bytes stays until flush() reports progress — it is the cap.
+      (p.doomed ? doomed : ready).push_back(id);
+    }
+  }
+  for (const std::uint64_t id : ready) flush(id);
+  for (const std::uint64_t id : doomed) {
+    flush(id);  // one best-effort attempt to land the GOODBYE
+    close_conn(id, CloseCause::kLocal);
+  }
+}
+
+void UnixListener::flush(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  std::size_t written = 0;
+  while (c.off < c.out.size()) {
+    const ssize_t n =
+        ::send(c.fd, c.out.data() + c.off, c.out.size() - c.off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.off += static_cast<std::size_t>(n);
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(id, CloseCause::kRemote);  // EPIPE etc: the reader is gone
+    return;
+  }
+  if (written > 0) {
+    std::lock_guard<std::mutex> lk(egress_->mu);
+    auto eit = egress_->conns.find(id);
+    if (eit != egress_->conns.end()) {
+      eit->second.bytes -= std::min(eit->second.bytes, written);
+    }
+  }
+  if (c.off == c.out.size()) {
+    c.out.clear();
+    c.off = 0;
+    if (c.write_registered) {
+      reactor_.unregister_fd_write(c.fd);
+      c.write_registered = false;
+    }
+  } else if (!c.write_registered) {
+    reactor_.register_fd_write(c.fd, [this, id] { flush(id); });
+    c.write_registered = true;
+  }
+}
+
+void UnixListener::close_conn(std::uint64_t id, CloseCause cause) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const int fd = it->second.fd;
+  reactor_.unregister_fd(fd);
+  if (it->second.write_registered) reactor_.unregister_fd_write(fd);
+  ::close(fd);
+  conns_.erase(it);
+  {
+    std::lock_guard<std::mutex> lk(egress_->mu);
+    egress_->conns.erase(id);
+  }
+  switch (cause) {
+    case CloseCause::kRemote: ++stats_.closed_remote; break;
+    case CloseCause::kProtocol: ++stats_.closed_protocol; break;
+    case CloseCause::kLocal: ++stats_.closed_local; break;
+  }
+  on_closed_(id, cause);
+}
+
+}  // namespace totem::ipc

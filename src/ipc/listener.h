@@ -1,0 +1,143 @@
+// UnixListener: the daemon side of the totemd IPC socket (ipc/protocol.h).
+//
+// A SOCK_STREAM Unix-domain listener on the Reactor that accepts local
+// client processes, deframes their byte stream into ipc::Frame values, and
+// flushes queued egress frames without ever blocking the loop. It is the
+// transport under src/daemon/ — it knows framing and flow-control plumbing,
+// but nothing about groups, credits or the ring (that is Daemon's job).
+//
+// Threading. Accepts, reads, writes and both callbacks happen on the
+// reactor thread. Exactly three entry points are safe from other threads —
+// the ordering thread calls them when the ring delivers:
+//   * send(id, frame)   — queue one egress frame; REFUSES (returns false)
+//     when the connection's queued bytes would exceed max_egress_bytes.
+//     This is the slow-reader backpressure edge: the caller decides what
+//     refusal means (the daemon evicts).
+//   * hangup(id, frame) — drop everything queued, queue `frame` (a GOODBYE)
+//     past the cap, then close after ONE best-effort flush attempt. A
+//     wedged client's kernel buffer is full, so the GOODBYE may be lost —
+//     eviction must not depend on the evictee reading.
+//   * queued_bytes(id)  — metrics snapshot of the cross-thread queue.
+// All three take one mutex, kick Reactor::notify(), and let the reactor's
+// wake hook marshal the work back onto the loop (the TelemetryServer
+// ReplyQueue pattern, DESIGN.md §16).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "ipc/protocol.h"
+#include "net/reactor.h"
+
+namespace totem::ipc {
+
+/// Why a connection went away (ClosedHandler argument).
+enum class CloseCause : std::uint8_t {
+  kRemote = 1,    ///< peer closed or socket error — client crash/exit
+  kProtocol = 2,  ///< listener hung up on malformed framing
+  kLocal = 3,     ///< hangup()/shutdown — the daemon already knows why
+};
+
+class UnixListener {
+ public:
+  struct Config {
+    std::string socket_path;            ///< unlinked on create and destroy
+    std::size_t max_connections = 128;  ///< extra accepts close instantly
+    /// Per-connection cap on queued egress bytes (cross-thread queue plus
+    /// the partially flushed buffer). send() refuses past this.
+    std::size_t max_egress_bytes = 4u << 20;
+  };
+
+  /// Reactor thread: one complete frame from connection `id`.
+  using FrameHandler = std::function<void(std::uint64_t id, Frame frame)>;
+  /// Reactor thread: connection `id` is gone; `id` is never reused.
+  using ClosedHandler = std::function<void(std::uint64_t id, CloseCause cause)>;
+
+  /// Bind + listen + register with the reactor. Call from the reactor
+  /// thread or before it starts. Fails if the path cannot be bound.
+  static Result<std::unique_ptr<UnixListener>> create(net::Reactor& reactor,
+                                                      Config config,
+                                                      FrameHandler on_frame,
+                                                      ClosedHandler on_closed);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Thread-safe. Queue one already-encoded frame. Returns false (and
+  /// queues nothing) when the connection is unknown, doomed, or the frame
+  /// would push queued bytes past max_egress_bytes.
+  [[nodiscard]] bool send(std::uint64_t id, Bytes frame);
+
+  /// Thread-safe. Evict: discard queued egress, queue `frame` past the
+  /// cap, close after one flush attempt. ClosedHandler fires with kLocal.
+  void hangup(std::uint64_t id, Bytes frame);
+
+  /// Thread-safe. Bytes currently queued for `id` (0 if unknown).
+  [[nodiscard]] std::size_t queued_bytes(std::uint64_t id) const;
+
+  [[nodiscard]] const std::string& path() const { return config_.socket_path; }
+
+  struct Stats {  // reactor thread only
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;        ///< over max_connections
+    std::uint64_t closed_remote = 0;
+    std::uint64_t closed_protocol = 0;
+    std::uint64_t closed_local = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Cross-thread egress: frames queued by send()/hangup() under `mu`,
+  /// drained onto the reactor by the wake hook. The reactor pointer is
+  /// nulled in ~UnixListener so late senders become no-ops.
+  struct Egress {
+    struct Pending {
+      std::deque<Bytes> frames;
+      std::size_t bytes = 0;    ///< queued here + unflushed in Conn::out
+      bool doomed = false;      ///< hangup() called: close after one flush
+      bool dirty = false;       ///< has frames the reactor has not taken
+    };
+    mutable std::mutex mu;
+    net::Reactor* reactor = nullptr;
+    std::map<std::uint64_t, Pending> conns;
+    std::size_t cap = 0;
+  };
+
+  /// Reactor-thread connection state.
+  struct Conn {
+    int fd = -1;
+    FrameBuffer in;
+    Bytes out;             ///< flattened frames being written
+    std::size_t off = 0;   ///< out bytes already written
+    bool write_registered = false;
+  };
+
+  UnixListener(net::Reactor& reactor, Config config, FrameHandler on_frame,
+               ClosedHandler on_closed);
+
+  void on_acceptable();
+  void on_readable(std::uint64_t id);
+  void drain_egress();                       ///< wake hook: move queued frames
+  void flush(std::uint64_t id);              ///< write() until done or EAGAIN
+  void close_conn(std::uint64_t id, CloseCause cause);
+
+  net::Reactor& reactor_;
+  Config config_;
+  FrameHandler on_frame_;
+  ClosedHandler on_closed_;
+  int listen_fd_ = -1;
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, Conn> conns_;
+  std::shared_ptr<Egress> egress_;
+  std::uint64_t wake_hook_id_ = 0;
+  Stats stats_;
+};
+
+}  // namespace totem::ipc

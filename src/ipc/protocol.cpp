@@ -1,0 +1,289 @@
+#include "ipc/protocol.h"
+
+namespace totem::ipc {
+namespace {
+
+constexpr std::size_t kMaxGroupName = 255;
+
+/// Start a frame: reserve the length prefix, write the type byte. finish()
+/// patches the prefix with the body size.
+class FrameWriter {
+ public:
+  explicit FrameWriter(FrameType type, std::size_t reserve = 64) : w_(reserve + 5) {
+    w_.u32(0);  // length prefix, patched by finish()
+    w_.u8(static_cast<std::uint8_t>(type));
+  }
+
+  ByteWriter& body() { return w_; }
+
+  [[nodiscard]] Bytes finish() && {
+    const auto body_len = static_cast<std::uint32_t>(w_.size() - kLengthPrefixBytes);
+    w_.patch_u32(0, body_len);
+    return std::move(w_).take();
+  }
+
+ private:
+  ByteWriter w_;
+};
+
+void write_group(ByteWriter& w, const std::string& group) {
+  w.u8(static_cast<std::uint8_t>(group.size() > kMaxGroupName ? kMaxGroupName
+                                                              : group.size()));
+  w.raw(to_bytes(group.substr(0, kMaxGroupName)));
+}
+
+Result<std::string> read_group(ByteReader& r) {
+  auto len = r.u8();
+  if (!len) return len.status();
+  auto raw = r.raw(len.value());
+  if (!raw) return raw.status();
+  return totem::to_string(raw.value());
+}
+
+void write_refs(ByteWriter& w, const std::vector<ClientRef>& refs) {
+  w.u32(static_cast<std::uint32_t>(refs.size()));
+  for (const auto& ref : refs) {
+    w.u32(ref.node);
+    w.u64(ref.client);
+  }
+}
+
+Result<std::vector<ClientRef>> read_refs(ByteReader& r) {
+  auto count = r.u32();
+  if (!count) return count.status();
+  // Each ref is 12 bytes; bound the claimed count by what is actually left.
+  if (count.value() > r.remaining() / 12) {
+    return Status{StatusCode::kMalformedPacket, "ref list overruns frame"};
+  }
+  std::vector<ClientRef> refs;
+  refs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto node = r.u32();
+    auto client = r.u64();
+    if (!node || !client) return Status{StatusCode::kMalformedPacket, "short ref"};
+    refs.push_back(ClientRef{node.value(), client.value()});
+  }
+  return refs;
+}
+
+}  // namespace
+
+Bytes encode_hello(const Hello& h) {
+  FrameWriter f(FrameType::kHello);
+  f.body().u32(h.version);
+  return std::move(f).finish();
+}
+
+Bytes encode_hello_ack(const HelloAck& a) {
+  FrameWriter f(FrameType::kHelloAck);
+  f.body().u32(a.node);
+  f.body().u64(a.client_id);
+  f.body().u32(a.initial_credits);
+  f.body().u32(a.max_message_bytes);
+  return std::move(f).finish();
+}
+
+Bytes encode_join(const GroupRequest& r) {
+  FrameWriter f(FrameType::kJoin, r.group.size() + 8);
+  f.body().u32(r.cookie);
+  write_group(f.body(), r.group);
+  return std::move(f).finish();
+}
+
+Bytes encode_leave(const GroupRequest& r) {
+  FrameWriter f(FrameType::kLeave, r.group.size() + 8);
+  f.body().u32(r.cookie);
+  write_group(f.body(), r.group);
+  return std::move(f).finish();
+}
+
+Bytes encode_send(const SendRequest& r) {
+  FrameWriter f(FrameType::kSend, r.group.size() + r.payload.size() + 16);
+  f.body().u32(r.cookie);
+  write_group(f.body(), r.group);
+  f.body().raw(r.payload);
+  return std::move(f).finish();
+}
+
+Bytes encode_status(const StatusReply& s) {
+  FrameWriter f(FrameType::kStatus, s.detail.size() + 16);
+  f.body().u32(s.cookie);
+  f.body().u8(static_cast<std::uint8_t>(s.code));
+  f.body().raw(to_bytes(s.detail));
+  return std::move(f).finish();
+}
+
+Bytes encode_credit(const Credit& c) {
+  FrameWriter f(FrameType::kCredit);
+  f.body().u32(c.granted);
+  return std::move(f).finish();
+}
+
+Bytes encode_deliver(const Deliver& d) {
+  FrameWriter f(FrameType::kDeliver, d.group.size() + d.payload.size() + 32);
+  write_group(f.body(), d.group);
+  f.body().u32(d.origin.node);
+  f.body().u64(d.origin.client);
+  f.body().u64(d.seq);
+  f.body().raw(d.payload);
+  return std::move(f).finish();
+}
+
+Bytes encode_view(const View& v) {
+  FrameWriter f(FrameType::kView,
+                v.group.size() + 16 + 12 * (v.members.size() + v.added.size() +
+                                            v.removed.size()));
+  write_group(f.body(), v.group);
+  f.body().u64(v.view_seq);
+  write_refs(f.body(), v.members);
+  write_refs(f.body(), v.added);
+  write_refs(f.body(), v.removed);
+  return std::move(f).finish();
+}
+
+Bytes encode_goodbye(GoodbyeReason reason) {
+  FrameWriter f(FrameType::kGoodbye);
+  f.body().u8(static_cast<std::uint8_t>(reason));
+  return std::move(f).finish();
+}
+
+Result<Hello> decode_hello(BytesView body) {
+  ByteReader r(body);
+  auto version = r.u32();
+  if (!version) return version.status();
+  return Hello{version.value()};
+}
+
+Result<HelloAck> decode_hello_ack(BytesView body) {
+  ByteReader r(body);
+  auto node = r.u32();
+  auto client = r.u64();
+  auto credits = r.u32();
+  auto max_msg = r.u32();
+  if (!node || !client || !credits || !max_msg) {
+    return Status{StatusCode::kMalformedPacket, "short HELLO_ACK"};
+  }
+  return HelloAck{node.value(), client.value(), credits.value(), max_msg.value()};
+}
+
+Result<GroupRequest> decode_group_request(BytesView body) {
+  ByteReader r(body);
+  auto cookie = r.u32();
+  if (!cookie) return cookie.status();
+  auto group = read_group(r);
+  if (!group) return group.status();
+  return GroupRequest{cookie.value(), std::move(group).take()};
+}
+
+Result<SendRequest> decode_send(BytesView body) {
+  ByteReader r(body);
+  auto cookie = r.u32();
+  if (!cookie) return cookie.status();
+  auto group = read_group(r);
+  if (!group) return group.status();
+  auto payload = r.raw(r.remaining());
+  SendRequest out{cookie.value(), std::move(group).take(), {}};
+  out.payload.assign(payload.value().begin(), payload.value().end());
+  return out;
+}
+
+Result<StatusReply> decode_status(BytesView body) {
+  ByteReader r(body);
+  auto cookie = r.u32();
+  auto code = r.u8();
+  if (!cookie || !code) return Status{StatusCode::kMalformedPacket, "short STATUS"};
+  auto detail = r.raw(r.remaining());
+  return StatusReply{cookie.value(), static_cast<StatusCode>(code.value()),
+                     totem::to_string(detail.value())};
+}
+
+Result<Credit> decode_credit(BytesView body) {
+  ByteReader r(body);
+  auto granted = r.u32();
+  if (!granted) return granted.status();
+  return Credit{granted.value()};
+}
+
+Result<Deliver> decode_deliver(BytesView body) {
+  ByteReader r(body);
+  auto group = read_group(r);
+  if (!group) return group.status();
+  auto node = r.u32();
+  auto client = r.u64();
+  auto seq = r.u64();
+  if (!node || !client || !seq) {
+    return Status{StatusCode::kMalformedPacket, "short DELIVER"};
+  }
+  auto payload = r.raw(r.remaining());
+  Deliver out;
+  out.group = std::move(group).take();
+  out.origin = ClientRef{node.value(), client.value()};
+  out.seq = seq.value();
+  out.payload.assign(payload.value().begin(), payload.value().end());
+  return out;
+}
+
+Result<View> decode_view(BytesView body) {
+  ByteReader r(body);
+  auto group = read_group(r);
+  if (!group) return group.status();
+  auto view_seq = r.u64();
+  if (!view_seq) return view_seq.status();
+  auto members = read_refs(r);
+  if (!members) return members.status();
+  auto added = read_refs(r);
+  if (!added) return added.status();
+  auto removed = read_refs(r);
+  if (!removed) return removed.status();
+  View v;
+  v.group = std::move(group).take();
+  v.view_seq = view_seq.value();
+  v.members = std::move(members).take();
+  v.added = std::move(added).take();
+  v.removed = std::move(removed).take();
+  return v;
+}
+
+Result<GoodbyeReason> decode_goodbye(BytesView body) {
+  ByteReader r(body);
+  auto reason = r.u8();
+  if (!reason) return reason.status();
+  return static_cast<GoodbyeReason>(reason.value());
+}
+
+void FrameBuffer::feed(const void* data, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+std::optional<Frame> FrameBuffer::pop() {
+  if (corrupted_) return std::nullopt;
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < kLengthPrefixBytes) return std::nullopt;
+  // Portable LE decode (matches ByteWriter::u32).
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[off_])) |
+             static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[off_ + 1])) << 8 |
+             static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[off_ + 2])) << 16 |
+             static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[off_ + 3])) << 24;
+  if (body_len < 1 || body_len > kMaxFrameBody) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  if (avail < kLengthPrefixBytes + body_len) return std::nullopt;
+  Frame f;
+  f.type = static_cast<FrameType>(
+      static_cast<std::uint8_t>(buf_[off_ + kLengthPrefixBytes]));
+  f.body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(off_ + kLengthPrefixBytes + 1),
+                buf_.begin() + static_cast<std::ptrdiff_t>(off_ + kLengthPrefixBytes + body_len));
+  off_ += kLengthPrefixBytes + body_len;
+  // Compact once the consumed prefix dominates, so the buffer cannot grow
+  // without bound across a long-lived connection.
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  return f;
+}
+
+}  // namespace totem::ipc

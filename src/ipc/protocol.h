@@ -1,0 +1,206 @@
+// totemd IPC wire protocol: the frame vocabulary spoken between the
+// per-node daemon (src/daemon/) and its local client processes over a
+// SOCK_STREAM Unix-domain socket (docs/DAEMON.md is the operator view).
+//
+// This is the openais/corosync executive model: applications do not join
+// the Totem ring — they connect to the daemon on their node, which
+// multiplexes them onto its one api::Node. The protocol is therefore
+// deliberately small and asymmetric:
+//
+//   client -> daemon: HELLO, JOIN, LEAVE, SEND
+//   daemon -> client: HELLO_ACK, STATUS, CREDIT, DELIVER, VIEW, GOODBYE
+//
+// Frames are length-prefixed ([u32 len][u8 type][body]) with every
+// multi-byte field little-endian through common/bytes.h — the same codec
+// discipline as the ring's wire format: a malformed frame from a client is
+// a countable protocol violation (the daemon hangs up), never a crash.
+//
+// Flow control vocabulary (the part that keeps a stalled client from
+// stalling the ring — DESIGN.md §18):
+//   * SEND carries no acknowledgement; the acknowledgement IS the returned
+//     credit. A client holds `initial_credits` send credits, spends one per
+//     SEND, and regains one per CREDIT unit once the daemon has handed the
+//     message to the ring. Out of credits => the client library fast-fails
+//     with RESOURCE_EXHAUSTED (it never blocks the caller).
+//   * DELIVER frames are queued per client with a byte cap; a reader that
+//     lets the queue exceed the cap is evicted (GOODBYE + close), because
+//     a totally-ordered stream can be delivered gap-free or not at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace totem::ipc {
+
+/// Bumped on any incompatible frame change; HELLO carries it and the daemon
+/// rejects mismatches (STATUS kFailedPrecondition + close).
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's body (type byte + fields + payload). The
+/// daemon enforces it on ingest (oversize => protocol violation) and the
+/// codec refuses to build bigger frames. Large enough for a 1 MiB payload
+/// plus headers — the ring fragments payloads transparently (srp/wire.h).
+constexpr std::size_t kMaxFrameBody = (1u << 20) + 4096;
+
+/// Frame length prefix (u32, little-endian), excluding itself.
+constexpr std::size_t kLengthPrefixBytes = 4;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< client -> daemon: {u32 version}
+  kHelloAck = 2,  ///< daemon -> client: {u32 node, u64 client_id, u32 credits,
+                  ///<                    u32 max_message_bytes}
+  kJoin = 3,      ///< client -> daemon: {u32 cookie, group}
+  kLeave = 4,     ///< client -> daemon: {u32 cookie, group}
+  kSend = 5,      ///< client -> daemon: {u32 cookie, group, payload}
+  kStatus = 6,    ///< daemon -> client: {u32 cookie, u8 code, detail}
+  kCredit = 7,    ///< daemon -> client: {u32 granted}
+  kDeliver = 8,   ///< daemon -> client: {group, u32 origin_node,
+                  ///<                    u64 origin_client, u64 seq, payload}
+  kView = 9,      ///< daemon -> client: {group, u64 view_seq, members, added,
+                  ///<                    removed} (each a ClientRef list)
+  kGoodbye = 10,  ///< daemon -> client: {u8 reason} — then the socket closes
+};
+
+/// Why the daemon hung up (GOODBYE body).
+enum class GoodbyeReason : std::uint8_t {
+  kShutdown = 1,          ///< daemon stopping (clean)
+  kSlowReader = 2,        ///< delivery queue exceeded the byte cap
+  kProtocolViolation = 3, ///< malformed/oversize frame or credit overdraft
+};
+
+[[nodiscard]] constexpr const char* to_string(GoodbyeReason r) {
+  switch (r) {
+    case GoodbyeReason::kShutdown: return "shutdown";
+    case GoodbyeReason::kSlowReader: return "slow-reader";
+    case GoodbyeReason::kProtocolViolation: return "protocol-violation";
+  }
+  return "?";
+}
+
+/// Cluster-wide identity of one attached client process: the ring node its
+/// daemon runs on plus the daemon-assigned local id. Group views list these.
+struct ClientRef {
+  NodeId node = kInvalidNode;
+  std::uint64_t client = 0;
+
+  friend bool operator==(const ClientRef& a, const ClientRef& b) {
+    return a.node == b.node && a.client == b.client;
+  }
+  friend bool operator<(const ClientRef& a, const ClientRef& b) {
+    return a.node != b.node ? a.node < b.node : a.client < b.client;
+  }
+};
+
+// ---- decoded frame bodies ----
+
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+};
+
+struct HelloAck {
+  NodeId node = kInvalidNode;
+  std::uint64_t client_id = 0;
+  std::uint32_t initial_credits = 0;
+  std::uint32_t max_message_bytes = 0;
+};
+
+/// JOIN and LEAVE share a shape; `cookie` pairs the daemon's STATUS reply
+/// with the request (client-chosen, echoed verbatim).
+struct GroupRequest {
+  std::uint32_t cookie = 0;
+  std::string group;
+};
+
+struct SendRequest {
+  std::uint32_t cookie = 0;
+  std::string group;
+  Bytes payload;
+};
+
+struct StatusReply {
+  std::uint32_t cookie = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string detail;
+};
+
+struct Credit {
+  std::uint32_t granted = 0;
+};
+
+struct Deliver {
+  std::string group;
+  ClientRef origin;
+  std::uint64_t seq = 0;  ///< ring sequence number: the total-order witness
+  Bytes payload;
+};
+
+/// One agreed group membership view. `view_seq` is the ring sequence number
+/// of the join/leave announcement that produced it — identical at every
+/// daemon, so clients on different nodes can compare views directly.
+struct View {
+  std::string group;
+  std::uint64_t view_seq = 0;
+  std::vector<ClientRef> members;  ///< sorted
+  std::vector<ClientRef> added;    ///< sorted
+  std::vector<ClientRef> removed;  ///< sorted
+};
+
+// ---- encoding (returns the complete frame: length prefix included) ----
+
+[[nodiscard]] Bytes encode_hello(const Hello& h);
+[[nodiscard]] Bytes encode_hello_ack(const HelloAck& a);
+[[nodiscard]] Bytes encode_join(const GroupRequest& r);
+[[nodiscard]] Bytes encode_leave(const GroupRequest& r);
+[[nodiscard]] Bytes encode_send(const SendRequest& r);
+[[nodiscard]] Bytes encode_status(const StatusReply& s);
+[[nodiscard]] Bytes encode_credit(const Credit& c);
+[[nodiscard]] Bytes encode_deliver(const Deliver& d);
+[[nodiscard]] Bytes encode_view(const View& v);
+[[nodiscard]] Bytes encode_goodbye(GoodbyeReason reason);
+
+// ---- decoding (body only, after the [len][type] prefix is stripped) ----
+
+[[nodiscard]] Result<Hello> decode_hello(BytesView body);
+[[nodiscard]] Result<HelloAck> decode_hello_ack(BytesView body);
+[[nodiscard]] Result<GroupRequest> decode_group_request(BytesView body);
+[[nodiscard]] Result<SendRequest> decode_send(BytesView body);
+[[nodiscard]] Result<StatusReply> decode_status(BytesView body);
+[[nodiscard]] Result<Credit> decode_credit(BytesView body);
+[[nodiscard]] Result<Deliver> decode_deliver(BytesView body);
+[[nodiscard]] Result<View> decode_view(BytesView body);
+[[nodiscard]] Result<GoodbyeReason> decode_goodbye(BytesView body);
+
+/// One complete frame popped off a stream.
+struct Frame {
+  FrameType type{};
+  Bytes body;
+};
+
+/// Incremental stream deframer shared by the daemon's listener and the
+/// client library: feed() raw socket bytes, pop() complete frames.
+/// Rejects frames whose announced body exceeds kMaxFrameBody so a
+/// corrupt length prefix cannot make either side buffer unbounded data.
+class FrameBuffer {
+ public:
+  void feed(const void* data, std::size_t n);
+
+  /// Pop the next complete frame, or nullopt when more bytes are needed.
+  /// After an oversize/malformed length the buffer is poisoned: pop()
+  /// returns nullopt forever and corrupted() is true — hang up.
+  [[nodiscard]] std::optional<Frame> pop();
+  [[nodiscard]] bool corrupted() const { return corrupted_; }
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - off_; }
+
+ private:
+  Bytes buf_;
+  std::size_t off_ = 0;  // consumed prefix, compacted opportunistically
+  bool corrupted_ = false;
+};
+
+}  // namespace totem::ipc

@@ -2,7 +2,9 @@
 // real UDP loopback sockets with a NodeTelemetry endpoint on node 0.
 // /metrics, /healthz and /trace are scraped over real TCP while the ring
 // delivers, and /healthz flips to 503 when every network is marked faulty
-// and recovers after reinstatement.
+// and recovers after reinstatement. The /shards route (PR 10) is covered
+// both ways: 404 on an unsharded node, and a live ClusterSnapshot roll-up
+// when the provider is wired to a real UdpShardedCluster.
 #include "api/telemetry.h"
 
 #include <arpa/inet.h>
@@ -12,6 +14,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +22,7 @@
 
 #include "api/node.h"
 #include "common/trace.h"
+#include "harness/sharded_cluster.h"
 #include "net/reactor.h"
 #include "net/udp_transport.h"
 
@@ -203,6 +207,12 @@ TEST(TelemetrySmoke, ScrapesLiveUdpRingAndHealthzFollowsFaults) {
   EXPECT_EQ(healed.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << healed;
   EXPECT_NE(healed.find("\"overall\":\"healthy\""), std::string::npos) << healed;
 
+  // /shards without a provider: this node fronts no sharded deployment.
+  const std::string unsharded = ring.scrape("/shards");
+  EXPECT_EQ(unsharded.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << unsharded;
+  EXPECT_NE(unsharded.find("no sharded deployment"), std::string::npos)
+      << unsharded;
+
   // Unknown paths 404 with a hint; non-GET methods are 405.
   const std::string missing = ring.scrape("/nope");
   EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
@@ -225,6 +235,72 @@ TEST(TelemetrySmoke, ScrapesLiveUdpRingAndHealthzFollowsFaults) {
   ASSERT_TRUE(ring.nodes[0]->send(to_bytes("after")).is_ok());
   ring.run_until_delivered(7, Duration{5'000'000});
   EXPECT_EQ(ring.delivered[0], 7u);
+}
+
+// /shards against a real sharded deployment: a 2-shard UDP cluster, a
+// telemetry endpoint on one replica, and the provider wired straight to
+// ShardedKv::roll_up. The scrape must reflect live availability and the
+// router counters of traffic that actually committed.
+TEST(TelemetrySmoke, ShardsRouteServesLiveClusterSnapshot) {
+  harness::ShardedClusterConfig cfg;
+  cfg.shard_count = 2;
+  cfg.nodes_per_shard = 3;
+  cfg.networks_per_shard = 1;
+  cfg.style = api::ReplicationStyle::kNone;  // one network per shard ring
+  cfg.seed = 11;
+  harness::UdpShardedCluster cluster(cfg, 44600);
+  ASSERT_TRUE(cluster.ok().is_ok()) << cluster.ok().to_string();
+  cluster.start_all();
+  ASSERT_TRUE(cluster.wait_all_live(Duration{20'000'000}));
+
+  // Commit some writes so the roll-up has nonzero router counters.
+  std::size_t completed = 0;
+  cluster.kv().set_completion_handler(
+      [&](const shard::OpCompletion&) { ++completed; });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        cluster.kv().put("key" + std::to_string(i), to_bytes("v")).is_ok());
+  }
+  const TimePoint deadline = cluster.reactor().now() + Duration{10'000'000};
+  while (completed < 8 && cluster.reactor().now() < deadline) {
+    cluster.poll_once(Duration{10'000});
+  }
+  ASSERT_EQ(completed, 8u);
+
+  api::NodeTelemetry::Config tcfg;
+  tcfg.shards = [&cluster] { return cluster.snapshot().to_json(); };
+  auto telemetry = api::NodeTelemetry::create(cluster.reactor(),
+                                              cluster.node(0, 0), {}, tcfg);
+  ASSERT_TRUE(telemetry.is_ok()) << telemetry.status().to_string();
+
+  std::string resp;
+  std::atomic<bool> done{false};
+  std::thread client([&, port = telemetry.value()->port()] {
+    resp = http_exchange(port, "GET /shards HTTP/1.0\r\n\r\n");
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    cluster.poll_once(Duration{5'000});
+  }
+  client.join();
+
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << resp;
+  EXPECT_NE(resp.find("Content-Type: application/json"), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("\"overall\":\"healthy\""), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"shard_count\":2"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"shards_available\":2"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"keys\":8"), std::string::npos) << resp;
+  // Both shards report their router blocks, and all 8 ops completed.
+  EXPECT_NE(resp.find("\"shard\":0"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"shard\":1"), std::string::npos) << resp;
+  const auto body = resp.substr(resp.find("\r\n\r\n"));
+  std::uint64_t total_completed = 0;
+  for (std::size_t pos = body.find("\"completed\":"); pos != std::string::npos;
+       pos = body.find("\"completed\":", pos + 1)) {
+    total_completed += std::strtoull(body.c_str() + pos + 12, nullptr, 10);
+  }
+  EXPECT_EQ(total_completed, 8u) << body;
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// Tier-1 smoke test for the totemd BINARY (not the library): spawn a real
+// daemon process on a 1-node ring, attach two real clients, check ordered
+// delivery, and verify clean SIGTERM shutdown. Usage: totemd_smoke <totemd>.
+// Port 46500; exits non-zero with a message on any failure.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ipc/client.h"
+
+using namespace std::chrono_literals;
+
+namespace {
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "totemd_smoke: FAIL: %s\n", why.c_str());
+  std::exit(1);
+}
+
+std::unique_ptr<totem::ipc::Client> connect_retry(const std::string& path) {
+  for (int i = 0; i < 250; ++i) {
+    totem::ipc::Client::Options o;
+    o.socket_path = path;
+    auto c = totem::ipc::Client::connect(std::move(o));
+    if (c.is_ok()) return std::move(c).take();
+    std::this_thread::sleep_for(20ms);
+  }
+  die("could not connect to " + path);
+}
+
+struct Rec {
+  totem::ipc::ClientRef origin;
+  std::uint64_t seq = 0;
+  std::string payload;
+  friend bool operator==(const Rec& a, const Rec& b) {
+    return a.origin == b.origin && a.seq == b.seq && a.payload == b.payload;
+  }
+};
+
+std::vector<Rec> collect(totem::ipc::Client& c, std::size_t want) {
+  std::vector<Rec> got;
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (got.size() < want && std::chrono::steady_clock::now() < deadline) {
+    auto ev = c.poll(50ms);
+    if (ev && ev->type == totem::ipc::Client::Event::Type::kDeliver) {
+      got.push_back(Rec{ev->deliver.origin, ev->deliver.seq,
+                        totem::to_string(ev->deliver.payload)});
+    }
+  }
+  return got;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) die("usage: totemd_smoke <path-to-totemd>");
+  const std::string totemd = argv[1];
+  const std::string socket =
+      "/tmp/totemd-smoke-" + std::to_string(::getpid()) + ".sock";
+
+  const pid_t pid = ::fork();
+  if (pid < 0) die("fork failed");
+  if (pid == 0) {
+    const std::string sock_arg = "--socket=" + socket;
+    ::execl(totemd.c_str(), totemd.c_str(), sock_arg.c_str(), "--node=0",
+            "--nodes=1", "--base-port=46500", "--run-for-ms=60000",
+            static_cast<char*>(nullptr));
+    std::perror("execl");
+    std::_Exit(127);
+  }
+
+  {
+    auto a = connect_retry(socket);
+    auto b = connect_retry(socket);
+    if (a->node() != 0) die("unexpected node id in HELLO_ACK");
+    if (a->client_id() == b->client_id()) die("duplicate client ids");
+
+    if (!a->join("smoke").is_ok()) die("client a join failed");
+    if (!b->join("smoke").is_ok()) die("client b join failed");
+
+    constexpr int kEach = 10;
+    for (int i = 0; i < kEach; ++i) {
+      if (!a->send("smoke", totem::to_bytes("a" + std::to_string(i))).is_ok())
+        die("client a send failed");
+      if (!b->send("smoke", totem::to_bytes("b" + std::to_string(i))).is_ok())
+        die("client b send failed");
+    }
+
+    const auto got_a = collect(*a, 2 * kEach);
+    const auto got_b = collect(*b, 2 * kEach);
+    if (got_a.size() != 2 * kEach) die("client a missed deliveries");
+    if (got_b.size() != 2 * kEach) die("client b missed deliveries");
+    if (!(got_a == got_b)) die("clients observed different delivery orders");
+
+    if (!a->leave("smoke").is_ok()) die("client a leave failed");
+  }  // sockets closed before the daemon is told to exit
+
+  if (::kill(pid, SIGTERM) != 0) die("kill(SIGTERM) failed");
+  int status = 0;
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) die("waitpid failed");
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(pid, SIGKILL);
+      die("totemd did not exit on SIGTERM");
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    die("totemd exited uncleanly (status " + std::to_string(status) + ")");
+  }
+
+  ::unlink(socket.c_str());
+  std::printf("totemd_smoke: PASS\n");
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Codec + deframer unit tests for the totemd IPC wire protocol.
+#include "ipc/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace totem::ipc {
+namespace {
+
+// Strip the [u32 len][u8 type] prefix, returning the body view.
+BytesView body_of(const Bytes& frame) {
+  return BytesView(frame).subspan(kLengthPrefixBytes + 1);
+}
+
+FrameType type_of(const Bytes& frame) {
+  return static_cast<FrameType>(
+      static_cast<std::uint8_t>(frame[kLengthPrefixBytes]));
+}
+
+TEST(IpcProtocol, HelloRoundTrip) {
+  const Bytes f = encode_hello(Hello{7});
+  EXPECT_EQ(type_of(f), FrameType::kHello);
+  auto h = decode_hello(body_of(f));
+  ASSERT_TRUE(h.is_ok());
+  EXPECT_EQ(h.value().version, 7u);
+}
+
+TEST(IpcProtocol, HelloAckRoundTrip) {
+  HelloAck in;
+  in.node = 3;
+  in.client_id = 42;
+  in.initial_credits = 64;
+  in.max_message_bytes = 1u << 20;
+  const Bytes f = encode_hello_ack(in);
+  auto out = decode_hello_ack(body_of(f));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().node, 3u);
+  EXPECT_EQ(out.value().client_id, 42u);
+  EXPECT_EQ(out.value().initial_credits, 64u);
+  EXPECT_EQ(out.value().max_message_bytes, 1u << 20);
+}
+
+TEST(IpcProtocol, JoinLeaveSendRoundTrip) {
+  const Bytes j = encode_join(GroupRequest{9, "workers"});
+  EXPECT_EQ(type_of(j), FrameType::kJoin);
+  auto jr = decode_group_request(body_of(j));
+  ASSERT_TRUE(jr.is_ok());
+  EXPECT_EQ(jr.value().cookie, 9u);
+  EXPECT_EQ(jr.value().group, "workers");
+
+  const Bytes l = encode_leave(GroupRequest{10, "workers"});
+  EXPECT_EQ(type_of(l), FrameType::kLeave);
+
+  SendRequest sreq;
+  sreq.cookie = 11;
+  sreq.group = "workers";
+  sreq.payload = to_bytes("payload bytes");
+  const Bytes s = encode_send(sreq);
+  auto sr = decode_send(body_of(s));
+  ASSERT_TRUE(sr.is_ok());
+  EXPECT_EQ(sr.value().cookie, 11u);
+  EXPECT_EQ(sr.value().group, "workers");
+  EXPECT_EQ(totem::to_string(sr.value().payload), "payload bytes");
+}
+
+TEST(IpcProtocol, StatusCreditDeliverRoundTrip) {
+  const Bytes st = encode_status(StatusReply{5, StatusCode::kNotFound, "nope"});
+  auto sr = decode_status(body_of(st));
+  ASSERT_TRUE(sr.is_ok());
+  EXPECT_EQ(sr.value().cookie, 5u);
+  EXPECT_EQ(sr.value().code, StatusCode::kNotFound);
+  EXPECT_EQ(sr.value().detail, "nope");
+
+  const Bytes cr = encode_credit(Credit{3});
+  auto c = decode_credit(body_of(cr));
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().granted, 3u);
+
+  Deliver d;
+  d.group = "g";
+  d.origin = ClientRef{2, 77};
+  d.seq = 12345;
+  d.payload = to_bytes("m");
+  const Bytes df = encode_deliver(d);
+  auto dr = decode_deliver(body_of(df));
+  ASSERT_TRUE(dr.is_ok());
+  EXPECT_EQ(dr.value().group, "g");
+  EXPECT_EQ(dr.value().origin, (ClientRef{2, 77}));
+  EXPECT_EQ(dr.value().seq, 12345u);
+  EXPECT_EQ(totem::to_string(dr.value().payload), "m");
+}
+
+TEST(IpcProtocol, ViewRoundTripKeepsAllThreeRefLists) {
+  View v;
+  v.group = "workers";
+  v.view_seq = 99;
+  v.members = {{0, 1}, {0, 2}, {1, 7}};
+  v.added = {{1, 7}};
+  v.removed = {{2, 3}};
+  const Bytes f = encode_view(v);
+  auto out = decode_view(body_of(f));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().group, "workers");
+  EXPECT_EQ(out.value().view_seq, 99u);
+  EXPECT_EQ(out.value().members, v.members);
+  EXPECT_EQ(out.value().added, v.added);
+  EXPECT_EQ(out.value().removed, v.removed);
+}
+
+TEST(IpcProtocol, GoodbyeRoundTrip) {
+  const Bytes f = encode_goodbye(GoodbyeReason::kSlowReader);
+  auto r = decode_goodbye(body_of(f));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), GoodbyeReason::kSlowReader);
+  EXPECT_STREQ(to_string(r.value()), "slow-reader");
+}
+
+TEST(IpcProtocol, DecodeRejectsTruncatedBodies) {
+  const Bytes f = encode_hello_ack(HelloAck{1, 2, 3, 4});
+  const BytesView body = body_of(f);
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(decode_hello_ack(body.subspan(0, cut)).is_ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(IpcProtocol, ViewRefCountCannotOverrunFrame) {
+  // Hand-craft a view body whose member count claims more refs than the
+  // frame carries: must fail cleanly, not over-read.
+  ByteWriter w;
+  w.u8(1);
+  w.raw(to_bytes("g"));
+  w.u64(1);          // view_seq
+  w.u32(1'000'000);  // absurd member count
+  const Bytes body = std::move(w).take();
+  EXPECT_FALSE(decode_view(body).is_ok());
+}
+
+TEST(FrameBufferTest, ReassemblesFramesAcrossArbitrarySplits) {
+  const Bytes a = encode_credit(Credit{1});
+  const Bytes b = encode_join(GroupRequest{2, "group-name"});
+  Bytes stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    FrameBuffer fb;
+    std::vector<Frame> got;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      fb.feed(stream.data() + off, n);
+      while (auto f = fb.pop()) got.push_back(std::move(*f));
+    }
+    ASSERT_EQ(got.size(), 2u) << "chunk=" << chunk;
+    EXPECT_EQ(got[0].type, FrameType::kCredit);
+    EXPECT_EQ(got[1].type, FrameType::kJoin);
+    auto req = decode_group_request(got[1].body);
+    ASSERT_TRUE(req.is_ok());
+    EXPECT_EQ(req.value().group, "group-name");
+    EXPECT_FALSE(fb.corrupted());
+    EXPECT_EQ(fb.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameBufferTest, OversizeLengthPoisonsTheBuffer) {
+  FrameBuffer fb;
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(kMaxFrameBody + 1));
+  const Bytes evil = std::move(w).take();
+  fb.feed(evil.data(), evil.size());
+  EXPECT_FALSE(fb.pop().has_value());
+  EXPECT_TRUE(fb.corrupted());
+  // Poisoned forever, even after valid bytes arrive.
+  const Bytes ok = encode_credit(Credit{1});
+  fb.feed(ok.data(), ok.size());
+  EXPECT_FALSE(fb.pop().has_value());
+  EXPECT_TRUE(fb.corrupted());
+}
+
+TEST(FrameBufferTest, ZeroLengthFrameIsCorrupt) {
+  FrameBuffer fb;
+  ByteWriter w;
+  w.u32(0);  // a frame must at least carry its type byte
+  const Bytes evil = std::move(w).take();
+  fb.feed(evil.data(), evil.size());
+  EXPECT_FALSE(fb.pop().has_value());
+  EXPECT_TRUE(fb.corrupted());
+}
+
+TEST(FrameBufferTest, LargePayloadRoundTrips) {
+  SendRequest req;
+  req.cookie = 1;
+  req.group = "big";
+  req.payload.assign(1u << 20, std::byte{0x5a});  // 1 MiB
+  const Bytes frame = encode_send(req);
+  FrameBuffer fb;
+  // Feed in 64 KB chunks like a socket would.
+  for (std::size_t off = 0; off < frame.size(); off += 65536) {
+    fb.feed(frame.data() + off, std::min<std::size_t>(65536, frame.size() - off));
+  }
+  auto f = fb.pop();
+  ASSERT_TRUE(f.has_value());
+  auto out = decode_send(f->body);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().payload.size(), 1u << 20);
+  EXPECT_EQ(out.value().payload, req.payload);
+}
+
+}  // namespace
+}  // namespace totem::ipc
